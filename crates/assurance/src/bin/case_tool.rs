@@ -1,0 +1,94 @@
+//! `case_tool` — evaluate a serialized dependability case from the
+//! command line.
+//!
+//! ```text
+//! case_tool eval  case.json      # propagate and print per-node confidence
+//! case_tool dot   case.json      # annotated Graphviz DOT on stdout
+//! case_tool rank  case.json      # evidence ranked by improvement value
+//! case_tool demo                 # print a sample case.json to start from
+//! ```
+
+use depcase_assurance::{importance, templates, Case};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Case, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("demo") => {
+            let (case, _) = templates::multi_leg(
+                "pfd < 1e-2",
+                &[("statistical testing", 0.95), ("static analysis", 0.90)],
+                Some(("requirements spec is right", 0.98)),
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&case).map_err(|e| e.to_string())?
+            );
+            Ok(())
+        }
+        Some("eval") => {
+            let path = args.get(1).ok_or("usage: case_tool eval <case.json>")?;
+            let case = load(path)?;
+            let report = case.propagate().map_err(|e| e.to_string())?;
+            println!("case: {}", case.title());
+            for (id, node) in case.iter() {
+                if let Some(c) = report.confidence(id) {
+                    println!(
+                        "  {:<6} {:<40} conf {:.4}  [{:.4}, {:.4}]",
+                        node.name,
+                        truncate(&node.statement, 40),
+                        c.independent,
+                        c.worst_case,
+                        c.best_case
+                    );
+                }
+            }
+            Ok(())
+        }
+        Some("dot") => {
+            let path = args.get(1).ok_or("usage: case_tool dot <case.json>")?;
+            let case = load(path)?;
+            let report = case.propagate().ok();
+            print!("{}", case.to_dot(report.as_ref()));
+            Ok(())
+        }
+        Some("rank") => {
+            let path = args.get(1).ok_or("usage: case_tool rank <case.json>")?;
+            let case = load(path)?;
+            let ranking = importance::birnbaum_importance(&case).map_err(|e| e.to_string())?;
+            println!("evidence by improvement value (case: {}):", case.title());
+            for li in ranking {
+                println!(
+                    "  {:<6} conf {:.3}  birnbaum {:.4}  gain-if-certain {:.4}",
+                    li.name, li.confidence, li.birnbaum, li.gain_if_certain
+                );
+            }
+            Ok(())
+        }
+        _ => Err("usage: case_tool {eval|dot|rank} <case.json> | case_tool demo".into()),
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n.saturating_sub(1)])
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("case_tool: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

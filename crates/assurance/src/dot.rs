@@ -1,0 +1,124 @@
+//! Graphviz DOT export of a case, with optional confidence annotations.
+
+use crate::graph::{Case, NodeKind};
+use crate::propagation::ConfidenceReport;
+use std::fmt::Write as _;
+
+impl Case {
+    /// Renders the case as a Graphviz DOT digraph.
+    ///
+    /// When a [`ConfidenceReport`] is supplied, each participating node's
+    /// label carries its independent confidence and dependence interval.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use depcase_assurance::Case;
+    ///
+    /// let mut case = Case::new("demo");
+    /// let g = case.add_goal("G1", "pfd < 1e-2")?;
+    /// let e = case.add_evidence("E1", "testing", 0.9)?;
+    /// case.support(g, e)?;
+    /// let dot = case.to_dot(None);
+    /// assert!(dot.contains("digraph"));
+    /// assert!(dot.contains("G1"));
+    /// # Ok::<(), depcase_assurance::CaseError>(())
+    /// ```
+    #[must_use]
+    pub fn to_dot(&self, report: Option<&ConfidenceReport>) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", escape(self.title()));
+        let _ = writeln!(out, "  rankdir=TB;");
+        for (id, node) in self.iter() {
+            let (shape, fill) = match node.kind {
+                NodeKind::Goal => ("box", "#dbeafe"),
+                NodeKind::Strategy(_) => ("parallelogram", "#ede9fe"),
+                NodeKind::Evidence { .. } => ("circle", "#dcfce7"),
+                NodeKind::Assumption { .. } => ("ellipse", "#fef9c3"),
+                NodeKind::Context => ("note", "#f3f4f6"),
+            };
+            let mut label = format!("{}\\n{}", escape(&node.name), escape(&node.statement));
+            if let Some(r) = report {
+                if let Some(c) = r.confidence(id) {
+                    let _ = write!(
+                        label,
+                        "\\nconf {:.4} [{:.4}, {:.4}]",
+                        c.independent, c.worst_case, c.best_case
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape={shape}, style=filled, fillcolor=\"{fill}\", label=\"{label}\"];",
+                escape(&node.name)
+            );
+        }
+        for (id, node) in self.iter() {
+            for child in self.supporters(id).expect("iterating own nodes") {
+                let child_name = &self.node(child).expect("own node").name;
+                let _ = writeln!(out, "  \"{}\" -> \"{}\";", escape(&node.name), escape(child_name));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Combination;
+
+    fn demo_case() -> Case {
+        let mut case = Case::new("demo \"case\"");
+        let g = case.add_goal("G1", "top").unwrap();
+        let s = case.add_strategy("S1", "legs", Combination::AnyOf).unwrap();
+        let e = case.add_evidence("E1", "test", 0.9).unwrap();
+        let a = case.add_assumption("A1", "env stable", 0.95).unwrap();
+        let c = case.add_context("C1", "plant").unwrap();
+        case.support(g, s).unwrap();
+        case.support(s, e).unwrap();
+        case.support(g, a).unwrap();
+        let _ = c;
+        case
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let case = demo_case();
+        let dot = case.to_dot(None);
+        for name in ["G1", "S1", "E1", "A1", "C1"] {
+            assert!(dot.contains(name), "missing {name} in {dot}");
+        }
+        assert!(dot.contains("\"G1\" -> \"S1\""));
+        assert!(dot.contains("\"S1\" -> \"E1\""));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let case = demo_case();
+        let dot = case.to_dot(None);
+        assert!(dot.contains("demo \\\"case\\\""));
+    }
+
+    #[test]
+    fn dot_with_report_annotates_confidence() {
+        let case = demo_case();
+        let report = case.propagate().unwrap();
+        let dot = case.to_dot(Some(&report));
+        assert!(dot.contains("conf 0.9"), "{dot}");
+    }
+
+    #[test]
+    fn dot_shapes_by_kind() {
+        let dot = demo_case().to_dot(None);
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=parallelogram"));
+        assert!(dot.contains("shape=circle"));
+        assert!(dot.contains("shape=note"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for assurance-case construction and evaluation.
+
+use std::fmt;
+
+/// Error produced while building or evaluating a [`crate::Case`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseError {
+    /// A node reference labelled with this name already exists.
+    DuplicateName(String),
+    /// A referenced node does not exist in this case.
+    UnknownNode(String),
+    /// The requested edge is not allowed (e.g. evidence supporting
+    /// evidence, self-support).
+    InvalidEdge {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A confidence value was outside `[0, 1]`.
+    InvalidConfidence(String),
+    /// The case structure is not evaluable (cycle, no root goal,
+    /// undeveloped non-leaf, …).
+    InvalidStructure(String),
+}
+
+impl fmt::Display for CaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaseError::DuplicateName(n) => write!(f, "duplicate node name: {n}"),
+            CaseError::UnknownNode(n) => write!(f, "unknown node: {n}"),
+            CaseError::InvalidEdge { reason } => write!(f, "invalid edge: {reason}"),
+            CaseError::InvalidConfidence(m) => write!(f, "invalid confidence: {m}"),
+            CaseError::InvalidStructure(m) => write!(f, "invalid case structure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CaseError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, CaseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CaseError::DuplicateName("G1".into()).to_string().contains("G1"));
+        assert!(CaseError::UnknownNode("E9".into()).to_string().contains("E9"));
+        assert!(CaseError::InvalidEdge { reason: "x".into() }.to_string().contains("x"));
+        assert!(CaseError::InvalidConfidence("1.5".into()).to_string().contains("1.5"));
+        assert!(CaseError::InvalidStructure("cycle".into()).to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CaseError>();
+    }
+}

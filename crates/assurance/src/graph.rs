@@ -1,0 +1,500 @@
+//! The argument graph: nodes, edges, structural validation.
+
+use crate::error::{CaseError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Opaque handle to a node in a [`Case`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeId(usize);
+
+/// How a node's supporting children combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Combination {
+    /// The claim holds only if **every** child holds (conjunctive
+    /// decomposition): doubts accumulate.
+    AllOf,
+    /// The claim holds if **any** child's argument is sound (independent
+    /// legs, the paper's Section 4.2): doubts multiply.
+    AnyOf,
+}
+
+/// The kind of an argument node, following GSN vocabulary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A claim to be supported (GSN goal).
+    Goal,
+    /// A reasoning step joining a goal to its support, with an explicit
+    /// combination rule.
+    Strategy(Combination),
+    /// Leaf evidence (GSN solution) carrying elicited confidence that the
+    /// evidence soundly establishes its parent.
+    Evidence {
+        /// `P(evidence is sound)`.
+        confidence: f64,
+    },
+    /// An assumption the argument rests on, carrying the confidence that
+    /// it is true. Assumptions attach to any non-leaf node and combine
+    /// conjunctively with its support.
+    Assumption {
+        /// `P(assumption holds)`.
+        confidence: f64,
+    },
+    /// Contextual information; ignored by propagation.
+    Context,
+}
+
+/// One node of the case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Short reference label, unique in the case (e.g. "G1").
+    pub name: String,
+    /// Free-text statement.
+    pub statement: String,
+    /// The node's kind and payload.
+    pub kind: NodeKind,
+}
+
+/// A dependability case: a directed acyclic argument graph.
+///
+/// See the crate-level example for typical construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Case {
+    title: String,
+    nodes: Vec<Node>,
+    /// children[i] = nodes supporting node i.
+    children: Vec<Vec<usize>>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Case {
+    /// Creates an empty case.
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Self {
+        Self { title: title.into(), nodes: Vec::new(), children: Vec::new(), by_name: HashMap::new() }
+    }
+
+    /// The case title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the case has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn add_node(&mut self, name: impl Into<String>, statement: impl Into<String>, kind: NodeKind) -> Result<NodeId> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(CaseError::DuplicateName(name));
+        }
+        let idx = self.nodes.len();
+        self.by_name.insert(name.clone(), idx);
+        self.nodes.push(Node { name, statement: statement.into(), kind });
+        self.children.push(Vec::new());
+        Ok(NodeId(idx))
+    }
+
+    /// Adds a goal (claim) node.
+    ///
+    /// # Errors
+    ///
+    /// [`CaseError::DuplicateName`] when the name is taken.
+    pub fn add_goal(&mut self, name: impl Into<String>, statement: impl Into<String>) -> Result<NodeId> {
+        self.add_node(name, statement, NodeKind::Goal)
+    }
+
+    /// Adds a strategy node with its combination rule.
+    ///
+    /// # Errors
+    ///
+    /// [`CaseError::DuplicateName`] when the name is taken.
+    pub fn add_strategy(
+        &mut self,
+        name: impl Into<String>,
+        statement: impl Into<String>,
+        combination: Combination,
+    ) -> Result<NodeId> {
+        self.add_node(name, statement, NodeKind::Strategy(combination))
+    }
+
+    /// Adds a leaf evidence node carrying elicited confidence.
+    ///
+    /// # Errors
+    ///
+    /// [`CaseError::InvalidConfidence`] outside `[0, 1]`,
+    /// [`CaseError::DuplicateName`] when the name is taken.
+    pub fn add_evidence(
+        &mut self,
+        name: impl Into<String>,
+        statement: impl Into<String>,
+        confidence: f64,
+    ) -> Result<NodeId> {
+        check_confidence(confidence)?;
+        self.add_node(name, statement, NodeKind::Evidence { confidence })
+    }
+
+    /// Adds an assumption node carrying the confidence it holds.
+    ///
+    /// # Errors
+    ///
+    /// [`CaseError::InvalidConfidence`] outside `[0, 1]`,
+    /// [`CaseError::DuplicateName`] when the name is taken.
+    pub fn add_assumption(
+        &mut self,
+        name: impl Into<String>,
+        statement: impl Into<String>,
+        confidence: f64,
+    ) -> Result<NodeId> {
+        check_confidence(confidence)?;
+        self.add_node(name, statement, NodeKind::Assumption { confidence })
+    }
+
+    /// Adds a context node (ignored by propagation).
+    ///
+    /// # Errors
+    ///
+    /// [`CaseError::DuplicateName`] when the name is taken.
+    pub fn add_context(&mut self, name: impl Into<String>, statement: impl Into<String>) -> Result<NodeId> {
+        self.add_node(name, statement, NodeKind::Context)
+    }
+
+    /// Declares that `child` supports `parent`.
+    ///
+    /// # Errors
+    ///
+    /// [`CaseError::InvalidEdge`] for self-support, support *by* a goal
+    /// of a leaf, support attached to leaves, or an edge that would close
+    /// a cycle; [`CaseError::UnknownNode`] for dangling handles.
+    pub fn support(&mut self, parent: NodeId, child: NodeId) -> Result<()> {
+        let p = self.index(parent)?;
+        let c = self.index(child)?;
+        if p == c {
+            return Err(CaseError::InvalidEdge { reason: "a node cannot support itself".into() });
+        }
+        match self.nodes[p].kind {
+            NodeKind::Evidence { .. } | NodeKind::Context => {
+                return Err(CaseError::InvalidEdge {
+                    reason: format!("leaf node {} cannot be supported", self.nodes[p].name),
+                });
+            }
+            _ => {}
+        }
+        if matches!(self.nodes[c].kind, NodeKind::Context) {
+            return Err(CaseError::InvalidEdge {
+                reason: "context nodes do not support claims; attach them as context".into(),
+            });
+        }
+        if self.reaches(c, p) {
+            return Err(CaseError::InvalidEdge {
+                reason: format!(
+                    "edge {} → {} would create a cycle",
+                    self.nodes[p].name, self.nodes[c].name
+                ),
+            });
+        }
+        if self.children[p].contains(&c) {
+            return Ok(()); // idempotent
+        }
+        self.children[p].push(c);
+        Ok(())
+    }
+
+    /// Updates the elicited confidence of an evidence or assumption
+    /// leaf — the hook used by what-if and importance analyses.
+    ///
+    /// # Errors
+    ///
+    /// [`CaseError::InvalidConfidence`] outside `[0, 1]`,
+    /// [`CaseError::UnknownNode`] for a foreign handle, and
+    /// [`CaseError::InvalidStructure`] when the node is not a leaf that
+    /// carries confidence.
+    pub fn set_leaf_confidence(&mut self, id: NodeId, confidence: f64) -> Result<()> {
+        check_confidence(confidence)?;
+        let i = self.index(id)?;
+        match &mut self.nodes[i].kind {
+            NodeKind::Evidence { confidence: c } | NodeKind::Assumption { confidence: c } => {
+                *c = confidence;
+                Ok(())
+            }
+            _ => Err(CaseError::InvalidStructure(format!(
+                "node {} does not carry elicited confidence",
+                self.nodes[i].name
+            ))),
+        }
+    }
+
+    /// Looks a node up by its reference label.
+    #[must_use]
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).map(|&i| NodeId(i))
+    }
+
+    /// The node payload behind a handle.
+    ///
+    /// # Errors
+    ///
+    /// [`CaseError::UnknownNode`] for a handle from another case.
+    pub fn node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes.get(id.0).ok_or_else(|| CaseError::UnknownNode(format!("#{}", id.0)))
+    }
+
+    /// The direct supporters of a node.
+    ///
+    /// # Errors
+    ///
+    /// [`CaseError::UnknownNode`] for a handle from another case.
+    pub fn supporters(&self, id: NodeId) -> Result<Vec<NodeId>> {
+        let i = self.index(id)?;
+        Ok(self.children[i].iter().map(|&c| NodeId(c)).collect())
+    }
+
+    /// All nodes, in insertion order, paired with their handles.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// The root goals: goal nodes no other node is supported by.
+    #[must_use]
+    pub fn roots(&self) -> Vec<NodeId> {
+        let mut supported = vec![false; self.nodes.len()];
+        for cs in &self.children {
+            for &c in cs {
+                supported[c] = true;
+            }
+        }
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| matches!(n.kind, NodeKind::Goal) && !supported[*i])
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// Structural validation: at least one root goal, and every non-leaf
+    /// node on a path from a root is developed (has supporters).
+    ///
+    /// # Errors
+    ///
+    /// [`CaseError::InvalidStructure`] describing the first violation.
+    pub fn validate(&self) -> Result<()> {
+        let roots = self.roots();
+        if roots.is_empty() {
+            return Err(CaseError::InvalidStructure("no root goal".into()));
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            match n.kind {
+                NodeKind::Goal | NodeKind::Strategy(_) if self.children[i].is_empty() => {
+                    return Err(CaseError::InvalidStructure(format!(
+                        "node {} is undeveloped (no support)",
+                        n.name
+                    )));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the case: validates, then propagates confidence.
+    ///
+    /// # Errors
+    ///
+    /// Structural errors from [`Case::validate`].
+    pub fn propagate(&self) -> Result<crate::propagation::ConfidenceReport> {
+        crate::propagation::propagate(self)
+    }
+
+    pub(crate) fn index(&self, id: NodeId) -> Result<usize> {
+        if id.0 < self.nodes.len() {
+            Ok(id.0)
+        } else {
+            Err(CaseError::UnknownNode(format!("#{}", id.0)))
+        }
+    }
+
+    pub(crate) fn children_of(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    pub(crate) fn node_at(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
+    /// Is `to` reachable from `from` along support edges?
+    fn reaches(&self, from: usize, to: usize) -> bool {
+        let mut stack = vec![from];
+        let mut seen = vec![false; self.nodes.len()];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            stack.extend(self.children[n].iter().copied());
+        }
+        false
+    }
+}
+
+impl fmt::Display for Case {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "case: {} ({} nodes)", self.title, self.nodes.len())?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            let kids: Vec<&str> =
+                self.children[i].iter().map(|&c| self.nodes[c].name.as_str()).collect();
+            writeln!(f, "  {} [{:?}] ← {:?}", n.name, n.kind, kids)?;
+        }
+        Ok(())
+    }
+}
+
+fn check_confidence(c: f64) -> Result<()> {
+    if !(0.0..=1.0).contains(&c) {
+        return Err(CaseError::InvalidConfidence(format!("{c} outside [0, 1]")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_case() -> (Case, NodeId, NodeId, NodeId) {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G1", "top claim").unwrap();
+        let e1 = case.add_evidence("E1", "testing", 0.9).unwrap();
+        let e2 = case.add_evidence("E2", "analysis", 0.8).unwrap();
+        case.support(g, e1).unwrap();
+        case.support(g, e2).unwrap();
+        (case, g, e1, e2)
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut case = Case::new("t");
+        case.add_goal("G1", "a").unwrap();
+        assert!(matches!(case.add_goal("G1", "b"), Err(CaseError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn confidence_validation() {
+        let mut case = Case::new("t");
+        assert!(case.add_evidence("E1", "x", 1.5).is_err());
+        assert!(case.add_evidence("E1", "x", -0.1).is_err());
+        assert!(case.add_assumption("A1", "x", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn self_support_rejected() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G1", "a").unwrap();
+        assert!(case.support(g, g).is_err());
+    }
+
+    #[test]
+    fn leaves_cannot_be_supported() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G1", "a").unwrap();
+        let e = case.add_evidence("E1", "x", 0.9).unwrap();
+        let c = case.add_context("C1", "env").unwrap();
+        assert!(case.support(e, g).is_err());
+        assert!(case.support(c, g).is_err());
+    }
+
+    #[test]
+    fn context_cannot_support() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G1", "a").unwrap();
+        let c = case.add_context("C1", "env").unwrap();
+        assert!(case.support(g, c).is_err());
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut case = Case::new("t");
+        let g1 = case.add_goal("G1", "a").unwrap();
+        let g2 = case.add_goal("G2", "b").unwrap();
+        let g3 = case.add_goal("G3", "c").unwrap();
+        case.support(g1, g2).unwrap();
+        case.support(g2, g3).unwrap();
+        let err = case.support(g3, g1);
+        assert!(matches!(err, Err(CaseError::InvalidEdge { .. })));
+    }
+
+    #[test]
+    fn support_is_idempotent() {
+        let (mut case, g, e1, _) = small_case();
+        case.support(g, e1).unwrap();
+        assert_eq!(case.supporters(g).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn roots_are_unsupported_goals() {
+        let (case, g, ..) = small_case();
+        assert_eq!(case.roots(), vec![g]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (case, g, ..) = small_case();
+        assert_eq!(case.node_by_name("G1"), Some(g));
+        assert_eq!(case.node_by_name("ZZ"), None);
+        assert_eq!(case.node(g).unwrap().statement, "top claim");
+    }
+
+    #[test]
+    fn validate_catches_undeveloped() {
+        let mut case = Case::new("t");
+        case.add_goal("G1", "a").unwrap();
+        assert!(matches!(case.validate(), Err(CaseError::InvalidStructure(_))));
+        let (good, ..) = small_case();
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_requires_root_goal() {
+        let mut case = Case::new("t");
+        case.add_evidence("E1", "x", 0.9).unwrap();
+        assert!(matches!(case.validate(), Err(CaseError::InvalidStructure(_))));
+    }
+
+    #[test]
+    fn foreign_handles_rejected() {
+        let (case, ..) = small_case();
+        let other = Case::new("o");
+        let bad = NodeId(42);
+        assert!(case.node(bad).is_err());
+        assert!(other.node(bad).is_err());
+    }
+
+    #[test]
+    fn iter_and_display() {
+        let (case, ..) = small_case();
+        assert_eq!(case.iter().count(), 3);
+        assert_eq!(case.len(), 3);
+        assert!(!case.is_empty());
+        let s = case.to_string();
+        assert!(s.contains("G1") && s.contains("E2"), "{s}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (case, ..) = small_case();
+        let json = serde_json::to_string(&case).unwrap();
+        let back: Case = serde_json::from_str(&json).unwrap();
+        assert_eq!(case, back);
+    }
+}

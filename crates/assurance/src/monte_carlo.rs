@@ -1,0 +1,232 @@
+//! Monte-Carlo cross-check of the analytic propagation.
+//!
+//! Samples each leaf's soundness as an independent Bernoulli with its
+//! elicited confidence, evaluates the case's Boolean structure, and
+//! estimates the root confidence with a normal-approximation confidence
+//! interval. The analytic independence estimate must sit inside the
+//! interval — the test suite uses this as an end-to-end oracle, and
+//! users can call it to sanity-check hand-edited cases.
+
+use crate::error::{CaseError, Result};
+use crate::graph::{Case, Combination, NodeId, NodeKind};
+use rand::Rng;
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// Monte-Carlo estimate of the probability each goal/strategy holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloReport {
+    estimates: HashMap<NodeId, f64>,
+    samples: u32,
+}
+
+impl MonteCarloReport {
+    /// Estimated probability the node's claim holds.
+    #[must_use]
+    pub fn estimate(&self, id: NodeId) -> Option<f64> {
+        self.estimates.get(&id).copied()
+    }
+
+    /// Half-width of the ~95 % normal-approximation confidence interval
+    /// around [`MonteCarloReport::estimate`].
+    #[must_use]
+    pub fn half_width(&self, id: NodeId) -> Option<f64> {
+        let p = self.estimate(id)?;
+        Some(1.96 * (p * (1.0 - p) / f64::from(self.samples)).sqrt())
+    }
+
+    /// Number of structure samples drawn.
+    #[must_use]
+    pub fn samples(&self) -> u32 {
+        self.samples
+    }
+}
+
+/// Evaluates whether node `idx` holds for one sampled leaf outcome.
+fn holds(case: &Case, idx: usize, leaf_ok: &HashMap<usize, bool>) -> bool {
+    let node = case.node_at(idx);
+    match node.kind {
+        NodeKind::Evidence { .. } | NodeKind::Assumption { .. } => leaf_ok[&idx],
+        NodeKind::Context => true,
+        NodeKind::Goal | NodeKind::Strategy(_) => {
+            let rule = match node.kind {
+                NodeKind::Strategy(c) => c,
+                _ => Combination::AllOf,
+            };
+            let mut support_any = false;
+            let mut support_all = true;
+            let mut has_support = false;
+            let mut assumptions_ok = true;
+            for &c in case.children_of(idx) {
+                let child = case.node_at(c);
+                let ok = holds(case, c, leaf_ok);
+                if matches!(child.kind, NodeKind::Assumption { .. }) {
+                    assumptions_ok &= ok;
+                } else {
+                    has_support = true;
+                    support_any |= ok;
+                    support_all &= ok;
+                }
+            }
+            let support_ok = if !has_support {
+                true
+            } else {
+                match rule {
+                    Combination::AllOf => support_all,
+                    Combination::AnyOf => support_any,
+                }
+            };
+            support_ok && assumptions_ok
+        }
+    }
+}
+
+/// Runs `samples` independent structure evaluations.
+///
+/// # Errors
+///
+/// Structural errors from [`Case::validate`], or
+/// [`CaseError::InvalidStructure`] for `samples == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_assurance::{monte_carlo::simulate, Case};
+/// use rand::SeedableRng;
+///
+/// let mut case = Case::new("t");
+/// let g = case.add_goal("G", "claim")?;
+/// let e = case.add_evidence("E", "test", 0.9)?;
+/// case.support(g, e)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mc = simulate(&case, 20_000, &mut rng)?;
+/// let analytic = case.propagate()?.confidence(g).unwrap().independent;
+/// assert!((mc.estimate(g).unwrap() - analytic).abs() < mc.half_width(g).unwrap());
+/// # Ok::<(), depcase_assurance::CaseError>(())
+/// ```
+pub fn simulate(case: &Case, samples: u32, rng: &mut dyn RngCore) -> Result<MonteCarloReport> {
+    case.validate()?;
+    if samples == 0 {
+        return Err(CaseError::InvalidStructure("need at least one sample".into()));
+    }
+    // Collect leaves and targets.
+    let mut leaves: Vec<(usize, f64)> = Vec::new();
+    let mut targets: Vec<(NodeId, usize)> = Vec::new();
+    for (id, node) in case.iter() {
+        let idx = case.index(id)?;
+        match node.kind {
+            NodeKind::Evidence { confidence } | NodeKind::Assumption { confidence } => {
+                leaves.push((idx, confidence));
+            }
+            NodeKind::Goal | NodeKind::Strategy(_) => targets.push((id, idx)),
+            NodeKind::Context => {}
+        }
+    }
+    let mut hits: HashMap<NodeId, u64> = targets.iter().map(|&(id, _)| (id, 0)).collect();
+    let mut leaf_ok: HashMap<usize, bool> = HashMap::with_capacity(leaves.len());
+    for _ in 0..samples {
+        for &(idx, conf) in &leaves {
+            leaf_ok.insert(idx, rng.gen::<f64>() < conf);
+        }
+        for &(id, idx) in &targets {
+            if holds(case, idx, &leaf_ok) {
+                *hits.get_mut(&id).expect("preinserted") += 1;
+            }
+        }
+    }
+    let estimates = hits
+        .into_iter()
+        .map(|(id, h)| (id, h as f64 / f64::from(samples)))
+        .collect();
+    Ok(MonteCarloReport { estimates, samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn agrees_with_analytic_conjunction() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G", "top").unwrap();
+        let e1 = case.add_evidence("E1", "a", 0.9).unwrap();
+        let e2 = case.add_evidence("E2", "b", 0.8).unwrap();
+        case.support(g, e1).unwrap();
+        case.support(g, e2).unwrap();
+        let mc = simulate(&case, 50_000, &mut rng(2)).unwrap();
+        let analytic = case.propagate().unwrap().confidence(g).unwrap().independent;
+        let est = mc.estimate(g).unwrap();
+        assert!(
+            (est - analytic).abs() < mc.half_width(g).unwrap() * 1.5,
+            "mc = {est}, analytic = {analytic}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_analytic_two_legs_and_assumption() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G", "top").unwrap();
+        let s = case.add_strategy("S", "legs", Combination::AnyOf).unwrap();
+        let e1 = case.add_evidence("E1", "a", 0.9).unwrap();
+        let e2 = case.add_evidence("E2", "b", 0.7).unwrap();
+        let a = case.add_assumption("A", "env", 0.95).unwrap();
+        case.support(g, s).unwrap();
+        case.support(s, e1).unwrap();
+        case.support(s, e2).unwrap();
+        case.support(g, a).unwrap();
+        let mc = simulate(&case, 80_000, &mut rng(3)).unwrap();
+        let analytic = case.propagate().unwrap().confidence(g).unwrap().independent;
+        let est = mc.estimate(g).unwrap();
+        assert!(
+            (est - analytic).abs() < mc.half_width(g).unwrap() * 1.5,
+            "mc = {est}, analytic = {analytic}"
+        );
+    }
+
+    #[test]
+    fn strategies_are_estimated_too() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G", "top").unwrap();
+        let s = case.add_strategy("S", "conj", Combination::AllOf).unwrap();
+        let e = case.add_evidence("E", "a", 0.6).unwrap();
+        case.support(g, s).unwrap();
+        case.support(s, e).unwrap();
+        let mc = simulate(&case, 30_000, &mut rng(4)).unwrap();
+        assert!(mc.estimate(s).is_some());
+        assert!((mc.estimate(s).unwrap() - 0.6).abs() < 0.01);
+        assert_eq!(mc.samples(), 30_000);
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G", "top").unwrap();
+        let e = case.add_evidence("E", "a", 0.5).unwrap();
+        case.support(g, e).unwrap();
+        assert!(simulate(&case, 0, &mut rng(5)).is_err());
+    }
+
+    #[test]
+    fn invalid_case_rejected() {
+        let mut case = Case::new("t");
+        case.add_goal("G", "undeveloped").unwrap();
+        assert!(simulate(&case, 100, &mut rng(6)).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G", "top").unwrap();
+        let e = case.add_evidence("E", "a", 0.42).unwrap();
+        case.support(g, e).unwrap();
+        let a = simulate(&case, 5000, &mut rng(7)).unwrap();
+        let b = simulate(&case, 5000, &mut rng(7)).unwrap();
+        assert_eq!(a.estimate(g), b.estimate(g));
+    }
+}

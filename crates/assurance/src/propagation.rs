@@ -1,0 +1,381 @@
+//! Confidence propagation through the argument graph.
+//!
+//! Each node ends up with a [`NodeConfidence`]: the point estimate under
+//! independence plus the Fréchet–Hoeffding dependence interval. The
+//! interval is the paper's warning made visible — "conservative values at
+//! one stage of the analysis do not necessarily propagate through to
+//! other stages", and unknown dependence between evidence items can
+//! swallow most of the apparent confidence.
+//!
+//! Semantics (doubt `x = 1 − confidence`):
+//!
+//! - **AllOf** (conjunction): the claim fails if *any* support fails.
+//!   Independent: `x = 1 − Π(1−xᵢ)`; bounds `max(xᵢ) ≤ x ≤ min(1, Σxᵢ)`.
+//! - **AnyOf** (legs): the claim fails only if *all* legs fail.
+//!   Independent: `x = Π xᵢ`; bounds `max(0, Σxᵢ − (k−1)) ≤ x ≤ min(xᵢ)`.
+//! - A goal combines its supports **AllOf** unless it is supported by a
+//!   single strategy, whose rule then applies to the strategy's children.
+//! - Assumptions attached to a node combine conjunctively with its
+//!   support result.
+
+use crate::error::Result;
+use crate::graph::{Case, Combination, NodeId, NodeKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Confidence attributed to one node: a point estimate under independence
+/// and the dependence interval around it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeConfidence {
+    /// Confidence assuming all doubt sources are independent.
+    pub independent: f64,
+    /// Confidence under the least favourable dependence.
+    pub worst_case: f64,
+    /// Confidence under the most favourable dependence.
+    pub best_case: f64,
+}
+
+impl NodeConfidence {
+    fn certain() -> Self {
+        Self { independent: 1.0, worst_case: 1.0, best_case: 1.0 }
+    }
+
+    fn from_point(confidence: f64) -> Self {
+        Self { independent: confidence, worst_case: confidence, best_case: confidence }
+    }
+
+    /// The doubt view (`1 − confidence`) of the independent estimate.
+    #[must_use]
+    pub fn independent_doubt(&self) -> f64 {
+        1.0 - self.independent
+    }
+
+    /// Width of the dependence interval — how much unknown dependence
+    /// between doubt sources matters for this node.
+    #[must_use]
+    pub fn dependence_spread(&self) -> f64 {
+        self.best_case - self.worst_case
+    }
+}
+
+/// The result of propagating a case: per-node confidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfidenceReport {
+    by_node: HashMap<NodeId, NodeConfidence>,
+    roots: Vec<NodeId>,
+}
+
+impl ConfidenceReport {
+    /// The confidence attributed to a node, if it participates in the
+    /// argument (context nodes do not).
+    #[must_use]
+    pub fn confidence(&self, id: NodeId) -> Option<NodeConfidence> {
+        self.by_node.get(&id).copied()
+    }
+
+    /// The root goals of the case, paired with their confidence.
+    #[must_use]
+    pub fn root_confidences(&self) -> Vec<(NodeId, NodeConfidence)> {
+        self.roots.iter().map(|&r| (r, self.by_node[&r])).collect()
+    }
+
+    /// The single top-level confidence when the case has exactly one
+    /// root.
+    #[must_use]
+    pub fn top(&self) -> Option<NodeConfidence> {
+        if self.roots.len() == 1 {
+            self.confidence(self.roots[0])
+        } else {
+            None
+        }
+    }
+}
+
+/// Combines children doubts under a rule, returning (independent,
+/// worst-case, best-case) *doubt*.
+fn combine_doubts(rule: Combination, doubts: &[f64]) -> (f64, f64, f64) {
+    match rule {
+        Combination::AllOf => {
+            let ind = 1.0 - doubts.iter().map(|x| 1.0 - x).product::<f64>();
+            let worst = doubts.iter().sum::<f64>().min(1.0);
+            let best = doubts.iter().copied().fold(0.0, f64::max);
+            (ind, worst, best)
+        }
+        Combination::AnyOf => {
+            let k = doubts.len() as f64;
+            let ind = doubts.iter().product::<f64>();
+            let worst = doubts.iter().copied().fold(f64::INFINITY, f64::min);
+            let best = (doubts.iter().sum::<f64>() - (k - 1.0)).max(0.0);
+            (ind, worst, best)
+        }
+    }
+}
+
+/// Propagates confidence through a validated case.
+///
+/// # Errors
+///
+/// Structural errors from [`Case::validate`].
+pub fn propagate(case: &Case) -> Result<ConfidenceReport> {
+    case.validate()?;
+    let mut memo: HashMap<usize, NodeConfidence> = HashMap::new();
+    let roots = case.roots();
+    let mut by_node = HashMap::new();
+    for (id, node) in case.iter() {
+        if matches!(node.kind, NodeKind::Context) {
+            continue;
+        }
+        let idx = case.index(id)?;
+        let c = eval(case, idx, &mut memo);
+        by_node.insert(id, c);
+    }
+    Ok(ConfidenceReport { by_node, roots })
+}
+
+fn eval(case: &Case, idx: usize, memo: &mut HashMap<usize, NodeConfidence>) -> NodeConfidence {
+    if let Some(&c) = memo.get(&idx) {
+        return c;
+    }
+    let node = case.node_at(idx);
+    let result = match &node.kind {
+        NodeKind::Evidence { confidence } | NodeKind::Assumption { confidence } => {
+            NodeConfidence::from_point(*confidence)
+        }
+        NodeKind::Context => NodeConfidence::certain(),
+        NodeKind::Goal | NodeKind::Strategy(_) => {
+            let rule = match node.kind {
+                NodeKind::Strategy(c) => c,
+                _ => Combination::AllOf,
+            };
+            // Partition supporters: assumptions always conjoin; the rest
+            // combine under the node's rule.
+            let mut support_doubts = Vec::new();
+            let mut assumption_doubts = Vec::new();
+            for &c in case.children_of(idx) {
+                let child = case.node_at(c);
+                let conf = eval(case, c, memo);
+                if matches!(child.kind, NodeKind::Assumption { .. }) {
+                    assumption_doubts.push(conf);
+                } else {
+                    support_doubts.push(conf);
+                }
+            }
+            let (mut ind, mut worst, mut best) = if support_doubts.is_empty() {
+                // Only assumptions below (validate() prevents fully
+                // undeveloped nodes reaching here via roots, but a
+                // strategy may legitimately rest on assumptions alone).
+                (0.0, 0.0, 0.0)
+            } else {
+                let ind_doubts: Vec<f64> =
+                    support_doubts.iter().map(|c| 1.0 - c.independent).collect();
+                let worst_doubts: Vec<f64> =
+                    support_doubts.iter().map(|c| 1.0 - c.worst_case).collect();
+                let best_doubts: Vec<f64> =
+                    support_doubts.iter().map(|c| 1.0 - c.best_case).collect();
+                let (i, _, _) = combine_doubts(rule, &ind_doubts);
+                let (_, w, _) = combine_doubts(rule, &worst_doubts);
+                let (_, _, b) = combine_doubts(rule, &best_doubts);
+                (i, w, b)
+            };
+            // Conjoin assumptions.
+            if !assumption_doubts.is_empty() {
+                let mut ind_d: Vec<f64> = vec![ind];
+                let mut worst_d: Vec<f64> = vec![worst];
+                let mut best_d: Vec<f64> = vec![best];
+                for a in &assumption_doubts {
+                    ind_d.push(1.0 - a.independent);
+                    worst_d.push(1.0 - a.worst_case);
+                    best_d.push(1.0 - a.best_case);
+                }
+                let (i, _, _) = combine_doubts(Combination::AllOf, &ind_d);
+                let (_, w, _) = combine_doubts(Combination::AllOf, &worst_d);
+                let (_, _, b) = combine_doubts(Combination::AllOf, &best_d);
+                ind = i;
+                worst = w;
+                best = b;
+            }
+            NodeConfidence {
+                independent: 1.0 - ind,
+                worst_case: 1.0 - worst,
+                best_case: 1.0 - best,
+            }
+        }
+    };
+    memo.insert(idx, result);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Case;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn single_evidence_passes_through() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G1", "claim").unwrap();
+        let e = case.add_evidence("E1", "test", 0.9).unwrap();
+        case.support(g, e).unwrap();
+        let r = case.propagate().unwrap();
+        let c = r.confidence(g).unwrap();
+        assert!(approx(c.independent, 0.9));
+        assert!(approx(c.worst_case, 0.9));
+        assert!(approx(c.best_case, 0.9));
+    }
+
+    #[test]
+    fn conjunction_accumulates_doubt() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G1", "claim").unwrap();
+        let e1 = case.add_evidence("E1", "a", 0.9).unwrap();
+        let e2 = case.add_evidence("E2", "b", 0.8).unwrap();
+        case.support(g, e1).unwrap();
+        case.support(g, e2).unwrap();
+        let c = case.propagate().unwrap().confidence(g).unwrap();
+        assert!(approx(c.independent, 0.72)); // 0.9 · 0.8
+        assert!(approx(c.worst_case, 0.7)); // 1 − min(1, 0.1+0.2)
+        assert!(approx(c.best_case, 0.8)); // 1 − max(0.1, 0.2)
+        assert!(c.worst_case <= c.independent && c.independent <= c.best_case);
+    }
+
+    #[test]
+    fn legs_multiply_doubt() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G1", "claim").unwrap();
+        let s = case.add_strategy("S1", "legs", Combination::AnyOf).unwrap();
+        let e1 = case.add_evidence("E1", "a", 0.95).unwrap();
+        let e2 = case.add_evidence("E2", "b", 0.9).unwrap();
+        case.support(g, s).unwrap();
+        case.support(s, e1).unwrap();
+        case.support(s, e2).unwrap();
+        let c = case.propagate().unwrap().confidence(g).unwrap();
+        assert!(approx(c.independent, 1.0 - 0.05 * 0.1));
+        assert!(approx(c.worst_case, 0.95)); // stronger leg only
+        assert!(approx(c.best_case, 1.0)); // doubts can be disjoint
+    }
+
+    #[test]
+    fn assumption_is_a_conjunctive_floor() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G1", "claim").unwrap();
+        let s = case.add_strategy("S1", "legs", Combination::AnyOf).unwrap();
+        let e1 = case.add_evidence("E1", "a", 0.99).unwrap();
+        let e2 = case.add_evidence("E2", "b", 0.99).unwrap();
+        let a = case.add_assumption("A1", "shared requirements doc", 0.97).unwrap();
+        case.support(g, s).unwrap();
+        case.support(s, e1).unwrap();
+        case.support(s, e2).unwrap();
+        case.support(g, a).unwrap();
+        let c = case.propagate().unwrap().confidence(g).unwrap();
+        // The legs give 1 − 1e-4; the assumption caps everything at ~0.97.
+        assert!(c.independent < 0.97 + 1e-9);
+        assert!(c.best_case <= 0.97 + 1e-12);
+    }
+
+    #[test]
+    fn deep_chain_composes() {
+        let mut case = Case::new("t");
+        let g1 = case.add_goal("G1", "top").unwrap();
+        let g2 = case.add_goal("G2", "sub").unwrap();
+        let e = case.add_evidence("E1", "x", 0.9).unwrap();
+        case.support(g1, g2).unwrap();
+        case.support(g2, e).unwrap();
+        let r = case.propagate().unwrap();
+        assert!(approx(r.confidence(g1).unwrap().independent, 0.9));
+        assert!(approx(r.confidence(g2).unwrap().independent, 0.9));
+    }
+
+    #[test]
+    fn diamond_shared_evidence_is_memoized_not_double_counted_per_path() {
+        // E supports both G2 and G3, which conjoin under G1. With the
+        // current (dependence-naive) independent estimate the shared
+        // doubt is counted twice — exactly the subtlety the interval
+        // captures: the true confidence (0.9) lies inside [worst, best].
+        let mut case = Case::new("t");
+        let g1 = case.add_goal("G1", "top").unwrap();
+        let g2 = case.add_goal("G2", "a").unwrap();
+        let g3 = case.add_goal("G3", "b").unwrap();
+        let e = case.add_evidence("E1", "shared", 0.9).unwrap();
+        case.support(g1, g2).unwrap();
+        case.support(g1, g3).unwrap();
+        case.support(g2, e).unwrap();
+        case.support(g3, e).unwrap();
+        let c = case.propagate().unwrap().confidence(g1).unwrap();
+        assert!(approx(c.independent, 0.81));
+        assert!(c.worst_case <= 0.9 && 0.9 <= c.best_case);
+    }
+
+    #[test]
+    fn report_roots_and_top() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G1", "claim").unwrap();
+        let e = case.add_evidence("E1", "x", 0.75).unwrap();
+        case.support(g, e).unwrap();
+        let r = case.propagate().unwrap();
+        assert_eq!(r.root_confidences().len(), 1);
+        assert!(approx(r.top().unwrap().independent, 0.75));
+    }
+
+    #[test]
+    fn two_roots_top_is_none() {
+        let mut case = Case::new("t");
+        let g1 = case.add_goal("G1", "a").unwrap();
+        let g2 = case.add_goal("G2", "b").unwrap();
+        let e1 = case.add_evidence("E1", "x", 0.9).unwrap();
+        let e2 = case.add_evidence("E2", "y", 0.9).unwrap();
+        case.support(g1, e1).unwrap();
+        case.support(g2, e2).unwrap();
+        let r = case.propagate().unwrap();
+        assert!(r.top().is_none());
+        assert_eq!(r.root_confidences().len(), 2);
+    }
+
+    #[test]
+    fn context_nodes_do_not_participate() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G1", "claim").unwrap();
+        let e = case.add_evidence("E1", "x", 0.9).unwrap();
+        let c = case.add_context("C1", "environment").unwrap();
+        case.support(g, e).unwrap();
+        let r = case.propagate().unwrap();
+        assert!(r.confidence(c).is_none());
+        assert!(r.confidence(g).is_some());
+    }
+
+    #[test]
+    fn invalid_structure_propagation_fails() {
+        let mut case = Case::new("t");
+        case.add_goal("G1", "undeveloped").unwrap();
+        assert!(case.propagate().is_err());
+    }
+
+    #[test]
+    fn interval_orders_hold_on_random_shapes() {
+        // A small structural sweep: for several hand-built shapes the
+        // interval must bracket the independent estimate.
+        let mut case = Case::new("t");
+        let g = case.add_goal("G", "top").unwrap();
+        let s1 = case.add_strategy("S1", "legs", Combination::AnyOf).unwrap();
+        let s2 = case.add_strategy("S2", "conj", Combination::AllOf).unwrap();
+        let e1 = case.add_evidence("E1", "", 0.7).unwrap();
+        let e2 = case.add_evidence("E2", "", 0.85).unwrap();
+        let e3 = case.add_evidence("E3", "", 0.6).unwrap();
+        let e4 = case.add_evidence("E4", "", 0.99).unwrap();
+        case.support(g, s1).unwrap();
+        case.support(g, s2).unwrap();
+        case.support(s1, e1).unwrap();
+        case.support(s1, e2).unwrap();
+        case.support(s2, e3).unwrap();
+        case.support(s2, e4).unwrap();
+        let r = case.propagate().unwrap();
+        for (_, c) in r.root_confidences() {
+            assert!(c.worst_case <= c.independent + 1e-12);
+            assert!(c.independent <= c.best_case + 1e-12);
+            assert!(c.dependence_spread() >= 0.0);
+        }
+    }
+}

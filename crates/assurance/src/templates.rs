@@ -1,0 +1,175 @@
+//! Prebuilt case patterns.
+//!
+//! The safety-case literature the paper builds on (Bishop & Bloomfield's
+//! methodology, ref \[7\]) works from recurring argument patterns. These
+//! constructors build the quantified skeletons so examples, tests and
+//! downstream tools don't re-assemble them node by node.
+
+use crate::error::Result;
+use crate::graph::{Case, Combination, NodeId};
+
+/// A single-leg case: one goal supported by one evidence item, with an
+/// optional environmental assumption.
+///
+/// Returns the case and the goal handle.
+///
+/// # Errors
+///
+/// Propagates node-construction failures (invalid confidences).
+///
+/// # Examples
+///
+/// ```
+/// use depcase_assurance::templates::single_leg;
+///
+/// let (case, goal) = single_leg("pfd < 1e-2", "statistical testing", 0.95, None)?;
+/// let top = case.propagate()?.confidence(goal).unwrap();
+/// assert!((top.independent - 0.95).abs() < 1e-12);
+/// # Ok::<(), depcase_assurance::CaseError>(())
+/// ```
+pub fn single_leg(
+    claim: &str,
+    evidence: &str,
+    confidence: f64,
+    assumption: Option<(&str, f64)>,
+) -> Result<(Case, NodeId)> {
+    let mut case = Case::new(format!("single-leg: {claim}"));
+    let g = case.add_goal("G1", claim)?;
+    let e = case.add_evidence("E1", evidence, confidence)?;
+    case.support(g, e)?;
+    if let Some((text, conf)) = assumption {
+        let a = case.add_assumption("A1", text, conf)?;
+        case.support(g, a)?;
+    }
+    Ok((case, g))
+}
+
+/// The paper's Section 4.2 pattern: a claim supported by independent
+/// argument legs ("argument fault-tolerance"), with an optional shared
+/// assumption attached to the goal (the dependence the second leg cannot
+/// remove).
+///
+/// # Errors
+///
+/// Propagates node-construction failures; needs at least one leg.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_assurance::templates::multi_leg;
+///
+/// let (case, goal) = multi_leg(
+///     "pfd < 1e-2",
+///     &[("statistical testing", 0.95), ("static analysis", 0.90)],
+///     Some(("shared requirements spec", 0.98)),
+/// )?;
+/// let top = case.propagate()?.confidence(goal).unwrap();
+/// // legs: 1 − 0.05·0.10 = 0.995, conjoined with the assumption 0.98.
+/// assert!((top.independent - 0.995 * 0.98).abs() < 1e-12);
+/// # Ok::<(), depcase_assurance::CaseError>(())
+/// ```
+pub fn multi_leg(
+    claim: &str,
+    legs: &[(&str, f64)],
+    shared_assumption: Option<(&str, f64)>,
+) -> Result<(Case, NodeId)> {
+    let mut case = Case::new(format!("multi-leg: {claim}"));
+    let g = case.add_goal("G1", claim)?;
+    let s = case.add_strategy("S1", "independent argument legs", Combination::AnyOf)?;
+    case.support(g, s)?;
+    if legs.is_empty() {
+        return Err(crate::error::CaseError::InvalidStructure(
+            "a multi-leg case needs at least one leg".into(),
+        ));
+    }
+    for (i, (text, conf)) in legs.iter().enumerate() {
+        let e = case.add_evidence(format!("E{}", i + 1), *text, *conf)?;
+        case.support(s, e)?;
+    }
+    if let Some((text, conf)) = shared_assumption {
+        let a = case.add_assumption("A1", text, conf)?;
+        case.support(g, a)?;
+    }
+    Ok((case, g))
+}
+
+/// A SIL-claim case in the style the paper analyses: the top goal is a
+/// SIL claim supported conjunctively by sub-goals for each evidence
+/// strand (process compliance, testing, operating history), each with
+/// its own confidence.
+///
+/// # Errors
+///
+/// Propagates node-construction failures; needs at least one strand.
+pub fn sil_claim(
+    sil_statement: &str,
+    strands: &[(&str, f64)],
+) -> Result<(Case, NodeId)> {
+    if strands.is_empty() {
+        return Err(crate::error::CaseError::InvalidStructure(
+            "a SIL-claim case needs at least one evidence strand".into(),
+        ));
+    }
+    let mut case = Case::new(format!("sil-claim: {sil_statement}"));
+    let g = case.add_goal("G1", sil_statement)?;
+    let s = case.add_strategy("S1", "argument over all evidence strands", Combination::AllOf)?;
+    case.support(g, s)?;
+    for (i, (text, conf)) in strands.iter().enumerate() {
+        let sub = case.add_goal(format!("G1.{}", i + 1), format!("{text} adequate"))?;
+        let e = case.add_evidence(format!("E{}", i + 1), *text, *conf)?;
+        case.support(s, sub)?;
+        case.support(sub, e)?;
+    }
+    Ok((case, g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_leg_passthrough_and_assumption() {
+        let (case, g) = single_leg("c", "e", 0.9, None).unwrap();
+        assert!((case.propagate().unwrap().confidence(g).unwrap().independent - 0.9).abs() < 1e-12);
+        let (case, g) = single_leg("c", "e", 0.9, Some(("env", 0.5))).unwrap();
+        let top = case.propagate().unwrap().confidence(g).unwrap();
+        assert!((top.independent - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_leg_doubt_multiplies() {
+        let (case, g) = multi_leg("c", &[("a", 0.9), ("b", 0.8), ("c", 0.7)], None).unwrap();
+        let top = case.propagate().unwrap().confidence(g).unwrap();
+        assert!((top.independent - (1.0 - 0.1 * 0.2 * 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_leg_needs_legs() {
+        assert!(multi_leg("c", &[], None).is_err());
+    }
+
+    #[test]
+    fn sil_claim_conjoins_strands() {
+        let (case, g) = sil_claim(
+            "SIL2 (pfd < 1e-2)",
+            &[("process compliance", 0.9), ("statistical testing", 0.95)],
+        )
+        .unwrap();
+        let top = case.propagate().unwrap().confidence(g).unwrap();
+        assert!((top.independent - 0.9 * 0.95).abs() < 1e-12);
+        assert!(case.validate().is_ok());
+        assert_eq!(case.roots(), vec![g]);
+    }
+
+    #[test]
+    fn sil_claim_needs_strands() {
+        assert!(sil_claim("SIL2", &[]).is_err());
+    }
+
+    #[test]
+    fn templates_export_dot() {
+        let (case, _) = multi_leg("c", &[("a", 0.9)], Some(("s", 0.99))).unwrap();
+        let dot = case.to_dot(None);
+        assert!(dot.contains("E1") && dot.contains("A1"));
+    }
+}

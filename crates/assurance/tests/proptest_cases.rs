@@ -1,0 +1,102 @@
+//! Property tests over randomly generated argument structures.
+
+use depcase_assurance::{Case, Combination, NodeId};
+use proptest::prelude::*;
+
+/// Builds a random two-level case: a root goal over `n_strats`
+/// strategies, each over a few evidence leaves with random confidences,
+/// plus optional assumptions.
+fn build_case(
+    strat_rules: &[bool],
+    leaf_confs: &[f64],
+    assumption_conf: Option<f64>,
+) -> (Case, NodeId) {
+    let mut case = Case::new("random");
+    let g = case.add_goal("G", "top").unwrap();
+    let mut li = 0usize;
+    for (si, &any_of) in strat_rules.iter().enumerate() {
+        let rule = if any_of { Combination::AnyOf } else { Combination::AllOf };
+        let s = case.add_strategy(format!("S{si}"), "s", rule).unwrap();
+        case.support(g, s).unwrap();
+        // Two leaves per strategy, cycling through the conf list.
+        for k in 0..2 {
+            let conf = leaf_confs[(li + k) % leaf_confs.len()];
+            let e = case.add_evidence(format!("E{si}_{k}"), "e", conf).unwrap();
+            case.support(s, e).unwrap();
+        }
+        li += 2;
+    }
+    if let Some(ac) = assumption_conf {
+        let a = case.add_assumption("A", "assumption", ac).unwrap();
+        case.support(g, a).unwrap();
+    }
+    (case, g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For any structure: results are probabilities and the dependence
+    /// interval brackets the independent estimate.
+    #[test]
+    fn interval_brackets_point(
+        rules in proptest::collection::vec(any::<bool>(), 1..4),
+        confs in proptest::collection::vec(0.0f64..1.0, 2..8),
+        assumption in proptest::option::of(0.0f64..1.0),
+    ) {
+        let (case, g) = build_case(&rules, &confs, assumption);
+        let report = case.propagate().unwrap();
+        let c = report.confidence(g).unwrap();
+        for v in [c.independent, c.worst_case, c.best_case] {
+            prop_assert!((0.0..=1.0).contains(&v), "{c:?}");
+        }
+        prop_assert!(c.worst_case <= c.independent + 1e-12, "{c:?}");
+        prop_assert!(c.independent <= c.best_case + 1e-12, "{c:?}");
+    }
+
+    /// Raising any leaf's confidence never lowers the root's.
+    #[test]
+    fn propagation_is_monotone_in_leaves(
+        rules in proptest::collection::vec(any::<bool>(), 1..3),
+        confs in proptest::collection::vec(0.05f64..0.9, 2..6),
+        bump in 0.01f64..0.1,
+    ) {
+        let (case_lo, g_lo) = build_case(&rules, &confs, None);
+        let bumped: Vec<f64> = confs.iter().map(|c| (c + bump).min(1.0)).collect();
+        let (case_hi, g_hi) = build_case(&rules, &bumped, None);
+        let lo = case_lo.propagate().unwrap().confidence(g_lo).unwrap();
+        let hi = case_hi.propagate().unwrap().confidence(g_hi).unwrap();
+        prop_assert!(hi.independent >= lo.independent - 1e-12);
+        prop_assert!(hi.worst_case >= lo.worst_case - 1e-12);
+        prop_assert!(hi.best_case >= lo.best_case - 1e-12);
+    }
+
+    /// An assumption can only lower confidence.
+    #[test]
+    fn assumptions_never_help(
+        rules in proptest::collection::vec(any::<bool>(), 1..3),
+        confs in proptest::collection::vec(0.1f64..0.95, 2..6),
+        ac in 0.0f64..1.0,
+    ) {
+        let (plain, g1) = build_case(&rules, &confs, None);
+        let (with, g2) = build_case(&rules, &confs, Some(ac));
+        let p = plain.propagate().unwrap().confidence(g1).unwrap();
+        let w = with.propagate().unwrap().confidence(g2).unwrap();
+        prop_assert!(w.independent <= p.independent + 1e-12);
+        prop_assert!(w.best_case <= p.best_case + 1e-12);
+    }
+
+    /// Serialization round-trips preserve propagation results.
+    #[test]
+    fn serde_preserves_semantics(
+        rules in proptest::collection::vec(any::<bool>(), 1..3),
+        confs in proptest::collection::vec(0.0f64..1.0, 2..6),
+    ) {
+        let (case, g) = build_case(&rules, &confs, None);
+        let json = serde_json::to_string(&case).unwrap();
+        let back: Case = serde_json::from_str(&json).unwrap();
+        let a = case.propagate().unwrap().confidence(g).unwrap();
+        let b = back.propagate().unwrap().confidence(g).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,94 @@
+//! Ablations of the design choices called out in DESIGN.md §6: for each
+//! computation with two implementations, time both.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use depcase_distributions::{Beta, Distribution, LogNormal, SurvivalWeighted};
+use depcase_elicitation::pooling;
+use depcase_numerics::integrate::{adaptive_simpson, GaussLegendre};
+
+/// Band probability: closed-form (erf-based CDF difference) vs adaptive
+/// Simpson vs fixed Gauss–Legendre over the density.
+fn ablate_band_probability(c: &mut Criterion) {
+    let d = LogNormal::from_mode_mean(0.003, 0.01).expect("valid");
+    let mut g = c.benchmark_group("ablation_band_probability");
+    g.bench_function("closed_form_cdf", |b| {
+        b.iter(|| d.interval_prob(black_box(1e-3), black_box(1e-2)))
+    });
+    g.bench_function("adaptive_simpson", |b| {
+        b.iter(|| adaptive_simpson(|x| d.pdf(x), black_box(1e-3), black_box(1e-2), 1e-10))
+    });
+    let rule = GaussLegendre::new(32).expect("valid");
+    g.bench_function("gauss_legendre_32", |b| {
+        b.iter(|| rule.integrate(|x| d.pdf(x), black_box(1e-3), black_box(1e-2)))
+    });
+    g.finish();
+}
+
+/// Posterior after failure-free demands: conjugate Beta shortcut vs
+/// numeric survival weighting.
+fn ablate_posterior(c: &mut Criterion) {
+    let prior = Beta::new(1.0, 10.0).expect("valid");
+    let mut g = c.benchmark_group("ablation_posterior");
+    g.sample_size(20);
+    g.bench_function("conjugate_beta", |b| {
+        b.iter(|| {
+            let post = prior.update_failure_free(black_box(1000));
+            post.cdf(black_box(1e-3))
+        })
+    });
+    g.bench_function("numeric_survival_weighting", |b| {
+        b.iter(|| {
+            let post = SurvivalWeighted::new(prior, black_box(1000)).expect("valid");
+            post.cdf(black_box(1e-3))
+        })
+    });
+    g.finish();
+}
+
+/// Pooling rule: linear mixture vs closed-form log pool.
+fn ablate_pooling(c: &mut Criterion) {
+    let beliefs: Vec<LogNormal> = (0..9)
+        .map(|i| LogNormal::from_mode_sigma(1e-3 * (1.0 + i as f64), 0.8).expect("valid"))
+        .collect();
+    let mut g = c.benchmark_group("ablation_pooling");
+    g.bench_function("linear_pool_cdf", |b| {
+        b.iter(|| {
+            let m = pooling::linear_pool(&beliefs, None).expect("valid");
+            m.cdf(black_box(1e-2))
+        })
+    });
+    g.bench_function("log_pool_cdf", |b| {
+        b.iter(|| {
+            let m = pooling::log_pool_lognormals(&beliefs, None).expect("valid");
+            m.cdf(black_box(1e-2))
+        })
+    });
+    g.finish();
+}
+
+/// Leg combination: closed-form Fréchet/independence vs Gaussian-copula
+/// (bivariate-normal quadrature) vs the tolerable-correlation inverse.
+fn ablate_dependence(c: &mut Criterion) {
+    use depcase_core::copula;
+    use depcase_core::multileg::{combine_two_legs, Leg};
+    let a = Leg::with_confidence(0.95).expect("valid");
+    let b = Leg::with_confidence(0.90).expect("valid");
+    let mut g = c.benchmark_group("ablation_dependence");
+    g.bench_function("frechet_closed_form", |bch| bch.iter(|| combine_two_legs(a, b)));
+    g.bench_function("gaussian_copula", |bch| {
+        bch.iter(|| copula::combined_doubt_gaussian(a, b, black_box(0.5)))
+    });
+    g.bench_function("tolerable_correlation", |bch| {
+        bch.iter(|| copula::tolerable_correlation(a, b, black_box(0.02)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_band_probability,
+    ablate_posterior,
+    ablate_pooling,
+    ablate_dependence
+);
+criterion_main!(benches);

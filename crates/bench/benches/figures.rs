@@ -1,0 +1,35 @@
+//! One bench group per table/figure ID: the cost of regenerating each
+//! experiment end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use depcase_bench::experiments;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(20);
+    g.bench_function("T1_table1", |b| b.iter(experiments::table1));
+    g.bench_function("F1_fig1", |b| b.iter(experiments::fig1));
+    g.bench_function("F2_fig2", |b| b.iter(experiments::fig2));
+    g.bench_function("F3_fig3", |b| b.iter(experiments::fig3));
+    g.bench_function("F3_crossover", |b| b.iter(experiments::fig3_crossover));
+    g.bench_function("F4_fig4", |b| b.iter(experiments::fig4));
+    g.bench_function("E_examples34", |b| b.iter(experiments::examples34));
+    g.bench_function("S1_identity", |b| b.iter(experiments::identity));
+    g.bench_function("G1_gamma_sensitivity", |b| b.iter(experiments::gamma_sensitivity));
+    g.bench_function("C2_multileg", |b| b.iter(experiments::multileg));
+    g.bench_function("N1_standards", |b| b.iter(experiments::standards_impact));
+    g.finish();
+
+    // The heavy ones get their own group with fewer samples.
+    let mut h = c.benchmark_group("experiments_heavy");
+    h.sample_size(10);
+    h.bench_function("F5_fig5", |b| b.iter(|| experiments::fig5(42)));
+    h.bench_function("C1_tail_cutoff", |b| b.iter(experiments::tail_cutoff));
+    h.bench_function("C2p_multileg_copula", |b| b.iter(experiments::multileg_copula));
+    h.bench_function("C3_growth_sil", |b| b.iter(|| experiments::growth_sil(11)));
+    h.bench_function("X1_calibration", |b| b.iter(|| experiments::calibration_weights(5)));
+    h.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the numerical kernels every experiment rests on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use depcase_distributions::{Distribution, LogNormal};
+use depcase_numerics::integrate::{adaptive_simpson, GaussLegendre};
+use depcase_numerics::roots::{brent, RootConfig};
+use depcase_numerics::special::{
+    bivariate_norm_cdf, erf, erfc, norm_quantile, reg_gamma_p, reg_inc_beta,
+};
+
+fn bench_special(c: &mut Criterion) {
+    let mut g = c.benchmark_group("special");
+    g.bench_function("erf", |b| b.iter(|| erf(black_box(1.234))));
+    g.bench_function("erfc_tail", |b| b.iter(|| erfc(black_box(6.5))));
+    g.bench_function("norm_quantile", |b| b.iter(|| norm_quantile(black_box(0.9991))));
+    g.bench_function("reg_gamma_p", |b| b.iter(|| reg_gamma_p(black_box(3.3), black_box(2.1))));
+    g.bench_function("reg_inc_beta", |b| {
+        b.iter(|| reg_inc_beta(black_box(2.0), black_box(4601.0), black_box(1e-3)))
+    });
+    g.bench_function("bivariate_norm_cdf", |b| {
+        b.iter(|| bivariate_norm_cdf(black_box(-1.6), black_box(-1.3), black_box(0.5)))
+    });
+    g.finish();
+}
+
+fn bench_quadrature(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quadrature");
+    let d = LogNormal::from_mode_mean(0.003, 0.01).expect("valid");
+    g.bench_function("simpson_band_mass", |b| {
+        b.iter(|| adaptive_simpson(|x| d.pdf(x), black_box(1e-3), black_box(1e-2), 1e-10))
+    });
+    let rule = GaussLegendre::new(32).expect("valid");
+    g.bench_function("gauss32_band_mass", |b| {
+        b.iter(|| rule.integrate(|x| d.pdf(x), black_box(1e-3), black_box(1e-2)))
+    });
+    g.bench_function("gauss_node_construction_64", |b| b.iter(|| GaussLegendre::new(black_box(64))));
+    g.finish();
+}
+
+fn bench_roots(c: &mut Criterion) {
+    let mut g = c.benchmark_group("roots");
+    let d = LogNormal::from_mode_mean(0.003, 0.01).expect("valid");
+    g.bench_function("brent_quantile_via_cdf", |b| {
+        b.iter(|| {
+            brent(
+                |x| d.cdf(x) - black_box(0.95),
+                1e-8,
+                1.0,
+                RootConfig { f_tol: 0.0, ..RootConfig::default() },
+            )
+        })
+    });
+    g.bench_function("closed_form_quantile", |b| b.iter(|| d.quantile(black_box(0.95))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_special, bench_quadrature, bench_roots);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Regenerates the paper's tables and figures on stdout.
+//!
+//! ```text
+//! fig_tables                 # run everything
+//! fig_tables fig3 fig4       # run selected experiments
+//! fig_tables --csv fig1      # CSV output (for plotting)
+//! fig_tables --svg fig1      # standalone SVG chart on stdout
+//! fig_tables --list          # list experiment names
+//! ```
+
+use depcase_bench::{experiments, plot};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let svg = args.iter().any(|a| a == "--svg");
+    let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if args.iter().any(|a| a == "--list") {
+        for n in experiments::NAMES {
+            println!("{n}");
+        }
+        return;
+    }
+
+    if svg {
+        for n in &names {
+            match plot::figure_svg(n) {
+                Some(doc) => print!("{doc}"),
+                None => {
+                    eprintln!("no SVG renderer for '{n}' (figures only: fig1..fig5)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if names.is_empty() {
+            eprintln!("--svg needs a figure name (fig1..fig5)");
+            std::process::exit(2);
+        }
+        return;
+    }
+
+    let tables = if names.is_empty() {
+        experiments::all()
+    } else {
+        let mut ts = Vec::new();
+        for n in &names {
+            match experiments::by_name(n) {
+                Some(t) => ts.push(t),
+                None => {
+                    eprintln!(
+                        "unknown experiment '{n}'; known: {}",
+                        experiments::NAMES.join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        ts
+    };
+
+    for t in tables {
+        if csv {
+            println!("# {}", t.title);
+            print!("{}", t.to_csv());
+        } else {
+            println!("{t}");
+        }
+        println!();
+    }
+
+    // The F3 crossover is a scalar, not a table row — print it alongside
+    // fig3 output.
+    if names.is_empty() || names.iter().any(|n| n.as_str() == "fig3") {
+        println!(
+            "F3 crossover: mean pfd enters SIL1 below SIL2-confidence = {:.4} (paper: ~0.67)",
+            experiments::fig3_crossover()
+        );
+    }
+}

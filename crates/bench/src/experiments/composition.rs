@@ -1,0 +1,59 @@
+//! C4 — subsystem composition: how conservatism compounds when a system
+//! target is split across subsystem cases.
+
+use crate::table::Table;
+use depcase_core::allocation::{allocate_equal, required_subsystem_confidences};
+use depcase_core::WorstCaseBound;
+
+/// For k = 1..6 equal subsystems composing to a 1e-3 system target (each
+/// claiming a decade inside its budget), the confidence each subsystem
+/// case must deliver — versus the single-system 99.91 % of Example 3.
+#[must_use]
+pub fn composition() -> Table {
+    let target = 1e-3;
+    let single = WorstCaseBound::required_confidence(target, target / 10.0).expect("feasible");
+    let mut t = Table::new(
+        "C4: per-subsystem confidence needed as a 1e-3 target is split k ways",
+        &["subsystems", "budget_each", "claim_each", "required_confidence", "vs_single_system"],
+    );
+    for k in 1..=6usize {
+        let budgets = allocate_equal(target, k).expect("valid");
+        let claims: Vec<f64> = budgets.iter().map(|y| y / 10.0).collect();
+        let confs = required_subsystem_confidences(target, &claims).expect("feasible");
+        t.push_row(vec![
+            format!("{k}"),
+            format!("{:.4e}", budgets[0]),
+            format!("{:.4e}", claims[0]),
+            format!("{:.6}", confs[0]),
+            format!("{:+.2e}", confs[0] - single),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidence_requirement_grows_with_split() {
+        let t = composition();
+        assert_eq!(t.len(), 6);
+        let mut prev = 0.0;
+        for r in 0..t.len() {
+            let c = t.cell_f64(r, "required_confidence").unwrap();
+            assert!(c > prev, "row {r}");
+            assert!(c < 1.0);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn single_subsystem_close_to_example3_with_margin_overhead() {
+        let t = composition();
+        // k = 1 still claims budget/10 with the doubt budget spread over
+        // one case: close to (but not identical with) Example 3's 99.91%.
+        let c = t.cell_f64(0, "required_confidence").unwrap();
+        assert!((c - 0.9991).abs() < 2e-4, "c = {c}");
+    }
+}

@@ -1,0 +1,114 @@
+//! C1/C2 — the confidence-building strategies of the paper's Section 4:
+//! cutting off the tail with failure-free evidence, and adding argument
+//! legs.
+
+use crate::table::Table;
+use depcase_core::acarp::AcarpPlan;
+use depcase_core::multileg::{combine_two_legs, combine_with_shared_assumption, Leg};
+use depcase_core::testing::worst_case_doubt_after_demands;
+use depcase_distributions::LogNormal;
+
+/// C1 — the tail cut-off trajectory: confidence in SIL2 and posterior
+/// mean pfd as failure-free demands accumulate, starting from the widest
+/// Figure 1 judgement, plus the worst-case doubt decay.
+#[must_use]
+pub fn tail_cutoff() -> Table {
+    let prior = LogNormal::from_mode_mean(0.003, 0.01).expect("valid");
+    let plan = AcarpPlan::new(&prior, 1e-2);
+    let mut t = Table::new(
+        "C1: tail cut-off by failure-free demands (paper Section 4.1)",
+        &["demands", "P(SIL2+)", "posterior_mean_pfd", "worst_case_doubt_factor100"],
+    );
+    for &n in &[0u64, 10, 30, 100, 300, 1000, 3000, 10_000] {
+        let traj = plan.trajectory(&[n]).expect("posterior valid");
+        let wc = worst_case_doubt_after_demands(0.33, 3e-3, 0.3, n).expect("valid");
+        t.push_row(vec![
+            format!("{n}"),
+            format!("{:.5}", traj[0].confidence),
+            format!("{:.6e}", traj[0].mean),
+            format!("{wc:.6e}"),
+        ]);
+    }
+    t
+}
+
+/// C2 — multi-legged argument combinations: what a second leg buys under
+/// each dependence regime, and the shared-assumption floor.
+#[must_use]
+pub fn multileg() -> Table {
+    let mut t = Table::new(
+        "C2: two-legged argument combination (paper Section 4.2)",
+        &["leg_a_conf", "leg_b_conf", "shared_doubt", "independent", "worst_case", "best_case"],
+    );
+    let scenarios: &[(f64, f64, f64)] = &[
+        (0.95, 0.95, 0.0),
+        (0.95, 0.90, 0.0),
+        (0.99, 0.90, 0.0),
+        (0.95, 0.95, 0.02),
+        (0.99, 0.99, 0.005),
+        (0.70, 0.70, 0.0), // the 61508 operating-history level, doubled up
+    ];
+    for &(ca, cb, shared) in scenarios {
+        let a = Leg::with_confidence(ca).expect("valid");
+        let b = Leg::with_confidence(cb).expect("valid");
+        let c = if shared > 0.0 {
+            combine_with_shared_assumption(a, b, shared).expect("valid")
+        } else {
+            combine_two_legs(a, b)
+        };
+        t.push_row(vec![
+            format!("{ca:.3}"),
+            format!("{cb:.3}"),
+            format!("{shared:.3}"),
+            format!("{:.6}", 1.0 - c.independent),
+            format!("{:.6}", 1.0 - c.worst_case),
+            format!("{:.6}", 1.0 - c.best_case),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_cutoff_confidence_rises_and_mean_falls() {
+        let t = tail_cutoff();
+        let first_conf = t.cell_f64(0, "P(SIL2+)").unwrap();
+        let last_conf = t.cell_f64(t.len() - 1, "P(SIL2+)").unwrap();
+        assert!((first_conf - 0.67).abs() < 0.02, "prior confidence {first_conf}");
+        assert!(last_conf > 0.99, "final confidence {last_conf}");
+        let first_mean = t.cell_f64(0, "posterior_mean_pfd").unwrap();
+        let last_mean = t.cell_f64(t.len() - 1, "posterior_mean_pfd").unwrap();
+        assert!((first_mean - 0.01).abs() < 1e-4);
+        assert!(last_mean < first_mean / 3.0);
+    }
+
+    #[test]
+    fn tail_cutoff_worst_case_doubt_decays() {
+        let t = tail_cutoff();
+        let first = t.cell_f64(0, "worst_case_doubt_factor100").unwrap();
+        let last = t.cell_f64(t.len() - 1, "worst_case_doubt_factor100").unwrap();
+        assert!(last < first / 100.0, "{first} → {last}");
+    }
+
+    #[test]
+    fn multileg_worst_case_column_dominates() {
+        let t = multileg();
+        for r in 0..t.len() {
+            let ind = t.cell_f64(r, "independent").unwrap();
+            let worst = t.cell_f64(r, "worst_case").unwrap();
+            let best = t.cell_f64(r, "best_case").unwrap();
+            assert!(worst <= ind + 1e-12 && ind <= best + 1e-12, "row {r}");
+        }
+    }
+
+    #[test]
+    fn shared_assumption_rows_floor_at_shared() {
+        let t = multileg();
+        // Row 3: 0.95/0.95 with shared doubt 0.02 → best case ≤ 0.98.
+        let best = t.cell_f64(3, "best_case").unwrap();
+        assert!(best <= 0.98 + 1e-12, "best {best}");
+    }
+}

@@ -1,0 +1,233 @@
+//! F1–F4 and S1: the log-normal judgement figures.
+
+use crate::table::Table;
+use depcase_distributions::{Distribution, LogNormal};
+use depcase_numerics::roots::{brent, RootConfig};
+use depcase_sil::{DemandMode, SilAssessment, SilLevel};
+
+/// The three Figure 1 judgements: mode pinned at 0.003 (mid-SIL2), means
+/// 0.004 (dashed/narrow), 0.006 (middle) and 0.01 (solid/widest, on the
+/// SIL2/SIL1 boundary).
+#[must_use]
+pub fn paper_judgements() -> Vec<(&'static str, LogNormal)> {
+    vec![
+        ("narrow (mean 0.004)", LogNormal::from_mode_mean(0.003, 0.004).expect("valid")),
+        ("medium (mean 0.006)", LogNormal::from_mode_mean(0.003, 0.006).expect("valid")),
+        ("wide (mean 0.010)", LogNormal::from_mode_mean(0.003, 0.010).expect("valid")),
+    ]
+}
+
+/// F1 — density functions of the judgement of SIL, sampled on a
+/// log-spaced grid (the paper plots them on a log x-axis).
+#[must_use]
+pub fn fig1() -> Table {
+    let mut t = Table::new(
+        "F1: log-normal densities of judged pfd, mode = 0.003 (paper Figure 1)",
+        &["lambda", "narrow (mean 0.004)", "medium (mean 0.006)", "wide (mean 0.010)"],
+    );
+    let judgements = paper_judgements();
+    const POINTS: usize = 61;
+    for i in 0..POINTS {
+        // λ from 1e-5 to 1e-0 on a log grid.
+        let log10 = -5.0 + 5.0 * i as f64 / (POINTS - 1) as f64;
+        let lambda = 10f64.powf(log10);
+        let mut row = vec![format!("{lambda:.6e}")];
+        for (_, d) in &judgements {
+            row.push(format!("{:.6e}", d.pdf(lambda)));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// F2 — the same densities on a linear scale (paper Figure 2), where the
+/// impact of the high-failure-rate tail is visible.
+#[must_use]
+pub fn fig2() -> Table {
+    let mut t = Table::new(
+        "F2: log-normal densities on a linear scale (paper Figure 2)",
+        &["lambda", "narrow (mean 0.004)", "medium (mean 0.006)", "wide (mean 0.010)"],
+    );
+    let judgements = paper_judgements();
+    const POINTS: usize = 51;
+    for i in 1..=POINTS {
+        let lambda = 0.05 * i as f64 / POINTS as f64;
+        let mut row = vec![format!("{lambda:.6}")];
+        for (_, d) in &judgements {
+            row.push(format!("{:.6}", d.pdf(lambda)));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// F3 — mean pfd as a function of one-sided confidence in SIL2, with the
+/// mode pinned at 0.003 (paper Figure 3).
+#[must_use]
+pub fn fig3() -> Table {
+    let mut t = Table::new(
+        "F3: effect of spread on mean value, mode = 0.003 (paper Figure 3)",
+        &["confidence_in_sil2", "sigma", "mean_pfd", "mean_sil"],
+    );
+    for i in 0..=79 {
+        let conf = 0.20 + 0.79 * i as f64 / 79.0;
+        let d = LogNormal::from_mode_confidence(0.003, 1e-2, conf).expect("feasible");
+        let a = SilAssessment::new(&d, DemandMode::LowDemand);
+        t.push_row(vec![
+            format!("{conf:.4}"),
+            format!("{:.4}", d.sigma()),
+            format!("{:.6e}", d.mean()),
+            a.sil_of_mean().map_or_else(|| "none".into(), |l| l.to_string()),
+        ]);
+    }
+    t
+}
+
+/// The F3 crossover: the SIL2 confidence below which the mean pfd leaves
+/// the SIL2 band — the paper reads "about 67 %" off Figure 3.
+#[must_use]
+pub fn fig3_crossover() -> f64 {
+    let f = |conf: f64| {
+        LogNormal::from_mode_confidence(0.003, 1e-2, conf).expect("feasible").mean() - 1e-2
+    };
+    brent(f, 0.3, 0.99, RootConfig::default()).expect("bracketed")
+}
+
+/// F4 — confidence that the pfd is better than each SIL bound, for the
+/// three Figure 1 judgements (paper Figure 4).
+#[must_use]
+pub fn fig4() -> Table {
+    let mut t = Table::new(
+        "F4: confidence pfd better than a bound (paper Figure 4)",
+        &["judgement", "P(<1e-1)=SIL1+", "P(<1e-2)=SIL2+", "P(<1e-3)=SIL3+", "P(<1e-4)=SIL4+"],
+    );
+    for (name, d) in paper_judgements() {
+        let a = SilAssessment::new(&d, DemandMode::LowDemand);
+        t.push_row(vec![
+            name.to_string(),
+            format!("{:.5}", a.confidence_at_least(SilLevel::Sil1)),
+            format!("{:.5}", a.confidence_at_least(SilLevel::Sil2)),
+            format!("{:.5}", a.confidence_at_least(SilLevel::Sil3)),
+            format!("{:.5}", a.confidence_at_least(SilLevel::Sil4)),
+        ]);
+    }
+    t
+}
+
+/// S1 — the `log10(mean/mode) = 0.65σ²` identity (paper Section 3.1),
+/// with the decade points σ ≈ 1.24 and σ ≈ 1.75.
+#[must_use]
+pub fn identity() -> Table {
+    let mut t = Table::new(
+        "S1: log10(mean/mode) = 0.65 sigma^2 (paper Section 3.1)",
+        &["sigma", "decades_exact", "decades_paper_065"],
+    );
+    for i in 0..=20 {
+        let sigma = 0.1 + 1.9 * i as f64 / 20.0;
+        let d = LogNormal::from_mode_sigma(1.0, sigma).expect("valid");
+        t.push_row(vec![
+            format!("{sigma:.3}"),
+            format!("{:.6}", d.mean_mode_decades()),
+            format!("{:.6}", 0.65 * sigma * sigma),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_curves_peak_at_mode() {
+        let judgements = paper_judgements();
+        for (name, d) in &judgements {
+            let m = d.mode().unwrap();
+            assert!((m - 0.003).abs() < 1e-12, "{name}");
+            assert!(d.pdf(m) > d.pdf(m / 3.0), "{name}");
+            assert!(d.pdf(m) > d.pdf(m * 3.0), "{name}");
+        }
+    }
+
+    #[test]
+    fn fig1_wide_curve_has_heavier_tail() {
+        let t = fig1();
+        // At λ = 0.1 (row near the top of the grid) the wide curve's
+        // density exceeds the narrow one's.
+        let row = t.len() - 13; // λ ≈ 10^-1
+        let narrow: f64 = t.cell_f64(row, "narrow (mean 0.004)").unwrap();
+        let wide: f64 = t.cell_f64(row, "wide (mean 0.010)").unwrap();
+        assert!(wide > narrow);
+    }
+
+    #[test]
+    fn fig3_crossover_is_about_67_percent() {
+        let c = fig3_crossover();
+        assert!((c - 0.67).abs() < 0.02, "crossover = {c}");
+    }
+
+    #[test]
+    fn fig3_mean_monotone_decreasing_in_confidence() {
+        let t = fig3();
+        let mut prev = f64::INFINITY;
+        for i in 0..t.len() {
+            let m = t.cell_f64(i, "mean_pfd").unwrap();
+            assert!(m < prev, "row {i}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn fig3_band_transitions() {
+        let t = fig3();
+        // At 20% confidence the spread is so wide the mean exceeds even
+        // the SIL1 band; by mid confidence it is SIL1; at high confidence
+        // the mean stays SIL2.
+        assert_eq!(t.cell(0, "mean_sil"), Some("none"));
+        let mids: Vec<&str> =
+            (0..t.len()).filter_map(|i| t.cell(i, "mean_sil")).collect();
+        assert!(mids.contains(&"SIL1"), "no SIL1 region in {mids:?}");
+        let last = t.len() - 1;
+        assert_eq!(t.cell(last, "mean_sil"), Some("SIL2"));
+    }
+
+    #[test]
+    fn fig4_wide_judgement_checkpoints() {
+        let t = fig4();
+        // wide: ~67% SIL2-or-better, ~99.9% SIL1-or-better.
+        let sil2 = t.cell_f64(2, "P(<1e-2)=SIL2+").unwrap();
+        assert!((sil2 - 0.67).abs() < 0.02, "sil2 = {sil2}");
+        let sil1 = t.cell_f64(2, "P(<1e-1)=SIL1+").unwrap();
+        assert!(sil1 > 0.995, "sil1 = {sil1}");
+    }
+
+    #[test]
+    fn fig4_rows_decrease_across_levels() {
+        let t = fig4();
+        for r in 0..t.len() {
+            let p1 = t.cell_f64(r, "P(<1e-1)=SIL1+").unwrap();
+            let p2 = t.cell_f64(r, "P(<1e-2)=SIL2+").unwrap();
+            let p4 = t.cell_f64(r, "P(<1e-4)=SIL4+").unwrap();
+            assert!(p1 >= p2 && p2 >= p4, "row {r}");
+        }
+    }
+
+    #[test]
+    fn identity_exact_vs_paper_approximation() {
+        let t = identity();
+        for r in 0..t.len() {
+            let exact = t.cell_f64(r, "decades_exact").unwrap();
+            let paper = t.cell_f64(r, "decades_paper_065").unwrap();
+            // The paper rounds 0.6514 to 0.65 — within 0.3% relative.
+            assert!((exact - paper).abs() / exact.max(1e-9) < 0.004, "row {r}");
+        }
+    }
+
+    #[test]
+    fn decade_sigmas() {
+        let one = LogNormal::sigma_for_decades(1.0).unwrap();
+        let two = LogNormal::sigma_for_decades(2.0).unwrap();
+        assert!((one - 1.24).abs() < 0.01, "one decade at sigma {one}");
+        assert!((two - 1.75).abs() < 0.01, "two decades at sigma {two}");
+    }
+}

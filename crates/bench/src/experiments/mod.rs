@@ -1,0 +1,114 @@
+//! One module per experiment group from DESIGN.md's index.
+
+mod composition;
+mod confidence_building;
+mod extensions;
+mod figures;
+mod panel5;
+mod protocol_sweep;
+mod sensitivity;
+mod standards;
+mod table1;
+mod worst_case34;
+
+pub use composition::composition;
+pub use confidence_building::{multileg, tail_cutoff};
+pub use extensions::{calibration_weights, growth_sil, multileg_copula};
+pub use figures::{fig1, fig2, fig3, fig3_crossover, fig4, identity, paper_judgements};
+pub use panel5::fig5;
+pub use protocol_sweep::protocol_sweep;
+pub use sensitivity::gamma_sensitivity;
+pub use standards::standards_impact;
+pub use table1::table1;
+pub use worst_case34::examples34;
+
+use crate::table::Table;
+
+/// Runs every experiment, in DESIGN.md order.
+#[must_use]
+pub fn all() -> Vec<Table> {
+    vec![
+        table1(),
+        fig1(),
+        fig2(),
+        fig3(),
+        fig4(),
+        fig5(42),
+        examples34(),
+        identity(),
+        gamma_sensitivity(),
+        tail_cutoff(),
+        multileg(),
+        standards_impact(),
+        multileg_copula(),
+        growth_sil(11),
+        calibration_weights(5),
+        composition(),
+        protocol_sweep(),
+    ]
+}
+
+/// Looks an experiment up by its CLI name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Table> {
+    match name {
+        "table1" => Some(table1()),
+        "fig1" => Some(fig1()),
+        "fig2" => Some(fig2()),
+        "fig3" => Some(fig3()),
+        "fig4" => Some(fig4()),
+        "fig5" => Some(fig5(42)),
+        "examples34" => Some(examples34()),
+        "identity" => Some(identity()),
+        "gamma_sensitivity" => Some(gamma_sensitivity()),
+        "tail_cutoff" => Some(tail_cutoff()),
+        "multileg" => Some(multileg()),
+        "standards" => Some(standards_impact()),
+        "multileg_copula" => Some(multileg_copula()),
+        "growth_sil" => Some(growth_sil(11)),
+        "calibration" => Some(calibration_weights(5)),
+        "composition" => Some(composition()),
+        "protocol_sweep" => Some(protocol_sweep()),
+        _ => None,
+    }
+}
+
+/// The CLI names accepted by [`by_name`].
+pub const NAMES: [&str; 17] = [
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "examples34",
+    "identity",
+    "gamma_sensitivity",
+    "tail_cutoff",
+    "multileg",
+    "standards",
+    "multileg_copula",
+    "growth_sil",
+    "calibration",
+    "composition",
+    "protocol_sweep",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_resolves() {
+        for name in NAMES {
+            let t = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(!t.is_empty(), "{name} produced no rows");
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn all_matches_names_count() {
+        assert_eq!(all().len(), NAMES.len());
+    }
+}

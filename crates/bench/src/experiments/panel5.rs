@@ -1,0 +1,64 @@
+//! F5 — the expert-judgement experiment (paper Section 3.3, Figure 5).
+
+use crate::table::Table;
+use depcase_elicitation::experiment::{figure5_series, findings_of, paper_panel};
+
+/// Regenerates Figure 5: every expert's most-likely pfd per phase, plus a
+/// trailing summary block with the paper's headline findings.
+#[must_use]
+pub fn fig5(seed: u64) -> Table {
+    let outcome = paper_panel(seed).run();
+    let mut t = Table::new(
+        format!("F5: simulated 12-expert elicitation, seed {seed} (paper Figure 5)"),
+        &["phase", "expert", "doubter", "mode_pfd", "sil2_confidence"],
+    );
+    for (phase, points) in figure5_series(&outcome) {
+        for (id, doubter, mode) in points {
+            let rec = &outcome.phase(phase).judgements[id];
+            t.push_row(vec![
+                phase.to_string(),
+                format!("{id}"),
+                format!("{doubter}"),
+                format!("{mode:.6e}"),
+                format!("{:.4}", rec.sil2_confidence),
+            ]);
+        }
+    }
+    let f = findings_of(&outcome);
+    t.push_row(vec![
+        "summary".into(),
+        format!("doubters={}", f.doubters),
+        format!("asymmetric={}", f.asymmetric),
+        format!("{:.6e}", f.final_pooled_pfd),
+        format!("{:.4}", f.final_sil2_confidence),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_experts_four_phases_plus_summary() {
+        let t = fig5(42);
+        assert_eq!(t.len(), 4 * 12 + 1);
+    }
+
+    #[test]
+    fn summary_matches_paper_shape() {
+        let t = fig5(42);
+        let last = t.len() - 1;
+        assert_eq!(t.cell(last, "expert"), Some("doubters=3"));
+        let conf = t.cell_f64(last, "sil2_confidence").unwrap();
+        assert!(conf > 0.8, "pooled SIL2 confidence {conf}");
+        let pfd = t.cell_f64(last, "mode_pfd").unwrap();
+        assert!(pfd > 1e-3 && pfd < 3e-2, "pooled pfd {pfd}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(fig5(7), fig5(7));
+        assert_ne!(fig5(7), fig5(8));
+    }
+}

@@ -1,0 +1,113 @@
+//! B1 — elicitation-protocol ablation: which phase dynamics drive the
+//! panel's final confidence?
+
+use crate::table::Table;
+use depcase_elicitation::{ExpertProfile, Panel, ProtocolConfig};
+
+fn run_with(config: ProtocolConfig, seed: u64) -> (f64, f64) {
+    let outcome = Panel::builder(0.003)
+        .experts(9, ExpertProfile::mainstream())
+        .experts(3, ExpertProfile::doubter())
+        .config(config)
+        .seed(seed)
+        .build()
+        .run();
+    let last = outcome.final_phase();
+    (last.main_group_sil2_confidence(), last.main_group_pooled_mean())
+}
+
+/// Sweeps the protocol's consensus and sharpening knobs one at a time
+/// around the default, reporting the final pooled SIL2 confidence and
+/// mean pfd (averaged over several seeds to tame simulation noise).
+#[must_use]
+pub fn protocol_sweep() -> Table {
+    const SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
+    let mut t = Table::new(
+        "B1: elicitation-protocol ablation (final pooled outcomes, 5-seed mean)",
+        &["variant", "P(SIL2+)", "pooled_mean_pfd"],
+    );
+    let variants: Vec<(&str, ProtocolConfig)> = vec![
+        ("default", ProtocolConfig::default()),
+        ("no sharpening", ProtocolConfig {
+            info_gain: 1.0,
+            group_info_gain: 1.0,
+            delphi_gain: 1.0,
+            ..ProtocolConfig::default()
+        }),
+        ("strong sharpening", ProtocolConfig {
+            info_gain: 0.7,
+            group_info_gain: 0.7,
+            delphi_gain: 0.7,
+            ..ProtocolConfig::default()
+        }),
+        ("no consensus pull", ProtocolConfig {
+            group_pull: 0.0,
+            delphi_pull: 0.0,
+            ..ProtocolConfig::default()
+        }),
+        ("full consensus pull", ProtocolConfig {
+            group_pull: 1.0,
+            delphi_pull: 1.0,
+            ..ProtocolConfig::default()
+        }),
+        ("pliable doubters", ProtocolConfig {
+            doubter_stubbornness: 0.0,
+            ..ProtocolConfig::default()
+        }),
+    ];
+    for (name, config) in variants {
+        let mut conf_acc = 0.0;
+        let mut mean_acc = 0.0;
+        for &seed in &SEEDS {
+            let (c, m) = run_with(config, seed);
+            conf_acc += c;
+            mean_acc += m;
+        }
+        let n = SEEDS.len() as f64;
+        t.push_row(vec![
+            name.into(),
+            format!("{:.4}", conf_acc / n),
+            format!("{:.4e}", mean_acc / n),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(t: &Table, name: &str) -> f64 {
+        let r = (0..t.len()).find(|&r| t.cell(r, "variant") == Some(name)).unwrap();
+        t.cell_f64(r, "P(SIL2+)").unwrap()
+    }
+
+    #[test]
+    fn sharpening_raises_final_confidence() {
+        let t = protocol_sweep();
+        let none = row(&t, "no sharpening");
+        let strong = row(&t, "strong sharpening");
+        assert!(strong > none, "strong {strong} <= none {none}");
+    }
+
+    #[test]
+    fn default_sits_between_extremes() {
+        let t = protocol_sweep();
+        let default = row(&t, "default");
+        let none = row(&t, "no sharpening");
+        let strong = row(&t, "strong sharpening");
+        assert!(default >= none - 0.02 && default <= strong + 0.02);
+    }
+
+    #[test]
+    fn all_variants_report_finite_outcomes() {
+        let t = protocol_sweep();
+        assert_eq!(t.len(), 6);
+        for r in 0..t.len() {
+            let c = t.cell_f64(r, "P(SIL2+)").unwrap();
+            let m = t.cell_f64(r, "pooled_mean_pfd").unwrap();
+            assert!((0.0..=1.0).contains(&c), "row {r}");
+            assert!(m > 0.0 && m < 1.0, "row {r}");
+        }
+    }
+}

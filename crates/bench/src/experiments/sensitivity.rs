@@ -1,0 +1,82 @@
+//! G1 — the gamma sensitivity check (paper Section 3: "we have repeated
+//! some of the results for a gamma distribution to illustrate the (low)
+//! sensitivity to the log-normal assumptions").
+
+use crate::table::Table;
+use depcase_distributions::{Gamma, LogNormal};
+use depcase_sil::{DemandMode, SilAssessment, SilLevel};
+
+/// Repeats the F3/F4 checkpoints with gamma judgements matched by mode
+/// and mean, reporting both families side by side.
+#[must_use]
+pub fn gamma_sensitivity() -> Table {
+    let mut t = Table::new(
+        "G1: log-normal vs gamma sensitivity (paper Section 3)",
+        &["judgement", "family", "sigma_or_shape", "P(SIL2+)", "P(SIL1+)", "mean_sil"],
+    );
+    for &(name, mean) in
+        &[("narrow (mean 0.004)", 0.004), ("medium (mean 0.006)", 0.006), ("wide (mean 0.010)", 0.010)]
+    {
+        let ln = LogNormal::from_mode_mean(0.003, mean).expect("valid");
+        let ga = Gamma::from_mode_mean(0.003, mean).expect("valid");
+        let a_ln = SilAssessment::new(&ln, DemandMode::LowDemand);
+        let a_ga = SilAssessment::new(&ga, DemandMode::LowDemand);
+        t.push_row(vec![
+            name.into(),
+            "log-normal".into(),
+            format!("sigma={:.4}", ln.sigma()),
+            format!("{:.5}", a_ln.confidence_at_least(SilLevel::Sil2)),
+            format!("{:.5}", a_ln.confidence_at_least(SilLevel::Sil1)),
+            a_ln.sil_of_mean().map_or_else(|| "none".into(), |l| l.to_string()),
+        ]);
+        t.push_row(vec![
+            name.into(),
+            "gamma".into(),
+            format!("shape={:.4}", ga.shape()),
+            format!("{:.5}", a_ga.confidence_at_least(SilLevel::Sil2)),
+            format!("{:.5}", a_ga.confidence_at_least(SilLevel::Sil1)),
+            a_ga.sil_of_mean().map_or_else(|| "none".into(), |l| l.to_string()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_agree_within_a_few_points() {
+        // The paper's claim: low sensitivity to the log-normal assumption.
+        let t = gamma_sensitivity();
+        for pair in 0..3 {
+            let ln_sil2 = t.cell_f64(2 * pair, "P(SIL2+)").unwrap();
+            let ga_sil2 = t.cell_f64(2 * pair + 1, "P(SIL2+)").unwrap();
+            assert!(
+                (ln_sil2 - ga_sil2).abs() < 0.08,
+                "pair {pair}: log-normal {ln_sil2} vs gamma {ga_sil2}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_sil_classification_identical() {
+        // Same mode and mean → same mean-SIL classification whatever the
+        // family.
+        let t = gamma_sensitivity();
+        for pair in 0..3 {
+            assert_eq!(
+                t.cell(2 * pair, "mean_sil"),
+                t.cell(2 * pair + 1, "mean_sil"),
+                "pair {pair}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_judgement_sil1_mean_in_both_families() {
+        let t = gamma_sensitivity();
+        assert_eq!(t.cell(4, "mean_sil"), Some("SIL1"));
+        assert_eq!(t.cell(5, "mean_sil"), Some("SIL1"));
+    }
+}

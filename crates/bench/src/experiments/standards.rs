@@ -1,0 +1,86 @@
+//! N1 — the standards impact analysis (paper Section 4.3).
+
+use crate::experiments::figures::paper_judgements;
+use crate::table::Table;
+use depcase_sil::{
+    claim_limit_for_argument, discounted_sil, ArgumentRigour, DemandMode, SilAssessment, SilLevel,
+};
+
+/// Applies IEC 61508's confidence requirements (70 / 95 / 99 / 99.9 %) to
+/// the three Figure 1 judgements, then prints the paper's proposed
+/// discounting rules.
+#[must_use]
+pub fn standards_impact() -> Table {
+    let mut t = Table::new(
+        "N1: IEC 61508 confidence requirements and claim discounting (paper Section 4.3)",
+        &["subject", "detail", "claimable@70%", "claimable@95%", "claimable@99%", "claimable@99.9%"],
+    );
+    for (name, d) in paper_judgements() {
+        let a = SilAssessment::new(&d, DemandMode::LowDemand);
+        let claim = |c: f64| {
+            a.claimable_at_confidence(c).map_or_else(|| "none".to_string(), |l| l.to_string())
+        };
+        t.push_row(vec![
+            "judgement".into(),
+            name.to_string(),
+            claim(0.70),
+            claim(0.95),
+            claim(0.99),
+            claim(0.999),
+        ]);
+    }
+    for rigour in [
+        ArgumentRigour::ProcessCompliance,
+        ArgumentRigour::ExpertJudgement,
+        ArgumentRigour::ReliabilityGrowth,
+        ArgumentRigour::WorstCaseModel,
+        ArgumentRigour::StatisticalDemonstration,
+    ] {
+        let disc = |judged: SilLevel| {
+            discounted_sil(judged, rigour).map_or_else(|| "none".to_string(), |l| l.to_string())
+        };
+        t.push_row(vec![
+            "discount".into(),
+            format!("{rigour} (limit {})", claim_limit_for_argument(rigour)),
+            disc(SilLevel::Sil1),
+            disc(SilLevel::Sil2),
+            disc(SilLevel::Sil3),
+            disc(SilLevel::Sil4),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventy_percent_requirement_pushes_wide_judgement_to_sil1() {
+        // The paper: "if we were to apply the requirements for 70%
+        // confidence this would nearly push the mean failure rate of the
+        // system into the next SIL" — the wide judgement (67% SIL2) fails
+        // the 70% gate and claims only SIL1.
+        let t = standards_impact();
+        assert_eq!(t.cell(2, "claimable@70%"), Some("SIL1"));
+        // The narrow judgement keeps SIL2 at 70%.
+        assert_eq!(t.cell(0, "claimable@70%"), Some("SIL2"));
+    }
+
+    #[test]
+    fn process_compliance_discount_wipes_low_sils() {
+        let t = standards_impact();
+        // Discount rows start after the three judgement rows; columns are
+        // judged SIL1..SIL4.
+        assert_eq!(t.cell(3, "claimable@70%"), Some("none")); // SIL1 − 2
+        assert_eq!(t.cell(3, "claimable@99%"), Some("SIL1")); // SIL3 − 2
+    }
+
+    #[test]
+    fn statistical_demonstration_keeps_levels() {
+        let t = standards_impact();
+        let row = 7; // last discount row
+        assert_eq!(t.cell(row, "claimable@70%"), Some("SIL1"));
+        assert_eq!(t.cell(row, "claimable@99.9%"), Some("SIL4"));
+    }
+}

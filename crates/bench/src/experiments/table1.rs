@@ -1,0 +1,45 @@
+//! T1 — the paper's Table 1: SIL band definitions.
+
+use crate::table::Table;
+use depcase_sil::{DemandMode, SilLevel};
+
+/// Regenerates Table 1: the pfd/pfh band per SIL level and mode.
+#[must_use]
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "T1: IEC 61508 safety integrity levels (paper Table 1)",
+        &["sil", "mode", "lower", "upper"],
+    );
+    for mode in [DemandMode::LowDemand, DemandMode::HighDemand] {
+        for level in SilLevel::ALL.iter().rev() {
+            let band = level.band(mode);
+            t.push_row(vec![
+                level.to_string(),
+                mode.to_string(),
+                format!("{:e}", band.lower),
+                format!("{:e}", band.upper),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_rows_two_modes() {
+        let t = table1();
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn sil2_low_demand_row_matches_paper() {
+        let t = table1();
+        // Rows are SIL4..SIL1 low-demand then high-demand.
+        assert_eq!(t.cell(2, "sil"), Some("SIL2"));
+        assert_eq!(t.cell_f64(2, "lower"), Some(1e-3));
+        assert_eq!(t.cell_f64(2, "upper"), Some(1e-2));
+    }
+}

@@ -1,0 +1,120 @@
+//! E1–E3 — the Section 3.4 worked examples of the worst-case bound.
+
+use crate::table::Table;
+use depcase_core::WorstCaseBound;
+
+/// Regenerates the Section 3.4 examples: `(x*, y*)` pairs satisfying
+/// `x* + y* − x*y* = y` for the system requirement `y = 10⁻³`, the
+/// stringent `y = 10⁻⁵` case, and the perfection/bounded-factor
+/// refinements.
+#[must_use]
+pub fn examples34() -> Table {
+    let mut t = Table::new(
+        "E1-E3: conservative worst-case pairs, x* + y* - x*y* = y (paper Section 3.4)",
+        &["example", "target_y", "claim_y*", "doubt_x*", "required_confidence", "bound"],
+    );
+
+    // Example 1: certainty in the bare claim.
+    t.push_row(vec![
+        "1: certain of y".into(),
+        "1e-3".into(),
+        "1e-3".into(),
+        "0".into(),
+        "1".into(),
+        format!("{:.8e}", WorstCaseBound::bound(0.0, 1e-3).expect("valid")),
+    ]);
+
+    // Example 2: confidence in perfection.
+    t.push_row(vec![
+        "2: perfection".into(),
+        "1e-3".into(),
+        "0".into(),
+        "1e-3".into(),
+        "0.999".into(),
+        format!("{:.8e}", WorstCaseBound::bound(1e-3, 0.0).expect("valid")),
+    ]);
+
+    // Example 3: a decade of margin.
+    let conf = WorstCaseBound::required_confidence(1e-3, 1e-4).expect("feasible");
+    t.push_row(vec![
+        "3: decade margin".into(),
+        "1e-3".into(),
+        "1e-4".into(),
+        format!("{:.6}", 1.0 - conf),
+        format!("{conf:.6}"),
+        format!("{:.8e}", WorstCaseBound::bound(1.0 - conf, 1e-4).expect("valid")),
+    ]);
+
+    // The stringent case: y = 1e-5.
+    let conf5 = WorstCaseBound::required_confidence(1e-5, 1e-6).expect("feasible");
+    t.push_row(vec![
+        "stringent y=1e-5".into(),
+        "1e-5".into(),
+        "1e-6".into(),
+        format!("{:.8}", 1.0 - conf5),
+        format!("{conf5:.8}"),
+        format!("{:.8e}", WorstCaseBound::bound(1.0 - conf5, 1e-6).expect("valid")),
+    ]);
+
+    // Perfection refinement on Example 3 with p0 = 0.2.
+    let b = WorstCaseBound::bound_with_perfection(1.0 - conf, 1e-4, 0.2).expect("valid");
+    t.push_row(vec![
+        "3 + p0=0.2".into(),
+        "1e-3".into(),
+        "1e-4".into(),
+        format!("{:.6}", 1.0 - conf),
+        format!("{conf:.6}"),
+        format!("{b:.8e}"),
+    ]);
+
+    // Bounded-factor refinement ("not wrong by more than 100x").
+    let b = WorstCaseBound::bound_with_factor(1.0 - conf, 1e-4, 100.0).expect("valid");
+    t.push_row(vec![
+        "3 + factor=100".into(),
+        "1e-3".into(),
+        "1e-4".into(),
+        format!("{:.6}", 1.0 - conf),
+        format!("{conf:.6}"),
+        format!("{b:.8e}"),
+    ]);
+
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example3_needs_9991_percent() {
+        let t = examples34();
+        let c = t.cell_f64(2, "required_confidence").unwrap();
+        assert!((c - 0.9991).abs() < 1e-4, "confidence {c}");
+    }
+
+    #[test]
+    fn all_y_1e3_rows_bound_at_target() {
+        let t = examples34();
+        for row in 0..3 {
+            let b = t.cell_f64(row, "bound").unwrap();
+            assert!((b - 1e-3).abs() < 2e-5, "row {row}: bound {b}");
+        }
+    }
+
+    #[test]
+    fn stringent_row_confidence_beyond_five_nines() {
+        let t = examples34();
+        let c = t.cell_f64(3, "required_confidence").unwrap();
+        assert!(c > 0.99999, "confidence {c}");
+    }
+
+    #[test]
+    fn refinements_tighten_the_bound() {
+        let t = examples34();
+        let plain = t.cell_f64(2, "bound").unwrap();
+        let perfected = t.cell_f64(4, "bound").unwrap();
+        let factored = t.cell_f64(5, "bound").unwrap();
+        assert!(perfected < plain);
+        assert!(factored < plain);
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each experiment in DESIGN.md's index has a function here returning a
+//! [`Table`] of the same rows/series the paper reports. The `fig_tables`
+//! binary prints them; the integration tests assert the paper-shape
+//! checkpoints; the Criterion benches time the kernels underneath.
+
+// `!(x > 0.0)`-style checks deliberately treat NaN as invalid input; the
+// lint's suggested `x <= 0.0` would let NaN through the validation.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Reference constants are quoted at full printed precision.
+#![allow(clippy::excessive_precision)]
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod experiments;
+pub mod plot;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,379 @@
+//! Minimal SVG line-chart writer — regenerates the paper's figures as
+//! images without any plotting dependency.
+//!
+//! Deliberately tiny: linear or log10 axes, polyline series with a fixed
+//! palette, axis ticks and labels. Enough to eyeball Figures 1–5 against
+//! the paper's plots.
+
+use std::fmt::Write as _;
+
+/// Axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Base-10 logarithmic axis (all values must be positive).
+    Log10,
+}
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The polyline's points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A configured chart ready to render.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    x_scale: Scale,
+    y_scale: Scale,
+    series: Vec<Series>,
+}
+
+const WIDTH: f64 = 760.0;
+const HEIGHT: f64 = 480.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+
+impl Chart {
+    /// Creates a chart with the given labels and scales.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        x_scale: Scale,
+        y_scale: Scale,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x_scale,
+            y_scale,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds one series; points with non-finite coordinates (or
+    /// non-positive ones on log axes) are dropped.
+    pub fn add_series(&mut self, label: impl Into<String>, points: Vec<(f64, f64)>) -> &mut Self {
+        let filtered = points
+            .into_iter()
+            .filter(|&(x, y)| {
+                x.is_finite()
+                    && y.is_finite()
+                    && (self.x_scale == Scale::Linear || x > 0.0)
+                    && (self.y_scale == Scale::Linear || y > 0.0)
+            })
+            .collect();
+        self.series.push(Series { label: label.into(), points: filtered });
+        self
+    }
+
+    fn transform(scale: Scale, v: f64) -> f64 {
+        match scale {
+            Scale::Linear => v,
+            Scale::Log10 => v.log10(),
+        }
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    ///
+    /// Returns a placeholder SVG with a message when no drawable points
+    /// exist.
+    #[must_use]
+    pub fn to_svg(&self) -> String {
+        let mut pts: Vec<(f64, f64)> = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                pts.push((Self::transform(self.x_scale, x), Self::transform(self.y_scale, y)));
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
+        );
+        let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">{}</text>"#,
+            WIDTH / 2.0,
+            escape(&self.title)
+        );
+        if pts.is_empty() {
+            let _ = writeln!(
+                out,
+                r#"<text x="{}" y="{}" font-family="sans-serif" font-size="14" text-anchor="middle">no drawable points</text>"#,
+                WIDTH / 2.0,
+                HEIGHT / 2.0
+            );
+            out.push_str("</svg>\n");
+            return out;
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if x1 == x0 {
+            x1 = x0 + 1.0;
+        }
+        if y1 == y0 {
+            y1 = y0 + 1.0;
+        }
+        let px = |x: f64| MARGIN_L + (x - x0) / (x1 - x0) * (WIDTH - MARGIN_L - MARGIN_R);
+        let py = |y: f64| HEIGHT - MARGIN_B - (y - y0) / (y1 - y0) * (HEIGHT - MARGIN_T - MARGIN_B);
+
+        // Axes.
+        let _ = writeln!(
+            out,
+            r#"<line x1="{l}" y1="{b}" x2="{r}" y2="{b}" stroke="black"/><line x1="{l}" y1="{t}" x2="{l}" y2="{b}" stroke="black"/>"#,
+            l = MARGIN_L,
+            r = WIDTH - MARGIN_R,
+            t = MARGIN_T,
+            b = HEIGHT - MARGIN_B
+        );
+        // Ticks: five per axis in transformed space.
+        for i in 0..=4 {
+            let fx = x0 + (x1 - x0) * f64::from(i) / 4.0;
+            let fy = y0 + (y1 - y0) * f64::from(i) / 4.0;
+            let tx = px(fx);
+            let ty = py(fy);
+            let lx = tick_label(self.x_scale, fx);
+            let ly = tick_label(self.y_scale, fy);
+            let _ = writeln!(
+                out,
+                r#"<line x1="{tx}" y1="{b}" x2="{tx}" y2="{b2}" stroke="black"/><text x="{tx}" y="{yt}" font-family="sans-serif" font-size="11" text-anchor="middle">{lx}</text>"#,
+                b = HEIGHT - MARGIN_B,
+                b2 = HEIGHT - MARGIN_B + 5.0,
+                yt = HEIGHT - MARGIN_B + 18.0
+            );
+            let _ = writeln!(
+                out,
+                r#"<line x1="{l}" y1="{ty}" x2="{l2}" y2="{ty}" stroke="black"/><text x="{xt}" y="{ty2}" font-family="sans-serif" font-size="11" text-anchor="end">{ly}</text>"#,
+                l = MARGIN_L,
+                l2 = MARGIN_L - 5.0,
+                xt = MARGIN_L - 8.0,
+                ty2 = ty + 4.0
+            );
+        }
+        // Axis labels.
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle">{}</text>"#,
+            (MARGIN_L + WIDTH - MARGIN_R) / 2.0,
+            HEIGHT - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="16" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            (MARGIN_T + HEIGHT - MARGIN_B) / 2.0,
+            (MARGIN_T + HEIGHT - MARGIN_B) / 2.0,
+            escape(&self.y_label)
+        );
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let colour = PALETTE[i % PALETTE.len()];
+            let path: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| {
+                    format!(
+                        "{:.2},{:.2}",
+                        px(Self::transform(self.x_scale, x)),
+                        py(Self::transform(self.y_scale, y))
+                    )
+                })
+                .collect();
+            if !path.is_empty() {
+                let _ = writeln!(
+                    out,
+                    r#"<polyline fill="none" stroke="{colour}" stroke-width="1.8" points="{}"/>"#,
+                    path.join(" ")
+                );
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 16.0 * i as f64;
+            let _ = writeln!(
+                out,
+                r#"<line x1="{x}" y1="{ly}" x2="{x2}" y2="{ly}" stroke="{colour}" stroke-width="3"/><text x="{xt}" y="{yt}" font-family="sans-serif" font-size="11">{label}</text>"#,
+                x = WIDTH - MARGIN_R - 170.0,
+                x2 = WIDTH - MARGIN_R - 150.0,
+                xt = WIDTH - MARGIN_R - 144.0,
+                yt = ly + 4.0,
+                label = escape(&s.label)
+            );
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn tick_label(scale: Scale, transformed: f64) -> String {
+    match scale {
+        Scale::Linear => format!("{transformed:.3}"),
+        Scale::Log10 => format!("1e{transformed:.1}"),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders one of the figure experiments (`fig1`, `fig2`, `fig3`,
+/// `fig4`, `fig5`) as SVG; other experiment names return `None`
+/// (tabular data has no curve to draw).
+#[must_use]
+pub fn figure_svg(name: &str) -> Option<String> {
+    use crate::experiments;
+    match name {
+        "fig1" | "fig2" => {
+            let t = if name == "fig1" { experiments::fig1() } else { experiments::fig2() };
+            let (x_scale, y_scale) = if name == "fig1" {
+                (Scale::Log10, Scale::Linear)
+            } else {
+                (Scale::Linear, Scale::Linear)
+            };
+            let mut chart = Chart::new(t.title.clone(), "lambda (pfd)", "density", x_scale, y_scale);
+            for col in 1..t.header.len() {
+                let pts: Vec<(f64, f64)> = (0..t.len())
+                    .filter_map(|r| {
+                        Some((t.cell_f64(r, &t.header[0])?, t.cell_f64(r, &t.header[col])?))
+                    })
+                    .collect();
+                chart.add_series(t.header[col].clone(), pts);
+            }
+            Some(chart.to_svg())
+        }
+        "fig3" => {
+            let t = experiments::fig3();
+            let mut chart = Chart::new(
+                t.title.clone(),
+                "confidence in SIL2",
+                "mean pfd",
+                Scale::Linear,
+                Scale::Log10,
+            );
+            let pts: Vec<(f64, f64)> = (0..t.len())
+                .filter_map(|r| {
+                    Some((t.cell_f64(r, "confidence_in_sil2")?, t.cell_f64(r, "mean_pfd")?))
+                })
+                .collect();
+            chart.add_series("mean pfd", pts);
+            Some(chart.to_svg())
+        }
+        "fig4" => {
+            let t = experiments::fig4();
+            let mut chart = Chart::new(
+                t.title.clone(),
+                "SIL bound index (1..4)",
+                "confidence better than bound",
+                Scale::Linear,
+                Scale::Linear,
+            );
+            for r in 0..t.len() {
+                let pts: Vec<(f64, f64)> = (1..=4)
+                    .filter_map(|n| {
+                        let col = &t.header[n];
+                        Some((n as f64, t.cell_f64(r, col)?))
+                    })
+                    .collect();
+                chart.add_series(t.cell(r, "judgement").unwrap_or("series").to_string(), pts);
+            }
+            Some(chart.to_svg())
+        }
+        "fig5" => {
+            let t = experiments::fig5(42);
+            let mut chart = Chart::new(
+                t.title.clone(),
+                "phase (0..3)",
+                "most likely pfd",
+                Scale::Linear,
+                Scale::Log10,
+            );
+            // One series per expert across the four phases.
+            for expert in 0..12usize {
+                let pts: Vec<(f64, f64)> = (0..4usize)
+                    .filter_map(|phase| {
+                        let row = phase * 12 + expert;
+                        Some((phase as f64, t.cell_f64(row, "mode_pfd")?))
+                    })
+                    .collect();
+                let doubter = t.cell(expert, "doubter") == Some("true");
+                let label =
+                    if doubter { format!("expert {expert} (doubter)") } else { format!("expert {expert}") };
+                chart.add_series(label, pts);
+            }
+            Some(chart.to_svg())
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_basic_svg() {
+        let mut c = Chart::new("t", "x", "y", Scale::Linear, Scale::Linear);
+        c.add_series("a", vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]);
+        let svg = c.to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn log_axis_drops_nonpositive_points() {
+        let mut c = Chart::new("t", "x", "y", Scale::Log10, Scale::Linear);
+        c.add_series("a", vec![(0.0, 1.0), (1.0, 2.0), (10.0, 3.0)]);
+        assert_eq!(c.series[0].points.len(), 2);
+    }
+
+    #[test]
+    fn empty_chart_renders_placeholder() {
+        let c = Chart::new("t", "x", "y", Scale::Linear, Scale::Linear);
+        let svg = c.to_svg();
+        assert!(svg.contains("no drawable points"));
+    }
+
+    #[test]
+    fn escaping_special_characters() {
+        let mut c = Chart::new("a < b & c", "x", "y", Scale::Linear, Scale::Linear);
+        c.add_series("s", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let svg = c.to_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn figure_svgs_render_for_all_figures() {
+        for name in ["fig1", "fig2", "fig3", "fig4", "fig5"] {
+            let svg = figure_svg(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(svg.contains("polyline"), "{name} drew nothing");
+        }
+        assert!(figure_svg("table1").is_none());
+    }
+
+    #[test]
+    fn fig5_has_twelve_series() {
+        let svg = figure_svg("fig5").unwrap();
+        assert_eq!(svg.matches("<polyline").count(), 12);
+        assert_eq!(svg.matches("(doubter)").count(), 3);
+    }
+}

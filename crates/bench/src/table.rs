@@ -1,0 +1,151 @@
+//! A printable table of experiment output.
+
+use std::fmt;
+
+/// A titled table: header plus string rows, printable as aligned text or
+/// CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment identifier (e.g. "F3") and description.
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows; each must match the header length.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and columns.
+    #[must_use]
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row length does not match the header — a harness
+    /// bug, not a runtime input.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch in table {}", self.title);
+        self.rows.push(row);
+    }
+
+    /// Renders as CSV (header first).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Looks up a cell by row index and column name.
+    #[must_use]
+    pub fn cell(&self, row: usize, column: &str) -> Option<&str> {
+        let c = self.header.iter().position(|h| h == column)?;
+        self.rows.get(row).map(|r| r[c].as_str())
+    }
+
+    /// Parses a cell as `f64`.
+    #[must_use]
+    pub fn cell_f64(&self, row: usize, column: &str) -> Option<f64> {
+        self.cell(row, column)?.parse().ok()
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let line: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect();
+            writeln!(f, "| {} |", line.join(" | "))
+        };
+        print_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push_row(vec!["1".into(), "x".into()]);
+        t.push_row(vec!["2.5".into(), "y".into()]);
+        t
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = sample().to_csv();
+        assert_eq!(csv, "a,b\n1,x\n2.5,y\n");
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let t = sample();
+        assert_eq!(t.cell(0, "b"), Some("x"));
+        assert_eq!(t.cell_f64(1, "a"), Some(2.5));
+        assert_eq!(t.cell(0, "zz"), None);
+        assert_eq!(t.cell(9, "a"), None);
+        assert_eq!(t.cell_f64(0, "b"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn display_aligns() {
+        let s = sample().to_string();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("| a"));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(sample().len(), 2);
+        assert!(!sample().is_empty());
+        assert!(Table::new("E", &["x"]).is_empty());
+    }
+}

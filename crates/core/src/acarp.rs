@@ -1,0 +1,390 @@
+//! ACARP — As Confident As Reasonably Practicable (paper Section 4.1).
+//!
+//! The paper (and the HSE study it cites) proposes ACARP as a sister
+//! principle to ALARP: beyond driving the *claimed failure rate* down,
+//! assurance activity should drive the *confidence in the claim* up.
+//! This module plans that activity: given a prior belief and a target
+//! confidence statement, how much failure-free operating evidence is
+//! "reasonably practicable", and what trajectory does confidence follow
+//! along the way — including the provisional-rating strategy ("give the
+//! system a provisional SIL from the broad prior, upgrade after an
+//! operating period").
+
+use crate::error::{ConfidenceError, Result};
+use depcase_distributions::{Distribution, SurvivalWeighted};
+use depcase_sil::{DemandMode, SilAssessment, SilLevel};
+
+/// One step of a confidence-building trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Failure-free demands folded in so far.
+    pub demands: u64,
+    /// One-sided confidence `P(pfd < bound)` at this point.
+    pub confidence: f64,
+    /// Posterior mean pfd at this point.
+    pub mean: f64,
+}
+
+/// A confidence-building plan over failure-free demand evidence.
+///
+/// Borrows the prior belief; every query re-weights it with the requested
+/// amount of evidence.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::acarp::AcarpPlan;
+/// use depcase_distributions::LogNormal;
+///
+/// let prior = LogNormal::from_mode_mean(0.003, 0.01)?;
+/// let plan = AcarpPlan::new(&prior, 1e-2);
+/// // ~67% SIL2 confidence a priori; testing lifts it:
+/// let n = plan.demands_for_confidence(0.95)?;
+/// assert!(n > 0 && n < 5000);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AcarpPlan<'d, D: ?Sized> {
+    prior: &'d D,
+    bound: f64,
+}
+
+impl<'d, D: Distribution + Clone> AcarpPlan<'d, D> {
+    /// Creates a plan targeting the claim `pfd < bound`.
+    pub fn new(prior: &'d D, bound: f64) -> Self {
+        Self { prior, bound }
+    }
+
+    /// Confidence in the claim after `n` failure-free demands.
+    ///
+    /// # Errors
+    ///
+    /// Propagates posterior-construction failures.
+    pub fn confidence_after(&self, demands: u64) -> Result<f64> {
+        let post = SurvivalWeighted::new(self.prior.clone(), demands)?;
+        Ok(post.cdf(self.bound))
+    }
+
+    /// Posterior mean pfd after `n` failure-free demands.
+    ///
+    /// # Errors
+    ///
+    /// Propagates posterior-construction failures.
+    pub fn mean_after(&self, demands: u64) -> Result<f64> {
+        let post = SurvivalWeighted::new(self.prior.clone(), demands)?;
+        Ok(post.mean())
+    }
+
+    /// The smallest number of failure-free demands reaching the target
+    /// confidence (doubling + binary search over the posterior).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfidenceError::Infeasible`] if the target is not reachable
+    /// within `~4·10⁹` demands (the practical ceiling of "reasonably
+    /// practicable").
+    pub fn demands_for_confidence(&self, target: f64) -> Result<u64> {
+        if !(0.0 < target && target < 1.0) {
+            return Err(ConfidenceError::InvalidArgument(format!(
+                "target confidence must lie in (0, 1), got {target}"
+            )));
+        }
+        if self.confidence_after(0)? >= target {
+            return Ok(0);
+        }
+        const CEILING: u64 = 1 << 32;
+        let mut hi = 1u64;
+        while self.confidence_after(hi)? < target {
+            hi *= 2;
+            if hi > CEILING {
+                return Err(ConfidenceError::Infeasible(format!(
+                    "confidence {target} in pfd < {} not reachable within {CEILING} demands",
+                    self.bound
+                )));
+            }
+        }
+        let mut lo = hi / 2;
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.confidence_after(mid)? >= target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(hi)
+    }
+
+    /// Samples the confidence/mean trajectory at the given demand counts
+    /// — the data behind the C1 experiment's table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates posterior failures.
+    pub fn trajectory(&self, demand_counts: &[u64]) -> Result<Vec<TrajectoryPoint>> {
+        demand_counts
+            .iter()
+            .map(|&n| {
+                let post = SurvivalWeighted::new(self.prior.clone(), n)?;
+                Ok(TrajectoryPoint { demands: n, confidence: post.cdf(self.bound), mean: post.mean() })
+            })
+            .collect()
+    }
+}
+
+/// A cost model making "reasonably practicable" concrete: testing costs
+/// money, residual doubt costs (expected) losses, and the ACARP point is
+/// where another demand stops paying for itself.
+///
+/// The objective minimized is
+///
+/// ```text
+/// total(n) = cost_per_demand · n + doubt_cost · (1 − confidence(n))
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost of executing one failure-free test demand.
+    pub cost_per_demand: f64,
+    /// Cost assigned to a unit of residual doubt in the claim (e.g. the
+    /// risk-weighted loss if the claim is wrong).
+    pub doubt_cost: f64,
+}
+
+impl CostModel {
+    /// Total cost of testing to `n` demands given the achieved
+    /// confidence.
+    #[must_use]
+    pub fn total(&self, demands: u64, confidence: f64) -> f64 {
+        self.cost_per_demand * demands as f64 + self.doubt_cost * (1.0 - confidence)
+    }
+}
+
+/// The ACARP stopping point: the demand count minimizing the cost
+/// model's total over a doubling grid refined by local search — "as
+/// confident as reasonably practicable", literally.
+///
+/// # Errors
+///
+/// [`ConfidenceError::InvalidArgument`] for non-positive costs;
+/// propagates posterior failures.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::acarp::{acarp_demands, CostModel};
+/// use depcase_distributions::LogNormal;
+///
+/// let prior = LogNormal::from_mode_mean(0.003, 0.01)?;
+/// // Cheap testing, expensive doubt → test a lot; and vice versa.
+/// let eager = acarp_demands(&prior, 1e-2, CostModel { cost_per_demand: 0.1, doubt_cost: 1e5 })?;
+/// let frugal = acarp_demands(&prior, 1e-2, CostModel { cost_per_demand: 100.0, doubt_cost: 1e5 })?;
+/// assert!(eager > frugal);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn acarp_demands<D: Distribution + Clone>(
+    prior: &D,
+    bound: f64,
+    costs: CostModel,
+) -> Result<u64> {
+    if !(costs.cost_per_demand > 0.0) || !(costs.doubt_cost > 0.0) {
+        return Err(ConfidenceError::InvalidArgument(
+            "cost model entries must be positive".into(),
+        ));
+    }
+    let plan = AcarpPlan::new(prior, bound);
+    // Coarse scan over a doubling grid.
+    let mut best_n = 0u64;
+    let mut best_cost = costs.total(0, plan.confidence_after(0)?);
+    let mut n = 1u64;
+    let mut rises = 0;
+    while n <= (1 << 24) {
+        let c = costs.total(n, plan.confidence_after(n)?);
+        if c < best_cost {
+            best_cost = c;
+            best_n = n;
+            rises = 0;
+        } else {
+            rises += 1;
+            // The confidence term saturates at doubt_cost·0, after which
+            // the total is strictly increasing in n; two consecutive
+            // rises past the best point end the scan.
+            if rises >= 2 {
+                break;
+            }
+        }
+        n *= 2;
+    }
+    // Local refinement between the neighbours of the best grid point.
+    let lo = best_n / 2;
+    let hi = best_n.saturating_mul(2).max(2);
+    let step = ((hi - lo) / 32).max(1);
+    let mut m = lo;
+    while m <= hi {
+        let c = costs.total(m, plan.confidence_after(m)?);
+        if c < best_cost {
+            best_cost = c;
+            best_n = m;
+        }
+        m += step;
+    }
+    Ok(best_n)
+}
+
+/// The provisional-rating strategy of Section 4.1: rate the system from
+/// the broad prior now, and predict the upgraded rating after an
+/// operating period of `demands` failure-free demands.
+///
+/// Returns `(provisional, upgraded)` SIL ratings of the *mean* pfd.
+///
+/// # Errors
+///
+/// Propagates posterior-construction failures.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::acarp::provisional_then_upgraded;
+/// use depcase_distributions::LogNormal;
+/// use depcase_sil::SilLevel;
+///
+/// let prior = LogNormal::from_mode_mean(0.003, 0.01)?;
+/// let (now, later) = provisional_then_upgraded(&prior, 2000)?;
+/// assert_eq!(now, Some(SilLevel::Sil1));   // mean 0.01 → SIL1
+/// assert!(later >= now);                    // operating period upgrades
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn provisional_then_upgraded<D: Distribution + Clone>(
+    prior: &D,
+    demands: u64,
+) -> Result<(Option<SilLevel>, Option<SilLevel>)> {
+    let provisional = SilAssessment::new(prior, DemandMode::LowDemand).sil_of_mean();
+    let post = SurvivalWeighted::new(prior.clone(), demands)?;
+    let upgraded = SilAssessment::new(&post, DemandMode::LowDemand).sil_of_mean();
+    Ok((provisional, upgraded))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_distributions::{Beta, LogNormal};
+
+    fn paper_prior() -> LogNormal {
+        LogNormal::from_mode_mean(0.003, 0.01).unwrap()
+    }
+
+    #[test]
+    fn confidence_is_monotone_in_demands() {
+        let prior = paper_prior();
+        let plan = AcarpPlan::new(&prior, 1e-2);
+        let mut prev = 0.0;
+        for n in [0, 10, 100, 1000] {
+            let c = plan.confidence_after(n).unwrap();
+            assert!(c > prev, "n = {n}: {c} <= {prev}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn demands_for_confidence_is_minimal() {
+        let prior = paper_prior();
+        let plan = AcarpPlan::new(&prior, 1e-2);
+        let n = plan.demands_for_confidence(0.95).unwrap();
+        assert!(plan.confidence_after(n).unwrap() >= 0.95);
+        if n > 0 {
+            assert!(plan.confidence_after(n - 1).unwrap() < 0.95);
+        }
+    }
+
+    #[test]
+    fn zero_demands_when_prior_already_confident() {
+        let prior = Beta::new(1.0, 100_000.0).unwrap();
+        let plan = AcarpPlan::new(&prior, 1e-3);
+        assert_eq!(plan.demands_for_confidence(0.9).unwrap(), 0);
+    }
+
+    #[test]
+    fn target_validation() {
+        let prior = paper_prior();
+        let plan = AcarpPlan::new(&prior, 1e-2);
+        assert!(plan.demands_for_confidence(0.0).is_err());
+        assert!(plan.demands_for_confidence(1.0).is_err());
+    }
+
+    #[test]
+    fn trajectory_reports_shrinking_mean() {
+        let prior = paper_prior();
+        let plan = AcarpPlan::new(&prior, 1e-2);
+        let traj = plan.trajectory(&[0, 100, 1000]).unwrap();
+        assert_eq!(traj.len(), 3);
+        assert!(traj[0].mean > traj[1].mean);
+        assert!(traj[1].mean > traj[2].mean);
+        assert!(traj[0].confidence < traj[2].confidence);
+        assert_eq!(traj[2].demands, 1000);
+    }
+
+    #[test]
+    fn provisional_rating_upgrades_after_operation() {
+        let prior = paper_prior();
+        let (now, later) = provisional_then_upgraded(&prior, 5000).unwrap();
+        assert_eq!(now, Some(SilLevel::Sil1));
+        assert!(later > now, "later = {later:?}");
+    }
+
+    #[test]
+    fn cost_model_total() {
+        let cm = CostModel { cost_per_demand: 2.0, doubt_cost: 1000.0 };
+        assert!((cm.total(10, 0.9) - (20.0 + 100.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acarp_demands_tracks_cost_ratio() {
+        let prior = paper_prior();
+        let cheap_tests =
+            acarp_demands(&prior, 1e-2, CostModel { cost_per_demand: 0.01, doubt_cost: 1e4 })
+                .unwrap();
+        let dear_tests =
+            acarp_demands(&prior, 1e-2, CostModel { cost_per_demand: 10.0, doubt_cost: 1e4 })
+                .unwrap();
+        assert!(cheap_tests > dear_tests, "{cheap_tests} <= {dear_tests}");
+    }
+
+    #[test]
+    fn acarp_demands_zero_when_doubt_is_cheap() {
+        let prior = paper_prior();
+        let n = acarp_demands(&prior, 1e-2, CostModel { cost_per_demand: 100.0, doubt_cost: 1.0 })
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn acarp_demands_is_near_optimal_on_grid() {
+        let prior = paper_prior();
+        let costs = CostModel { cost_per_demand: 1.0, doubt_cost: 5e3 };
+        let n = acarp_demands(&prior, 1e-2, costs).unwrap();
+        let plan = AcarpPlan::new(&prior, 1e-2);
+        let best = costs.total(n, plan.confidence_after(n).unwrap());
+        // No point on a coarse audit grid beats the chosen n by > 3%.
+        for m in [0u64, 50, 100, 200, 400, 800, 1600, 3200, 6400] {
+            let c = costs.total(m, plan.confidence_after(m).unwrap());
+            assert!(best <= c * 1.03, "m = {m}: {c} < {best}");
+        }
+    }
+
+    #[test]
+    fn acarp_demands_validation() {
+        let prior = paper_prior();
+        assert!(acarp_demands(&prior, 1e-2, CostModel { cost_per_demand: 0.0, doubt_cost: 1.0 })
+            .is_err());
+        assert!(acarp_demands(&prior, 1e-2, CostModel { cost_per_demand: 1.0, doubt_cost: 0.0 })
+            .is_err());
+    }
+
+    #[test]
+    fn mean_after_matches_trajectory() {
+        let prior = paper_prior();
+        let plan = AcarpPlan::new(&prior, 1e-2);
+        let m = plan.mean_after(500).unwrap();
+        let t = plan.trajectory(&[500]).unwrap();
+        assert!((m - t[0].mean).abs() < 1e-12);
+    }
+}

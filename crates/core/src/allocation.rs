@@ -1,0 +1,252 @@
+//! Composing and allocating claims across subsystems.
+//!
+//! The paper's introduction lists "issues of composability of subsystem
+//! claims" among the obstacles to quantitative confidence. This module
+//! provides the series-system case: a system pfd target is *allocated*
+//! as budgets to subsystems, each subsystem's case yields a
+//! [`ConfidenceStatement`], and the statements are *composed* back into
+//! a conservative system-level bound — making visible how conservatism
+//! compounds across the composition (the paper's closing warning).
+
+use crate::claim::ConfidenceStatement;
+use crate::error::{ConfidenceError, Result};
+
+/// Splits a system pfd target into per-subsystem budgets proportional to
+/// `weights`, using the exact series-system relation
+/// `1 − Π(1 − yᵢ) = target` in log space (so the budgets compose back to
+/// the target exactly, not just in the rare-event approximation).
+///
+/// # Errors
+///
+/// [`ConfidenceError::InvalidArgument`] unless `target ∈ (0, 1)` and all
+/// weights are positive finite.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::allocation::allocate_series;
+///
+/// // A 1e-3 system budget split 2:1:1 across three subsystems.
+/// let budgets = allocate_series(1e-3, &[2.0, 1.0, 1.0])?;
+/// assert_eq!(budgets.len(), 3);
+/// let recompose: f64 = 1.0 - budgets.iter().map(|y| 1.0 - y).product::<f64>();
+/// assert!((recompose - 1e-3).abs() < 1e-15);
+/// # Ok::<(), depcase_core::ConfidenceError>(())
+/// ```
+pub fn allocate_series(target: f64, weights: &[f64]) -> Result<Vec<f64>> {
+    if !(0.0 < target && target < 1.0) {
+        return Err(ConfidenceError::InvalidArgument(format!(
+            "series target must lie in (0, 1), got {target}"
+        )));
+    }
+    if weights.is_empty() || weights.iter().any(|w| !(*w > 0.0) || !w.is_finite()) {
+        return Err(ConfidenceError::InvalidArgument(
+            "allocation weights must be non-empty and positive finite".into(),
+        ));
+    }
+    let total: f64 = weights.iter().sum();
+    // Work with survival logs: ln(1 − target) = Σ wᵢ/W · ln(1 − target)
+    let log_survival = (-target).ln_1p();
+    Ok(weights
+        .iter()
+        .map(|w| -((w / total * log_survival).exp_m1()))
+        .collect())
+}
+
+/// Equal-share convenience form of [`allocate_series`].
+///
+/// # Errors
+///
+/// Same conditions; `subsystems` must be at least 1.
+pub fn allocate_equal(target: f64, subsystems: usize) -> Result<Vec<f64>> {
+    if subsystems == 0 {
+        return Err(ConfidenceError::InvalidArgument("need at least one subsystem".into()));
+    }
+    allocate_series(target, &vec![1.0; subsystems])
+}
+
+/// The conservative system-level failure bound composed from subsystem
+/// statements: each statement contributes its worst-case bound
+/// `xᵢ + yᵢ − xᵢyᵢ` (Eq. 5), and the series system fails if any
+/// subsystem does, so the union bound gives
+///
+/// ```text
+/// P(system fails on a random demand) ≤ Σᵢ (xᵢ + yᵢ − xᵢyᵢ)
+/// ```
+///
+/// # Errors
+///
+/// [`ConfidenceError::InvalidArgument`] for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::allocation::compose_series_bound;
+/// use depcase_core::ConfidenceStatement;
+///
+/// let subs = vec![
+///     ConfidenceStatement::new(2e-4, 0.9995)?,
+///     ConfidenceStatement::new(2e-4, 0.9995)?,
+/// ];
+/// let bound = compose_series_bound(&subs)?;
+/// assert!(bound < 1.5e-3);
+/// # Ok::<(), depcase_core::ConfidenceError>(())
+/// ```
+pub fn compose_series_bound(statements: &[ConfidenceStatement]) -> Result<f64> {
+    if statements.is_empty() {
+        return Err(ConfidenceError::InvalidArgument(
+            "composition needs at least one subsystem statement".into(),
+        ));
+    }
+    Ok(statements
+        .iter()
+        .map(ConfidenceStatement::worst_case_failure_probability)
+        .sum::<f64>()
+        .min(1.0))
+}
+
+/// The per-subsystem confidence each case must deliver so that the
+/// composed bound meets the system target, given per-subsystem claim
+/// bounds: solves `Σ (xᵢ + yᵢ − xᵢyᵢ) = target` with the doubt budget
+/// split equally across subsystems.
+///
+/// Returns one required confidence per claim bound.
+///
+/// # Errors
+///
+/// [`ConfidenceError::Infeasible`] when the claim bounds already exhaust
+/// the target (`Σ yᵢ ≥ target`) — the paper's coupling, compounded.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::allocation::required_subsystem_confidences;
+///
+/// // Two subsystems, each claiming 1e-4, composing to a 1e-3 target:
+/// let confs = required_subsystem_confidences(1e-3, &[1e-4, 1e-4])?;
+/// // Each needs ~99.96% — stiffer than the single-system 99.91%.
+/// assert!(confs.iter().all(|c| *c > 0.9995));
+/// # Ok::<(), depcase_core::ConfidenceError>(())
+/// ```
+pub fn required_subsystem_confidences(target: f64, claim_bounds: &[f64]) -> Result<Vec<f64>> {
+    if !(0.0 < target && target < 1.0) {
+        return Err(ConfidenceError::InvalidArgument(format!(
+            "system target must lie in (0, 1), got {target}"
+        )));
+    }
+    if claim_bounds.is_empty()
+        || claim_bounds.iter().any(|y| !(0.0..1.0).contains(y))
+    {
+        return Err(ConfidenceError::InvalidArgument(
+            "claim bounds must be non-empty probabilities below 1".into(),
+        ));
+    }
+    let claimed: f64 = claim_bounds.iter().sum();
+    if claimed >= target {
+        return Err(ConfidenceError::Infeasible(format!(
+            "subsystem claim bounds sum to {claimed}, already at or above the target {target}"
+        )));
+    }
+    let k = claim_bounds.len() as f64;
+    let doubt_budget = (target - claimed) / k;
+    claim_bounds
+        .iter()
+        .map(|&y| {
+            // x + y − xy contributes doubt x(1−y) beyond y.
+            let x = doubt_budget / (1.0 - y);
+            if !(0.0..=1.0).contains(&x) {
+                return Err(ConfidenceError::Infeasible(format!(
+                    "per-subsystem doubt budget {doubt_budget} is not a probability at claim {y}"
+                )));
+            }
+            Ok(1.0 - x)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_allocation_recomposes_exactly() {
+        for k in [1usize, 2, 4, 10] {
+            let budgets = allocate_equal(1e-3, k).unwrap();
+            assert_eq!(budgets.len(), k);
+            let recompose: f64 = 1.0 - budgets.iter().map(|y| 1.0 - y).product::<f64>();
+            assert!((recompose - 1e-3).abs() < 1e-15, "k = {k}");
+            // All budgets equal.
+            for w in budgets.windows(2) {
+                assert!((w[0] - w[1]).abs() < 1e-18);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_allocation_orders_budgets() {
+        let budgets = allocate_series(1e-2, &[3.0, 1.0]).unwrap();
+        assert!(budgets[0] > budgets[1]);
+        let recompose: f64 = 1.0 - budgets.iter().map(|y| 1.0 - y).product::<f64>();
+        assert!((recompose - 1e-2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn allocation_validation() {
+        assert!(allocate_series(0.0, &[1.0]).is_err());
+        assert!(allocate_series(1.0, &[1.0]).is_err());
+        assert!(allocate_series(1e-3, &[]).is_err());
+        assert!(allocate_series(1e-3, &[0.0]).is_err());
+        assert!(allocate_equal(1e-3, 0).is_err());
+    }
+
+    #[test]
+    fn composition_is_the_sum_of_eq5_bounds() {
+        let subs = vec![
+            ConfidenceStatement::new(1e-4, 0.999).unwrap(),
+            ConfidenceStatement::new(2e-4, 0.9995).unwrap(),
+        ];
+        let want: f64 =
+            subs.iter().map(|s| s.worst_case_failure_probability()).sum();
+        assert!((compose_series_bound(&subs).unwrap() - want).abs() < 1e-15);
+        assert!(compose_series_bound(&[]).is_err());
+    }
+
+    #[test]
+    fn composition_saturates_at_one() {
+        let subs = vec![ConfidenceStatement::new(0.9, 0.5).unwrap(); 5];
+        assert_eq!(compose_series_bound(&subs).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn required_confidences_compose_back_to_target() {
+        let bounds = [1e-4, 1e-4, 2e-4];
+        let confs = required_subsystem_confidences(1e-3, &bounds).unwrap();
+        let statements: Vec<ConfidenceStatement> = bounds
+            .iter()
+            .zip(&confs)
+            .map(|(&y, &c)| ConfidenceStatement::new(y, c).unwrap())
+            .collect();
+        let composed = compose_series_bound(&statements).unwrap();
+        assert!((composed - 1e-3).abs() < 1e-12, "composed = {composed}");
+    }
+
+    #[test]
+    fn composition_is_stiffer_than_single_system() {
+        // Splitting a 1e-3 target across two 1e-4 claims demands more
+        // confidence per subsystem than one system claiming 1e-4 against
+        // the whole target — conservatism compounds.
+        let single = crate::worst_case::WorstCaseBound::required_confidence(1e-3, 1e-4).unwrap();
+        let split = required_subsystem_confidences(1e-3, &[1e-4, 1e-4]).unwrap();
+        for c in split {
+            assert!(c > single, "{c} <= {single}");
+        }
+    }
+
+    #[test]
+    fn required_confidences_infeasible_cases() {
+        assert!(required_subsystem_confidences(1e-3, &[5e-4, 6e-4]).is_err());
+        assert!(required_subsystem_confidences(1e-3, &[]).is_err());
+        assert!(required_subsystem_confidences(0.0, &[1e-4]).is_err());
+        assert!(required_subsystem_confidences(1e-3, &[1.0]).is_err());
+    }
+}

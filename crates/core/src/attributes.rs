@@ -1,0 +1,276 @@
+//! Multi-attribute dependability claims.
+//!
+//! The paper flags "the multi-dimensional, multi-attribute nature of
+//! dependability claims" as an obstacle, and notes that "while SIL
+//! applies to one important attribute of a safety critical system there
+//! are others such as robustness, security and maintainability that
+//! should be addressed in a full safety case". This module carries a
+//! claim per attribute, each with its own confidence, and aggregates
+//! them: overall dependability holds only if every attribute's claim
+//! does, so doubts combine conjunctively, with the Fréchet interval
+//! tracking unknown dependence between the attribute arguments.
+
+use crate::claim::ConfidenceStatement;
+use crate::error::{ConfidenceError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dependability attribute, after the paper's list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Attribute {
+    /// Safety: freedom from unacceptable harm (the SIL attribute).
+    Safety,
+    /// Reliability: continuity of correct service.
+    Reliability,
+    /// Availability: readiness for correct service.
+    Availability,
+    /// Robustness to abnormal inputs and environments.
+    Robustness,
+    /// Security: resistance to intentional attack.
+    Security,
+    /// Maintainability: ability to undergo modification safely.
+    Maintainability,
+}
+
+impl Attribute {
+    /// All attributes, in the display order used by reports.
+    pub const ALL: [Attribute; 6] = [
+        Attribute::Safety,
+        Attribute::Reliability,
+        Attribute::Availability,
+        Attribute::Robustness,
+        Attribute::Security,
+        Attribute::Maintainability,
+    ];
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Attribute::Safety => "safety",
+            Attribute::Reliability => "reliability",
+            Attribute::Availability => "availability",
+            Attribute::Robustness => "robustness",
+            Attribute::Security => "security",
+            Attribute::Maintainability => "maintainability",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One attribute's claim with its supporting confidence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttributeClaim {
+    /// Which attribute the claim addresses.
+    pub attribute: Attribute,
+    /// The quantitative statement (bound + confidence).
+    pub statement: ConfidenceStatement,
+}
+
+/// Aggregated view of a multi-attribute dependability position.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverallConfidence {
+    /// Confidence all attribute claims hold, if their arguments fail
+    /// independently.
+    pub independent: f64,
+    /// Worst case over dependence (Fréchet lower bound on the
+    /// conjunction).
+    pub worst_case: f64,
+    /// Best case over dependence.
+    pub best_case: f64,
+}
+
+/// A set of per-attribute claims making up a full dependability position.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::attributes::{Attribute, MultiAttributeClaims};
+/// use depcase_core::ConfidenceStatement;
+///
+/// let mut claims = MultiAttributeClaims::new();
+/// claims.set(Attribute::Safety, ConfidenceStatement::new(1e-3, 0.99)?)?;
+/// claims.set(Attribute::Security, ConfidenceStatement::new(1e-2, 0.90)?)?;
+/// let overall = claims.overall()?;
+/// assert!((overall.independent - 0.99 * 0.90).abs() < 1e-12);
+/// // The weakest attribute is where the next effort goes:
+/// assert_eq!(claims.weakest().unwrap().attribute, Attribute::Security);
+/// # Ok::<(), depcase_core::ConfidenceError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MultiAttributeClaims {
+    claims: Vec<AttributeClaim>,
+}
+
+impl MultiAttributeClaims {
+    /// Creates an empty claim set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets (or replaces) the claim for an attribute.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; fallible for future validation (kept `Result`
+    /// so callers already handle it).
+    pub fn set(&mut self, attribute: Attribute, statement: ConfidenceStatement) -> Result<()> {
+        if let Some(existing) = self.claims.iter_mut().find(|c| c.attribute == attribute) {
+            existing.statement = statement;
+        } else {
+            self.claims.push(AttributeClaim { attribute, statement });
+        }
+        Ok(())
+    }
+
+    /// The claim for an attribute, if one is set.
+    #[must_use]
+    pub fn get(&self, attribute: Attribute) -> Option<&AttributeClaim> {
+        self.claims.iter().find(|c| c.attribute == attribute)
+    }
+
+    /// All claims, in insertion order.
+    #[must_use]
+    pub fn claims(&self) -> &[AttributeClaim] {
+        &self.claims
+    }
+
+    /// Number of attributes claimed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// Whether no claims are set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.claims.is_empty()
+    }
+
+    /// The attribute with the lowest confidence — the weakest link.
+    #[must_use]
+    pub fn weakest(&self) -> Option<&AttributeClaim> {
+        self.claims.iter().min_by(|a, b| {
+            a.statement
+                .confidence()
+                .partial_cmp(&b.statement.confidence())
+                .expect("confidences are finite")
+        })
+    }
+
+    /// Aggregates the per-attribute confidences into an overall position:
+    /// the conjunction of all claims, with the Fréchet dependence
+    /// interval.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfidenceError::InvalidArgument`] when no claims are set.
+    pub fn overall(&self) -> Result<OverallConfidence> {
+        if self.claims.is_empty() {
+            return Err(ConfidenceError::InvalidArgument(
+                "no attribute claims to aggregate".into(),
+            ));
+        }
+        let doubts: Vec<f64> = self.claims.iter().map(|c| 1.0 - c.statement.confidence()).collect();
+        let independent = doubts.iter().map(|x| 1.0 - x).product::<f64>();
+        let worst = 1.0 - doubts.iter().sum::<f64>().min(1.0);
+        let best = 1.0 - doubts.iter().copied().fold(0.0, f64::max);
+        Ok(OverallConfidence { independent, worst_case: worst, best_case: best })
+    }
+}
+
+impl FromIterator<AttributeClaim> for MultiAttributeClaims {
+    fn from_iter<T: IntoIterator<Item = AttributeClaim>>(iter: T) -> Self {
+        let mut set = Self::new();
+        for c in iter {
+            set.set(c.attribute, c.statement).expect("set is infallible");
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stmt(bound: f64, conf: f64) -> ConfidenceStatement {
+        ConfidenceStatement::new(bound, conf).unwrap()
+    }
+
+    #[test]
+    fn set_and_replace() {
+        let mut c = MultiAttributeClaims::new();
+        c.set(Attribute::Safety, stmt(1e-3, 0.9)).unwrap();
+        c.set(Attribute::Safety, stmt(1e-3, 0.95)).unwrap();
+        assert_eq!(c.len(), 1);
+        assert!((c.get(Attribute::Safety).unwrap().statement.confidence() - 0.95).abs() < 1e-12);
+        assert!(c.get(Attribute::Security).is_none());
+    }
+
+    #[test]
+    fn overall_conjunction_and_interval() {
+        let mut c = MultiAttributeClaims::new();
+        c.set(Attribute::Safety, stmt(1e-3, 0.99)).unwrap();
+        c.set(Attribute::Security, stmt(1e-2, 0.90)).unwrap();
+        c.set(Attribute::Availability, stmt(1e-1, 0.95)).unwrap();
+        let o = c.overall().unwrap();
+        assert!((o.independent - 0.99 * 0.90 * 0.95).abs() < 1e-12);
+        assert!((o.worst_case - (1.0 - (0.01 + 0.10 + 0.05))).abs() < 1e-12);
+        assert!((o.best_case - 0.90).abs() < 1e-12);
+        assert!(o.worst_case <= o.independent && o.independent <= o.best_case);
+    }
+
+    #[test]
+    fn worst_case_floors_at_zero() {
+        let mut c = MultiAttributeClaims::new();
+        c.set(Attribute::Safety, stmt(1e-3, 0.5)).unwrap();
+        c.set(Attribute::Security, stmt(1e-2, 0.4)).unwrap();
+        c.set(Attribute::Robustness, stmt(1e-1, 0.3)).unwrap();
+        let o = c.overall().unwrap();
+        assert_eq!(o.worst_case, 0.0);
+    }
+
+    #[test]
+    fn weakest_link() {
+        let mut c = MultiAttributeClaims::new();
+        c.set(Attribute::Safety, stmt(1e-3, 0.999)).unwrap();
+        c.set(Attribute::Maintainability, stmt(1e-1, 0.7)).unwrap();
+        c.set(Attribute::Reliability, stmt(1e-2, 0.9)).unwrap();
+        assert_eq!(c.weakest().unwrap().attribute, Attribute::Maintainability);
+    }
+
+    #[test]
+    fn empty_aggregation_rejected() {
+        assert!(MultiAttributeClaims::new().overall().is_err());
+        assert!(MultiAttributeClaims::new().weakest().is_none());
+        assert!(MultiAttributeClaims::new().is_empty());
+    }
+
+    #[test]
+    fn from_iterator_dedups_by_attribute() {
+        let set: MultiAttributeClaims = [
+            AttributeClaim { attribute: Attribute::Safety, statement: stmt(1e-3, 0.9) },
+            AttributeClaim { attribute: Attribute::Safety, statement: stmt(1e-3, 0.95) },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn display_and_ordering() {
+        assert_eq!(Attribute::Security.to_string(), "security");
+        assert_eq!(Attribute::ALL.len(), 6);
+        assert!(Attribute::Safety < Attribute::Security);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut c = MultiAttributeClaims::new();
+        c.set(Attribute::Safety, stmt(1e-3, 0.99)).unwrap();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: MultiAttributeClaims = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

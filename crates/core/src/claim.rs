@@ -1,0 +1,234 @@
+//! Vocabulary types: dependability claims and confidence statements.
+
+use crate::error::{ConfidenceError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dependability claim: "the probability of failure on demand is below
+/// `bound`".
+///
+/// The claim itself carries no confidence; pairing it with one produces a
+/// [`ConfidenceStatement`].
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::Claim;
+///
+/// let claim = Claim::pfd_below(1e-3)?;
+/// let stmt = claim.with_confidence(0.99)?;
+/// assert_eq!(stmt.doubt(), 0.010000000000000009);
+/// # Ok::<(), depcase_core::ConfidenceError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Claim {
+    bound: f64,
+}
+
+impl Claim {
+    /// A claim that the pfd is below `bound ∈ (0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfidenceError::InvalidArgument`] outside `(0, 1]`.
+    pub fn pfd_below(bound: f64) -> Result<Self> {
+        if !(bound > 0.0 && bound <= 1.0) {
+            return Err(ConfidenceError::InvalidArgument(format!(
+                "a pfd claim bound must lie in (0, 1], got {bound}"
+            )));
+        }
+        Ok(Self { bound })
+    }
+
+    /// The claimed upper bound on the pfd.
+    #[must_use]
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// Pairs the claim with a confidence level, producing a full
+    /// statement.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfidenceError::InvalidArgument`] unless
+    /// `confidence ∈ [0, 1]`.
+    pub fn with_confidence(self, confidence: f64) -> Result<ConfidenceStatement> {
+        ConfidenceStatement::new(self.bound, confidence)
+    }
+}
+
+impl fmt::Display for Claim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfd < {:e}", self.bound)
+    }
+}
+
+/// An elicited belief of the paper's single-point form:
+/// `P(pfd < bound) = confidence` — the `(x*, y*)` pair of Section 3.4
+/// with `x = 1 − confidence` (the *doubt*) and `y = bound`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::ConfidenceStatement;
+///
+/// // "99.91% confident the pfd is below 1e-4"
+/// let s = ConfidenceStatement::new(1e-4, 0.9991)?;
+/// // Worst case, the failure probability on a random demand is x + y − xy:
+/// assert!(s.worst_case_failure_probability() < 1e-3);
+/// # Ok::<(), depcase_core::ConfidenceError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceStatement {
+    bound: f64,
+    confidence: f64,
+}
+
+impl ConfidenceStatement {
+    /// Creates the statement `P(pfd < bound) = confidence`.
+    ///
+    /// `bound = 0` is allowed: it is the paper's Example 2, confidence in
+    /// *perfection*.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfidenceError::InvalidArgument`] unless `bound ∈ [0, 1]` and
+    /// `confidence ∈ [0, 1]`.
+    pub fn new(bound: f64, confidence: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&bound) {
+            return Err(ConfidenceError::InvalidArgument(format!(
+                "bound must lie in [0, 1], got {bound}"
+            )));
+        }
+        if !(0.0..=1.0).contains(&confidence) {
+            return Err(ConfidenceError::InvalidArgument(format!(
+                "confidence must lie in [0, 1], got {confidence}"
+            )));
+        }
+        Ok(Self { bound, confidence })
+    }
+
+    /// The claimed bound `y`.
+    #[must_use]
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// The confidence `1 − x`.
+    #[must_use]
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// The doubt `x = 1 − confidence`.
+    #[must_use]
+    pub fn doubt(&self) -> f64 {
+        1.0 - self.confidence
+    }
+
+    /// The paper's Eq. (5): the worst-case probability of failure on a
+    /// randomly selected demand consistent with this statement,
+    /// `x + y − xy`.
+    #[must_use]
+    pub fn worst_case_failure_probability(&self) -> f64 {
+        let x = self.doubt();
+        let y = self.bound;
+        x + y - x * y
+    }
+
+    /// Whether this statement suffices (in the worst case) to support a
+    /// system claim of `pfd < target` on a randomly selected demand.
+    #[must_use]
+    pub fn supports_system_claim(&self, target: f64) -> bool {
+        self.worst_case_failure_probability() < target
+    }
+}
+
+impl fmt::Display for ConfidenceStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P(pfd < {:e}) = {:.4}", self.bound, self.confidence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_validation() {
+        assert!(Claim::pfd_below(0.0).is_err());
+        assert!(Claim::pfd_below(-1.0).is_err());
+        assert!(Claim::pfd_below(1.5).is_err());
+        assert!(Claim::pfd_below(1.0).is_ok());
+        assert!(Claim::pfd_below(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn statement_validation() {
+        assert!(ConfidenceStatement::new(0.0, 0.999).is_ok()); // perfection claim
+        assert!(ConfidenceStatement::new(1e-3, 1.5).is_err());
+        assert!(ConfidenceStatement::new(-0.1, 0.5).is_err());
+        assert!(ConfidenceStatement::new(f64::NAN, 0.5).is_err());
+    }
+
+    #[test]
+    fn doubt_complements_confidence() {
+        let s = ConfidenceStatement::new(1e-3, 0.97).unwrap();
+        assert!((s.doubt() - 0.03).abs() < 1e-12);
+        assert_eq!(s.bound(), 1e-3);
+    }
+
+    #[test]
+    fn worst_case_formula() {
+        let s = ConfidenceStatement::new(1e-4, 0.9991).unwrap();
+        let x = 0.0009;
+        let y = 1e-4;
+        assert!((s.worst_case_failure_probability() - (x + y - x * y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfection_claim_example2() {
+        // Paper Example 2: 99.9% confident in pfd = 0 → worst case 1e-3.
+        let s = ConfidenceStatement::new(0.0, 0.999).unwrap();
+        assert!((s.worst_case_failure_probability() - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certainty_claim_example1() {
+        // Paper Example 1: certain that pfd < 1e-3 → worst case 1e-3.
+        let s = ConfidenceStatement::new(1e-3, 1.0).unwrap();
+        assert!((s.worst_case_failure_probability() - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn supports_system_claim() {
+        let good = ConfidenceStatement::new(1e-4, 0.99915).unwrap();
+        assert!(good.supports_system_claim(1e-3));
+        let weak = ConfidenceStatement::new(1e-4, 0.99).unwrap();
+        assert!(!weak.supports_system_claim(1e-3));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Claim::pfd_below(1e-3).unwrap().to_string(), "pfd < 1e-3");
+        let s = ConfidenceStatement::new(1e-4, 0.9991).unwrap().to_string();
+        assert!(s.contains("1e-4") && s.contains("0.9991"), "{s}");
+    }
+
+    #[test]
+    fn claim_to_statement() {
+        let s = Claim::pfd_below(1e-2).unwrap().with_confidence(0.7).unwrap();
+        assert_eq!(s.bound(), 1e-2);
+        assert_eq!(s.confidence(), 0.7);
+        assert!(Claim::pfd_below(1e-2).unwrap().with_confidence(1.2).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = ConfidenceStatement::new(1e-4, 0.9991).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ConfidenceStatement = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,241 @@
+//! Gaussian-copula dependence between argument legs.
+//!
+//! Section 4.2 of the paper leaves the dependence between legs as an
+//! interval ([`crate::multileg`] computes the Fréchet–Hoeffding bounds).
+//! This module fills the interval in: model the soundness of each leg as
+//! driven by a latent standard-normal factor, correlate the factors with
+//! `ρ`, and the probability that *both* legs are unsound becomes the
+//! bivariate normal orthant probability
+//!
+//! ```text
+//! P(A unsound ∧ B unsound) = Φ₂(Φ⁻¹(x_A), Φ⁻¹(x_B); ρ)
+//! ```
+//!
+//! `ρ = 0` recovers independence; `ρ → ±1` recovers the Fréchet bounds.
+//! The sweep over `ρ` is the paper's "subtle interplay" made visible —
+//! and the `multileg_copula` experiment in `depcase-bench` plots it.
+
+use crate::error::{ConfidenceError, Result};
+use crate::multileg::{combine_two_legs, Leg};
+use depcase_numerics::special::{bivariate_norm_cdf, norm_quantile};
+
+/// Combined doubt of two legs whose unsoundness events are coupled by a
+/// Gaussian copula with correlation `rho`.
+///
+/// # Errors
+///
+/// [`ConfidenceError::InvalidArgument`] if `rho ∉ [−1, 1]`; numerical
+/// errors from the bivariate CDF.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::copula::combined_doubt_gaussian;
+/// use depcase_core::multileg::Leg;
+///
+/// let a = Leg::with_confidence(0.95)?;
+/// let b = Leg::with_confidence(0.90)?;
+/// // Independence recovered at rho = 0:
+/// let d0 = combined_doubt_gaussian(a, b, 0.0)?;
+/// assert!((d0 - 0.05 * 0.10).abs() < 1e-12);
+/// // Positive dependence erodes the benefit of the second leg:
+/// let d08 = combined_doubt_gaussian(a, b, 0.8)?;
+/// assert!(d08 > d0);
+/// # Ok::<(), depcase_core::ConfidenceError>(())
+/// ```
+pub fn combined_doubt_gaussian(a: Leg, b: Leg, rho: f64) -> Result<f64> {
+    if !(-1.0..=1.0).contains(&rho) {
+        return Err(ConfidenceError::InvalidArgument(format!(
+            "copula correlation must lie in [-1, 1], got {rho}"
+        )));
+    }
+    let (xa, xb) = (a.doubt(), b.doubt());
+    if xa == 0.0 || xb == 0.0 {
+        return Ok(0.0);
+    }
+    if xa == 1.0 {
+        return Ok(xb);
+    }
+    if xb == 1.0 {
+        return Ok(xa);
+    }
+    // "Leg A unsound" ⇔ latent Z_A ≤ Φ⁻¹(x_A).
+    let ha = norm_quantile(xa);
+    let hb = norm_quantile(xb);
+    Ok(bivariate_norm_cdf(ha, hb, rho)?.clamp(0.0, 1.0))
+}
+
+/// One row of a dependence sweep: correlation, combined doubt, and the
+/// effective gain over the better single leg.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CopulaPoint {
+    /// Latent-factor correlation.
+    pub rho: f64,
+    /// Combined doubt `P(A ∧ B unsound)` at this correlation.
+    pub combined_doubt: f64,
+    /// Ratio of the better single leg's doubt to the combined doubt —
+    /// "how many times better than the best leg alone" (1 = no gain).
+    pub gain_over_single: f64,
+}
+
+/// Sweeps the combined doubt of two legs across correlations.
+///
+/// # Errors
+///
+/// Propagates [`combined_doubt_gaussian`] failures.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::copula::sweep;
+/// use depcase_core::multileg::Leg;
+///
+/// let pts = sweep(
+///     Leg::with_confidence(0.95)?,
+///     Leg::with_confidence(0.95)?,
+///     &[-0.5, 0.0, 0.5, 0.9],
+/// )?;
+/// // Gain shrinks monotonically as dependence grows:
+/// assert!(pts[0].gain_over_single > pts[3].gain_over_single);
+/// # Ok::<(), depcase_core::ConfidenceError>(())
+/// ```
+pub fn sweep(a: Leg, b: Leg, rhos: &[f64]) -> Result<Vec<CopulaPoint>> {
+    let single = a.doubt().min(b.doubt());
+    rhos.iter()
+        .map(|&rho| {
+            let combined = combined_doubt_gaussian(a, b, rho)?;
+            let gain = if combined > 0.0 { single / combined } else { f64::INFINITY };
+            Ok(CopulaPoint { rho, combined_doubt: combined, gain_over_single: gain })
+        })
+        .collect()
+}
+
+/// The correlation at which the combined doubt reaches `target` — "how
+/// much dependence can the case tolerate before the second leg stops
+/// paying for itself?". Solved by bisection over `ρ ∈ [0, 1]`
+/// (combined doubt is non-decreasing in `ρ`).
+///
+/// # Errors
+///
+/// [`ConfidenceError::Infeasible`] if the target is outside the
+/// achievable range `[independent, worst-case]`.
+pub fn tolerable_correlation(a: Leg, b: Leg, target: f64) -> Result<f64> {
+    let ind = combined_doubt_gaussian(a, b, 0.0)?;
+    let worst = combine_two_legs(a, b).worst_case;
+    if target < ind - 1e-15 || target > worst + 1e-15 {
+        return Err(ConfidenceError::Infeasible(format!(
+            "target combined doubt {target} outside the achievable range [{ind}, {worst}]"
+        )));
+    }
+    let mut lo = 0.0;
+    let mut hi = 1.0;
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if combined_doubt_gaussian(a, b, mid)? < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multileg::combine_two_legs;
+
+    fn legs() -> (Leg, Leg) {
+        (Leg::with_confidence(0.95).unwrap(), Leg::with_confidence(0.90).unwrap())
+    }
+
+    #[test]
+    fn independence_recovered_at_rho_zero() {
+        let (a, b) = legs();
+        let d = combined_doubt_gaussian(a, b, 0.0).unwrap();
+        assert!((d - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frechet_bounds_recovered_at_extremes() {
+        let (a, b) = legs();
+        let c = combine_two_legs(a, b);
+        let worst = combined_doubt_gaussian(a, b, 1.0).unwrap();
+        assert!((worst - c.worst_case).abs() < 1e-10, "{worst} vs {}", c.worst_case);
+        let best = combined_doubt_gaussian(a, b, -1.0).unwrap();
+        assert!((best - c.best_case).abs() < 1e-10);
+    }
+
+    #[test]
+    fn monotone_in_rho() {
+        let (a, b) = legs();
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let rho = -1.0 + 2.0 * i as f64 / 20.0;
+            let d = combined_doubt_gaussian(a, b, rho).unwrap();
+            assert!(d >= prev - 1e-12, "rho = {rho}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn interval_always_bracketed() {
+        for &(ca, cb) in &[(0.99, 0.9), (0.7, 0.7), (0.999, 0.95)] {
+            let a = Leg::with_confidence(ca).unwrap();
+            let b = Leg::with_confidence(cb).unwrap();
+            let c = combine_two_legs(a, b);
+            for rho in [-0.9, -0.3, 0.0, 0.4, 0.8] {
+                let d = combined_doubt_gaussian(a, b, rho).unwrap();
+                assert!(
+                    d >= c.best_case - 1e-10 && d <= c.worst_case + 1e-10,
+                    "ca={ca}, cb={cb}, rho={rho}: {d} vs [{}, {}]",
+                    c.best_case,
+                    c.worst_case
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_legs() {
+        let perfect = Leg::with_doubt(0.0).unwrap();
+        let vacuous = Leg::with_doubt(1.0).unwrap();
+        let mid = Leg::with_doubt(0.3).unwrap();
+        assert_eq!(combined_doubt_gaussian(perfect, mid, 0.5).unwrap(), 0.0);
+        assert!((combined_doubt_gaussian(vacuous, mid, 0.5).unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_gain_decreases() {
+        let (a, b) = legs();
+        let pts = sweep(a, b, &[-0.8, -0.4, 0.0, 0.4, 0.8]).unwrap();
+        for w in pts.windows(2) {
+            assert!(w[1].gain_over_single <= w[0].gain_over_single + 1e-9);
+        }
+        // At rho = 0 the gain over the single 0.05 leg is 10x (0.05/0.005).
+        assert!((pts[2].gain_over_single - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tolerable_correlation_round_trip() {
+        let (a, b) = legs();
+        let target = 0.02;
+        let rho = tolerable_correlation(a, b, target).unwrap();
+        let d = combined_doubt_gaussian(a, b, rho).unwrap();
+        assert!((d - target).abs() < 1e-6, "rho = {rho}, d = {d}");
+    }
+
+    #[test]
+    fn tolerable_correlation_infeasible() {
+        let (a, b) = legs();
+        assert!(tolerable_correlation(a, b, 0.001).is_err()); // below independent
+        assert!(tolerable_correlation(a, b, 0.2).is_err()); // above worst case
+    }
+
+    #[test]
+    fn invalid_rho_rejected() {
+        let (a, b) = legs();
+        assert!(combined_doubt_gaussian(a, b, 1.5).is_err());
+        assert!(combined_doubt_gaussian(a, b, -1.01).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for the confidence calculus.
+
+use depcase_distributions::DistError;
+use depcase_numerics::NumericsError;
+use std::fmt;
+
+/// Error produced by the confidence calculus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfidenceError {
+    /// An argument was outside its domain (probabilities outside `[0,1]`,
+    /// non-positive bounds, …).
+    InvalidArgument(String),
+    /// The requested construction cannot be satisfied — e.g. the paper's
+    /// coupling between claim and doubt makes the target unreachable.
+    Infeasible(String),
+    /// An underlying distribution operation failed.
+    Distribution(DistError),
+    /// An underlying numerical routine failed.
+    Numerics(NumericsError),
+}
+
+impl fmt::Display for ConfidenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfidenceError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            ConfidenceError::Infeasible(m) => write!(f, "infeasible: {m}"),
+            ConfidenceError::Distribution(e) => write!(f, "distribution error: {e}"),
+            ConfidenceError::Numerics(e) => write!(f, "numerical error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfidenceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfidenceError::Distribution(e) => Some(e),
+            ConfidenceError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DistError> for ConfidenceError {
+    fn from(e: DistError) -> Self {
+        ConfidenceError::Distribution(e)
+    }
+}
+
+impl From<NumericsError> for ConfidenceError {
+    fn from(e: NumericsError) -> Self {
+        ConfidenceError::Numerics(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, ConfidenceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = ConfidenceError::InvalidArgument("x".into());
+        assert!(e.to_string().contains("x"));
+        assert!(e.source().is_none());
+        let e: ConfidenceError = NumericsError::Domain("d".into()).into();
+        assert!(e.source().is_some());
+        let e: ConfidenceError = DistError::InvalidProbability(2.0).into();
+        assert!(e.source().is_some());
+        assert!(ConfidenceError::Infeasible("no".into()).to_string().contains("no"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfidenceError>();
+    }
+}

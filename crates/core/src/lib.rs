@@ -1,0 +1,62 @@
+//! Confidence calculus for dependability claims — the primary
+//! contribution of *Bloomfield, Littlewood & Wright, DSN 2007*.
+//!
+//! A dependability case supports a claim ("the pfd is below 10⁻³") at
+//! some confidence. This crate makes that confidence a first-class,
+//! quantitative object:
+//!
+//! - [`claim`] — the `Claim`/`ConfidenceStatement` vocabulary types;
+//! - [`worst_case`] — the paper's Section 3.4 conservative calculus:
+//!   from a single elicited statement `P(pfd < y*) = 1 − x*`, the
+//!   probability of failure on a randomly selected demand is at most
+//!   `x* + y* − x*y*`, with perfection-probability and bounded-factor
+//!   refinements and the inverse "required confidence" solvers;
+//! - [`testing`] — statistical-testing arguments: conjugate Beta
+//!   updates, demands-needed solvers, and worst-case doubt updates under
+//!   failure-free evidence;
+//! - [`acarp`] — As Confident As Reasonably Practicable planning: how
+//!   much failure-free evidence buys how much confidence (Section 4.1);
+//! - [`multileg`] — multi-legged argument combination with dependence
+//!   bounds (Section 4.2);
+//! - [`decision`] — risk-assessment helpers connecting belief
+//!   distributions to the unconditional failure probability of Eq. (4).
+//!
+//! # Examples
+//!
+//! The paper's Example 3 — claiming a decade of margin:
+//!
+//! ```
+//! use depcase_core::worst_case::WorstCaseBound;
+//!
+//! // System requirement: pfd < 1e-3. Expert claims pfd < 1e-4. How
+//! // confident must the expert be for the requirement to follow?
+//! let conf = WorstCaseBound::required_confidence(1e-3, 1e-4)?;
+//! assert!((conf - 0.9991).abs() < 1e-4); // 99.91%
+//! # Ok::<(), depcase_core::ConfidenceError>(())
+//! ```
+
+// `!(x > 0.0)`-style checks deliberately treat NaN as invalid input; the
+// lint's suggested `x <= 0.0` would let NaN through the validation.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Reference constants are quoted at full printed precision.
+#![allow(clippy::excessive_precision)]
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod acarp;
+pub mod allocation;
+pub mod attributes;
+pub mod claim;
+pub mod copula;
+pub mod decision;
+mod error;
+pub mod growth;
+pub mod multileg;
+pub mod perfection;
+pub mod reduction;
+pub mod testing;
+pub mod worst_case;
+
+pub use claim::{Claim, ConfidenceStatement};
+pub use error::ConfidenceError;
+pub use worst_case::WorstCaseBound;

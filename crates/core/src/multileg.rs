@@ -1,0 +1,321 @@
+//! Multi-legged arguments (paper Section 4.2, after Littlewood & Wright,
+//! IEEE TSE 2007).
+//!
+//! A claim supported by one argument leg carries the leg's doubt. Adding
+//! a second, *different* leg — "argument fault tolerance" — can reduce
+//! the doubt, but by how much depends on the dependence between the
+//! events "leg A is unsound" and "leg B is unsound". With doubts
+//! `x_A`, `x_B`:
+//!
+//! - **independence**: combined doubt `x_A·x_B`;
+//! - **Fréchet–Hoeffding bounds** (no dependence assumption at all):
+//!   `max(0, x_A + x_B − 1) ≤ combined ≤ min(x_A, x_B)`;
+//! - **shared assumptions**: a doubt mass `s` common to both legs cannot
+//!   be diversified away: combined `≥ s` whatever the legs.
+
+use crate::error::{ConfidenceError, Result};
+use serde::{Deserialize, Serialize};
+
+/// One argument leg supporting a claim, carrying its doubt
+/// `x = P(leg unsound)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Leg {
+    doubt: f64,
+}
+
+impl Leg {
+    /// Creates a leg with the given doubt.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfidenceError::InvalidArgument`] outside `[0, 1]`.
+    pub fn with_doubt(doubt: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&doubt) {
+            return Err(ConfidenceError::InvalidArgument(format!(
+                "leg doubt must be a probability, got {doubt}"
+            )));
+        }
+        Ok(Self { doubt })
+    }
+
+    /// Creates a leg from its confidence `1 − x`.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfidenceError::InvalidArgument`] outside `[0, 1]`.
+    pub fn with_confidence(confidence: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&confidence) {
+            return Err(ConfidenceError::InvalidArgument(format!(
+                "leg confidence must be a probability, got {confidence}"
+            )));
+        }
+        Ok(Self { doubt: 1.0 - confidence })
+    }
+
+    /// The leg's doubt `P(leg unsound)`.
+    #[must_use]
+    pub fn doubt(&self) -> f64 {
+        self.doubt
+    }
+
+    /// The leg's confidence `1 − doubt`.
+    #[must_use]
+    pub fn confidence(&self) -> f64 {
+        1.0 - self.doubt
+    }
+}
+
+/// The combined doubt of a two-legged argument under the three dependence
+/// regimes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CombinedDoubt {
+    /// Combined doubt assuming the legs fail independently.
+    pub independent: f64,
+    /// Best case (maximal negative dependence): `max(0, x_A + x_B − 1)`.
+    pub best_case: f64,
+    /// Worst case (maximal positive dependence): `min(x_A, x_B)` — adding
+    /// a second leg might buy *nothing* beyond the better single leg.
+    pub worst_case: f64,
+}
+
+impl CombinedDoubt {
+    /// Confidence view of the independent combination.
+    #[must_use]
+    pub fn independent_confidence(&self) -> f64 {
+        1.0 - self.independent
+    }
+
+    /// The width of the dependence interval — how much the unknown
+    /// dependence matters. The paper: "these issues of interplay between
+    /// adding assurance legs and confidence are subtle".
+    #[must_use]
+    pub fn dependence_spread(&self) -> f64 {
+        self.worst_case - self.best_case
+    }
+}
+
+/// Combines two legs supporting the *same* claim.
+///
+/// The claim is doubted only if **both** legs are unsound, so the
+/// combined doubt is `P(A unsound ∧ B unsound)`, bracketed by the
+/// Fréchet–Hoeffding bounds and pinned at `x_A·x_B` under independence.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::multileg::{combine_two_legs, Leg};
+///
+/// let a = Leg::with_confidence(0.99)?; // testing leg
+/// let b = Leg::with_confidence(0.95)?; // static-analysis leg
+/// let c = combine_two_legs(a, b);
+/// assert!((c.independent - 0.01 * 0.05).abs() < 1e-12);
+/// assert_eq!(c.best_case, 0.0);
+/// assert!((c.worst_case - 0.01).abs() < 1e-12);
+/// # Ok::<(), depcase_core::ConfidenceError>(())
+/// ```
+#[must_use]
+pub fn combine_two_legs(a: Leg, b: Leg) -> CombinedDoubt {
+    let (xa, xb) = (a.doubt, b.doubt);
+    CombinedDoubt {
+        independent: xa * xb,
+        best_case: (xa + xb - 1.0).max(0.0),
+        worst_case: xa.min(xb),
+    }
+}
+
+/// Combines two legs that share a common assumption carrying doubt
+/// `shared`: with probability `shared` both legs are unsound together;
+/// the remaining leg-specific doubts combine per regime on the residual
+/// probability.
+///
+/// Each leg's total doubt must be at least `shared`.
+///
+/// # Errors
+///
+/// [`ConfidenceError::InvalidArgument`] if `shared` is not a probability
+/// or exceeds either leg's doubt.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::multileg::{combine_with_shared_assumption, Leg};
+///
+/// let a = Leg::with_doubt(0.05)?;
+/// let b = Leg::with_doubt(0.03)?;
+/// // 2% of the doubt is a common assumption (e.g. both legs trust the
+/// // same requirements document):
+/// let c = combine_with_shared_assumption(a, b, 0.02)?;
+/// // The shared doubt is a floor no second leg can remove:
+/// assert!(c.independent >= 0.02);
+/// assert!(c.best_case >= 0.02);
+/// # Ok::<(), depcase_core::ConfidenceError>(())
+/// ```
+pub fn combine_with_shared_assumption(a: Leg, b: Leg, shared: f64) -> Result<CombinedDoubt> {
+    if !(0.0..=1.0).contains(&shared) {
+        return Err(ConfidenceError::InvalidArgument(format!(
+            "shared doubt must be a probability, got {shared}"
+        )));
+    }
+    if shared > a.doubt || shared > b.doubt {
+        return Err(ConfidenceError::InvalidArgument(format!(
+            "shared doubt {shared} exceeds a leg's total doubt ({}, {})",
+            a.doubt, b.doubt
+        )));
+    }
+    if shared >= 1.0 {
+        return Ok(CombinedDoubt { independent: 1.0, best_case: 1.0, worst_case: 1.0 });
+    }
+    // Condition on the shared assumption holding (prob 1 − s); the
+    // residual leg doubts are (x − s)/(1 − s).
+    let s = shared;
+    let ra = (a.doubt - s) / (1.0 - s);
+    let rb = (b.doubt - s) / (1.0 - s);
+    let residual = combine_two_legs(Leg { doubt: ra }, Leg { doubt: rb });
+    Ok(CombinedDoubt {
+        independent: s + (1.0 - s) * residual.independent,
+        best_case: s + (1.0 - s) * residual.best_case,
+        worst_case: s + (1.0 - s) * residual.worst_case,
+    })
+}
+
+/// The doubt a single extra leg must have so that, combined independently
+/// with an existing leg of doubt `existing`, the pair reaches a combined
+/// doubt of `target` — the paper's "reducing the required confidence by
+/// additional argument legs" made quantitative.
+///
+/// # Errors
+///
+/// [`ConfidenceError::Infeasible`] when `existing` is zero (nothing to
+/// reduce) or `target >= existing` (the extra leg cannot *add* doubt) —
+/// except the trivial `target == existing`, which returns doubt 1
+/// (a vacuous leg).
+pub fn required_second_leg(existing: f64, target: f64) -> Result<Leg> {
+    if !(0.0..=1.0).contains(&existing) || !(0.0..=1.0).contains(&target) {
+        return Err(ConfidenceError::InvalidArgument(format!(
+            "doubts must be probabilities; got existing = {existing}, target = {target}"
+        )));
+    }
+    if target > existing {
+        return Err(ConfidenceError::Infeasible(format!(
+            "an independent second leg cannot raise doubt from {existing} to {target}"
+        )));
+    }
+    if existing == 0.0 {
+        return Ok(Leg { doubt: 1.0 });
+    }
+    Ok(Leg { doubt: (target / existing).min(1.0) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leg_construction() {
+        assert!((Leg::with_confidence(0.99).unwrap().doubt() - 0.01).abs() < 1e-12);
+        assert!((Leg::with_doubt(0.01).unwrap().confidence() - 0.99).abs() < 1e-12);
+        assert!(Leg::with_doubt(1.5).is_err());
+        assert!(Leg::with_confidence(-0.1).is_err());
+    }
+
+    #[test]
+    fn frechet_bounds_order() {
+        let c = combine_two_legs(Leg::with_doubt(0.3).unwrap(), Leg::with_doubt(0.4).unwrap());
+        assert!(c.best_case <= c.independent);
+        assert!(c.independent <= c.worst_case);
+        assert!((c.independent - 0.12).abs() < 1e-12);
+        assert!((c.worst_case - 0.3).abs() < 1e-12);
+        assert_eq!(c.best_case, 0.0);
+    }
+
+    #[test]
+    fn frechet_lower_bound_activates_for_large_doubts() {
+        let c = combine_two_legs(Leg::with_doubt(0.8).unwrap(), Leg::with_doubt(0.7).unwrap());
+        assert!((c.best_case - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_leg_removes_all_doubt() {
+        let c = combine_two_legs(Leg::with_doubt(0.0).unwrap(), Leg::with_doubt(0.9).unwrap());
+        assert_eq!(c.independent, 0.0);
+        assert_eq!(c.worst_case, 0.0);
+    }
+
+    #[test]
+    fn vacuous_leg_changes_nothing() {
+        let c = combine_two_legs(Leg::with_doubt(1.0).unwrap(), Leg::with_doubt(0.3).unwrap());
+        assert!((c.independent - 0.3).abs() < 1e-12);
+        assert!((c.worst_case - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependence_spread_quantifies_subtlety() {
+        let c = combine_two_legs(Leg::with_doubt(0.05).unwrap(), Leg::with_doubt(0.05).unwrap());
+        // Independent says 0.0025; worst case says 0.05 — a 20× swing.
+        assert!((c.dependence_spread() - 0.05).abs() < 1e-12);
+        assert!(c.worst_case / c.independent > 19.0);
+    }
+
+    #[test]
+    fn shared_assumption_is_a_floor() {
+        let a = Leg::with_doubt(0.05).unwrap();
+        let b = Leg::with_doubt(0.05).unwrap();
+        let c = combine_with_shared_assumption(a, b, 0.03).unwrap();
+        assert!(c.independent >= 0.03);
+        assert!(c.best_case >= 0.03);
+        // And strictly better than no diversification at all:
+        assert!(c.independent < 0.05);
+    }
+
+    #[test]
+    fn shared_zero_reduces_to_plain_combination() {
+        let a = Leg::with_doubt(0.2).unwrap();
+        let b = Leg::with_doubt(0.1).unwrap();
+        let with = combine_with_shared_assumption(a, b, 0.0).unwrap();
+        let plain = combine_two_legs(a, b);
+        assert!((with.independent - plain.independent).abs() < 1e-12);
+        assert!((with.worst_case - plain.worst_case).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_equal_to_both_doubts_means_fully_common() {
+        let a = Leg::with_doubt(0.04).unwrap();
+        let b = Leg::with_doubt(0.04).unwrap();
+        let c = combine_with_shared_assumption(a, b, 0.04).unwrap();
+        assert!((c.independent - 0.04).abs() < 1e-12);
+        assert!((c.worst_case - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_validation() {
+        let a = Leg::with_doubt(0.05).unwrap();
+        let b = Leg::with_doubt(0.03).unwrap();
+        assert!(combine_with_shared_assumption(a, b, 0.04).is_err()); // > b's doubt
+        assert!(combine_with_shared_assumption(a, b, -0.1).is_err());
+    }
+
+    #[test]
+    fn required_second_leg_computation() {
+        // Existing leg: 95% confidence; target combined doubt 0.001.
+        let leg = required_second_leg(0.05, 0.001).unwrap();
+        assert!((leg.doubt() - 0.02).abs() < 1e-12);
+        let c = combine_two_legs(Leg::with_doubt(0.05).unwrap(), leg);
+        assert!((c.independent - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn required_second_leg_edge_cases() {
+        assert!(required_second_leg(0.05, 0.1).is_err());
+        assert_eq!(required_second_leg(0.0, 0.0).unwrap().doubt(), 1.0);
+        assert_eq!(required_second_leg(0.05, 0.05).unwrap().doubt(), 1.0);
+        assert!(required_second_leg(1.5, 0.1).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = combine_two_legs(Leg::with_doubt(0.1).unwrap(), Leg::with_doubt(0.2).unwrap());
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CombinedDoubt = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,209 @@
+//! Perfection-probability arguments — the paper's fifth SIL-judgement
+//! route ("developing an argument of high confidence in zero defects…
+//! credible for small highly analysed systems") and its footnote 3
+//! distinction: claiming `pfd = 0` with probability `p₀` is a different
+//! *kind* of claim from claiming a vanishingly small non-zero pfd, and
+//! the two compose as a mixture.
+
+use crate::error::{ConfidenceError, Result};
+use crate::worst_case::WorstCaseBound;
+use depcase_distributions::{Component, Distribution, Mixture, PointMass};
+
+/// A belief combining probability `p0` of perfection (pfd exactly 0)
+/// with a continuous belief about the imperfect case.
+///
+/// # Errors
+///
+/// [`ConfidenceError::InvalidArgument`] unless `p0 ∈ [0, 1]`; propagates
+/// mixture construction failures.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::perfection::belief_with_perfection;
+/// use depcase_distributions::{Distribution, LogNormal};
+///
+/// let imperfect = LogNormal::from_mode_sigma(1e-4, 1.0)?;
+/// let belief = belief_with_perfection(0.3, imperfect)?;
+/// // The atom at zero carries 30% of the mass:
+/// assert!((belief.cdf(0.0) - 0.3).abs() < 1e-12);
+/// // Eq. (4): the mean shrinks by exactly the perfection mass.
+/// assert!((belief.mean() - 0.7 * imperfect.mean()).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn belief_with_perfection<D: Distribution + 'static>(
+    p0: f64,
+    imperfect_body: D,
+) -> Result<Mixture> {
+    if !(0.0..=1.0).contains(&p0) {
+        return Err(ConfidenceError::InvalidArgument(format!(
+            "perfection probability must lie in [0, 1], got {p0}"
+        )));
+    }
+    let zero = PointMass::new(0.0).map_err(ConfidenceError::from)?;
+    Mixture::new(vec![Component::new(p0, zero), Component::new(1.0 - p0, imperfect_body)])
+        .map_err(ConfidenceError::from)
+}
+
+/// The perfection probability needed so that, combined with a worst-case
+/// view of the imperfect side (`P(pfd < y | imperfect) = 1 − x`), the
+/// system requirement is met: solves `(1 − p0)(x + y − xy) ≤ target` …
+/// conservatively treating *all* imperfect mass via Eq. (5).
+///
+/// Returns 0 when the imperfect side alone already meets the target.
+///
+/// # Errors
+///
+/// [`ConfidenceError::Infeasible`] when even certainty of perfection
+/// cannot help (never, since `p0 = 1` zeroes the bound — only argument
+/// validation errors remain).
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::perfection::required_perfection_probability;
+///
+/// // Imperfect side: 99% confident pfd < 1e-4, i.e. x = 0.01 and the
+/// // worst-case bound is ≈ 1.01e-2 — ten times the 1e-3 target. The
+/// // shortfall must come from perfection mass:
+/// let p0 = required_perfection_probability(1e-3, 1e-4, 0.99)?;
+/// assert!(p0 > 0.9, "p0 = {p0}");
+/// # Ok::<(), depcase_core::ConfidenceError>(())
+/// ```
+pub fn required_perfection_probability(
+    target: f64,
+    claim_bound: f64,
+    imperfect_confidence: f64,
+) -> Result<f64> {
+    if !(0.0 < target && target <= 1.0) {
+        return Err(ConfidenceError::InvalidArgument(format!(
+            "target must lie in (0, 1], got {target}"
+        )));
+    }
+    let x = 1.0 - imperfect_confidence;
+    let bound = WorstCaseBound::bound(x, claim_bound)?;
+    if bound <= target {
+        return Ok(0.0);
+    }
+    // (1 − p0) · bound = target  ⇒  p0 = 1 − target/bound.
+    Ok(1.0 - target / bound)
+}
+
+/// Classifies which *kind* of reasoning a tiny claimed pfd needs — the
+/// paper's footnote: "In the first case, the claim is one of perfection,
+/// and this might be supportable by non-probabilistic reasoning. In the
+/// second case, it is assumed that the system is imperfect."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimKind {
+    /// A perfection claim (`pfd = 0`): support it by exhaustive analysis
+    /// or proof, not statistics.
+    Perfection,
+    /// An imperfection claim (`pfd > 0` but small): support it by
+    /// probabilistic evidence.
+    VanishinglySmall,
+}
+
+/// Heuristic from the footnote: statistical evidence cannot distinguish
+/// bounds below what any conceivable testing could confirm (~1e-8 per
+/// demand for realistic campaigns); below that, the honest claim is one
+/// of perfection.
+#[must_use]
+pub fn claim_kind(bound: f64) -> ClaimKind {
+    if bound <= 0.0 || bound < 1e-8 {
+        ClaimKind::Perfection
+    } else {
+        ClaimKind::VanishinglySmall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_distributions::LogNormal;
+
+    fn body() -> LogNormal {
+        LogNormal::from_mode_sigma(1e-4, 1.0).unwrap()
+    }
+
+    #[test]
+    fn mixture_shape() {
+        let b = belief_with_perfection(0.25, body()).unwrap();
+        assert!((b.cdf(0.0) - 0.25).abs() < 1e-12);
+        assert!(b.cdf(1e-3) > 0.25);
+        assert!(belief_with_perfection(1.5, body()).is_err());
+        assert!(belief_with_perfection(-0.1, body()).is_err());
+    }
+
+    #[test]
+    fn zero_p0_is_just_the_body() {
+        let b = belief_with_perfection(0.0, body()).unwrap();
+        assert!((b.mean() - body().mean()).abs() < 1e-15);
+        assert_eq!(b.cdf(0.0), 0.0);
+    }
+
+    #[test]
+    fn full_p0_is_certain_perfection() {
+        let b = belief_with_perfection(1.0, body()).unwrap();
+        assert_eq!(b.cdf(0.0), 1.0);
+        assert_eq!(b.mean(), 0.0);
+    }
+
+    #[test]
+    fn required_p0_round_trip() {
+        let target = 1e-3;
+        let p0 = required_perfection_probability(target, 1e-4, 0.99).unwrap();
+        let x = 0.01;
+        let bound = WorstCaseBound::bound(x, 1e-4).unwrap();
+        assert!(((1.0 - p0) * bound - target).abs() < 1e-12);
+    }
+
+    #[test]
+    fn required_p0_zero_when_statistics_suffice() {
+        // 99.91% confidence in 1e-4 meets a 1e-3 target without any
+        // perfection mass.
+        let p0 = required_perfection_probability(1e-3, 1e-4, 0.99910).unwrap();
+        assert_eq!(p0, 0.0);
+    }
+
+    #[test]
+    fn required_p0_validation() {
+        assert!(required_perfection_probability(0.0, 1e-4, 0.99).is_err());
+        assert!(required_perfection_probability(1e-3, 1.5, 0.99).is_err());
+    }
+
+    #[test]
+    fn mixture_bound_matches_worst_case_with_perfection() {
+        // The paper's worst case with perfection puts mass p0 at 0,
+        // 1 − x − p0 at y and x at 1; its mean is exactly
+        // x + y − (x + p0)·y, Eq. (5)'s perfection variant.
+        let p0 = 0.2;
+        let y = 1e-3;
+        let x = 0.01;
+        let three_atoms = Mixture::new(vec![
+            Component::new(p0, PointMass::new(0.0).unwrap()),
+            Component::new(1.0 - x - p0, PointMass::new(y).unwrap()),
+            Component::new(x, PointMass::new(1.0).unwrap()),
+        ])
+        .unwrap();
+        let closed = WorstCaseBound::bound_with_perfection(x, y, p0).unwrap();
+        assert!(
+            (three_atoms.mean() - closed).abs() < 1e-15,
+            "{} vs {closed}",
+            three_atoms.mean()
+        );
+        // The helper's mixture (perfection alongside a statement-worst
+        // body) is *less* conservative: its doubt is also scaled by
+        // 1 − p0, so the closed form dominates it.
+        let worst_body = depcase_distributions::TwoPoint::worst_case(y, x).unwrap();
+        let b = belief_with_perfection(p0, worst_body).unwrap();
+        assert!(b.mean() <= closed + 1e-15);
+    }
+
+    #[test]
+    fn claim_kind_split() {
+        assert_eq!(claim_kind(0.0), ClaimKind::Perfection);
+        assert_eq!(claim_kind(1e-10), ClaimKind::Perfection);
+        assert_eq!(claim_kind(1e-6), ClaimKind::VanishinglySmall);
+        assert_eq!(claim_kind(1e-3), ClaimKind::VanishinglySmall);
+    }
+}

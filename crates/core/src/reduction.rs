@@ -1,0 +1,185 @@
+//! Claim reduction: "judged most likely SIL n+1, claimed SIL n".
+//!
+//! Sections 3.2/3.4 of the paper observe that assessors respond to
+//! uncertainty by claiming one SIL below where the evidence points, and
+//! that "it is more likely that a better case can be made if the system
+//! is judged as most likely a SIL n+1 system and it could then be taken
+//! as a SIL n with high confidence". This module turns the heuristic
+//! into a report: the per-level confidence ladder, the recommended claim
+//! at a stated confidence threshold, and how many levels of reduction
+//! the uncertainty actually costs.
+
+use depcase_distributions::Distribution;
+use depcase_sil::{DemandMode, SilAssessment, SilLevel};
+use serde::{Deserialize, Serialize};
+
+/// One rung of the confidence ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LadderRung {
+    /// The level considered.
+    pub level: SilLevel,
+    /// One-sided confidence of achieving it or better.
+    pub confidence: f64,
+}
+
+/// The full claim-reduction analysis of one belief.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReductionReport {
+    /// SIL band of the most likely (modal) value, if any.
+    pub most_likely: Option<SilLevel>,
+    /// SIL band of the mean, if any.
+    pub mean_level: Option<SilLevel>,
+    /// The strongest level claimable at the stated threshold.
+    pub recommended_claim: Option<SilLevel>,
+    /// Confidence threshold the recommendation used.
+    pub threshold: f64,
+    /// Confidence at the recommended claim (0 when none).
+    pub confidence_at_claim: f64,
+    /// Levels of reduction from the most likely band to the
+    /// recommendation (`None` when either side is unclassifiable).
+    pub levels_reduced: Option<i8>,
+    /// The whole ladder, ascending criticality.
+    pub ladder: Vec<LadderRung>,
+}
+
+impl ReductionReport {
+    /// Whether the paper's n+1 → n heuristic exactly describes this
+    /// belief: the recommendation sits exactly one level below the most
+    /// likely band.
+    #[must_use]
+    pub fn matches_heuristic(&self) -> bool {
+        self.levels_reduced == Some(1)
+    }
+}
+
+/// Analyses a pfd belief (low-demand mode) at a confidence threshold.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::reduction::analyse;
+/// use depcase_distributions::LogNormal;
+/// use depcase_sil::SilLevel;
+///
+/// // The paper's widest judgement: most likely SIL2, 67% confidence.
+/// let belief = LogNormal::from_mode_mean(0.003, 0.01)?;
+/// let report = analyse(&belief, 0.99);
+/// assert_eq!(report.most_likely, Some(SilLevel::Sil2));
+/// assert_eq!(report.recommended_claim, Some(SilLevel::Sil1));
+/// assert!(report.matches_heuristic());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn analyse<D: Distribution + ?Sized>(belief: &D, threshold: f64) -> ReductionReport {
+    let a = SilAssessment::new(belief, DemandMode::LowDemand);
+    let ladder: Vec<LadderRung> = SilLevel::ALL
+        .iter()
+        .map(|&level| LadderRung { level, confidence: a.confidence_at_least(level) })
+        .collect();
+    let most_likely = a.sil_of_mode();
+    let recommended_claim = a.claimable_at_confidence(threshold);
+    let confidence_at_claim = recommended_claim.map_or(0.0, |l| a.confidence_at_least(l));
+    let levels_reduced = match (most_likely, recommended_claim) {
+        (Some(m), Some(r)) => Some(m.index() as i8 - r.index() as i8),
+        _ => None,
+    };
+    ReductionReport {
+        most_likely,
+        mean_level: a.sil_of_mean(),
+        recommended_claim,
+        threshold,
+        confidence_at_claim,
+        levels_reduced,
+        ladder,
+    }
+}
+
+/// Sweeps the reduction analysis over a set of spreads with the mode
+/// pinned — "how wide can the judgement get before the claim drops k
+/// levels?". Returns `(sigma, levels_reduced)` pairs.
+///
+/// # Errors
+///
+/// Propagates belief-construction failures.
+pub fn reduction_vs_spread(
+    mode: f64,
+    sigmas: &[f64],
+    threshold: f64,
+) -> Result<Vec<(f64, Option<i8>)>, depcase_distributions::DistError> {
+    sigmas
+        .iter()
+        .map(|&sigma| {
+            let belief = depcase_distributions::LogNormal::from_mode_sigma(mode, sigma)?;
+            Ok((sigma, analyse(&belief, threshold).levels_reduced))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_distributions::LogNormal;
+
+    #[test]
+    fn paper_judgement_reduces_one_level_at_99() {
+        let belief = LogNormal::from_mode_mean(0.003, 0.01).unwrap();
+        let r = analyse(&belief, 0.99);
+        assert_eq!(r.most_likely, Some(SilLevel::Sil2));
+        assert_eq!(r.mean_level, Some(SilLevel::Sil1));
+        assert_eq!(r.recommended_claim, Some(SilLevel::Sil1));
+        assert!(r.matches_heuristic());
+        assert!(r.confidence_at_claim >= 0.99);
+    }
+
+    #[test]
+    fn tight_judgement_needs_no_reduction() {
+        let belief = LogNormal::from_mode_sigma(0.003, 0.2).unwrap();
+        let r = analyse(&belief, 0.99);
+        assert_eq!(r.most_likely, Some(SilLevel::Sil2));
+        assert_eq!(r.recommended_claim, Some(SilLevel::Sil2));
+        assert_eq!(r.levels_reduced, Some(0));
+        assert!(!r.matches_heuristic());
+    }
+
+    #[test]
+    fn hopeless_judgement_recommends_nothing() {
+        // Mode already in the SIL1 band with a wide spread: nothing is
+        // claimable at 99%.
+        let belief = LogNormal::from_mode_sigma(0.05, 1.5).unwrap();
+        let r = analyse(&belief, 0.99);
+        assert_eq!(r.recommended_claim, None);
+        assert_eq!(r.confidence_at_claim, 0.0);
+        assert_eq!(r.levels_reduced, None);
+    }
+
+    #[test]
+    fn ladder_is_monotone() {
+        let belief = LogNormal::from_mode_mean(0.003, 0.006).unwrap();
+        let r = analyse(&belief, 0.9);
+        for w in r.ladder.windows(2) {
+            assert!(w[1].confidence <= w[0].confidence + 1e-12);
+        }
+        assert_eq!(r.ladder.len(), 4);
+    }
+
+    #[test]
+    fn reduction_grows_with_spread() {
+        let pairs =
+            reduction_vs_spread(0.003, &[0.1, 0.5, 1.0, 1.8], 0.99).unwrap();
+        let reductions: Vec<i8> = pairs.iter().map(|(_, r)| r.unwrap_or(4)).collect();
+        for w in reductions.windows(2) {
+            assert!(w[1] >= w[0], "reduction not monotone: {reductions:?}");
+        }
+        assert!(reductions[0] == 0);
+        assert!(*reductions.last().unwrap() >= 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let belief = LogNormal::from_mode_mean(0.003, 0.01).unwrap();
+        let r = analyse(&belief, 0.99);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ReductionReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,324 @@
+//! Statistical-testing arguments: how failure-free evidence moves claims.
+//!
+//! Two routes are provided, which the bench harness compares as an
+//! ablation:
+//!
+//! - the **conjugate** route — Beta priors updated in closed form;
+//! - the **worst-case** route — the paper's two-point conservative prior
+//!   updated by Bayes (only the likelihood ratio between the two atoms
+//!   matters), plus the demands-needed solvers used for ACARP planning.
+
+use crate::error::{ConfidenceError, Result};
+use depcase_distributions::{Beta, Distribution};
+
+/// Number of failure-free demands needed so that, starting from a uniform
+/// prior on the pfd, `P(pfd < bound) ≥ confidence`.
+///
+/// Closed form from `P(pfd < y | n) = 1 − (1−y)^{n+1}`:
+/// `n ≥ ln(1 − confidence)/ln(1 − y) − 1`.
+///
+/// # Errors
+///
+/// [`ConfidenceError::InvalidArgument`] unless `bound ∈ (0, 1)` and
+/// `confidence ∈ (0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::testing::demands_needed_uniform_prior;
+///
+/// // The folklore number: ~4,600 failure-free demands for 99% confidence
+/// // in pfd < 1e-3.
+/// let n = demands_needed_uniform_prior(1e-3, 0.99)?;
+/// assert!((4590..=4610).contains(&n));
+/// # Ok::<(), depcase_core::ConfidenceError>(())
+/// ```
+pub fn demands_needed_uniform_prior(bound: f64, confidence: f64) -> Result<u64> {
+    if !(0.0 < bound && bound < 1.0) {
+        return Err(ConfidenceError::InvalidArgument(format!(
+            "bound must lie in (0, 1), got {bound}"
+        )));
+    }
+    if !(0.0 < confidence && confidence < 1.0) {
+        return Err(ConfidenceError::InvalidArgument(format!(
+            "confidence must lie in (0, 1), got {confidence}"
+        )));
+    }
+    let n = (1.0 - confidence).ln() / (-bound).ln_1p() - 1.0;
+    Ok(n.max(0.0).ceil() as u64)
+}
+
+/// Number of failure-free demands needed so that a given Beta prior
+/// reaches `P(pfd < bound) ≥ confidence`.
+///
+/// Solved by doubling + binary search over the conjugate posterior.
+///
+/// # Errors
+///
+/// [`ConfidenceError::InvalidArgument`] for out-of-range bound/confidence;
+/// [`ConfidenceError::Infeasible`] if even `2⁶³` demands would not reach
+/// the target (pathological priors).
+pub fn demands_needed(prior: &Beta, bound: f64, confidence: f64) -> Result<u64> {
+    if !(0.0 < bound && bound < 1.0 && 0.0 < confidence && confidence < 1.0) {
+        return Err(ConfidenceError::InvalidArgument(format!(
+            "bound and confidence must lie in (0, 1); got bound = {bound}, confidence = {confidence}"
+        )));
+    }
+    let reaches = |n: u64| prior.update_failure_free(n).cdf(bound) >= confidence;
+    if reaches(0) {
+        return Ok(0);
+    }
+    let mut hi = 1u64;
+    while !reaches(hi) {
+        hi = hi.checked_mul(2).ok_or_else(|| {
+            ConfidenceError::Infeasible(format!(
+                "no demand count reaches P(pfd < {bound}) = {confidence} from this prior"
+            ))
+        })?;
+    }
+    let mut lo = hi / 2;
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if reaches(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(hi)
+}
+
+/// Posterior doubt of the paper's conservative two-point prior after `n`
+/// failure-free demands.
+///
+/// With prior mass `1 − x` at pfd `y` and mass `x` at the worst case `w`,
+/// Bayes gives
+///
+/// ```text
+/// x_n = x (1−w)ⁿ / [ x (1−w)ⁿ + (1−x)(1−y)ⁿ ]
+/// ```
+///
+/// With the paper's `w = 1` a single failure-free demand annihilates the
+/// doubt atom (certain failure would have failed); the bounded-factor
+/// worst case `w = min(k·y, 1)` decays gracefully instead.
+///
+/// # Errors
+///
+/// [`ConfidenceError::InvalidArgument`] unless `x`, `y`, `w` are
+/// probabilities and `y < w`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::testing::worst_case_doubt_after_demands;
+///
+/// // 0.1% doubt, claim 1e-4, "wrong by at most a factor 100" worst case:
+/// let x1000 = worst_case_doubt_after_demands(0.001, 1e-4, 1e-2, 1000)?;
+/// assert!(x1000 < 0.001); // testing eats the doubt...
+/// let x10000 = worst_case_doubt_after_demands(0.001, 1e-4, 1e-2, 10_000)?;
+/// assert!(x10000 < x1000 / 100.0); // ...exponentially
+/// # Ok::<(), depcase_core::ConfidenceError>(())
+/// ```
+pub fn worst_case_doubt_after_demands(
+    doubt: f64,
+    claim_bound: f64,
+    worst: f64,
+    demands: u64,
+) -> Result<f64> {
+    for (name, v) in [("doubt", doubt), ("claim bound", claim_bound), ("worst", worst)] {
+        if !(0.0..=1.0).contains(&v) {
+            return Err(ConfidenceError::InvalidArgument(format!(
+                "{name} must be a probability, got {v}"
+            )));
+        }
+    }
+    if !(claim_bound < worst) {
+        return Err(ConfidenceError::InvalidArgument(format!(
+            "worst-case pfd ({worst}) must exceed the claim bound ({claim_bound})"
+        )));
+    }
+    let n = demands as f64;
+    // Work in log space: the powers underflow long before the ratio does.
+    let log_bad = doubt.ln() + n * (-worst).ln_1p();
+    let log_good = (1.0 - doubt).ln() + n * (-claim_bound).ln_1p();
+    if log_bad == f64::NEG_INFINITY {
+        return Ok(0.0);
+    }
+    let log_ratio = log_bad - log_good;
+    // x_n = 1 / (1 + e^{−log_ratio})
+    Ok(1.0 / (1.0 + (-log_ratio).exp()))
+}
+
+/// A conservative analogue of the Bishop–Bloomfield long-term bound,
+/// flagged by the paper as a question for future work ("it may well be
+/// that there is an equivalent to the conservative bound on mtbf for
+/// confidence"): *whatever* the prior belief `f(p)`, the probability
+/// that the system survives `n` demands and then fails on the
+/// `(n+1)`-th — the marginal probability of first failure at demand
+/// `n+1` — satisfies
+///
+/// ```text
+/// P(survive n, fail next) = E[p(1−p)ⁿ] ≤ max_q q(1−q)ⁿ
+///                         = (1/(n+1))·(1 − 1/(n+1))ⁿ ≤ 1/(e·n)
+/// ```
+///
+/// for `n ≥ 1`. (No prior-free bound exists for the *conditional*
+/// predictive probability: a point prior at `q` survives conditioning
+/// unchanged, so the conditional can be anything.)
+///
+/// # Errors
+///
+/// [`ConfidenceError::InvalidArgument`] for `n = 0` (no evidence, no
+/// bound).
+///
+/// # Examples
+///
+/// ```
+/// use depcase_core::testing::conservative_predictive_bound;
+///
+/// let b = conservative_predictive_bound(1000)?;
+/// assert!(b < 3.7e-4 && b > 3.6e-4);
+/// # Ok::<(), depcase_core::ConfidenceError>(())
+/// ```
+pub fn conservative_predictive_bound(demands: u64) -> Result<f64> {
+    if demands == 0 {
+        return Err(ConfidenceError::InvalidArgument(
+            "the conservative predictive bound needs at least one survived demand".into(),
+        ));
+    }
+    Ok(1.0 / (std::f64::consts::E * demands as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_prior_demands_closed_form() {
+        // n such that 1 − (1−y)^{n+1} >= c.
+        let n = demands_needed_uniform_prior(1e-3, 0.99).unwrap();
+        let post = Beta::uniform_prior().update_failure_free(n);
+        assert!(post.cdf(1e-3) >= 0.99);
+        let fewer = Beta::uniform_prior().update_failure_free(n - 1);
+        assert!(fewer.cdf(1e-3) < 0.99, "n is minimal");
+    }
+
+    #[test]
+    fn uniform_prior_demands_validation() {
+        assert!(demands_needed_uniform_prior(0.0, 0.9).is_err());
+        assert!(demands_needed_uniform_prior(1.0, 0.9).is_err());
+        assert!(demands_needed_uniform_prior(1e-3, 0.0).is_err());
+        assert!(demands_needed_uniform_prior(1e-3, 1.0).is_err());
+    }
+
+    #[test]
+    fn demands_needed_agrees_with_closed_form_for_uniform() {
+        let via_search = demands_needed(&Beta::uniform_prior(), 1e-3, 0.99).unwrap();
+        let via_formula = demands_needed_uniform_prior(1e-3, 0.99).unwrap();
+        assert!(
+            via_search.abs_diff(via_formula) <= 1,
+            "search {via_search} vs formula {via_formula}"
+        );
+    }
+
+    #[test]
+    fn demands_needed_zero_when_prior_suffices() {
+        let confident_prior = Beta::new(1.0, 100_000.0).unwrap();
+        assert_eq!(demands_needed(&confident_prior, 1e-3, 0.99).unwrap(), 0);
+    }
+
+    #[test]
+    fn demands_needed_monotone_in_confidence() {
+        let prior = Beta::uniform_prior();
+        let n90 = demands_needed(&prior, 1e-3, 0.90).unwrap();
+        let n99 = demands_needed(&prior, 1e-3, 0.99).unwrap();
+        let n999 = demands_needed(&prior, 1e-3, 0.999).unwrap();
+        assert!(n90 < n99 && n99 < n999);
+    }
+
+    #[test]
+    fn demands_scale_inversely_with_bound() {
+        // An order of magnitude stronger claim needs an order of
+        // magnitude more testing — the crux of the paper's Example 3
+        // escalation.
+        let n3 = demands_needed_uniform_prior(1e-3, 0.99).unwrap();
+        let n4 = demands_needed_uniform_prior(1e-4, 0.99).unwrap();
+        let ratio = n4 as f64 / n3 as f64;
+        assert!((ratio - 10.0).abs() < 0.1, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn paper_w_equals_one_doubt_dies_instantly() {
+        // With the paper's worst case w = 1, certain failure cannot
+        // survive even one demand.
+        let x1 = worst_case_doubt_after_demands(0.01, 1e-4, 1.0, 1).unwrap();
+        assert_eq!(x1, 0.0);
+    }
+
+    #[test]
+    fn bounded_factor_doubt_decays_exponentially() {
+        let x0 = 0.001;
+        let mut prev = x0;
+        for n in [100, 1000, 10_000] {
+            let xn = worst_case_doubt_after_demands(x0, 1e-4, 1e-2, n).unwrap();
+            assert!(xn < prev, "n = {n}");
+            prev = xn;
+        }
+        // Rate check: log-ratio decays like n·ln[(1−w)/(1−y)].
+        let x_a = worst_case_doubt_after_demands(x0, 1e-4, 1e-2, 500).unwrap();
+        let x_b = worst_case_doubt_after_demands(x0, 1e-4, 1e-2, 1000).unwrap();
+        let decay = (x_b / x_a).ln() / 500.0;
+        let want = (1.0 - 1e-2_f64).ln() - (1.0 - 1e-4_f64).ln();
+        assert!((decay - want).abs() < 1e-4, "decay {decay} vs {want}");
+    }
+
+    #[test]
+    fn doubt_update_no_demands_is_identity() {
+        let x = worst_case_doubt_after_demands(0.25, 1e-3, 0.5, 0).unwrap();
+        assert!((x - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doubt_update_validation() {
+        assert!(worst_case_doubt_after_demands(1.5, 0.1, 0.5, 10).is_err());
+        assert!(worst_case_doubt_after_demands(0.1, 0.5, 0.1, 10).is_err()); // y >= w
+        assert!(worst_case_doubt_after_demands(0.1, 0.5, 0.5, 10).is_err());
+    }
+
+    #[test]
+    fn doubt_update_underflow_safe() {
+        // Enormous demand counts must not produce NaN.
+        let x = worst_case_doubt_after_demands(0.001, 1e-6, 1e-2, 10_000_000).unwrap();
+        assert!((0.0..=1.0).contains(&x));
+        assert!(x < 1e-300 || x == 0.0);
+    }
+
+    #[test]
+    fn conservative_bound_dominates_joint_first_failure_probability() {
+        for n in [1u64, 10, 100, 10_000] {
+            let bound = conservative_predictive_bound(n).unwrap();
+            // Uniform prior: E[p(1−p)ⁿ] = 1/((n+1)(n+2)).
+            let nf = n as f64;
+            let exact_uniform = 1.0 / ((nf + 1.0) * (nf + 2.0));
+            assert!(bound >= exact_uniform, "n = {n}: {bound} < {exact_uniform}");
+            // The extremal point prior at q = 1/(n+1) gets within ~10%
+            // of the bound, so the bound is tight up to constants.
+            let q = 1.0 / (nf + 1.0);
+            let extremal = q * (1.0 - q).powf(nf);
+            assert!(bound >= extremal, "n = {n}");
+            // Tight up to constants; the slack shrinks as n grows.
+            let floor = if n >= 10 { 0.85 } else { 0.6 };
+            assert!(
+                extremal >= floor * bound,
+                "n = {n}: bound is loose: {extremal} vs {bound}"
+            );
+        }
+        assert!(conservative_predictive_bound(0).is_err());
+    }
+
+    #[test]
+    fn conservative_bound_value() {
+        let b = conservative_predictive_bound(100).unwrap();
+        assert!((b - 1.0 / (std::f64::consts::E * 100.0)).abs() < 1e-15);
+    }
+}

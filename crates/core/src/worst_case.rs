@@ -1,0 +1,319 @@
+//! The conservative worst-case calculus of the paper's Section 3.4.
+//!
+//! Given only the single-point elicited belief `P(pfd < y) = 1 − x`, the
+//! most conservative belief distribution concentrates mass `1 − x` at `y`
+//! and mass `x` at 1, so
+//!
+//! ```text
+//! P(system fails on a randomly selected demand) ≤ (1 − x)·y + x
+//!                                               = x + y − xy        (5)
+//! ```
+//!
+//! The functions here implement that bound, its perfection-probability
+//! and bounded-factor refinements, and the inverse problems ("what
+//! confidence do I need?") that give the paper's Examples 1–3 their
+//! numbers.
+
+use crate::claim::ConfidenceStatement;
+use crate::error::{ConfidenceError, Result};
+use depcase_distributions::{Distribution, TwoPoint};
+
+/// Namespace for the worst-case bound calculus.
+///
+/// All members are associated functions: the calculus is stateless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorstCaseBound;
+
+impl WorstCaseBound {
+    /// The paper's Eq. (5): `x + y − xy`, the worst-case probability of
+    /// failure on a randomly selected demand given
+    /// `P(pfd < y) = 1 − x`.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfidenceError::InvalidArgument`] unless both `x` (doubt) and
+    /// `y` (claim bound) are probabilities.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use depcase_core::WorstCaseBound;
+    ///
+    /// let b = WorstCaseBound::bound(0.0009, 1e-4)?;
+    /// assert!((b - 0.00099991).abs() < 1e-10);
+    /// # Ok::<(), depcase_core::ConfidenceError>(())
+    /// ```
+    pub fn bound(doubt: f64, claim_bound: f64) -> Result<f64> {
+        check_prob("doubt", doubt)?;
+        check_prob("claim bound", claim_bound)?;
+        Ok(doubt + claim_bound - doubt * claim_bound)
+    }
+
+    /// The perfection-probability refinement (the paper's footnote to
+    /// Section 3.4): if the expert additionally holds probability `p0`
+    /// that the system is *perfect* (pfd = 0), the bound tightens to
+    /// `x + y − (x + p0)·y`.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfidenceError::InvalidArgument`] if any argument is not a
+    /// probability or `p0 > 1 − x` (the perfection mass cannot exceed the
+    /// mass consistent with the claim).
+    pub fn bound_with_perfection(doubt: f64, claim_bound: f64, p0: f64) -> Result<f64> {
+        check_prob("doubt", doubt)?;
+        check_prob("claim bound", claim_bound)?;
+        check_prob("perfection probability", p0)?;
+        if p0 > 1.0 - doubt {
+            return Err(ConfidenceError::InvalidArgument(format!(
+                "perfection probability {p0} exceeds the non-doubt mass {}",
+                1.0 - doubt
+            )));
+        }
+        Ok(doubt + claim_bound - (doubt + p0) * claim_bound)
+    }
+
+    /// The bounded-factor refinement (the paper's closing remark of
+    /// Section 3.4): if we can defend that, when wrong, the pfd is at
+    /// worst `factor · y` rather than 1, the bound becomes
+    /// `(1 − x)·y + x·min(factor·y, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfidenceError::InvalidArgument`] unless `x`, `y` are
+    /// probabilities and `factor >= 1`.
+    pub fn bound_with_factor(doubt: f64, claim_bound: f64, factor: f64) -> Result<f64> {
+        check_prob("doubt", doubt)?;
+        check_prob("claim bound", claim_bound)?;
+        if !(factor >= 1.0) {
+            return Err(ConfidenceError::InvalidArgument(format!(
+                "worst-case factor must be >= 1, got {factor}"
+            )));
+        }
+        let worst = (factor * claim_bound).min(1.0);
+        Ok((1.0 - doubt) * claim_bound + doubt * worst)
+    }
+
+    /// Inverse problem: the confidence `1 − x*` required so that claiming
+    /// `pfd < claim_bound` supports the system requirement
+    /// `x* + y* − x*y* = target`.
+    ///
+    /// This is the computation behind the paper's Example 3: with
+    /// `target = 10⁻³` and `claim_bound = 10⁻⁴`, the required confidence
+    /// is 99.91 %.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfidenceError::Infeasible`] when `claim_bound >= target` (the
+    /// coupling between claim and doubt makes the requirement
+    /// unreachable: both must be below the target).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use depcase_core::WorstCaseBound;
+    ///
+    /// let c = WorstCaseBound::required_confidence(1e-3, 1e-4)?;
+    /// assert!((c - 0.9991).abs() < 1e-4);
+    /// // The stringent case in the paper: a 1e-5 requirement needs
+    /// // confidence beyond 99.999% — "it seems unlikely that real experts
+    /// // would ever express confidence of this magnitude".
+    /// let c = WorstCaseBound::required_confidence(1e-5, 1e-6)?;
+    /// assert!(c > 0.99999);
+    /// # Ok::<(), depcase_core::ConfidenceError>(())
+    /// ```
+    pub fn required_confidence(target: f64, claim_bound: f64) -> Result<f64> {
+        check_prob("target", target)?;
+        check_prob("claim bound", claim_bound)?;
+        if !(claim_bound < target) {
+            return Err(ConfidenceError::Infeasible(format!(
+                "the claimed bound ({claim_bound}) must be strictly below the target ({target}): \
+                 both doubt and claim are coupled below the requirement"
+            )));
+        }
+        // x + y − xy = t  ⇒  x = (t − y) / (1 − y)
+        let x = (target - claim_bound) / (1.0 - claim_bound);
+        Ok(1.0 - x)
+    }
+
+    /// Inverse problem: the claim bound `y*` to aim for when the expert
+    /// can muster at most the given confidence, so that
+    /// `x* + y* − x*y* = target`.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfidenceError::Infeasible`] when the doubt `1 − confidence`
+    /// already exceeds the target (no claim bound, however strong, can
+    /// compensate).
+    pub fn required_claim_bound(target: f64, confidence: f64) -> Result<f64> {
+        check_prob("target", target)?;
+        check_prob("confidence", confidence)?;
+        let x = 1.0 - confidence;
+        if x >= target {
+            return Err(ConfidenceError::Infeasible(format!(
+                "doubt {x} alone reaches the target {target}; no claim bound can help"
+            )));
+        }
+        // x + y − xy = t  ⇒  y = (t − x) / (1 − x)
+        Ok((target - x) / (1.0 - x))
+    }
+
+    /// The extremal (most conservative) belief distribution realizing the
+    /// bound for a statement — the paper's Figure 6b as an actual
+    /// [`Distribution`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfidenceError::InvalidArgument`] if the statement's bound is 1
+    /// (the two atoms would coincide).
+    pub fn extremal_distribution(statement: &ConfidenceStatement) -> Result<TwoPoint> {
+        TwoPoint::worst_case(statement.bound(), statement.doubt()).map_err(ConfidenceError::from)
+    }
+
+    /// Verifies numerically that the bound dominates the unconditional
+    /// failure probability `∫ p f(p) dp` of an arbitrary belief `f`
+    /// satisfying `P(pfd < y) ≥ 1 − x` — returns the pair
+    /// `(actual, bound)`.
+    ///
+    /// Used by the property-test suite; exposed because it is also a
+    /// useful diagnostic when auditing a case.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution/quadrature failures.
+    pub fn check_dominates<D: Distribution + ?Sized>(
+        belief: &D,
+        claim_bound: f64,
+    ) -> Result<(f64, f64)> {
+        let doubt = 1.0 - belief.cdf(claim_bound);
+        let actual = depcase_distributions::moments::numeric_mean(belief, 1e-10)?;
+        let bound = Self::bound(doubt, claim_bound)?;
+        Ok((actual, bound))
+    }
+}
+
+fn check_prob(name: &str, v: f64) -> Result<()> {
+    if !(0.0..=1.0).contains(&v) {
+        return Err(ConfidenceError::InvalidArgument(format!(
+            "{name} must be a probability in [0, 1], got {v}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_distributions::Beta;
+
+    #[test]
+    fn eq5_examples_from_paper() {
+        // Example 1: x* = 0, y* = 1e-3 → bound 1e-3.
+        assert!((WorstCaseBound::bound(0.0, 1e-3).unwrap() - 1e-3).abs() < 1e-18);
+        // Example 2: x* = 1e-3, y* = 0 → bound 1e-3.
+        assert!((WorstCaseBound::bound(1e-3, 0.0).unwrap() - 1e-3).abs() < 1e-18);
+        // Example 3: x* = 0.0009, y* = 1e-4 → bound ≈ 1e-3.
+        let b = WorstCaseBound::bound(0.0009, 1e-4).unwrap();
+        assert!((b - 1e-3).abs() < 1e-7, "bound = {b}");
+    }
+
+    #[test]
+    fn example3_required_confidence_is_9991() {
+        let c = WorstCaseBound::required_confidence(1e-3, 1e-4).unwrap();
+        // x* = (1e-3 − 1e-4)/(1 − 1e-4) ≈ 0.00090009 → confidence 99.90999…%
+        assert!((c - 0.99909991).abs() < 1e-6, "c = {c}");
+    }
+
+    #[test]
+    fn required_confidence_round_trips_through_bound() {
+        for &(t, y) in &[(1e-3, 1e-4), (1e-2, 1e-3), (1e-5, 1e-7), (0.5, 0.1)] {
+            let c = WorstCaseBound::required_confidence(t, y).unwrap();
+            let b = WorstCaseBound::bound(1.0 - c, y).unwrap();
+            assert!((b - t).abs() < 1e-12, "t = {t}, y = {y}: bound = {b}");
+        }
+    }
+
+    #[test]
+    fn required_confidence_infeasible_when_claim_not_below_target() {
+        assert!(WorstCaseBound::required_confidence(1e-3, 1e-3).is_err());
+        assert!(WorstCaseBound::required_confidence(1e-3, 1e-2).is_err());
+    }
+
+    #[test]
+    fn stringent_requirement_needs_extreme_confidence() {
+        // The paper: for y = 1e-5 the expert "would need to believe the
+        // pfd is smaller than y* with confidence greater than 99.999%".
+        let c = WorstCaseBound::required_confidence(1e-5, 1e-6).unwrap();
+        assert!(c > 0.99999, "c = {c}");
+    }
+
+    #[test]
+    fn required_claim_bound_inverse() {
+        let y = WorstCaseBound::required_claim_bound(1e-3, 0.9995).unwrap();
+        let b = WorstCaseBound::bound(0.0005, y).unwrap();
+        assert!((b - 1e-3).abs() < 1e-12);
+        // Doubt exceeding the target is hopeless.
+        assert!(WorstCaseBound::required_claim_bound(1e-3, 0.99).is_err());
+    }
+
+    #[test]
+    fn perfection_tightens_bound() {
+        let plain = WorstCaseBound::bound(0.001, 1e-3).unwrap();
+        let with_p0 = WorstCaseBound::bound_with_perfection(0.001, 1e-3, 0.3).unwrap();
+        assert!(with_p0 < plain);
+        // Formula: x + y − (x + p0) y
+        let want = 0.001 + 1e-3 - (0.001 + 0.3) * 1e-3;
+        assert!((with_p0 - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn perfection_validation() {
+        assert!(WorstCaseBound::bound_with_perfection(0.4, 1e-3, 0.7).is_err());
+        assert!(WorstCaseBound::bound_with_perfection(0.1, 1e-3, -0.1).is_err());
+    }
+
+    #[test]
+    fn factor_interpolates_between_tight_and_full() {
+        let y = 1e-4;
+        let x = 0.01;
+        // factor 1: no penalty beyond the claim bound itself.
+        let f1 = WorstCaseBound::bound_with_factor(x, y, 1.0).unwrap();
+        assert!((f1 - y).abs() < 1e-18);
+        // The paper's "not wrong by more than a factor of 100":
+        let f100 = WorstCaseBound::bound_with_factor(x, y, 100.0).unwrap();
+        assert!(f100 > f1);
+        let full = WorstCaseBound::bound(x, y).unwrap();
+        assert!(f100 < full);
+        // Enormous factor saturates at the full bound.
+        let fbig = WorstCaseBound::bound_with_factor(x, y, 1e9).unwrap();
+        assert!((fbig - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_validation() {
+        assert!(WorstCaseBound::bound_with_factor(0.1, 1e-3, 0.5).is_err());
+    }
+
+    #[test]
+    fn argument_validation() {
+        assert!(WorstCaseBound::bound(-0.1, 0.5).is_err());
+        assert!(WorstCaseBound::bound(0.5, 1.5).is_err());
+        assert!(WorstCaseBound::bound(f64::NAN, 0.5).is_err());
+    }
+
+    #[test]
+    fn extremal_distribution_attains_bound() {
+        let s = ConfidenceStatement::new(1e-4, 0.9991).unwrap();
+        let w = WorstCaseBound::extremal_distribution(&s).unwrap();
+        assert!((w.mean() - s.worst_case_failure_probability()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bound_dominates_real_distributions() {
+        // Any admissible belief has unconditional failure probability
+        // below the worst-case bound.
+        for belief in [Beta::new(1.0, 500.0).unwrap(), Beta::new(2.0, 2000.0).unwrap()] {
+            let (actual, bound) = WorstCaseBound::check_dominates(&belief, 1e-2).unwrap();
+            assert!(actual <= bound + 1e-9, "actual {actual} > bound {bound}");
+        }
+    }
+}

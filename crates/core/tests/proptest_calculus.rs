@@ -1,0 +1,110 @@
+//! Property tests for the worst-case confidence calculus.
+
+use depcase_core::multileg::{combine_with_shared_assumption, Leg};
+use depcase_core::testing::{demands_needed_uniform_prior, worst_case_doubt_after_demands};
+use depcase_core::{ConfidenceStatement, WorstCaseBound};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Eq. (5) algebra: the bound is a probability, lies between its two
+    /// arguments' max and their sum, and is monotone in each argument.
+    #[test]
+    fn bound_algebra(x in 0.0f64..1.0, y in 0.0f64..1.0, dx in 0.0f64..0.2) {
+        let b = WorstCaseBound::bound(x, y).unwrap();
+        prop_assert!((0.0..=1.0).contains(&b));
+        prop_assert!(b >= x.max(y) - 1e-15);
+        prop_assert!(b <= x + y + 1e-15);
+        let b2 = WorstCaseBound::bound((x + dx).min(1.0), y).unwrap();
+        prop_assert!(b2 >= b - 1e-15, "monotone in doubt");
+        let b3 = WorstCaseBound::bound(x, (y + dx).min(1.0)).unwrap();
+        prop_assert!(b3 >= b - 1e-15, "monotone in claim bound");
+    }
+
+    /// The statement's worst-case probability matches the free function.
+    #[test]
+    fn statement_consistency(y in 0.0f64..1.0, conf in 0.0f64..1.0) {
+        let s = ConfidenceStatement::new(y, conf).unwrap();
+        let b = WorstCaseBound::bound(1.0 - conf, y).unwrap();
+        prop_assert!((s.worst_case_failure_probability() - b).abs() < 1e-15);
+    }
+
+    /// Perfection probability always helps, factor always helps.
+    #[test]
+    fn refinements_never_hurt(
+        x in 0.0f64..0.5,
+        y in 0.0f64..0.5,
+        p0 in 0.0f64..0.5,
+        k in 1.0f64..1e6,
+    ) {
+        let plain = WorstCaseBound::bound(x, y).unwrap();
+        let perf = WorstCaseBound::bound_with_perfection(x, y, p0).unwrap();
+        prop_assert!(perf <= plain + 1e-15);
+        let fac = WorstCaseBound::bound_with_factor(x, y, k).unwrap();
+        prop_assert!(fac <= plain + 1e-15);
+    }
+
+    /// required_claim_bound and required_confidence are mutually
+    /// consistent.
+    #[test]
+    fn inverse_solvers_consistent(target in 1e-5f64..0.5, frac in 0.05f64..0.95) {
+        let y = target * frac;
+        let conf = WorstCaseBound::required_confidence(target, y).unwrap();
+        let y_back = WorstCaseBound::required_claim_bound(target, conf).unwrap();
+        prop_assert!((y_back - y).abs() < 1e-9 * target.max(y));
+    }
+
+    /// The demands-needed closed form is exact: n is minimal.
+    #[test]
+    fn demands_needed_minimal(
+        bound_exp in 1.0f64..4.0,
+        conf in 0.5f64..0.999,
+    ) {
+        let bound = 10f64.powf(-bound_exp);
+        let n = demands_needed_uniform_prior(bound, conf).unwrap();
+        let post = |n: u64| 1.0 - (1.0 - bound).powf(n as f64 + 1.0);
+        prop_assert!(post(n) >= conf - 1e-12);
+        if n > 0 {
+            prop_assert!(post(n - 1) < conf + 1e-12);
+        }
+    }
+
+    /// Worst-case doubt updates stay probabilities and decrease in n.
+    #[test]
+    fn doubt_update_monotone(
+        x in 0.001f64..0.9,
+        y_exp in 2.0f64..6.0,
+        w_mult in 2.0f64..100.0,
+        n1 in 0u64..5000,
+        dn in 1u64..5000,
+    ) {
+        let y = 10f64.powf(-y_exp);
+        let w = (y * w_mult).min(1.0);
+        prop_assume!(w > y);
+        let a = worst_case_doubt_after_demands(x, y, w, n1).unwrap();
+        let b = worst_case_doubt_after_demands(x, y, w, n1 + dn).unwrap();
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!(b <= a + 1e-15);
+    }
+
+    /// Shared-assumption combination: result is bracketed by the shared
+    /// floor and the weaker leg.
+    #[test]
+    fn shared_assumption_bracket(
+        xa in 0.0f64..1.0,
+        xb in 0.0f64..1.0,
+        sfrac in 0.0f64..1.0,
+    ) {
+        let s = sfrac * xa.min(xb);
+        let a = Leg::with_doubt(xa).unwrap();
+        let b = Leg::with_doubt(xb).unwrap();
+        let c = combine_with_shared_assumption(a, b, s).unwrap();
+        prop_assert!(c.independent >= s - 1e-12);
+        prop_assert!(c.worst_case <= xa.min(xb) + 1e-12);
+        prop_assert!(c.best_case >= c.independent - 1e-12 || c.independent >= c.best_case - 1e-12);
+        // Full ordering:
+        prop_assert!(c.best_case <= c.independent + 1e-12);
+        prop_assert!(c.independent <= c.worst_case + 1e-12);
+    }
+}

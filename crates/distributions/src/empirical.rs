@@ -1,0 +1,176 @@
+//! Empirical distributions built from samples.
+//!
+//! The elicitation experiment (paper Section 3.3) produces per-expert pfd
+//! judgements; pooling them yields an empirical belief distribution whose
+//! quantiles and band probabilities feed the same SIL machinery as the
+//! parametric families.
+
+use crate::error::{DistError, Result};
+use crate::traits::{Distribution, Support};
+use depcase_numerics::stats::Ecdf;
+use rand::Rng;
+use rand::RngCore;
+
+/// The empirical distribution of a finite sample.
+///
+/// The CDF is the usual step function; quantiles interpolate linearly
+/// between order statistics (type-7); sampling draws uniformly from the
+/// stored observations (the bootstrap distribution).
+///
+/// # Examples
+///
+/// ```
+/// use depcase_distributions::{Distribution, Empirical};
+///
+/// let judged = Empirical::new(vec![1e-3, 3e-3, 1e-2, 3e-3])?;
+/// assert_eq!(judged.cdf(3e-3), 0.75);
+/// assert!((judged.mean() - 4.25e-3).abs() < 1e-12);
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical {
+    ecdf: Ecdf,
+    mean: f64,
+    variance: f64,
+}
+
+impl Empirical {
+    /// Builds the empirical distribution of `samples`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] for an empty or non-finite sample.
+    pub fn new(samples: Vec<f64>) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(DistError::InvalidParameter("empirical sample must be non-empty".into()));
+        }
+        if samples.iter().any(|v| !v.is_finite()) {
+            return Err(DistError::InvalidParameter("empirical sample must be finite".into()));
+        }
+        let acc: depcase_numerics::stats::Accumulator = samples.iter().copied().collect();
+        let ecdf = Ecdf::new(samples).map_err(DistError::Numerics)?;
+        Ok(Self { ecdf, mean: acc.mean(), variance: acc.sample_variance() })
+    }
+
+    /// Number of underlying observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ecdf.len()
+    }
+
+    /// Always `false`; construction rejects empty samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The sorted underlying observations.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        self.ecdf.samples()
+    }
+}
+
+impl Distribution for Empirical {
+    fn support(&self) -> Support {
+        let s = self.ecdf.samples();
+        Support { lo: s[0], hi: *s.last().expect("nonempty") }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        // Purely atomic: infinite density on observed points.
+        if self.ecdf.samples().binary_search_by(|v| v.partial_cmp(&x).expect("finite")).is_ok() {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        self.ecdf.eval(x)
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistError::InvalidProbability(p));
+        }
+        Ok(depcase_numerics::stats::quantile(self.ecdf.samples(), p)?)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let s = self.ecdf.samples();
+        s[rng.gen_range(0..s.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_numerics::float::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Empirical::new(vec![]).is_err());
+        assert!(Empirical::new(vec![1.0, f64::NAN]).is_err());
+        assert!(Empirical::new(vec![1.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn cdf_steps() {
+        let e = Empirical::new(vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.0), 0.75);
+        assert_eq!(e.cdf(4.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let e = Empirical::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.quantile(0.5).unwrap(), 2.5);
+        assert_eq!(e.quantile(0.0).unwrap(), 1.0);
+        assert_eq!(e.quantile(1.0).unwrap(), 4.0);
+        assert!(e.quantile(1.5).is_err());
+    }
+
+    #[test]
+    fn moments_match_sample() {
+        let e = Empirical::new(vec![2.0, 4.0, 6.0]).unwrap();
+        assert!(approx_eq(e.mean(), 4.0, 1e-15, 0.0));
+        assert!(approx_eq(e.variance(), 4.0, 1e-13, 0.0));
+    }
+
+    #[test]
+    fn pdf_is_atomic() {
+        let e = Empirical::new(vec![1.0, 3.0]).unwrap();
+        assert_eq!(e.pdf(1.0), f64::INFINITY);
+        assert_eq!(e.pdf(2.0), 0.0);
+    }
+
+    #[test]
+    fn support_spans_sample() {
+        let e = Empirical::new(vec![5.0, -1.0, 3.0]).unwrap();
+        let s = e.support();
+        assert_eq!((s.lo, s.hi), (-1.0, 5.0));
+    }
+
+    #[test]
+    fn bootstrap_sampling() {
+        let e = Empirical::new(vec![1.0, 2.0, 3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let xs = e.sample_n(&mut rng, 3000);
+        assert!(xs.iter().all(|x| [1.0, 2.0, 3.0].contains(x)));
+        let ones = xs.iter().filter(|&&x| x == 1.0).count() as f64 / 3000.0;
+        assert!((ones - 1.0 / 3.0).abs() < 0.05);
+    }
+}

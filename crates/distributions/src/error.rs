@@ -1,0 +1,75 @@
+//! Error type for distribution construction and evaluation.
+
+use depcase_numerics::NumericsError;
+use std::fmt;
+
+/// Error produced by distribution constructors and fallible queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// A constructor argument was invalid (non-positive scale, probability
+    /// outside the unit interval, …).
+    InvalidParameter(String),
+    /// A quantile was requested outside `[0, 1]`.
+    InvalidProbability(f64),
+    /// An underlying numerical routine failed.
+    Numerics(NumericsError),
+    /// The requested construction is infeasible (e.g. no spread satisfies
+    /// the stated mode/confidence pair).
+    Infeasible(String),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DistError::InvalidProbability(p) => {
+                write!(f, "probability level {p} outside [0, 1]")
+            }
+            DistError::Numerics(e) => write!(f, "numerical failure: {e}"),
+            DistError::Infeasible(msg) => write!(f, "infeasible construction: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for DistError {
+    fn from(e: NumericsError) -> Self {
+        DistError::Numerics(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, DistError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DistError::InvalidParameter("sigma".into()).to_string().contains("sigma"));
+        assert!(DistError::InvalidProbability(1.5).to_string().contains("1.5"));
+        assert!(DistError::Infeasible("no sigma".into()).to_string().contains("no sigma"));
+    }
+
+    #[test]
+    fn from_numerics_preserves_source() {
+        use std::error::Error;
+        let e: DistError = NumericsError::Domain("x".into()).into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DistError>();
+    }
+}

@@ -1,0 +1,171 @@
+//! The exponential distribution.
+//!
+//! The likelihood kernel for *time-based* operating experience: surviving
+//! time `t` at constant failure rate `λ` has probability `e^{−λt}`, which
+//! is what [`crate::RateSurvivalWeighted`] folds into a rate prior.
+
+use crate::error::{DistError, Result};
+use crate::sampler::standard_exponential;
+use crate::traits::{Distribution, Support};
+use rand::RngCore;
+
+/// An exponential distribution with rate `lambda`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_distributions::{Distribution, Exponential};
+///
+/// let e = Exponential::new(2.0)?;
+/// assert_eq!(e.mean(), 0.5);
+/// assert!((e.sf(1.0) - (-2.0_f64).exp()).abs() < 1e-15);
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `rate > 0` finite.
+    pub fn new(rate: f64) -> Result<Self> {
+        if !(rate > 0.0) || !rate.is_finite() {
+            return Err(DistError::InvalidParameter(format!(
+                "Exponential requires rate > 0, got {rate}"
+            )));
+        }
+        Ok(Self { rate })
+    }
+
+    /// The rate parameter λ.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Distribution for Exponential {
+    fn support(&self) -> Support {
+        Support::non_negative()
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.rate.ln() - self.rate * x
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-self.rate * x).exp_m1()
+        }
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            (-self.rate * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistError::InvalidProbability(p));
+        }
+        if p == 1.0 {
+            return Ok(f64::INFINITY);
+        }
+        Ok(-(-p).ln_1p() / self.rate)
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn mode(&self) -> Option<f64> {
+        Some(0.0)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        standard_exponential(rng) / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_numerics::float::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn memoryless_property() {
+        let e = Exponential::new(0.7).unwrap();
+        // P(X > s + t) = P(X > s) P(X > t)
+        let (s, t) = (1.3, 2.1);
+        assert!(approx_eq(e.sf(s + t), e.sf(s) * e.sf(t), 1e-13, 1e-15));
+    }
+
+    #[test]
+    fn quantile_round_trip_and_tiny_levels() {
+        let e = Exponential::new(3.0).unwrap();
+        for p in [1e-15, 0.1, 0.5, 0.9, 0.999] {
+            let x = e.quantile(p).unwrap();
+            assert!(approx_eq(e.cdf(x), p, 1e-12, 1e-16), "p = {p}");
+        }
+        assert_eq!(e.quantile(1.0).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn moments_and_mode() {
+        let e = Exponential::new(4.0).unwrap();
+        assert_eq!(e.mean(), 0.25);
+        assert_eq!(e.variance(), 0.0625);
+        assert_eq!(e.mode(), Some(0.0));
+    }
+
+    #[test]
+    fn pdf_outside_support() {
+        let e = Exponential::new(1.0).unwrap();
+        assert_eq!(e.pdf(-0.5), 0.0);
+        assert_eq!(e.cdf(-0.5), 0.0);
+        assert_eq!(e.sf(-0.5), 1.0);
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let e = Exponential::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let acc: depcase_numerics::stats::Accumulator =
+            e.sample_n(&mut rng, 40_000).into_iter().collect();
+        assert!((acc.mean() - 0.5).abs() < 0.01);
+    }
+}

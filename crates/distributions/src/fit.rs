@@ -1,0 +1,265 @@
+//! Fitting parametric belief distributions to elicited quantiles.
+//!
+//! Experts rarely hand over a full distribution (the paper: "some would
+//! argue that describing this as elicitation begs the question that the
+//! expert really does 'have' a complete distribution"). What they do
+//! state is a handful of quantiles. These fitters turn stated quantiles
+//! into the parametric families the rest of the workspace consumes.
+
+use crate::error::{DistError, Result};
+use crate::gamma::Gamma;
+use crate::lognormal::LogNormal;
+use crate::traits::Distribution;
+use depcase_numerics::special::norm_quantile;
+
+fn check_pair(p1: f64, x1: f64, p2: f64, x2: f64) -> Result<()> {
+    if !(0.0 < p1 && p1 < p2 && p2 < 1.0) {
+        return Err(DistError::InvalidParameter(format!(
+            "quantile levels must satisfy 0 < p1 < p2 < 1; got ({p1}, {p2})"
+        )));
+    }
+    if !(x1 > 0.0) || !(x2 > x1) || !x2.is_finite() {
+        return Err(DistError::InvalidParameter(format!(
+            "quantile values must satisfy 0 < x1 < x2 finite; got ({x1}, {x2})"
+        )));
+    }
+    Ok(())
+}
+
+/// Fits a log-normal through two stated quantiles
+/// `P(X ≤ x1) = p1`, `P(X ≤ x2) = p2`.
+///
+/// Closed form: `σ = (ln x2 − ln x1)/(z2 − z1)`, `μ = ln x1 − σ z1`.
+///
+/// # Errors
+///
+/// [`DistError::InvalidParameter`] unless `0 < p1 < p2 < 1` and
+/// `0 < x1 < x2`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_distributions::{fit::lognormal_from_quantiles, Distribution};
+///
+/// // "90% confident the pfd is between 1e-4 and 1e-2."
+/// let d = lognormal_from_quantiles(0.05, 1e-4, 0.95, 1e-2)?;
+/// assert!((d.cdf(1e-4) - 0.05).abs() < 1e-10);
+/// assert!((d.cdf(1e-2) - 0.95).abs() < 1e-10);
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+pub fn lognormal_from_quantiles(p1: f64, x1: f64, p2: f64, x2: f64) -> Result<LogNormal> {
+    check_pair(p1, x1, p2, x2)?;
+    let z1 = norm_quantile(p1);
+    let z2 = norm_quantile(p2);
+    let sigma = (x2.ln() - x1.ln()) / (z2 - z1);
+    let mu = x1.ln() - sigma * z1;
+    LogNormal::new(mu, sigma)
+}
+
+/// Fits a gamma through two stated quantiles by root-finding the shape
+/// (the quantile *ratio* `x2/x1` is strictly decreasing in the shape) and
+/// then matching the scale.
+///
+/// # Errors
+///
+/// [`DistError::InvalidParameter`] for malformed pairs;
+/// [`DistError::Infeasible`] when no shape in `[1e-3, 1e6]` reproduces
+/// the stated ratio.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_distributions::{fit::gamma_from_quantiles, Distribution};
+///
+/// let d = gamma_from_quantiles(0.05, 1e-4, 0.95, 1e-2)?;
+/// assert!((d.cdf(1e-4) - 0.05).abs() < 1e-6);
+/// assert!((d.cdf(1e-2) - 0.95).abs() < 1e-6);
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+pub fn gamma_from_quantiles(p1: f64, x1: f64, p2: f64, x2: f64) -> Result<Gamma> {
+    check_pair(p1, x1, p2, x2)?;
+    let target = (x2 / x1).ln();
+    // Ratio of standard-gamma quantiles as a function of ln(shape).
+    let ratio = |ln_shape: f64| -> f64 {
+        let shape = ln_shape.exp();
+        let q1 = depcase_numerics::special::inv_reg_gamma_p(shape, p1).unwrap_or(f64::NAN);
+        let q2 = depcase_numerics::special::inv_reg_gamma_p(shape, p2).unwrap_or(f64::NAN);
+        if !(q1 > 0.0) || !q2.is_finite() {
+            return f64::NAN;
+        }
+        (q2 / q1).ln() - target
+    };
+    // Shapes below ~e^{-4.5} already give quantile ratios around e^250;
+    // going lower only underflows the tiny-quantile computation.
+    let (mut lo, mut hi) = (-4.5, 14.0);
+    let mut rlo = ratio(lo);
+    // Walk the lower edge up out of any underflow pocket.
+    let mut guard = 0;
+    while !rlo.is_finite() && lo < hi && guard < 40 {
+        lo += 0.5;
+        rlo = ratio(lo);
+        guard += 1;
+    }
+    let rhi = ratio(hi);
+    if !(rlo.is_finite() && rhi.is_finite()) || rlo.signum() == rhi.signum() {
+        return Err(DistError::Infeasible(format!(
+            "no gamma shape reproduces the quantile ratio {:.3e}",
+            (x2 / x1)
+        )));
+    }
+    // Monotone in shape: bisect for robustness against NaN pockets.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let r = ratio(mid);
+        if r.is_nan() {
+            break;
+        }
+        if r.signum() == rlo.signum() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 {
+            break;
+        }
+    }
+    let shape = (0.5 * (lo + hi)).exp();
+    let q1 = depcase_numerics::special::inv_reg_gamma_p(shape, p1)?;
+    Gamma::new(shape, x1 / q1)
+}
+
+/// Fits a log-normal to the classic three-point elicitation
+/// (5th percentile, median, 95th percentile) by matching the outer pair
+/// exactly and reporting the discrepancy at the median — a measure of
+/// how non-log-normal the expert's belief is.
+///
+/// Returns the fitted distribution and the *median discrepancy factor*
+/// `stated_median / fitted_median` (1 = perfectly consistent).
+///
+/// # Errors
+///
+/// [`DistError::InvalidParameter`] unless `0 < q05 < q50 < q95`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_distributions::fit::lognormal_from_three_points;
+///
+/// // A symmetric-in-log expert: median at the geometric mid.
+/// let (d, disc) = lognormal_from_three_points(1e-4, 1e-3, 1e-2)?;
+/// assert!((disc - 1.0).abs() < 1e-10);
+/// assert!((d.median() - 1e-3).abs() < 1e-12);
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+pub fn lognormal_from_three_points(q05: f64, q50: f64, q95: f64) -> Result<(LogNormal, f64)> {
+    if !(0.0 < q05 && q05 < q50 && q50 < q95 && q95.is_finite()) {
+        return Err(DistError::InvalidParameter(format!(
+            "need 0 < q05 < q50 < q95; got ({q05}, {q50}, {q95})"
+        )));
+    }
+    let d = lognormal_from_quantiles(0.05, q05, 0.95, q95)?;
+    let fitted_median = d.median();
+    Ok((d, q50 / fitted_median))
+}
+
+/// Fits both families to the same quantile pair and returns the one
+/// whose *third* stated quantile is better honoured — a tiny model
+/// selection step for elicitation pipelines.
+///
+/// # Errors
+///
+/// Propagates fitting failures; both families must fit the outer pair.
+pub fn best_of_families(
+    q05: f64,
+    q50: f64,
+    q95: f64,
+) -> Result<(Box<dyn Distribution>, &'static str)> {
+    if !(0.0 < q05 && q05 < q50 && q50 < q95 && q95.is_finite()) {
+        return Err(DistError::InvalidParameter(format!(
+            "need 0 < q05 < q50 < q95; got ({q05}, {q50}, {q95})"
+        )));
+    }
+    let ln = lognormal_from_quantiles(0.05, q05, 0.95, q95)?;
+    let ga = gamma_from_quantiles(0.05, q05, 0.95, q95)?;
+    let ln_err = (ln.cdf(q50) - 0.5).abs();
+    let ga_err = (ga.cdf(q50) - 0.5).abs();
+    if ln_err <= ga_err {
+        Ok((Box::new(ln), "log-normal"))
+    } else {
+        Ok((Box::new(ga), "gamma"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_numerics::float::approx_eq;
+
+    #[test]
+    fn lognormal_quantile_fit_round_trip() {
+        let d = lognormal_from_quantiles(0.1, 2e-4, 0.9, 5e-3).unwrap();
+        assert!(approx_eq(d.cdf(2e-4), 0.1, 1e-10, 1e-12));
+        assert!(approx_eq(d.cdf(5e-3), 0.9, 1e-10, 1e-12));
+    }
+
+    #[test]
+    fn lognormal_fit_validation() {
+        assert!(lognormal_from_quantiles(0.9, 1e-4, 0.1, 1e-2).is_err()); // p order
+        assert!(lognormal_from_quantiles(0.1, 1e-2, 0.9, 1e-4).is_err()); // x order
+        assert!(lognormal_from_quantiles(0.0, 1e-4, 0.9, 1e-2).is_err());
+        assert!(lognormal_from_quantiles(0.1, 0.0, 0.9, 1e-2).is_err());
+    }
+
+    #[test]
+    fn gamma_quantile_fit_round_trip() {
+        for &(p1, x1, p2, x2) in
+            &[(0.05, 1e-4, 0.95, 1e-2), (0.25, 0.5, 0.75, 2.0), (0.1, 1.0, 0.9, 3.0)]
+        {
+            let d = gamma_from_quantiles(p1, x1, p2, x2).unwrap();
+            assert!(approx_eq(d.cdf(x1), p1, 1e-5, 1e-7), "({p1}, {x1})");
+            assert!(approx_eq(d.cdf(x2), p2, 1e-5, 1e-7), "({p2}, {x2})");
+        }
+    }
+
+    #[test]
+    fn gamma_fit_infeasible_ratio() {
+        // A ratio of 1+epsilon at wide levels requires an absurd shape.
+        assert!(gamma_from_quantiles(0.05, 1.0, 0.95, 1.0 + 1e-13).is_err());
+    }
+
+    #[test]
+    fn three_point_discrepancy_detects_skew() {
+        // Median dragged toward the upper quantile: log-normal underfits.
+        let (_, disc) = lognormal_from_three_points(1e-4, 5e-3, 1e-2).unwrap();
+        assert!(disc > 1.0, "disc = {disc}");
+        let (_, disc) = lognormal_from_three_points(1e-4, 2e-4, 1e-2).unwrap();
+        assert!(disc < 1.0, "disc = {disc}");
+    }
+
+    #[test]
+    fn three_point_validation() {
+        assert!(lognormal_from_three_points(1e-3, 1e-4, 1e-2).is_err());
+        assert!(lognormal_from_three_points(0.0, 1e-3, 1e-2).is_err());
+    }
+
+    #[test]
+    fn best_of_families_picks_the_honest_one() {
+        // Build stated quantiles *from* a gamma, then check the selector
+        // prefers gamma.
+        let truth = Gamma::new(2.0, 1e-3).unwrap();
+        let q05 = truth.quantile(0.05).unwrap();
+        let q50 = truth.quantile(0.50).unwrap();
+        let q95 = truth.quantile(0.95).unwrap();
+        let (_, name) = best_of_families(q05, q50, q95).unwrap();
+        assert_eq!(name, "gamma");
+        // And the reverse for a log-normal source.
+        let truth = LogNormal::new(-6.0, 1.2).unwrap();
+        let (_, name) = best_of_families(
+            truth.quantile(0.05).unwrap(),
+            truth.quantile(0.50).unwrap(),
+            truth.quantile(0.95).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(name, "log-normal");
+    }
+}

@@ -1,0 +1,80 @@
+//! Belief distributions over failure rates and probabilities of failure
+//! on demand (pfd).
+//!
+//! The DSN'07 paper models an assessor's uncertain judgement of a
+//! system's pfd as a probability distribution — log-normal in the paper's
+//! worked examples (Section 3.1), gamma as a sensitivity check, two-point
+//! and atom-carrying mixtures for the conservative worst-case reasoning
+//! of Section 3.4, and survival-weighted posteriors for the
+//! "cut off the tail with operating experience" strategy of Section 4.1.
+//! This crate implements all of them behind one object-safe
+//! [`Distribution`] trait.
+//!
+//! # Examples
+//!
+//! The paper's central construction — a log-normal belief about a pfd
+//! with the *mode* (most likely value) pinned and the spread expressing
+//! (lack of) confidence:
+//!
+//! ```
+//! use depcase_distributions::{Distribution, LogNormal};
+//!
+//! // The paper's widest Figure 1 judgement: mode in the middle of the
+//! // SIL2 band, mean dragged up to the SIL2/SIL1 boundary.
+//! let belief = LogNormal::from_mode_mean(0.003, 0.01)?;
+//! // One-sided confidence the system is SIL2 or better is about 67%:
+//! let conf = belief.cdf(1e-2);
+//! assert!(conf > 0.6 && conf < 0.75);
+//! // ...and the chance of SIL1-or-better is about 99.9%.
+//! assert!(belief.cdf(1e-1) > 0.995);
+//! # Ok::<(), depcase_distributions::DistError>(())
+//! ```
+
+// `!(x > 0.0)`-style checks deliberately treat NaN as invalid input; the
+// lint's suggested `x <= 0.0` would let NaN through the validation.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Reference constants are quoted at full printed precision.
+#![allow(clippy::excessive_precision)]
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod beta;
+mod discretized;
+mod empirical;
+mod error;
+mod exponential;
+pub mod fit;
+mod gamma;
+mod log_uniform;
+mod lognormal;
+mod mixture;
+pub mod moments;
+mod normal;
+mod point_mass;
+pub mod sampler;
+mod survival;
+mod traits;
+mod triangular;
+mod truncated;
+mod two_point;
+mod uniform;
+mod weibull;
+
+pub use beta::Beta;
+pub use discretized::Discretized;
+pub use empirical::Empirical;
+pub use error::DistError;
+pub use exponential::Exponential;
+pub use gamma::Gamma;
+pub use log_uniform::LogUniform;
+pub use lognormal::LogNormal;
+pub use mixture::{Component, Mixture};
+pub use normal::Normal;
+pub use point_mass::PointMass;
+pub use survival::{RateSurvivalWeighted, SurvivalWeighted};
+pub use traits::{Distribution, Support};
+pub use triangular::Triangular;
+pub use truncated::Truncated;
+pub use two_point::TwoPoint;
+pub use uniform::Uniform;
+pub use weibull::Weibull;

@@ -1,0 +1,167 @@
+//! The log-uniform (reciprocal) distribution.
+//!
+//! The conventional "order-of-magnitude ignorance" prior over failure
+//! rates: uniform in `log λ` between two decade bounds. Useful as a
+//! deliberately weak prior in ACARP planning, against which the paper's
+//! log-normal judgements can be compared.
+
+use crate::error::{DistError, Result};
+use crate::sampler::open_unit;
+use crate::traits::{Distribution, Support};
+use rand::RngCore;
+
+/// A log-uniform distribution on `[lo, hi]`, `0 < lo < hi`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_distributions::{Distribution, LogUniform};
+///
+/// // "Somewhere between 1e-5 and 1e-1, every decade equally likely."
+/// let d = LogUniform::new(1e-5, 1e-1)?;
+/// assert!((d.cdf(1e-3) - 0.5).abs() < 1e-12);
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogUniform {
+    lo: f64,
+    hi: f64,
+    ln_lo: f64,
+    ln_ratio: f64,
+}
+
+impl LogUniform {
+    /// Creates a log-uniform distribution on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `0 < lo < hi` finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if !(lo > 0.0) || !(hi > lo) || !hi.is_finite() {
+            return Err(DistError::InvalidParameter(format!(
+                "LogUniform requires 0 < lo < hi finite; got [{lo}, {hi}]"
+            )));
+        }
+        Ok(Self { lo, hi, ln_lo: lo.ln(), ln_ratio: (hi / lo).ln() })
+    }
+
+    /// Lower endpoint.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Distribution for LogUniform {
+    fn support(&self) -> Support {
+        Support { lo: self.lo, hi: self.hi }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            0.0
+        } else {
+            1.0 / (x * self.ln_ratio)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            (x.ln() - self.ln_lo) / self.ln_ratio
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistError::InvalidProbability(p));
+        }
+        Ok((self.ln_lo + p * self.ln_ratio).exp())
+    }
+
+    fn mean(&self) -> f64 {
+        (self.hi - self.lo) / self.ln_ratio
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        (self.hi * self.hi - self.lo * self.lo) / (2.0 * self.ln_ratio) - m * m
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        (self.ln_lo + open_unit(rng) * self.ln_ratio).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_numerics::float::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(LogUniform::new(0.0, 1.0).is_err());
+        assert!(LogUniform::new(1.0, 1.0).is_err());
+        assert!(LogUniform::new(2.0, 1.0).is_err());
+        assert!(LogUniform::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn decades_are_equiprobable() {
+        let d = LogUniform::new(1e-5, 1e-1).unwrap();
+        for k in 0..4 {
+            let lo = 1e-5 * 10f64.powi(k);
+            let mass = d.interval_prob(lo, lo * 10.0);
+            assert!(approx_eq(mass, 0.25, 1e-12, 0.0), "decade {k}: {mass}");
+        }
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let d = LogUniform::new(1e-6, 1e-2).unwrap();
+        for p in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            let x = d.quantile(p).unwrap();
+            assert!(approx_eq(d.cdf(x), p, 1e-12, 1e-13), "p = {p}");
+        }
+        assert!(d.quantile(-0.1).is_err());
+    }
+
+    #[test]
+    fn mean_matches_quadrature() {
+        let d = LogUniform::new(1e-4, 1e-1).unwrap();
+        let numeric = crate::moments::numeric_mean(&d, 1e-11).unwrap();
+        assert!(approx_eq(numeric, d.mean(), 1e-7, 1e-10));
+        let nvar = crate::moments::numeric_variance(&d, 1e-11).unwrap();
+        assert!(approx_eq(nvar, d.variance(), 1e-5, 1e-10));
+    }
+
+    #[test]
+    fn density_is_reciprocal() {
+        let d = LogUniform::new(0.1, 10.0).unwrap();
+        assert!(approx_eq(d.pdf(1.0) / d.pdf(2.0), 2.0, 1e-12, 0.0));
+        assert_eq!(d.pdf(0.01), 0.0);
+        assert_eq!(d.pdf(20.0), 0.0);
+    }
+
+    #[test]
+    fn samples_in_range_log_spread() {
+        let d = LogUniform::new(1e-5, 1e-1).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let xs = d.sample_n(&mut rng, 20_000);
+        assert!(xs.iter().all(|&x| (1e-5..=1e-1).contains(&x)));
+        // Fraction below the log-midpoint 1e-3 should be ~1/2.
+        let frac = xs.iter().filter(|&&x| x < 1e-3).count() as f64 / xs.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac = {frac}");
+    }
+}

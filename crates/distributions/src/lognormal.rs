@@ -1,0 +1,527 @@
+//! The log-normal distribution — the paper's model of judged pfd.
+//!
+//! Section 3.1 of the paper parameterizes the assessor's belief about a
+//! failure rate by its *mode* (the "most likely" judged value) and a
+//! spread σ, and leans on the identity
+//!
+//! ```text
+//! log10(mean / mode) = 1.5 · log10(e) · σ² ≈ 0.65 σ²
+//! ```
+//!
+//! — the mean sits a full decade above the mode at σ ≈ 1.24 and two
+//! decades above at σ ≈ 1.75. The constructors here expose every
+//! parameterization the paper (and reactor-safety practice) uses:
+//! (μ, σ), (mode, σ), (mode, mean), (mode, confidence-at-bound) and
+//! (median, error factor).
+
+use crate::error::{DistError, Result};
+use crate::sampler::standard_normal;
+use crate::traits::{Distribution, Support};
+use depcase_numerics::special::{norm_cdf, norm_pdf, norm_quantile, norm_sf};
+use rand::RngCore;
+
+/// A log-normal distribution: `ln X ~ N(mu, sigma²)`.
+///
+/// # Examples
+///
+/// The paper's Figure 1 judgements — mode pinned at 0.003 (mid-SIL2) with
+/// increasing spread:
+///
+/// ```
+/// use depcase_distributions::{Distribution, LogNormal};
+///
+/// let narrow = LogNormal::from_mode_sigma(0.003, 0.5)?;
+/// let wide = LogNormal::from_mode_sigma(0.003, 1.7)?;
+/// // Same most-likely value...
+/// assert!((narrow.mode().unwrap() - 0.003).abs() < 1e-12);
+/// assert!((wide.mode().unwrap() - 0.003).abs() < 1e-12);
+/// // ...but the wide judgement's mean has migrated ~two decades up:
+/// assert!(wide.mean() > 50.0 * narrow.mode().unwrap());
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from the log-space parameters `mu`, `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `mu` is finite and
+    /// `sigma > 0` finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !mu.is_finite() || !(sigma > 0.0) || !sigma.is_finite() {
+            return Err(DistError::InvalidParameter(format!(
+                "LogNormal requires finite mu and sigma > 0; got mu = {mu}, sigma = {sigma}"
+            )));
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// Creates a log-normal with the given *mode* (peak of the density)
+    /// and log-space spread `sigma` — the paper's primary
+    /// parameterization (`μ = ln mode + σ²`).
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `mode > 0` and `sigma > 0`.
+    pub fn from_mode_sigma(mode: f64, sigma: f64) -> Result<Self> {
+        if !(mode > 0.0) || !mode.is_finite() {
+            return Err(DistError::InvalidParameter(format!(
+                "mode must be positive and finite, got {mode}"
+            )));
+        }
+        Self::new(mode.ln() + sigma * sigma, sigma)
+    }
+
+    /// Creates a log-normal with the given mode *and* mean.
+    ///
+    /// Solves the paper's Section 3.1 relations
+    /// `ln mean = μ + σ²/2`, `ln mode = μ − σ²`, i.e.
+    /// `σ² = (2/3)·ln(mean/mode)`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Infeasible`] unless `mean > mode > 0` (a log-normal's
+    /// mean always exceeds its mode).
+    pub fn from_mode_mean(mode: f64, mean: f64) -> Result<Self> {
+        if !(mode > 0.0) || !mode.is_finite() || !mean.is_finite() {
+            return Err(DistError::InvalidParameter(format!(
+                "mode and mean must be positive finite, got mode = {mode}, mean = {mean}"
+            )));
+        }
+        if !(mean > mode) {
+            return Err(DistError::Infeasible(format!(
+                "a log-normal's mean strictly exceeds its mode; got mode = {mode}, mean = {mean}"
+            )));
+        }
+        let sigma2 = 2.0 / 3.0 * (mean / mode).ln();
+        Self::from_mode_sigma(mode, sigma2.sqrt())
+    }
+
+    /// Creates a log-normal with the given mode such that
+    /// `P(X ≤ bound) = confidence` — the inverse problem behind the
+    /// paper's Figure 3 ("how wide must my judgement be if I hold this
+    /// much one-sided confidence in the SIL bound?").
+    ///
+    /// Solving `Φ((ln bound − ln mode − σ²)/σ) = confidence` gives the
+    /// positive root `σ = (−z + sqrt(z² + 4d))/2` with
+    /// `z = Φ⁻¹(confidence)` and `d = ln(bound/mode)`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Infeasible`] when no positive spread satisfies the
+    /// pair — e.g. a bound *above* the mode held with confidence ≤ 1/2,
+    /// or a bound *below* the mode held with confidence ≥ 1/2.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use depcase_distributions::{Distribution, LogNormal};
+    ///
+    /// // Mode mid-SIL2; 90% confident the pfd is below the SIL2 upper bound.
+    /// let d = LogNormal::from_mode_confidence(0.003, 1e-2, 0.90)?;
+    /// assert!((d.cdf(1e-2) - 0.90).abs() < 1e-10);
+    /// # Ok::<(), depcase_distributions::DistError>(())
+    /// ```
+    pub fn from_mode_confidence(mode: f64, bound: f64, confidence: f64) -> Result<Self> {
+        if !(mode > 0.0) || !(bound > 0.0) || !mode.is_finite() || !bound.is_finite() {
+            return Err(DistError::InvalidParameter(format!(
+                "mode and bound must be positive finite; got mode = {mode}, bound = {bound}"
+            )));
+        }
+        if !(0.0 < confidence && confidence < 1.0) {
+            return Err(DistError::InvalidParameter(format!(
+                "confidence must lie strictly inside (0, 1), got {confidence}"
+            )));
+        }
+        let z = norm_quantile(confidence);
+        let d = (bound / mode).ln();
+        let disc = z * z + 4.0 * d;
+        if disc < 0.0 {
+            return Err(DistError::Infeasible(format!(
+                "no spread gives P(X <= {bound}) = {confidence} with mode {mode}"
+            )));
+        }
+        let sigma = 0.5 * (-z + disc.sqrt());
+        if !(sigma > 0.0) {
+            return Err(DistError::Infeasible(format!(
+                "required spread is non-positive for mode = {mode}, bound = {bound}, confidence = {confidence}"
+            )));
+        }
+        Self::from_mode_sigma(mode, sigma)
+    }
+
+    /// Creates a log-normal from its median and an *error factor* — the
+    /// ratio of the `quantile_level` quantile to the median — the
+    /// parameterization customary in probabilistic risk assessment
+    /// (Apostolakis, Science 1990, cited by the paper).
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `median > 0`,
+    /// `error_factor > 1` and `quantile_level ∈ (0.5, 1)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use depcase_distributions::{Distribution, LogNormal};
+    ///
+    /// // Median 1e-3 with a 95th-percentile error factor of 10.
+    /// let d = LogNormal::from_median_error_factor(1e-3, 10.0, 0.95)?;
+    /// assert!((d.quantile(0.95)? / 1e-3 - 10.0).abs() < 1e-9);
+    /// # Ok::<(), depcase_distributions::DistError>(())
+    /// ```
+    pub fn from_median_error_factor(
+        median: f64,
+        error_factor: f64,
+        quantile_level: f64,
+    ) -> Result<Self> {
+        if !(median > 0.0) || !median.is_finite() {
+            return Err(DistError::InvalidParameter(format!(
+                "median must be positive finite, got {median}"
+            )));
+        }
+        if !(error_factor > 1.0) || !error_factor.is_finite() {
+            return Err(DistError::InvalidParameter(format!(
+                "error factor must exceed 1, got {error_factor}"
+            )));
+        }
+        if !(0.5 < quantile_level && quantile_level < 1.0) {
+            return Err(DistError::InvalidParameter(format!(
+                "quantile level must lie in (0.5, 1), got {quantile_level}"
+            )));
+        }
+        let z = norm_quantile(quantile_level);
+        Self::new(median.ln(), error_factor.ln() / z)
+    }
+
+    /// Log-space location parameter μ.
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Log-space spread parameter σ.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Median, `exp(μ)`.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Number of *decades* separating the mean from the mode — the
+    /// paper's `log10(mean/mode) = 0.65σ²` identity, computed exactly as
+    /// `1.5 · σ² · log10 e`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use depcase_distributions::LogNormal;
+    ///
+    /// let d = LogNormal::from_mode_sigma(0.003, 1.2)?;
+    /// // σ = 1.2 puts the mean roughly one decade above the mode.
+    /// assert!((d.mean_mode_decades() - 0.94).abs() < 0.01);
+    /// # Ok::<(), depcase_distributions::DistError>(())
+    /// ```
+    #[must_use]
+    pub fn mean_mode_decades(&self) -> f64 {
+        1.5 * self.sigma * self.sigma * std::f64::consts::LOG10_E
+    }
+
+    /// The spread σ that places the mean exactly `decades` decades above
+    /// the mode (inverse of [`LogNormal::mean_mode_decades`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] for non-positive `decades`.
+    pub fn sigma_for_decades(decades: f64) -> Result<f64> {
+        if !(decades > 0.0) || !decades.is_finite() {
+            return Err(DistError::InvalidParameter(format!(
+                "decades must be positive finite, got {decades}"
+            )));
+        }
+        Ok((decades / (1.5 * std::f64::consts::LOG10_E)).sqrt())
+    }
+
+    fn z(&self, x: f64) -> f64 {
+        (x.ln() - self.mu) / self.sigma
+    }
+}
+
+impl Distribution for LogNormal {
+    fn support(&self) -> Support {
+        Support::non_negative()
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        norm_pdf(self.z(x)) / (x * self.sigma)
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let z = self.z(x);
+        -0.5 * z * z - x.ln() - self.sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        norm_cdf(self.z(x))
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        norm_sf(self.z(x))
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistError::InvalidProbability(p));
+        }
+        if p == 0.0 {
+            return Ok(0.0);
+        }
+        if p == 1.0 {
+            return Ok(f64::INFINITY);
+        }
+        Ok((self.mu + self.sigma * norm_quantile(p)).exp())
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+
+    fn mode(&self) -> Option<f64> {
+        Some((self.mu - self.sigma * self.sigma).exp())
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_numerics::float::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::from_mode_sigma(0.0, 1.0).is_err());
+        assert!(LogNormal::from_mode_sigma(-1.0, 1.0).is_err());
+        assert!(LogNormal::from_mode_sigma(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn mode_mean_relations() {
+        let d = LogNormal::new(-4.6, 1.2).unwrap();
+        let mode = d.mode().unwrap();
+        let mean = d.mean();
+        // ln mean − ln mode = 1.5 σ²
+        assert!(approx_eq((mean / mode).ln(), 1.5 * 1.2 * 1.2, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn from_mode_sigma_pins_mode() {
+        for sigma in [0.3, 0.8, 1.2, 1.7] {
+            let d = LogNormal::from_mode_sigma(0.003, sigma).unwrap();
+            assert!(approx_eq(d.mode().unwrap(), 0.003, 1e-12, 0.0), "sigma = {sigma}");
+        }
+    }
+
+    #[test]
+    fn from_mode_mean_round_trip() {
+        let d = LogNormal::from_mode_mean(0.003, 0.01).unwrap();
+        assert!(approx_eq(d.mode().unwrap(), 0.003, 1e-12, 0.0));
+        assert!(approx_eq(d.mean(), 0.01, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn from_mode_mean_rejects_mean_below_mode() {
+        assert!(LogNormal::from_mode_mean(0.01, 0.003).is_err());
+        assert!(LogNormal::from_mode_mean(0.01, 0.01).is_err());
+    }
+
+    #[test]
+    fn paper_identity_065_sigma_squared() {
+        // The paper: log10(mean/mode) = 0.65 σ² — 0.65 is the rounded
+        // value of 1.5·log10(e) = 0.6514.
+        let d = LogNormal::from_mode_sigma(1.0, 1.0).unwrap();
+        assert!(approx_eq(d.mean_mode_decades(), 0.6514, 1e-3, 0.0));
+    }
+
+    #[test]
+    fn paper_decade_claims() {
+        // "the mean failure rate is one decade greater than the mode if
+        // σ = 1.2, and two decades greater if σ = 1.7"
+        let one = LogNormal::from_mode_sigma(0.003, 1.2).unwrap();
+        assert!((one.mean_mode_decades() - 1.0).abs() < 0.07, "{}", one.mean_mode_decades());
+        let two = LogNormal::from_mode_sigma(0.003, 1.7).unwrap();
+        assert!((two.mean_mode_decades() - 2.0).abs() < 0.13, "{}", two.mean_mode_decades());
+    }
+
+    #[test]
+    fn sigma_for_decades_inverts_identity() {
+        for dec in [0.5, 1.0, 2.0] {
+            let sigma = LogNormal::sigma_for_decades(dec).unwrap();
+            let d = LogNormal::from_mode_sigma(1.0, sigma).unwrap();
+            assert!(approx_eq(d.mean_mode_decades(), dec, 1e-12, 1e-12));
+        }
+        assert!(LogNormal::sigma_for_decades(0.0).is_err());
+        assert!(LogNormal::sigma_for_decades(-1.0).is_err());
+    }
+
+    #[test]
+    fn paper_figure1_means() {
+        // Figure 1: judgements with mode 0.003. The dashed (narrow) curve
+        // has mean 0.004; the solid (wide) curve has mean 0.01, i.e. in
+        // SIL1 territory.
+        let narrow = LogNormal::from_mode_mean(0.003, 0.004).unwrap();
+        assert!(narrow.sigma() < 0.5);
+        let wide = LogNormal::from_mode_mean(0.003, 0.01).unwrap();
+        assert!(wide.sigma() > 0.8);
+        assert!(wide.mean() > 1e-2 - 1e-12); // mean in SIL1 band [1e-2, 1e-1)
+    }
+
+    #[test]
+    fn from_mode_confidence_round_trip() {
+        let d = LogNormal::from_mode_confidence(0.003, 1e-2, 0.67).unwrap();
+        assert!(approx_eq(d.cdf(1e-2), 0.67, 1e-10, 0.0));
+        assert!(approx_eq(d.mode().unwrap(), 0.003, 1e-10, 0.0));
+    }
+
+    #[test]
+    fn from_mode_confidence_low_confidence_wide_spread() {
+        // Lower confidence in the same bound forces a wider judgement.
+        let lo = LogNormal::from_mode_confidence(0.003, 1e-2, 0.60).unwrap();
+        let hi = LogNormal::from_mode_confidence(0.003, 1e-2, 0.95).unwrap();
+        assert!(lo.sigma() > hi.sigma());
+    }
+
+    #[test]
+    fn from_mode_confidence_infeasible_cases() {
+        // Bound below the mode with confidence >= 1/2 is impossible.
+        assert!(LogNormal::from_mode_confidence(0.01, 0.003, 0.9).is_err());
+        // Degenerate confidence levels rejected.
+        assert!(LogNormal::from_mode_confidence(0.003, 0.01, 0.0).is_err());
+        assert!(LogNormal::from_mode_confidence(0.003, 0.01, 1.0).is_err());
+    }
+
+    #[test]
+    fn from_mode_confidence_bound_below_mode_low_confidence() {
+        // With the mode pinned at 0.01, P(X <= 0.003) is maximized at
+        // sigma = sqrt(-d) where it reaches Φ(−2√−d) ≈ 0.014 — so 1.4%
+        // is feasible but 20% is not.
+        let d = LogNormal::from_mode_confidence(0.01, 0.003, 0.01).unwrap();
+        assert!(approx_eq(d.cdf(0.003), 0.01, 1e-9, 0.0));
+        assert!(LogNormal::from_mode_confidence(0.01, 0.003, 0.2).is_err());
+    }
+
+    #[test]
+    fn from_median_error_factor() {
+        let d = LogNormal::from_median_error_factor(1e-3, 3.0, 0.95).unwrap();
+        assert!(approx_eq(d.median(), 1e-3, 1e-12, 0.0));
+        assert!(approx_eq(d.quantile(0.95).unwrap(), 3e-3, 1e-9, 0.0));
+        // 5th percentile is median / EF by symmetry.
+        assert!(approx_eq(d.quantile(0.05).unwrap(), 1e-3 / 3.0, 1e-9, 0.0));
+    }
+
+    #[test]
+    fn from_median_error_factor_validation() {
+        assert!(LogNormal::from_median_error_factor(0.0, 3.0, 0.95).is_err());
+        assert!(LogNormal::from_median_error_factor(1e-3, 1.0, 0.95).is_err());
+        assert!(LogNormal::from_median_error_factor(1e-3, 3.0, 0.5).is_err());
+        assert!(LogNormal::from_median_error_factor(1e-3, 3.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn pdf_zero_outside_support() {
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        assert_eq!(d.pdf(0.0), 0.0);
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert_eq!(d.ln_pdf(-1.0), f64::NEG_INFINITY);
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert_eq!(d.sf(-1.0), 1.0);
+    }
+
+    #[test]
+    fn density_tends_to_zero_at_origin() {
+        // The paper: "we would expect the distribution's density function
+        // to tend to zero as the rate λ→0".
+        let d = LogNormal::from_mode_sigma(0.003, 1.7).unwrap();
+        assert!(d.pdf(1e-12) < d.pdf(1e-6));
+        assert!(d.pdf(1e-6) < d.pdf(0.003));
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let d = LogNormal::new(-4.6, 1.3).unwrap();
+        for p in [1e-8, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0 - 1e-9] {
+            let x = d.quantile(p).unwrap();
+            assert!(approx_eq(d.cdf(x), p, 1e-10, 1e-12), "p = {p}");
+        }
+        assert_eq!(d.quantile(0.0).unwrap(), 0.0);
+        assert_eq!(d.quantile(1.0).unwrap(), f64::INFINITY);
+        assert!(d.quantile(2.0).is_err());
+    }
+
+    #[test]
+    fn median_is_exp_mu() {
+        let d = LogNormal::new(-3.0, 0.7).unwrap();
+        assert!(approx_eq(d.median(), (-3.0_f64).exp(), 1e-12, 0.0));
+        assert!(approx_eq(d.quantile(0.5).unwrap(), d.median(), 1e-10, 0.0));
+    }
+
+    #[test]
+    fn variance_matches_formula() {
+        let d = LogNormal::new(-2.0, 0.9).unwrap();
+        let s2 = 0.81_f64;
+        let want = (s2.exp() - 1.0) * f64::exp(2.0 * -2.0 + s2);
+        assert!(approx_eq(d.variance(), want, 1e-12, 0.0));
+        assert!(approx_eq(d.std(), want.sqrt(), 1e-12, 0.0));
+    }
+
+    #[test]
+    fn numeric_mean_matches_closed_form() {
+        let d = LogNormal::from_mode_sigma(0.003, 1.2).unwrap();
+        let numeric = crate::moments::numeric_mean(&d, 1e-10).unwrap();
+        assert!(approx_eq(numeric, d.mean(), 1e-6, 1e-9), "numeric {numeric} vs {}", d.mean());
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let d = LogNormal::new(-4.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs = d.sample_n(&mut rng, 50_000);
+        let log_acc: depcase_numerics::stats::Accumulator =
+            xs.iter().map(|x| x.ln()).collect();
+        assert!((log_acc.mean() + 4.0).abs() < 0.01);
+        assert!((log_acc.sample_std() - 0.5).abs() < 0.01);
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+}

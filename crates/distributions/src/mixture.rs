@@ -1,0 +1,291 @@
+//! Finite mixtures of heterogeneous components.
+//!
+//! The paper's Section 3.4 footnote — an expert holding probability `p₀`
+//! that the system is *perfect* (pfd exactly 0) alongside a continuous
+//! belief about the imperfect case — is a two-component [`Mixture`]: a
+//! [`crate::PointMass`] at 0 and a continuous body.
+
+use crate::error::{DistError, Result};
+use crate::traits::{Distribution, Support};
+use rand::Rng;
+use rand::RngCore;
+
+/// One weighted component of a [`Mixture`].
+#[derive(Debug)]
+pub struct Component {
+    /// Mixing weight (weights are normalized at construction).
+    pub weight: f64,
+    /// The component distribution.
+    pub dist: Box<dyn Distribution>,
+}
+
+impl Component {
+    /// Creates a component from a weight and any distribution.
+    pub fn new(weight: f64, dist: impl Distribution + 'static) -> Self {
+        Self { weight, dist: Box::new(dist) }
+    }
+}
+
+/// A finite mixture distribution over boxed components.
+///
+/// # Examples
+///
+/// The perfection-probability belief from the paper's footnote 3:
+///
+/// ```
+/// use depcase_distributions::{Component, Distribution, LogNormal, Mixture, PointMass};
+///
+/// let p0 = 0.2; // probability the system is perfect
+/// let body = LogNormal::from_mode_sigma(1e-4, 1.0)?;
+/// let belief = Mixture::new(vec![
+///     Component::new(p0, PointMass::new(0.0)?),
+///     Component::new(1.0 - p0, body),
+/// ])?;
+/// // The atom contributes to the CDF at zero:
+/// assert!((belief.cdf(0.0) - 0.2).abs() < 1e-12);
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+#[derive(Debug)]
+pub struct Mixture {
+    components: Vec<Component>,
+}
+
+impl Mixture {
+    /// Creates a mixture, normalizing the weights to sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] if no components are given, any
+    /// weight is negative/non-finite, or all weights are zero.
+    pub fn new(mut components: Vec<Component>) -> Result<Self> {
+        if components.is_empty() {
+            return Err(DistError::InvalidParameter("mixture needs at least one component".into()));
+        }
+        let total: f64 = components.iter().map(|c| c.weight).sum();
+        if components.iter().any(|c| !(c.weight >= 0.0) || !c.weight.is_finite()) {
+            return Err(DistError::InvalidParameter(
+                "mixture weights must be non-negative and finite".into(),
+            ));
+        }
+        if !(total > 0.0) {
+            return Err(DistError::InvalidParameter("mixture weights sum to zero".into()));
+        }
+        for c in &mut components {
+            c.weight /= total;
+        }
+        Ok(Self { components })
+    }
+
+    /// The normalized components.
+    #[must_use]
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+}
+
+impl Distribution for Mixture {
+    fn support(&self) -> Support {
+        let lo = self
+            .components
+            .iter()
+            .map(|c| c.dist.support().lo)
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .components
+            .iter()
+            .map(|c| c.dist.support().hi)
+            .fold(f64::NEG_INFINITY, f64::max);
+        Support { lo, hi }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|c| c.weight * c.dist.pdf(x)).sum()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|c| c.weight * c.dist.cdf(x)).sum()
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        self.components.iter().map(|c| c.weight * c.dist.sf(x)).sum()
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistError::InvalidProbability(p));
+        }
+        // Bracket using component quantiles, then bisect the mixture CDF.
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for c in &self.components {
+            if c.weight == 0.0 {
+                continue;
+            }
+            let q = c.dist.quantile(p)?;
+            lo = lo.min(q);
+            hi = hi.max(q);
+        }
+        if lo == hi {
+            return Ok(lo);
+        }
+        // The generalized inverse lies in [lo, hi]; bisect on cdf ≥ p.
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) >= p {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            if hi - lo <= 1e-15 * hi.abs().max(1.0) {
+                break;
+            }
+        }
+        Ok(hi)
+    }
+
+    fn mean(&self) -> f64 {
+        self.components.iter().map(|c| c.weight * c.dist.mean()).sum()
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.components
+            .iter()
+            .map(|c| {
+                let mi = c.dist.mean();
+                c.weight * (c.dist.variance() + (mi - m) * (mi - m))
+            })
+            .sum()
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let mut u: f64 = rng.gen();
+        for c in &self.components {
+            if u < c.weight {
+                return c.dist.sample(rng);
+            }
+            u -= c.weight;
+        }
+        // Floating-point slack: fall back to the last component.
+        self.components.last().expect("nonempty").dist.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LogNormal, Normal, PointMass, Uniform};
+    use depcase_numerics::float::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn perfection_mix(p0: f64) -> Mixture {
+        Mixture::new(vec![
+            Component::new(p0, PointMass::new(0.0).unwrap()),
+            Component::new(1.0 - p0, LogNormal::from_mode_sigma(1e-4, 1.0).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Mixture::new(vec![]).is_err());
+        assert!(Mixture::new(vec![Component::new(-1.0, Uniform::unit())]).is_err());
+        assert!(Mixture::new(vec![Component::new(0.0, Uniform::unit())]).is_err());
+        assert!(Mixture::new(vec![Component::new(f64::NAN, Uniform::unit())]).is_err());
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let m = Mixture::new(vec![
+            Component::new(2.0, Uniform::unit()),
+            Component::new(6.0, Uniform::unit()),
+        ])
+        .unwrap();
+        let ws: Vec<f64> = m.components().iter().map(|c| c.weight).collect();
+        assert!(approx_eq(ws[0], 0.25, 1e-15, 0.0));
+        assert!(approx_eq(ws[1], 0.75, 1e-15, 0.0));
+    }
+
+    #[test]
+    fn perfection_atom_shows_in_cdf() {
+        let m = perfection_mix(0.3);
+        assert!(approx_eq(m.cdf(0.0), 0.3, 1e-14, 0.0));
+        assert!(m.cdf(1e-4) > 0.3);
+    }
+
+    #[test]
+    fn mean_is_weighted_mean() {
+        let m = Mixture::new(vec![
+            Component::new(0.5, Normal::new(0.0, 1.0).unwrap()),
+            Component::new(0.5, Normal::new(4.0, 1.0).unwrap()),
+        ])
+        .unwrap();
+        assert!(approx_eq(m.mean(), 2.0, 1e-14, 0.0));
+        // Law of total variance: 1 + 4 = 5.
+        assert!(approx_eq(m.variance(), 5.0, 1e-13, 0.0));
+    }
+
+    #[test]
+    fn perfection_reduces_mean_proportionally() {
+        let body_mean = LogNormal::from_mode_sigma(1e-4, 1.0).unwrap().mean();
+        let m = perfection_mix(0.25);
+        assert!(approx_eq(m.mean(), 0.75 * body_mean, 1e-13, 0.0));
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let m = Mixture::new(vec![
+            Component::new(0.4, Uniform::new(0.0, 1.0).unwrap()),
+            Component::new(0.6, Uniform::new(2.0, 3.0).unwrap()),
+        ])
+        .unwrap();
+        for p in [0.1, 0.39, 0.5, 0.9] {
+            let x = m.quantile(p).unwrap();
+            assert!(approx_eq(m.cdf(x), p, 1e-9, 1e-9), "p = {p}, x = {x}");
+        }
+        assert!(m.quantile(-0.1).is_err());
+    }
+
+    #[test]
+    fn quantile_lands_in_gap_boundary() {
+        // Between the two uniform blocks the CDF is flat at 0.4; the
+        // generalized inverse at p = 0.4 is the left block's right edge.
+        let m = Mixture::new(vec![
+            Component::new(0.4, Uniform::new(0.0, 1.0).unwrap()),
+            Component::new(0.6, Uniform::new(2.0, 3.0).unwrap()),
+        ])
+        .unwrap();
+        let x = m.quantile(0.4).unwrap();
+        assert!((1.0 - 1e-9..=1.0 + 1e-6).contains(&x), "x = {x}");
+    }
+
+    #[test]
+    fn support_is_union_hull() {
+        let m = perfection_mix(0.5);
+        let s = m.support();
+        assert_eq!(s.lo, 0.0);
+        assert_eq!(s.hi, f64::INFINITY);
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let m = perfection_mix(0.3);
+        let mut rng = StdRng::seed_from_u64(77);
+        let xs = m.sample_n(&mut rng, 20_000);
+        let zeros = xs.iter().filter(|&&x| x == 0.0).count() as f64 / xs.len() as f64;
+        assert!((zeros - 0.3).abs() < 0.02, "zeros = {zeros}");
+    }
+
+    #[test]
+    fn pdf_sums_components() {
+        let m = Mixture::new(vec![
+            Component::new(0.5, Uniform::new(0.0, 1.0).unwrap()),
+            Component::new(0.5, Uniform::new(0.5, 1.5).unwrap()),
+        ])
+        .unwrap();
+        assert!(approx_eq(m.pdf(0.25), 0.5, 1e-14, 0.0));
+        assert!(approx_eq(m.pdf(0.75), 1.0, 1e-14, 0.0));
+        assert!(approx_eq(m.pdf(1.25), 0.5, 1e-14, 0.0));
+    }
+}

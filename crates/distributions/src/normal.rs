@@ -1,0 +1,214 @@
+//! The normal (Gaussian) distribution.
+//!
+//! Appears in the paper's discussion as the *counterexample*: "if the
+//! failure rate was normally distributed … changing the confidence by
+//! narrowing the distribution would not affect the mean value". Having a
+//! first-class normal lets the test suite and benches demonstrate exactly
+//! that symmetry.
+
+use crate::error::{DistError, Result};
+use crate::sampler::standard_normal;
+use crate::traits::{Distribution, Support};
+use depcase_numerics::special::{norm_cdf, norm_pdf, norm_quantile, norm_sf};
+use rand::RngCore;
+
+/// A normal distribution with mean `mu` and standard deviation `sigma`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_distributions::{Distribution, Normal};
+///
+/// let n = Normal::new(0.0, 2.0)?;
+/// assert_eq!(n.mean(), 0.0);
+/// assert!((n.cdf(0.0) - 0.5).abs() < 1e-14);
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `mu` is finite and
+    /// `sigma > 0` finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !mu.is_finite() || !(sigma > 0.0) || !sigma.is_finite() {
+            return Err(DistError::InvalidParameter(format!(
+                "Normal requires finite mu and sigma > 0; got mu = {mu}, sigma = {sigma}"
+            )));
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self { mu: 0.0, sigma: 1.0 }
+    }
+
+    /// Location parameter (the mean).
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter (the standard deviation).
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    fn z(&self, x: f64) -> f64 {
+        (x - self.mu) / self.sigma
+    }
+}
+
+impl Distribution for Normal {
+    fn support(&self) -> Support {
+        Support::real_line()
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        norm_pdf(self.z(x)) / self.sigma
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        let z = self.z(x);
+        -0.5 * z * z - self.sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        norm_cdf(self.z(x))
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        norm_sf(self.z(x))
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistError::InvalidProbability(p));
+        }
+        Ok(self.mu + self.sigma * norm_quantile(p))
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    fn mode(&self) -> Option<f64> {
+        Some(self.mu)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.mu + self.sigma * standard_normal(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_numerics::float::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+        assert!(Normal::new(3.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn standard_matches_new() {
+        let s = Normal::standard();
+        assert_eq!(s.mu(), 0.0);
+        assert_eq!(s.sigma(), 1.0);
+    }
+
+    #[test]
+    fn pdf_peak_and_symmetry() {
+        let n = Normal::new(1.0, 0.5).unwrap();
+        assert!(approx_eq(n.pdf(0.5), n.pdf(1.5), 1e-14, 0.0));
+        assert!(n.pdf(1.0) > n.pdf(1.4));
+        assert_eq!(n.mode(), Some(1.0));
+    }
+
+    #[test]
+    fn ln_pdf_consistent_with_pdf() {
+        let n = Normal::new(-2.0, 3.0).unwrap();
+        for x in [-8.0, -2.0, 0.0, 5.0] {
+            assert!(approx_eq(n.ln_pdf(x), n.pdf(x).ln(), 1e-12, 1e-12), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let n = Normal::new(5.0, 2.0).unwrap();
+        for p in [1e-8, 0.01, 0.3, 0.5, 0.9, 0.999] {
+            let x = n.quantile(p).unwrap();
+            assert!(approx_eq(n.cdf(x), p, 1e-10, 1e-12), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn quantile_rejects_bad_levels() {
+        let n = Normal::standard();
+        assert!(n.quantile(-0.1).is_err());
+        assert!(n.quantile(1.1).is_err());
+    }
+
+    #[test]
+    fn narrowing_does_not_move_mean() {
+        // The paper's point about symmetric distributions: confidence can
+        // rise (spread shrink) with the mean untouched.
+        let wide = Normal::new(0.003, 0.002).unwrap();
+        let narrow = Normal::new(0.003, 0.0005).unwrap();
+        assert_eq!(wide.mean(), narrow.mean());
+        assert!(narrow.cdf(0.005) > wide.cdf(0.005));
+    }
+
+    #[test]
+    fn sf_complements_cdf_in_tail() {
+        let n = Normal::standard();
+        assert!(approx_eq(n.sf(3.0) + n.cdf(3.0), 1.0, 1e-14, 1e-14));
+        assert!(n.sf(8.0) > 0.0); // retains tail precision
+    }
+
+    #[test]
+    fn interval_prob_between_sigmas() {
+        let n = Normal::standard();
+        let one_sigma = n.interval_prob(-1.0, 1.0);
+        assert!(approx_eq(one_sigma, 0.682689492137086, 1e-10, 0.0));
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let n = Normal::new(10.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let acc: depcase_numerics::stats::Accumulator =
+            n.sample_n(&mut rng, 30_000).into_iter().collect();
+        assert!((acc.mean() - 10.0).abs() < 0.1);
+        assert!((acc.sample_std() - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn common_traits_present() {
+        let n = Normal::standard();
+        let m = n;
+        assert_eq!(n, m);
+        let _ = format!("{n:?}");
+    }
+}

@@ -1,0 +1,141 @@
+//! A degenerate distribution: all mass at one point.
+//!
+//! The building block for the paper's Section 3.4 footnote — "the expert
+//! believes there is a probability p₀ that the system is *perfect*
+//! (pfd = 0)" is a [`PointMass`] at 0 mixed with a continuous body.
+
+use crate::error::{DistError, Result};
+use crate::traits::{Distribution, Support};
+use rand::RngCore;
+
+/// A point mass (Dirac) at `at`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_distributions::{Distribution, PointMass};
+///
+/// let perfect = PointMass::new(0.0)?;
+/// assert_eq!(perfect.cdf(0.0), 1.0);
+/// assert_eq!(perfect.mean(), 0.0);
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointMass {
+    at: f64,
+}
+
+impl PointMass {
+    /// Creates a point mass at `at`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] for a non-finite location.
+    pub fn new(at: f64) -> Result<Self> {
+        if !at.is_finite() {
+            return Err(DistError::InvalidParameter(format!(
+                "PointMass location must be finite, got {at}"
+            )));
+        }
+        Ok(Self { at })
+    }
+
+    /// The location of the atom.
+    #[must_use]
+    pub fn at(&self) -> f64 {
+        self.at
+    }
+}
+
+impl Distribution for PointMass {
+    fn support(&self) -> Support {
+        Support { lo: self.at, hi: self.at }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x == self.at {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x >= self.at {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistError::InvalidProbability(p));
+        }
+        Ok(self.at)
+    }
+
+    fn mean(&self) -> f64 {
+        self.at
+    }
+
+    fn variance(&self) -> f64 {
+        0.0
+    }
+
+    fn mode(&self) -> Option<f64> {
+        Some(self.at)
+    }
+
+    fn sample(&self, _rng: &mut dyn RngCore) -> f64 {
+        self.at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(PointMass::new(f64::NAN).is_err());
+        assert!(PointMass::new(f64::INFINITY).is_err());
+        assert!(PointMass::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn cdf_is_right_continuous_step() {
+        let p = PointMass::new(2.0).unwrap();
+        assert_eq!(p.cdf(1.999), 0.0);
+        assert_eq!(p.cdf(2.0), 1.0);
+        assert_eq!(p.cdf(2.001), 1.0);
+    }
+
+    #[test]
+    fn density_conventions() {
+        let p = PointMass::new(1.0).unwrap();
+        assert_eq!(p.pdf(1.0), f64::INFINITY);
+        assert_eq!(p.pdf(0.999), 0.0);
+    }
+
+    #[test]
+    fn all_quantiles_at_atom() {
+        let p = PointMass::new(-3.0).unwrap();
+        assert_eq!(p.quantile(0.0).unwrap(), -3.0);
+        assert_eq!(p.quantile(0.5).unwrap(), -3.0);
+        assert_eq!(p.quantile(1.0).unwrap(), -3.0);
+        assert!(p.quantile(1.5).is_err());
+    }
+
+    #[test]
+    fn degenerate_moments_and_sampling() {
+        let p = PointMass::new(7.0).unwrap();
+        assert_eq!(p.mean(), 7.0);
+        assert_eq!(p.variance(), 0.0);
+        assert_eq!(p.mode(), Some(7.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(p.sample_n(&mut rng, 10).iter().all(|&x| x == 7.0));
+    }
+}

@@ -1,0 +1,180 @@
+//! Primitive samplers built from scratch on top of a uniform RNG.
+//!
+//! The offline crate set does not include `rand_distr`, so the classic
+//! transforms are implemented here: polar Box–Muller for the normal,
+//! Marsaglia–Tsang squeeze for the gamma, and the two-gamma construction
+//! for the beta.
+
+use rand::Rng;
+use rand::RngCore;
+
+/// Draws a uniform variate in the open interval `(0, 1)`.
+///
+/// Never returns exactly 0 or 1, so logs and quantile transforms are safe.
+pub fn open_unit(rng: &mut dyn RngCore) -> f64 {
+    loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 && u < 1.0 {
+            return u;
+        }
+    }
+}
+
+/// Draws a standard normal variate (polar Box–Muller / Marsaglia polar
+/// method).
+///
+/// # Examples
+///
+/// ```
+/// use depcase_distributions::sampler::standard_normal;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let z = standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn standard_normal(rng: &mut dyn RngCore) -> f64 {
+    loop {
+        let u = 2.0 * open_unit(rng) - 1.0;
+        let v = 2.0 * open_unit(rng) - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Draws a Gamma(shape, 1) variate by the Marsaglia–Tsang method (2000),
+/// with the standard `U^{1/shape}` boost for `shape < 1`.
+///
+/// # Panics
+///
+/// Panics if `shape` is not strictly positive — callers construct
+/// distributions through validated constructors, so this indicates a bug.
+pub fn standard_gamma(rng: &mut dyn RngCore, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive, got {shape}");
+    if shape < 1.0 {
+        // Boost: if X ~ Gamma(shape+1) and U ~ Uniform(0,1),
+        // X * U^{1/shape} ~ Gamma(shape).
+        let x = standard_gamma(rng, shape + 1.0);
+        let u = open_unit(rng);
+        return x * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let (x, v) = loop {
+            let x = standard_normal(rng);
+            let v = 1.0 + c * x;
+            if v > 0.0 {
+                break (x, v * v * v);
+            }
+        };
+        let u = open_unit(rng);
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Draws a Beta(a, b) variate via two gamma draws.
+///
+/// # Panics
+///
+/// Panics if either shape is not strictly positive.
+pub fn standard_beta(rng: &mut dyn RngCore, a: f64, b: f64) -> f64 {
+    let x = standard_gamma(rng, a);
+    let y = standard_gamma(rng, b);
+    x / (x + y)
+}
+
+/// Draws an exponential variate with rate 1 by inversion.
+pub fn standard_exponential(rng: &mut dyn RngCore) -> f64 {
+    -open_unit(rng).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_numerics::stats::Accumulator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N: usize = 40_000;
+
+    fn collect(mut f: impl FnMut(&mut StdRng) -> f64) -> Accumulator {
+        let mut rng = StdRng::seed_from_u64(0xDEC0DE);
+        (0..N).map(|_| f(&mut rng)).collect()
+    }
+
+    #[test]
+    fn open_unit_stays_open() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let u = open_unit(&mut rng);
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let acc = collect(|r| standard_normal(r));
+        assert!(acc.mean().abs() < 0.02, "mean {}", acc.mean());
+        assert!((acc.sample_variance() - 1.0).abs() < 0.05, "var {}", acc.sample_variance());
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        let shape = 4.2;
+        let acc = collect(|r| standard_gamma(r, shape));
+        assert!((acc.mean() - shape).abs() < 0.08, "mean {}", acc.mean());
+        assert!((acc.sample_variance() - shape).abs() < 0.3, "var {}", acc.sample_variance());
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        let shape = 0.4;
+        let acc = collect(|r| standard_gamma(r, shape));
+        assert!((acc.mean() - shape).abs() < 0.03, "mean {}", acc.mean());
+        assert!((acc.sample_variance() - shape).abs() < 0.1, "var {}", acc.sample_variance());
+        assert!(acc.min() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma shape must be positive")]
+    fn gamma_rejects_nonpositive_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = standard_gamma(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn beta_moments() {
+        let (a, b) = (2.0, 5.0);
+        let acc = collect(|r| standard_beta(r, a, b));
+        let want_mean = a / (a + b);
+        let want_var = a * b / ((a + b) * (a + b) * (a + b + 1.0));
+        assert!((acc.mean() - want_mean).abs() < 0.01);
+        assert!((acc.sample_variance() - want_var).abs() < 0.01);
+        assert!(acc.min() >= 0.0 && acc.max() <= 1.0);
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let acc = collect(|r| standard_exponential(r));
+        assert!((acc.mean() - 1.0).abs() < 0.03);
+        assert!((acc.sample_variance() - 1.0).abs() < 0.1);
+        assert!(acc.min() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

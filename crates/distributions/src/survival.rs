@@ -1,0 +1,535 @@
+//! Survival-weighted posteriors — the paper's Section 4.1 tail cut-off.
+//!
+//! "Operating experience or statistical testing can 'cut off' this tail
+//! so the distribution gets modified by the survival probability and
+//! renormalized." For demand-based systems the survival probability of
+//! `n` failure-free demands at pfd `p` is `(1−p)ⁿ`, giving the posterior
+//!
+//! ```text
+//! f(p | n failure-free demands) ∝ f(p) · (1−p)ⁿ     on [0, 1]
+//! ```
+//!
+//! ([`SurvivalWeighted`]); for continuously operating systems surviving
+//! time `t` at rate `λ` it is `e^{−λt}` ([`RateSurvivalWeighted`]).
+
+use crate::error::{DistError, Result};
+use crate::traits::{Distribution, Support};
+use depcase_numerics::integrate::{adaptive_simpson, integrate_to_infinity};
+use depcase_numerics::optimize::golden_section_max;
+use depcase_numerics::roots::{brent, RootConfig};
+use rand::RngCore;
+
+const QUAD_TOL: f64 = 1e-10;
+
+/// Quantile levels whose prior quantiles become integration knots.
+///
+/// Belief priors over failure rates concentrate orders of magnitude of
+/// structure near zero; uniform seed panels over `[0, 1]` (let alone
+/// `[0, ∞)`) would sail straight past the mass. Splitting at the prior's
+/// own quantiles guarantees every panel holds a bounded fraction of the
+/// prior mass, so the adaptive rule always sees the peak.
+const KNOT_LEVELS: [f64; 15] = [
+    1e-12, 1e-9, 1e-6, 1e-4, 1e-3, 0.01, 0.05, 0.15, 0.30, 0.50, 0.70, 0.85, 0.95, 0.99, 0.9999,
+];
+
+/// Builds sorted, deduplicated integration knots inside `[lo, hi]` from a
+/// prior's quantiles, always including both endpoints.
+fn prior_knots<D: Distribution + ?Sized>(prior: &D, lo: f64, hi: f64) -> Vec<f64> {
+    let mut ks = vec![lo];
+    for &q in &KNOT_LEVELS {
+        if let Ok(x) = prior.quantile(q) {
+            if x.is_finite() && x > lo && x < hi {
+                ks.push(x);
+            }
+        }
+    }
+    ks.push(hi);
+    ks.sort_by(|a, b| a.partial_cmp(b).expect("finite knots"));
+    ks.dedup_by(|a, b| (*a - *b).abs() <= f64::EPSILON * a.abs().max(1e-300));
+    ks
+}
+
+/// Locates the mode of a unimodal density by coarse scan over the knot
+/// grid (subdivided) followed by golden-section refinement in the
+/// bracketing segment.
+fn knotted_mode<F: Fn(f64) -> f64>(pdf: F, knots: &[f64]) -> Option<f64> {
+    const SUBDIV: usize = 8;
+    let mut grid = Vec::with_capacity(knots.len() * SUBDIV);
+    for w in knots.windows(2) {
+        for k in 0..SUBDIV {
+            grid.push(w[0] + (w[1] - w[0]) * k as f64 / SUBDIV as f64);
+        }
+    }
+    grid.push(*knots.last()?);
+    let (best, _) = grid
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i, pdf(x)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite density"))?;
+    let lo = if best == 0 { grid[0] } else { grid[best - 1] };
+    let hi = if best + 1 >= grid.len() { grid[grid.len() - 1] } else { grid[best + 1] };
+    if hi <= lo {
+        return Some(grid[best]);
+    }
+    golden_section_max(&pdf, lo, hi, 1e-14 * (hi - lo).max(1e-300)).ok().map(|r| r.x)
+}
+
+/// Integrates `f` over `[lo, hi]` piecewise between the knots.
+fn integrate_knotted<F: Fn(f64) -> f64>(f: &F, knots: &[f64], lo: f64, hi: f64) -> f64 {
+    if hi <= lo {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for w in knots.windows(2) {
+        let (a, b) = (w[0].max(lo), w[1].min(hi));
+        if b <= a {
+            continue;
+        }
+        acc += adaptive_simpson(f, a, b, QUAD_TOL).map(|r| r.value).unwrap_or(0.0);
+        if w[1] >= hi {
+            break;
+        }
+    }
+    acc
+}
+
+/// Posterior belief about a pfd after `n` failure-free demands.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_distributions::{Distribution, LogNormal, SurvivalWeighted};
+///
+/// let prior = LogNormal::from_mode_mean(0.003, 0.01)?;
+/// let post = SurvivalWeighted::new(prior, 1000)?;
+/// // Failure-free demands increase SIL2 confidence and shrink the mean:
+/// assert!(post.cdf(1e-2) > 0.9);
+/// assert!(post.mean() < 0.01);
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SurvivalWeighted<D> {
+    prior: D,
+    demands: u64,
+    norm: f64,
+    knots: Vec<f64>,
+}
+
+impl<D: Distribution> SurvivalWeighted<D> {
+    /// Builds the posterior from a prior pfd belief and a count of
+    /// failure-free demands.
+    ///
+    /// The prior is implicitly conditioned on `[0, 1]` (a pfd cannot
+    /// exceed 1); priors like the log-normal that carry stray mass above
+    /// 1 lose it here, exactly as the paper's renormalization intends.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] if the prior has no mass on
+    /// `[0, 1]`; numerical errors if normalization fails.
+    pub fn new(prior: D, demands: u64) -> Result<Self> {
+        let knots = prior_knots(&prior, 0.0, 1.0);
+        let w = |p: f64| {
+            if !(0.0..=1.0).contains(&p) {
+                return 0.0;
+            }
+            prior.pdf(p) * ((demands as f64) * (-p).ln_1p()).exp()
+        };
+        let norm = integrate_knotted(&w, &knots, 0.0, 1.0);
+        if !(norm > 0.0) || !norm.is_finite() {
+            return Err(DistError::InvalidParameter(format!(
+                "prior has no usable mass on [0, 1] after weighting with {demands} demands"
+            )));
+        }
+        Ok(Self { prior, demands, norm, knots })
+    }
+
+    /// The prior belief.
+    #[must_use]
+    pub fn prior(&self) -> &D {
+        &self.prior
+    }
+
+    /// Number of failure-free demands folded in.
+    #[must_use]
+    pub fn demands(&self) -> u64 {
+        self.demands
+    }
+
+    /// The marginal likelihood of surviving the demands — the
+    /// normalization constant `∫ f(p)(1−p)ⁿ dp`.
+    #[must_use]
+    pub fn survival_probability(&self) -> f64 {
+        self.norm
+    }
+
+    fn weight(&self, p: f64) -> f64 {
+        ((self.demands as f64) * (-p).ln_1p()).exp()
+    }
+}
+
+impl<D: Distribution> Distribution for SurvivalWeighted<D> {
+    fn support(&self) -> Support {
+        let parent = self.prior.support();
+        Support { lo: parent.lo.max(0.0), hi: parent.hi.min(1.0) }
+    }
+
+    fn pdf(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) {
+            return 0.0;
+        }
+        self.prior.pdf(p) * self.weight(p) / self.norm
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        if x >= 1.0 {
+            return 1.0;
+        }
+        let f = |p: f64| self.pdf(p);
+        integrate_knotted(&f, &self.knots, 0.0, x).clamp(0.0, 1.0)
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistError::InvalidProbability(p));
+        }
+        if p == 0.0 {
+            return Ok(self.support().lo);
+        }
+        if p == 1.0 {
+            return Ok(self.support().hi);
+        }
+        let f = |x: f64| self.cdf(x) - p;
+        Ok(brent(f, 0.0, 1.0, RootConfig { x_tol: 1e-14, f_tol: 1e-12, max_iter: 200 })?)
+    }
+
+    fn mean(&self) -> f64 {
+        let f = |p: f64| p * self.pdf(p);
+        integrate_knotted(&f, &self.knots, 0.0, 1.0)
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        let f = |p: f64| (p - m) * (p - m) * self.pdf(p);
+        integrate_knotted(&f, &self.knots, 0.0, 1.0)
+    }
+
+    fn mode(&self) -> Option<f64> {
+        knotted_mode(|p| self.pdf(p), &self.knots)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Exact rejection: the weight (1−p)ⁿ is a probability, so
+        // accepting a prior draw p with probability (1−p)ⁿ yields the
+        // posterior. Falls back to inverse-CDF if acceptance stalls.
+        for _ in 0..100_000 {
+            let p = self.prior.sample(rng);
+            if !(0.0..=1.0).contains(&p) {
+                continue;
+            }
+            if crate::sampler::open_unit(rng) < self.weight(p) {
+                return p;
+            }
+        }
+        let u = crate::sampler::open_unit(rng);
+        self.quantile(u).unwrap_or(self.support().lo)
+    }
+}
+
+/// Posterior belief about a failure *rate* after surviving operating time
+/// `t` without failure: `f(λ | t) ∝ f(λ) e^{−λt}`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_distributions::{Distribution, LogNormal, RateSurvivalWeighted};
+///
+/// // Judged dangerous-failure rate (per hour), then a year of failure-free
+/// // operation:
+/// let prior = LogNormal::from_mode_mean(3e-4, 1e-3)?;
+/// let post = RateSurvivalWeighted::new(prior, 8760.0)?;
+/// assert!(post.mean() < 1e-3);
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RateSurvivalWeighted<D> {
+    prior: D,
+    time: f64,
+    norm: f64,
+    knots: Vec<f64>,
+}
+
+impl<D: Distribution> RateSurvivalWeighted<D> {
+    /// Builds the posterior from a prior rate belief and a failure-free
+    /// operating time `t ≥ 0` (in the rate's inverse units).
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] for negative/non-finite time or a
+    /// prior without usable mass on `[0, ∞)`.
+    pub fn new(prior: D, time: f64) -> Result<Self> {
+        if !(time >= 0.0) || !time.is_finite() {
+            return Err(DistError::InvalidParameter(format!(
+                "operating time must be non-negative finite, got {time}"
+            )));
+        }
+        let w = |l: f64| if l < 0.0 { 0.0 } else { prior.pdf(l) * (-l * time).exp() };
+        // Knots from the prior's quantiles cover all the prior mass; the
+        // weighted tail beyond the last knot is mopped up by an improper
+        // integral.
+        let last = prior.quantile(1.0 - 1e-9).unwrap_or(f64::INFINITY);
+        let last = if last.is_finite() { last } else { 1e12 };
+        let knots = prior_knots(&prior, 0.0, last);
+        let norm = integrate_knotted(&w, &knots, 0.0, last)
+            + integrate_to_infinity(w, last, QUAD_TOL).map(|r| r.value).unwrap_or(0.0);
+        if !(norm > 0.0) || !norm.is_finite() {
+            return Err(DistError::InvalidParameter(
+                "prior has no usable mass on [0, ∞) after survival weighting".into(),
+            ));
+        }
+        Ok(Self { prior, time, norm, knots })
+    }
+
+    /// The prior belief.
+    #[must_use]
+    pub fn prior(&self) -> &D {
+        &self.prior
+    }
+
+    /// Failure-free operating time folded in.
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The marginal survival probability `∫ f(λ) e^{−λt} dλ`.
+    #[must_use]
+    pub fn survival_probability(&self) -> f64 {
+        self.norm
+    }
+}
+
+impl<D: Distribution> Distribution for RateSurvivalWeighted<D> {
+    fn support(&self) -> Support {
+        let parent = self.prior.support();
+        Support { lo: parent.lo.max(0.0), hi: parent.hi }
+    }
+
+    fn pdf(&self, l: f64) -> f64 {
+        if l < 0.0 {
+            return 0.0;
+        }
+        self.prior.pdf(l) * (-l * self.time).exp() / self.norm
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let f = |l: f64| self.pdf(l);
+        let last = *self.knots.last().expect("knots nonempty");
+        let mut acc = integrate_knotted(&f, &self.knots, 0.0, x.min(last));
+        if x > last {
+            acc += adaptive_simpson(f, last, x, QUAD_TOL).map(|r| r.value).unwrap_or(0.0);
+        }
+        acc.clamp(0.0, 1.0)
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistError::InvalidProbability(p));
+        }
+        if p == 0.0 {
+            return Ok(0.0);
+        }
+        if p == 1.0 {
+            return Ok(f64::INFINITY);
+        }
+        // The posterior is stochastically dominated by the prior
+        // (survival weighting moves mass left), so the posterior
+        // p-quantile is at most the prior p-quantile.
+        let hi = self.prior.quantile(p)?.max(1e-300);
+        let f = |x: f64| self.cdf(x) - p;
+        Ok(brent(f, 0.0, hi * 1.0001, RootConfig { x_tol: 1e-15, f_tol: 1e-12, max_iter: 200 })?)
+    }
+
+    fn mean(&self) -> f64 {
+        let f = |l: f64| l * self.pdf(l);
+        let last = *self.knots.last().expect("knots nonempty");
+        integrate_knotted(&f, &self.knots, 0.0, last)
+            + integrate_to_infinity(f, last, QUAD_TOL).map(|r| r.value).unwrap_or(0.0)
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        let f = |l: f64| (l - m) * (l - m) * self.pdf(l);
+        let last = *self.knots.last().expect("knots nonempty");
+        integrate_knotted(&f, &self.knots, 0.0, last)
+            + integrate_to_infinity(f, last, QUAD_TOL).map(|r| r.value).unwrap_or(0.0)
+    }
+
+    fn mode(&self) -> Option<f64> {
+        knotted_mode(|l| self.pdf(l), &self.knots)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        for _ in 0..100_000 {
+            let l = self.prior.sample(rng);
+            if l < 0.0 {
+                continue;
+            }
+            if crate::sampler::open_unit(rng) < (-l * self.time).exp() {
+                return l;
+            }
+        }
+        let u = crate::sampler::open_unit(rng);
+        self.quantile(u).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Beta, Distribution, Exponential, LogNormal, Uniform};
+    use depcase_numerics::float::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_demands_is_identity_on_unit_priors() {
+        let prior = Beta::new(2.0, 5.0).unwrap();
+        let post = SurvivalWeighted::new(prior, 0).unwrap();
+        for x in [0.1, 0.3, 0.7] {
+            assert!(approx_eq(post.cdf(x), prior.cdf(x), 1e-7, 1e-8), "x = {x}");
+        }
+        assert!(approx_eq(post.survival_probability(), 1.0, 1e-9, 0.0));
+    }
+
+    #[test]
+    fn conjugate_beta_agreement() {
+        // Survival weighting a Beta(a,b) prior with n demands must equal
+        // the conjugate Beta(a, b+n) posterior.
+        let prior = Beta::new(1.5, 3.0).unwrap();
+        let post = SurvivalWeighted::new(prior, 50).unwrap();
+        let conj = Beta::new(1.5, 53.0).unwrap();
+        for x in [1e-3, 0.01, 0.05, 0.2, 0.5] {
+            assert!(
+                approx_eq(post.cdf(x), conj.cdf(x), 1e-6, 1e-8),
+                "x = {x}: {} vs {}",
+                post.cdf(x),
+                conj.cdf(x)
+            );
+        }
+        assert!(approx_eq(post.mean(), conj.mean(), 1e-6, 1e-9));
+    }
+
+    #[test]
+    fn survival_probability_uniform_prior() {
+        // ∫₀¹ (1−p)ⁿ dp = 1/(n+1).
+        let post = SurvivalWeighted::new(Uniform::unit(), 9).unwrap();
+        assert!(approx_eq(post.survival_probability(), 0.1, 1e-8, 1e-10));
+    }
+
+    #[test]
+    fn testing_cuts_the_tail_and_shrinks_the_mean() {
+        // The paper's claim: "tests rapidly increase confidence and
+        // reduce the mean".
+        let prior = LogNormal::from_mode_mean(0.003, 0.01).unwrap();
+        let prior_conf = prior.cdf(1e-2);
+        let prior_mean = 0.01;
+        let mut last_conf = prior_conf;
+        let mut last_mean = prior_mean;
+        for n in [10, 100, 1000] {
+            let post = SurvivalWeighted::new(prior, n).unwrap();
+            let conf = post.cdf(1e-2);
+            let mean = post.mean();
+            assert!(conf > last_conf, "n = {n}: conf {conf} <= {last_conf}");
+            assert!(mean < last_mean, "n = {n}: mean {mean} >= {last_mean}");
+            last_conf = conf;
+            last_mean = mean;
+        }
+        assert!(last_conf > 0.95);
+    }
+
+    #[test]
+    fn mode_shifts_left_with_testing() {
+        let prior = LogNormal::from_mode_mean(0.003, 0.01).unwrap();
+        let post = SurvivalWeighted::new(prior, 2000).unwrap();
+        let m = post.mode().unwrap();
+        assert!(m < 0.003, "mode = {m}");
+        assert!(m > 0.0);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let prior = LogNormal::from_mode_mean(0.003, 0.01).unwrap();
+        let post = SurvivalWeighted::new(prior, 100).unwrap();
+        for p in [0.1, 0.5, 0.9, 0.99] {
+            let x = post.quantile(p).unwrap();
+            assert!(approx_eq(post.cdf(x), p, 1e-6, 1e-8), "p = {p}");
+        }
+        assert!(post.quantile(-0.1).is_err());
+        assert_eq!(post.quantile(0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sampling_matches_posterior_mean() {
+        let prior = Beta::new(2.0, 8.0).unwrap();
+        let post = SurvivalWeighted::new(prior, 20).unwrap();
+        let mut rng = StdRng::seed_from_u64(66);
+        let acc: depcase_numerics::stats::Accumulator =
+            post.sample_n(&mut rng, 30_000).into_iter().collect();
+        assert!(
+            (acc.mean() - post.mean()).abs() < 0.003,
+            "mc = {}, numeric = {}",
+            acc.mean(),
+            post.mean()
+        );
+    }
+
+    #[test]
+    fn rate_version_conjugate_gamma_check() {
+        // Exponential(rate r) prior is Gamma(1, 1/r); weighting by
+        // e^{−λt} gives Gamma(1, 1/(r+t)), i.e. Exponential(r + t).
+        let prior = Exponential::new(100.0).unwrap();
+        let post = RateSurvivalWeighted::new(prior, 900.0).unwrap();
+        let conj = Exponential::new(1000.0).unwrap();
+        for x in [1e-4, 1e-3, 5e-3] {
+            assert!(
+                approx_eq(post.cdf(x), conj.cdf(x), 1e-5, 1e-7),
+                "x = {x}: {} vs {}",
+                post.cdf(x),
+                conj.cdf(x)
+            );
+        }
+        assert!(approx_eq(post.mean(), 1e-3, 1e-5, 1e-8));
+    }
+
+    #[test]
+    fn rate_version_validation() {
+        let prior = Exponential::new(1.0).unwrap();
+        assert!(RateSurvivalWeighted::new(prior, -1.0).is_err());
+        assert!(RateSurvivalWeighted::new(prior, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn rate_survival_probability_is_laplace_transform() {
+        // For Exponential(r) prior: ∫ r e^{−rλ} e^{−λt} dλ = r/(r+t).
+        let prior = Exponential::new(2.0).unwrap();
+        let post = RateSurvivalWeighted::new(prior, 3.0).unwrap();
+        assert!(approx_eq(post.survival_probability(), 0.4, 1e-7, 1e-9));
+    }
+
+    #[test]
+    fn rate_quantile_round_trip() {
+        let prior = LogNormal::from_mode_mean(3e-4, 1e-3).unwrap();
+        let post = RateSurvivalWeighted::new(prior, 1000.0).unwrap();
+        for p in [0.1, 0.5, 0.95] {
+            let x = post.quantile(p).unwrap();
+            assert!(approx_eq(post.cdf(x), p, 1e-5, 1e-7), "p = {p}");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The [`Distribution`] trait and its support descriptor.
+
+use crate::error::Result;
+use rand::RngCore;
+
+/// The (closed) support of a univariate distribution.
+///
+/// Endpoints may be infinite. Atoms at the endpoints are allowed (e.g.
+/// the worst-case [`crate::TwoPoint`] law has all its mass on the two
+/// endpoints).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Support {
+    /// Smallest value in the support (may be `−∞`).
+    pub lo: f64,
+    /// Largest value in the support (may be `+∞`).
+    pub hi: f64,
+}
+
+impl Support {
+    /// The non-negative half line `[0, ∞)` — failure rates live here.
+    #[must_use]
+    pub fn non_negative() -> Self {
+        Self { lo: 0.0, hi: f64::INFINITY }
+    }
+
+    /// The closed unit interval `[0, 1]` — probabilities of failure on
+    /// demand live here.
+    #[must_use]
+    pub fn unit_interval() -> Self {
+        Self { lo: 0.0, hi: 1.0 }
+    }
+
+    /// The whole real line.
+    #[must_use]
+    pub fn real_line() -> Self {
+        Self { lo: f64::NEG_INFINITY, hi: f64::INFINITY }
+    }
+
+    /// Returns `true` when `x` lies inside the support (inclusive).
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// Width of the support (`∞` for unbounded supports).
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// A univariate belief distribution.
+///
+/// The trait is object-safe: heterogeneous collections of beliefs (an
+/// atom of "perfection" probability at zero plus a continuous body, as in
+/// the paper's Section 3.4 footnote) are represented as
+/// `Mixture` over `Box<dyn Distribution>` components.
+///
+/// Semantics follow the usual measure-theoretic conventions:
+///
+/// - [`Distribution::cdf`] is right-continuous: `cdf(x) = P(X ≤ x)`;
+/// - [`Distribution::pdf`] is a density w.r.t. Lebesgue measure where one
+///   exists; at an atom the density is reported as `+∞`;
+/// - [`Distribution::quantile`] returns the generalized inverse
+///   `inf { x : cdf(x) ≥ p }`.
+pub trait Distribution: std::fmt::Debug + Send + Sync {
+    /// The support of the distribution.
+    fn support(&self) -> Support;
+
+    /// Probability density at `x` (zero outside the support, `+∞` at an
+    /// atom).
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Natural log of [`Distribution::pdf`]; `−∞` where the density is 0.
+    fn ln_pdf(&self, x: f64) -> f64 {
+        self.pdf(x).ln()
+    }
+
+    /// Cumulative distribution function `P(X ≤ x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Survival function `P(X > x)`.
+    ///
+    /// The default computes `1 − cdf(x)`; heavy-tailed implementations
+    /// override it to keep relative precision in the far tail.
+    fn sf(&self, x: f64) -> f64 {
+        (1.0 - self.cdf(x)).max(0.0)
+    }
+
+    /// Quantile function: the generalized inverse CDF at level `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `p ∉ [0, 1]` or the inversion fails to
+    /// converge.
+    fn quantile(&self, p: f64) -> Result<f64>;
+
+    /// Mean of the distribution.
+    fn mean(&self) -> f64;
+
+    /// Variance of the distribution.
+    fn variance(&self) -> f64;
+
+    /// Standard deviation.
+    fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Mode (a global maximizer of the density), when one is defined.
+    fn mode(&self) -> Option<f64> {
+        None
+    }
+
+    /// Draws one sample using the supplied RNG.
+    fn sample(&self, rng: &mut dyn RngCore) -> f64;
+
+    /// Draws `n` samples into a fresh vector.
+    fn sample_n(&self, rng: &mut dyn RngCore, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Probability mass assigned to the interval `(lo, hi]`.
+    ///
+    /// This is the quantity the paper integrates to get SIL-band
+    /// membership probabilities.
+    fn interval_prob(&self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return 0.0;
+        }
+        (self.cdf(hi) - self.cdf(lo)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_constructors() {
+        let nn = Support::non_negative();
+        assert_eq!(nn.lo, 0.0);
+        assert_eq!(nn.hi, f64::INFINITY);
+        let ui = Support::unit_interval();
+        assert_eq!((ui.lo, ui.hi), (0.0, 1.0));
+        let rl = Support::real_line();
+        assert_eq!(rl.lo, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn support_contains_inclusive() {
+        let ui = Support::unit_interval();
+        assert!(ui.contains(0.0));
+        assert!(ui.contains(1.0));
+        assert!(ui.contains(0.5));
+        assert!(!ui.contains(-0.001));
+        assert!(!ui.contains(1.001));
+    }
+
+    #[test]
+    fn support_width() {
+        assert_eq!(Support::unit_interval().width(), 1.0);
+        assert_eq!(Support::non_negative().width(), f64::INFINITY);
+    }
+
+    #[test]
+    fn distribution_is_object_safe() {
+        fn _takes_dyn(_: &dyn Distribution) {}
+    }
+}

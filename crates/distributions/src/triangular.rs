@@ -1,0 +1,191 @@
+//! The triangular distribution.
+//!
+//! The standard "quick elicitation" shape: an expert states a minimum, a
+//! most-likely value and a maximum. The elicitation simulator uses it for
+//! experts who think in linear (not log) space.
+
+use crate::error::{DistError, Result};
+use crate::sampler::open_unit;
+use crate::traits::{Distribution, Support};
+use rand::RngCore;
+
+/// A triangular distribution on `[lo, hi]` with mode `peak`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_distributions::{Distribution, Triangular};
+///
+/// let t = Triangular::new(0.0, 1.0, 4.0)?;
+/// assert_eq!(t.mode(), Some(1.0));
+/// assert!((t.mean() - 5.0 / 3.0).abs() < 1e-14);
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangular {
+    lo: f64,
+    peak: f64,
+    hi: f64,
+}
+
+impl Triangular {
+    /// Creates a triangular distribution from `lo ≤ peak ≤ hi`,
+    /// `lo < hi`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] if the ordering fails or any value
+    /// is non-finite.
+    pub fn new(lo: f64, peak: f64, hi: f64) -> Result<Self> {
+        if !lo.is_finite() || !peak.is_finite() || !hi.is_finite() {
+            return Err(DistError::InvalidParameter(format!(
+                "Triangular requires finite parameters; got ({lo}, {peak}, {hi})"
+            )));
+        }
+        if !(lo <= peak && peak <= hi && lo < hi) {
+            return Err(DistError::InvalidParameter(format!(
+                "Triangular requires lo <= peak <= hi and lo < hi; got ({lo}, {peak}, {hi})"
+            )));
+        }
+        Ok(Self { lo, peak, hi })
+    }
+
+    /// Lower endpoint.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Most-likely value.
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Upper endpoint.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Distribution for Triangular {
+    fn support(&self) -> Support {
+        Support { lo: self.lo, hi: self.hi }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        let (a, c, b) = (self.lo, self.peak, self.hi);
+        if x < a || x > b {
+            0.0
+        } else if x < c {
+            2.0 * (x - a) / ((b - a) * (c - a))
+        } else if x == c {
+            2.0 / (b - a)
+        } else {
+            2.0 * (b - x) / ((b - a) * (b - c))
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let (a, c, b) = (self.lo, self.peak, self.hi);
+        if x <= a {
+            0.0
+        } else if x < c {
+            (x - a) * (x - a) / ((b - a) * (c - a))
+        } else if x >= b {
+            1.0
+        } else {
+            1.0 - (b - x) * (b - x) / ((b - a) * (b - c))
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistError::InvalidProbability(p));
+        }
+        let (a, c, b) = (self.lo, self.peak, self.hi);
+        let fc = if b == a { 0.0 } else { (c - a) / (b - a) };
+        if p <= fc {
+            Ok(a + (p * (b - a) * (c - a)).sqrt())
+        } else {
+            Ok(b - ((1.0 - p) * (b - a) * (b - c)).sqrt())
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        (self.lo + self.peak + self.hi) / 3.0
+    }
+
+    fn variance(&self) -> f64 {
+        let (a, c, b) = (self.lo, self.peak, self.hi);
+        (a * a + b * b + c * c - a * b - a * c - b * c) / 18.0
+    }
+
+    fn mode(&self) -> Option<f64> {
+        Some(self.peak)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.quantile(open_unit(rng)).expect("open_unit stays in (0,1)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_numerics::float::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Triangular::new(0.0, 2.0, 1.0).is_err());
+        assert!(Triangular::new(1.0, 1.0, 1.0).is_err());
+        assert!(Triangular::new(f64::NAN, 0.5, 1.0).is_err());
+        assert!(Triangular::new(0.0, 0.0, 1.0).is_ok()); // peak at endpoint ok
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let t = Triangular::new(0.0, 1.0, 4.0).unwrap();
+        let r = depcase_numerics::integrate::adaptive_simpson(|x| t.pdf(x), 0.0, 4.0, 1e-10)
+            .unwrap();
+        assert!(approx_eq(r.value, 1.0, 1e-8, 1e-8));
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let t = Triangular::new(-1.0, 0.5, 2.0).unwrap();
+        for p in [0.0, 0.1, 0.4, 0.5, 0.8, 1.0] {
+            let x = t.quantile(p).unwrap();
+            assert!(approx_eq(t.cdf(x), p, 1e-12, 1e-13), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn peak_at_endpoint_degenerate_sides() {
+        let t = Triangular::new(0.0, 0.0, 1.0).unwrap();
+        assert!(approx_eq(t.cdf(0.5), 0.75, 1e-13, 0.0));
+        let q = t.quantile(0.75).unwrap();
+        assert!(approx_eq(q, 0.5, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn moments() {
+        let t = Triangular::new(0.0, 1.0, 4.0).unwrap();
+        assert!(approx_eq(t.mean(), 5.0 / 3.0, 1e-14, 0.0));
+        let want_var = (0.0 + 16.0 + 1.0 - 0.0 - 0.0 - 4.0) / 18.0;
+        assert!(approx_eq(t.variance(), want_var, 1e-14, 0.0));
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let t = Triangular::new(0.0, 1.0, 4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let acc: depcase_numerics::stats::Accumulator =
+            t.sample_n(&mut rng, 40_000).into_iter().collect();
+        assert!((acc.mean() - 5.0 / 3.0).abs() < 0.02);
+        assert!(acc.min() >= 0.0 && acc.max() <= 4.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Truncation (conditioning on an interval) of any distribution.
+//!
+//! The crudest form of the paper's "attack the high-failure-rate tail":
+//! conditioning the belief on `X ≤ hi` after, say, exhaustive analysis
+//! rules out rates above `hi`. The gentler evidence-weighted version is
+//! [`crate::SurvivalWeighted`].
+
+use crate::error::{DistError, Result};
+use crate::traits::{Distribution, Support};
+use rand::RngCore;
+
+/// A distribution conditioned on the interval `[lo, hi]`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_distributions::{Distribution, LogNormal, Truncated};
+///
+/// let belief = LogNormal::from_mode_sigma(0.003, 1.0)?;
+/// // Condition on the rate being below 0.01 (SIL2 or better):
+/// let cut = Truncated::upper(belief, 0.01)?;
+/// assert!(cut.cdf(0.01) > 1.0 - 1e-12);
+/// assert!(cut.mean() < belief.mean());
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Truncated<D> {
+    inner: D,
+    lo: f64,
+    hi: f64,
+    // Cached normalization: P(lo < X ≤ hi) under the parent.
+    mass: f64,
+    cdf_lo: f64,
+}
+
+impl<D: Distribution> Truncated<D> {
+    /// Conditions `inner` on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] if `lo >= hi` or the parent puts
+    /// no mass on the interval.
+    pub fn new(inner: D, lo: f64, hi: f64) -> Result<Self> {
+        if !(lo < hi) {
+            return Err(DistError::InvalidParameter(format!(
+                "truncation requires lo < hi, got [{lo}, {hi}]"
+            )));
+        }
+        let cdf_lo = inner.cdf(lo);
+        let mass = inner.cdf(hi) - cdf_lo;
+        if !(mass > 0.0) {
+            return Err(DistError::InvalidParameter(format!(
+                "parent distribution has no mass on [{lo}, {hi}]"
+            )));
+        }
+        Ok(Self { inner, lo, hi, mass, cdf_lo })
+    }
+
+    /// Conditions on `X ≤ hi` (the tail cut-off form).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Truncated::new`].
+    pub fn upper(inner: D, hi: f64) -> Result<Self> {
+        let lo = inner.support().lo;
+        let lo = if lo.is_finite() { lo - 1.0 } else { f64::NEG_INFINITY };
+        // Use a lo strictly below the support so no lower mass is lost.
+        if lo == f64::NEG_INFINITY {
+            // Delegate with an explicit very low bound that the parent
+            // CDF treats as zero mass below.
+            let cdf_lo = 0.0;
+            let mass = inner.cdf(hi);
+            if !(mass > 0.0) {
+                return Err(DistError::InvalidParameter(format!(
+                    "parent distribution has no mass below {hi}"
+                )));
+            }
+            return Ok(Self { inner, lo, hi, mass, cdf_lo });
+        }
+        Self::new(inner, lo, hi)
+    }
+
+    /// The conditioning interval.
+    #[must_use]
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// The probability mass the parent assigned to the interval —
+    /// how much of the original belief survived the conditioning.
+    #[must_use]
+    pub fn retained_mass(&self) -> f64 {
+        self.mass
+    }
+
+    /// The parent distribution.
+    #[must_use]
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    fn numeric_mean(&self) -> f64 {
+        // E[X | lo < X ≤ hi] by quadrature over the conditioned density.
+        let lo = self.lo.max(self.inner.support().lo);
+        let hi = if self.hi.is_finite() { self.hi } else { self.inner.support().hi };
+        if !hi.is_finite() {
+            // Should not happen: truncation bounds are finite by then.
+            return f64::NAN;
+        }
+        let lo = if lo.is_finite() { lo } else { self.inner.quantile(1e-12).unwrap_or(0.0) };
+        depcase_numerics::integrate::adaptive_simpson(|x| x * self.pdf(x), lo, hi, 1e-12)
+            .map(|r| r.value)
+            .unwrap_or(f64::NAN)
+    }
+}
+
+impl<D: Distribution> Distribution for Truncated<D> {
+    fn support(&self) -> Support {
+        let parent = self.inner.support();
+        Support { lo: parent.lo.max(self.lo), hi: parent.hi.min(self.hi) }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            0.0
+        } else {
+            self.inner.pdf(x) / self.mass
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            ((self.inner.cdf(x) - self.cdf_lo) / self.mass).clamp(0.0, 1.0)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistError::InvalidProbability(p));
+        }
+        let target = self.cdf_lo + p * self.mass;
+        let q = self.inner.quantile(target.clamp(0.0, 1.0))?;
+        Ok(q.clamp(self.support().lo, self.support().hi))
+    }
+
+    fn mean(&self) -> f64 {
+        self.numeric_mean()
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        let lo = self.support().lo;
+        let hi = self.support().hi;
+        if !lo.is_finite() || !hi.is_finite() {
+            return f64::NAN;
+        }
+        depcase_numerics::integrate::adaptive_simpson(
+            |x| (x - m) * (x - m) * self.pdf(x),
+            lo,
+            hi,
+            1e-12,
+        )
+        .map(|r| r.value)
+        .unwrap_or(f64::NAN)
+    }
+
+    fn mode(&self) -> Option<f64> {
+        self.inner.mode().map(|m| m.clamp(self.support().lo, self.support().hi))
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Rejection from the parent; efficient as long as the retained
+        // mass is not minuscule, which construction guarantees is > 0.
+        for _ in 0..10_000 {
+            let x = self.inner.sample(rng);
+            if x >= self.lo && x <= self.hi {
+                return x;
+            }
+        }
+        // Fall back to inverse-CDF sampling.
+        let u = crate::sampler::open_unit(rng);
+        self.quantile(u).unwrap_or(self.support().lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LogNormal, Normal, Uniform};
+    use depcase_numerics::float::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        let u = Uniform::unit();
+        assert!(Truncated::new(u, 0.5, 0.5).is_err());
+        assert!(Truncated::new(u, 0.8, 0.2).is_err());
+        assert!(Truncated::new(u, 2.0, 3.0).is_err()); // no mass there
+    }
+
+    #[test]
+    fn truncated_uniform_is_uniform() {
+        let t = Truncated::new(Uniform::unit(), 0.2, 0.6).unwrap();
+        assert!(approx_eq(t.pdf(0.4), 2.5, 1e-13, 0.0));
+        assert!(approx_eq(t.cdf(0.4), 0.5, 1e-13, 0.0));
+        assert!(approx_eq(t.mean(), 0.4, 1e-9, 0.0));
+        assert!(approx_eq(t.retained_mass(), 0.4, 1e-13, 0.0));
+    }
+
+    #[test]
+    fn upper_truncation_cuts_tail() {
+        let belief = LogNormal::from_mode_sigma(0.003, 1.0).unwrap();
+        let cut = Truncated::upper(belief, 0.01).unwrap();
+        assert_eq!(cut.cdf(0.01), 1.0);
+        assert_eq!(cut.cdf(0.02), 1.0);
+        assert!(cut.mean() < belief.mean());
+        // Mode preserved when inside the kept region.
+        assert!(approx_eq(cut.mode().unwrap(), 0.003, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let t = Truncated::new(Normal::new(0.0, 1.0).unwrap(), -1.0, 2.0).unwrap();
+        for p in [0.01, 0.3, 0.5, 0.9, 0.99] {
+            let x = t.quantile(p).unwrap();
+            assert!(approx_eq(t.cdf(x), p, 1e-9, 1e-10), "p = {p}");
+        }
+        assert!(t.quantile(1.2).is_err());
+    }
+
+    #[test]
+    fn pdf_outside_window_zero() {
+        let t = Truncated::new(Normal::new(0.0, 1.0).unwrap(), -1.0, 1.0).unwrap();
+        assert_eq!(t.pdf(-1.5), 0.0);
+        assert_eq!(t.pdf(1.5), 0.0);
+        assert_eq!(t.cdf(-1.5), 0.0);
+        assert_eq!(t.cdf(1.5), 1.0);
+    }
+
+    #[test]
+    fn variance_shrinks_under_truncation() {
+        let n = Normal::new(0.0, 1.0).unwrap();
+        let t = Truncated::new(n, -1.0, 1.0).unwrap();
+        assert!(t.variance() < n.variance());
+        assert!(t.variance() > 0.0);
+    }
+
+    #[test]
+    fn samples_stay_in_window() {
+        let t =
+            Truncated::new(LogNormal::from_mode_sigma(0.003, 1.0).unwrap(), 0.001, 0.01).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for x in t.sample_n(&mut rng, 2000) {
+            assert!((0.001..=0.01).contains(&x));
+        }
+    }
+
+    #[test]
+    fn mean_matches_monte_carlo() {
+        let t = Truncated::upper(LogNormal::from_mode_sigma(0.003, 0.9).unwrap(), 0.01).unwrap();
+        let mut rng = StdRng::seed_from_u64(123);
+        let acc: depcase_numerics::stats::Accumulator =
+            t.sample_n(&mut rng, 60_000).into_iter().collect();
+        assert!(
+            (acc.mean() - t.mean()).abs() < 3e-4,
+            "mc = {}, numeric = {}",
+            acc.mean(),
+            t.mean()
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! The two-point worst-case belief distribution of the paper's
+//! Section 3.4 (Figure 6b).
+//!
+//! When an expert will only state `P(pfd < y) = 1 − x`, the *most
+//! conservative* belief consistent with that statement concentrates all
+//! the mass of `[0, y)` at `y` and all the mass of `[y, 1]` at 1. Its
+//! mean is exactly the paper's bound `(1 − x)·y + x = x + y − xy`.
+
+use crate::error::{DistError, Result};
+use crate::traits::{Distribution, Support};
+use rand::Rng;
+use rand::RngCore;
+
+/// A two-atom distribution: mass `1 − doubt` at `claim` and mass `doubt`
+/// at `worst`.
+///
+/// In the paper's construction `claim = y` (the claimed pfd bound),
+/// `worst = 1` (certain failure) and `doubt = x`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_distributions::{Distribution, TwoPoint};
+///
+/// // "pfd < 1e-4 with 99.91% confidence", conservatively:
+/// let w = TwoPoint::worst_case(1e-4, 0.0009)?;
+/// // Mean equals the paper's x + y − xy bound:
+/// let (x, y) = (0.0009, 1e-4);
+/// assert!((w.mean() - (x + y - x * y)).abs() < 1e-18);
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPoint {
+    claim: f64,
+    worst: f64,
+    doubt: f64,
+}
+
+impl TwoPoint {
+    /// Creates a general two-point law with mass `1 − doubt` at `claim`
+    /// and `doubt` at `worst`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `claim < worst`, both
+    /// finite, and `doubt ∈ [0, 1]`.
+    pub fn new(claim: f64, worst: f64, doubt: f64) -> Result<Self> {
+        if !claim.is_finite() || !worst.is_finite() || !(claim < worst) {
+            return Err(DistError::InvalidParameter(format!(
+                "TwoPoint requires finite claim < worst; got claim = {claim}, worst = {worst}"
+            )));
+        }
+        if !(0.0..=1.0).contains(&doubt) {
+            return Err(DistError::InvalidParameter(format!(
+                "doubt must be a probability, got {doubt}"
+            )));
+        }
+        Ok(Self { claim, worst, doubt })
+    }
+
+    /// The paper's worst-case law on the pfd scale: mass `1 − doubt` at
+    /// the claimed bound `y` and mass `doubt` at 1 (certain failure).
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `0 ≤ y < 1` and
+    /// `doubt ∈ [0, 1]`.
+    pub fn worst_case(claim_bound: f64, doubt: f64) -> Result<Self> {
+        if !(0.0..1.0).contains(&claim_bound) {
+            return Err(DistError::InvalidParameter(format!(
+                "a pfd claim bound must lie in [0, 1), got {claim_bound}"
+            )));
+        }
+        Self::new(claim_bound, 1.0, doubt)
+    }
+
+    /// Location of the "claim holds" atom.
+    #[must_use]
+    pub fn claim(&self) -> f64 {
+        self.claim
+    }
+
+    /// Location of the "claim fails" atom.
+    #[must_use]
+    pub fn worst(&self) -> f64 {
+        self.worst
+    }
+
+    /// Probability mass on the "claim fails" atom.
+    #[must_use]
+    pub fn doubt(&self) -> f64 {
+        self.doubt
+    }
+}
+
+impl Distribution for TwoPoint {
+    fn support(&self) -> Support {
+        Support { lo: self.claim, hi: self.worst }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if (x == self.claim && self.doubt < 1.0) || (x == self.worst && self.doubt > 0.0) {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.claim {
+            0.0
+        } else if x < self.worst {
+            1.0 - self.doubt
+        } else {
+            1.0
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistError::InvalidProbability(p));
+        }
+        if p <= 1.0 - self.doubt {
+            Ok(self.claim)
+        } else {
+            Ok(self.worst)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        (1.0 - self.doubt) * self.claim + self.doubt * self.worst
+    }
+
+    fn variance(&self) -> f64 {
+        let d = self.worst - self.claim;
+        self.doubt * (1.0 - self.doubt) * d * d
+    }
+
+    fn mode(&self) -> Option<f64> {
+        if self.doubt > 0.5 {
+            Some(self.worst)
+        } else if self.doubt < 0.5 {
+            Some(self.claim)
+        } else {
+            None
+        }
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        if rng.gen::<f64>() < self.doubt {
+            self.worst
+        } else {
+            self.claim
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_numerics::float::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(TwoPoint::new(1.0, 1.0, 0.5).is_err());
+        assert!(TwoPoint::new(2.0, 1.0, 0.5).is_err());
+        assert!(TwoPoint::new(0.0, 1.0, 1.5).is_err());
+        assert!(TwoPoint::worst_case(1.0, 0.1).is_err());
+        assert!(TwoPoint::worst_case(-0.1, 0.1).is_err());
+    }
+
+    #[test]
+    fn mean_is_paper_bound() {
+        // P(failure on random demand) ≤ x + y − xy, Eq. (5) in the paper.
+        for &(y, x) in &[(1e-3, 0.0), (0.0, 1e-3), (1e-4, 9e-4), (0.01, 0.05)] {
+            let w = TwoPoint::worst_case(y, x).unwrap();
+            assert!(
+                approx_eq(w.mean(), x + y - x * y, 1e-15, 1e-18),
+                "y = {y}, x = {x}: mean = {}",
+                w.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn example1_certain_claim() {
+        // Paper Example 1: x* = 0, y* = 1e-3 — certain the pfd ≤ 1e-3.
+        let w = TwoPoint::worst_case(1e-3, 0.0).unwrap();
+        assert!(approx_eq(w.mean(), 1e-3, 1e-15, 0.0));
+        assert_eq!(w.cdf(1e-3), 1.0);
+    }
+
+    #[test]
+    fn example2_perfection_claim() {
+        // Paper Example 2: x* = 1e-3, y* = 0 — 99.9% confident in a
+        // perfect system; worst case is a 1e-3 chance of certain failure.
+        let w = TwoPoint::worst_case(0.0, 1e-3).unwrap();
+        assert!(approx_eq(w.mean(), 1e-3, 1e-15, 0.0));
+    }
+
+    #[test]
+    fn cdf_steps() {
+        let w = TwoPoint::worst_case(1e-3, 0.1).unwrap();
+        assert_eq!(w.cdf(1e-4), 0.0);
+        assert_eq!(w.cdf(1e-3), 0.9);
+        assert_eq!(w.cdf(0.5), 0.9);
+        assert_eq!(w.cdf(1.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_steps() {
+        let w = TwoPoint::worst_case(1e-3, 0.1).unwrap();
+        assert_eq!(w.quantile(0.5).unwrap(), 1e-3);
+        assert_eq!(w.quantile(0.9).unwrap(), 1e-3);
+        assert_eq!(w.quantile(0.95).unwrap(), 1.0);
+        assert_eq!(w.quantile(1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn mode_by_dominant_atom() {
+        assert_eq!(TwoPoint::worst_case(0.1, 0.2).unwrap().mode(), Some(0.1));
+        assert_eq!(TwoPoint::worst_case(0.1, 0.8).unwrap().mode(), Some(1.0));
+        assert_eq!(TwoPoint::worst_case(0.1, 0.5).unwrap().mode(), None);
+    }
+
+    #[test]
+    fn variance_bernoulli_scaled() {
+        let w = TwoPoint::new(0.0, 1.0, 0.25).unwrap();
+        assert!(approx_eq(w.variance(), 0.25 * 0.75, 1e-15, 0.0));
+    }
+
+    #[test]
+    fn sampling_hits_both_atoms() {
+        let w = TwoPoint::worst_case(1e-3, 0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs = w.sample_n(&mut rng, 10_000);
+        let ones = xs.iter().filter(|&&x| x == 1.0).count();
+        assert!(xs.iter().all(|&x| x == 1.0 || x == 1e-3));
+        let frac = ones as f64 / xs.len() as f64;
+        assert!((frac - 0.3).abs() < 0.02, "frac = {frac}");
+    }
+}

@@ -1,0 +1,152 @@
+//! The continuous uniform distribution.
+
+use crate::error::{DistError, Result};
+use crate::traits::{Distribution, Support};
+use rand::Rng;
+use rand::RngCore;
+
+/// A uniform distribution on `[lo, hi]`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_distributions::{Distribution, Uniform};
+///
+/// let u = Uniform::new(0.0, 4.0)?;
+/// assert_eq!(u.mean(), 2.0);
+/// assert_eq!(u.cdf(1.0), 0.25);
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `lo < hi` and both finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if !lo.is_finite() || !hi.is_finite() || !(lo < hi) {
+            return Err(DistError::InvalidParameter(format!(
+                "Uniform requires finite lo < hi; got [{lo}, {hi}]"
+            )));
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// The standard uniform on `[0, 1]`.
+    #[must_use]
+    pub fn unit() -> Self {
+        Self { lo: 0.0, hi: 1.0 }
+    }
+
+    /// Lower endpoint.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Distribution for Uniform {
+    fn support(&self) -> Support {
+        Support { lo: self.lo, hi: self.hi }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            0.0
+        } else {
+            1.0 / (self.hi - self.lo)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            (x - self.lo) / (self.hi - self.lo)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistError::InvalidProbability(p));
+        }
+        Ok(self.lo + p * (self.hi - self.lo))
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.gen::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_numerics::float::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NEG_INFINITY, 0.0).is_err());
+    }
+
+    #[test]
+    fn density_and_cdf() {
+        let u = Uniform::new(-1.0, 3.0).unwrap();
+        assert_eq!(u.pdf(0.0), 0.25);
+        assert_eq!(u.pdf(-2.0), 0.0);
+        assert_eq!(u.pdf(4.0), 0.0);
+        assert!(approx_eq(u.cdf(1.0), 0.5, 1e-15, 0.0));
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let u = Uniform::unit();
+        for p in [0.0, 0.2, 0.5, 1.0] {
+            assert!(approx_eq(u.cdf(u.quantile(p).unwrap()), p, 1e-14, 1e-14));
+        }
+        assert!(u.quantile(1.5).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        let u = Uniform::new(2.0, 8.0).unwrap();
+        assert_eq!(u.mean(), 5.0);
+        assert!(approx_eq(u.variance(), 3.0, 1e-14, 0.0));
+        assert_eq!(u.mode(), None); // no unique mode
+    }
+
+    #[test]
+    fn sampling_in_range() {
+        let u = Uniform::new(5.0, 6.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for x in u.sample_n(&mut rng, 1000) {
+            assert!((5.0..=6.0).contains(&x));
+        }
+    }
+}

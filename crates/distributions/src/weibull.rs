@@ -1,0 +1,193 @@
+//! The Weibull distribution.
+//!
+//! Included for reliability-growth workloads in the extended examples:
+//! time-to-failure of hardware channels in multi-leg arguments is
+//! conventionally Weibull.
+
+use crate::error::{DistError, Result};
+use crate::sampler::open_unit;
+use crate::traits::{Distribution, Support};
+use depcase_numerics::special::ln_gamma;
+use rand::RngCore;
+
+/// A Weibull distribution with shape `k` and scale `lambda`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_distributions::{Distribution, Weibull};
+///
+/// let w = Weibull::new(1.0, 2.0)?; // shape 1 is Exponential(1/2)
+/// assert!((w.sf(2.0) - (-1.0_f64).exp()).abs() < 1e-14);
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless both parameters are
+    /// positive finite.
+    pub fn new(shape: f64, scale: f64) -> Result<Self> {
+        if !(shape > 0.0) || !shape.is_finite() || !(scale > 0.0) || !scale.is_finite() {
+            return Err(DistError::InvalidParameter(format!(
+                "Weibull requires shape > 0 and scale > 0; got shape = {shape}, scale = {scale}"
+            )));
+        }
+        Ok(Self { shape, scale })
+    }
+
+    /// Shape parameter `k`.
+    #[must_use]
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `λ`.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Distribution for Weibull {
+    fn support(&self) -> Support {
+        Support::non_negative()
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return if self.shape < 1.0 {
+                f64::INFINITY
+            } else if self.shape == 1.0 {
+                1.0 / self.scale
+            } else {
+                0.0
+            };
+        }
+        let z = x / self.scale;
+        (self.shape / self.scale) * z.powf(self.shape - 1.0) * (-z.powf(self.shape)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-(x / self.scale).powf(self.shape)).exp_m1()
+        }
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            (-(x / self.scale).powf(self.shape)).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistError::InvalidProbability(p));
+        }
+        if p == 1.0 {
+            return Ok(f64::INFINITY);
+        }
+        Ok(self.scale * (-(-p).ln_1p()).powf(1.0 / self.shape))
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * (ln_gamma(1.0 + 1.0 / self.shape)).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let g2 = ln_gamma(1.0 + 2.0 / self.shape).exp();
+        let g1 = ln_gamma(1.0 + 1.0 / self.shape).exp();
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+
+    fn mode(&self) -> Option<f64> {
+        if self.shape > 1.0 {
+            Some(self.scale * ((self.shape - 1.0) / self.shape).powf(1.0 / self.shape))
+        } else {
+            Some(0.0)
+        }
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let u = open_unit(rng);
+        self.scale * (-u.ln()).powf(1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_numerics::float::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, 0.0).is_err());
+        assert!(Weibull::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn exponential_special_case() {
+        let w = Weibull::new(1.0, 2.0).unwrap();
+        assert!(approx_eq(w.mean(), 2.0, 1e-12, 0.0));
+        assert!(approx_eq(w.cdf(2.0), 1.0 - (-1.0_f64).exp(), 1e-13, 0.0));
+        assert_eq!(w.mode(), Some(0.0));
+    }
+
+    #[test]
+    fn rayleigh_special_case() {
+        // k = 2 is Rayleigh; mean = λ·sqrt(π)/2.
+        let w = Weibull::new(2.0, 3.0).unwrap();
+        assert!(approx_eq(w.mean(), 3.0 * std::f64::consts::PI.sqrt() / 2.0, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let w = Weibull::new(1.7, 0.4).unwrap();
+        for p in [1e-9, 0.2, 0.5, 0.95] {
+            let x = w.quantile(p).unwrap();
+            assert!(approx_eq(w.cdf(x), p, 1e-12, 1e-14), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn mode_interior_for_large_shape() {
+        let w = Weibull::new(3.0, 1.0).unwrap();
+        let m = w.mode().unwrap();
+        // Density at mode should exceed nearby values.
+        assert!(w.pdf(m) > w.pdf(m * 0.8));
+        assert!(w.pdf(m) > w.pdf(m * 1.2));
+    }
+
+    #[test]
+    fn pdf_origin_conventions() {
+        assert_eq!(Weibull::new(0.5, 1.0).unwrap().pdf(0.0), f64::INFINITY);
+        assert_eq!(Weibull::new(2.0, 1.0).unwrap().pdf(0.0), 0.0);
+        assert!(approx_eq(Weibull::new(1.0, 4.0).unwrap().pdf(0.0), 0.25, 1e-14, 0.0));
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let w = Weibull::new(2.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let acc: depcase_numerics::stats::Accumulator =
+            w.sample_n(&mut rng, 40_000).into_iter().collect();
+        assert!((acc.mean() - w.mean()).abs() < 0.01);
+    }
+}

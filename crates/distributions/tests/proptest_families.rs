@@ -1,0 +1,128 @@
+//! Property tests shared by every distribution family: CDF laws,
+//! quantile inversion, support discipline, sampling ranges.
+
+use depcase_distributions::{
+    Beta, Distribution, Exponential, Gamma, LogNormal, Normal, Triangular, TwoPoint, Uniform,
+    Weibull,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn families(seedlings: (f64, f64, f64)) -> Vec<Box<dyn Distribution>> {
+    let (a, b, c) = seedlings;
+    // Map three raw positives into valid parameters for each family.
+    vec![
+        Box::new(Normal::new(a - b, 0.1 + c).unwrap()),
+        Box::new(LogNormal::new(-(a + 1.0), 0.1 + 0.5 * c).unwrap()),
+        Box::new(Gamma::new(0.3 + a, 0.01 + 0.1 * b).unwrap()),
+        Box::new(Beta::new(0.3 + a, 0.3 + b).unwrap()),
+        Box::new(Uniform::new(-b, -b + 0.5 + c).unwrap()),
+        Box::new(Exponential::new(0.1 + a).unwrap()),
+        Box::new(Weibull::new(0.3 + a, 0.1 + b).unwrap()),
+        Box::new(Triangular::new(0.0, 0.5 * c.min(1.9), 2.0).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CDFs are monotone non-decreasing, bounded in [0,1], and agree
+    /// with interval_prob.
+    #[test]
+    fn cdf_laws(
+        a in 0.1f64..4.0,
+        b in 0.1f64..4.0,
+        c in 0.1f64..2.0,
+        x in -5.0f64..5.0,
+        dx in 0.0f64..3.0,
+    ) {
+        for d in families((a, b, c)) {
+            let f1 = d.cdf(x);
+            let f2 = d.cdf(x + dx);
+            prop_assert!((0.0..=1.0).contains(&f1), "{d:?} cdf({x}) = {f1}");
+            prop_assert!(f2 >= f1 - 1e-12, "{d:?} not monotone");
+            let ip = d.interval_prob(x, x + dx);
+            prop_assert!((ip - (f2 - f1)).abs() < 1e-12, "{d:?} interval_prob");
+            // sf complements cdf.
+            prop_assert!((d.sf(x) + d.cdf(x) - 1.0).abs() < 1e-9, "{d:?} sf");
+        }
+    }
+
+    /// Quantile and CDF are inverse (up to generalized-inverse slack at
+    /// atoms, so only continuous families here).
+    #[test]
+    fn quantile_round_trip(
+        a in 0.1f64..4.0,
+        b in 0.1f64..4.0,
+        c in 0.1f64..2.0,
+        p in 0.01f64..0.99,
+    ) {
+        for d in families((a, b, c)) {
+            let q = d.quantile(p).unwrap();
+            let back = d.cdf(q);
+            prop_assert!((back - p).abs() < 1e-6, "{d:?}: p = {p}, back = {back}");
+        }
+    }
+
+    /// Quantiles are monotone in the level.
+    #[test]
+    fn quantile_monotone(
+        a in 0.1f64..4.0,
+        b in 0.1f64..4.0,
+        c in 0.1f64..2.0,
+        p1 in 0.01f64..0.98,
+        dp in 0.001f64..0.01,
+    ) {
+        for d in families((a, b, c)) {
+            let q1 = d.quantile(p1).unwrap();
+            let q2 = d.quantile(p1 + dp).unwrap();
+            prop_assert!(q2 >= q1 - 1e-12, "{d:?}");
+        }
+    }
+
+    /// Samples land inside the support; the pdf is non-negative there.
+    #[test]
+    fn samples_in_support(
+        a in 0.1f64..4.0,
+        b in 0.1f64..4.0,
+        c in 0.1f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for d in families((a, b, c)) {
+            let s = d.support();
+            for x in d.sample_n(&mut rng, 32) {
+                prop_assert!(s.contains(x), "{d:?}: sample {x} outside [{}, {}]", s.lo, s.hi);
+                prop_assert!(d.pdf(x) >= 0.0);
+            }
+        }
+    }
+
+    /// Two-point laws: mean interpolates the atoms, cdf steps at them.
+    #[test]
+    fn two_point_laws(y in 0.0f64..0.5, x in 0.0f64..1.0) {
+        let w = TwoPoint::worst_case(y, x).unwrap();
+        prop_assert!(w.mean() >= y - 1e-15);
+        prop_assert!(w.mean() <= 1.0);
+        prop_assert!((w.cdf(y) - (1.0 - x)).abs() < 1e-15);
+        prop_assert!((w.cdf(1.0) - 1.0).abs() < 1e-15);
+    }
+
+    /// The generic numeric mean agrees with each family's closed form
+    /// (where the support is manageable).
+    #[test]
+    fn numeric_mean_agrees(
+        a in 0.3f64..3.0,
+        b in 0.3f64..3.0,
+    ) {
+        let gam = Gamma::new(a + 1.0, 0.1 * b).unwrap();
+        let num = depcase_distributions::moments::numeric_mean(&gam, 1e-11).unwrap();
+        prop_assert!((num - gam.mean()).abs() < 1e-4 * gam.mean());
+        // Bounded-density betas only: endpoint singularities (shape < 1)
+        // are integrable but defeat tight quadrature tolerances.
+        let bet = Beta::new(a + 1.0, b + 1.0).unwrap();
+        let num = depcase_distributions::moments::numeric_mean(&bet, 1e-11).unwrap();
+        prop_assert!((num - bet.mean()).abs() < 1e-6);
+    }
+}

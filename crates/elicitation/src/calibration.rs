@@ -1,0 +1,300 @@
+//! Expert calibration against seed variables (Cooke's classical model,
+//! simplified).
+//!
+//! The paper notes that standards-compliance expert judgement "suffers
+//! from lack of validation \[and\] calibration". This module supplies the
+//! validation loop: experts assess *seed variables* (quantities whose
+//! true values become known), their stated quantiles are scored for
+//! statistical calibration, and the scores become performance weights
+//! for [`crate::pooling`].
+
+use depcase_distributions::DistError;
+use depcase_numerics::special::reg_gamma_q;
+use serde::{Deserialize, Serialize};
+
+/// One expert's quantile assessment of one seed variable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantileAssessment {
+    /// Stated 5th percentile.
+    pub q05: f64,
+    /// Stated median.
+    pub q50: f64,
+    /// Stated 95th percentile.
+    pub q95: f64,
+}
+
+impl QuantileAssessment {
+    /// Creates an assessment, checking the quantile ordering.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `q05 < q50 < q95` and all
+    /// are finite.
+    pub fn new(q05: f64, q50: f64, q95: f64) -> Result<Self, DistError> {
+        if !(q05.is_finite() && q50.is_finite() && q95.is_finite() && q05 < q50 && q50 < q95) {
+            return Err(DistError::InvalidParameter(format!(
+                "quantiles must be finite and ordered: ({q05}, {q50}, {q95})"
+            )));
+        }
+        Ok(Self { q05, q50, q95 })
+    }
+
+    /// The inter-quantile bin (0–3) the realized value falls into:
+    /// below q05, q05–q50, q50–q95, above q95.
+    #[must_use]
+    pub fn bin(&self, realization: f64) -> usize {
+        if realization < self.q05 {
+            0
+        } else if realization < self.q50 {
+            1
+        } else if realization < self.q95 {
+            2
+        } else {
+            3
+        }
+    }
+}
+
+/// The theoretical bin probabilities for a perfectly calibrated expert.
+pub const EXPECTED_BIN_PROBS: [f64; 4] = [0.05, 0.45, 0.45, 0.05];
+
+/// Counts how many realizations landed in each inter-quantile bin.
+///
+/// # Errors
+///
+/// [`DistError::InvalidParameter`] if the slices differ in length or are
+/// empty.
+pub fn bin_counts(
+    assessments: &[QuantileAssessment],
+    realizations: &[f64],
+) -> Result<[u64; 4], DistError> {
+    if assessments.len() != realizations.len() || assessments.is_empty() {
+        return Err(DistError::InvalidParameter(format!(
+            "need equal, non-zero numbers of assessments ({}) and realizations ({})",
+            assessments.len(),
+            realizations.len()
+        )));
+    }
+    let mut counts = [0u64; 4];
+    for (a, &r) in assessments.iter().zip(realizations) {
+        counts[a.bin(r)] += 1;
+    }
+    Ok(counts)
+}
+
+/// Cooke-style calibration score: the p-value of the likelihood-ratio
+/// statistic `2N·KL(empirical ‖ expected)` against its asymptotic χ²₃
+/// law. 1 means perfectly calibrated; near 0 means the expert's stated
+/// quantiles are statistically untenable.
+///
+/// # Errors
+///
+/// [`DistError::InvalidParameter`] for all-zero counts; numerical errors
+/// from the χ² tail.
+pub fn calibration_score(counts: &[u64; 4]) -> Result<f64, DistError> {
+    let n: u64 = counts.iter().sum();
+    if n == 0 {
+        return Err(DistError::InvalidParameter("no seed observations".into()));
+    }
+    let nf = n as f64;
+    let mut kl = 0.0;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let s = c as f64 / nf;
+        kl += s * (s / EXPECTED_BIN_PROBS[i]).ln();
+    }
+    let stat = 2.0 * nf * kl;
+    // χ² with 3 degrees of freedom: survival = Q(3/2, stat/2).
+    Ok(reg_gamma_q(1.5, 0.5 * stat)?)
+}
+
+/// A scored expert: calibration score plus derived pooling weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationResult {
+    /// Index of the expert in the input order.
+    pub expert: usize,
+    /// Calibration p-value in `[0, 1]`.
+    pub score: f64,
+    /// Normalized performance weight (scores below `cutoff` are zeroed,
+    /// Cooke's "unweighting" of uncalibrated experts).
+    pub weight: f64,
+}
+
+/// Scores a panel of experts against shared seed realizations and
+/// produces normalized pooling weights. Experts scoring below `cutoff`
+/// get weight 0; if all do, weights fall back to uniform.
+///
+/// # Errors
+///
+/// Propagates scoring failures; requires every expert to have assessed
+/// every seed variable.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_elicitation::calibration::{
+///     performance_weights, QuantileAssessment,
+/// };
+///
+/// // Two experts judging three seeds with truth {1, 2, 3}:
+/// let sharp = vec![
+///     QuantileAssessment::new(0.5, 1.1, 2.0)?,
+///     QuantileAssessment::new(1.0, 2.2, 4.0)?,
+///     QuantileAssessment::new(1.5, 2.9, 6.0)?,
+/// ];
+/// let wild = vec![
+///     QuantileAssessment::new(5.0, 6.0, 7.0)?, // truth far below q05
+///     QuantileAssessment::new(5.0, 6.0, 7.0)?,
+///     QuantileAssessment::new(5.0, 6.0, 7.0)?,
+/// ];
+/// let truths = [1.0, 2.0, 3.0];
+/// let res = performance_weights(&[sharp, wild], &truths, 0.01)?;
+/// assert!(res[0].weight > res[1].weight);
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+pub fn performance_weights(
+    per_expert: &[Vec<QuantileAssessment>],
+    realizations: &[f64],
+    cutoff: f64,
+) -> Result<Vec<CalibrationResult>, DistError> {
+    if per_expert.is_empty() {
+        return Err(DistError::InvalidParameter("no experts to score".into()));
+    }
+    let mut raw = Vec::with_capacity(per_expert.len());
+    for (i, assessments) in per_expert.iter().enumerate() {
+        let counts = bin_counts(assessments, realizations)?;
+        let score = calibration_score(&counts)?;
+        raw.push((i, score));
+    }
+    let mut kept: Vec<f64> =
+        raw.iter().map(|&(_, s)| if s >= cutoff { s } else { 0.0 }).collect();
+    let total: f64 = kept.iter().sum();
+    if total == 0.0 {
+        // Everyone failed the gate: uniform fallback.
+        kept = vec![1.0 / per_expert.len() as f64; per_expert.len()];
+    } else {
+        for w in &mut kept {
+            *w /= total;
+        }
+    }
+    Ok(raw
+        .into_iter()
+        .zip(kept)
+        .map(|((expert, score), weight)| CalibrationResult { expert, score, weight })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_distributions::{Distribution, LogNormal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn assessment_validation() {
+        assert!(QuantileAssessment::new(1.0, 0.5, 2.0).is_err());
+        assert!(QuantileAssessment::new(1.0, 1.0, 2.0).is_err());
+        assert!(QuantileAssessment::new(f64::NAN, 1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn binning() {
+        let a = QuantileAssessment::new(1.0, 2.0, 3.0).unwrap();
+        assert_eq!(a.bin(0.5), 0);
+        assert_eq!(a.bin(1.5), 1);
+        assert_eq!(a.bin(2.5), 2);
+        assert_eq!(a.bin(3.5), 3);
+        assert_eq!(a.bin(1.0), 1); // boundary goes up
+    }
+
+    #[test]
+    fn perfectly_proportioned_counts_score_one() {
+        // Counts exactly matching (0.05, 0.45, 0.45, 0.05) of N = 100.
+        let counts = [5u64, 45, 45, 5];
+        let s = calibration_score(&counts).unwrap();
+        assert!((s - 1.0).abs() < 1e-9, "score = {s}");
+    }
+
+    #[test]
+    fn grossly_miscalibrated_counts_score_near_zero() {
+        let counts = [90u64, 5, 4, 1];
+        let s = calibration_score(&counts).unwrap();
+        assert!(s < 1e-10, "score = {s}");
+    }
+
+    #[test]
+    fn score_degrades_smoothly() {
+        let good = calibration_score(&[5, 45, 45, 5]).unwrap();
+        let ok = calibration_score(&[10, 40, 40, 10]).unwrap();
+        let bad = calibration_score(&[25, 25, 25, 25]).unwrap();
+        assert!(good > ok && ok > bad, "{good} > {ok} > {bad}");
+    }
+
+    #[test]
+    fn bin_counts_validation() {
+        let a = QuantileAssessment::new(1.0, 2.0, 3.0).unwrap();
+        assert!(bin_counts(&[a], &[]).is_err());
+        assert!(bin_counts(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn simulated_calibrated_vs_overconfident() {
+        // Seeds drawn from a known log-normal; the calibrated expert
+        // states the true quantiles, the overconfident one shrinks the
+        // interval by 5x around the median.
+        let truth_dist = LogNormal::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let truths: Vec<f64> = truth_dist.sample_n(&mut rng, 60);
+        let q05 = truth_dist.quantile(0.05).unwrap();
+        let q50 = truth_dist.quantile(0.50).unwrap();
+        let q95 = truth_dist.quantile(0.95).unwrap();
+        let calibrated: Vec<QuantileAssessment> = truths
+            .iter()
+            .map(|_| QuantileAssessment::new(q05, q50, q95).unwrap())
+            .collect();
+        let overconfident: Vec<QuantileAssessment> = truths
+            .iter()
+            .map(|_| {
+                QuantileAssessment::new(
+                    q50 - (q50 - q05) / 5.0,
+                    q50,
+                    q50 + (q95 - q50) / 5.0,
+                )
+                .unwrap()
+            })
+            .collect();
+        let res =
+            performance_weights(&[calibrated, overconfident], &truths, 0.01).unwrap();
+        assert!(res[0].score > res[1].score, "{} vs {}", res[0].score, res[1].score);
+        assert!(res[0].weight > 0.9, "calibrated weight {}", res[0].weight);
+    }
+
+    #[test]
+    fn weights_normalize_and_cutoff_applies() {
+        let a = vec![QuantileAssessment::new(0.0, 1.0, 2.0).unwrap(); 20];
+        // Expert B always far off.
+        let b = vec![QuantileAssessment::new(10.0, 11.0, 12.0).unwrap(); 20];
+        let truths: Vec<f64> = (0..20).map(|i| 0.5 + 0.05 * i as f64).collect();
+        let res = performance_weights(&[a, b], &truths, 0.05).unwrap();
+        let total: f64 = res.iter().map(|r| r.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(res[1].weight, 0.0);
+    }
+
+    #[test]
+    fn all_failing_falls_back_to_uniform() {
+        let bad = vec![QuantileAssessment::new(10.0, 11.0, 12.0).unwrap(); 20];
+        let truths = vec![0.0; 20];
+        let res = performance_weights(&[bad.clone(), bad], &truths, 0.05).unwrap();
+        assert!((res[0].weight - 0.5).abs() < 1e-12);
+        assert!((res[1].weight - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_panel_rejected() {
+        assert!(performance_weights(&[], &[1.0], 0.05).is_err());
+    }
+}

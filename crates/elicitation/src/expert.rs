@@ -1,0 +1,181 @@
+//! Individual expert models.
+//!
+//! An expert's judgement at any phase is a log-normal belief over the
+//! pfd, carried as a (log10-mode, natural-log spread σ) pair. Doubters —
+//! the paper's minority who "expressed these doubts by giving the system
+//! a very high failure rate" — start with a strong upward bias and
+//! resist consensus pull.
+
+use depcase_distributions::{DistError, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// Population parameters an expert is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExpertProfile {
+    /// Systematic bias of the expert's initial log10-pfd judgement
+    /// relative to the briefed system's nominal log10-pfd (positive =
+    /// pessimistic).
+    pub log10_bias: f64,
+    /// Standard deviation of the idiosyncratic noise on the initial
+    /// log10 judgement.
+    pub log10_noise: f64,
+    /// Initial natural-log spread σ of the expert's belief.
+    pub initial_sigma: f64,
+    /// Whether the expert is a doubter.
+    pub doubter: bool,
+}
+
+impl ExpertProfile {
+    /// A mainstream assessor: unbiased, moderate spread.
+    #[must_use]
+    pub fn mainstream() -> Self {
+        Self { log10_bias: 0.0, log10_noise: 0.35, initial_sigma: 1.0, doubter: false }
+    }
+
+    /// A doubter: judges the failure rate one-and-a-half decades worse
+    /// and holds the judgement loosely but stubbornly.
+    #[must_use]
+    pub fn doubter() -> Self {
+        Self { log10_bias: 1.5, log10_noise: 0.4, initial_sigma: 1.2, doubter: true }
+    }
+}
+
+/// One expert's evolving judgement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Expert {
+    id: usize,
+    profile: ExpertProfile,
+    /// Current most-likely value, as log10(pfd).
+    log10_mode: f64,
+    /// Current natural-log spread σ.
+    sigma: f64,
+}
+
+impl Expert {
+    /// Creates an expert with an explicit initial state.
+    #[must_use]
+    pub fn new(id: usize, profile: ExpertProfile, log10_mode: f64, sigma: f64) -> Self {
+        Self { id, profile, log10_mode, sigma }
+    }
+
+    /// Stable identifier within the panel.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The population profile the expert was drawn from.
+    #[must_use]
+    pub fn profile(&self) -> &ExpertProfile {
+        &self.profile
+    }
+
+    /// Whether this expert is a doubter.
+    #[must_use]
+    pub fn is_doubter(&self) -> bool {
+        self.profile.doubter
+    }
+
+    /// Current most-likely pfd (the mode of the belief).
+    #[must_use]
+    pub fn mode_pfd(&self) -> f64 {
+        10f64.powf(self.log10_mode)
+    }
+
+    /// Current log10 of the most-likely pfd.
+    #[must_use]
+    pub fn log10_mode(&self) -> f64 {
+        self.log10_mode
+    }
+
+    /// Current natural-log spread σ.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The expert's current belief as a log-normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failure (cannot occur for the states the
+    /// panel produces; kept fallible for API honesty).
+    pub fn belief(&self) -> Result<LogNormal, DistError> {
+        LogNormal::from_mode_sigma(self.mode_pfd(), self.sigma)
+    }
+
+    /// Sharpens the belief by multiplying σ (gain < 1 sharpens).
+    pub(crate) fn apply_gain(&mut self, gain: f64) {
+        self.sigma = (self.sigma * gain).max(0.05);
+    }
+
+    /// Pulls the log10 mode toward `target_log10` with weight `pull`,
+    /// attenuated by doubter stubbornness.
+    pub(crate) fn apply_pull(&mut self, target_log10: f64, pull: f64, stubbornness: f64) {
+        let effective = if self.profile.doubter { pull * (1.0 - stubbornness) } else { pull };
+        self.log10_mode += effective * (target_log10 - self.log10_mode);
+    }
+
+    /// Drifts the mode toward the evidence (nominal value) with weight
+    /// `alpha` — the effect of actually reading the requested documents.
+    pub(crate) fn apply_evidence_drift(&mut self, nominal_log10: f64, alpha: f64) {
+        // Doubters read the same documents but weigh them against their
+        // prior doubt: half effect.
+        let w = if self.profile.doubter { 0.5 * alpha } else { alpha };
+        self.log10_mode += w * (nominal_log10 - self.log10_mode);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_distributions::Distribution;
+
+    #[test]
+    fn profiles_differ() {
+        let m = ExpertProfile::mainstream();
+        let d = ExpertProfile::doubter();
+        assert!(!m.doubter && d.doubter);
+        assert!(d.log10_bias > m.log10_bias);
+    }
+
+    #[test]
+    fn belief_pins_mode() {
+        let e = Expert::new(0, ExpertProfile::mainstream(), -2.5, 0.9);
+        let b = e.belief().unwrap();
+        assert!((b.mode().unwrap() - 10f64.powf(-2.5)).abs() < 1e-12);
+        assert!((e.mode_pfd() - 10f64.powf(-2.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_sharpens_but_floors() {
+        let mut e = Expert::new(0, ExpertProfile::mainstream(), -2.5, 1.0);
+        e.apply_gain(0.5);
+        assert!((e.sigma() - 0.5).abs() < 1e-12);
+        for _ in 0..100 {
+            e.apply_gain(0.5);
+        }
+        assert!(e.sigma() >= 0.05);
+    }
+
+    #[test]
+    fn pull_moves_mainstream_fully_and_doubters_barely() {
+        let mut m = Expert::new(0, ExpertProfile::mainstream(), -2.0, 1.0);
+        m.apply_pull(-3.0, 0.5, 0.9);
+        assert!((m.log10_mode() + 2.5).abs() < 1e-12);
+        let mut d = Expert::new(1, ExpertProfile::doubter(), -2.0, 1.0);
+        d.apply_pull(-3.0, 0.5, 0.9);
+        // Doubters move only 10% of the pull: -2.0 + 0.05·(-1.0) = -2.05
+        assert!((d.log10_mode() + 2.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evidence_drift_half_effect_for_doubters() {
+        let mut m = Expert::new(0, ExpertProfile::mainstream(), -2.0, 1.0);
+        m.apply_evidence_drift(-2.5, 0.4);
+        assert!((m.log10_mode() + 2.2).abs() < 1e-12);
+        let mut d = Expert::new(1, ExpertProfile::doubter(), -2.0, 1.0);
+        d.apply_evidence_drift(-2.5, 0.4);
+        assert!((d.log10_mode() + 2.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,52 @@
+//! Synthetic expert-panel elicitation — the substitute for the paper's
+//! Section 3.3 experiment.
+//!
+//! The paper elicited pfd judgements from 12 experts over four phases
+//! (initial briefing → individual information requests → group disclosure
+//! of all information → Delphi discussion). The observations the paper
+//! draws from it:
+//!
+//! 1. assessors split into a minority of *doubters* (who express doubt as
+//!    a very high failure rate) and a main group;
+//! 2. the main group ended ~90 % confident the system was SIL2-or-better,
+//!    yet the pooled pfd (0.01) sat on the SIL2/SIL1 boundary;
+//! 3. the judged distributions are *asymmetric*.
+//!
+//! Since the human panel (and the Cemsis case study briefing) is not
+//! available, this crate simulates it: experts are drawn from
+//! configurable populations, each phase applies an information-gain and a
+//! consensus-pull update, and everything is deterministic under a seed.
+//! The [`experiment::paper_panel`] preset reproduces observations 1–3.
+//!
+//! # Examples
+//!
+//! ```
+//! use depcase_elicitation::experiment;
+//!
+//! let outcome = experiment::paper_panel(42).run();
+//! let final_phase = outcome.final_phase();
+//! // The doubters are visibly separated from the main group:
+//! assert!(outcome.doubter_count() == 3);
+//! // Main group ends highly confident in SIL2-or-better:
+//! let conf = final_phase.main_group_sil2_confidence();
+//! assert!(conf > 0.8);
+//! ```
+
+// `!(x > 0.0)`-style checks deliberately treat NaN as invalid input; the
+// lint's suggested `x <= 0.0` would let NaN through the validation.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Reference constants are quoted at full printed precision.
+#![allow(clippy::excessive_precision)]
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod calibration;
+pub mod experiment;
+pub mod expert;
+pub mod panel;
+pub mod phases;
+pub mod pooling;
+
+pub use expert::{Expert, ExpertProfile};
+pub use panel::{ExperimentOutcome, Judgement, Panel, PhaseRecord};
+pub use phases::{Phase, ProtocolConfig};

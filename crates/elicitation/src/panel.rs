@@ -1,0 +1,416 @@
+//! The panel: a set of experts run through the four-phase protocol.
+
+use crate::expert::{Expert, ExpertProfile};
+use crate::phases::{Phase, ProtocolConfig};
+use crate::pooling;
+use depcase_distributions::{DistError, Distribution, LogNormal, Mixture};
+use depcase_numerics::stats::geometric_mean;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One expert's recorded judgement in one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Judgement {
+    /// Expert identifier.
+    pub expert_id: usize,
+    /// Whether the expert is a doubter.
+    pub doubter: bool,
+    /// Most-likely pfd (mode of the expert's log-normal belief).
+    pub mode_pfd: f64,
+    /// Natural-log spread σ of the belief.
+    pub sigma: f64,
+    /// The expert's one-sided confidence that the system is SIL2 or
+    /// better, `P(pfd < 10⁻²)`.
+    pub sil2_confidence: f64,
+}
+
+/// Everything recorded about one protocol phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseRecord {
+    /// Which phase this is.
+    pub phase: Phase,
+    /// Every expert's judgement, in expert-id order.
+    pub judgements: Vec<Judgement>,
+}
+
+impl PhaseRecord {
+    /// Judgements of the non-doubter main group.
+    #[must_use]
+    pub fn main_group(&self) -> Vec<&Judgement> {
+        self.judgements.iter().filter(|j| !j.doubter).collect()
+    }
+
+    /// Judgements of the doubters.
+    #[must_use]
+    pub fn doubters(&self) -> Vec<&Judgement> {
+        self.judgements.iter().filter(|j| j.doubter).collect()
+    }
+
+    /// The main group's beliefs as log-normals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates belief construction failures (cannot occur for panel
+    /// states).
+    pub fn main_group_beliefs(&self) -> Result<Vec<LogNormal>, DistError> {
+        self.main_group()
+            .iter()
+            .map(|j| LogNormal::from_mode_sigma(j.mode_pfd, j.sigma))
+            .collect()
+    }
+
+    /// Linear pool of the main group's beliefs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pooling failures.
+    pub fn pooled_main_group(&self) -> Result<Mixture, DistError> {
+        pooling::linear_pool(&self.main_group_beliefs()?, None)
+    }
+
+    /// The main group's pooled one-sided confidence in SIL2-or-better,
+    /// `P(pfd < 10⁻²)` under the linear pool.
+    ///
+    /// Returns 0 when the main group is empty.
+    #[must_use]
+    pub fn main_group_sil2_confidence(&self) -> f64 {
+        self.pooled_main_group().map_or(0.0, |m| m.cdf(1e-2))
+    }
+
+    /// The main group's pooled mean pfd under the linear pool.
+    ///
+    /// Returns NaN when the main group is empty.
+    #[must_use]
+    pub fn main_group_pooled_mean(&self) -> f64 {
+        self.pooled_main_group().map_or(f64::NAN, |m| {
+            depcase_distributions::moments::numeric_mean(&m, 1e-10).unwrap_or(f64::NAN)
+        })
+    }
+}
+
+/// The full outcome of a panel run: one record per phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentOutcome {
+    records: Vec<PhaseRecord>,
+    doubters: usize,
+}
+
+impl ExperimentOutcome {
+    /// The record for a given phase.
+    #[must_use]
+    pub fn phase(&self, phase: Phase) -> &PhaseRecord {
+        &self.records[phase.index()]
+    }
+
+    /// All phase records in protocol order.
+    #[must_use]
+    pub fn phases(&self) -> &[PhaseRecord] {
+        &self.records
+    }
+
+    /// The final (Delphi) phase record.
+    #[must_use]
+    pub fn final_phase(&self) -> &PhaseRecord {
+        self.records.last().expect("protocol has four phases")
+    }
+
+    /// Number of doubters on the panel.
+    #[must_use]
+    pub fn doubter_count(&self) -> usize {
+        self.doubters
+    }
+}
+
+/// A configured expert panel, ready to run.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_elicitation::{Panel, ExpertProfile, ProtocolConfig};
+///
+/// let panel = Panel::builder(0.003)
+///     .experts(9, ExpertProfile::mainstream())
+///     .experts(3, ExpertProfile::doubter())
+///     .seed(7)
+///     .build();
+/// let outcome = panel.run();
+/// assert_eq!(outcome.final_phase().judgements.len(), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Panel {
+    nominal_pfd: f64,
+    profiles: Vec<ExpertProfile>,
+    config: ProtocolConfig,
+    seed: u64,
+    /// How strongly individually requested information drags judgements
+    /// toward the nominal value in phase 2.
+    evidence_drift: f64,
+}
+
+impl Panel {
+    /// Starts building a panel judging a system whose briefed/nominal pfd
+    /// is `nominal_pfd`.
+    #[must_use]
+    pub fn builder(nominal_pfd: f64) -> PanelBuilder {
+        PanelBuilder {
+            nominal_pfd,
+            profiles: Vec::new(),
+            config: ProtocolConfig::default(),
+            seed: 0,
+            evidence_drift: 0.3,
+        }
+    }
+
+    /// Runs the four-phase protocol, deterministically for the seed.
+    #[must_use]
+    pub fn run(&self) -> ExperimentOutcome {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let nominal_log10 = self.nominal_pfd.log10();
+
+        // Phase 1: independent initial judgements.
+        let mut experts: Vec<Expert> = self
+            .profiles
+            .iter()
+            .enumerate()
+            .map(|(id, prof)| {
+                let noise =
+                    depcase_distributions::sampler::standard_normal(&mut rng) * prof.log10_noise;
+                let log10_mode = nominal_log10 + prof.log10_bias + noise;
+                Expert::new(id, *prof, log10_mode, prof.initial_sigma)
+            })
+            .collect();
+
+        let mut records = Vec::with_capacity(4);
+        records.push(record_phase(Phase::Initial, &experts));
+
+        // Phase 2: individual information requests — evidence drift plus
+        // individual sharpening.
+        for e in &mut experts {
+            e.apply_evidence_drift(nominal_log10, self.evidence_drift);
+            e.apply_gain(self.config.info_gain);
+        }
+        records.push(record_phase(Phase::InfoRequest, &experts));
+
+        // Phase 3: group disclosure — pull toward the main group's
+        // geometric-mean judgement, further sharpening.
+        let group_target = main_group_log10_geomean(&experts);
+        for e in &mut experts {
+            e.apply_pull(group_target, self.config.group_pull, self.config.doubter_stubbornness);
+            e.apply_gain(self.config.group_info_gain);
+        }
+        records.push(record_phase(Phase::GroupInfo, &experts));
+
+        // Phase 4: Delphi — pull toward the main-group median.
+        let median_target = main_group_log10_median(&experts);
+        for e in &mut experts {
+            e.apply_pull(median_target, self.config.delphi_pull, self.config.doubter_stubbornness);
+            e.apply_gain(self.config.delphi_gain);
+        }
+        records.push(record_phase(Phase::Delphi, &experts));
+
+        ExperimentOutcome { records, doubters: experts.iter().filter(|e| e.is_doubter()).count() }
+    }
+}
+
+/// Builder for [`Panel`].
+#[derive(Debug, Clone)]
+pub struct PanelBuilder {
+    nominal_pfd: f64,
+    profiles: Vec<ExpertProfile>,
+    config: ProtocolConfig,
+    seed: u64,
+    evidence_drift: f64,
+}
+
+impl PanelBuilder {
+    /// Adds `count` experts drawn from `profile`.
+    #[must_use]
+    pub fn experts(mut self, count: usize, profile: ExpertProfile) -> Self {
+        self.profiles.extend(std::iter::repeat_n(profile, count));
+        self
+    }
+
+    /// Overrides the protocol dynamics.
+    #[must_use]
+    pub fn config(mut self, config: ProtocolConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the RNG seed (the run is fully deterministic given it).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the phase-2 evidence drift weight.
+    #[must_use]
+    pub fn evidence_drift(mut self, alpha: f64) -> Self {
+        self.evidence_drift = alpha;
+        self
+    }
+
+    /// Finalizes the panel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no experts were added or the protocol config is invalid
+    /// — both are programming errors in the harness, not runtime inputs.
+    #[must_use]
+    pub fn build(self) -> Panel {
+        assert!(!self.profiles.is_empty(), "a panel needs at least one expert");
+        assert!(self.config.is_valid(), "invalid protocol configuration");
+        Panel {
+            nominal_pfd: self.nominal_pfd,
+            profiles: self.profiles,
+            config: self.config,
+            seed: self.seed,
+            evidence_drift: self.evidence_drift,
+        }
+    }
+}
+
+fn record_phase(phase: Phase, experts: &[Expert]) -> PhaseRecord {
+    let judgements = experts
+        .iter()
+        .map(|e| {
+            let belief = e.belief().expect("panel states are valid");
+            Judgement {
+                expert_id: e.id(),
+                doubter: e.is_doubter(),
+                mode_pfd: e.mode_pfd(),
+                sigma: e.sigma(),
+                sil2_confidence: belief.cdf(1e-2),
+            }
+        })
+        .collect();
+    PhaseRecord { phase, judgements }
+}
+
+fn main_group_log10_geomean(experts: &[Expert]) -> f64 {
+    let modes: Vec<f64> =
+        experts.iter().filter(|e| !e.is_doubter()).map(Expert::mode_pfd).collect();
+    if modes.is_empty() {
+        return experts.iter().map(Expert::log10_mode).sum::<f64>() / experts.len() as f64;
+    }
+    geometric_mean(&modes).expect("modes are positive").log10()
+}
+
+fn main_group_log10_median(experts: &[Expert]) -> f64 {
+    let mut log_modes: Vec<f64> =
+        experts.iter().filter(|e| !e.is_doubter()).map(Expert::log10_mode).collect();
+    if log_modes.is_empty() {
+        log_modes = experts.iter().map(Expert::log10_mode).collect();
+    }
+    depcase_numerics::stats::median(&log_modes).expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_like_panel(seed: u64) -> Panel {
+        Panel::builder(0.003)
+            .experts(9, ExpertProfile::mainstream())
+            .experts(3, ExpertProfile::doubter())
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn run_is_deterministic_under_seed() {
+        let a = paper_like_panel(5).run();
+        let b = paper_like_panel(5).run();
+        assert_eq!(a, b);
+        let c = paper_like_panel(6).run();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn four_phases_recorded_in_order() {
+        let out = paper_like_panel(1).run();
+        let phases: Vec<Phase> = out.phases().iter().map(|r| r.phase).collect();
+        assert_eq!(phases, Phase::ALL.to_vec());
+        assert_eq!(out.final_phase().phase, Phase::Delphi);
+    }
+
+    #[test]
+    fn doubters_stay_pessimistic() {
+        let out = paper_like_panel(2).run();
+        let last = out.final_phase();
+        let main_max =
+            last.main_group().iter().map(|j| j.mode_pfd).fold(f64::NEG_INFINITY, f64::max);
+        for d in last.doubters() {
+            assert!(
+                d.mode_pfd > main_max,
+                "doubter {} at {} not above main group max {main_max}",
+                d.expert_id,
+                d.mode_pfd
+            );
+        }
+    }
+
+    #[test]
+    fn confidence_rises_through_phases() {
+        let out = paper_like_panel(3).run();
+        let first = out.phase(Phase::Initial).main_group_sil2_confidence();
+        let last = out.final_phase().main_group_sil2_confidence();
+        assert!(last > first, "confidence {first} → {last} should rise");
+    }
+
+    #[test]
+    fn spread_shrinks_through_phases() {
+        let out = paper_like_panel(4).run();
+        let mean_sigma = |r: &PhaseRecord| {
+            r.judgements.iter().map(|j| j.sigma).sum::<f64>() / r.judgements.len() as f64
+        };
+        let first = mean_sigma(out.phase(Phase::Initial));
+        let last = mean_sigma(out.final_phase());
+        assert!(last < first);
+    }
+
+    #[test]
+    fn delphi_tightens_main_group_dispersion() {
+        let out = paper_like_panel(8).run();
+        let disp = |r: &PhaseRecord| {
+            let logs: Vec<f64> = r.main_group().iter().map(|j| j.mode_pfd.log10()).collect();
+            let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+            logs.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / logs.len() as f64
+        };
+        assert!(disp(out.final_phase()) < disp(out.phase(Phase::Initial)));
+    }
+
+    #[test]
+    fn pooled_outputs_are_finite() {
+        let out = paper_like_panel(9).run();
+        let last = out.final_phase();
+        let mean = last.main_group_pooled_mean();
+        assert!(mean.is_finite() && mean > 0.0);
+        let conf = last.main_group_sil2_confidence();
+        assert!((0.0..=1.0).contains(&conf));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one expert")]
+    fn empty_panel_panics() {
+        let _ = Panel::builder(0.003).build();
+    }
+
+    #[test]
+    fn all_doubters_panel_still_runs() {
+        let out = Panel::builder(0.003).experts(3, ExpertProfile::doubter()).seed(1).build().run();
+        assert_eq!(out.doubter_count(), 3);
+        assert_eq!(out.final_phase().main_group().len(), 0);
+        assert_eq!(out.final_phase().main_group_sil2_confidence(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let out = paper_like_panel(10).run();
+        let json = serde_json::to_string(&out).unwrap();
+        let back: ExperimentOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(out, back);
+    }
+}

@@ -1,0 +1,138 @@
+//! The four-phase elicitation protocol of the paper's experiment.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One phase of the elicitation protocol, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Phase 1: judgements after the 20-minute system presentation.
+    Initial,
+    /// Phase 2: after individually requested additional information.
+    InfoRequest,
+    /// Phase 3: after group presentation of *all* requested information.
+    GroupInfo,
+    /// Phase 4: after Delphi discussion with the other participants.
+    Delphi,
+}
+
+impl Phase {
+    /// All phases in protocol order.
+    pub const ALL: [Phase; 4] = [Phase::Initial, Phase::InfoRequest, Phase::GroupInfo, Phase::Delphi];
+
+    /// Zero-based protocol position.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Initial => 0,
+            Phase::InfoRequest => 1,
+            Phase::GroupInfo => 2,
+            Phase::Delphi => 3,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Initial => "initial presentation",
+            Phase::InfoRequest => "individual information",
+            Phase::GroupInfo => "group information",
+            Phase::Delphi => "Delphi discussion",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tunable dynamics of the protocol: how much each phase sharpens
+/// individual judgements and pulls the panel toward consensus.
+///
+/// All gains multiply the expert's log-space spread σ (values < 1 sharpen
+/// the judgement); pulls are convex-combination weights toward the group
+/// statistic (0 = no movement, 1 = full adoption).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Spread multiplier when an expert receives individually requested
+    /// information (phase 2).
+    pub info_gain: f64,
+    /// Spread multiplier when all information is disclosed to the group
+    /// (phase 3).
+    pub group_info_gain: f64,
+    /// Spread multiplier after Delphi discussion (phase 4).
+    pub delphi_gain: f64,
+    /// Pull of each expert's mode toward the main-group geometric mean in
+    /// phase 3.
+    pub group_pull: f64,
+    /// Pull toward the main-group median in the Delphi phase.
+    pub delphi_pull: f64,
+    /// Fraction of the pull that doubters resist (1 = immovable).
+    pub doubter_stubbornness: f64,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        Self {
+            info_gain: 0.85,
+            group_info_gain: 0.85,
+            delphi_gain: 0.9,
+            group_pull: 0.3,
+            delphi_pull: 0.5,
+            doubter_stubbornness: 0.9,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// Returns `true` when every gain/pull lies in its sane range.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        let gains_ok = [self.info_gain, self.group_info_gain, self.delphi_gain]
+            .iter()
+            .all(|g| g.is_finite() && *g > 0.0 && *g <= 1.5);
+        let pulls_ok = [self.group_pull, self.delphi_pull, self.doubter_stubbornness]
+            .iter()
+            .all(|p| (0.0..=1.0).contains(p));
+        gains_ok && pulls_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_in_order() {
+        let idx: Vec<usize> = Phase::ALL.iter().map(|p| p.index()).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+        assert!(Phase::Initial < Phase::Delphi);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Phase::Delphi.to_string(), "Delphi discussion");
+        assert!(Phase::GroupInfo.to_string().contains("group"));
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ProtocolConfig::default().is_valid());
+    }
+
+    #[test]
+    fn invalid_configs_detected() {
+        let c = ProtocolConfig { info_gain: 0.0, ..ProtocolConfig::default() };
+        assert!(!c.is_valid());
+        let c = ProtocolConfig { delphi_pull: 1.5, ..ProtocolConfig::default() };
+        assert!(!c.is_valid());
+        let c = ProtocolConfig { doubter_stubbornness: -0.1, ..ProtocolConfig::default() };
+        assert!(!c.is_valid());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = ProtocolConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ProtocolConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,229 @@
+//! Opinion pooling rules.
+//!
+//! Combining the panel's individual beliefs into one distribution is a
+//! modelling choice the bench harness ablates:
+//!
+//! - [`linear_pool`] — the mixture `Σ wᵢ fᵢ` (keeps every expert's tail:
+//!   conservative, multimodal);
+//! - [`log_pool_lognormals`] — the normalized geometric mean
+//!   `∝ Π fᵢ^{wᵢ}` (rewards consensus, stays log-normal in closed form);
+//! - [`median_of_modes`] — the robust scalar summary practitioners
+//!   actually quote.
+
+use depcase_distributions::{Component, DistError, Distribution, LogNormal, Mixture};
+use depcase_numerics::stats::median;
+
+/// Linear opinion pool: the weighted mixture of the experts' beliefs.
+///
+/// # Errors
+///
+/// Propagates mixture construction failures (no experts, bad weights).
+///
+/// # Examples
+///
+/// ```
+/// use depcase_distributions::{Distribution, LogNormal};
+/// use depcase_elicitation::pooling::linear_pool;
+///
+/// let beliefs = vec![
+///     LogNormal::from_mode_sigma(1e-3, 0.8)?,
+///     LogNormal::from_mode_sigma(3e-3, 0.8)?,
+/// ];
+/// let pooled = linear_pool(&beliefs, None)?;
+/// let m = pooled.mean();
+/// assert!(m > 0.0 && m < 0.1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn linear_pool(beliefs: &[LogNormal], weights: Option<&[f64]>) -> Result<Mixture, DistError> {
+    let n = beliefs.len();
+    let components: Vec<Component> = beliefs
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let w = weights.map_or(1.0, |ws| ws.get(i).copied().unwrap_or(0.0));
+            Component::new(w, *b)
+        })
+        .collect();
+    let _ = n;
+    Mixture::new(components)
+}
+
+/// Logarithmic opinion pool of log-normal beliefs, in closed form.
+///
+/// Geometric pooling of densities is precision-weighted averaging in log
+/// space: with `ln Xᵢ ~ N(μᵢ, σᵢ²)` and weights `wᵢ` (normalized to sum
+/// 1), the pooled belief is log-normal with
+///
+/// ```text
+/// 1/σ*² = Σ wᵢ/σᵢ²,    μ* = σ*² · Σ wᵢ μᵢ/σᵢ²
+/// ```
+///
+/// # Errors
+///
+/// [`DistError::InvalidParameter`] for an empty slice or mismatched
+/// weights.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_distributions::LogNormal;
+/// use depcase_elicitation::pooling::log_pool_lognormals;
+///
+/// let a = LogNormal::new(-6.0, 1.0)?;
+/// let b = LogNormal::new(-4.0, 1.0)?;
+/// let pooled = log_pool_lognormals(&[a, b], None)?;
+/// // Equal spreads → median at the geometric midpoint:
+/// assert!((pooled.mu() + 5.0).abs() < 1e-12);
+/// // ...and the pooled spread is the (precision-averaged) common spread:
+/// assert!((pooled.sigma() - 1.0).abs() < 1e-12);
+/// # Ok::<(), depcase_distributions::DistError>(())
+/// ```
+pub fn log_pool_lognormals(
+    beliefs: &[LogNormal],
+    weights: Option<&[f64]>,
+) -> Result<LogNormal, DistError> {
+    if beliefs.is_empty() {
+        return Err(DistError::InvalidParameter("log pool of zero beliefs".into()));
+    }
+    if let Some(ws) = weights {
+        if ws.len() != beliefs.len() {
+            return Err(DistError::InvalidParameter(format!(
+                "weights ({}) and beliefs ({}) differ in length",
+                ws.len(),
+                beliefs.len()
+            )));
+        }
+        if ws.iter().any(|w| !(*w >= 0.0) || !w.is_finite()) {
+            return Err(DistError::InvalidParameter("weights must be non-negative finite".into()));
+        }
+    }
+    let total_w: f64 = weights.map_or(beliefs.len() as f64, |ws| ws.iter().sum());
+    if !(total_w > 0.0) {
+        return Err(DistError::InvalidParameter("weights sum to zero".into()));
+    }
+    let mut precision = 0.0;
+    let mut weighted_mu = 0.0;
+    for (i, b) in beliefs.iter().enumerate() {
+        let w = weights.map_or(1.0, |ws| ws[i]) / total_w;
+        let prec = w / (b.sigma() * b.sigma());
+        precision += prec;
+        weighted_mu += prec * b.mu();
+    }
+    let sigma2 = 1.0 / precision;
+    LogNormal::new(weighted_mu * sigma2, sigma2.sqrt())
+}
+
+/// The median of the experts' most-likely values — the robust scalar
+/// summary of a panel round.
+///
+/// # Errors
+///
+/// [`DistError::InvalidParameter`] for an empty slice.
+pub fn median_of_modes(beliefs: &[LogNormal]) -> Result<f64, DistError> {
+    if beliefs.is_empty() {
+        return Err(DistError::InvalidParameter("median of zero beliefs".into()));
+    }
+    let modes: Vec<f64> = beliefs
+        .iter()
+        .map(|b| b.mode().expect("log-normals always have a mode"))
+        .collect();
+    median(&modes).map_err(DistError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_numerics::float::approx_eq;
+
+    fn three_beliefs() -> Vec<LogNormal> {
+        vec![
+            LogNormal::from_mode_sigma(1e-3, 0.8).unwrap(),
+            LogNormal::from_mode_sigma(3e-3, 0.9).unwrap(),
+            LogNormal::from_mode_sigma(1e-2, 1.0).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn linear_pool_mean_is_average_of_means() {
+        let bs = three_beliefs();
+        let pooled = linear_pool(&bs, None).unwrap();
+        let want: f64 = bs.iter().map(|b| b.mean()).sum::<f64>() / 3.0;
+        assert!(approx_eq(pooled.mean(), want, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn linear_pool_respects_weights() {
+        let bs = three_beliefs();
+        let pooled = linear_pool(&bs, Some(&[1.0, 0.0, 0.0])).unwrap();
+        assert!(approx_eq(pooled.mean(), bs[0].mean(), 1e-12, 0.0));
+    }
+
+    #[test]
+    fn linear_pool_empty_fails() {
+        assert!(linear_pool(&[], None).is_err());
+    }
+
+    #[test]
+    fn log_pool_spread_is_precision_average() {
+        // With normalized weights the pooled precision is the weighted
+        // average of the precisions, so σ lies between the extremes
+        // (unlike Bayesian updating, pooling does not stack evidence).
+        let bs = three_beliefs();
+        let pooled = log_pool_lognormals(&bs, None).unwrap();
+        let min_sigma = bs.iter().map(|b| b.sigma()).fold(f64::INFINITY, f64::min);
+        let max_sigma = bs.iter().map(|b| b.sigma()).fold(0.0, f64::max);
+        assert!(pooled.sigma() >= min_sigma && pooled.sigma() <= max_sigma);
+        // Exact value: 1/σ*² = mean of 1/σᵢ².
+        let want = (bs.iter().map(|b| 1.0 / (b.sigma() * b.sigma())).sum::<f64>() / 3.0)
+            .recip()
+            .sqrt();
+        assert!(approx_eq(pooled.sigma(), want, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn log_pool_single_is_identity() {
+        let b = LogNormal::new(-5.0, 0.7).unwrap();
+        let pooled = log_pool_lognormals(&[b], None).unwrap();
+        assert!(approx_eq(pooled.mu(), -5.0, 1e-12, 0.0));
+        assert!(approx_eq(pooled.sigma(), 0.7, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn log_pool_weight_validation() {
+        let bs = three_beliefs();
+        assert!(log_pool_lognormals(&bs, Some(&[1.0, 2.0])).is_err());
+        assert!(log_pool_lognormals(&bs, Some(&[0.0, 0.0, 0.0])).is_err());
+        assert!(log_pool_lognormals(&bs, Some(&[-1.0, 1.0, 1.0])).is_err());
+        assert!(log_pool_lognormals(&[], None).is_err());
+    }
+
+    #[test]
+    fn log_pool_precision_weighting() {
+        // A sharp expert dominates a vague one.
+        let sharp = LogNormal::new(-6.0, 0.2).unwrap();
+        let vague = LogNormal::new(-3.0, 2.0).unwrap();
+        let pooled = log_pool_lognormals(&[sharp, vague], None).unwrap();
+        assert!((pooled.mu() + 6.0).abs() < 0.2, "mu = {}", pooled.mu());
+    }
+
+    #[test]
+    fn linear_vs_log_pool_tail_behaviour() {
+        // The linear pool keeps the pessimist's tail; the log pool
+        // suppresses it — the ablation the bench quantifies.
+        let bs = three_beliefs();
+        let lin = linear_pool(&bs, None).unwrap();
+        let log = log_pool_lognormals(&bs, None).unwrap();
+        let tail_lin = lin.sf(0.05);
+        let tail_log = log.sf(0.05);
+        assert!(tail_lin > tail_log, "linear {tail_lin} vs log {tail_log}");
+    }
+
+    #[test]
+    fn median_of_modes_robust_to_outlier() {
+        let mut bs = three_beliefs();
+        bs.push(LogNormal::from_mode_sigma(0.5, 1.0).unwrap()); // doubter
+        let med = median_of_modes(&bs).unwrap();
+        assert!(med < 0.02, "median = {med}");
+        assert!(median_of_modes(&[]).is_err());
+    }
+}

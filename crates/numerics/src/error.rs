@@ -1,0 +1,101 @@
+//! Error type shared by the numerical routines.
+
+use std::fmt;
+
+/// Error returned by numerical routines in this crate.
+///
+/// The variants are deliberately coarse: callers almost always either
+/// propagate the error or treat any failure as "the computation did not
+/// converge / the input was out of range".
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericsError {
+    /// An input argument was outside the domain of the function.
+    ///
+    /// Carries a human-readable description of the violated requirement.
+    Domain(String),
+    /// An iterative method failed to converge within its iteration budget.
+    ///
+    /// Carries the routine name and the iteration budget that was exhausted.
+    NoConvergence {
+        /// Name of the routine that failed to converge.
+        routine: &'static str,
+        /// Iteration budget that was exhausted.
+        max_iter: usize,
+    },
+    /// A bracketing method was given an interval that does not bracket a
+    /// root (the function has the same sign at both ends).
+    NoBracket {
+        /// Left end of the offending interval.
+        a: f64,
+        /// Right end of the offending interval.
+        b: f64,
+    },
+    /// A quadrature routine could not reach the requested tolerance.
+    ToleranceNotReached {
+        /// Error estimate actually achieved.
+        achieved: f64,
+        /// Tolerance that was requested.
+        requested: f64,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::Domain(msg) => write!(f, "domain error: {msg}"),
+            NumericsError::NoConvergence { routine, max_iter } => {
+                write!(f, "{routine} failed to converge within {max_iter} iterations")
+            }
+            NumericsError::NoBracket { a, b } => {
+                write!(f, "interval [{a}, {b}] does not bracket a root")
+            }
+            NumericsError::ToleranceNotReached { achieved, requested } => write!(
+                f,
+                "quadrature error estimate {achieved:e} exceeds requested tolerance {requested:e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, NumericsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_domain() {
+        let e = NumericsError::Domain("x must be positive".into());
+        assert_eq!(e.to_string(), "domain error: x must be positive");
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = NumericsError::NoConvergence { routine: "brent", max_iter: 100 };
+        assert!(e.to_string().contains("brent"));
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn display_no_bracket() {
+        let e = NumericsError::NoBracket { a: 0.0, b: 1.0 };
+        assert!(e.to_string().contains("[0, 1]"));
+    }
+
+    #[test]
+    fn display_tolerance() {
+        let e = NumericsError::ToleranceNotReached { achieved: 1e-3, requested: 1e-9 };
+        let s = e.to_string();
+        assert!(s.contains("1e-3") || s.contains("1e-3") || s.contains("0.001") || s.contains("1e-3"));
+        assert!(s.contains("tolerance"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericsError>();
+    }
+}

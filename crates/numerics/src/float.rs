@@ -1,0 +1,199 @@
+//! Floating-point comparison and log-space helpers.
+
+/// Returns `true` when `a` and `b` are equal within a combined
+/// relative/absolute tolerance.
+///
+/// Two values compare equal when `|a - b| <= abs_tol + rel_tol * max(|a|, |b|)`.
+/// This is the comparison used throughout the workspace's tests and
+/// convergence checks.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::float::approx_eq;
+///
+/// assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9, 1e-9));
+/// assert!(!approx_eq(1.0, 1.1, 1e-9, 1e-9));
+/// ```
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, rel_tol: f64, abs_tol: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    (a - b).abs() <= abs_tol + rel_tol * a.abs().max(b.abs())
+}
+
+/// Numerically stable `ln(exp(a) + exp(b))`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::float::log_add_exp;
+///
+/// let s = log_add_exp(-1000.0, -1000.0);
+/// assert!((s - (-1000.0 + std::f64::consts::LN_2)).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn log_add_exp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let m = a.max(b);
+    m + ((a - m).exp() + (b - m).exp()).ln()
+}
+
+/// Numerically stable `ln(sum_i exp(x_i))` over a slice.
+///
+/// Returns negative infinity for an empty slice (the log of an empty sum).
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::float::log_sum_exp;
+///
+/// let xs = [-1000.0, -1000.0, -1000.0, -1000.0];
+/// assert!((log_sum_exp(&xs) - (-1000.0 + 4.0_f64.ln())).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// Clamps `x` into the closed unit interval `[0, 1]`.
+///
+/// Useful after probability arithmetic that may stray slightly outside the
+/// unit interval through rounding.
+#[must_use]
+pub fn clamp_unit(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+/// Returns `true` when `x` is a valid probability: finite and in `[0, 1]`.
+#[must_use]
+pub fn is_probability(x: f64) -> bool {
+    x.is_finite() && (0.0..=1.0).contains(&x)
+}
+
+/// Computes `ln(1 - exp(x))` for `x < 0` without catastrophic cancellation.
+///
+/// Uses the standard split at `ln 2` recommended by Mächler's `log1mexp`
+/// note: `ln(-expm1(x))` for `x > -ln 2`, `ln1p(-exp(x))` otherwise.
+///
+/// # Panics
+///
+/// Does not panic; returns NaN for `x > 0` (where `1 - e^x` is negative).
+#[must_use]
+pub fn log1m_exp(x: f64) -> f64 {
+    if x >= 0.0 {
+        if x == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        return f64::NAN;
+    }
+    if x > -std::f64::consts::LN_2 {
+        (-x.exp_m1()).ln()
+    } else {
+        (-x.exp()).ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_exact() {
+        assert!(approx_eq(0.0, 0.0, 0.0, 0.0));
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY, 1e-9, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_nan_is_never_equal() {
+        assert!(!approx_eq(f64::NAN, f64::NAN, 1e-9, 1e-9));
+        assert!(!approx_eq(f64::NAN, 1.0, 1e-9, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_infinities_of_opposite_sign() {
+        assert!(!approx_eq(f64::INFINITY, f64::NEG_INFINITY, 1e-9, 1e-9));
+    }
+
+    #[test]
+    fn log_add_exp_handles_neg_infinity() {
+        assert_eq!(log_add_exp(f64::NEG_INFINITY, -3.0), -3.0);
+        assert_eq!(log_add_exp(-3.0, f64::NEG_INFINITY), -3.0);
+        assert_eq!(log_add_exp(f64::NEG_INFINITY, f64::NEG_INFINITY), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_add_exp_matches_direct_in_safe_range() {
+        let a = -2.0_f64;
+        let b = 0.5_f64;
+        let direct = (a.exp() + b.exp()).ln();
+        assert!(approx_eq(log_add_exp(a, b), direct, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn log_sum_exp_empty_is_neg_infinity() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_sum_exp_single() {
+        assert!(approx_eq(log_sum_exp(&[-5.0]), -5.0, 1e-15, 1e-15));
+    }
+
+    #[test]
+    fn clamp_unit_clamps() {
+        assert_eq!(clamp_unit(-0.1), 0.0);
+        assert_eq!(clamp_unit(1.1), 1.0);
+        assert_eq!(clamp_unit(0.4), 0.4);
+    }
+
+    #[test]
+    fn is_probability_checks_range_and_finiteness() {
+        assert!(is_probability(0.0));
+        assert!(is_probability(1.0));
+        assert!(is_probability(0.5));
+        assert!(!is_probability(-0.01));
+        assert!(!is_probability(1.01));
+        assert!(!is_probability(f64::NAN));
+        assert!(!is_probability(f64::INFINITY));
+    }
+
+    #[test]
+    fn log1m_exp_agrees_with_naive_in_safe_range() {
+        for &x in &[-0.1_f64, -0.5, -1.0, -3.0, -10.0] {
+            let naive = (1.0 - x.exp()).ln();
+            assert!(approx_eq(log1m_exp(x), naive, 1e-10, 1e-12), "x={x}");
+        }
+    }
+
+    #[test]
+    fn log1m_exp_at_zero() {
+        assert_eq!(log1m_exp(0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log1m_exp_positive_is_nan() {
+        assert!(log1m_exp(0.5).is_nan());
+    }
+
+    #[test]
+    fn log1m_exp_tiny_argument_is_accurate() {
+        // 1 - exp(-1e-12) ≈ 1e-12; the naive form loses all precision.
+        let x = -1e-12;
+        let v = log1m_exp(x);
+        assert!(approx_eq(v, (1e-12_f64).ln(), 1e-6, 0.0));
+    }
+}

@@ -1,0 +1,231 @@
+//! Gauss–Legendre quadrature with nodes computed at construction time.
+
+use crate::error::{NumericsError, Result};
+
+/// A Gauss–Legendre rule of fixed order.
+///
+/// Nodes and weights on the canonical interval `[-1, 1]` are computed once
+/// by Newton iteration on the Legendre polynomial (the classic `gauleg`
+/// construction) and reused across integrations — the cheap path for the
+/// repeated band-probability integrals in the benchmark harness.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::integrate::GaussLegendre;
+///
+/// let rule = GaussLegendre::new(16)?;
+/// let v = rule.integrate(|x| x.exp(), 0.0, 1.0);
+/// assert!((v - (std::f64::consts::E - 1.0)).abs() < 1e-12);
+/// # Ok::<(), depcase_numerics::NumericsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussLegendre {
+    nodes: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl GaussLegendre {
+    /// Builds a rule with `n` nodes (`n >= 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::Domain`] for `n == 0` and
+    /// [`NumericsError::NoConvergence`] if a node's Newton iteration fails
+    /// (not observed for n ≤ several thousand).
+    pub fn new(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(NumericsError::Domain("Gauss-Legendre order must be >= 1".into()));
+        }
+        let mut nodes = vec![0.0; n];
+        let mut weights = vec![0.0; n];
+        let m = n.div_ceil(2);
+        for i in 0..m {
+            // Chebyshev-based initial guess for the i-th root.
+            let mut z = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+            let mut pp = 0.0;
+            let mut converged = false;
+            for _ in 0..100 {
+                // Evaluate P_n(z) and P'_n(z) by the three-term recurrence.
+                let mut p1 = 1.0;
+                let mut p2 = 0.0;
+                for j in 0..n {
+                    let p3 = p2;
+                    p2 = p1;
+                    p1 = ((2.0 * j as f64 + 1.0) * z * p2 - j as f64 * p3) / (j as f64 + 1.0);
+                }
+                pp = n as f64 * (z * p1 - p2) / (z * z - 1.0);
+                let z1 = z;
+                z = z1 - p1 / pp;
+                if (z - z1).abs() < 1e-15 {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                return Err(NumericsError::NoConvergence {
+                    routine: "gauss_legendre_nodes",
+                    max_iter: 100,
+                });
+            }
+            nodes[i] = -z;
+            nodes[n - 1 - i] = z;
+            let w = 2.0 / ((1.0 - z * z) * pp * pp);
+            weights[i] = w;
+            weights[n - 1 - i] = w;
+        }
+        Ok(Self { nodes, weights })
+    }
+
+    /// Number of nodes in the rule.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Nodes on the canonical interval `[-1, 1]`, ascending.
+    #[must_use]
+    pub fn nodes(&self) -> &[f64] {
+        &self.nodes
+    }
+
+    /// Weights matching [`GaussLegendre::nodes`].
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Integrates `f` over `[a, b]` with this rule.
+    ///
+    /// Exact for polynomials of degree `2n − 1`; no error estimate is
+    /// produced (use [`crate::integrate::adaptive_simpson`] when error
+    /// control matters).
+    pub fn integrate<F>(&self, f: F, a: f64, b: f64) -> f64
+    where
+        F: Fn(f64) -> f64,
+    {
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        let mut acc = 0.0;
+        for (&x, &w) in self.nodes.iter().zip(&self.weights) {
+            let v = f(mid + half * x);
+            if v.is_finite() {
+                acc += w * v;
+            }
+        }
+        acc * half
+    }
+
+    /// Integrates `f` over `[a, b]` split into `panels` equal panels,
+    /// applying the rule on each — a cheap way to raise accuracy for
+    /// integrands rougher than the rule order handles.
+    pub fn integrate_composite<F>(&self, f: F, a: f64, b: f64, panels: usize) -> f64
+    where
+        F: Fn(f64) -> f64,
+    {
+        let panels = panels.max(1);
+        let h = (b - a) / panels as f64;
+        (0..panels)
+            .map(|i| {
+                let lo = a + i as f64 * h;
+                self.integrate(&f, lo, lo + h)
+            })
+            .sum()
+    }
+}
+
+/// One-shot Gauss–Legendre integration of order `n` over `[a, b]`.
+///
+/// Prefer constructing a [`GaussLegendre`] rule once when integrating
+/// repeatedly.
+///
+/// # Errors
+///
+/// Same conditions as [`GaussLegendre::new`].
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::integrate::gauss_legendre;
+///
+/// let v = gauss_legendre(|x| x.powi(3), -1.0, 1.0, 8)?;
+/// assert!(v.abs() < 1e-15); // odd integrand over symmetric interval
+/// # Ok::<(), depcase_numerics::NumericsError>(())
+/// ```
+pub fn gauss_legendre<F>(f: F, a: f64, b: f64, n: usize) -> Result<f64>
+where
+    F: Fn(f64) -> f64,
+{
+    Ok(GaussLegendre::new(n)?.integrate(f, a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::approx_eq;
+
+    #[test]
+    fn order_zero_rejected() {
+        assert!(GaussLegendre::new(0).is_err());
+    }
+
+    #[test]
+    fn nodes_symmetric_and_weights_sum_to_two() {
+        for n in [1, 2, 3, 5, 8, 16, 33] {
+            let rule = GaussLegendre::new(n).unwrap();
+            assert_eq!(rule.order(), n);
+            let wsum: f64 = rule.weights().iter().sum();
+            assert!(approx_eq(wsum, 2.0, 1e-12, 1e-12), "n = {n}: weights sum {wsum}");
+            for (i, &x) in rule.nodes().iter().enumerate() {
+                let mirror = rule.nodes()[n - 1 - i];
+                assert!(approx_eq(x, -mirror, 1e-12, 1e-12), "n = {n}: node symmetry");
+            }
+        }
+    }
+
+    #[test]
+    fn known_nodes_order_two() {
+        let rule = GaussLegendre::new(2).unwrap();
+        let inv_sqrt3 = 1.0 / 3.0_f64.sqrt();
+        assert!(approx_eq(rule.nodes()[0], -inv_sqrt3, 1e-14, 1e-14));
+        assert!(approx_eq(rule.nodes()[1], inv_sqrt3, 1e-14, 1e-14));
+        assert!(approx_eq(rule.weights()[0], 1.0, 1e-14, 1e-14));
+    }
+
+    #[test]
+    fn exact_for_degree_2n_minus_1() {
+        // Order 4 is exact for degree-7 polynomials.
+        let rule = GaussLegendre::new(4).unwrap();
+        let v = rule.integrate(|x| x.powi(7) + x.powi(6), -1.0, 1.0);
+        assert!(approx_eq(v, 2.0 / 7.0, 1e-13, 1e-14), "got {v}");
+    }
+
+    #[test]
+    fn general_interval() {
+        let rule = GaussLegendre::new(20).unwrap();
+        let v = rule.integrate(f64::exp, 1.0, 3.0);
+        assert!(approx_eq(v, 3.0_f64.exp() - 1.0_f64.exp(), 1e-13, 1e-13));
+    }
+
+    #[test]
+    fn composite_converges_on_oscillatory_integrand() {
+        let rule = GaussLegendre::new(8).unwrap();
+        let v = rule.integrate_composite(|x| (20.0 * x).sin(), 0.0, 1.0, 16);
+        let truth = (1.0 - (20.0_f64).cos()) / 20.0;
+        assert!(approx_eq(v, truth, 1e-10, 1e-10), "got {v}, want {truth}");
+    }
+
+    #[test]
+    fn composite_zero_panels_treated_as_one() {
+        let rule = GaussLegendre::new(8).unwrap();
+        let a = rule.integrate_composite(|x| x, 0.0, 1.0, 0);
+        let b = rule.integrate(|x| x, 0.0, 1.0);
+        assert!(approx_eq(a, b, 1e-15, 1e-15));
+    }
+
+    #[test]
+    fn one_shot_helper() {
+        let v = gauss_legendre(|x| x * x, 0.0, 3.0, 10).unwrap();
+        assert!(approx_eq(v, 9.0, 1e-12, 1e-12));
+    }
+}

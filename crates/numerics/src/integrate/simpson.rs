@@ -1,0 +1,206 @@
+//! Adaptive Simpson quadrature with error control.
+
+use crate::error::{NumericsError, Result};
+
+/// Result of a quadrature: the integral estimate together with an error
+/// estimate and the number of integrand evaluations spent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadratureResult {
+    /// Estimated value of the integral.
+    pub value: f64,
+    /// Estimated absolute error of [`QuadratureResult::value`].
+    pub error_estimate: f64,
+    /// Number of integrand evaluations performed.
+    pub evaluations: usize,
+}
+
+const MAX_DEPTH: usize = 60;
+
+/// One panel of Simpson's rule over `[a, b]` given endpoint/midpoint values.
+fn simpson_panel(fa: f64, fm: f64, fb: f64, h: f64) -> f64 {
+    h / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+struct Adaptive<'f, F> {
+    f: &'f F,
+    evals: usize,
+    err_acc: f64,
+}
+
+impl<F: Fn(f64) -> f64> Adaptive<'_, F> {
+    fn eval(&mut self, x: f64) -> f64 {
+        self.evals += 1;
+        let v = (self.f)(x);
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        &mut self,
+        a: f64,
+        b: f64,
+        fa: f64,
+        fm: f64,
+        fb: f64,
+        whole: f64,
+        tol: f64,
+        depth: usize,
+    ) -> f64 {
+        let m = 0.5 * (a + b);
+        let lm = 0.5 * (a + m);
+        let rm = 0.5 * (m + b);
+        let flm = self.eval(lm);
+        let frm = self.eval(rm);
+        let left = simpson_panel(fa, flm, fm, m - a);
+        let right = simpson_panel(fm, frm, fb, b - m);
+        let delta = left + right - whole;
+        // Richardson: error of the refined estimate ≈ delta / 15. Also
+        // stop at the machine-precision floor — when the disagreement is
+        // at rounding level relative to the panel's own magnitude (or the
+        // panel has collapsed to adjacent floats), further refinement
+        // cannot improve the estimate and would only recurse to the depth
+        // cap on every sub-panel.
+        let scale = left.abs() + right.abs();
+        if depth >= MAX_DEPTH
+            || delta.abs() <= 15.0 * tol
+            || delta.abs() <= 64.0 * f64::EPSILON * scale
+            || (b - a) <= f64::EPSILON * (a.abs() + b.abs())
+        {
+            self.err_acc += delta.abs() / 15.0;
+            return left + right + delta / 15.0;
+        }
+        self.recurse(a, m, fa, flm, fm, left, 0.5 * tol, depth + 1)
+            + self.recurse(m, b, fm, frm, fb, right, 0.5 * tol, depth + 1)
+    }
+}
+
+/// Adaptive Simpson integration of `f` over the finite interval `[a, b]`
+/// to absolute tolerance `tol`.
+///
+/// Non-finite integrand values are treated as zero (integrable endpoint
+/// singularities of probability densities then behave sensibly).
+/// Reversed limits negate the result, matching the Riemann convention.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::Domain`] if a limit is NaN or `tol` is not
+/// positive-finite.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::integrate::adaptive_simpson;
+///
+/// let r = adaptive_simpson(|x| x * x, 0.0, 1.0, 1e-12)?;
+/// assert!((r.value - 1.0 / 3.0).abs() < 1e-10);
+/// # Ok::<(), depcase_numerics::NumericsError>(())
+/// ```
+pub fn adaptive_simpson<F>(f: F, a: f64, b: f64, tol: f64) -> Result<QuadratureResult>
+where
+    F: Fn(f64) -> f64,
+{
+    if a.is_nan() || b.is_nan() || !(tol > 0.0) || !tol.is_finite() {
+        return Err(NumericsError::Domain(format!(
+            "adaptive_simpson requires finite limits and tol > 0; got a = {a}, b = {b}, tol = {tol}"
+        )));
+    }
+    if a == b {
+        return Ok(QuadratureResult { value: 0.0, error_estimate: 0.0, evaluations: 0 });
+    }
+    if a > b {
+        let mut r = adaptive_simpson(f, b, a, tol)?;
+        r.value = -r.value;
+        return Ok(r);
+    }
+
+    let mut ctx = Adaptive { f: &f, evals: 0, err_acc: 0.0 };
+    // Seed the recursion with several initial panels so narrow features
+    // between the first sample points cannot be missed entirely.
+    const SEED_PANELS: usize = 8;
+    let h = (b - a) / SEED_PANELS as f64;
+    let mut value = 0.0;
+    let panel_tol = tol / SEED_PANELS as f64;
+    for i in 0..SEED_PANELS {
+        let lo = a + i as f64 * h;
+        let hi = if i + 1 == SEED_PANELS { b } else { lo + h };
+        let flo = ctx.eval(lo);
+        let m = 0.5 * (lo + hi);
+        let fm = ctx.eval(m);
+        let fhi = ctx.eval(hi);
+        let whole = simpson_panel(flo, fm, fhi, hi - lo);
+        value += ctx.recurse(lo, hi, flo, fm, fhi, whole, panel_tol, 0);
+    }
+    Ok(QuadratureResult { value, error_estimate: ctx.err_acc, evaluations: ctx.evals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::approx_eq;
+
+    #[test]
+    fn polynomial_exact() {
+        // Simpson is exact on cubics; the adaptive wrapper should nail it.
+        let r = adaptive_simpson(|x| 3.0 * x * x + 2.0 * x + 1.0, -1.0, 2.0, 1e-12).unwrap();
+        // ∫ = x³ + x² + x from −1 to 2 = (8+4+2) − (−1+1−1) = 15
+        assert!(approx_eq(r.value, 15.0, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn transcendental() {
+        let r = adaptive_simpson(f64::sin, 0.0, std::f64::consts::PI, 1e-12).unwrap();
+        assert!(approx_eq(r.value, 2.0, 1e-10, 1e-10), "got {}", r.value);
+    }
+
+    #[test]
+    fn sharp_peak_requires_adaptivity() {
+        // Narrow Gaussian bump at 0.37: σ = 1e-3.
+        let s = 1e-3_f64;
+        let c = 0.37;
+        let norm = 1.0 / (s * (2.0 * std::f64::consts::PI).sqrt());
+        let f = |x: f64| norm * (-0.5 * ((x - c) / s).powi(2)).exp();
+        let r = adaptive_simpson(f, 0.0, 1.0, 1e-10).unwrap();
+        assert!(approx_eq(r.value, 1.0, 1e-7, 1e-7), "got {}", r.value);
+        assert!(r.evaluations > 100, "peak should force refinement");
+    }
+
+    #[test]
+    fn zero_width_interval() {
+        let r = adaptive_simpson(|x| x.exp(), 2.0, 2.0, 1e-10).unwrap();
+        assert_eq!(r.value, 0.0);
+        assert_eq!(r.evaluations, 0);
+    }
+
+    #[test]
+    fn reversed_limits_negate() {
+        let fwd = adaptive_simpson(|x| x, 0.0, 1.0, 1e-12).unwrap();
+        let rev = adaptive_simpson(|x| x, 1.0, 0.0, 1e-12).unwrap();
+        assert!(approx_eq(fwd.value, -rev.value, 1e-14, 1e-15));
+    }
+
+    #[test]
+    fn integrable_endpoint_singularity_is_tolerated() {
+        // 1/sqrt(x) on (0, 1] integrates to 2; f(0) = inf is zeroed.
+        let r = adaptive_simpson(|x| 1.0 / x.sqrt(), 0.0, 1.0, 1e-10).unwrap();
+        assert!(approx_eq(r.value, 2.0, 1e-3, 1e-3), "got {}", r.value);
+    }
+
+    #[test]
+    fn domain_errors() {
+        assert!(adaptive_simpson(|x| x, f64::NAN, 1.0, 1e-9).is_err());
+        assert!(adaptive_simpson(|x| x, 0.0, 1.0, 0.0).is_err());
+        assert!(adaptive_simpson(|x| x, 0.0, 1.0, -1.0).is_err());
+        assert!(adaptive_simpson(|x| x, 0.0, 1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn error_estimate_bounds_true_error() {
+        let r = adaptive_simpson(|x| (5.0 * x).cos(), 0.0, 2.0, 1e-9).unwrap();
+        let truth = (10.0_f64).sin() / 5.0;
+        assert!((r.value - truth).abs() <= (r.error_estimate + 1e-12) * 10.0 + 1e-9);
+    }
+}

@@ -1,0 +1,183 @@
+//! Interpolation over tabulated data.
+//!
+//! Empirical distributions (expert judgements, Monte-Carlo output) expose
+//! their CDFs as monotone tables; quantiles come from inverse linear
+//! interpolation over those tables.
+
+use crate::error::{NumericsError, Result};
+
+/// Piecewise-linear interpolant over strictly increasing abscissae.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::interp::LinearInterp;
+///
+/// let li = LinearInterp::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 40.0])?;
+/// assert_eq!(li.eval(0.5), 5.0);
+/// assert_eq!(li.eval(1.5), 25.0);
+/// # Ok::<(), depcase_numerics::NumericsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearInterp {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LinearInterp {
+    /// Builds an interpolant from matching `xs`/`ys` tables.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::Domain`] if the tables differ in length, contain
+    /// fewer than two points, contain non-finite values, or `xs` is not
+    /// strictly increasing.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
+        if xs.len() != ys.len() {
+            return Err(NumericsError::Domain(format!(
+                "interpolation tables must match in length: {} vs {}",
+                xs.len(),
+                ys.len()
+            )));
+        }
+        if xs.len() < 2 {
+            return Err(NumericsError::Domain("need at least two interpolation points".into()));
+        }
+        if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+            return Err(NumericsError::Domain("interpolation tables must be finite".into()));
+        }
+        if xs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(NumericsError::Domain("abscissae must be strictly increasing".into()));
+        }
+        Ok(Self { xs, ys })
+    }
+
+    /// Evaluates the interpolant; clamps to the end values outside the
+    /// table range.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= *self.xs.last().expect("nonempty") {
+            return *self.ys.last().expect("nonempty");
+        }
+        let i = match self.xs.binary_search_by(|v| v.partial_cmp(&x).expect("finite")) {
+            Ok(i) => return self.ys[i],
+            Err(i) => i,
+        };
+        let (x0, x1) = (self.xs[i - 1], self.xs[i]);
+        let (y0, y1) = (self.ys[i - 1], self.ys[i]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// The tabulated abscissae.
+    #[must_use]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The tabulated ordinates.
+    #[must_use]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Inverse interpolation for monotone non-decreasing `ys`: finds `x`
+    /// with `eval(x) = y`, clamping outside the value range.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::Domain`] if `ys` is not non-decreasing.
+    pub fn eval_inverse(&self, y: f64) -> Result<f64> {
+        if self.ys.windows(2).any(|w| w[0] > w[1]) {
+            return Err(NumericsError::Domain(
+                "inverse interpolation requires non-decreasing ordinates".into(),
+            ));
+        }
+        if y <= self.ys[0] {
+            return Ok(self.xs[0]);
+        }
+        if y > *self.ys.last().expect("nonempty") {
+            return Ok(*self.xs.last().expect("nonempty"));
+        }
+        // Find the first segment whose right ordinate reaches y.
+        let i = self.ys.partition_point(|&v| v < y);
+        let (y0, y1) = (self.ys[i - 1], self.ys[i]);
+        let (x0, x1) = (self.xs[i - 1], self.xs[i]);
+        if y1 == y0 {
+            return Ok(x0);
+        }
+        Ok(x0 + (x1 - x0) * (y - y0) / (y1 - y0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::approx_eq;
+
+    fn table() -> LinearInterp {
+        LinearInterp::new(vec![0.0, 1.0, 3.0], vec![0.0, 2.0, 2.0]).unwrap()
+    }
+
+    #[test]
+    fn eval_interior() {
+        let li = table();
+        assert!(approx_eq(li.eval(0.5), 1.0, 1e-15, 0.0));
+        assert!(approx_eq(li.eval(2.0), 2.0, 1e-15, 0.0));
+    }
+
+    #[test]
+    fn eval_at_knots() {
+        let li = table();
+        assert_eq!(li.eval(0.0), 0.0);
+        assert_eq!(li.eval(1.0), 2.0);
+        assert_eq!(li.eval(3.0), 2.0);
+    }
+
+    #[test]
+    fn eval_clamps_outside() {
+        let li = table();
+        assert_eq!(li.eval(-5.0), 0.0);
+        assert_eq!(li.eval(10.0), 2.0);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(LinearInterp::new(vec![0.0], vec![1.0]).is_err());
+        assert!(LinearInterp::new(vec![0.0, 1.0], vec![1.0]).is_err());
+        assert!(LinearInterp::new(vec![1.0, 0.0], vec![0.0, 1.0]).is_err());
+        assert!(LinearInterp::new(vec![0.0, 0.0], vec![0.0, 1.0]).is_err());
+        assert!(LinearInterp::new(vec![0.0, f64::NAN], vec![0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let li = LinearInterp::new(vec![0.0, 1.0, 2.0], vec![0.0, 0.3, 1.0]).unwrap();
+        for y in [0.0, 0.1, 0.3, 0.6, 1.0] {
+            let x = li.eval_inverse(y).unwrap();
+            assert!(approx_eq(li.eval(x), y, 1e-12, 1e-12), "y = {y}");
+        }
+    }
+
+    #[test]
+    fn inverse_clamps() {
+        let li = LinearInterp::new(vec![0.0, 1.0], vec![0.2, 0.8]).unwrap();
+        assert_eq!(li.eval_inverse(0.0).unwrap(), 0.0);
+        assert_eq!(li.eval_inverse(1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn inverse_flat_segment_returns_left_edge() {
+        let li = table(); // flat on [1, 3]
+        let x = li.eval_inverse(2.0).unwrap();
+        assert!(approx_eq(x, 1.0, 1e-12, 1e-12), "got {x}");
+    }
+
+    #[test]
+    fn inverse_rejects_decreasing() {
+        let li = LinearInterp::new(vec![0.0, 1.0], vec![1.0, 0.0]).unwrap();
+        assert!(li.eval_inverse(0.5).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Numerical substrate for the `depcase` workspace.
+//!
+//! The DSN'07 paper this workspace reproduces ("Confidence: its role in
+//! dependability cases for risk assessment", Bloomfield, Littlewood &
+//! Wright) rests on elementary but precise probability computations:
+//! log-normal and gamma tail probabilities, quantile inversion, and
+//! integrals of belief densities over safety-integrity bands. Rust's
+//! probabilistic ecosystem is thin, so this crate provides the required
+//! machinery from scratch:
+//!
+//! - [`special`] — error function family, (incomplete) gamma and beta
+//!   functions with inverses, digamma/trigamma;
+//! - [`integrate`] — adaptive Simpson and Gauss–Legendre quadrature, with
+//!   transforms for improper intervals;
+//! - [`roots`] — bisection, Brent, and safeguarded Newton root finding;
+//! - [`optimize`] — golden-section minimization;
+//! - [`interp`] — interpolation over tabulated monotone data;
+//! - [`stats`] — descriptive statistics, ECDF and histograms;
+//! - [`float`] — floating-point comparison and log-space helpers.
+//!
+//! # Examples
+//!
+//! Confidence that a log-normally distributed failure rate is below a
+//! bound reduces to an error-function evaluation:
+//!
+//! ```
+//! use depcase_numerics::special::erf;
+//!
+//! // P(Z < z) for a standard normal Z.
+//! let z = 1.0_f64;
+//! let phi = 0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2));
+//! assert!((phi - 0.841344746).abs() < 1e-8);
+//! ```
+
+// `!(x > 0.0)`-style checks deliberately treat NaN as invalid input; the
+// lint's suggested `x <= 0.0` would let NaN through the validation.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Reference constants are quoted at full printed precision.
+#![allow(clippy::excessive_precision)]
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod error;
+pub mod float;
+pub mod integrate;
+pub mod interp;
+pub mod optimize;
+pub mod roots;
+pub mod special;
+pub mod stats;
+
+pub use error::NumericsError;

@@ -1,0 +1,149 @@
+//! One-dimensional minimization.
+//!
+//! Used for mode-finding of posterior densities (e.g. the survival-weighted
+//! posteriors of Section 4.1, whose mode shifts left as failure-free
+//! operating experience accumulates).
+
+use crate::error::{NumericsError, Result};
+
+/// Result of a scalar minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinResult {
+    /// Abscissa of the located minimum.
+    pub x: f64,
+    /// Function value at [`MinResult::x`].
+    pub f: f64,
+    /// Number of function evaluations spent.
+    pub evaluations: usize,
+}
+
+const INV_GOLD: f64 = 0.618_033_988_749_894_8; // (sqrt(5) - 1) / 2
+
+/// Golden-section minimization of a unimodal `f` over `[a, b]`.
+///
+/// Converges linearly but unconditionally for unimodal functions; for the
+/// smooth low-dimensional problems in this workspace that is plenty.
+///
+/// # Errors
+///
+/// [`NumericsError::Domain`] for non-finite limits or non-positive
+/// tolerance.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::optimize::golden_section_min;
+///
+/// let r = golden_section_min(|x| (x - 1.3) * (x - 1.3), 0.0, 3.0, 1e-10)?;
+/// assert!((r.x - 1.3).abs() < 1e-8);
+/// # Ok::<(), depcase_numerics::NumericsError>(())
+/// ```
+pub fn golden_section_min<F>(f: F, a: f64, b: f64, x_tol: f64) -> Result<MinResult>
+where
+    F: Fn(f64) -> f64,
+{
+    if !a.is_finite() || !b.is_finite() || !(x_tol > 0.0) {
+        return Err(NumericsError::Domain(format!(
+            "golden_section_min requires finite limits and x_tol > 0; got [{a}, {b}], x_tol = {x_tol}"
+        )));
+    }
+    let (mut lo, mut hi) = if a <= b { (a, b) } else { (b, a) };
+    let mut evals: usize = 0;
+    let mut x1 = hi - INV_GOLD * (hi - lo);
+    let mut x2 = lo + INV_GOLD * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    evals += 2;
+    while (hi - lo) > x_tol {
+        if f1 < f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - INV_GOLD * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + INV_GOLD * (hi - lo);
+            f2 = f(x2);
+        }
+        evals += 1;
+        if evals > 10_000 {
+            break;
+        }
+    }
+    let x = 0.5 * (lo + hi);
+    let fx = f(x);
+    evals += 1;
+    Ok(MinResult { x, f: fx, evaluations: evals })
+}
+
+/// Maximizes a unimodal `f` over `[a, b]` (golden section on `−f`).
+///
+/// # Errors
+///
+/// Same conditions as [`golden_section_min`].
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::optimize::golden_section_max;
+///
+/// let r = golden_section_max(|x: f64| -(x - 0.2_f64).powi(2), -1.0, 1.0, 1e-10)?;
+/// assert!((r.x - 0.2).abs() < 1e-8);
+/// # Ok::<(), depcase_numerics::NumericsError>(())
+/// ```
+pub fn golden_section_max<F>(f: F, a: f64, b: f64, x_tol: f64) -> Result<MinResult>
+where
+    F: Fn(f64) -> f64,
+{
+    let r = golden_section_min(|x| -f(x), a, b, x_tol)?;
+    Ok(MinResult { x: r.x, f: -r.f, evaluations: r.evaluations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::approx_eq;
+
+    #[test]
+    fn quadratic_minimum() {
+        let r = golden_section_min(|x| (x - 2.5) * (x - 2.5) + 1.0, 0.0, 10.0, 1e-10).unwrap();
+        assert!(approx_eq(r.x, 2.5, 1e-7, 1e-7));
+        assert!(approx_eq(r.f, 1.0, 1e-10, 1e-10));
+    }
+
+    #[test]
+    fn reversed_interval_accepted() {
+        let r = golden_section_min(|x| x.abs(), 1.0, -1.0, 1e-10).unwrap();
+        assert!(r.x.abs() < 1e-7);
+    }
+
+    #[test]
+    fn minimum_at_boundary() {
+        let r = golden_section_min(|x| x, 0.0, 1.0, 1e-10).unwrap();
+        assert!(r.x < 1e-7);
+    }
+
+    #[test]
+    fn maximize_lognormal_like_density() {
+        // x * exp(-ln(x)^2) has its max where d/dx [ln x − ln²x] = 0 ⇒ x = e^{1/2}.
+        let f = |x: f64| x * (-(x.ln() * x.ln())).exp();
+        let r = golden_section_max(f, 0.1, 10.0, 1e-12).unwrap();
+        assert!(approx_eq(r.x, (0.5_f64).exp(), 1e-6, 1e-6), "got {}", r.x);
+    }
+
+    #[test]
+    fn domain_errors() {
+        assert!(golden_section_min(|x| x, f64::NAN, 1.0, 1e-9).is_err());
+        assert!(golden_section_min(|x| x, 0.0, 1.0, 0.0).is_err());
+        assert!(golden_section_min(|x| x, 0.0, f64::INFINITY, 1e-9).is_err());
+    }
+
+    #[test]
+    fn evaluation_count_reported() {
+        let r = golden_section_min(|x| x * x, -1.0, 1.0, 1e-8).unwrap();
+        assert!(r.evaluations > 10 && r.evaluations < 200);
+    }
+}

@@ -1,0 +1,422 @@
+//! Scalar root finding: bisection, Brent's method, safeguarded Newton.
+//!
+//! Quantile inversion for the distributions without closed-form inverses
+//! (survival-weighted posteriors, mixtures) is done by bracketing the CDF
+//! and handing the bracket to [`brent`].
+
+use crate::error::{NumericsError, Result};
+
+/// Convergence criteria for the root finders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootConfig {
+    /// Absolute tolerance on the root location.
+    pub x_tol: f64,
+    /// Absolute tolerance on the residual `|f(x)|`.
+    pub f_tol: f64,
+    /// Iteration budget.
+    pub max_iter: usize,
+}
+
+impl Default for RootConfig {
+    fn default() -> Self {
+        Self { x_tol: 1e-12, f_tol: 1e-12, max_iter: 200 }
+    }
+}
+
+/// Finds a root of `f` in `[a, b]` by bisection.
+///
+/// Slow but unconditionally convergent; used as the fallback of last
+/// resort and in tests as the reference implementation.
+///
+/// # Errors
+///
+/// [`NumericsError::NoBracket`] if `f(a)` and `f(b)` have the same sign,
+/// [`NumericsError::Domain`] for non-finite limits.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::roots::{bisect, RootConfig};
+///
+/// let r = bisect(|x| x * x - 2.0, 0.0, 2.0, RootConfig::default())?;
+/// assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+/// # Ok::<(), depcase_numerics::NumericsError>(())
+/// ```
+pub fn bisect<F>(f: F, a: f64, b: f64, cfg: RootConfig) -> Result<f64>
+where
+    F: Fn(f64) -> f64,
+{
+    if !a.is_finite() || !b.is_finite() {
+        return Err(NumericsError::Domain(format!("bisect requires finite limits, got [{a}, {b}]")));
+    }
+    let (mut lo, mut hi) = if a <= b { (a, b) } else { (b, a) };
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(NumericsError::NoBracket { a: lo, b: hi });
+    }
+    for _ in 0..cfg.max_iter {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 || (hi - lo) < cfg.x_tol || fmid.abs() < cfg.f_tol {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(NumericsError::NoConvergence { routine: "bisect", max_iter: cfg.max_iter })
+}
+
+/// Finds a root of `f` in `[a, b]` by Brent's method (inverse quadratic
+/// interpolation with bisection safeguards).
+///
+/// The workhorse root finder of the workspace.
+///
+/// # Errors
+///
+/// [`NumericsError::NoBracket`] if the interval does not bracket a sign
+/// change, [`NumericsError::Domain`] for non-finite limits,
+/// [`NumericsError::NoConvergence`] on iteration exhaustion.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::roots::{brent, RootConfig};
+///
+/// let r = brent(|x| x.cos() - x, 0.0, 1.0, RootConfig::default())?;
+/// assert!((r - 0.7390851332151607).abs() < 1e-12);
+/// # Ok::<(), depcase_numerics::NumericsError>(())
+/// ```
+pub fn brent<F>(f: F, a: f64, b: f64, cfg: RootConfig) -> Result<f64>
+where
+    F: Fn(f64) -> f64,
+{
+    if !a.is_finite() || !b.is_finite() {
+        return Err(NumericsError::Domain(format!("brent requires finite limits, got [{a}, {b}]")));
+    }
+    let mut a = a;
+    let mut b = b;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::NoBracket { a, b });
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut e = d;
+    for _ in 0..cfg.max_iter {
+        if fb.abs() > fc.abs() {
+            // Ensure b is the best estimate.
+            a = b;
+            b = c;
+            c = a;
+            fa = fb;
+            fb = fc;
+            fc = fa;
+        }
+        let tol1 = 2.0 * f64::EPSILON * b.abs() + 0.5 * cfg.x_tol;
+        let xm = 0.5 * (c - b);
+        if xm.abs() <= tol1 || fb == 0.0 || fb.abs() < cfg.f_tol {
+            return Ok(b);
+        }
+        if e.abs() >= tol1 && fa.abs() > fb.abs() {
+            // Attempt inverse quadratic interpolation / secant.
+            let s = fb / fa;
+            let (mut p, mut q);
+            if a == c {
+                p = 2.0 * xm * s;
+                q = 1.0 - s;
+            } else {
+                let q0 = fa / fc;
+                let r = fb / fc;
+                p = s * (2.0 * xm * q0 * (q0 - r) - (b - a) * (r - 1.0));
+                q = (q0 - 1.0) * (r - 1.0) * (s - 1.0);
+            }
+            if p > 0.0 {
+                q = -q;
+            }
+            p = p.abs();
+            let min1 = 3.0 * xm * q - (tol1 * q).abs();
+            let min2 = (e * q).abs();
+            if 2.0 * p < min1.min(min2) {
+                e = d;
+                d = p / q;
+            } else {
+                d = xm;
+                e = d;
+            }
+        } else {
+            d = xm;
+            e = d;
+        }
+        a = b;
+        fa = fb;
+        b += if d.abs() > tol1 { d } else { tol1.copysign(xm) };
+        fb = f(b);
+        if fb.signum() == fc.signum() {
+            c = a;
+            fc = fa;
+            d = b - a;
+            e = d;
+        }
+    }
+    Err(NumericsError::NoConvergence { routine: "brent", max_iter: cfg.max_iter })
+}
+
+/// Newton's method safeguarded by a bracketing interval: if a Newton step
+/// leaves `[a, b]` (or makes too little progress) it falls back to
+/// bisection, so convergence is guaranteed while retaining quadratic
+/// convergence near the root.
+///
+/// `fdf` returns the pair `(f(x), f'(x))`.
+///
+/// # Errors
+///
+/// Same conditions as [`brent`].
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::roots::{newton_safeguarded, RootConfig};
+///
+/// let fdf = |x: f64| (x * x - 2.0, 2.0 * x);
+/// let r = newton_safeguarded(fdf, 0.0, 2.0, RootConfig::default())?;
+/// assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12);
+/// # Ok::<(), depcase_numerics::NumericsError>(())
+/// ```
+pub fn newton_safeguarded<F>(fdf: F, a: f64, b: f64, cfg: RootConfig) -> Result<f64>
+where
+    F: Fn(f64) -> (f64, f64),
+{
+    if !a.is_finite() || !b.is_finite() {
+        return Err(NumericsError::Domain(format!(
+            "newton_safeguarded requires finite limits, got [{a}, {b}]"
+        )));
+    }
+    let (fa, _) = fdf(a);
+    let (fb, _) = fdf(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::NoBracket { a, b });
+    }
+    // Orient so that f(lo) < 0.
+    let (mut lo, mut hi) = if fa < 0.0 { (a, b) } else { (b, a) };
+    let mut x = 0.5 * (a + b);
+    let mut dx_old = (b - a).abs();
+    let mut dx = dx_old;
+    let (mut fx, mut dfx) = fdf(x);
+    for _ in 0..cfg.max_iter {
+        let newton_ok = {
+            let num = (x - hi) * dfx - fx;
+            let num2 = (x - lo) * dfx - fx;
+            num * num2 < 0.0 && (2.0 * fx).abs() <= (dx_old * dfx).abs()
+        };
+        if newton_ok {
+            dx_old = dx;
+            dx = fx / dfx;
+            x -= dx;
+        } else {
+            dx_old = dx;
+            dx = 0.5 * (hi - lo);
+            x = lo + dx;
+        }
+        if dx.abs() < cfg.x_tol {
+            return Ok(x);
+        }
+        let pair = fdf(x);
+        fx = pair.0;
+        dfx = pair.1;
+        if fx.abs() < cfg.f_tol {
+            return Ok(x);
+        }
+        if fx < 0.0 {
+            lo = x;
+        } else {
+            hi = x;
+        }
+    }
+    Err(NumericsError::NoConvergence { routine: "newton_safeguarded", max_iter: cfg.max_iter })
+}
+
+/// Expands an initial guess geometrically until `[lo, hi]` brackets a sign
+/// change of `f`, searching in both directions from `x0` over at most
+/// `max_expand` doublings.
+///
+/// Returns the bracketing interval.
+///
+/// # Errors
+///
+/// [`NumericsError::NoBracket`] if no sign change was found.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::roots::expand_bracket;
+///
+/// let (lo, hi) = expand_bracket(|x| x - 100.0, 1.0, 1.0, 60)?;
+/// assert!(lo <= 100.0 && 100.0 <= hi);
+/// # Ok::<(), depcase_numerics::NumericsError>(())
+/// ```
+pub fn expand_bracket<F>(f: F, x0: f64, initial_step: f64, max_expand: usize) -> Result<(f64, f64)>
+where
+    F: Fn(f64) -> f64,
+{
+    let f0 = f(x0);
+    if f0 == 0.0 {
+        return Ok((x0, x0));
+    }
+    let mut step = initial_step.abs().max(f64::MIN_POSITIVE);
+    for _ in 0..max_expand {
+        let lo = x0 - step;
+        let hi = x0 + step;
+        let flo = f(lo);
+        let fhi = f(hi);
+        if flo.is_finite() && flo.signum() != f0.signum() {
+            return Ok((lo, x0));
+        }
+        if fhi.is_finite() && fhi.signum() != f0.signum() {
+            return Ok((x0, hi));
+        }
+        step *= 2.0;
+    }
+    Err(NumericsError::NoBracket { a: x0 - step, b: x0 + step })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::approx_eq;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, RootConfig::default()).unwrap();
+        assert!(approx_eq(r, std::f64::consts::SQRT_2, 1e-10, 1e-10));
+    }
+
+    #[test]
+    fn bisect_reversed_interval() {
+        let r = bisect(|x| x - 0.25, 1.0, 0.0, RootConfig::default()).unwrap();
+        assert!(approx_eq(r, 0.25, 1e-10, 1e-10));
+    }
+
+    #[test]
+    fn bisect_root_at_endpoint() {
+        let r = bisect(|x| x, 0.0, 1.0, RootConfig::default()).unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn bisect_no_bracket() {
+        let e = bisect(|x| x * x + 1.0, -1.0, 1.0, RootConfig::default());
+        assert!(matches!(e, Err(NumericsError::NoBracket { .. })));
+    }
+
+    #[test]
+    fn brent_transcendental() {
+        let r = brent(|x| x.cos() - x, 0.0, 1.0, RootConfig::default()).unwrap();
+        assert!(approx_eq(r, 0.739_085_133_215_160_7, 1e-12, 1e-13));
+    }
+
+    #[test]
+    fn brent_flat_then_steep() {
+        // x^9 is very flat near 0 — a classic Brent stress case. Disable
+        // the residual tolerance so only the abscissa tolerance applies.
+        let cfg = RootConfig { f_tol: 0.0, ..RootConfig::default() };
+        let r = brent(|x| x.powi(9) - 1e-9, 0.0, 2.0, cfg).unwrap();
+        assert!(approx_eq(r, 1e-1, 1e-6, 1e-8), "got {r}");
+    }
+
+    #[test]
+    fn brent_matches_bisect() {
+        let f = |x: f64| (x - 0.3) * (x * x + 1.0);
+        let cfg = RootConfig::default();
+        let rb = brent(f, -1.0, 1.0, cfg).unwrap();
+        let ri = bisect(f, -1.0, 1.0, cfg).unwrap();
+        assert!(approx_eq(rb, ri, 1e-8, 1e-8));
+    }
+
+    #[test]
+    fn brent_no_bracket_and_domain() {
+        assert!(matches!(
+            brent(|x| x * x + 1.0, -1.0, 1.0, RootConfig::default()),
+            Err(NumericsError::NoBracket { .. })
+        ));
+        assert!(brent(|x| x, f64::NAN, 1.0, RootConfig::default()).is_err());
+        assert!(brent(|x| x, 0.0, f64::INFINITY, RootConfig::default()).is_err());
+    }
+
+    #[test]
+    fn newton_quadratic_convergence() {
+        let fdf = |x: f64| (x.exp() - 3.0, x.exp());
+        let r = newton_safeguarded(fdf, 0.0, 3.0, RootConfig::default()).unwrap();
+        assert!(approx_eq(r, 3.0_f64.ln(), 1e-12, 1e-13));
+    }
+
+    #[test]
+    fn newton_falls_back_when_derivative_misleads() {
+        // f has an inflection that throws raw Newton out of the interval.
+        let fdf = |x: f64| (x.powi(3) - 2.0 * x + 2.0, 3.0 * x * x - 2.0);
+        // Root near -1.7693; bracket it.
+        let r = newton_safeguarded(fdf, -3.0, 0.0, RootConfig::default()).unwrap();
+        assert!(approx_eq(r, -1.769_292_354_238_631_4, 1e-10, 1e-10), "got {r}");
+    }
+
+    #[test]
+    fn newton_no_bracket() {
+        let fdf = |x: f64| (x * x + 1.0, 2.0 * x);
+        assert!(matches!(
+            newton_safeguarded(fdf, -1.0, 1.0, RootConfig::default()),
+            Err(NumericsError::NoBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn expand_bracket_finds_distant_root() {
+        let (lo, hi) = expand_bracket(|x| x - 1000.0, 0.0, 1.0, 60).unwrap();
+        assert!(lo <= 1000.0 && 1000.0 <= hi);
+        let r = brent(|x| x - 1000.0, lo, hi, RootConfig::default()).unwrap();
+        assert!(approx_eq(r, 1000.0, 1e-9, 1e-9));
+    }
+
+    #[test]
+    fn expand_bracket_zero_at_start() {
+        let (lo, hi) = expand_bracket(|x| x, 0.0, 1.0, 10).unwrap();
+        assert_eq!((lo, hi), (0.0, 0.0));
+    }
+
+    #[test]
+    fn expand_bracket_failure() {
+        assert!(matches!(
+            expand_bracket(|_| 1.0, 0.0, 1.0, 8),
+            Err(NumericsError::NoBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn root_config_default_is_sane() {
+        let cfg = RootConfig::default();
+        assert!(cfg.x_tol > 0.0 && cfg.f_tol > 0.0 && cfg.max_iter >= 50);
+    }
+}

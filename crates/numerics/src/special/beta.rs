@@ -1,0 +1,324 @@
+//! Beta function family: `ln B(a, b)`, the regularized incomplete beta
+//! function `I_x(a, b)` and its inverse.
+//!
+//! `I_x(a, b)` is the CDF of the Beta(a, b) distribution, which is the
+//! conjugate posterior family for Bernoulli/pfd testing evidence — the
+//! machinery behind "how many failure-free demands buy how much
+//! confidence" in the paper's Section 4.1.
+
+use super::gamma::ln_gamma;
+use crate::error::{NumericsError, Result};
+
+const MAX_ITER: usize = 500;
+const EPS: f64 = 1e-15;
+const FPMIN: f64 = f64::MIN_POSITIVE / EPS;
+
+/// Natural log of the beta function, `ln B(a, b) = ln Γ(a) + ln Γ(b) − ln Γ(a+b)`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::special::ln_beta;
+///
+/// // B(1, 1) = 1
+/// assert!(ln_beta(1.0, 1.0).abs() < 1e-14);
+/// // B(2, 3) = 1/12
+/// assert!((ln_beta(2.0, 3.0) - (1.0_f64 / 12.0).ln()).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    if !(a > 0.0) || !(b > 0.0) {
+        return f64::NAN;
+    }
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz).
+fn betacf(a: f64, b: f64, x: f64) -> Result<f64> {
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m_f = m as f64;
+        let m2 = 2.0 * m_f;
+        let aa = m_f * (b - m_f) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m_f) * (qab + m_f) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            return Ok(h);
+        }
+    }
+    Err(NumericsError::NoConvergence { routine: "betacf", max_iter: MAX_ITER })
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0`,
+/// `x ∈ [0, 1]` — the Beta(a, b) CDF at `x`.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::Domain`] unless `a > 0`, `b > 0` and
+/// `x ∈ [0, 1]`; [`NumericsError::NoConvergence`] if the continued
+/// fraction stalls (not observed for sane arguments).
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::special::reg_inc_beta;
+///
+/// // I_x(1, 1) = x (uniform CDF)
+/// assert!((reg_inc_beta(1.0, 1.0, 0.3)? - 0.3).abs() < 1e-14);
+/// # Ok::<(), depcase_numerics::NumericsError>(())
+/// ```
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> Result<f64> {
+    if !(a > 0.0) || !(b > 0.0) || !(0.0..=1.0).contains(&x) {
+        return Err(NumericsError::Domain(format!(
+            "reg_inc_beta requires a, b > 0 and x in [0,1]; got a = {a}, b = {b}, x = {x}"
+        )));
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    if x == 1.0 {
+        return Ok(1.0);
+    }
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b);
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        Ok(front * betacf(a, b, x)? / a)
+    } else {
+        Ok(1.0 - front * betacf(b, a, 1.0 - x)? / b)
+    }
+}
+
+/// Inverse regularized incomplete beta: solves `I_x(a, b) = p` for `x`.
+///
+/// Numerical Recipes starting guess plus safeguarded Newton iteration.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::Domain`] unless `a > 0`, `b > 0`,
+/// `p ∈ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::special::{inv_reg_inc_beta, reg_inc_beta};
+///
+/// let x = inv_reg_inc_beta(2.0, 5.0, 0.9)?;
+/// assert!((reg_inc_beta(2.0, 5.0, x)? - 0.9).abs() < 1e-10);
+/// # Ok::<(), depcase_numerics::NumericsError>(())
+/// ```
+pub fn inv_reg_inc_beta(a: f64, b: f64, p: f64) -> Result<f64> {
+    if !(a > 0.0) || !(b > 0.0) || !(0.0..=1.0).contains(&p) {
+        return Err(NumericsError::Domain(format!(
+            "inv_reg_inc_beta requires a, b > 0 and p in [0,1]; got a = {a}, b = {b}, p = {p}"
+        )));
+    }
+    if p == 0.0 {
+        return Ok(0.0);
+    }
+    if p == 1.0 {
+        return Ok(1.0);
+    }
+
+    // Starting guess (NR 6.4, invbetai).
+    let mut x;
+    if a >= 1.0 && b >= 1.0 {
+        let pp = if p < 0.5 { p } else { 1.0 - p };
+        let t = (-2.0 * pp.ln()).sqrt();
+        let mut w = (2.30753 + t * 0.27061) / (1.0 + t * (0.99229 + t * 0.04481)) - t;
+        if p < 0.5 {
+            w = -w;
+        }
+        let al = (w * w - 3.0) / 6.0;
+        let h = 2.0 / (1.0 / (2.0 * a - 1.0) + 1.0 / (2.0 * b - 1.0));
+        let ww = w * (al + h).sqrt() / h
+            - (1.0 / (2.0 * b - 1.0) - 1.0 / (2.0 * a - 1.0)) * (al + 5.0 / 6.0 - 2.0 / (3.0 * h));
+        x = a / (a + b * (2.0 * ww).exp());
+    } else {
+        let lna = (a / (a + b)).ln();
+        let lnb = (b / (a + b)).ln();
+        let t = (a * lna).exp() / a;
+        let u = (b * lnb).exp() / b;
+        let w = t + u;
+        if p < t / w {
+            x = (a * w * p).powf(1.0 / a);
+        } else {
+            x = 1.0 - (b * w * (1.0 - p)).powf(1.0 / b);
+        }
+    }
+    x = x.clamp(1e-300, 1.0 - 1e-16);
+
+    let afac = -ln_beta(a, b);
+    let a1 = a - 1.0;
+    let b1 = b - 1.0;
+    for _ in 0..60 {
+        if x == 0.0 || x == 1.0 {
+            break;
+        }
+        let err = reg_inc_beta(a, b, x)? - p;
+        let t = (a1 * x.ln() + b1 * (1.0 - x).ln() + afac).exp();
+        if t == 0.0 {
+            break;
+        }
+        let u = err / t;
+        let step = u / (1.0 - 0.5 * (u * (a1 / x - b1 / (1.0 - x))).min(1.0));
+        x -= step;
+        if x <= 0.0 {
+            x = 0.5 * (x + step);
+        }
+        if x >= 1.0 {
+            x = 0.5 * (x + step + 1.0);
+        }
+        if step.abs() < 1e-14 * x && x > 0.0 {
+            break;
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::approx_eq;
+
+    #[test]
+    fn ln_beta_known_values() {
+        // B(a,b) = Γ(a)Γ(b)/Γ(a+b)
+        assert!(approx_eq(ln_beta(1.0, 1.0), 0.0, 0.0, 1e-14));
+        assert!(approx_eq(ln_beta(0.5, 0.5), std::f64::consts::PI.ln(), 1e-13, 0.0));
+        assert!(approx_eq(ln_beta(3.0, 4.0), (1.0_f64 / 60.0).ln(), 1e-12, 0.0));
+    }
+
+    #[test]
+    fn ln_beta_symmetry() {
+        for &(a, b) in &[(0.3, 2.2), (1.5, 7.0), (10.0, 0.1)] {
+            assert!(approx_eq(ln_beta(a, b), ln_beta(b, a), 1e-13, 1e-13));
+        }
+    }
+
+    #[test]
+    fn ln_beta_domain() {
+        assert!(ln_beta(0.0, 1.0).is_nan());
+        assert!(ln_beta(1.0, -1.0).is_nan());
+    }
+
+    #[test]
+    fn reg_inc_beta_uniform_case() {
+        for x in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert!(approx_eq(reg_inc_beta(1.0, 1.0, x).unwrap(), x, 1e-14, 1e-15));
+        }
+    }
+
+    #[test]
+    fn reg_inc_beta_power_case() {
+        // I_x(a, 1) = x^a
+        for &(a, x) in &[(2.0, 0.3), (5.0, 0.9), (0.5, 0.25)] {
+            assert!(
+                approx_eq(reg_inc_beta(a, 1.0, x).unwrap(), x.powf(a), 1e-13, 1e-14),
+                "a = {a}, x = {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn reg_inc_beta_reference_values() {
+        // mpmath: betainc(2, 3, 0, 0.4, regularized=True) = 0.5248
+        assert!(approx_eq(reg_inc_beta(2.0, 3.0, 0.4).unwrap(), 0.5248, 1e-12, 0.0));
+        // betainc(0.5, 0.5, 0, 0.5) = 0.5 (arcsine symmetric)
+        assert!(approx_eq(reg_inc_beta(0.5, 0.5, 0.5).unwrap(), 0.5, 1e-12, 0.0));
+        // betainc(10, 2, 0, 0.8) = 0.3221225471999998 (mpmath 0.322122547199...)
+        assert!(approx_eq(reg_inc_beta(10.0, 2.0, 0.8).unwrap(), 0.3221225472, 1e-9, 0.0));
+    }
+
+    #[test]
+    fn reg_inc_beta_symmetry_identity() {
+        // I_x(a, b) = 1 − I_{1−x}(b, a)
+        for &(a, b, x) in &[(2.0, 5.0, 0.3), (0.4, 0.9, 0.7), (8.0, 3.0, 0.55)] {
+            let lhs = reg_inc_beta(a, b, x).unwrap();
+            let rhs = 1.0 - reg_inc_beta(b, a, 1.0 - x).unwrap();
+            assert!(approx_eq(lhs, rhs, 1e-12, 1e-13), "a = {a}, b = {b}, x = {x}");
+        }
+    }
+
+    #[test]
+    fn reg_inc_beta_monotone_in_x() {
+        let a = 3.0;
+        let b = 1.7;
+        let mut prev = 0.0;
+        for i in 1..=20 {
+            let x = i as f64 / 20.0;
+            let v = reg_inc_beta(a, b, x).unwrap();
+            assert!(v >= prev, "not monotone at x = {x}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn reg_inc_beta_domain_errors() {
+        assert!(reg_inc_beta(0.0, 1.0, 0.5).is_err());
+        assert!(reg_inc_beta(1.0, 1.0, -0.1).is_err());
+        assert!(reg_inc_beta(1.0, 1.0, 1.1).is_err());
+        assert!(reg_inc_beta(f64::NAN, 1.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn inv_reg_inc_beta_round_trip() {
+        for &(a, b) in &[(1.0, 1.0), (2.0, 5.0), (0.5, 0.5), (30.0, 2.0), (0.3, 4.0)] {
+            for p in [1e-6, 0.05, 0.3, 0.5, 0.77, 0.99, 1.0 - 1e-8] {
+                let x = inv_reg_inc_beta(a, b, p).unwrap();
+                let back = reg_inc_beta(a, b, x).unwrap();
+                assert!(
+                    approx_eq(back, p, 1e-7, 1e-9),
+                    "a = {a}, b = {b}, p = {p}: x = {x}, back = {back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inv_reg_inc_beta_edges() {
+        assert_eq!(inv_reg_inc_beta(2.0, 3.0, 0.0).unwrap(), 0.0);
+        assert_eq!(inv_reg_inc_beta(2.0, 3.0, 1.0).unwrap(), 1.0);
+        assert!(inv_reg_inc_beta(2.0, 3.0, -0.1).is_err());
+        assert!(inv_reg_inc_beta(0.0, 3.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn beta_posterior_failure_free_demands() {
+        // The statistical-testing kernel: with a uniform prior on pfd and
+        // n failure-free demands, P(pfd < y) = I_y(1, n+1) = 1 − (1−y)^{n+1}.
+        let n = 1000.0;
+        let y = 1e-3;
+        let got = reg_inc_beta(1.0, n + 1.0, y).unwrap();
+        let want = 1.0 - (1.0 - y).powf(n + 1.0);
+        assert!(approx_eq(got, want, 1e-10, 1e-12));
+    }
+}

@@ -1,0 +1,541 @@
+//! Error function family and the standard normal distribution kernels.
+//!
+//! `erf`/`erfc` follow W. J. Cody's rational minimax approximations
+//! (Cody, "Rational Chebyshev approximation for the error function",
+//! Math. Comp. 23 (1969); the `CALERF` netlib routine), which are accurate
+//! to close to machine precision across the whole real line.
+//!
+//! The inverse normal quantile uses Acklam's rational approximation with a
+//! single Halley refinement step, giving relative error near 1e-15.
+
+use std::f64::consts::{FRAC_1_SQRT_2, PI};
+
+/// `1/sqrt(pi)`.
+const FRAC_1_SQRT_PI: f64 = 0.564_189_583_547_756_3;
+
+/// Coefficients for `erf(x)`, `|x| <= 0.46875`.
+const ERF_A: [f64; 5] = [
+    3.161_123_743_870_565_6e0,
+    1.138_641_541_510_501_6e2,
+    3.774_852_376_853_020_2e2,
+    3.209_377_589_138_469_4e3,
+    1.857_777_061_846_031_5e-1,
+];
+const ERF_B: [f64; 4] = [
+    2.360_129_095_234_412_1e1,
+    2.440_246_379_344_441_7e2,
+    1.282_616_526_077_372_3e3,
+    2.844_236_833_439_170_6e3,
+];
+
+/// Coefficients for `erfc(x)`, `0.46875 <= x <= 4`.
+const ERF_C: [f64; 9] = [
+    5.641_884_969_886_700_9e-1,
+    8.883_149_794_388_375_9e0,
+    6.611_919_063_714_162_9e1,
+    2.986_351_381_974_001_3e2,
+    8.819_522_212_417_690_9e2,
+    1.712_047_612_634_070_6e3,
+    2.051_078_377_826_071_5e3,
+    1.230_339_354_797_997_2e3,
+    2.153_115_354_744_038_5e-8,
+];
+const ERF_D: [f64; 8] = [
+    1.574_492_611_070_983_5e1,
+    1.176_939_508_913_125e2,
+    5.371_811_018_620_098_6e2,
+    1.621_389_574_566_690_2e3,
+    3.290_799_235_733_459_6e3,
+    4.362_619_090_143_247e3,
+    3.439_367_674_143_721_6e3,
+    1.230_339_354_803_749_4e3,
+];
+
+/// Coefficients for `erfc(x)`, `x > 4`.
+const ERF_P: [f64; 6] = [
+    3.053_266_349_612_323_4e-1,
+    3.603_448_999_498_044_4e-1,
+    1.257_817_261_112_292_5e-1,
+    1.608_378_514_874_227_7e-2,
+    6.587_491_615_298_378e-4,
+    1.631_538_713_730_209_8e-2,
+];
+const ERF_Q: [f64; 5] = [
+    2.568_520_192_289_822_4e0,
+    1.872_952_849_923_460_4e0,
+    5.279_051_029_514_284_1e-1,
+    6.051_834_131_244_131_9e-2,
+    2.335_204_976_268_691_8e-3,
+];
+
+/// Core of Cody's algorithm: `erfc(y) * exp(y^2)` scaled pieces for
+/// `y >= 0.46875`. Returns `erfc(y)`.
+fn erfc_large(y: f64) -> f64 {
+    debug_assert!(y >= 0.46875);
+    let result = if y <= 4.0 {
+        let mut xnum = ERF_C[8] * y;
+        let mut xden = y;
+        for i in 0..7 {
+            xnum = (xnum + ERF_C[i]) * y;
+            xden = (xden + ERF_D[i]) * y;
+        }
+        (xnum + ERF_C[7]) / (xden + ERF_D[7])
+    } else {
+        // For extremely large y the result underflows to exactly 0.
+        if y >= 26.6 {
+            return 0.0;
+        }
+        let ysq = 1.0 / (y * y);
+        let mut xnum = ERF_P[5] * ysq;
+        let mut xden = ysq;
+        for i in 0..4 {
+            xnum = (xnum + ERF_P[i]) * ysq;
+            xden = (xden + ERF_Q[i]) * ysq;
+        }
+        let r = ysq * (xnum + ERF_P[4]) / (xden + ERF_Q[4]);
+        (FRAC_1_SQRT_PI - r) / y
+    };
+    // Split exp(-y^2) to preserve accuracy: y2 is y rounded to 1/16.
+    let ysq16 = (y * 16.0).trunc() / 16.0;
+    let del = (y - ysq16) * (y + ysq16);
+    (-ysq16 * ysq16).exp() * (-del).exp() * result
+}
+
+/// The error function `erf(x) = (2/sqrt(pi)) ∫₀ˣ e^{−t²} dt`.
+///
+/// Accurate to close to machine precision for all finite `x`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::special::erf;
+///
+/// assert!((erf(1.0) - 0.8427007929497149).abs() < 1e-14);
+/// assert_eq!(erf(0.0), 0.0);
+/// ```
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    let y = x.abs();
+    if y <= 0.46875 {
+        let ysq = if y > 1e-300 { y * y } else { 0.0 };
+        let mut xnum = ERF_A[4] * ysq;
+        let mut xden = ysq;
+        for i in 0..3 {
+            xnum = (xnum + ERF_A[i]) * ysq;
+            xden = (xden + ERF_B[i]) * ysq;
+        }
+        x * (xnum + ERF_A[3]) / (xden + ERF_B[3])
+    } else {
+        let e = 1.0 - erfc_large(y);
+        if x < 0.0 {
+            -e
+        } else {
+            e
+        }
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// Unlike computing `1 - erf(x)` directly, this retains full relative
+/// accuracy in the far tail (`x` large), which is exactly where
+/// high-confidence dependability claims live.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::special::erfc;
+///
+/// let rel = (erfc(2.0) / 0.0046777349810472645 - 1.0).abs();
+/// assert!(rel < 1e-12);
+/// // Far tail retains relative precision:
+/// assert!(erfc(10.0) > 0.0 && erfc(10.0) < 3e-45);
+/// ```
+#[must_use]
+pub fn erfc(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    let y = x.abs();
+    if y <= 0.46875 {
+        1.0 - erf(x)
+    } else if x < 0.0 {
+        2.0 - erfc_large(y)
+    } else {
+        erfc_large(y)
+    }
+}
+
+/// Standard normal probability density function.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::special::norm_pdf;
+///
+/// let phi0 = norm_pdf(0.0);
+/// assert!((phi0 - 0.3989422804014327).abs() < 1e-15);
+/// ```
+#[must_use]
+pub fn norm_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * PI).sqrt()
+}
+
+/// Standard normal cumulative distribution function `Φ(z)`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::special::norm_cdf;
+///
+/// assert!((norm_cdf(0.0) - 0.5).abs() < 1e-15);
+/// assert!((norm_cdf(1.6448536269514722) - 0.95).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn norm_cdf(z: f64) -> f64 {
+    0.5 * erfc(-z * FRAC_1_SQRT_2)
+}
+
+/// Standard normal survival function `1 − Φ(z)`, accurate in the upper tail.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::special::norm_sf;
+///
+/// // 6-sigma events keep their relative precision.
+/// let p = norm_sf(6.0);
+/// assert!(p > 9.8e-10 && p < 9.9e-10);
+/// ```
+#[must_use]
+pub fn norm_sf(z: f64) -> f64 {
+    0.5 * erfc(z * FRAC_1_SQRT_2)
+}
+
+// Acklam's inverse-normal-CDF coefficients.
+const ACK_A: [f64; 6] = [
+    -3.969_683_028_665_376e1,
+    2.209_460_984_245_205e2,
+    -2.759_285_104_469_687e2,
+    1.383_577_518_672_69e2,
+    -3.066_479_806_614_716e1,
+    2.506_628_277_459_239e0,
+];
+const ACK_B: [f64; 5] = [
+    -5.447_609_879_822_406e1,
+    1.615_858_368_580_409e2,
+    -1.556_989_798_598_866e2,
+    6.680_131_188_771_972e1,
+    -1.328_068_155_288_572e1,
+];
+const ACK_C: [f64; 6] = [
+    -7.784_894_002_430_293e-3,
+    -3.223_964_580_411_365e-1,
+    -2.400_758_277_161_838e0,
+    -2.549_732_539_343_734e0,
+    4.374_664_141_464_968e0,
+    2.938_163_982_698_783e0,
+];
+const ACK_D: [f64; 4] = [
+    7.784_695_709_041_462e-3,
+    3.224_671_290_700_398e-1,
+    2.445_134_137_142_996e0,
+    3.754_408_661_907_416e0,
+];
+
+/// Standard normal quantile function `Φ⁻¹(p)`.
+///
+/// Returns negative/positive infinity at `p = 0` / `p = 1` and NaN
+/// outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::special::norm_quantile;
+///
+/// assert!((norm_quantile(0.975) - 1.959963984540054).abs() < 1e-12);
+/// assert_eq!(norm_quantile(0.5), 0.0);
+/// ```
+#[must_use]
+pub fn norm_quantile(p: f64) -> f64 {
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    if p == 0.5 {
+        return 0.0;
+    }
+
+    const P_LOW: f64 = 0.02425;
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((ACK_C[0] * q + ACK_C[1]) * q + ACK_C[2]) * q + ACK_C[3]) * q + ACK_C[4]) * q
+            + ACK_C[5])
+            / ((((ACK_D[0] * q + ACK_D[1]) * q + ACK_D[2]) * q + ACK_D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((ACK_A[0] * r + ACK_A[1]) * r + ACK_A[2]) * r + ACK_A[3]) * r + ACK_A[4]) * r
+            + ACK_A[5])
+            * q
+            / (((((ACK_B[0] * r + ACK_B[1]) * r + ACK_B[2]) * r + ACK_B[3]) * r + ACK_B[4]) * r
+                + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((ACK_C[0] * q + ACK_C[1]) * q + ACK_C[2]) * q + ACK_C[3]) * q + ACK_C[4]) * q
+            + ACK_C[5])
+            / ((((ACK_D[0] * q + ACK_D[1]) * q + ACK_D[2]) * q + ACK_D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step using the full-precision CDF.
+    let e = norm_cdf(x) - p;
+    let u = e * (2.0 * PI).sqrt() * (0.5 * x * x).exp();
+    x - u / (1.0 + 0.5 * x * u)
+}
+
+/// Inverse error function: solves `erf(y) = x` for `y`, `x ∈ (−1, 1)`.
+///
+/// Returns ±infinity at `x = ∓1`/`±1` and NaN outside `[-1, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::special::{erf, inv_erf};
+///
+/// let x = 0.3;
+/// assert!((erf(inv_erf(x)) - x).abs() < 1e-14);
+/// ```
+#[must_use]
+pub fn inv_erf(x: f64) -> f64 {
+    if x.is_nan() || !(-1.0..=1.0).contains(&x) {
+        return f64::NAN;
+    }
+    // erf(y) = 2*Phi(y*sqrt2) - 1  =>  y = Phi^{-1}((x+1)/2) / sqrt2
+    norm_quantile(0.5 * (x + 1.0)) * FRAC_1_SQRT_2
+}
+
+/// Inverse complementary error function: solves `erfc(y) = x` for `y`.
+///
+/// Retains accuracy for very small `x` (deep upper tail), where
+/// `inv_erf(1 - x)` would lose all precision.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::special::{erfc, inv_erfc};
+///
+/// let x = 1e-20;
+/// let y = inv_erfc(x);
+/// assert!((erfc(y) / x - 1.0).abs() < 1e-10);
+/// ```
+#[must_use]
+pub fn inv_erfc(x: f64) -> f64 {
+    if x.is_nan() || !(0.0..=2.0).contains(&x) {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return f64::INFINITY;
+    }
+    if x == 2.0 {
+        return f64::NEG_INFINITY;
+    }
+    if x >= 0.5 {
+        return inv_erf(1.0 - x);
+    }
+    // erfc(y) = x  =>  y = -Phi^{-1}(x/2) / sqrt2 (via the lower-tail branch
+    // of the quantile, which is accurate for tiny arguments).
+    -norm_quantile(0.5 * x) * FRAC_1_SQRT_2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::approx_eq;
+
+    // Reference values computed with mpmath at 30 digits.
+    const ERF_REFS: &[(f64, f64)] = &[
+        (0.0, 0.0),
+        (0.1, 0.112462916018284892203275071744),
+        (0.25, 0.276326390168236932985068267764),
+        (0.5, 0.520499877813046537682746653892),
+        (1.0, 0.842700792949714869341220635083),
+        (1.5, 0.966105146475310727066976261646),
+        (2.0, 0.995322265018952734162069256367),
+        (3.0, 0.999977909503001414558627223870),
+        (4.0, 0.999999984582742099719981147840),
+    ];
+
+    #[test]
+    fn erf_reference_values() {
+        for &(x, want) in ERF_REFS {
+            let got = erf(x);
+            assert!(approx_eq(got, want, 1e-14, 1e-15), "erf({x}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn erf_is_odd() {
+        for &(x, _) in ERF_REFS {
+            assert!(approx_eq(erf(-x), -erf(x), 1e-15, 1e-18));
+        }
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        // erfc in the far tail, mpmath references.
+        let refs: &[(f64, f64)] = &[
+            (2.0, 4.67773498104726583793074363275e-3),
+            (3.0, 2.20904969985854413727761295823e-5),
+            (5.0, 1.53745979442803485018834348538e-12),
+            (8.0, 1.12242971729829270799678884432e-29),
+            (10.0, 2.08848758376254469074050709018e-45),
+        ];
+        for &(x, want) in refs {
+            let got = erfc(x);
+            assert!(
+                approx_eq(got, want, 1e-12, 0.0),
+                "erfc({x}) = {got:e}, want {want:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn erfc_negative_arguments() {
+        assert!(approx_eq(erfc(-1.0), 2.0 - erfc(1.0), 1e-15, 1e-16));
+        assert!(approx_eq(erfc(-3.0), 1.999977909503001414, 1e-15, 1e-16));
+    }
+
+    #[test]
+    fn erf_plus_erfc_is_one() {
+        for x in [-3.0, -1.0, -0.3, 0.0, 0.2, 0.46875, 0.5, 1.0, 2.5, 4.0, 6.0] {
+            assert!(
+                approx_eq(erf(x) + erfc(x), 1.0, 1e-14, 1e-14),
+                "x = {x}: {} + {}",
+                erf(x),
+                erfc(x)
+            );
+        }
+    }
+
+    #[test]
+    fn erfc_underflows_to_zero_smoothly() {
+        assert_eq!(erfc(27.0), 0.0);
+        assert!(erfc(26.0) > 0.0);
+    }
+
+    #[test]
+    fn erf_nan_propagates() {
+        assert!(erf(f64::NAN).is_nan());
+        assert!(erfc(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn erf_saturates_at_infinity() {
+        assert_eq!(erf(f64::INFINITY), 1.0);
+        assert_eq!(erf(f64::NEG_INFINITY), -1.0);
+        assert_eq!(erfc(f64::INFINITY), 0.0);
+        assert_eq!(erfc(f64::NEG_INFINITY), 2.0);
+    }
+
+    #[test]
+    fn norm_cdf_reference_values() {
+        let refs: &[(f64, f64)] = &[
+            (-3.0, 1.34989803163009452665181477827e-3),
+            (-1.0, 0.158655253931457051414767454368),
+            (0.0, 0.5),
+            (1.0, 0.841344746068542948585232545632),
+            (1.959963984540054, 0.975),
+            (3.0, 0.998650101968369905473348185222),
+        ];
+        for &(z, want) in refs {
+            assert!(
+                approx_eq(norm_cdf(z), want, 1e-12, 1e-15),
+                "Phi({z}) = {}, want {want}",
+                norm_cdf(z)
+            );
+        }
+    }
+
+    #[test]
+    fn norm_sf_complements_cdf() {
+        for z in [-4.0, -1.5, 0.0, 0.7, 2.0, 5.0] {
+            assert!(approx_eq(norm_sf(z) + norm_cdf(z), 1.0, 1e-14, 1e-14));
+        }
+    }
+
+    #[test]
+    fn norm_quantile_round_trip() {
+        for p in [1e-12, 1e-6, 0.01, 0.05, 0.3, 0.5, 0.7, 0.95, 0.999, 1.0 - 1e-9] {
+            let z = norm_quantile(p);
+            assert!(
+                approx_eq(norm_cdf(z), p, 1e-12, 1e-15),
+                "p = {p}: Phi(q(p)) = {}",
+                norm_cdf(z)
+            );
+        }
+    }
+
+    #[test]
+    fn norm_quantile_known_values() {
+        assert!(approx_eq(norm_quantile(0.975), 1.959963984540054, 1e-12, 0.0));
+        assert!(approx_eq(norm_quantile(0.95), 1.6448536269514722, 1e-12, 0.0));
+        assert!(approx_eq(norm_quantile(0.7), 0.5244005127080407, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn norm_quantile_edges() {
+        assert_eq!(norm_quantile(0.0), f64::NEG_INFINITY);
+        assert_eq!(norm_quantile(1.0), f64::INFINITY);
+        assert!(norm_quantile(-0.1).is_nan());
+        assert!(norm_quantile(1.1).is_nan());
+    }
+
+    #[test]
+    fn norm_quantile_symmetry() {
+        for p in [0.001, 0.2, 0.4] {
+            assert!(approx_eq(norm_quantile(p), -norm_quantile(1.0 - p), 1e-10, 1e-12));
+        }
+    }
+
+    #[test]
+    fn inv_erf_round_trip() {
+        for x in [-0.999, -0.6, -0.1, 0.0, 0.1, 0.5, 0.9, 0.9999] {
+            let y = inv_erf(x);
+            assert!(approx_eq(erf(y), x, 1e-12, 1e-14), "x = {x}: erf(inv_erf) = {}", erf(y));
+        }
+    }
+
+    #[test]
+    fn inv_erfc_deep_tail_round_trip() {
+        for x in [1e-30, 1e-20, 1e-10, 1e-4, 0.3, 1.0, 1.7, 1.999] {
+            let y = inv_erfc(x);
+            assert!(
+                approx_eq(erfc(y), x, 1e-9, 1e-300),
+                "x = {x:e}: erfc(inv_erfc) = {:e}",
+                erfc(y)
+            );
+        }
+    }
+
+    #[test]
+    fn inv_erfc_edges() {
+        assert_eq!(inv_erfc(0.0), f64::INFINITY);
+        assert_eq!(inv_erfc(2.0), f64::NEG_INFINITY);
+        assert!(inv_erfc(-0.5).is_nan());
+        assert!(inv_erfc(2.5).is_nan());
+    }
+
+    #[test]
+    fn norm_pdf_is_symmetric_and_normalized_at_peak() {
+        assert!(approx_eq(norm_pdf(1.3), norm_pdf(-1.3), 1e-16, 0.0));
+        assert!(approx_eq(norm_pdf(0.0), 1.0 / (2.0 * PI).sqrt(), 1e-16, 0.0));
+    }
+}

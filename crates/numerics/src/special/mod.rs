@@ -1,0 +1,24 @@
+//! Special functions: error function family, gamma family, beta family.
+//!
+//! These are the closed-form kernels behind every distribution in
+//! `depcase-distributions`: the log-normal CDF is an [`erf`] evaluation,
+//! the gamma CDF is a regularized incomplete gamma function, and the
+//! Beta posterior used for statistical-testing arguments is a regularized
+//! incomplete beta function.
+//!
+//! All routines operate on `f64` and target close-to-machine accuracy
+//! (the error-function family uses W. J. Cody's rational minimax
+//! approximations; the inverse normal quantile uses Acklam's algorithm
+//! refined by one Halley step).
+
+mod beta;
+mod bivariate;
+mod erf;
+mod gamma;
+
+pub use beta::{inv_reg_inc_beta, ln_beta, reg_inc_beta};
+pub use bivariate::{bivariate_norm_cdf, bivariate_norm_sf};
+pub use erf::{erf, erfc, inv_erf, inv_erfc, norm_cdf, norm_pdf, norm_quantile, norm_sf};
+pub use gamma::{
+    digamma, gamma, inv_reg_gamma_p, ln_gamma, reg_gamma_p, reg_gamma_q, trigamma,
+};

@@ -1,0 +1,536 @@
+//! Descriptive statistics: summaries, sample quantiles, ECDF, histograms.
+//!
+//! The elicitation simulator and the Monte-Carlo checks in the test suite
+//! reduce samples through these routines.
+
+use crate::error::{NumericsError, Result};
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::stats::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.mean(), 2.5);
+/// assert!((acc.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations pushed so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 for an empty accumulator).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (`n − 1` denominator); 0 when fewer than
+    /// two observations have been pushed.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for Accumulator {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut acc = Accumulator::new();
+        for x in iter {
+            acc.push(x);
+        }
+        acc
+    }
+}
+
+impl Extend<f64> for Accumulator {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Sample quantile with linear interpolation between order statistics
+/// (type-7, the R/NumPy default). `q ∈ [0, 1]`.
+///
+/// # Errors
+///
+/// [`NumericsError::Domain`] for an empty sample or `q` outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::stats::quantile;
+///
+/// let xs = [3.0, 1.0, 2.0, 4.0];
+/// assert_eq!(quantile(&xs, 0.5)?, 2.5);
+/// # Ok::<(), depcase_numerics::NumericsError>(())
+/// ```
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(NumericsError::Domain("quantile of empty sample".into()));
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(NumericsError::Domain(format!("quantile level must be in [0,1], got {q}")));
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        Ok(sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo]))
+    }
+}
+
+/// Median shortcut for [`quantile`] at `q = 0.5`.
+///
+/// # Errors
+///
+/// [`NumericsError::Domain`] for an empty sample.
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Geometric mean of strictly positive samples.
+///
+/// The natural pooling statistic for order-of-magnitude quantities like
+/// failure rates.
+///
+/// # Errors
+///
+/// [`NumericsError::Domain`] for an empty sample or any non-positive value.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::stats::geometric_mean;
+///
+/// let g = geometric_mean(&[1e-4, 1e-2])?;
+/// assert!((g - 1e-3).abs() < 1e-15);
+/// # Ok::<(), depcase_numerics::NumericsError>(())
+/// ```
+pub fn geometric_mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(NumericsError::Domain("geometric mean of empty sample".into()));
+    }
+    if xs.iter().any(|&x| !(x > 0.0)) {
+        return Err(NumericsError::Domain("geometric mean requires positive samples".into()));
+    }
+    let log_mean = xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64;
+    Ok(log_mean.exp())
+}
+
+/// Empirical cumulative distribution function of a sample.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::stats::Ecdf;
+///
+/// let e = Ecdf::new(vec![1.0, 2.0, 2.0, 5.0])?;
+/// assert_eq!(e.eval(0.0), 0.0);
+/// assert_eq!(e.eval(2.0), 0.75);
+/// assert_eq!(e.eval(5.0), 1.0);
+/// # Ok::<(), depcase_numerics::NumericsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF from a sample.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::Domain`] for an empty sample or non-finite values.
+    pub fn new(mut xs: Vec<f64>) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(NumericsError::Domain("ECDF of empty sample".into()));
+        }
+        if xs.iter().any(|v| !v.is_finite()) {
+            return Err(NumericsError::Domain("ECDF requires finite samples".into()));
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Ok(Self { sorted: xs })
+    }
+
+    /// `P(X ≤ x)` under the empirical measure.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let k = self.sorted.partition_point(|&v| v <= x);
+        k as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of underlying observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always `false`: construction rejects empty samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The sorted underlying sample.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// A histogram over explicit bin edges.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_numerics::stats::Histogram;
+///
+/// let mut h = Histogram::new(vec![0.0, 1.0, 2.0])?;
+/// h.add(0.5);
+/// h.add(1.5);
+/// h.add(1.7);
+/// assert_eq!(h.counts(), &[1, 2]);
+/// # Ok::<(), depcase_numerics::NumericsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram with the given strictly increasing bin edges
+    /// (`n+1` edges define `n` bins).
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::Domain`] for fewer than two edges or non-monotone
+    /// edges.
+    pub fn new(edges: Vec<f64>) -> Result<Self> {
+        if edges.len() < 2 {
+            return Err(NumericsError::Domain("histogram needs at least two edges".into()));
+        }
+        if edges.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(NumericsError::Domain("histogram edges must be strictly increasing".into()));
+        }
+        let bins = edges.len() - 1;
+        Ok(Self { edges, counts: vec![0; bins], underflow: 0, overflow: 0 })
+    }
+
+    /// Builds log-spaced edges covering `[lo, hi]` with `bins` bins —
+    /// the natural binning for failure rates spanning decades.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::Domain`] unless `0 < lo < hi` and `bins >= 1`.
+    pub fn log_spaced(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if !(lo > 0.0) || !(hi > lo) || bins == 0 {
+            return Err(NumericsError::Domain(format!(
+                "log_spaced requires 0 < lo < hi and bins >= 1; got lo = {lo}, hi = {hi}, bins = {bins}"
+            )));
+        }
+        let llo = lo.ln();
+        let lhi = hi.ln();
+        let edges = (0..=bins)
+            .map(|i| (llo + (lhi - llo) * i as f64 / bins as f64).exp())
+            .collect();
+        Self::new(edges)
+    }
+
+    /// Adds one observation. Values left of the first edge count as
+    /// underflow, values at/right of the last edge as overflow.
+    pub fn add(&mut self, x: f64) {
+        if x < self.edges[0] {
+            self.underflow += 1;
+            return;
+        }
+        if x >= *self.edges.last().expect("nonempty") {
+            self.overflow += 1;
+            return;
+        }
+        let i = self.edges.partition_point(|&e| e <= x) - 1;
+        self.counts[i] += 1;
+    }
+
+    /// Per-bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bin edges.
+    #[must_use]
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Observations below the first edge.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the last edge.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations added, including under/overflow.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Normalized bin densities (count / (total · width)); empty histogram
+    /// yields zeros.
+    #[must_use]
+    pub fn densities(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .zip(self.edges.windows(2))
+            .map(|(&c, w)| c as f64 / (total as f64 * (w[1] - w[0])))
+            .collect()
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::approx_eq;
+
+    #[test]
+    fn accumulator_basic() {
+        let acc: Accumulator = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(acc.count(), 8);
+        assert!(approx_eq(acc.mean(), 5.0, 1e-15, 0.0));
+        // population variance is 4 → sample variance is 32/7
+        assert!(approx_eq(acc.sample_variance(), 32.0 / 7.0, 1e-13, 0.0));
+        assert_eq!(acc.min(), 2.0);
+        assert_eq!(acc.max(), 9.0);
+    }
+
+    #[test]
+    fn accumulator_empty_and_single() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.sample_variance(), 0.0);
+        let mut acc = Accumulator::new();
+        acc.push(3.0);
+        assert_eq!(acc.sample_variance(), 0.0);
+        assert_eq!(acc.mean(), 3.0);
+    }
+
+    #[test]
+    fn accumulator_merge_matches_sequential() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 3.0, 3.0, 9.0];
+        let mut a: Accumulator = xs[..3].iter().copied().collect();
+        let b: Accumulator = xs[3..].iter().copied().collect();
+        a.merge(&b);
+        let full: Accumulator = xs.iter().copied().collect();
+        assert!(approx_eq(a.mean(), full.mean(), 1e-13, 1e-14));
+        assert!(approx_eq(a.sample_variance(), full.sample_variance(), 1e-13, 1e-14));
+        assert_eq!(a.count(), full.count());
+    }
+
+    #[test]
+    fn accumulator_merge_with_empty() {
+        let mut a = Accumulator::new();
+        let b: Accumulator = [1.0, 2.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        let mut c: Accumulator = [1.0, 2.0].into_iter().collect();
+        c.merge(&Accumulator::new());
+        assert_eq!(c.count(), 2);
+    }
+
+    #[test]
+    fn quantile_type7() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 2.5);
+        assert!(approx_eq(quantile(&xs, 0.25).unwrap(), 1.75, 1e-15, 0.0));
+    }
+
+    #[test]
+    fn quantile_errors() {
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&[1.0], -0.1).is_err());
+        assert!(quantile(&[1.0], 1.1).is_err());
+    }
+
+    #[test]
+    fn median_odd_sample() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn geometric_mean_decades() {
+        let g = geometric_mean(&[1e-5, 1e-3, 1e-1]).unwrap();
+        assert!(approx_eq(g, 1e-3, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn geometric_mean_errors() {
+        assert!(geometric_mean(&[]).is_err());
+        assert!(geometric_mean(&[1.0, 0.0]).is_err());
+        assert!(geometric_mean(&[1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn ecdf_step_behaviour() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(e.eval(0.9), 0.0);
+        assert!(approx_eq(e.eval(1.0), 1.0 / 3.0, 1e-15, 0.0));
+        assert!(approx_eq(e.eval(2.5), 2.0 / 3.0, 1e-15, 0.0));
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.len(), 3);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn ecdf_errors() {
+        assert!(Ecdf::new(vec![]).is_err());
+        assert!(Ecdf::new(vec![1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn histogram_counts_and_flows() {
+        let mut h = Histogram::new(vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        h.extend([0.5, 1.5, 1.9, 2.2, -1.0, 3.0, 100.0]);
+        assert_eq!(h.counts(), &[1, 2, 1]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_densities_integrate_to_coverage() {
+        let mut h = Histogram::new(vec![0.0, 0.5, 1.0]).unwrap();
+        h.extend([0.1, 0.2, 0.7, 0.9]);
+        let mass: f64 =
+            h.densities().iter().zip(h.edges().windows(2)).map(|(d, w)| d * (w[1] - w[0])).sum();
+        assert!(approx_eq(mass, 1.0, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn histogram_log_spaced_covers_decades() {
+        let h = Histogram::log_spaced(1e-5, 1e-1, 4).unwrap();
+        let edges = h.edges();
+        assert!(approx_eq(edges[0], 1e-5, 1e-12, 0.0));
+        assert!(approx_eq(edges[4], 1e-1, 1e-12, 0.0));
+        assert!(approx_eq(edges[1], 1e-4, 1e-9, 0.0));
+    }
+
+    #[test]
+    fn histogram_errors() {
+        assert!(Histogram::new(vec![0.0]).is_err());
+        assert!(Histogram::new(vec![1.0, 0.0]).is_err());
+        assert!(Histogram::log_spaced(0.0, 1.0, 3).is_err());
+        assert!(Histogram::log_spaced(1.0, 0.5, 3).is_err());
+        assert!(Histogram::log_spaced(1.0, 2.0, 0).is_err());
+    }
+
+    #[test]
+    fn histogram_empty_densities() {
+        let h = Histogram::new(vec![0.0, 1.0]).unwrap();
+        assert_eq!(h.densities(), vec![0.0]);
+    }
+}

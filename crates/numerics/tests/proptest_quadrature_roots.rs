@@ -1,0 +1,72 @@
+//! Property tests for quadrature and root finding.
+
+use depcase_numerics::integrate::{adaptive_simpson, GaussLegendre};
+use depcase_numerics::roots::{bisect, brent, RootConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Adaptive Simpson integrates random cubics exactly (up to
+    /// tolerance): Simpson is exact on cubics.
+    #[test]
+    fn simpson_exact_on_cubics(
+        c0 in -5.0f64..5.0,
+        c1 in -5.0f64..5.0,
+        c2 in -5.0f64..5.0,
+        c3 in -5.0f64..5.0,
+        a in -3.0f64..0.0,
+        b in 0.1f64..3.0,
+    ) {
+        let f = |x: f64| c0 + c1 * x + c2 * x * x + c3 * x * x * x;
+        let anti = |x: f64| c0 * x + c1 * x * x / 2.0 + c2 * x * x * x / 3.0 + c3 * x * x * x * x / 4.0;
+        let r = adaptive_simpson(f, a, b, 1e-11).unwrap();
+        let truth = anti(b) - anti(a);
+        prop_assert!((r.value - truth).abs() < 1e-8 * truth.abs().max(1.0));
+    }
+
+    /// Additivity: ∫ₐᵇ = ∫ₐᵐ + ∫ₘᵇ.
+    #[test]
+    fn simpson_additive(
+        a in -2.0f64..0.0,
+        b in 0.1f64..2.0,
+        t in 0.1f64..0.9,
+    ) {
+        let m = a + t * (b - a);
+        let f = |x: f64| (x * 1.3).sin() + 0.2 * x;
+        let whole = adaptive_simpson(f, a, b, 1e-11).unwrap().value;
+        let parts = adaptive_simpson(f, a, m, 1e-11).unwrap().value
+            + adaptive_simpson(f, m, b, 1e-11).unwrap().value;
+        prop_assert!((whole - parts).abs() < 1e-8);
+    }
+
+    /// Gauss–Legendre of order n is exact for monomials up to 2n−1.
+    #[test]
+    fn gauss_exactness_degree(n in 2usize..12, k in 0usize..8) {
+        prop_assume!(k < 2 * n);
+        let rule = GaussLegendre::new(n).unwrap();
+        let v = rule.integrate(|x| x.powi(k as i32), -1.0, 1.0);
+        let truth = if k % 2 == 1 { 0.0 } else { 2.0 / (k as f64 + 1.0) };
+        prop_assert!((v - truth).abs() < 1e-11, "n = {n}, k = {k}: {v} vs {truth}");
+    }
+
+    /// Brent agrees with bisection on monotone functions.
+    #[test]
+    fn brent_matches_bisect(root in -5.0f64..5.0, scale in 0.1f64..4.0) {
+        let f = move |x: f64| scale * (x - root) + 0.3 * (x - root).powi(3);
+        let cfg = RootConfig { x_tol: 1e-12, f_tol: 0.0, max_iter: 300 };
+        let rb = brent(f, root - 7.0, root + 9.0, cfg).unwrap();
+        let ri = bisect(f, root - 7.0, root + 9.0, cfg).unwrap();
+        prop_assert!((rb - root).abs() < 1e-8);
+        prop_assert!((rb - ri).abs() < 1e-7);
+    }
+
+    /// Brent residual is tiny at the reported root.
+    #[test]
+    fn brent_residual_small(root in -3.0f64..3.0) {
+        let f = move |x: f64| (x - root).tanh();
+        let cfg = RootConfig { x_tol: 1e-13, f_tol: 0.0, max_iter: 300 };
+        let r = brent(f, root - 2.0, root + 5.0, cfg).unwrap();
+        prop_assert!(f(r).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the special-function kernels.
+
+use depcase_numerics::special::{
+    erf, erfc, inv_erf, inv_erfc, ln_gamma, norm_cdf, norm_quantile, reg_gamma_p, reg_gamma_q,
+    reg_inc_beta,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn erf_is_odd_and_bounded(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-14);
+        prop_assert!(erf(x).abs() <= 1.0);
+    }
+
+    #[test]
+    fn erf_is_monotone(x in -6.0f64..6.0, dx in 1e-6f64..1.0) {
+        prop_assert!(erf(x + dx) >= erf(x));
+    }
+
+    #[test]
+    fn erf_erfc_complement(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn inv_erf_round_trip(x in -0.9999f64..0.9999) {
+        prop_assert!((erf(inv_erf(x)) - x).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inv_erfc_round_trip(log_x in -250.0f64..-0.01) {
+        let x = log_x.exp();
+        let y = inv_erfc(x);
+        let back = erfc(y);
+        prop_assert!((back / x - 1.0).abs() < 1e-7, "x = {x:e}, back = {back:e}");
+    }
+
+    #[test]
+    fn norm_quantile_cdf_round_trip(p in 1e-10f64..1.0) {
+        let p = p.min(1.0 - 1e-10);
+        let z = norm_quantile(p);
+        prop_assert!((norm_cdf(z) - p).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence(x in 0.1f64..50.0) {
+        // ln Γ(x+1) = ln Γ(x) + ln x
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = ln_gamma(x) + x.ln();
+        prop_assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn gamma_p_q_sum_to_one(a in 0.1f64..50.0, x in 0.0f64..100.0) {
+        let p = reg_gamma_p(a, x).unwrap();
+        let q = reg_gamma_q(a, x).unwrap();
+        prop_assert!((p + q - 1.0).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn gamma_p_monotone_in_x(a in 0.1f64..20.0, x in 0.0f64..50.0, dx in 1e-4f64..5.0) {
+        let p1 = reg_gamma_p(a, x).unwrap();
+        let p2 = reg_gamma_p(a, x + dx).unwrap();
+        prop_assert!(p2 >= p1 - 1e-13);
+    }
+
+    #[test]
+    fn inc_beta_symmetry(a in 0.2f64..20.0, b in 0.2f64..20.0, x in 0.0f64..1.0) {
+        let lhs = reg_inc_beta(a, b, x).unwrap();
+        let rhs = 1.0 - reg_inc_beta(b, a, 1.0 - x).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inc_beta_monotone(a in 0.2f64..20.0, b in 0.2f64..20.0, x in 0.0f64..0.99) {
+        let p1 = reg_inc_beta(a, b, x).unwrap();
+        let p2 = reg_inc_beta(a, b, (x + 0.01).min(1.0)).unwrap();
+        prop_assert!(p2 >= p1 - 1e-13);
+    }
+}

@@ -1,0 +1,301 @@
+//! SIL band definitions — the paper's Table 1, from IEC 61508.
+//!
+//! A SIL `n` safety function in low-demand mode has average probability
+//! of failure on demand in `[10^{−(n+1)}, 10^{−n})`; in high-demand /
+//! continuous mode the same exponents apply to the probability of
+//! dangerous failure per hour shifted four decades down
+//! (`[10^{−(n+5)}, 10^{−(n+4)})`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A safety integrity level, SIL 1 (least critical) to SIL 4 (most).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SilLevel {
+    /// SIL 1: low-demand pfd in `[10⁻², 10⁻¹)`.
+    Sil1,
+    /// SIL 2: low-demand pfd in `[10⁻³, 10⁻²)`.
+    Sil2,
+    /// SIL 3: low-demand pfd in `[10⁻⁴, 10⁻³)`.
+    Sil3,
+    /// SIL 4: low-demand pfd in `[10⁻⁵, 10⁻⁴)`.
+    Sil4,
+}
+
+impl SilLevel {
+    /// All levels, ascending criticality.
+    pub const ALL: [SilLevel; 4] = [SilLevel::Sil1, SilLevel::Sil2, SilLevel::Sil3, SilLevel::Sil4];
+
+    /// The numeric level `n ∈ 1..=4`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        match self {
+            SilLevel::Sil1 => 1,
+            SilLevel::Sil2 => 2,
+            SilLevel::Sil3 => 3,
+            SilLevel::Sil4 => 4,
+        }
+    }
+
+    /// Builds a level from its numeric index.
+    ///
+    /// Returns `None` outside `1..=4`.
+    #[must_use]
+    pub fn from_index(n: u8) -> Option<Self> {
+        match n {
+            1 => Some(SilLevel::Sil1),
+            2 => Some(SilLevel::Sil2),
+            3 => Some(SilLevel::Sil3),
+            4 => Some(SilLevel::Sil4),
+            _ => None,
+        }
+    }
+
+    /// The next more critical level (`SIL n+1`), if any.
+    #[must_use]
+    pub fn stronger(self) -> Option<Self> {
+        Self::from_index(self.index() + 1)
+    }
+
+    /// The next less critical level (`SIL n−1`), if any.
+    #[must_use]
+    pub fn weaker(self) -> Option<Self> {
+        Self::from_index(self.index().wrapping_sub(1))
+    }
+
+    /// The band of failure measures for this level in the given mode.
+    #[must_use]
+    pub fn band(self, mode: DemandMode) -> SilBand {
+        let n = i32::from(self.index());
+        let shift = match mode {
+            DemandMode::LowDemand => 0,
+            DemandMode::HighDemand => 4,
+        };
+        SilBand {
+            level: self,
+            mode,
+            lower: 10f64.powi(-(n + 1 + shift)),
+            upper: 10f64.powi(-(n + shift)),
+        }
+    }
+}
+
+impl fmt::Display for SilLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SIL{}", self.index())
+    }
+}
+
+/// Operating mode of a safety function, selecting which failure measure a
+/// SIL band constrains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DemandMode {
+    /// Low-demand mode: bands constrain the average probability of
+    /// failure on demand (pfd).
+    LowDemand,
+    /// High-demand / continuous mode: bands constrain the probability of
+    /// dangerous failure per hour (pfh).
+    HighDemand,
+}
+
+impl fmt::Display for DemandMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DemandMode::LowDemand => write!(f, "low demand (pfd)"),
+            DemandMode::HighDemand => write!(f, "high demand (pfh)"),
+        }
+    }
+}
+
+/// A half-open band `[lower, upper)` of the failure measure for one SIL
+/// level in one mode — one row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SilBand {
+    /// The level this band belongs to.
+    pub level: SilLevel,
+    /// The operating mode.
+    pub mode: DemandMode,
+    /// Inclusive lower edge, `10^{−(n+1)}` (low demand).
+    pub lower: f64,
+    /// Exclusive upper edge, `10^{−n}` (low demand).
+    pub upper: f64,
+}
+
+impl SilBand {
+    /// Returns `true` when the failure measure falls in this band.
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower && value < self.upper
+    }
+
+    /// The geometric midpoint of the band — e.g. 0.003 for SIL2 low
+    /// demand, the "middle of the SIL2 range" mode the paper pins its
+    /// judgements at.
+    #[must_use]
+    pub fn geometric_mid(&self) -> f64 {
+        (self.lower * self.upper).sqrt()
+    }
+}
+
+impl fmt::Display for SilBand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: [{:.0e}, {:.0e})", self.level, self.mode, self.lower, self.upper)
+    }
+}
+
+/// Classifies a failure measure into a SIL level, if it falls in any band.
+///
+/// Values better (smaller) than the SIL4 lower edge still return
+/// `Some(Sil4)` — the standard caps claims at SIL 4. Values at or above
+/// the SIL1 upper edge return `None` (no SIL achieved).
+///
+/// # Examples
+///
+/// ```
+/// use depcase_sil::band::{sil_of_value, DemandMode, SilLevel};
+///
+/// assert_eq!(sil_of_value(0.003, DemandMode::LowDemand), Some(SilLevel::Sil2));
+/// assert_eq!(sil_of_value(0.5, DemandMode::LowDemand), None);
+/// assert_eq!(sil_of_value(1e-9, DemandMode::LowDemand), Some(SilLevel::Sil4));
+/// ```
+#[must_use]
+pub fn sil_of_value(value: f64, mode: DemandMode) -> Option<SilLevel> {
+    if !value.is_finite() || value < 0.0 {
+        return None;
+    }
+    // Band edges are powers of ten and the bands are half-open; a value
+    // that lands within rounding distance of an edge (e.g. a mean of
+    // 0.00999999999999995 computed for "0.01") is *at* the edge and
+    // belongs to the band above, matching the paper's reading that a
+    // mean of 0.01 sits in the SIL1 band.
+    let value = if value > 0.0 {
+        let l10 = value.log10();
+        let r = l10.round();
+        if (l10 - r).abs() < 1e-9 {
+            10f64.powi(r as i32)
+        } else {
+            value
+        }
+    } else {
+        value
+    };
+    for level in SilLevel::ALL.iter().rev() {
+        let band = level.band(mode);
+        if band.contains(value) {
+            return Some(*level);
+        }
+    }
+    // Better than every band's lower edge → capped at SIL 4.
+    if value < SilLevel::Sil4.band(mode).lower {
+        return Some(SilLevel::Sil4);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_low_demand_bands() {
+        // The paper's Table 1: SIL n pfd band is [10^-(n+1), 10^-n).
+        let b2 = SilLevel::Sil2.band(DemandMode::LowDemand);
+        assert_eq!(b2.lower, 1e-3);
+        assert_eq!(b2.upper, 1e-2);
+        let b4 = SilLevel::Sil4.band(DemandMode::LowDemand);
+        assert_eq!(b4.lower, 1e-5);
+        assert_eq!(b4.upper, 1e-4);
+    }
+
+    #[test]
+    fn high_demand_bands_shift_four_decades() {
+        let b1 = SilLevel::Sil1.band(DemandMode::HighDemand);
+        assert_eq!(b1.lower, 1e-6);
+        assert_eq!(b1.upper, 1e-5);
+        let b4 = SilLevel::Sil4.band(DemandMode::HighDemand);
+        assert_eq!(b4.lower, 1e-9);
+        assert_eq!(b4.upper, 1e-8);
+    }
+
+    #[test]
+    fn bands_are_contiguous_and_ordered() {
+        for mode in [DemandMode::LowDemand, DemandMode::HighDemand] {
+            for w in SilLevel::ALL.windows(2) {
+                let lower_level = w[0].band(mode);
+                let higher_level = w[1].band(mode);
+                assert_eq!(higher_level.upper, lower_level.lower, "{mode}: contiguity");
+            }
+        }
+    }
+
+    #[test]
+    fn band_contains_half_open() {
+        let b = SilLevel::Sil2.band(DemandMode::LowDemand);
+        assert!(b.contains(1e-3));
+        assert!(b.contains(0.0099));
+        assert!(!b.contains(1e-2));
+        assert!(!b.contains(9.99e-4));
+    }
+
+    #[test]
+    fn geometric_mid_is_papers_0003() {
+        let mid = SilLevel::Sil2.band(DemandMode::LowDemand).geometric_mid();
+        // sqrt(1e-3 · 1e-2) = 10^{-2.5} ≈ 0.00316 — the paper rounds to 0.003.
+        assert!((mid - 0.00316).abs() < 1e-4);
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(sil_of_value(0.05, DemandMode::LowDemand), Some(SilLevel::Sil1));
+        assert_eq!(sil_of_value(0.003, DemandMode::LowDemand), Some(SilLevel::Sil2));
+        assert_eq!(sil_of_value(5e-4, DemandMode::LowDemand), Some(SilLevel::Sil3));
+        assert_eq!(sil_of_value(5e-5, DemandMode::LowDemand), Some(SilLevel::Sil4));
+        assert_eq!(sil_of_value(1e-7, DemandMode::LowDemand), Some(SilLevel::Sil4));
+        assert_eq!(sil_of_value(0.2, DemandMode::LowDemand), None);
+        assert_eq!(sil_of_value(f64::NAN, DemandMode::LowDemand), None);
+        assert_eq!(sil_of_value(-1.0, DemandMode::LowDemand), None);
+    }
+
+    #[test]
+    fn classification_boundary_values() {
+        // Exactly on a band edge belongs to the band above (half-open).
+        assert_eq!(sil_of_value(1e-2, DemandMode::LowDemand), Some(SilLevel::Sil1));
+        assert_eq!(sil_of_value(1e-3, DemandMode::LowDemand), Some(SilLevel::Sil2));
+        assert_eq!(sil_of_value(1e-1, DemandMode::LowDemand), None);
+    }
+
+    #[test]
+    fn level_ordering_and_navigation() {
+        assert!(SilLevel::Sil1 < SilLevel::Sil4);
+        assert_eq!(SilLevel::Sil2.stronger(), Some(SilLevel::Sil3));
+        assert_eq!(SilLevel::Sil4.stronger(), None);
+        assert_eq!(SilLevel::Sil2.weaker(), Some(SilLevel::Sil1));
+        assert_eq!(SilLevel::Sil1.weaker(), None);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for l in SilLevel::ALL {
+            assert_eq!(SilLevel::from_index(l.index()), Some(l));
+        }
+        assert_eq!(SilLevel::from_index(0), None);
+        assert_eq!(SilLevel::from_index(5), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SilLevel::Sil3.to_string(), "SIL3");
+        assert!(DemandMode::LowDemand.to_string().contains("pfd"));
+        let b = SilLevel::Sil2.band(DemandMode::LowDemand);
+        let s = b.to_string();
+        assert!(s.contains("SIL2") && s.contains("1e-3"), "{s}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let b = SilLevel::Sil3.band(DemandMode::HighDemand);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: SilBand = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

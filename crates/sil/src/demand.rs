@@ -1,0 +1,198 @@
+//! Demand-mode selection and pfd ↔ pfh conversion.
+//!
+//! IEC 61508 selects the failure measure by how often the safety
+//! function is demanded: up to once a year is low-demand (pfd), more is
+//! high-demand/continuous (pfh). For a periodically proof-tested channel
+//! with dangerous failure rate `λ`, the standard's simplest relation
+//! links the two: the average pfd over a proof-test interval `T` is
+//! `λT/2` (for `λT ≪ 1`; the exact form `1 − (1 − e^{−λT})/(λT)` is
+//! used here).
+
+use crate::band::{sil_of_value, DemandMode, SilLevel};
+
+/// Hours in a year, as IEC 61508 rates are quoted per hour.
+pub const HOURS_PER_YEAR: f64 = 8760.0;
+
+/// Selects the operating mode from the expected demand rate
+/// (demands per year), per the standard's one-per-year threshold.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_sil::demand::mode_for_demand_rate;
+/// use depcase_sil::DemandMode;
+///
+/// assert_eq!(mode_for_demand_rate(0.2), DemandMode::LowDemand);
+/// assert_eq!(mode_for_demand_rate(12.0), DemandMode::HighDemand);
+/// ```
+#[must_use]
+pub fn mode_for_demand_rate(demands_per_year: f64) -> DemandMode {
+    if demands_per_year <= 1.0 {
+        DemandMode::LowDemand
+    } else {
+        DemandMode::HighDemand
+    }
+}
+
+/// Average probability of failure on demand of a single periodically
+/// proof-tested channel with dangerous failure rate `lambda_per_hour`
+/// and proof-test interval `proof_test_hours`.
+///
+/// Exact single-channel form: `1 − (1 − e^{−λT})/(λT)`, which reduces to
+/// the familiar `λT/2` for small `λT`.
+///
+/// Returns `None` for non-positive inputs.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_sil::demand::average_pfd;
+///
+/// // λ = 1e-6/h, annual proof test: pfd ≈ λT/2 = 4.38e-3.
+/// let pfd = average_pfd(1e-6, 8760.0).unwrap();
+/// assert!((pfd - 4.38e-3).abs() / 4.38e-3 < 0.01);
+/// ```
+#[must_use]
+pub fn average_pfd(lambda_per_hour: f64, proof_test_hours: f64) -> Option<f64> {
+    if !(lambda_per_hour > 0.0) || !(proof_test_hours > 0.0) {
+        return None;
+    }
+    let lt = lambda_per_hour * proof_test_hours;
+    if lt < 1e-8 {
+        // Series form avoids catastrophic cancellation: λT/2 − (λT)²/6.
+        return Some(lt / 2.0 - lt * lt / 6.0);
+    }
+    Some(1.0 - (-(-lt).exp_m1()) / lt)
+}
+
+/// Inverts [`average_pfd`]: the dangerous failure rate implied by an
+/// average pfd and a proof-test interval (small-`λT` regime, bisected on
+/// the exact relation).
+///
+/// Returns `None` when the pfd is not achievable within the interval
+/// (`pfd ∉ (0, 1)`).
+#[must_use]
+pub fn rate_for_average_pfd(pfd: f64, proof_test_hours: f64) -> Option<f64> {
+    if !(0.0 < pfd && pfd < 1.0 && proof_test_hours > 0.0) {
+        return None;
+    }
+    // average_pfd is strictly increasing in λ; bisect λ ∈ (0, hi).
+    let mut lo = 0.0_f64;
+    let mut hi = 1.0_f64;
+    while average_pfd(hi, proof_test_hours)? < pfd {
+        hi *= 2.0;
+        if hi > 1e12 {
+            return None;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if average_pfd(mid.max(f64::MIN_POSITIVE), proof_test_hours)? < pfd {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Cross-mode consistency view: the SIL a channel earns in each mode,
+/// given its dangerous failure rate and proof-test interval.
+///
+/// Returns `(low_demand_sil_of_avg_pfd, high_demand_sil_of_rate)`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_sil::demand::cross_mode_sil;
+/// use depcase_sil::SilLevel;
+///
+/// // 1e-7/h with monthly proof tests: SIL4 as a rate, and the ~3.6e-5
+/// // average pfd lands in SIL4 low-demand as well.
+/// let (low, high) = cross_mode_sil(1e-7, 720.0);
+/// assert_eq!(high, Some(SilLevel::Sil2));
+/// assert_eq!(low, Some(SilLevel::Sil4));
+/// ```
+#[must_use]
+pub fn cross_mode_sil(
+    lambda_per_hour: f64,
+    proof_test_hours: f64,
+) -> (Option<SilLevel>, Option<SilLevel>) {
+    let low = average_pfd(lambda_per_hour, proof_test_hours)
+        .and_then(|pfd| sil_of_value(pfd, DemandMode::LowDemand));
+    let high = sil_of_value(lambda_per_hour, DemandMode::HighDemand);
+    (low, high)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_threshold_is_one_per_year() {
+        assert_eq!(mode_for_demand_rate(1.0), DemandMode::LowDemand);
+        assert_eq!(mode_for_demand_rate(1.0001), DemandMode::HighDemand);
+        assert_eq!(mode_for_demand_rate(0.0), DemandMode::LowDemand);
+    }
+
+    #[test]
+    fn average_pfd_small_lt_is_half_lt() {
+        let pfd = average_pfd(1e-9, 100.0).unwrap();
+        assert!((pfd - 0.5e-7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_pfd_exact_form_matches_series_at_crossover() {
+        // Continuity across the series/exact switch at λT = 1e-8.
+        let below = average_pfd(0.99e-8, 1.0).unwrap();
+        let above = average_pfd(1.01e-8, 1.0).unwrap();
+        assert!((above - below) > 0.0);
+        assert!((above / below - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn average_pfd_saturates_toward_one() {
+        let pfd = average_pfd(1.0, 1e6).unwrap();
+        assert!(pfd > 0.99 && pfd < 1.0);
+    }
+
+    #[test]
+    fn average_pfd_validation() {
+        assert!(average_pfd(0.0, 100.0).is_none());
+        assert!(average_pfd(1e-6, 0.0).is_none());
+        assert!(average_pfd(-1.0, 100.0).is_none());
+    }
+
+    #[test]
+    fn rate_inversion_round_trip() {
+        for &(lambda, t) in &[(1e-7, 8760.0), (1e-5, 720.0), (1e-3, 24.0)] {
+            let pfd = average_pfd(lambda, t).unwrap();
+            let back = rate_for_average_pfd(pfd, t).unwrap();
+            assert!((back / lambda - 1.0).abs() < 1e-6, "lambda = {lambda}");
+        }
+    }
+
+    #[test]
+    fn rate_inversion_validation() {
+        assert!(rate_for_average_pfd(0.0, 100.0).is_none());
+        assert!(rate_for_average_pfd(1.0, 100.0).is_none());
+        assert!(rate_for_average_pfd(0.5, 0.0).is_none());
+    }
+
+    #[test]
+    fn cross_mode_view_scales_with_proof_interval() {
+        // The same rate earns a better low-demand SIL when proof-tested
+        // more often (smaller average pfd).
+        let (weekly, _) = cross_mode_sil(1e-6, 168.0);
+        let (yearly, _) = cross_mode_sil(1e-6, 8760.0);
+        assert!(weekly >= yearly, "{weekly:?} vs {yearly:?}");
+    }
+
+    #[test]
+    fn longer_interval_weakens_low_demand_claim() {
+        let (low_short, high1) = cross_mode_sil(1e-7, 720.0);
+        let (low_long, high2) = cross_mode_sil(1e-7, 87_600.0);
+        assert_eq!(high1, high2); // rate view unchanged
+        assert!(low_short >= low_long);
+    }
+}

@@ -1,0 +1,54 @@
+//! IEC 61508 safety integrity levels: bands, membership confidence, and
+//! standards rules.
+//!
+//! Section 2 of the DSN'07 paper uses SIL classification as the running
+//! example of the interplay between a judged failure measure and the
+//! confidence held in the judgement. This crate encodes:
+//!
+//! - [`SilLevel`] / [`band`] — the Table 1 band definitions for
+//!   low-demand (pfd) and high-demand (probability of dangerous failure
+//!   per hour) modes;
+//! - [`membership`] — `P(λ < 10⁻ⁿ)`-style one-sided membership
+//!   confidence and full band-probability vectors for any belief
+//!   distribution (Figures 3 and 4);
+//! - [`standards`] — the standard's scattered confidence requirements
+//!   (70 % for hardware failure data, 95/99/99.9 % for effectiveness and
+//!   operating experience) and the paper's proposed claim-discounting
+//!   rules (Section 4.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use depcase_distributions::LogNormal;
+//! use depcase_sil::{DemandMode, SilAssessment, SilLevel};
+//!
+//! // The paper's widest Figure 1 judgement.
+//! let belief = LogNormal::from_mode_mean(0.003, 0.01)?;
+//! let a = SilAssessment::new(&belief, DemandMode::LowDemand);
+//! // ~67% confident in SIL2-or-better, ~99.9% in SIL1-or-better:
+//! assert!((a.confidence_at_least(SilLevel::Sil2) - 0.67).abs() < 0.02);
+//! assert!(a.confidence_at_least(SilLevel::Sil1) > 0.99);
+//! // ...yet the mean failure measure only earns SIL1:
+//! assert_eq!(a.sil_of_mean(), Some(SilLevel::Sil1));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+// `!(x > 0.0)`-style checks deliberately treat NaN as invalid input; the
+// lint's suggested `x <= 0.0` would let NaN through the validation.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Reference constants are quoted at full printed precision.
+#![allow(clippy::excessive_precision)]
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod band;
+pub mod demand;
+pub mod membership;
+pub mod standards;
+
+pub use band::{DemandMode, SilBand, SilLevel};
+pub use membership::{BandProbabilities, SilAssessment};
+pub use standards::{
+    claim_limit_for_argument, discounted_sil, required_confidence, ArgumentRigour,
+    EvidenceContext,
+};

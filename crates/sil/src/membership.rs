@@ -1,0 +1,297 @@
+//! SIL-membership confidence for belief distributions — the machinery of
+//! the paper's Figures 3 and 4.
+//!
+//! "Confidence in SIL n can be expressed as the probability that the
+//! judged pfd (λ) is within the upper bound of the pfd for that SIL
+//! band": `P(λ < 10⁻ⁿ)`.
+
+use crate::band::{sil_of_value, DemandMode, SilLevel};
+use depcase_distributions::Distribution;
+use std::fmt;
+
+/// The probability a belief distribution assigns to each SIL band (plus
+/// "no SIL" mass above the SIL1 upper edge and "beyond SIL4" mass below
+/// the SIL4 lower edge, which the standard folds into SIL4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandProbabilities {
+    mode: DemandMode,
+    /// `per_level[i]` is the probability of landing in the `SIL i+1` band
+    /// (with the SIL4 entry including everything better).
+    per_level: [f64; 4],
+    /// Mass at or above the SIL1 upper edge — the system achieves no SIL.
+    none: f64,
+}
+
+impl BandProbabilities {
+    /// Probability the failure measure falls in the given level's band
+    /// (SIL4 includes everything better than its lower edge).
+    #[must_use]
+    pub fn in_band(&self, level: SilLevel) -> f64 {
+        self.per_level[usize::from(level.index()) - 1]
+    }
+
+    /// Probability of achieving `level` **or better** — the paper's
+    /// one-sided membership confidence `P(λ < 10⁻ⁿ)`.
+    #[must_use]
+    pub fn at_least(&self, level: SilLevel) -> f64 {
+        self.per_level[usize::from(level.index()) - 1..].iter().sum()
+    }
+
+    /// Probability of achieving no SIL at all.
+    #[must_use]
+    pub fn none(&self) -> f64 {
+        self.none
+    }
+
+    /// The operating mode the probabilities were computed for.
+    #[must_use]
+    pub fn mode(&self) -> DemandMode {
+        self.mode
+    }
+
+    /// The most probable single band, if any band dominates "no SIL".
+    #[must_use]
+    pub fn most_probable(&self) -> Option<SilLevel> {
+        let (best_idx, best_p) = self
+            .per_level
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))?;
+        if *best_p >= self.none {
+            SilLevel::from_index(best_idx as u8 + 1)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for BandProbabilities {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "P[none] = {:.4}, P[SIL1] = {:.4}, P[SIL2] = {:.4}, P[SIL3] = {:.4}, P[SIL4+] = {:.4}",
+            self.none, self.per_level[0], self.per_level[1], self.per_level[2], self.per_level[3]
+        )
+    }
+}
+
+/// A SIL assessment of a belief distribution over the relevant failure
+/// measure (pfd for low demand, pfh for high demand).
+///
+/// Borrowing the distribution keeps the assessment cheap to construct in
+/// sweeps (Figure 3 evaluates hundreds of judgements).
+#[derive(Debug, Clone, Copy)]
+pub struct SilAssessment<'d, D: ?Sized> {
+    belief: &'d D,
+    mode: DemandMode,
+}
+
+impl<'d, D: Distribution + ?Sized> SilAssessment<'d, D> {
+    /// Wraps a belief distribution for SIL assessment in the given mode.
+    pub fn new(belief: &'d D, mode: DemandMode) -> Self {
+        Self { belief, mode }
+    }
+
+    /// One-sided confidence of achieving `level` or better:
+    /// `P(λ < upper edge of level's band)` — the paper's Equation in
+    /// Section 2 and the x-axis of Figure 3.
+    #[must_use]
+    pub fn confidence_at_least(&self, level: SilLevel) -> f64 {
+        self.belief.cdf(level.band(self.mode).upper)
+    }
+
+    /// Full band-probability vector (Figure 4's content).
+    #[must_use]
+    pub fn band_probabilities(&self) -> BandProbabilities {
+        let mut per_level = [0.0; 4];
+        for level in SilLevel::ALL {
+            let band = level.band(self.mode);
+            per_level[usize::from(level.index()) - 1] =
+                self.belief.interval_prob(band.lower, band.upper);
+        }
+        // Fold "better than SIL4 lower edge" into SIL4, as the standard caps
+        // claims at SIL 4.
+        let sil4_lower = SilLevel::Sil4.band(self.mode).lower;
+        per_level[3] += self.belief.cdf(sil4_lower);
+        let none = self.belief.sf(SilLevel::Sil1.band(self.mode).upper);
+        BandProbabilities { mode: self.mode, per_level, none }
+    }
+
+    /// SIL classification of the belief's *mean* — what a regulator
+    /// applying the "integrate the pdf to arrive at the mean" reading of
+    /// the standard would award.
+    #[must_use]
+    pub fn sil_of_mean(&self) -> Option<SilLevel> {
+        sil_of_value(self.belief.mean(), self.mode)
+    }
+
+    /// SIL classification of the belief's *mode* (most likely value) —
+    /// what a naive "most likely" reading would award.
+    #[must_use]
+    pub fn sil_of_mode(&self) -> Option<SilLevel> {
+        self.belief.mode().and_then(|m| sil_of_value(m, self.mode))
+    }
+
+    /// The strongest level claimable at the given one-sided confidence:
+    /// the largest `n` with `P(λ < 10⁻ⁿ) ≥ confidence`.
+    ///
+    /// Returns `None` when not even SIL 1 reaches the confidence target.
+    #[must_use]
+    pub fn claimable_at_confidence(&self, confidence: f64) -> Option<SilLevel> {
+        let mut best = None;
+        for level in SilLevel::ALL {
+            if self.confidence_at_least(level) >= confidence {
+                best = Some(level);
+            }
+        }
+        best
+    }
+
+    /// The divergence (in whole SIL levels) between the mode's band and
+    /// the mean's band — positive when uncertainty has dragged the mean
+    /// into a worse band than the most likely value, the phenomenon
+    /// behind the paper's Figure 3 and the assessors' "call it one SIL
+    /// lower" heuristic.
+    #[must_use]
+    pub fn mode_mean_divergence(&self) -> Option<i8> {
+        let mode_sil = self.sil_of_mode()?;
+        let mean_sil = self.sil_of_mean()?;
+        Some(mode_sil.index() as i8 - mean_sil.index() as i8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase_distributions::{LogNormal, PointMass, TwoPoint};
+
+    fn widest_paper_judgement() -> LogNormal {
+        LogNormal::from_mode_mean(0.003, 0.01).unwrap()
+    }
+
+    #[test]
+    fn paper_figure4_checkpoints() {
+        // "the system has about a 67% chance of being in SIL2 or higher
+        // and a 99.9% chance of being SIL1 or higher"
+        let belief = widest_paper_judgement();
+        let a = SilAssessment::new(&belief, DemandMode::LowDemand);
+        let sil2 = a.confidence_at_least(SilLevel::Sil2);
+        assert!((sil2 - 0.67).abs() < 0.02, "SIL2 confidence {sil2}");
+        let sil1 = a.confidence_at_least(SilLevel::Sil1);
+        assert!(sil1 > 0.995, "SIL1 confidence {sil1}");
+    }
+
+    #[test]
+    fn mean_lands_one_band_below_mode() {
+        // The paper: mode mid-SIL2, mean 0.01 → SIL1 band.
+        let belief = widest_paper_judgement();
+        let a = SilAssessment::new(&belief, DemandMode::LowDemand);
+        assert_eq!(a.sil_of_mode(), Some(SilLevel::Sil2));
+        assert_eq!(a.sil_of_mean(), Some(SilLevel::Sil1));
+        assert_eq!(a.mode_mean_divergence(), Some(1));
+    }
+
+    #[test]
+    fn narrow_judgement_keeps_mean_in_band() {
+        // Figure 1's dashed curve: mean 0.004 stays in SIL2.
+        let belief = LogNormal::from_mode_mean(0.003, 0.004).unwrap();
+        let a = SilAssessment::new(&belief, DemandMode::LowDemand);
+        assert_eq!(a.sil_of_mean(), Some(SilLevel::Sil2));
+        assert_eq!(a.mode_mean_divergence(), Some(0));
+    }
+
+    #[test]
+    fn band_probabilities_sum_to_one() {
+        let belief = widest_paper_judgement();
+        let bp = SilAssessment::new(&belief, DemandMode::LowDemand).band_probabilities();
+        let total: f64 = SilLevel::ALL.iter().map(|&l| bp.in_band(l)).sum::<f64>() + bp.none();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn at_least_is_monotone_decreasing_in_level() {
+        let belief = widest_paper_judgement();
+        let bp = SilAssessment::new(&belief, DemandMode::LowDemand).band_probabilities();
+        let mut prev = 1.0;
+        for level in SilLevel::ALL {
+            let p = bp.at_least(level);
+            assert!(p <= prev + 1e-12, "{level}: {p} > {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn at_least_matches_cdf_confidence() {
+        let belief = widest_paper_judgement();
+        let a = SilAssessment::new(&belief, DemandMode::LowDemand);
+        let bp = a.band_probabilities();
+        for level in SilLevel::ALL {
+            let direct = a.confidence_at_least(level);
+            let via_bands = bp.at_least(level);
+            assert!((direct - via_bands).abs() < 1e-9, "{level}: {direct} vs {via_bands}");
+        }
+    }
+
+    #[test]
+    fn most_probable_band() {
+        let belief = widest_paper_judgement();
+        let bp = SilAssessment::new(&belief, DemandMode::LowDemand).band_probabilities();
+        assert_eq!(bp.most_probable(), Some(SilLevel::Sil2));
+    }
+
+    #[test]
+    fn claimable_at_confidence_thresholds() {
+        let belief = widest_paper_judgement();
+        let a = SilAssessment::new(&belief, DemandMode::LowDemand);
+        // 67% confidence buys SIL2; 99% only SIL1; 99.99% nothing.
+        assert_eq!(a.claimable_at_confidence(0.60), Some(SilLevel::Sil2));
+        assert_eq!(a.claimable_at_confidence(0.99), Some(SilLevel::Sil1));
+        assert_eq!(a.claimable_at_confidence(0.99999), None);
+    }
+
+    #[test]
+    fn point_mass_degenerate_assessment() {
+        let belief = PointMass::new(0.003).unwrap();
+        let a = SilAssessment::new(&belief, DemandMode::LowDemand);
+        assert_eq!(a.sil_of_mean(), Some(SilLevel::Sil2));
+        assert_eq!(a.confidence_at_least(SilLevel::Sil2), 1.0);
+        assert_eq!(a.confidence_at_least(SilLevel::Sil3), 0.0);
+        let bp = a.band_probabilities();
+        assert_eq!(bp.in_band(SilLevel::Sil2), 1.0);
+        assert_eq!(bp.none(), 0.0);
+    }
+
+    #[test]
+    fn two_point_worst_case_assessment() {
+        // Mass 0.999 at 1e-4 (SIL3 band edge → SIL3) and 0.001 at 1.
+        let w = TwoPoint::worst_case(1e-4, 0.001).unwrap();
+        let a = SilAssessment::new(&w, DemandMode::LowDemand);
+        let bp = a.band_probabilities();
+        assert!((bp.at_least(SilLevel::Sil3) - 0.999).abs() < 1e-12);
+        assert!((bp.none() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_demand_mode_uses_shifted_bands() {
+        // A rate of 3e-7/h is SIL2 in high-demand mode.
+        let belief = PointMass::new(3e-7).unwrap();
+        let a = SilAssessment::new(&belief, DemandMode::HighDemand);
+        assert_eq!(a.sil_of_mean(), Some(SilLevel::Sil2));
+    }
+
+    #[test]
+    fn display_band_probabilities() {
+        let belief = widest_paper_judgement();
+        let bp = SilAssessment::new(&belief, DemandMode::LowDemand).band_probabilities();
+        let s = bp.to_string();
+        assert!(s.contains("SIL2"), "{s}");
+    }
+
+    #[test]
+    fn works_through_trait_object() {
+        let belief: Box<dyn depcase_distributions::Distribution> =
+            Box::new(widest_paper_judgement());
+        let a = SilAssessment::new(belief.as_ref(), DemandMode::LowDemand);
+        assert_eq!(a.sil_of_mean(), Some(SilLevel::Sil1));
+    }
+}

@@ -1,0 +1,242 @@
+//! IEC 61508 confidence requirements and the paper's proposed
+//! claim-discounting rules (Section 4.3).
+//!
+//! The standard's confidence numbers are scattered: Part 2 clause 7.4.7.4
+//! requires better than 70 % confidence in hardware failure-rate data,
+//! clause 7.4.7.9 requires 70 % one-sided confidence for operating
+//! history, Part 2 Table B6 uses 95 % (low effectiveness) and 99.9 %
+//! (high effectiveness), and Part 7 Table D1 uses 95 % and 99 %. The
+//! paper proposes, on top, that claims made from weak argument styles be
+//! *discounted* — "if a process-based qualitative argument was used, SIL
+//! could be reduced by (at least) 2 levels" — and that conservative
+//! worst-case reasoning needs "at least 99 % confidence in SIL2".
+
+use crate::band::SilLevel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The evidence context whose confidence requirement is being looked up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvidenceContext {
+    /// Hardware failure-rate data (Part 2, clause 7.4.7.4): > 70 %.
+    HardwareFailureData,
+    /// Operating history (Part 2, clause 7.4.7.9): 70 % one-sided.
+    OperatingHistory,
+    /// A measure claimed at *low* effectiveness (Part 2, Table B6): 95 %.
+    LowEffectiveness,
+    /// A measure claimed at *high* effectiveness (Part 2, Table B6): 99.9 %.
+    HighEffectiveness,
+    /// Proven-in-use style operating experience (Part 7, Table D1): 95 %.
+    ProvenInUse,
+    /// Stronger proven-in-use claims (Part 7, Table D1): 99 %.
+    ProvenInUseStrong,
+}
+
+impl fmt::Display for EvidenceContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EvidenceContext::HardwareFailureData => "hardware failure data (61508-2 7.4.7.4)",
+            EvidenceContext::OperatingHistory => "operating history (61508-2 7.4.7.9)",
+            EvidenceContext::LowEffectiveness => "low effectiveness (61508-2 Table B6)",
+            EvidenceContext::HighEffectiveness => "high effectiveness (61508-2 Table B6)",
+            EvidenceContext::ProvenInUse => "proven in use (61508-7 Table D1)",
+            EvidenceContext::ProvenInUseStrong => "proven in use, strong (61508-7 Table D1)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The one-sided confidence IEC 61508 requires for the given evidence
+/// context.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_sil::{required_confidence, EvidenceContext};
+///
+/// assert_eq!(required_confidence(EvidenceContext::OperatingHistory), 0.70);
+/// assert_eq!(required_confidence(EvidenceContext::HighEffectiveness), 0.999);
+/// ```
+#[must_use]
+pub fn required_confidence(context: EvidenceContext) -> f64 {
+    match context {
+        EvidenceContext::HardwareFailureData | EvidenceContext::OperatingHistory => 0.70,
+        EvidenceContext::LowEffectiveness | EvidenceContext::ProvenInUse => 0.95,
+        EvidenceContext::HighEffectiveness => 0.999,
+        EvidenceContext::ProvenInUseStrong => 0.99,
+    }
+}
+
+/// The rigour of the argument supporting a SIL claim, ordered from
+/// weakest to strongest — the paper's Section 4.3 discounting axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ArgumentRigour {
+    /// Qualitative, process-compliance-based argument (e.g. "we followed
+    /// the standard"). The paper: discount by (at least) 2 SILs.
+    ProcessCompliance,
+    /// Expert judgement without validated quantification. Discount 2.
+    ExpertJudgement,
+    /// Reliability-growth modelling with assessed prediction accuracy
+    /// plus subjective margin. Discount 1.
+    ReliabilityGrowth,
+    /// Worst-case quantitative modelling with parameter uncertainty
+    /// handled explicitly. Discount 1.
+    WorstCaseModel,
+    /// Statistically valid demonstration (statistical testing / operating
+    /// experience at the required confidence). No discount.
+    StatisticalDemonstration,
+}
+
+impl ArgumentRigour {
+    /// The number of SIL levels the paper proposes to discount claims
+    /// made with this argument style.
+    #[must_use]
+    pub fn discount_levels(self) -> u8 {
+        match self {
+            ArgumentRigour::ProcessCompliance | ArgumentRigour::ExpertJudgement => 2,
+            ArgumentRigour::ReliabilityGrowth | ArgumentRigour::WorstCaseModel => 1,
+            ArgumentRigour::StatisticalDemonstration => 0,
+        }
+    }
+}
+
+impl fmt::Display for ArgumentRigour {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArgumentRigour::ProcessCompliance => "process compliance",
+            ArgumentRigour::ExpertJudgement => "expert judgement",
+            ArgumentRigour::ReliabilityGrowth => "reliability growth",
+            ArgumentRigour::WorstCaseModel => "worst-case model",
+            ArgumentRigour::StatisticalDemonstration => "statistical demonstration",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Applies the paper's discounting rule: the SIL that may actually be
+/// *claimed* when the evidence points at `judged` but the argument has
+/// the given rigour.
+///
+/// Returns `None` when the discount wipes out the claim entirely.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_sil::{discounted_sil, ArgumentRigour, SilLevel};
+///
+/// // Evidence says SIL3 but only via standards compliance → claim SIL1.
+/// assert_eq!(
+///     discounted_sil(SilLevel::Sil3, ArgumentRigour::ProcessCompliance),
+///     Some(SilLevel::Sil1)
+/// );
+/// // SIL2 judged by expert judgement → no claimable SIL at all.
+/// assert_eq!(discounted_sil(SilLevel::Sil2, ArgumentRigour::ExpertJudgement), None);
+/// ```
+#[must_use]
+pub fn discounted_sil(judged: SilLevel, rigour: ArgumentRigour) -> Option<SilLevel> {
+    let discounted = i16::from(judged.index()) - i16::from(rigour.discount_levels());
+    u8::try_from(discounted).ok().and_then(SilLevel::from_index)
+}
+
+/// The paper's proposed *claim limit*: the highest SIL an argument style
+/// should ever be allowed to support, regardless of the judged level.
+///
+/// Process-based and expert-judgement arguments cap at SIL 2 (they cannot
+/// demonstrate the confidence the higher bands demand); quantitative
+/// styles cap at SIL 3; only statistically valid demonstration can
+/// support SIL 4.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_sil::{claim_limit_for_argument, ArgumentRigour, SilLevel};
+///
+/// assert_eq!(claim_limit_for_argument(ArgumentRigour::ProcessCompliance), SilLevel::Sil2);
+/// assert_eq!(
+///     claim_limit_for_argument(ArgumentRigour::StatisticalDemonstration),
+///     SilLevel::Sil4
+/// );
+/// ```
+#[must_use]
+pub fn claim_limit_for_argument(rigour: ArgumentRigour) -> SilLevel {
+    match rigour {
+        ArgumentRigour::ProcessCompliance | ArgumentRigour::ExpertJudgement => SilLevel::Sil2,
+        ArgumentRigour::ReliabilityGrowth | ArgumentRigour::WorstCaseModel => SilLevel::Sil3,
+        ArgumentRigour::StatisticalDemonstration => SilLevel::Sil4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidence_requirements_match_standard() {
+        assert_eq!(required_confidence(EvidenceContext::HardwareFailureData), 0.70);
+        assert_eq!(required_confidence(EvidenceContext::OperatingHistory), 0.70);
+        assert_eq!(required_confidence(EvidenceContext::LowEffectiveness), 0.95);
+        assert_eq!(required_confidence(EvidenceContext::HighEffectiveness), 0.999);
+        assert_eq!(required_confidence(EvidenceContext::ProvenInUse), 0.95);
+        assert_eq!(required_confidence(EvidenceContext::ProvenInUseStrong), 0.99);
+    }
+
+    #[test]
+    fn discount_levels_match_paper_proposal() {
+        assert_eq!(ArgumentRigour::ProcessCompliance.discount_levels(), 2);
+        assert_eq!(ArgumentRigour::ExpertJudgement.discount_levels(), 2);
+        assert_eq!(ArgumentRigour::ReliabilityGrowth.discount_levels(), 1);
+        assert_eq!(ArgumentRigour::WorstCaseModel.discount_levels(), 1);
+        assert_eq!(ArgumentRigour::StatisticalDemonstration.discount_levels(), 0);
+    }
+
+    #[test]
+    fn discounting_examples() {
+        assert_eq!(
+            discounted_sil(SilLevel::Sil4, ArgumentRigour::ProcessCompliance),
+            Some(SilLevel::Sil2)
+        );
+        assert_eq!(
+            discounted_sil(SilLevel::Sil3, ArgumentRigour::WorstCaseModel),
+            Some(SilLevel::Sil2)
+        );
+        assert_eq!(
+            discounted_sil(SilLevel::Sil2, ArgumentRigour::StatisticalDemonstration),
+            Some(SilLevel::Sil2)
+        );
+        assert_eq!(discounted_sil(SilLevel::Sil1, ArgumentRigour::ReliabilityGrowth), None);
+        assert_eq!(discounted_sil(SilLevel::Sil2, ArgumentRigour::ProcessCompliance), None);
+    }
+
+    #[test]
+    fn claim_limits_are_ordered_by_rigour() {
+        assert!(
+            claim_limit_for_argument(ArgumentRigour::ProcessCompliance)
+                <= claim_limit_for_argument(ArgumentRigour::WorstCaseModel)
+        );
+        assert!(
+            claim_limit_for_argument(ArgumentRigour::WorstCaseModel)
+                <= claim_limit_for_argument(ArgumentRigour::StatisticalDemonstration)
+        );
+    }
+
+    #[test]
+    fn rigour_ordering() {
+        assert!(ArgumentRigour::ProcessCompliance < ArgumentRigour::StatisticalDemonstration);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(EvidenceContext::OperatingHistory.to_string().contains("7.4.7.9"));
+        assert_eq!(ArgumentRigour::ExpertJudgement.to_string(), "expert judgement");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = ArgumentRigour::WorstCaseModel;
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<ArgumentRigour>(&json).unwrap(), r);
+        let c = EvidenceContext::ProvenInUse;
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<EvidenceContext>(&json).unwrap(), c);
+    }
+}

@@ -1,0 +1,57 @@
+//! ACARP in action (paper Section 4.1): buying confidence with
+//! failure-free operating experience, and the provisional-SIL strategy.
+//!
+//! Run with: `cargo run --example acarp_testing`
+
+use depcase::confidence::acarp::{provisional_then_upgraded, AcarpPlan};
+use depcase::confidence::testing::{
+    conservative_predictive_bound, demands_needed_uniform_prior, worst_case_doubt_after_demands,
+};
+use depcase::distributions::LogNormal;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The widest Figure 1 judgement: 67% confident in SIL2.
+    let prior = LogNormal::from_mode_mean(0.003, 0.01)?;
+    let plan = AcarpPlan::new(&prior, 1e-2);
+
+    println!("confidence/mean trajectory under failure-free demands:");
+    for p in plan.trajectory(&[0, 10, 100, 1000, 10_000])? {
+        println!(
+            "  n = {:>6}: P(SIL2+) = {:.4}, posterior mean pfd = {:.3e}",
+            p.demands, p.confidence, p.mean
+        );
+    }
+
+    for target in [0.70, 0.90, 0.95, 0.99] {
+        let n = plan.demands_for_confidence(target)?;
+        println!("demands to reach {target:.0}% SIL2 confidence: {n}",
+            target = target * 100.0);
+    }
+
+    // Provisional SIL now, upgraded after an operating period.
+    let (now, later) = provisional_then_upgraded(&prior, 5000)?;
+    println!("provisional SIL (mean-based): {now:?}; after 5000 demands: {later:?}");
+
+    // From-nothing comparison: a uniform prior needs the folklore ~4600
+    // demands for 99% in pfd < 1e-3.
+    let n = demands_needed_uniform_prior(1e-3, 0.99)?;
+    println!("uniform prior -> 99% confidence in pfd < 1e-3 needs {n} demands");
+
+    // The worst-case doubt decay (conservative two-point prior, the
+    // paper's factor-100 refinement).
+    for n in [0u64, 1000, 10_000] {
+        let x = worst_case_doubt_after_demands(0.33, 3e-3, 0.3, n)?;
+        println!("worst-case doubt after {n} demands: {x:.3e}");
+    }
+
+    // The universal conservative predictive bound (future-work analogue
+    // of Bishop & Bloomfield's MTBF bound).
+    for n in [100u64, 1000, 10_000] {
+        println!(
+            "P(survive {n} demands then fail on the next) <= {:.3e} whatever the prior",
+            conservative_predictive_bound(n)?
+        );
+    }
+
+    Ok(())
+}

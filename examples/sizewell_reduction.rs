@@ -1,0 +1,55 @@
+//! The Sizewell B-style claim reduction (paper Section 3.4).
+//!
+//! "Doubts about the quality of the development process of the software
+//! led to an order of magnitude reduction in the judged probability of
+//! failure on demand." This example encodes the mechanism: start from a
+//! judgement whose evidence points at SIL3, quantify the doubt, and show
+//! why the defensible claim is a decade weaker — then show what it takes
+//! to win the decade back.
+//!
+//! Run with: `cargo run --example sizewell_reduction`
+
+use depcase::confidence::acarp::AcarpPlan;
+use depcase::confidence::WorstCaseBound;
+use depcase::distributions::{Distribution, LogNormal};
+use depcase::sil::{discounted_sil, ArgumentRigour, DemandMode, SilAssessment, SilLevel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Evidence points at a pfd of ~3e-4 (SIL3 band) but process-quality
+    // doubts widen the judgement considerably.
+    let belief = LogNormal::from_mode_confidence(3e-4, 1e-3, 0.60)?;
+    let a = SilAssessment::new(&belief, DemandMode::LowDemand);
+    println!("judged mode    : {:.2e} (SIL3 band)", belief.mode().unwrap());
+    println!("P(SIL3+)       : {:.3}", a.confidence_at_least(SilLevel::Sil3));
+    println!("mean pfd       : {:.2e} -> SIL of mean = {:?}", belief.mean(), a.sil_of_mean());
+
+    // The assessors' heuristic: judged most likely SIL n+1, claim SIL n.
+    println!(
+        "claimable at 99% confidence: {:?} (one level below the most-likely band)",
+        a.claimable_at_confidence(0.99)
+    );
+
+    // The paper's standards proposal: a process-compliance argument for a
+    // judged SIL3 should be discounted two levels.
+    println!(
+        "process-based argument for judged SIL3 claims: {:?}",
+        discounted_sil(SilLevel::Sil3, ArgumentRigour::ProcessCompliance)
+    );
+
+    // Conservative reading: what confidence would the reduced claim need
+    // to support the original SIL3 bound (1e-3) outright?
+    let needed = WorstCaseBound::required_confidence(1e-3, 1e-4)?;
+    println!("worst-case route to pfd<1e-3 via 1e-4 claim needs {needed:.4} confidence");
+
+    // And the ACARP route: buy the confidence back with statistical
+    // testing of the as-built system.
+    let plan = AcarpPlan::new(&belief, 1e-3);
+    for target in [0.90, 0.95, 0.99] {
+        match plan.demands_for_confidence(target) {
+            Ok(n) => println!("failure-free demands for P(pfd<1e-3) = {target:.2}: {n}"),
+            Err(e) => println!("target {target:.2}: {e}"),
+        }
+    }
+
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Composing subsystem claims (the paper's "composability" obstacle).
+//!
+//! A 1e-3 system pfd target is allocated across three subsystems; each
+//! subsystem's case must then deliver its claim at a stiff confidence,
+//! and the composed conservatism is compared with the single-system
+//! route.
+//!
+//! Run with: `cargo run --example subsystem_composition`
+
+use depcase::confidence::allocation::{
+    allocate_series, compose_series_bound, required_subsystem_confidences,
+};
+use depcase::confidence::reduction;
+use depcase::confidence::{ConfidenceStatement, WorstCaseBound};
+use depcase::distributions::LogNormal;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system_target = 1e-3;
+
+    // 1. Allocate: sensor gets half the budget, logic and actuator a
+    //    quarter each.
+    let budgets = allocate_series(system_target, &[2.0, 1.0, 1.0])?;
+    println!("system target pfd < {system_target:e}, allocated budgets:");
+    for (name, y) in ["sensor", "logic", "actuator"].iter().zip(&budgets) {
+        println!("  {name:<9} pfd < {y:.3e}");
+    }
+
+    // 2. Each subsystem claims a decade inside its budget; what
+    //    confidence must each case deliver for the composition to hold?
+    let claims: Vec<f64> = budgets.iter().map(|y| y / 10.0).collect();
+    let confs = required_subsystem_confidences(system_target, &claims)?;
+    println!("\nper-subsystem claims (a decade of margin) and required confidence:");
+    for ((name, y), c) in ["sensor", "logic", "actuator"].iter().zip(&claims).zip(&confs) {
+        println!("  {name:<9} claim pfd < {y:.2e} at confidence {c:.5}");
+    }
+
+    // 3. Verify the composition and compare with the single-system route.
+    let statements: Vec<ConfidenceStatement> = claims
+        .iter()
+        .zip(&confs)
+        .map(|(&y, &c)| ConfidenceStatement::new(y, c))
+        .collect::<Result<_, _>>()?;
+    let composed = compose_series_bound(&statements)?;
+    println!("\ncomposed worst-case system bound: {composed:.4e} (target {system_target:e})");
+    let single = WorstCaseBound::required_confidence(system_target, system_target / 10.0)?;
+    println!(
+        "single-system route would need {single:.5}; every subsystem needs more — \
+         conservatism compounds across the composition"
+    );
+
+    // 4. And the reduction view of one subsystem's belief.
+    let sensor_belief = LogNormal::from_mode_confidence(claims[0] / 3.0, claims[0], 0.8)?;
+    let report = reduction::analyse(&sensor_belief, 0.99);
+    println!(
+        "\nsensor belief: most likely {:?}, claimable at 99% = {:?} ({} level(s) reduced)",
+        report.most_likely,
+        report.recommended_claim,
+        report.levels_reduced.map_or_else(|| "?".into(), |l| l.to_string())
+    );
+
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Multi-legged arguments and dependence (paper Section 4.2).
+//!
+//! Shows how much a second argument leg buys under independence, how
+//! little it may buy under unfavourable dependence, and how a shared
+//! assumption caps the benefit — first with the algebra, then as an
+//! assurance-case graph.
+//!
+//! Run with: `cargo run --example two_leg_case`
+
+use depcase::assurance::{Case, Combination};
+use depcase::confidence::multileg::{
+    combine_two_legs, combine_with_shared_assumption, required_second_leg, Leg,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Leg A: statistical testing at 95% confidence.
+    // Leg B: static analysis at 90% confidence.
+    let a = Leg::with_confidence(0.95)?;
+    let b = Leg::with_confidence(0.90)?;
+
+    let c = combine_two_legs(a, b);
+    println!("two independent legs (0.95, 0.90):");
+    println!("  independent doubt : {:.4}", c.independent);
+    println!("  dependence range  : [{:.4}, {:.4}]", c.best_case, c.worst_case);
+    println!("  spread            : {:.4} (what not knowing the dependence costs)",
+        c.dependence_spread());
+
+    // A shared assumption (both legs trust the same requirements spec).
+    let shared = combine_with_shared_assumption(a, b, 0.02)?;
+    println!("same legs with 2% shared assumption doubt:");
+    println!("  independent doubt : {:.4} (floor 0.02)", shared.independent);
+
+    // Inverse planning: how strong must a second leg be to reach 99.9%?
+    let needed = required_second_leg(a.doubt(), 0.001)?;
+    println!(
+        "to reach combined doubt 0.001 next to a 0.95 leg, the second leg needs confidence {:.3}",
+        needed.confidence()
+    );
+
+    // The same structure as an assurance case.
+    let mut case = Case::new("two-legged SIL2 argument");
+    let g = case.add_goal("G1", "pfd < 1e-2")?;
+    let s = case.add_strategy("S1", "independent argument legs", Combination::AnyOf)?;
+    let e1 = case.add_evidence("E1", "statistical testing", 0.95)?;
+    let e2 = case.add_evidence("E2", "static analysis", 0.90)?;
+    let a1 = case.add_assumption("A1", "requirements spec is right", 0.98)?;
+    case.support(g, s)?;
+    case.support(s, e1)?;
+    case.support(s, e2)?;
+    case.support(g, a1)?;
+    let report = case.propagate()?;
+    let top = report.top().expect("single root");
+    println!(
+        "case: confidence {:.4}, interval [{:.4}, {:.4}]",
+        top.independent, top.worst_case, top.best_case
+    );
+
+    Ok(())
+}

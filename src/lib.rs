@@ -1,0 +1,45 @@
+//! `depcase` — quantitative confidence for dependability cases.
+//!
+//! An executable reproduction of *Bloomfield, Littlewood & Wright,
+//! "Confidence: its role in dependability cases for risk assessment",
+//! DSN 2007*. The workspace answers, in code, the paper's questions: how
+//! confident are we that a dependability claim is true, how do we express
+//! that confidence quantitatively, and what does assessment uncertainty
+//! do to decisions such as SIL classification?
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! - [`numerics`] — special functions, quadrature, root finding;
+//! - [`distributions`] — belief distributions over failure rates/pfd;
+//! - [`sil`] — IEC 61508 SIL bands and membership confidence;
+//! - [`confidence`] — claim/doubt calculus, worst-case bounds, ACARP,
+//!   statistical-testing updates, multi-legged arguments;
+//! - [`assurance`] — GSN-style argument graphs with confidence
+//!   propagation;
+//! - [`elicitation`] — the synthetic expert-panel simulator.
+//!
+//! # Examples
+//!
+//! The paper's Section 3.4 "decade of margin" reasoning end-to-end:
+//!
+//! ```
+//! use depcase::confidence::WorstCaseBound;
+//!
+//! // To support a system claim of pfd < 1e-3 by claiming pfd < 1e-4 at
+//! // high confidence, the required confidence is 99.91%:
+//! let required = WorstCaseBound::required_confidence(1e-3, 1e-4)?;
+//! assert!((required - 0.9991).abs() < 1e-4);
+//! # Ok::<(), depcase::confidence::ConfidenceError>(())
+//! ```
+
+// `!(x > 0.0)`-style checks deliberately treat NaN as invalid input.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use depcase_assurance as assurance;
+pub use depcase_core as confidence;
+pub use depcase_distributions as distributions;
+pub use depcase_elicitation as elicitation;
+pub use depcase_numerics as numerics;
+pub use depcase_sil as sil;

@@ -1,0 +1,87 @@
+//! Paper-shape checkpoints: every table/figure regeneration must carry
+//! the qualitative findings the paper reports.
+
+use depcase_bench::experiments;
+
+#[test]
+fn all_experiments_produce_tables() {
+    let tables = experiments::all();
+    assert_eq!(tables.len(), experiments::NAMES.len());
+    for t in &tables {
+        assert!(!t.is_empty(), "{} is empty", t.title);
+        // Every row matches the header width (Table::push_row guarantees
+        // it, but serialization through CSV must also be well-formed).
+        let csv = t.to_csv();
+        let cols = t.header.len();
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), cols, "{}: ragged CSV", t.title);
+        }
+    }
+}
+
+#[test]
+fn f3_crossover_near_67_percent() {
+    let c = experiments::fig3_crossover();
+    assert!((c - 0.67).abs() < 0.02, "crossover {c}");
+}
+
+#[test]
+fn f4_wide_judgement_matches_paper_quotes() {
+    let t = experiments::fig4();
+    let sil2 = t.cell_f64(2, "P(<1e-2)=SIL2+").unwrap();
+    let sil1 = t.cell_f64(2, "P(<1e-1)=SIL1+").unwrap();
+    assert!((sil2 - 0.67).abs() < 0.02, "67% SIL2-or-better, got {sil2}");
+    assert!(sil1 > 0.995, "99.9% SIL1-or-better, got {sil1}");
+}
+
+#[test]
+fn e3_required_confidence_9991() {
+    let t = experiments::examples34();
+    let c = t.cell_f64(2, "required_confidence").unwrap();
+    assert!((c - 0.9991).abs() < 1e-4, "got {c}");
+}
+
+#[test]
+fn f5_headline_findings() {
+    let t = experiments::fig5(42);
+    let last = t.len() - 1;
+    assert_eq!(t.cell(last, "expert"), Some("doubters=3"));
+    let conf = t.cell_f64(last, "sil2_confidence").unwrap();
+    assert!(conf > 0.8, "pooled confidence {conf}");
+}
+
+#[test]
+fn g1_gamma_agrees_with_lognormal() {
+    let t = experiments::gamma_sensitivity();
+    for pair in 0..3 {
+        let ln = t.cell_f64(2 * pair, "P(SIL2+)").unwrap();
+        let ga = t.cell_f64(2 * pair + 1, "P(SIL2+)").unwrap();
+        assert!((ln - ga).abs() < 0.08, "pair {pair}: {ln} vs {ga}");
+    }
+}
+
+#[test]
+fn c1_confidence_rises_mean_falls() {
+    let t = experiments::tail_cutoff();
+    let last = t.len() - 1;
+    assert!(t.cell_f64(last, "P(SIL2+)").unwrap() > t.cell_f64(0, "P(SIL2+)").unwrap());
+    assert!(
+        t.cell_f64(last, "posterior_mean_pfd").unwrap()
+            < t.cell_f64(0, "posterior_mean_pfd").unwrap()
+    );
+}
+
+#[test]
+fn n1_70_percent_gate_drops_wide_judgement_to_sil1() {
+    let t = experiments::standards_impact();
+    assert_eq!(t.cell(2, "claimable@70%"), Some("SIL1"));
+}
+
+#[test]
+fn t1_table_is_the_iec_table() {
+    let t = experiments::table1();
+    assert_eq!(t.len(), 8);
+    // SIL4 low-demand row leads.
+    assert_eq!(t.cell(0, "sil"), Some("SIL4"));
+    assert_eq!(t.cell_f64(0, "lower"), Some(1e-5));
+}

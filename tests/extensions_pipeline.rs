@@ -1,0 +1,140 @@
+//! Integration tests for the extension features: quantile fitting →
+//! calibration-weighted pooling → copula-aware multi-leg cases →
+//! allocation, plus the growth route.
+
+use depcase::assurance::templates;
+use depcase::confidence::allocation::{allocate_equal, required_subsystem_confidences};
+use depcase::confidence::copula;
+use depcase::confidence::growth::{simulate_power_law, PowerLawGrowth};
+use depcase::confidence::multileg::{combine_two_legs, Leg};
+use depcase::confidence::reduction;
+use depcase::distributions::fit::{lognormal_from_quantiles, lognormal_from_three_points};
+use depcase::distributions::{Discretized, Distribution, LogNormal, LogUniform, SurvivalWeighted};
+use depcase::elicitation::calibration::{performance_weights, QuantileAssessment};
+use depcase::elicitation::pooling;
+use depcase::sil::demand::{average_pfd, cross_mode_sil, mode_for_demand_rate};
+use depcase::sil::{DemandMode, SilAssessment, SilLevel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn quantiles_to_weighted_pool_to_sil() {
+    // Three experts give quantile pairs; fit log-normals; weight by a
+    // calibration exercise; pool; assess.
+    let beliefs = vec![
+        lognormal_from_quantiles(0.05, 5e-4, 0.95, 8e-3).unwrap(),
+        lognormal_from_quantiles(0.05, 8e-4, 0.95, 2e-2).unwrap(),
+        lognormal_from_quantiles(0.05, 2e-4, 0.95, 5e-3).unwrap(),
+    ];
+    // Calibration exercise: expert 1 is wildly off on seeds.
+    let truth = LogNormal::new(-6.0, 0.8).unwrap();
+    let mut rng = StdRng::seed_from_u64(31);
+    let seeds = truth.sample_n(&mut rng, 40);
+    let honest: Vec<QuantileAssessment> = seeds
+        .iter()
+        .map(|_| {
+            QuantileAssessment::new(
+                truth.quantile(0.05).unwrap(),
+                truth.quantile(0.5).unwrap(),
+                truth.quantile(0.95).unwrap(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let off: Vec<QuantileAssessment> = seeds
+        .iter()
+        .map(|_| QuantileAssessment::new(1.0, 2.0, 3.0).unwrap())
+        .collect();
+    let weights = performance_weights(&[honest.clone(), off, honest], &seeds, 0.01).unwrap();
+    let ws: Vec<f64> = weights.iter().map(|w| w.weight).collect();
+    assert!(ws[1] < 1e-6, "miscalibrated expert should be unweighted: {ws:?}");
+
+    let pooled = pooling::log_pool_lognormals(&beliefs, Some(&ws)).unwrap();
+    let a = SilAssessment::new(&pooled, DemandMode::LowDemand);
+    // Expert 1 (the pessimist) is zero-weighted, so the pool reflects
+    // experts 0 and 2.
+    assert!(a.confidence_at_least(SilLevel::Sil2) > 0.9);
+}
+
+#[test]
+fn three_point_fit_flags_skew_and_feeds_reduction() {
+    let (belief, discrepancy) = lognormal_from_three_points(5e-4, 2e-3, 2e-2).unwrap();
+    assert!(discrepancy < 1.2 && discrepancy > 0.5);
+    let report = reduction::analyse(&belief, 0.99);
+    assert!(report.ladder.len() == 4);
+    assert!(report.ladder[0].confidence >= report.ladder[1].confidence);
+}
+
+#[test]
+fn copula_consistent_with_case_interval() {
+    // The copula curve must stay inside the propagation's dependence
+    // interval for the same two legs.
+    let (case, goal) = templates::multi_leg(
+        "pfd < 1e-2",
+        &[("testing", 0.95), ("analysis", 0.90)],
+        None,
+    )
+    .unwrap();
+    let top = case.propagate().unwrap().confidence(goal).unwrap();
+    let a = Leg::with_confidence(0.95).unwrap();
+    let b = Leg::with_confidence(0.90).unwrap();
+    for rho in [-0.9, -0.3, 0.0, 0.5, 0.95] {
+        let doubt = copula::combined_doubt_gaussian(a, b, rho).unwrap();
+        let conf = 1.0 - doubt;
+        assert!(
+            conf >= top.worst_case - 1e-9 && conf <= top.best_case + 1e-9,
+            "rho = {rho}: {conf} outside [{}, {}]",
+            top.worst_case,
+            top.best_case
+        );
+    }
+    // And the independence point agrees exactly.
+    let ind = 1.0 - combine_two_legs(a, b).independent;
+    assert!((ind - top.independent).abs() < 1e-12);
+}
+
+#[test]
+fn allocation_respects_mode_selection() {
+    // A function demanded monthly is high-demand; its budget is a rate.
+    assert_eq!(mode_for_demand_rate(12.0), DemandMode::HighDemand);
+    // Allocate a low-demand 1e-3 pfd across two subsystems, convert one
+    // budget into an equivalent rate given annual proof tests, and check
+    // the cross-mode view is consistent.
+    let budgets = allocate_equal(1e-3, 2).unwrap();
+    let rate = depcase::sil::demand::rate_for_average_pfd(budgets[0], 8760.0).unwrap();
+    let round = average_pfd(rate, 8760.0).unwrap();
+    assert!((round - budgets[0]).abs() < 1e-12);
+    let (low, _high) = cross_mode_sil(rate, 8760.0);
+    assert_eq!(low, Some(SilLevel::Sil3)); // ~5e-4 average pfd
+}
+
+#[test]
+fn allocation_then_per_subsystem_acarp() {
+    // Each subsystem must reach its required confidence; verify the
+    // testing route can deliver it from a weak log-uniform prior.
+    let claims = [5e-5, 5e-5];
+    let confs = required_subsystem_confidences(1e-3, &claims).unwrap();
+    let prior = LogUniform::new(1e-6, 1e-1).unwrap();
+    let plan = depcase::confidence::acarp::AcarpPlan::new(&prior, claims[0]);
+    let n = plan.demands_for_confidence(confs[0].min(0.999)).unwrap();
+    assert!(n > 0);
+    let post = SurvivalWeighted::new(prior, n).unwrap();
+    assert!(post.cdf(claims[0]) >= confs[0].min(0.999) - 1e-9);
+}
+
+#[test]
+fn growth_belief_flows_into_discretized_sweeps() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let times = simulate_power_law(&mut rng, 0.6, 0.6, 30_000.0).unwrap();
+    let fit = PowerLawGrowth::fit(&times, 30_000.0).unwrap();
+    let belief = fit.belief().unwrap();
+    let fast = Discretized::from_distribution(&belief, 256).unwrap();
+    for x in [belief.quantile(0.1).unwrap(), belief.quantile(0.6).unwrap()] {
+        assert!((fast.cdf(x) - belief.cdf(x)).abs() < 5e-3);
+    }
+    // SIL machinery accepts the discretized snapshot directly.
+    let a = SilAssessment::new(&fast, DemandMode::HighDemand);
+    let bp = a.band_probabilities();
+    let total: f64 = SilLevel::ALL.iter().map(|&l| bp.in_band(l)).sum::<f64>() + bp.none();
+    assert!((total - 1.0).abs() < 1e-6);
+}

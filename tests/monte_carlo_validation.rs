@@ -1,0 +1,121 @@
+//! Monte-Carlo validation of the paper's central quantities: sampling
+//! from actual belief distributions must reproduce the analytic bounds,
+//! band probabilities and posterior updates.
+
+use depcase::confidence::WorstCaseBound;
+use depcase::distributions::{Beta, Distribution, LogNormal, SurvivalWeighted, TwoPoint};
+use depcase::sil::{DemandMode, SilAssessment, SilLevel};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+const N: usize = 60_000;
+
+#[test]
+fn eq4_unconditional_failure_probability_by_simulation() {
+    // Draw a pfd from the belief, then a demand outcome; the failure
+    // frequency must match the belief's mean (paper Eq. 4).
+    let belief = Beta::new(2.0, 198.0).unwrap(); // mean 0.01
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut failures = 0u32;
+    for _ in 0..N {
+        let p = belief.sample(&mut rng);
+        if rng.gen::<f64>() < p {
+            failures += 1;
+        }
+    }
+    let freq = f64::from(failures) / N as f64;
+    assert!((freq - 0.01).abs() < 0.002, "freq = {freq}");
+}
+
+#[test]
+fn worst_case_law_attains_bound_by_simulation() {
+    let (y, x) = (1e-3, 0.05);
+    let w = TwoPoint::worst_case(y, x).unwrap();
+    let bound = WorstCaseBound::bound(x, y).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut failures = 0u32;
+    for _ in 0..N {
+        let p = w.sample(&mut rng);
+        if rng.gen::<f64>() < p {
+            failures += 1;
+        }
+    }
+    let freq = f64::from(failures) / N as f64;
+    assert!((freq - bound).abs() < 0.004, "freq = {freq}, bound = {bound}");
+}
+
+#[test]
+fn band_probabilities_match_sampling() {
+    let belief = LogNormal::from_mode_mean(0.003, 0.01).unwrap();
+    let bp = SilAssessment::new(&belief, DemandMode::LowDemand).band_probabilities();
+    let mut rng = StdRng::seed_from_u64(3);
+    let xs = belief.sample_n(&mut rng, N);
+    for level in SilLevel::ALL {
+        let band = level.band(DemandMode::LowDemand);
+        let mut frac = xs
+            .iter()
+            .filter(|&&x| x >= band.lower && x < band.upper)
+            .count() as f64
+            / N as f64;
+        if level == SilLevel::Sil4 {
+            frac += xs.iter().filter(|&&x| x < band.lower).count() as f64 / N as f64;
+        }
+        assert!(
+            (frac - bp.in_band(level)).abs() < 0.01,
+            "{level}: sampled {frac}, analytic {}",
+            bp.in_band(level)
+        );
+    }
+}
+
+#[test]
+fn bayes_posterior_matches_rejection_sampling() {
+    // Sample (pfd, survive-n) pairs from the prior and keep survivors:
+    // the survivor distribution is the SurvivalWeighted posterior.
+    let prior = Beta::new(1.0, 20.0).unwrap();
+    let n_demands = 50u64;
+    let post = SurvivalWeighted::new(prior, n_demands).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut survivors = Vec::new();
+    while survivors.len() < 20_000 {
+        let p = prior.sample(&mut rng);
+        // Survival of n demands at pfd p.
+        if rng.gen::<f64>() < (1.0 - p).powf(n_demands as f64) {
+            survivors.push(p);
+        }
+    }
+    let mc_mean: f64 = survivors.iter().sum::<f64>() / survivors.len() as f64;
+    assert!(
+        (mc_mean - post.mean()).abs() < 0.002,
+        "mc = {mc_mean}, analytic = {}",
+        post.mean()
+    );
+    // CDF agreement at a few points.
+    for q in [0.01, 0.03, 0.08] {
+        let frac = survivors.iter().filter(|&&p| p <= q).count() as f64
+            / survivors.len() as f64;
+        assert!(
+            (frac - post.cdf(q)).abs() < 0.015,
+            "q = {q}: mc {frac} vs {}",
+            post.cdf(q)
+        );
+    }
+}
+
+#[test]
+fn multileg_independent_combination_by_simulation() {
+    // Two independent legs with doubts 0.05 / 0.10: simulate joint
+    // unsoundness.
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut both = 0u32;
+    for _ in 0..N {
+        let a_bad = rng.gen::<f64>() < 0.05;
+        let b_bad = rng.gen::<f64>() < 0.10;
+        if a_bad && b_bad {
+            both += 1;
+        }
+    }
+    let freq = f64::from(both) / N as f64;
+    assert!((freq - 0.005).abs() < 0.001, "freq = {freq}");
+}

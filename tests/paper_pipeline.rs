@@ -1,0 +1,99 @@
+//! End-to-end integration: elicitation → pooling → SIL assessment →
+//! confidence calculus → assurance case, spanning every crate.
+
+use depcase::assurance::{Case, Combination};
+use depcase::confidence::acarp::AcarpPlan;
+use depcase::confidence::{decision, WorstCaseBound};
+use depcase::distributions::{Distribution, LogNormal, SurvivalWeighted};
+use depcase::elicitation::experiment::paper_panel;
+use depcase::elicitation::pooling;
+use depcase::sil::{DemandMode, SilAssessment, SilLevel};
+
+#[test]
+fn panel_to_case_pipeline() {
+    // 1. Elicit.
+    let outcome = paper_panel(99).run();
+    let beliefs: Vec<LogNormal> = outcome.final_phase().main_group_beliefs().unwrap();
+    assert_eq!(beliefs.len(), 9);
+
+    // 2. Pool into a single belief.
+    let pooled = pooling::log_pool_lognormals(&beliefs, None).unwrap();
+    assert!(pooled.mean() > 0.0 && pooled.mean() < 1.0);
+
+    // 3. Assess the SIL.
+    let a = SilAssessment::new(&pooled, DemandMode::LowDemand);
+    let sil2_conf = a.confidence_at_least(SilLevel::Sil2);
+    assert!(sil2_conf > 0.5, "pooled panel should favour SIL2, got {sil2_conf}");
+
+    // 4. Fold in failure-free operating experience and watch confidence
+    //    rise while the mean falls.
+    let plan = AcarpPlan::new(&pooled, 1e-2);
+    let c0 = plan.confidence_after(0).unwrap();
+    let c1000 = plan.confidence_after(1000).unwrap();
+    assert!(c1000 > c0);
+    let post = SurvivalWeighted::new(pooled, 1000).unwrap();
+    assert!(post.mean() < pooled.mean());
+
+    // 5. Cast the posterior confidence into an assurance case and check
+    //    the propagated top-level confidence matches the leaf.
+    let mut case = Case::new("integration");
+    let g = case.add_goal("G1", "pfd < 1e-2").unwrap();
+    let s = case.add_strategy("S1", "single leg", Combination::AllOf).unwrap();
+    let e = case.add_evidence("E1", "posterior judgement", c1000).unwrap();
+    case.support(g, s).unwrap();
+    case.support(s, e).unwrap();
+    let top = case.propagate().unwrap().top().unwrap();
+    assert!((top.independent - c1000).abs() < 1e-12);
+}
+
+#[test]
+fn decision_summary_consistent_with_assessment() {
+    let belief = LogNormal::from_mode_mean(0.003, 0.01).unwrap();
+    let s = decision::summarize(&belief);
+    let a = SilAssessment::new(&belief, DemandMode::LowDemand);
+    assert_eq!(s.sil_of_mean, a.sil_of_mean());
+    assert_eq!(s.sil_of_mode, a.sil_of_mode());
+    assert!((s.failure_probability - belief.mean()).abs() < 1e-15);
+}
+
+#[test]
+fn worst_case_statement_feeds_band_machinery() {
+    // A conservative statement is also a distribution; the SIL machinery
+    // accepts it directly.
+    let conf = WorstCaseBound::required_confidence(1e-3, 1e-4).unwrap();
+    let stmt = depcase::confidence::ConfidenceStatement::new(1e-4, conf).unwrap();
+    let extremal = WorstCaseBound::extremal_distribution(&stmt).unwrap();
+    // Its mean meets the system requirement by construction.
+    assert!(extremal.mean() <= 1e-3 + 1e-12);
+    let a = SilAssessment::new(&extremal, DemandMode::LowDemand);
+    // Mass 1−x at 1e-4 is the SIL3/SIL4 edge: SIL3-or-better confidence
+    // is the statement's confidence.
+    assert!((a.confidence_at_least(SilLevel::Sil3) - conf).abs() < 1e-9);
+}
+
+#[test]
+fn survival_weighting_commutes_with_conjugate_path() {
+    // Beta prior: numeric survival weighting equals the closed form, and
+    // both slot into the SIL assessment identically.
+    let prior = depcase::distributions::Beta::new(1.0, 50.0).unwrap();
+    let numeric = SurvivalWeighted::new(prior, 200).unwrap();
+    let conjugate = prior.update_failure_free(200);
+    let an = SilAssessment::new(&numeric, DemandMode::LowDemand);
+    let ac = SilAssessment::new(&conjugate, DemandMode::LowDemand);
+    for level in SilLevel::ALL {
+        let n = an.confidence_at_least(level);
+        let c = ac.confidence_at_least(level);
+        assert!((n - c).abs() < 1e-5, "{level}: numeric {n} vs conjugate {c}");
+    }
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The root crate exposes every subsystem under stable names.
+    let _ = depcase::numerics::special::erf(1.0);
+    let _ = depcase::distributions::Uniform::unit();
+    let _ = depcase::sil::SilLevel::Sil2;
+    let _ = depcase::confidence::Claim::pfd_below(1e-3).unwrap();
+    let _ = depcase::assurance::Case::new("x");
+    let _ = depcase::elicitation::ExpertProfile::mainstream();
+}

@@ -1,0 +1,151 @@
+//! Cross-crate property tests: the invariants the paper's reasoning
+//! rests on, checked over randomized inputs with proptest.
+
+use depcase::confidence::multileg::{combine_two_legs, Leg};
+use depcase::confidence::WorstCaseBound;
+use depcase::distributions::{Beta, Distribution, Gamma, LogNormal, TwoPoint};
+use depcase::sil::{DemandMode, SilAssessment, SilLevel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Eq. (5) is attained by the extremal two-point law and dominates
+    /// Beta beliefs consistent with the same statement.
+    #[test]
+    fn worst_case_bound_dominates_beta_beliefs(
+        a in 0.5f64..5.0,
+        b in 10.0f64..10_000.0,
+        y in 1e-4f64..0.5,
+    ) {
+        let belief = Beta::new(a, b).unwrap();
+        let doubt = 1.0 - belief.cdf(y);
+        let bound = WorstCaseBound::bound(doubt, y).unwrap();
+        // The belief's mean (Eq. 4) never exceeds the bound.
+        prop_assert!(belief.mean() <= bound + 1e-9,
+            "mean {} > bound {bound}", belief.mean());
+    }
+
+    /// The extremal distribution attains the bound exactly.
+    #[test]
+    fn extremal_two_point_attains_bound(
+        y in 0.0f64..0.99,
+        x in 0.0f64..1.0,
+    ) {
+        let w = TwoPoint::worst_case(y, x).unwrap();
+        let bound = WorstCaseBound::bound(x, y).unwrap();
+        prop_assert!((w.mean() - bound).abs() < 1e-12);
+    }
+
+    /// required_confidence inverts bound for all feasible pairs.
+    #[test]
+    fn required_confidence_inverts_bound(
+        target in 1e-6f64..0.9,
+        frac in 0.01f64..0.99,
+    ) {
+        let claim = target * frac;
+        let conf = WorstCaseBound::required_confidence(target, claim).unwrap();
+        let back = WorstCaseBound::bound(1.0 - conf, claim).unwrap();
+        prop_assert!((back - target).abs() < 1e-10);
+    }
+
+    /// Log-normal CDFs are monotone and quantiles invert them.
+    #[test]
+    fn lognormal_cdf_quantile_inverse(
+        mu in -12.0f64..0.0,
+        sigma in 0.05f64..2.5,
+        p in 0.001f64..0.999,
+    ) {
+        let d = LogNormal::new(mu, sigma).unwrap();
+        let q = d.quantile(p).unwrap();
+        prop_assert!((d.cdf(q) - p).abs() < 1e-8);
+        prop_assert!(d.cdf(q * 1.01) >= d.cdf(q));
+    }
+
+    /// The paper's identity: mean/mode separation grows as 0.65σ²
+    /// decades, for every mode.
+    #[test]
+    fn mean_mode_identity(
+        mode in 1e-6f64..0.1,
+        sigma in 0.05f64..2.0,
+    ) {
+        let d = LogNormal::from_mode_sigma(mode, sigma).unwrap();
+        let decades = (d.mean() / d.mode().unwrap()).log10();
+        prop_assert!((decades - d.mean_mode_decades()).abs() < 1e-9);
+    }
+
+    /// Narrowing a mode-pinned judgement never decreases one-sided
+    /// confidence in a bound above the mode.
+    #[test]
+    fn narrower_judgement_is_at_least_as_confident(
+        mode in 1e-5f64..5e-3,
+        sigma in 0.2f64..1.5,
+    ) {
+        let wide = LogNormal::from_mode_sigma(mode, sigma).unwrap();
+        let narrow = LogNormal::from_mode_sigma(mode, sigma * 0.5).unwrap();
+        let bound = 1e-2;
+        prop_assert!(narrow.cdf(bound) >= wide.cdf(bound) - 1e-12);
+    }
+
+    /// Survival weighting never increases the mean pfd (failure-free
+    /// evidence is always good news).
+    #[test]
+    fn survival_weighting_shrinks_mean(
+        a in 0.5f64..3.0,
+        b in 5.0f64..500.0,
+        n in 1u64..2000,
+    ) {
+        let prior = Beta::new(a, b).unwrap();
+        let post = prior.update_failure_free(n);
+        prop_assert!(post.mean() <= prior.mean());
+        // And the CDF moves up pointwise (stochastic dominance).
+        for x in [0.001, 0.01, 0.1] {
+            prop_assert!(post.cdf(x) >= prior.cdf(x) - 1e-12);
+        }
+    }
+
+    /// Fréchet bounds always bracket the independent leg combination.
+    #[test]
+    fn frechet_brackets_independence(
+        xa in 0.0f64..1.0,
+        xb in 0.0f64..1.0,
+    ) {
+        let c = combine_two_legs(Leg::with_doubt(xa).unwrap(), Leg::with_doubt(xb).unwrap());
+        prop_assert!(c.best_case <= c.independent + 1e-12);
+        prop_assert!(c.independent <= c.worst_case + 1e-12);
+        prop_assert!(c.worst_case <= xa.min(xb) + 1e-12);
+    }
+
+    /// Band probabilities form a distribution over {none, SIL1..SIL4} for
+    /// both families.
+    #[test]
+    fn band_probabilities_sum_to_one(
+        mode in 1e-5f64..5e-2,
+        ratio in 1.05f64..20.0,
+    ) {
+        let mean = mode * ratio;
+        let ln = LogNormal::from_mode_mean(mode, mean).unwrap();
+        let ga = Gamma::from_mode_mean(mode, mean).unwrap();
+        for belief in [&ln as &dyn Distribution, &ga as &dyn Distribution] {
+            let bp = SilAssessment::new(belief, DemandMode::LowDemand).band_probabilities();
+            let total: f64 = SilLevel::ALL.iter().map(|&l| bp.in_band(l)).sum::<f64>() + bp.none();
+            prop_assert!((total - 1.0).abs() < 1e-7, "total {total}");
+        }
+    }
+
+    /// Claimable-at-confidence is antitone in the confidence level.
+    #[test]
+    fn claimable_is_antitone_in_confidence(
+        mode in 1e-5f64..5e-3,
+        sigma in 0.3f64..1.5,
+        c1 in 0.5f64..0.99,
+        c2 in 0.5f64..0.99,
+    ) {
+        let d = LogNormal::from_mode_sigma(mode, sigma).unwrap();
+        let a = SilAssessment::new(&d, DemandMode::LowDemand);
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        let at_lo = a.claimable_at_confidence(lo).map(|l| l.index()).unwrap_or(0);
+        let at_hi = a.claimable_at_confidence(hi).map(|l| l.index()).unwrap_or(0);
+        prop_assert!(at_hi <= at_lo);
+    }
+}
