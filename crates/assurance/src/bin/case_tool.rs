@@ -26,10 +26,7 @@ fn run() -> Result<(), String> {
                 Some(("requirements spec is right", 0.98)),
             )
             .map_err(|e| e.to_string())?;
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&case).map_err(|e| e.to_string())?
-            );
+            println!("{}", serde_json::to_string_pretty(&case).map_err(|e| e.to_string())?);
             Ok(())
         }
         Some("eval") => {

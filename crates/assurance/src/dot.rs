@@ -56,7 +56,8 @@ impl Case {
         for (id, node) in self.iter() {
             for child in self.supporters(id).expect("iterating own nodes") {
                 let child_name = &self.node(child).expect("own node").name;
-                let _ = writeln!(out, "  \"{}\" -> \"{}\";", escape(&node.name), escape(child_name));
+                let _ =
+                    writeln!(out, "  \"{}\" -> \"{}\";", escape(&node.name), escape(child_name));
             }
         }
         out.push_str("}\n");

@@ -72,7 +72,12 @@ impl Case {
     /// Creates an empty case.
     #[must_use]
     pub fn new(title: impl Into<String>) -> Self {
-        Self { title: title.into(), nodes: Vec::new(), children: Vec::new(), by_name: HashMap::new() }
+        Self {
+            title: title.into(),
+            nodes: Vec::new(),
+            children: Vec::new(),
+            by_name: HashMap::new(),
+        }
     }
 
     /// The case title.
@@ -93,7 +98,12 @@ impl Case {
         self.nodes.is_empty()
     }
 
-    fn add_node(&mut self, name: impl Into<String>, statement: impl Into<String>, kind: NodeKind) -> Result<NodeId> {
+    fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        statement: impl Into<String>,
+        kind: NodeKind,
+    ) -> Result<NodeId> {
         let name = name.into();
         if self.by_name.contains_key(&name) {
             return Err(CaseError::DuplicateName(name));
@@ -110,7 +120,11 @@ impl Case {
     /// # Errors
     ///
     /// [`CaseError::DuplicateName`] when the name is taken.
-    pub fn add_goal(&mut self, name: impl Into<String>, statement: impl Into<String>) -> Result<NodeId> {
+    pub fn add_goal(
+        &mut self,
+        name: impl Into<String>,
+        statement: impl Into<String>,
+    ) -> Result<NodeId> {
         self.add_node(name, statement, NodeKind::Goal)
     }
 
@@ -165,7 +179,11 @@ impl Case {
     /// # Errors
     ///
     /// [`CaseError::DuplicateName`] when the name is taken.
-    pub fn add_context(&mut self, name: impl Into<String>, statement: impl Into<String>) -> Result<NodeId> {
+    pub fn add_context(
+        &mut self,
+        name: impl Into<String>,
+        statement: impl Into<String>,
+    ) -> Result<NodeId> {
         self.add_node(name, statement, NodeKind::Context)
     }
 

@@ -50,10 +50,13 @@ mod error;
 mod graph;
 pub mod importance;
 pub mod monte_carlo;
+pub mod plan;
 pub mod propagation;
 pub mod templates;
 
 pub use error::CaseError;
 pub use graph::{Case, Combination, NodeId, NodeKind};
 pub use importance::{birnbaum_importance, LeafImportance};
+pub use monte_carlo::{simulate, simulate_parallel, MonteCarloReport};
+pub use plan::EvalPlan;
 pub use propagation::{ConfidenceReport, NodeConfidence};

@@ -1,17 +1,35 @@
 //! Monte-Carlo cross-check of the analytic propagation.
 //!
 //! Samples each leaf's soundness as an independent Bernoulli with its
-//! elicited confidence, evaluates the case's Boolean structure, and
-//! estimates the root confidence with a normal-approximation confidence
-//! interval. The analytic independence estimate must sit inside the
-//! interval — the test suite uses this as an end-to-end oracle, and
-//! users can call it to sanity-check hand-edited cases.
+//! elicited confidence, evaluates the case's Boolean structure through a
+//! compiled [`EvalPlan`], and estimates the probability each goal or
+//! strategy holds with a Wilson-score confidence interval. The analytic
+//! independence estimate must sit inside the interval — the test suite
+//! uses this as an end-to-end oracle, and users can call it to
+//! sanity-check hand-edited cases.
+//!
+//! # Parallel determinism
+//!
+//! [`simulate_parallel`] splits the sample budget into fixed-size chunks
+//! of [`CHUNK_SAMPLES`]. Chunk `c` draws from its own RNG stream seeded
+//! by a SplitMix64-style mix of `(seed, c)`, so the outcome of every
+//! chunk — and therefore the per-target hit *counts*, which are exact
+//! integer sums — depends only on the seed and the chunk index, never on
+//! which worker thread ran the chunk or in what order. For a fixed seed
+//! the report is **bit-identical** at any thread count.
 
 use crate::error::{CaseError, Result};
-use crate::graph::{Case, Combination, NodeId, NodeKind};
-use rand::Rng;
-use rand::RngCore;
+use crate::graph::{Case, NodeId};
+use crate::plan::EvalPlan;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Samples per parallel chunk. Fixed (not derived from the thread
+/// count) so the chunk→stream mapping is invariant under the worker
+/// topology.
+pub const CHUNK_SAMPLES: u32 = 4096;
 
 /// Monte-Carlo estimate of the probability each goal/strategy holds.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,12 +45,33 @@ impl MonteCarloReport {
         self.estimates.get(&id).copied()
     }
 
-    /// Half-width of the ~95 % normal-approximation confidence interval
-    /// around [`MonteCarloReport::estimate`].
+    /// Half-width of the ~95 % **Wilson-score** confidence interval for
+    /// the node's estimate.
+    ///
+    /// Unlike the normal-approximation (Wald) half-width
+    /// `1.96·√(p(1−p)/n)`, the Wilson half-width stays strictly positive
+    /// at `p̂ = 0` and `p̂ = 1`, so degenerate estimates (all-certain or
+    /// all-impossible leaves) still carry honest sampling uncertainty of
+    /// order `z²/n` instead of a spurious zero.
     #[must_use]
     pub fn half_width(&self, id: NodeId) -> Option<f64> {
         let p = self.estimate(id)?;
-        Some(1.96 * (p * (1.0 - p) / f64::from(self.samples)).sqrt())
+        let n = f64::from(self.samples);
+        let z = 1.96_f64;
+        let z2 = z * z;
+        Some(z * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt() / (1.0 + z2 / n))
+    }
+
+    /// The ~95 % Wilson-score interval `(lo, hi)` for the node's
+    /// estimate, clamped to `[0, 1]`.
+    #[must_use]
+    pub fn interval(&self, id: NodeId) -> Option<(f64, f64)> {
+        let p = self.estimate(id)?;
+        let hw = self.half_width(id)?;
+        let n = f64::from(self.samples);
+        let z2 = 1.96_f64 * 1.96;
+        let center = (p + z2 / (2.0 * n)) / (1.0 + z2 / n);
+        Some(((center - hw).max(0.0), (center + hw).min(1.0)))
     }
 
     /// Number of structure samples drawn.
@@ -42,46 +81,29 @@ impl MonteCarloReport {
     }
 }
 
-/// Evaluates whether node `idx` holds for one sampled leaf outcome.
-fn holds(case: &Case, idx: usize, leaf_ok: &HashMap<usize, bool>) -> bool {
-    let node = case.node_at(idx);
-    match node.kind {
-        NodeKind::Evidence { .. } | NodeKind::Assumption { .. } => leaf_ok[&idx],
-        NodeKind::Context => true,
-        NodeKind::Goal | NodeKind::Strategy(_) => {
-            let rule = match node.kind {
-                NodeKind::Strategy(c) => c,
-                _ => Combination::AllOf,
-            };
-            let mut support_any = false;
-            let mut support_all = true;
-            let mut has_support = false;
-            let mut assumptions_ok = true;
-            for &c in case.children_of(idx) {
-                let child = case.node_at(c);
-                let ok = holds(case, c, leaf_ok);
-                if matches!(child.kind, NodeKind::Assumption { .. }) {
-                    assumptions_ok &= ok;
-                } else {
-                    has_support = true;
-                    support_any |= ok;
-                    support_all &= ok;
-                }
-            }
-            let support_ok = if !has_support {
-                true
-            } else {
-                match rule {
-                    Combination::AllOf => support_all,
-                    Combination::AnyOf => support_any,
-                }
-            };
-            support_ok && assumptions_ok
+/// Runs `count` structure samples with `rng`, accumulating hits.
+fn run_samples(plan: &EvalPlan, count: u32, rng: &mut dyn RngCore, hits: &mut [u64]) {
+    let mut buf = plan.new_buffer();
+    for _ in 0..count {
+        plan.evaluate(rng, &mut buf);
+        for (h, &(_, slot)) in hits.iter_mut().zip(plan.targets()) {
+            *h += u64::from(buf[slot as usize]);
         }
     }
 }
 
-/// Runs `samples` independent structure evaluations.
+fn report_from_hits(plan: &EvalPlan, hits: &[u64], samples: u32) -> MonteCarloReport {
+    let estimates = plan
+        .targets()
+        .iter()
+        .zip(hits)
+        .map(|(&(id, _), &h)| (id, h as f64 / f64::from(samples)))
+        .collect();
+    MonteCarloReport { estimates, samples }
+}
+
+/// Runs `samples` independent structure evaluations with a caller-owned
+/// RNG (sequential reference implementation).
 ///
 /// # Errors
 ///
@@ -105,45 +127,115 @@ fn holds(case: &Case, idx: usize, leaf_ok: &HashMap<usize, bool>) -> bool {
 /// # Ok::<(), depcase_assurance::CaseError>(())
 /// ```
 pub fn simulate(case: &Case, samples: u32, rng: &mut dyn RngCore) -> Result<MonteCarloReport> {
-    case.validate()?;
+    let plan = EvalPlan::compile(case)?;
     if samples == 0 {
         return Err(CaseError::InvalidStructure("need at least one sample".into()));
     }
-    // Collect leaves and targets.
-    let mut leaves: Vec<(usize, f64)> = Vec::new();
-    let mut targets: Vec<(NodeId, usize)> = Vec::new();
-    for (id, node) in case.iter() {
-        let idx = case.index(id)?;
-        match node.kind {
-            NodeKind::Evidence { confidence } | NodeKind::Assumption { confidence } => {
-                leaves.push((idx, confidence));
-            }
-            NodeKind::Goal | NodeKind::Strategy(_) => targets.push((id, idx)),
-            NodeKind::Context => {}
+    let mut hits = vec![0u64; plan.targets().len()];
+    run_samples(&plan, samples, rng, &mut hits);
+    Ok(report_from_hits(&plan, &hits, samples))
+}
+
+/// Derives chunk `c`'s RNG seed from the master seed (SplitMix64-style
+/// finalizer, so nearby chunk indices land in well-separated streams).
+fn chunk_seed(seed: u64, chunk: u64) -> u64 {
+    let mut z = seed ^ chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Number of samples in chunk `c` of a `samples`-sample run.
+fn chunk_len(samples: u32, chunk: u32) -> u32 {
+    let start = chunk * CHUNK_SAMPLES;
+    (samples - start).min(CHUNK_SAMPLES)
+}
+
+/// Runs `samples` structure evaluations across `threads` worker threads,
+/// bit-identically reproducible for a fixed `seed` at **any** thread
+/// count (see the module docs for the chunked seeding scheme).
+///
+/// `threads == 0` selects [`std::thread::available_parallelism`].
+///
+/// # Errors
+///
+/// Structural errors from [`Case::validate`], or
+/// [`CaseError::InvalidStructure`] for `samples == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_assurance::{monte_carlo::simulate_parallel, Case};
+///
+/// let mut case = Case::new("t");
+/// let g = case.add_goal("G", "claim")?;
+/// let e = case.add_evidence("E", "test", 0.9)?;
+/// case.support(g, e)?;
+/// let one = simulate_parallel(&case, 50_000, 7, 1)?;
+/// let four = simulate_parallel(&case, 50_000, 7, 4)?;
+/// assert_eq!(one.estimate(g), four.estimate(g)); // bit-identical
+/// # Ok::<(), depcase_assurance::CaseError>(())
+/// ```
+pub fn simulate_parallel(
+    case: &Case,
+    samples: u32,
+    seed: u64,
+    threads: usize,
+) -> Result<MonteCarloReport> {
+    let plan = EvalPlan::compile(case)?;
+    if samples == 0 {
+        return Err(CaseError::InvalidStructure("need at least one sample".into()));
+    }
+    let chunks = samples.div_ceil(CHUNK_SAMPLES);
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+    .min(chunks as usize)
+    .max(1);
+
+    let targets = plan.targets().len();
+    let next_chunk = AtomicUsize::new(0);
+    let plan_ref = &plan;
+    let next_ref = &next_chunk;
+
+    // Each worker claims chunks dynamically and keeps private per-target
+    // hit totals; integer addition is exact and commutative, so the
+    // merged counts are independent of the chunk→worker assignment.
+    let totals: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = vec![0u64; targets];
+                    loop {
+                        let c = next_ref.fetch_add(1, Ordering::Relaxed) as u32;
+                        if c >= chunks {
+                            break;
+                        }
+                        let mut rng = StdRng::seed_from_u64(chunk_seed(seed, u64::from(c)));
+                        run_samples(plan_ref, chunk_len(samples, c), &mut rng, &mut local);
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    let mut hits = vec![0u64; targets];
+    for local in &totals {
+        for (h, l) in hits.iter_mut().zip(local) {
+            *h += l;
         }
     }
-    let mut hits: HashMap<NodeId, u64> = targets.iter().map(|&(id, _)| (id, 0)).collect();
-    let mut leaf_ok: HashMap<usize, bool> = HashMap::with_capacity(leaves.len());
-    for _ in 0..samples {
-        for &(idx, conf) in &leaves {
-            leaf_ok.insert(idx, rng.gen::<f64>() < conf);
-        }
-        for &(id, idx) in &targets {
-            if holds(case, idx, &leaf_ok) {
-                *hits.get_mut(&id).expect("preinserted") += 1;
-            }
-        }
-    }
-    let estimates = hits
-        .into_iter()
-        .map(|(id, h)| (id, h as f64 / f64::from(samples)))
-        .collect();
-    Ok(MonteCarloReport { estimates, samples })
+    Ok(report_from_hits(&plan, &hits, samples))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Combination;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -210,6 +302,7 @@ mod tests {
         let e = case.add_evidence("E", "a", 0.5).unwrap();
         case.support(g, e).unwrap();
         assert!(simulate(&case, 0, &mut rng(5)).is_err());
+        assert!(simulate_parallel(&case, 0, 5, 2).is_err());
     }
 
     #[test]
@@ -217,6 +310,7 @@ mod tests {
         let mut case = Case::new("t");
         case.add_goal("G", "undeveloped").unwrap();
         assert!(simulate(&case, 100, &mut rng(6)).is_err());
+        assert!(simulate_parallel(&case, 100, 6, 2).is_err());
     }
 
     #[test]
@@ -228,5 +322,100 @@ mod tests {
         let a = simulate(&case, 5000, &mut rng(7)).unwrap();
         let b = simulate(&case, 5000, &mut rng(7)).unwrap();
         assert_eq!(a.estimate(g), b.estimate(g));
+    }
+
+    #[test]
+    fn parallel_bit_identical_across_thread_counts() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G", "top").unwrap();
+        let s = case.add_strategy("S", "legs", Combination::AnyOf).unwrap();
+        let e1 = case.add_evidence("E1", "a", 0.93).unwrap();
+        let e2 = case.add_evidence("E2", "b", 0.81).unwrap();
+        let a = case.add_assumption("A", "env", 0.97).unwrap();
+        case.support(g, s).unwrap();
+        case.support(s, e1).unwrap();
+        case.support(s, e2).unwrap();
+        case.support(g, a).unwrap();
+        // Deliberately not a multiple of CHUNK_SAMPLES: the tail chunk
+        // must land in the same stream wherever it is scheduled.
+        let samples = 3 * CHUNK_SAMPLES + 1234;
+        let reference = simulate_parallel(&case, samples, 99, 1).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let par = simulate_parallel(&case, samples, 99, threads).unwrap();
+            for &(id, _) in EvalPlan::compile(&case).unwrap().targets() {
+                assert_eq!(
+                    reference.estimate(id).unwrap().to_bits(),
+                    par.estimate(id).unwrap().to_bits(),
+                    "thread count {threads} changed the estimate for {id:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_agrees_with_analytic() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G", "top").unwrap();
+        let e1 = case.add_evidence("E1", "a", 0.9).unwrap();
+        let e2 = case.add_evidence("E2", "b", 0.8).unwrap();
+        case.support(g, e1).unwrap();
+        case.support(g, e2).unwrap();
+        let mc = simulate_parallel(&case, 100_000, 11, 4).unwrap();
+        let analytic = case.propagate().unwrap().confidence(g).unwrap().independent;
+        let est = mc.estimate(g).unwrap();
+        assert!(
+            (est - analytic).abs() < mc.half_width(g).unwrap() * 1.5,
+            "mc = {est}, analytic = {analytic}"
+        );
+    }
+
+    #[test]
+    fn wilson_half_width_positive_at_degenerate_estimates() {
+        // All-certain leaves: every sample hits, p̂ = 1.
+        let mut case = Case::new("t");
+        let g = case.add_goal("G", "top").unwrap();
+        let e = case.add_evidence("E", "a", 1.0).unwrap();
+        case.support(g, e).unwrap();
+        let mc = simulate(&case, 10_000, &mut rng(8)).unwrap();
+        assert_eq!(mc.estimate(g), Some(1.0));
+        let hw = mc.half_width(g).unwrap();
+        assert!(hw > 0.0, "degenerate estimate must keep nonzero width");
+        assert!(hw < 0.001, "width {hw} should be ~z²/2n");
+        let (lo, hi) = mc.interval(g).unwrap();
+        assert!(lo < 1.0 && hi <= 1.0, "interval ({lo}, {hi})");
+
+        // All-impossible leaves: no sample hits, p̂ = 0.
+        let mut case = Case::new("t2");
+        let g = case.add_goal("G", "top").unwrap();
+        let e = case.add_evidence("E", "a", 0.0).unwrap();
+        case.support(g, e).unwrap();
+        let mc = simulate(&case, 10_000, &mut rng(9)).unwrap();
+        assert_eq!(mc.estimate(g), Some(0.0));
+        let hw = mc.half_width(g).unwrap();
+        assert!(hw > 0.0);
+        let (lo, hi) = mc.interval(g).unwrap();
+        assert!(lo >= 0.0 && hi > 0.0, "interval ({lo}, {hi})");
+    }
+
+    #[test]
+    fn wilson_close_to_wald_in_the_interior() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G", "top").unwrap();
+        let e = case.add_evidence("E", "a", 0.5).unwrap();
+        case.support(g, e).unwrap();
+        let mc = simulate(&case, 50_000, &mut rng(10)).unwrap();
+        let p = mc.estimate(g).unwrap();
+        let wald = 1.96 * (p * (1.0 - p) / 50_000.0).sqrt();
+        let wilson = mc.half_width(g).unwrap();
+        assert!((wald - wilson).abs() / wald < 0.01, "wald {wald} vs wilson {wilson}");
+    }
+
+    #[test]
+    fn chunk_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..64).map(|c| chunk_seed(42, c)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
     }
 }

@@ -1,0 +1,329 @@
+//! A compiled, flat evaluation plan for a case's Boolean structure.
+//!
+//! The analytic propagation in [`crate::propagation`] memoizes shared
+//! subtrees per call; Monte-Carlo needs the same work done *per sample*,
+//! where a recursive walk with a hash map is the dominant cost. An
+//! [`EvalPlan`] hoists the graph traversal out of the sampling loop: the
+//! case is compiled **once** into a topologically ordered list of
+//! combination steps over a flat slot buffer, so each sample is a single
+//! linear pass with no hashing, no recursion and no allocation.
+//!
+//! The plan is immutable and `Sync`, so the parallel Monte-Carlo engine
+//! shares one compiled plan across worker threads.
+
+use crate::error::Result;
+use crate::graph::{Case, Combination, NodeId, NodeKind};
+use rand::Rng;
+use rand::RngCore;
+
+/// One compiled non-leaf evaluation step.
+#[derive(Debug, Clone, PartialEq)]
+enum Step {
+    /// Context nodes hold vacuously.
+    Constant { slot: u32 },
+    /// A goal or strategy: combine child slots under `rule`, conjoined
+    /// with any attached assumptions.
+    Combine {
+        slot: u32,
+        rule: Combination,
+        /// Slots of supporting (non-assumption) children.
+        support: Vec<u32>,
+        /// Slots of attached assumptions (always conjunctive).
+        assumptions: Vec<u32>,
+    },
+}
+
+/// A case's Boolean structure compiled for repeated evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_assurance::{Case, EvalPlan};
+/// use rand::SeedableRng;
+///
+/// let mut case = Case::new("t");
+/// let g = case.add_goal("G", "claim")?;
+/// let e = case.add_evidence("E", "test", 0.9)?;
+/// case.support(g, e)?;
+///
+/// let plan = EvalPlan::compile(&case)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut buf = plan.new_buffer();
+/// plan.evaluate(&mut rng, &mut buf);
+/// // buf now holds one sampled truth value per node.
+/// assert_eq!(buf.len(), case.len());
+/// # Ok::<(), depcase_assurance::CaseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalPlan {
+    /// Non-leaf steps in topological order: every step's inputs are
+    /// either leaf slots or slots written by an earlier step.
+    steps: Vec<Step>,
+    /// `(slot, confidence)` per Bernoulli leaf, in slot order.
+    leaves: Vec<(u32, f64)>,
+    /// Reported goal/strategy nodes as `(id, slot)`, in slot order.
+    targets: Vec<(NodeId, u32)>,
+    /// Total slot count (= node count of the compiled case).
+    slots: usize,
+}
+
+impl EvalPlan {
+    /// Compiles `case` into a flat evaluation plan.
+    ///
+    /// # Errors
+    ///
+    /// Structural errors from [`Case::validate`].
+    pub fn compile(case: &Case) -> Result<Self> {
+        case.validate()?;
+        let n = case.len();
+        let mut leaves = Vec::new();
+        let mut targets = Vec::new();
+        for (id, node) in case.iter() {
+            let idx = case.index(id)?;
+            match node.kind {
+                NodeKind::Evidence { confidence } | NodeKind::Assumption { confidence } => {
+                    leaves.push((idx as u32, confidence));
+                }
+                NodeKind::Goal | NodeKind::Strategy(_) => targets.push((id, idx as u32)),
+                NodeKind::Context => {}
+            }
+        }
+
+        // Topological order, children before parents. The graph is
+        // acyclic by construction (`Case::support` rejects cycles), so an
+        // iterative post-order DFS with a visited set terminates.
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        for root in 0..n {
+            if visited[root] {
+                continue;
+            }
+            // (node, next child position) stack.
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            visited[root] = true;
+            while let Some(&(node, pos)) = stack.last() {
+                let children = case.children_of(node);
+                if pos < children.len() {
+                    stack.last_mut().expect("nonempty").1 += 1;
+                    let c = children[pos];
+                    if !visited[c] {
+                        visited[c] = true;
+                        stack.push((c, 0));
+                    }
+                } else {
+                    order.push(node);
+                    stack.pop();
+                }
+            }
+        }
+
+        let mut steps = Vec::new();
+        for idx in order {
+            match case.node_at(idx).kind {
+                NodeKind::Evidence { .. } | NodeKind::Assumption { .. } => {}
+                NodeKind::Context => steps.push(Step::Constant { slot: idx as u32 }),
+                NodeKind::Goal | NodeKind::Strategy(_) => {
+                    let rule = match case.node_at(idx).kind {
+                        NodeKind::Strategy(c) => c,
+                        _ => Combination::AllOf,
+                    };
+                    let mut support = Vec::new();
+                    let mut assumptions = Vec::new();
+                    for &c in case.children_of(idx) {
+                        if matches!(case.node_at(c).kind, NodeKind::Assumption { .. }) {
+                            assumptions.push(c as u32);
+                        } else {
+                            support.push(c as u32);
+                        }
+                    }
+                    steps.push(Step::Combine { slot: idx as u32, rule, support, assumptions });
+                }
+            }
+        }
+
+        Ok(Self { steps, leaves, targets, slots: n })
+    }
+
+    /// Number of slots a buffer for this plan needs (= node count).
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of Bernoulli leaves (evidence + assumptions).
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The reported goal/strategy nodes as `(id, slot)` pairs.
+    #[must_use]
+    pub fn targets(&self) -> &[(NodeId, u32)] {
+        &self.targets
+    }
+
+    /// Allocates a correctly sized evaluation buffer.
+    #[must_use]
+    pub fn new_buffer(&self) -> Vec<bool> {
+        vec![false; self.slots]
+    }
+
+    /// Draws one leaf outcome per Bernoulli leaf into `buf`.
+    ///
+    /// Exactly one `f64` is consumed from `rng` per leaf, in slot order —
+    /// the fixed draw count is what makes chunked parallel streams
+    /// reproducible.
+    pub fn sample_leaves(&self, rng: &mut dyn RngCore, buf: &mut [bool]) {
+        for &(slot, conf) in &self.leaves {
+            buf[slot as usize] = rng.gen::<f64>() < conf;
+        }
+    }
+
+    /// Evaluates every non-leaf node from the leaf outcomes already in
+    /// `buf`, in one linear pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `buf` is shorter than [`EvalPlan::slot_count`].
+    pub fn eval_structure(&self, buf: &mut [bool]) {
+        for step in &self.steps {
+            match step {
+                Step::Constant { slot } => buf[*slot as usize] = true,
+                Step::Combine { slot, rule, support, assumptions } => {
+                    let support_ok = if support.is_empty() {
+                        true
+                    } else {
+                        match rule {
+                            Combination::AllOf => support.iter().all(|&c| buf[c as usize]),
+                            Combination::AnyOf => support.iter().any(|&c| buf[c as usize]),
+                        }
+                    };
+                    let assumptions_ok = assumptions.iter().all(|&c| buf[c as usize]);
+                    buf[*slot as usize] = support_ok && assumptions_ok;
+                }
+            }
+        }
+    }
+
+    /// Draws one full structure sample: leaves then combination steps.
+    pub fn evaluate(&self, rng: &mut dyn RngCore, buf: &mut [bool]) {
+        self.sample_leaves(rng, buf);
+        self.eval_structure(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_leg_case() -> (Case, NodeId, NodeId) {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G", "top").unwrap();
+        let s = case.add_strategy("S", "legs", Combination::AnyOf).unwrap();
+        let e1 = case.add_evidence("E1", "a", 0.9).unwrap();
+        let e2 = case.add_evidence("E2", "b", 0.7).unwrap();
+        let a = case.add_assumption("A", "env", 0.95).unwrap();
+        case.support(g, s).unwrap();
+        case.support(s, e1).unwrap();
+        case.support(s, e2).unwrap();
+        case.support(g, a).unwrap();
+        (case, g, s)
+    }
+
+    #[test]
+    fn compiles_counts() {
+        let (case, _, _) = two_leg_case();
+        let plan = EvalPlan::compile(&case).unwrap();
+        assert_eq!(plan.slot_count(), 5);
+        assert_eq!(plan.leaf_count(), 3);
+        assert_eq!(plan.targets().len(), 2);
+    }
+
+    #[test]
+    fn children_evaluated_before_parents() {
+        let (case, g, s) = two_leg_case();
+        let plan = EvalPlan::compile(&case).unwrap();
+        // Force all leaves true and check the structure propagates.
+        let mut buf = plan.new_buffer();
+        buf.iter_mut().for_each(|b| *b = true);
+        plan.eval_structure(&mut buf);
+        let g_slot = plan.targets().iter().find(|&&(id, _)| id == g).unwrap().1;
+        let s_slot = plan.targets().iter().find(|&&(id, _)| id == s).unwrap().1;
+        assert!(buf[g_slot as usize]);
+        assert!(buf[s_slot as usize]);
+    }
+
+    #[test]
+    fn anyof_needs_one_leg_allof_needs_assumption() {
+        let (case, g, s) = two_leg_case();
+        let plan = EvalPlan::compile(&case).unwrap();
+        let slot_of = |name: &str| {
+            let id = case.node_by_name(name).unwrap();
+            case.index(id).unwrap()
+        };
+        let mut buf = plan.new_buffer();
+        // One leg sound, assumption holds.
+        buf[slot_of("E1")] = true;
+        buf[slot_of("E2")] = false;
+        buf[slot_of("A")] = true;
+        plan.eval_structure(&mut buf);
+        let g_slot = plan.targets().iter().find(|&&(id, _)| id == g).unwrap().1;
+        let s_slot = plan.targets().iter().find(|&&(id, _)| id == s).unwrap().1;
+        assert!(buf[s_slot as usize], "AnyOf with one sound leg holds");
+        assert!(buf[g_slot as usize]);
+        // Assumption fails: goal falls even though the strategy holds.
+        buf[slot_of("A")] = false;
+        plan.eval_structure(&mut buf);
+        assert!(buf[s_slot as usize]);
+        assert!(!buf[g_slot as usize], "failed assumption defeats the goal");
+    }
+
+    #[test]
+    fn invalid_case_rejected() {
+        let mut case = Case::new("t");
+        case.add_goal("G", "undeveloped").unwrap();
+        assert!(EvalPlan::compile(&case).is_err());
+    }
+
+    #[test]
+    fn evaluate_is_deterministic_under_seed() {
+        let (case, g, _) = two_leg_case();
+        let plan = EvalPlan::compile(&case).unwrap();
+        let g_slot = plan.targets().iter().find(|&&(id, _)| id == g).unwrap().1;
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut buf = plan.new_buffer();
+            (0..256)
+                .map(|_| {
+                    plan.evaluate(&mut rng, &mut buf);
+                    buf[g_slot as usize]
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn shared_subgraph_compiled_once() {
+        // Diamond: two goals share one evidence node.
+        let mut case = Case::new("t");
+        let g = case.add_goal("G", "top").unwrap();
+        let s1 = case.add_strategy("S1", "a", Combination::AllOf).unwrap();
+        let s2 = case.add_strategy("S2", "b", Combination::AllOf).unwrap();
+        let e = case.add_evidence("E", "shared", 0.5).unwrap();
+        case.support(g, s1).unwrap();
+        case.support(g, s2).unwrap();
+        case.support(s1, e).unwrap();
+        case.support(s2, e).unwrap();
+        let plan = EvalPlan::compile(&case).unwrap();
+        assert_eq!(plan.slot_count(), 4);
+        assert_eq!(plan.leaf_count(), 1);
+        // Both strategies read the same slot: if E is unsound, both fail.
+        let mut buf = plan.new_buffer();
+        plan.eval_structure(&mut buf);
+        let g_slot = plan.targets().iter().find(|&&(id, _)| id == g).unwrap().1;
+        assert!(!buf[g_slot as usize]);
+    }
+}

@@ -101,10 +101,7 @@ pub fn multi_leg(
 /// # Errors
 ///
 /// Propagates node-construction failures; needs at least one strand.
-pub fn sil_claim(
-    sil_statement: &str,
-    strands: &[(&str, f64)],
-) -> Result<(Case, NodeId)> {
+pub fn sil_claim(sil_statement: &str, strands: &[(&str, f64)]) -> Result<(Case, NodeId)> {
     if strands.is_empty() {
         return Err(crate::error::CaseError::InvalidStructure(
             "a SIL-claim case needs at least one evidence strand".into(),

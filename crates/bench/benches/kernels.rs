@@ -33,7 +33,9 @@ fn bench_quadrature(c: &mut Criterion) {
     g.bench_function("gauss32_band_mass", |b| {
         b.iter(|| rule.integrate(|x| d.pdf(x), black_box(1e-3), black_box(1e-2)))
     });
-    g.bench_function("gauss_node_construction_64", |b| b.iter(|| GaussLegendre::new(black_box(64))));
+    g.bench_function("gauss_node_construction_64", |b| {
+        b.iter(|| GaussLegendre::new(black_box(64)))
+    });
     g.finish();
 }
 

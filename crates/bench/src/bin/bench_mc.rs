@@ -1,0 +1,59 @@
+//! Emits `BENCH_mc.json`: throughput and parallel speedup of the
+//! Monte-Carlo engine plus the timed parameter sweeps.
+//!
+//! ```sh
+//! cargo run --release -p depcase-bench --bin bench_mc -- [OUT.json] [--threads N]
+//! ```
+//!
+//! With no arguments the report is written to `BENCH_mc.json` in the
+//! current directory using every available core.
+
+use depcase_bench::sweep::{resolve_threads, run_bench};
+
+fn main() {
+    let mut out = String::from("BENCH_mc.json");
+    let mut threads = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a number"));
+            }
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
+            path => out = path.to_string(),
+        }
+    }
+
+    let threads = resolve_threads(threads);
+    eprintln!("running sweeps on {threads} thread(s)…");
+    let report = run_bench(&[100_000, 400_000, 1_600_000], 42, threads);
+
+    for stage in &report.stages {
+        eprintln!("  {:>16}: {:>8} points in {:.4}s", stage.stage, stage.points, stage.seconds);
+    }
+    for rung in &report.mc {
+        eprintln!(
+            "  mc {:>9} samples: {:>12.0} samples/s single, {:>12.0} parallel ({:.2}x)",
+            rung.samples, rung.samples_per_sec_single, rung.samples_per_sec_parallel, rung.speedup
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: bench_mc [OUT.json] [--threads N]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

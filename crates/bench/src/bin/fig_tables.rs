@@ -48,10 +48,7 @@ fn main() {
             match experiments::by_name(n) {
                 Some(t) => ts.push(t),
                 None => {
-                    eprintln!(
-                        "unknown experiment '{n}'; known: {}",
-                        experiments::NAMES.join(", ")
-                    );
+                    eprintln!("unknown experiment '{n}'; known: {}", experiments::NAMES.join(", "));
                     std::process::exit(2);
                 }
             }

@@ -87,10 +87,8 @@ pub fn calibration_weights(seed: u64) -> Table {
     let q = |p: f64| truth_dist.quantile(p).expect("valid level");
     let (q05, q50, q95) = (q(0.05), q(0.50), q(0.95));
 
-    let calibrated: Vec<QuantileAssessment> = truths
-        .iter()
-        .map(|_| QuantileAssessment::new(q05, q50, q95).expect("ordered"))
-        .collect();
+    let calibrated: Vec<QuantileAssessment> =
+        truths.iter().map(|_| QuantileAssessment::new(q05, q50, q95).expect("ordered")).collect();
     let overconfident: Vec<QuantileAssessment> = truths
         .iter()
         .map(|_| {
@@ -103,8 +101,8 @@ pub fn calibration_weights(seed: u64) -> Table {
         .map(|_| QuantileAssessment::new(q05 * 10.0, q50 * 10.0, q95 * 10.0).expect("ordered"))
         .collect();
 
-    let res = performance_weights(&[calibrated, overconfident, biased], &truths, 0.01)
-        .expect("scorable");
+    let res =
+        performance_weights(&[calibrated, overconfident, biased], &truths, 0.01).expect("scorable");
     let mut t = Table::new(
         format!("X1: calibration-based performance weights, seed {seed}"),
         &["expert", "profile", "calibration_score", "weight"],

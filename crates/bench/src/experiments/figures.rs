@@ -184,8 +184,7 @@ mod tests {
         // the SIL1 band; by mid confidence it is SIL1; at high confidence
         // the mean stays SIL2.
         assert_eq!(t.cell(0, "mean_sil"), Some("none"));
-        let mids: Vec<&str> =
-            (0..t.len()).filter_map(|i| t.cell(i, "mean_sil")).collect();
+        let mids: Vec<&str> = (0..t.len()).filter_map(|i| t.cell(i, "mean_sil")).collect();
         assert!(mids.contains(&"SIL1"), "no SIL1 region in {mids:?}");
         let last = t.len() - 1;
         assert_eq!(t.cell(last, "mean_sil"), Some("SIL2"));

@@ -8,6 +8,7 @@ mod panel5;
 mod protocol_sweep;
 mod sensitivity;
 mod standards;
+mod sweeps;
 mod table1;
 mod worst_case34;
 
@@ -19,6 +20,7 @@ pub use panel5::fig5;
 pub use protocol_sweep::protocol_sweep;
 pub use sensitivity::gamma_sensitivity;
 pub use standards::standards_impact;
+pub use sweeps::mc_sweep;
 pub use table1::table1;
 pub use worst_case34::examples34;
 
@@ -45,6 +47,7 @@ pub fn all() -> Vec<Table> {
         calibration_weights(5),
         composition(),
         protocol_sweep(),
+        mc_sweep(0),
     ]
 }
 
@@ -69,12 +72,13 @@ pub fn by_name(name: &str) -> Option<Table> {
         "calibration" => Some(calibration_weights(5)),
         "composition" => Some(composition()),
         "protocol_sweep" => Some(protocol_sweep()),
+        "mc_sweep" => Some(mc_sweep(0)),
         _ => None,
     }
 }
 
 /// The CLI names accepted by [`by_name`].
-pub const NAMES: [&str; 17] = [
+pub const NAMES: [&str; 18] = [
     "table1",
     "fig1",
     "fig2",
@@ -92,6 +96,7 @@ pub const NAMES: [&str; 17] = [
     "calibration",
     "composition",
     "protocol_sweep",
+    "mc_sweep",
 ];
 
 #[cfg(test)]

@@ -28,32 +28,36 @@ pub fn protocol_sweep() -> Table {
     );
     let variants: Vec<(&str, ProtocolConfig)> = vec![
         ("default", ProtocolConfig::default()),
-        ("no sharpening", ProtocolConfig {
-            info_gain: 1.0,
-            group_info_gain: 1.0,
-            delphi_gain: 1.0,
-            ..ProtocolConfig::default()
-        }),
-        ("strong sharpening", ProtocolConfig {
-            info_gain: 0.7,
-            group_info_gain: 0.7,
-            delphi_gain: 0.7,
-            ..ProtocolConfig::default()
-        }),
-        ("no consensus pull", ProtocolConfig {
-            group_pull: 0.0,
-            delphi_pull: 0.0,
-            ..ProtocolConfig::default()
-        }),
-        ("full consensus pull", ProtocolConfig {
-            group_pull: 1.0,
-            delphi_pull: 1.0,
-            ..ProtocolConfig::default()
-        }),
-        ("pliable doubters", ProtocolConfig {
-            doubter_stubbornness: 0.0,
-            ..ProtocolConfig::default()
-        }),
+        (
+            "no sharpening",
+            ProtocolConfig {
+                info_gain: 1.0,
+                group_info_gain: 1.0,
+                delphi_gain: 1.0,
+                ..ProtocolConfig::default()
+            },
+        ),
+        (
+            "strong sharpening",
+            ProtocolConfig {
+                info_gain: 0.7,
+                group_info_gain: 0.7,
+                delphi_gain: 0.7,
+                ..ProtocolConfig::default()
+            },
+        ),
+        (
+            "no consensus pull",
+            ProtocolConfig { group_pull: 0.0, delphi_pull: 0.0, ..ProtocolConfig::default() },
+        ),
+        (
+            "full consensus pull",
+            ProtocolConfig { group_pull: 1.0, delphi_pull: 1.0, ..ProtocolConfig::default() },
+        ),
+        (
+            "pliable doubters",
+            ProtocolConfig { doubter_stubbornness: 0.0, ..ProtocolConfig::default() },
+        ),
     ];
     for (name, config) in variants {
         let mut conf_acc = 0.0;

@@ -14,9 +14,11 @@ pub fn gamma_sensitivity() -> Table {
         "G1: log-normal vs gamma sensitivity (paper Section 3)",
         &["judgement", "family", "sigma_or_shape", "P(SIL2+)", "P(SIL1+)", "mean_sil"],
     );
-    for &(name, mean) in
-        &[("narrow (mean 0.004)", 0.004), ("medium (mean 0.006)", 0.006), ("wide (mean 0.010)", 0.010)]
-    {
+    for &(name, mean) in &[
+        ("narrow (mean 0.004)", 0.004),
+        ("medium (mean 0.006)", 0.006),
+        ("wide (mean 0.010)", 0.010),
+    ] {
         let ln = LogNormal::from_mode_mean(0.003, mean).expect("valid");
         let ga = Gamma::from_mode_mean(0.003, mean).expect("valid");
         let a_ln = SilAssessment::new(&ln, DemandMode::LowDemand);

@@ -13,7 +13,14 @@ use depcase_sil::{
 pub fn standards_impact() -> Table {
     let mut t = Table::new(
         "N1: IEC 61508 confidence requirements and claim discounting (paper Section 4.3)",
-        &["subject", "detail", "claimable@70%", "claimable@95%", "claimable@99%", "claimable@99.9%"],
+        &[
+            "subject",
+            "detail",
+            "claimable@70%",
+            "claimable@95%",
+            "claimable@99%",
+            "claimable@99.9%",
+        ],
     );
     for (name, d) in paper_judgements() {
         let a = SilAssessment::new(&d, DemandMode::LowDemand);

@@ -1,0 +1,89 @@
+//! M1 — the parallel sweep engine's summary experiment.
+//!
+//! Surfaces the three sweep families of [`crate::sweep`] as one table:
+//! the σ-sweep anchor points of the Section 3.1 identity, the corners of
+//! the worst-case (x, y) grid, and the Monte-Carlo sample-size ladder
+//! with throughput and parallel speedup. The full grids go to
+//! `BENCH_mc.json` via the `bench_mc` binary; this table is the quick,
+//! test-sized view.
+
+use crate::sweep::{mc_ladder, sigma_sweep, worst_case_grid};
+use crate::table::Table;
+use depcase_distributions::LogNormal;
+
+/// Builds the sweep summary table (`fig_tables mc_sweep`).
+#[must_use]
+pub fn mc_sweep(threads: usize) -> Table {
+    let mut t = Table::new(
+        "M1: parallel sweep engine — σ identity, worst-case grid, MC ladder",
+        &["stage", "input", "output", "seconds"],
+    );
+
+    // σ anchor points: one and two decades of mean/mode separation
+    // (σ ≈ 1.24 and σ ≈ 1.75, the Section 3.1 identity inverted).
+    let sigma_1dec = LogNormal::sigma_for_decades(1.0).expect("positive decades");
+    let sigma_2dec = LogNormal::sigma_for_decades(2.0).expect("positive decades");
+    let (points, timing) = sigma_sweep(&[0.5, sigma_1dec, sigma_2dec], threads);
+    for p in &points {
+        t.push_row(vec![
+            "sigma_sweep".into(),
+            format!("sigma={:.4}", p.sigma),
+            format!("decades={:.4} sil2={:.4}", p.mean_mode_decades, p.sil2_confidence),
+            format!("{:.6}", timing.seconds),
+        ]);
+    }
+
+    // Worst-case grid corners (paper §3.4 examples live on the axes).
+    let (grid, timing) = worst_case_grid(&[0.0, 0.0009], &[1e-3, 1e-4], threads);
+    for (i, &x) in grid.doubts.iter().enumerate() {
+        for (j, &y) in grid.claim_bounds.iter().enumerate() {
+            t.push_row(vec![
+                "worst_case_grid".into(),
+                format!("x={x} y={y}"),
+                format!("bound={:.8}", grid.bounds[i][j]),
+                format!("{:.6}", timing.seconds),
+            ]);
+        }
+    }
+
+    // MC ladder, test-sized.
+    let (rungs, timing) = mc_ladder(&[20_000, 60_000], 42, threads);
+    for r in &rungs {
+        t.push_row(vec![
+            "mc_ladder".into(),
+            format!("samples={} threads={}", r.samples, r.threads),
+            format!(
+                "estimate={:.4} sps={:.0} speedup={:.2}",
+                r.estimate, r.samples_per_sec_parallel, r.speedup
+            ),
+            format!("{:.6}", timing.seconds),
+        ]);
+    }
+
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_three_stages() {
+        let t = mc_sweep(2);
+        let stages: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+        assert!(stages.contains(&"sigma_sweep"));
+        assert!(stages.contains(&"worst_case_grid"));
+        assert!(stages.contains(&"mc_ladder"));
+        // 3 sigma points + 4 grid corners + 2 ladder rungs.
+        assert_eq!(t.len(), 9);
+    }
+
+    #[test]
+    fn sigma_anchor_rows_match_paper_identity() {
+        let t = mc_sweep(1);
+        // Row 1: σ = 1.2389 → one decade.
+        assert!(t.cell(1, "output").unwrap().contains("decades=1.000"));
+        // Row 2: σ = 1.7521 → two decades.
+        assert!(t.cell(2, "output").unwrap().contains("decades=2.000"));
+    }
+}

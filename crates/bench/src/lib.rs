@@ -15,6 +15,7 @@
 
 pub mod experiments;
 pub mod plot;
+pub mod sweep;
 pub mod table;
 
 pub use table::Table;

@@ -249,7 +249,8 @@ pub fn figure_svg(name: &str) -> Option<String> {
             } else {
                 (Scale::Linear, Scale::Linear)
             };
-            let mut chart = Chart::new(t.title.clone(), "lambda (pfd)", "density", x_scale, y_scale);
+            let mut chart =
+                Chart::new(t.title.clone(), "lambda (pfd)", "density", x_scale, y_scale);
             for col in 1..t.header.len() {
                 let pts: Vec<(f64, f64)> = (0..t.len())
                     .filter_map(|r| {
@@ -315,8 +316,11 @@ pub fn figure_svg(name: &str) -> Option<String> {
                     })
                     .collect();
                 let doubter = t.cell(expert, "doubter") == Some("true");
-                let label =
-                    if doubter { format!("expert {expert} (doubter)") } else { format!("expert {expert}") };
+                let label = if doubter {
+                    format!("expert {expert} (doubter)")
+                } else {
+                    format!("expert {expert}")
+                };
                 chart.add_series(label, pts);
             }
             Some(chart.to_svg())

@@ -1,0 +1,392 @@
+//! Parallel parameter-sweep engine with per-stage wall-clock timing.
+//!
+//! Three sweep families matter for the paper's quantities:
+//!
+//! - **σ-sweeps** of [`LogNormal::mean_mode_decades`] — the Section 3.1
+//!   identity `log10(mean/mode) = 0.65σ²` traced over a spread grid;
+//! - **(x, y) grids** of `WorstCaseBound::bound` — the Section 3.4
+//!   worst-case failure probability over doubt × claim-bound axes;
+//! - **sample-size ladders** for the Monte-Carlo engine — throughput and
+//!   parallel speedup of [`depcase_assurance::simulate_parallel`].
+//!
+//! Each stage is timed with a monotonic wall clock; [`BenchMcReport`]
+//! serializes the lot as the `BENCH_mc.json` artefact (see
+//! EXPERIMENTS.md). Grid points are distributed over worker threads by
+//! [`par_map`], which preserves input order, so sweep output is
+//! independent of the thread count.
+
+use depcase_assurance::{simulate_parallel, Case, Combination, NodeId};
+use depcase_core::WorstCaseBound;
+use depcase_distributions::LogNormal;
+use depcase_sil::{DemandMode, SilAssessment, SilLevel};
+use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Order-preserving parallel map over a slice.
+///
+/// Items are claimed dynamically by `threads` scoped workers; results
+/// are reassembled in input order, so the output is identical to
+/// `items.iter().map(f).collect()` regardless of scheduling.
+/// `threads == 0` selects [`std::thread::available_parallelism`].
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                tx.send((i, f(&items[i]))).expect("receiver outlives workers");
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter().map(|o| o.expect("every index computed")).collect()
+    })
+}
+
+/// Resolves a thread-count argument (`0` = autodetect).
+#[must_use]
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+}
+
+/// Wall-clock timing of one sweep stage.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageTiming {
+    /// Stage name (e.g. `"sigma_sweep"`).
+    pub stage: String,
+    /// Number of grid points evaluated.
+    pub points: usize,
+    /// Elapsed wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// One point of the σ-sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SigmaPoint {
+    /// Natural-log spread σ of the judgement.
+    pub sigma: f64,
+    /// Decades the mean sits above the mode (`0.65σ²`).
+    pub mean_mode_decades: f64,
+    /// One-sided SIL2-or-better confidence of a mode-0.003 judgement
+    /// with this spread.
+    pub sil2_confidence: f64,
+}
+
+/// Sweeps [`LogNormal::mean_mode_decades`] and the SIL2 membership
+/// confidence over a σ grid (mode fixed at the paper's 0.003).
+///
+/// # Panics
+///
+/// Panics when a grid σ is not a valid log-normal spread — the grids
+/// this harness builds are always positive and finite.
+#[must_use]
+pub fn sigma_sweep(sigmas: &[f64], threads: usize) -> (Vec<SigmaPoint>, StageTiming) {
+    let t0 = Instant::now();
+    let points = par_map(sigmas, threads, |&sigma| {
+        let belief = LogNormal::from_mode_sigma(0.003, sigma).expect("grid sigma is valid");
+        let conf = SilAssessment::new(&belief, DemandMode::LowDemand).confidences();
+        SigmaPoint {
+            sigma,
+            mean_mode_decades: belief.mean_mode_decades(),
+            sil2_confidence: conf[usize::from(SilLevel::Sil2.index()) - 1],
+        }
+    });
+    let timing = StageTiming {
+        stage: "sigma_sweep".into(),
+        points: points.len(),
+        seconds: t0.elapsed().as_secs_f64(),
+    };
+    (points, timing)
+}
+
+/// A `(doubt, claim bound)` grid of the worst-case bound.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WorstCaseGrid {
+    /// Doubt axis `x`.
+    pub doubts: Vec<f64>,
+    /// Claim-bound axis `y`.
+    pub claim_bounds: Vec<f64>,
+    /// `bounds[i][j] = bound(doubts[i], claim_bounds[j])`.
+    pub bounds: Vec<Vec<f64>>,
+}
+
+/// Evaluates the paper's Eq. (5) worst-case bound over the full grid,
+/// one doubt row per worker thread.
+///
+/// # Panics
+///
+/// Panics when an axis value is not a probability — the grids this
+/// harness builds are always in `[0, 1]`.
+#[must_use]
+pub fn worst_case_grid(
+    doubts: &[f64],
+    claim_bounds: &[f64],
+    threads: usize,
+) -> (WorstCaseGrid, StageTiming) {
+    let t0 = Instant::now();
+    let bounds = par_map(doubts, threads, |&x| {
+        WorstCaseBound::bound_grid(&[x], claim_bounds)
+            .expect("grid values are probabilities")
+            .remove(0)
+    });
+    let grid =
+        WorstCaseGrid { doubts: doubts.to_vec(), claim_bounds: claim_bounds.to_vec(), bounds };
+    let timing = StageTiming {
+        stage: "worst_case_grid".into(),
+        points: doubts.len() * claim_bounds.len(),
+        seconds: t0.elapsed().as_secs_f64(),
+    };
+    (grid, timing)
+}
+
+/// One rung of the Monte-Carlo sample-size ladder.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct McRung {
+    /// Structure samples drawn.
+    pub samples: u32,
+    /// Worker threads used for the parallel run.
+    pub threads: usize,
+    /// Single-thread wall-clock seconds.
+    pub secs_single: f64,
+    /// Multi-thread wall-clock seconds.
+    pub secs_parallel: f64,
+    /// Single-thread throughput.
+    pub samples_per_sec_single: f64,
+    /// Multi-thread throughput.
+    pub samples_per_sec_parallel: f64,
+    /// `secs_single / secs_parallel`.
+    pub speedup: f64,
+    /// Root-goal estimate (identical between the two runs by the
+    /// engine's determinism guarantee).
+    pub estimate: f64,
+}
+
+/// The reference case the ladder exercises: three argument legs of four
+/// evidence nodes each under a shared assumption — large enough that
+/// structure evaluation, not setup, dominates.
+///
+/// # Panics
+///
+/// Panics on construction failure (impossible: names are unique and the
+/// structure is a tree).
+#[must_use]
+pub fn ladder_case() -> (Case, NodeId) {
+    let mut case = Case::new("mc-ladder reference");
+    let g = case.add_goal("G", "system meets its SIL2 target").expect("fresh name");
+    let a = case.add_assumption("A0", "operating profile holds", 0.97).expect("fresh name");
+    case.support(g, a).expect("valid edge");
+    let top = case
+        .add_strategy("S", "independent argument legs", Combination::AnyOf)
+        .expect("fresh name");
+    case.support(g, top).expect("valid edge");
+    for leg in 0..3 {
+        let s = case
+            .add_strategy(format!("S{leg}"), "leg evidence conjunction", Combination::AllOf)
+            .expect("fresh name");
+        case.support(top, s).expect("valid edge");
+        for e in 0..4 {
+            let conf = 0.90 + 0.02 * f64::from(e);
+            let ev = case
+                .add_evidence(format!("E{leg}-{e}"), "supporting evidence", conf)
+                .expect("fresh name");
+            case.support(s, ev).expect("valid edge");
+        }
+    }
+    (case, g)
+}
+
+/// Runs the Monte-Carlo engine at each sample size, once on one thread
+/// and once on `threads` workers, recording throughput and speedup.
+///
+/// # Panics
+///
+/// Panics if simulation fails — impossible for the valid reference case
+/// and nonzero sizes.
+#[must_use]
+pub fn mc_ladder(sizes: &[u32], seed: u64, threads: usize) -> (Vec<McRung>, StageTiming) {
+    let threads = resolve_threads(threads);
+    let (case, goal) = ladder_case();
+    let t0 = Instant::now();
+    let rungs = sizes
+        .iter()
+        .map(|&samples| {
+            let t1 = Instant::now();
+            let single = simulate_parallel(&case, samples, seed, 1).expect("valid case");
+            let secs_single = t1.elapsed().as_secs_f64();
+            let t2 = Instant::now();
+            let par = simulate_parallel(&case, samples, seed, threads).expect("valid case");
+            let secs_parallel = t2.elapsed().as_secs_f64();
+            let estimate = single.estimate(goal).expect("goal is a target");
+            assert_eq!(
+                estimate.to_bits(),
+                par.estimate(goal).expect("goal is a target").to_bits(),
+                "determinism violated at {samples} samples"
+            );
+            McRung {
+                samples,
+                threads,
+                secs_single,
+                secs_parallel,
+                samples_per_sec_single: f64::from(samples) / secs_single.max(1e-12),
+                samples_per_sec_parallel: f64::from(samples) / secs_parallel.max(1e-12),
+                speedup: secs_single / secs_parallel.max(1e-12),
+                estimate,
+            }
+        })
+        .collect::<Vec<_>>();
+    let timing = StageTiming {
+        stage: "mc_ladder".into(),
+        points: sizes.len(),
+        seconds: t0.elapsed().as_secs_f64(),
+    };
+    (rungs, timing)
+}
+
+/// The full `BENCH_mc.json` artefact: stage timings plus the ladder.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BenchMcReport {
+    /// Worker threads the parallel runs used.
+    pub threads: usize,
+    /// CPUs the host actually offers — speedup figures are only
+    /// meaningful when this is ≥ `threads`.
+    pub host_parallelism: usize,
+    /// The engine's fixed chunk size (samples per RNG stream).
+    pub chunk_samples: u32,
+    /// Per-stage wall-clock timings.
+    pub stages: Vec<StageTiming>,
+    /// σ-sweep output.
+    pub sigma: Vec<SigmaPoint>,
+    /// Monte-Carlo ladder output.
+    pub mc: Vec<McRung>,
+}
+
+/// Default grids for [`run_bench`]: 256-point σ-sweep, 128×128
+/// worst-case grid, and a 3-rung sample ladder.
+#[must_use]
+pub fn default_sigma_grid() -> Vec<f64> {
+    (1..=256).map(|i| 0.01 * f64::from(i)).collect()
+}
+
+/// Logarithmic probability axis for the worst-case grid.
+#[must_use]
+pub fn default_prob_axis(n: usize) -> Vec<f64> {
+    // 10⁻⁶ … 10⁰, log-spaced.
+    if n <= 1 {
+        return vec![1.0];
+    }
+    (0..n).map(|i| 10f64.powf(-6.0 + 6.0 * i as f64 / (n - 1) as f64)).collect()
+}
+
+/// Runs every sweep stage and assembles the report.
+#[must_use]
+pub fn run_bench(mc_sizes: &[u32], seed: u64, threads: usize) -> BenchMcReport {
+    let threads = resolve_threads(threads);
+    let mut stages = Vec::new();
+    let (sigma, t_sigma) = sigma_sweep(&default_sigma_grid(), threads);
+    stages.push(t_sigma);
+    let axis = default_prob_axis(128);
+    let (_grid, t_grid) = worst_case_grid(&axis, &axis, threads);
+    stages.push(t_grid);
+    let (mc, t_mc) = mc_ladder(mc_sizes, seed, threads);
+    stages.push(t_mc);
+    BenchMcReport {
+        threads,
+        host_parallelism: resolve_threads(0),
+        chunk_samples: depcase_assurance::monte_carlo::CHUNK_SAMPLES,
+        stages,
+        sigma,
+        mc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_and_values() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(par_map(&items, threads, |&x| x * x), seq, "threads = {threads}");
+        }
+        // Empty input and autodetect are fine.
+        assert!(par_map(&[] as &[u64], 0, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn sigma_sweep_hits_paper_identity_points() {
+        // σ ≈ 1.24 ↔ one decade, σ ≈ 1.75 ↔ two decades (Section 3.1).
+        let (points, timing) = sigma_sweep(&[1.2389, 1.7521], 2);
+        assert_eq!(timing.points, 2);
+        assert!((points[0].mean_mode_decades - 1.0).abs() < 1e-3, "{:?}", points[0]);
+        assert!((points[1].mean_mode_decades - 2.0).abs() < 1e-3, "{:?}", points[1]);
+        assert!(timing.seconds >= 0.0);
+    }
+
+    #[test]
+    fn sigma_sweep_thread_count_does_not_change_output() {
+        let grid = default_sigma_grid();
+        let (a, _) = sigma_sweep(&grid, 1);
+        let (b, _) = sigma_sweep(&grid, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worst_case_grid_matches_closed_form() {
+        let (grid, timing) = worst_case_grid(&[0.0, 0.5], &[0.0, 0.2], 2);
+        assert_eq!(timing.points, 4);
+        assert_eq!(grid.bounds[0][0], 0.0);
+        assert!((grid.bounds[1][1] - 0.6).abs() < 1e-15); // 0.5 + 0.2 − 0.1
+    }
+
+    #[test]
+    fn ladder_runs_and_is_deterministic() {
+        let (rungs, timing) = mc_ladder(&[10_000, 20_000], 5, 2);
+        assert_eq!(timing.points, 2);
+        for r in &rungs {
+            assert!(r.samples_per_sec_single > 0.0);
+            assert!(r.samples_per_sec_parallel > 0.0);
+            assert!((0.0..=1.0).contains(&r.estimate));
+        }
+        // Same seed → same estimates at any ladder configuration.
+        let (again, _) = mc_ladder(&[10_000, 20_000], 5, 4);
+        assert_eq!(
+            rungs.iter().map(|r| r.estimate.to_bits()).collect::<Vec<_>>(),
+            again.iter().map(|r| r.estimate.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn report_serializes() {
+        let report = run_bench(&[5_000], 1, 2);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"chunk_samples\""));
+        assert!(json.contains("sigma_sweep"));
+        assert!(json.contains("mc_ladder"));
+    }
+}

@@ -126,7 +126,11 @@ impl<'d, D: Distribution + Clone> AcarpPlan<'d, D> {
             .iter()
             .map(|&n| {
                 let post = SurvivalWeighted::new(self.prior.clone(), n)?;
-                Ok(TrajectoryPoint { demands: n, confidence: post.cdf(self.bound), mean: post.mean() })
+                Ok(TrajectoryPoint {
+                    demands: n,
+                    confidence: post.cdf(self.bound),
+                    mean: post.mean(),
+                })
             })
             .collect()
     }
@@ -187,9 +191,7 @@ pub fn acarp_demands<D: Distribution + Clone>(
     costs: CostModel,
 ) -> Result<u64> {
     if !(costs.cost_per_demand > 0.0) || !(costs.doubt_cost > 0.0) {
-        return Err(ConfidenceError::InvalidArgument(
-            "cost model entries must be positive".into(),
-        ));
+        return Err(ConfidenceError::InvalidArgument("cost model entries must be positive".into()));
     }
     let plan = AcarpPlan::new(prior, bound);
     // Coarse scan over a doubling grid.

@@ -47,10 +47,7 @@ pub fn allocate_series(target: f64, weights: &[f64]) -> Result<Vec<f64>> {
     let total: f64 = weights.iter().sum();
     // Work with survival logs: ln(1 − target) = Σ wᵢ/W · ln(1 − target)
     let log_survival = (-target).ln_1p();
-    Ok(weights
-        .iter()
-        .map(|w| -((w / total * log_survival).exp_m1()))
-        .collect())
+    Ok(weights.iter().map(|w| -((w / total * log_survival).exp_m1())).collect())
 }
 
 /// Equal-share convenience form of [`allocate_series`].
@@ -134,9 +131,7 @@ pub fn required_subsystem_confidences(target: f64, claim_bounds: &[f64]) -> Resu
             "system target must lie in (0, 1), got {target}"
         )));
     }
-    if claim_bounds.is_empty()
-        || claim_bounds.iter().any(|y| !(0.0..1.0).contains(y))
-    {
+    if claim_bounds.is_empty() || claim_bounds.iter().any(|y| !(0.0..1.0).contains(y)) {
         return Err(ConfidenceError::InvalidArgument(
             "claim bounds must be non-empty probabilities below 1".into(),
         ));
@@ -205,8 +200,7 @@ mod tests {
             ConfidenceStatement::new(1e-4, 0.999).unwrap(),
             ConfidenceStatement::new(2e-4, 0.9995).unwrap(),
         ];
-        let want: f64 =
-            subs.iter().map(|s| s.worst_case_failure_probability()).sum();
+        let want: f64 = subs.iter().map(|s| s.worst_case_failure_probability()).sum();
         assert!((compose_series_bound(&subs).unwrap() - want).abs() < 1e-15);
         assert!(compose_series_bound(&[]).is_err());
     }

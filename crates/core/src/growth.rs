@@ -71,10 +71,7 @@ impl PowerLawGrowth {
 
         // u-plot: under the fitted model, conditional on n, the values
         // uᵢ = (tᵢ/T)^β̂ are distributed like uniform order statistics.
-        let mut us: Vec<f64> = failure_times
-            .iter()
-            .map(|&t| (t / total_time).powf(beta))
-            .collect();
+        let mut us: Vec<f64> = failure_times.iter().map(|&t| (t / total_time).powf(beta)).collect();
         us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let mut ks: f64 = 0.0;
         for (i, &u) in us.iter().enumerate() {
@@ -321,7 +318,12 @@ mod tests {
         let fit = PowerLawGrowth::fit(&times, 2000.0).unwrap();
         let (ok_times, t) = simulated(0.6, 47);
         let good = PowerLawGrowth::fit(&ok_times, t).unwrap();
-        assert!(fit.ks_distance() > good.ks_distance(), "{} vs {}", fit.ks_distance(), good.ks_distance());
+        assert!(
+            fit.ks_distance() > good.ks_distance(),
+            "{} vs {}",
+            fit.ks_distance(),
+            good.ks_distance()
+        );
     }
 
     #[test]

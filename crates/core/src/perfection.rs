@@ -186,11 +186,7 @@ mod tests {
         ])
         .unwrap();
         let closed = WorstCaseBound::bound_with_perfection(x, y, p0).unwrap();
-        assert!(
-            (three_atoms.mean() - closed).abs() < 1e-15,
-            "{} vs {closed}",
-            three_atoms.mean()
-        );
+        assert!((three_atoms.mean() - closed).abs() < 1e-15, "{} vs {closed}", three_atoms.mean());
         // The helper's mixture (perfection alongside a statement-worst
         // body) is *less* conservative: its doubt is also scaled by
         // 1 − p0, so the closed form dominates it.

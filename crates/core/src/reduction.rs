@@ -164,8 +164,7 @@ mod tests {
 
     #[test]
     fn reduction_grows_with_spread() {
-        let pairs =
-            reduction_vs_spread(0.003, &[0.1, 0.5, 1.0, 1.8], 0.99).unwrap();
+        let pairs = reduction_vs_spread(0.003, &[0.1, 0.5, 1.0, 1.8], 0.99).unwrap();
         let reductions: Vec<i8> = pairs.iter().map(|(_, r)| r.unwrap_or(4)).collect();
         for w in reductions.windows(2) {
             assert!(w[1] >= w[0], "reduction not monotone: {reductions:?}");

@@ -308,10 +308,7 @@ mod tests {
             assert!(bound >= extremal, "n = {n}");
             // Tight up to constants; the slack shrinks as n grows.
             let floor = if n >= 10 { 0.85 } else { 0.6 };
-            assert!(
-                extremal >= floor * bound,
-                "n = {n}: bound is loose: {extremal} vs {bound}"
-            );
+            assert!(extremal >= floor * bound, "n = {n}: bound is loose: {extremal} vs {bound}");
         }
         assert!(conservative_predictive_bound(0).is_err());
     }

@@ -49,6 +49,40 @@ impl WorstCaseBound {
         Ok(doubt + claim_bound - doubt * claim_bound)
     }
 
+    /// Evaluates [`WorstCaseBound::bound`] over the full `(x, y)` grid —
+    /// the batched entry point parameter sweeps drive. Row `i` of the
+    /// result holds the bounds for `doubts[i]` against every claim
+    /// bound, so `out[i][j] = bound(doubts[i], claim_bounds[j])`.
+    ///
+    /// Inputs are validated once per axis value rather than once per
+    /// grid cell.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfidenceError::InvalidArgument`] when any axis value is not a
+    /// probability.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use depcase_core::WorstCaseBound;
+    ///
+    /// let grid = WorstCaseBound::bound_grid(&[0.0, 0.0009], &[1e-3, 1e-4])?;
+    /// assert_eq!(grid.len(), 2);
+    /// assert!((grid[0][0] - 1e-3).abs() < 1e-15); // zero doubt: bound = y
+    /// assert!((grid[1][1] - 0.00099991).abs() < 1e-10);
+    /// # Ok::<(), depcase_core::ConfidenceError>(())
+    /// ```
+    pub fn bound_grid(doubts: &[f64], claim_bounds: &[f64]) -> Result<Vec<Vec<f64>>> {
+        for &x in doubts {
+            check_prob("doubt", x)?;
+        }
+        for &y in claim_bounds {
+            check_prob("claim bound", y)?;
+        }
+        Ok(doubts.iter().map(|&x| claim_bounds.iter().map(|&y| x + y - x * y).collect()).collect())
+    }
+
     /// The perfection-probability refinement (the paper's footnote to
     /// Section 3.4): if the expert additionally holds probability `p0`
     /// that the system is *perfect* (pfd = 0), the bound tightens to
@@ -204,6 +238,24 @@ fn check_prob(name: &str, v: f64) -> Result<()> {
 mod tests {
     use super::*;
     use depcase_distributions::Beta;
+
+    #[test]
+    fn bound_grid_matches_pointwise_bound() {
+        let xs = [0.0, 1e-4, 0.05, 0.5, 1.0];
+        let ys = [0.0, 1e-5, 1e-3, 0.1, 1.0];
+        let grid = WorstCaseBound::bound_grid(&xs, &ys).unwrap();
+        assert_eq!(grid.len(), xs.len());
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(grid[i].len(), ys.len());
+            for (j, &y) in ys.iter().enumerate() {
+                let direct = WorstCaseBound::bound(x, y).unwrap();
+                assert_eq!(grid[i][j].to_bits(), direct.to_bits(), "({x}, {y})");
+            }
+        }
+        // Axis validation still applies.
+        assert!(WorstCaseBound::bound_grid(&[1.5], &[0.1]).is_err());
+        assert!(WorstCaseBound::bound_grid(&[0.1], &[-0.2]).is_err());
+    }
 
     #[test]
     fn eq5_examples_from_paper() {

@@ -69,12 +69,7 @@ impl Discretized {
             ));
         }
         let table = LinearInterp::new(xs, ps)?;
-        Ok(Self {
-            table,
-            mean: source.mean(),
-            variance: source.variance(),
-            mode: source.mode(),
-        })
+        Ok(Self { table, mean: source.mean(), variance: source.variance(), mode: source.mode() })
     }
 
     /// Number of stored grid points.

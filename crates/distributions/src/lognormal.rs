@@ -518,8 +518,7 @@ mod tests {
         let d = LogNormal::new(-4.0, 0.5).unwrap();
         let mut rng = StdRng::seed_from_u64(42);
         let xs = d.sample_n(&mut rng, 50_000);
-        let log_acc: depcase_numerics::stats::Accumulator =
-            xs.iter().map(|x| x.ln()).collect();
+        let log_acc: depcase_numerics::stats::Accumulator = xs.iter().map(|x| x.ln()).collect();
         assert!((log_acc.mean() + 4.0).abs() < 0.01);
         assert!((log_acc.sample_std() - 0.5).abs() < 0.01);
         assert!(xs.iter().all(|&x| x > 0.0));

@@ -85,16 +85,9 @@ impl Mixture {
 
 impl Distribution for Mixture {
     fn support(&self) -> Support {
-        let lo = self
-            .components
-            .iter()
-            .map(|c| c.dist.support().lo)
-            .fold(f64::INFINITY, f64::min);
-        let hi = self
-            .components
-            .iter()
-            .map(|c| c.dist.support().hi)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let lo = self.components.iter().map(|c| c.dist.support().lo).fold(f64::INFINITY, f64::min);
+        let hi =
+            self.components.iter().map(|c| c.dist.support().hi).fold(f64::NEG_INFINITY, f64::max);
         Support { lo, hi }
     }
 

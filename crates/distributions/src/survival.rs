@@ -28,9 +28,8 @@ const QUAD_TOL: f64 = 1e-10;
 /// `[0, ∞)`) would sail straight past the mass. Splitting at the prior's
 /// own quantiles guarantees every panel holds a bounded fraction of the
 /// prior mass, so the adaptive rule always sees the peak.
-const KNOT_LEVELS: [f64; 15] = [
-    1e-12, 1e-9, 1e-6, 1e-4, 1e-3, 0.01, 0.05, 0.15, 0.30, 0.50, 0.70, 0.85, 0.95, 0.99, 0.9999,
-];
+const KNOT_LEVELS: [f64; 15] =
+    [1e-12, 1e-9, 1e-6, 1e-4, 1e-3, 0.01, 0.05, 0.15, 0.30, 0.50, 0.70, 0.85, 0.95, 0.99, 0.9999];
 
 /// Builds sorted, deduplicated integration knots inside `[lo, hi]` from a
 /// prior's quantiles, always including both endpoints.

@@ -129,6 +129,18 @@ pub trait Distribution: std::fmt::Debug + Send + Sync {
         }
         (self.cdf(hi) - self.cdf(lo)).clamp(0.0, 1.0)
     }
+
+    /// Evaluates the CDF at every point of `xs` — the batched entry
+    /// point parameter sweeps drive, amortizing dynamic dispatch over
+    /// the whole grid.
+    fn cdf_many(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.cdf(x)).collect()
+    }
+
+    /// Evaluates the survival function at every point of `xs`.
+    fn sf_many(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.sf(x)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -165,5 +177,51 @@ mod tests {
     #[test]
     fn distribution_is_object_safe() {
         fn _takes_dyn(_: &dyn Distribution) {}
+    }
+
+    /// Uniform(0, 1): just enough to exercise the default methods.
+    #[derive(Debug)]
+    struct Unit;
+
+    impl Distribution for Unit {
+        fn support(&self) -> Support {
+            Support::unit_interval()
+        }
+        fn pdf(&self, x: f64) -> f64 {
+            f64::from(u8::from((0.0..=1.0).contains(&x)))
+        }
+        fn cdf(&self, x: f64) -> f64 {
+            x.clamp(0.0, 1.0)
+        }
+        fn quantile(&self, p: f64) -> crate::error::Result<f64> {
+            Ok(p)
+        }
+        fn mean(&self) -> f64 {
+            0.5
+        }
+        fn variance(&self) -> f64 {
+            1.0 / 12.0
+        }
+        fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+            rand::Rng::gen::<f64>(rng)
+        }
+    }
+
+    #[test]
+    fn cdf_many_matches_pointwise_cdf() {
+        let d = Unit;
+        let xs = [-0.5, 0.0, 0.25, 0.75, 1.0, 2.0];
+        let batch = d.cdf_many(&xs);
+        assert_eq!(batch.len(), xs.len());
+        for (&x, &c) in xs.iter().zip(&batch) {
+            assert_eq!(c, d.cdf(x));
+        }
+        let sf = d.sf_many(&xs);
+        for (&x, &s) in xs.iter().zip(&sf) {
+            assert_eq!(s, d.sf(x));
+        }
+        // Works through a trait object too.
+        let dynd: &dyn Distribution = &d;
+        assert_eq!(dynd.cdf_many(&xs), batch);
     }
 }

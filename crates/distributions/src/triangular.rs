@@ -149,8 +149,8 @@ mod tests {
     #[test]
     fn density_integrates_to_one() {
         let t = Triangular::new(0.0, 1.0, 4.0).unwrap();
-        let r = depcase_numerics::integrate::adaptive_simpson(|x| t.pdf(x), 0.0, 4.0, 1e-10)
-            .unwrap();
+        let r =
+            depcase_numerics::integrate::adaptive_simpson(|x| t.pdf(x), 0.0, 4.0, 1e-10).unwrap();
         assert!(approx_eq(r.value, 1.0, 1e-8, 1e-8));
     }
 

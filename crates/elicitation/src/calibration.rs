@@ -168,8 +168,7 @@ pub fn performance_weights(
         let score = calibration_score(&counts)?;
         raw.push((i, score));
     }
-    let mut kept: Vec<f64> =
-        raw.iter().map(|&(_, s)| if s >= cutoff { s } else { 0.0 }).collect();
+    let mut kept: Vec<f64> = raw.iter().map(|&(_, s)| if s >= cutoff { s } else { 0.0 }).collect();
     let total: f64 = kept.iter().sum();
     if total == 0.0 {
         // Everyone failed the gate: uniform fallback.
@@ -251,23 +250,16 @@ mod tests {
         let q05 = truth_dist.quantile(0.05).unwrap();
         let q50 = truth_dist.quantile(0.50).unwrap();
         let q95 = truth_dist.quantile(0.95).unwrap();
-        let calibrated: Vec<QuantileAssessment> = truths
-            .iter()
-            .map(|_| QuantileAssessment::new(q05, q50, q95).unwrap())
-            .collect();
+        let calibrated: Vec<QuantileAssessment> =
+            truths.iter().map(|_| QuantileAssessment::new(q05, q50, q95).unwrap()).collect();
         let overconfident: Vec<QuantileAssessment> = truths
             .iter()
             .map(|_| {
-                QuantileAssessment::new(
-                    q50 - (q50 - q05) / 5.0,
-                    q50,
-                    q50 + (q95 - q50) / 5.0,
-                )
-                .unwrap()
+                QuantileAssessment::new(q50 - (q50 - q05) / 5.0, q50, q50 + (q95 - q50) / 5.0)
+                    .unwrap()
             })
             .collect();
-        let res =
-            performance_weights(&[calibrated, overconfident], &truths, 0.01).unwrap();
+        let res = performance_weights(&[calibrated, overconfident], &truths, 0.01).unwrap();
         assert!(res[0].score > res[1].score, "{} vs {}", res[0].score, res[1].score);
         assert!(res[0].weight > 0.9, "calibrated weight {}", res[0].weight);
     }

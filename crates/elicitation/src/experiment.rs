@@ -88,8 +88,7 @@ pub fn figure5_series(outcome: &ExperimentOutcome) -> Vec<(Phase, Vec<ExpertPoin
         .phases()
         .iter()
         .map(|r| {
-            let pts =
-                r.judgements.iter().map(|j| (j.expert_id, j.doubter, j.mode_pfd)).collect();
+            let pts = r.judgements.iter().map(|j| (j.expert_id, j.doubter, j.mode_pfd)).collect();
             (r.phase, pts)
         })
         .collect()

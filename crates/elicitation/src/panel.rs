@@ -54,10 +54,7 @@ impl PhaseRecord {
     /// Propagates belief construction failures (cannot occur for panel
     /// states).
     pub fn main_group_beliefs(&self) -> Result<Vec<LogNormal>, DistError> {
-        self.main_group()
-            .iter()
-            .map(|j| LogNormal::from_mode_sigma(j.mode_pfd, j.sigma))
-            .collect()
+        self.main_group().iter().map(|j| LogNormal::from_mode_sigma(j.mode_pfd, j.sigma)).collect()
     }
 
     /// Linear pool of the main group's beliefs.
@@ -192,10 +189,13 @@ impl Panel {
         }
         records.push(record_phase(Phase::InfoRequest, &experts));
 
-        // Phase 3: group disclosure — pull toward the main group's
-        // geometric-mean judgement, further sharpening.
+        // Phase 3: group disclosure of *all* requested information —
+        // every expert now reads the evidence the others asked for (a
+        // second drift toward the nominal value), then pulls toward the
+        // main group's geometric-mean judgement, further sharpening.
         let group_target = main_group_log10_geomean(&experts);
         for e in &mut experts {
+            e.apply_evidence_drift(nominal_log10, self.evidence_drift);
             e.apply_pull(group_target, self.config.group_pull, self.config.doubter_stubbornness);
             e.apply_gain(self.config.group_info_gain);
         }

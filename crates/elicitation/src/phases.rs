@@ -18,7 +18,8 @@ pub enum Phase {
 
 impl Phase {
     /// All phases in protocol order.
-    pub const ALL: [Phase; 4] = [Phase::Initial, Phase::InfoRequest, Phase::GroupInfo, Phase::Delphi];
+    pub const ALL: [Phase; 4] =
+        [Phase::Initial, Phase::InfoRequest, Phase::GroupInfo, Phase::Delphi];
 
     /// Zero-based protocol position.
     #[must_use]

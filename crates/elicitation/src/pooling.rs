@@ -123,10 +123,8 @@ pub fn median_of_modes(beliefs: &[LogNormal]) -> Result<f64, DistError> {
     if beliefs.is_empty() {
         return Err(DistError::InvalidParameter("median of zero beliefs".into()));
     }
-    let modes: Vec<f64> = beliefs
-        .iter()
-        .map(|b| b.mode().expect("log-normals always have a mode"))
-        .collect();
+    let modes: Vec<f64> =
+        beliefs.iter().map(|b| b.mode().expect("log-normals always have a mode")).collect();
     median(&modes).map_err(DistError::from)
 }
 
@@ -174,9 +172,8 @@ mod tests {
         let max_sigma = bs.iter().map(|b| b.sigma()).fold(0.0, f64::max);
         assert!(pooled.sigma() >= min_sigma && pooled.sigma() <= max_sigma);
         // Exact value: 1/σ*² = mean of 1/σᵢ².
-        let want = (bs.iter().map(|b| 1.0 / (b.sigma() * b.sigma())).sum::<f64>() / 3.0)
-            .recip()
-            .sqrt();
+        let want =
+            (bs.iter().map(|b| 1.0 / (b.sigma() * b.sigma())).sum::<f64>() / 3.0).recip().sqrt();
         assert!(approx_eq(pooled.sigma(), want, 1e-12, 0.0));
     }
 

@@ -89,7 +89,9 @@ mod tests {
     fn display_tolerance() {
         let e = NumericsError::ToleranceNotReached { achieved: 1e-3, requested: 1e-9 };
         let s = e.to_string();
-        assert!(s.contains("1e-3") || s.contains("1e-3") || s.contains("0.001") || s.contains("1e-3"));
+        assert!(
+            s.contains("1e-3") || s.contains("1e-3") || s.contains("0.001") || s.contains("1e-3")
+        );
         assert!(s.contains("tolerance"));
     }
 

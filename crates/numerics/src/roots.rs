@@ -47,7 +47,9 @@ where
     F: Fn(f64) -> f64,
 {
     if !a.is_finite() || !b.is_finite() {
-        return Err(NumericsError::Domain(format!("bisect requires finite limits, got [{a}, {b}]")));
+        return Err(NumericsError::Domain(format!(
+            "bisect requires finite limits, got [{a}, {b}]"
+        )));
     }
     let (mut lo, mut hi) = if a <= b { (a, b) } else { (b, a) };
     let mut flo = f(lo);

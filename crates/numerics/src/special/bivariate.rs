@@ -45,7 +45,7 @@ use crate::integrate::adaptive_simpson;
 /// # Ok::<(), depcase_numerics::NumericsError>(())
 /// ```
 pub fn bivariate_norm_cdf(h: f64, k: f64, rho: f64) -> Result<f64> {
-    if h.is_nan() || k.is_nan() || !( -1.0..=1.0).contains(&rho) {
+    if h.is_nan() || k.is_nan() || !(-1.0..=1.0).contains(&rho) {
         return Err(NumericsError::Domain(format!(
             "bivariate_norm_cdf requires rho in [-1, 1] and finite-or-infinite h, k; \
              got h = {h}, k = {k}, rho = {rho}"
@@ -171,8 +171,7 @@ mod tests {
     fn sf_complements() {
         let (h, k, rho) = (0.4, -0.9, 0.3);
         let sf = bivariate_norm_sf(h, k, rho).unwrap();
-        let direct =
-            1.0 - norm_cdf(h) - norm_cdf(k) + bivariate_norm_cdf(h, k, rho).unwrap();
+        let direct = 1.0 - norm_cdf(h) - norm_cdf(k) + bivariate_norm_cdf(h, k, rho).unwrap();
         assert!(approx_eq(sf, direct, 1e-14, 1e-15));
         // Symmetry of the standard bivariate normal: P(X>h, Y>k; ρ) =
         // Φ₂(−h, −k; ρ).

@@ -400,10 +400,7 @@ mod tests {
         ];
         for &(x, want) in refs {
             let got = erfc(x);
-            assert!(
-                approx_eq(got, want, 1e-12, 0.0),
-                "erfc({x}) = {got:e}, want {want:e}"
-            );
+            assert!(approx_eq(got, want, 1e-12, 0.0), "erfc({x}) = {got:e}, want {want:e}");
         }
     }
 

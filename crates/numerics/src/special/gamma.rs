@@ -311,7 +311,8 @@ pub fn digamma(x: f64) -> f64 {
     let inv = 1.0 / x;
     let inv2 = inv * inv;
     // Asymptotic series: ln x − 1/(2x) − Σ B₂ₙ/(2n x^{2n}).
-    result + x.ln() - 0.5 * inv
+    result + x.ln()
+        - 0.5 * inv
         - inv2
             * (1.0 / 12.0
                 - inv2
@@ -320,9 +321,7 @@ pub fn digamma(x: f64) -> f64 {
                             * (1.0 / 252.0
                                 - inv2
                                     * (1.0 / 240.0
-                                        - inv2
-                                            * (1.0 / 132.0
-                                                - inv2 * (691.0 / 32760.0))))))
+                                        - inv2 * (1.0 / 132.0 - inv2 * (691.0 / 32760.0))))))
 }
 
 /// Trigamma function `ψ′(x)`, for `x > 0`.
@@ -504,12 +503,7 @@ mod tests {
         assert!(approx_eq(digamma(1.0), -EULER, 1e-12, 0.0));
         assert!(approx_eq(digamma(2.0), 1.0 - EULER, 1e-12, 0.0));
         // ψ(1/2) = −γ − 2 ln 2
-        assert!(approx_eq(
-            digamma(0.5),
-            -EULER - 2.0 * std::f64::consts::LN_2,
-            1e-12,
-            0.0
-        ));
+        assert!(approx_eq(digamma(0.5), -EULER - 2.0 * std::f64::consts::LN_2, 1e-12, 0.0));
     }
 
     #[test]

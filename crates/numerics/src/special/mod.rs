@@ -19,6 +19,4 @@ mod gamma;
 pub use beta::{inv_reg_inc_beta, ln_beta, reg_inc_beta};
 pub use bivariate::{bivariate_norm_cdf, bivariate_norm_sf};
 pub use erf::{erf, erfc, inv_erf, inv_erfc, norm_cdf, norm_pdf, norm_quantile, norm_sf};
-pub use gamma::{
-    digamma, gamma, inv_reg_gamma_p, ln_gamma, reg_gamma_p, reg_gamma_q, trigamma,
-};
+pub use gamma::{digamma, gamma, inv_reg_gamma_p, ln_gamma, reg_gamma_p, reg_gamma_q, trigamma};

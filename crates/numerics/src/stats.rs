@@ -294,7 +294,9 @@ impl Histogram {
             return Err(NumericsError::Domain("histogram needs at least two edges".into()));
         }
         if edges.windows(2).any(|w| w[0] >= w[1]) {
-            return Err(NumericsError::Domain("histogram edges must be strictly increasing".into()));
+            return Err(NumericsError::Domain(
+                "histogram edges must be strictly increasing".into(),
+            ));
         }
         let bins = edges.len() - 1;
         Ok(Self { edges, counts: vec![0; bins], underflow: 0, overflow: 0 })
@@ -314,9 +316,8 @@ impl Histogram {
         }
         let llo = lo.ln();
         let lhi = hi.ln();
-        let edges = (0..=bins)
-            .map(|i| (llo + (lhi - llo) * i as f64 / bins as f64).exp())
-            .collect();
+        let edges =
+            (0..=bins).map(|i| (llo + (lhi - llo) * i as f64 / bins as f64).exp()).collect();
         Self::new(edges)
     }
 

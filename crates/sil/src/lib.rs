@@ -49,6 +49,5 @@ pub mod standards;
 pub use band::{DemandMode, SilBand, SilLevel};
 pub use membership::{BandProbabilities, SilAssessment};
 pub use standards::{
-    claim_limit_for_argument, discounted_sil, required_confidence, ArgumentRigour,
-    EvidenceContext,
+    claim_limit_for_argument, discounted_sil, required_confidence, ArgumentRigour, EvidenceContext,
 };

@@ -50,13 +50,23 @@ impl BandProbabilities {
     }
 
     /// The most probable single band, if any band dominates "no SIL".
+    ///
+    /// Total on all inputs: a NaN band probability (conceivable when the
+    /// underlying belief's CDF is evaluated outside its numerically
+    /// stable range) is ordered below every real probability by
+    /// [`f64::total_cmp`] rather than panicking, and the `>=` comparison
+    /// against the "no SIL" mass then rejects it.
     #[must_use]
     pub fn most_probable(&self) -> Option<SilLevel> {
-        let (best_idx, best_p) = self
-            .per_level
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))?;
+        let (best_idx, best_p) = self.per_level.iter().enumerate().max_by(|a, b| {
+            // NaN-aware: order NaN below every number so it can
+            // never be selected over a real probability.
+            match (a.1.is_nan(), b.1.is_nan()) {
+                (true, false) => std::cmp::Ordering::Less,
+                (false, true) => std::cmp::Ordering::Greater,
+                _ => a.1.total_cmp(b.1),
+            }
+        })?;
         if *best_p >= self.none {
             SilLevel::from_index(best_idx as u8 + 1)
         } else {
@@ -98,6 +108,24 @@ impl<'d, D: Distribution + ?Sized> SilAssessment<'d, D> {
     #[must_use]
     pub fn confidence_at_least(&self, level: SilLevel) -> f64 {
         self.belief.cdf(level.band(self.mode).upper)
+    }
+
+    /// One-sided membership confidences for every level in one batched
+    /// CDF evaluation: entry `i` is `P(λ < upper edge of SIL i+1)`.
+    ///
+    /// Equivalent to calling [`SilAssessment::confidence_at_least`] per
+    /// level, but routed through [`Distribution::cdf_many`] so sweeps
+    /// pay the dynamic-dispatch and setup cost once per belief instead
+    /// of once per level.
+    #[must_use]
+    pub fn confidences(&self) -> [f64; 4] {
+        let uppers: Vec<f64> = SilLevel::ALL.iter().map(|l| l.band(self.mode).upper).collect();
+        let cdfs = self.belief.cdf_many(&uppers);
+        let mut out = [0.0; 4];
+        for (level, c) in SilLevel::ALL.iter().zip(cdfs) {
+            out[usize::from(level.index()) - 1] = c;
+        }
+        out
     }
 
     /// Full band-probability vector (Figure 4's content).
@@ -237,6 +265,35 @@ mod tests {
         let belief = widest_paper_judgement();
         let bp = SilAssessment::new(&belief, DemandMode::LowDemand).band_probabilities();
         assert_eq!(bp.most_probable(), Some(SilLevel::Sil2));
+    }
+
+    #[test]
+    fn most_probable_is_total_on_nan_probabilities() {
+        // Regression: a NaN band probability used to panic through
+        // `partial_cmp(..).expect(..)`. It must instead lose to every
+        // real probability.
+        let bp = BandProbabilities {
+            mode: DemandMode::LowDemand,
+            per_level: [0.1, f64::NAN, 0.5, 0.2],
+            none: 0.2,
+        };
+        assert_eq!(bp.most_probable(), Some(SilLevel::Sil3));
+        // All-NaN bands: nothing dominates, so no band is reported.
+        let bp =
+            BandProbabilities { mode: DemandMode::LowDemand, per_level: [f64::NAN; 4], none: 0.0 };
+        assert_eq!(bp.most_probable(), None);
+    }
+
+    #[test]
+    fn batched_confidences_match_pointwise() {
+        let belief = widest_paper_judgement();
+        let a = SilAssessment::new(&belief, DemandMode::LowDemand);
+        let batch = a.confidences();
+        for level in SilLevel::ALL {
+            let direct = a.confidence_at_least(level);
+            let b = batch[usize::from(level.index()) - 1];
+            assert_eq!(b.to_bits(), direct.to_bits(), "{level}: {b} vs {direct}");
+        }
     }
 
     #[test]

@@ -24,8 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for target in [0.70, 0.90, 0.95, 0.99] {
         let n = plan.demands_for_confidence(target)?;
-        println!("demands to reach {target:.0}% SIL2 confidence: {n}",
-            target = target * 100.0);
+        println!("demands to reach {target:.0}% SIL2 confidence: {n}", target = target * 100.0);
     }
 
     // Provisional SIL now, upgraded after an operating period.

@@ -46,13 +46,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Cast the result as a quantified assurance case.
     let mut case = Case::new("reactor protection safety function");
     let g = case.add_goal("G1", "safety function achieves SIL2 (pfd < 1e-2)")?;
-    let s = case.add_strategy("S1", "panel judgement + operating history legs", Combination::AnyOf)?;
+    let s =
+        case.add_strategy("S1", "panel judgement + operating history legs", Combination::AnyOf)?;
     let panel_leg = case.add_evidence(
         "E1",
         "expert panel pooled judgement",
         a.confidence_at_least(SilLevel::Sil2),
     )?;
-    let history_leg = case.add_evidence("E2", "operating history at 70% (61508-2 7.4.7.9)", 0.70)?;
+    let history_leg =
+        case.add_evidence("E2", "operating history at 70% (61508-2 7.4.7.9)", 0.70)?;
     let assumption = case.add_assumption("A1", "demand profile matches assessed profile", 0.98)?;
     case.support(g, s)?;
     case.support(s, panel_leg)?;

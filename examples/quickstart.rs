@@ -15,8 +15,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The judged belief: log-normal with mode 0.003, mean 0.01 —
     //    the widest judgement in the paper's Figure 1.
     let belief = LogNormal::from_mode_mean(0.003, 0.01)?;
-    println!("judged belief: mode = {:.4}, mean = {:.4}, sigma = {:.3}",
-        belief.mode().unwrap(), belief.mean(), belief.sigma());
+    println!(
+        "judged belief: mode = {:.4}, mean = {:.4}, sigma = {:.3}",
+        belief.mode().unwrap(),
+        belief.mean(),
+        belief.sigma()
+    );
 
     // 2. SIL assessment: most likely SIL2, but the mean is SIL1.
     let assessment = SilAssessment::new(&belief, DemandMode::LowDemand);

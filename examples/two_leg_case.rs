@@ -22,8 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("two independent legs (0.95, 0.90):");
     println!("  independent doubt : {:.4}", c.independent);
     println!("  dependence range  : [{:.4}, {:.4}]", c.best_case, c.worst_case);
-    println!("  spread            : {:.4} (what not knowing the dependence costs)",
-        c.dependence_spread());
+    println!(
+        "  spread            : {:.4} (what not knowing the dependence costs)",
+        c.dependence_spread()
+    );
 
     // A shared assumption (both legs trust the same requirements spec).
     let shared = combine_with_shared_assumption(a, b, 0.02)?;

@@ -15,7 +15,7 @@
 //! - [`confidence`] — claim/doubt calculus, worst-case bounds, ACARP,
 //!   statistical-testing updates, multi-legged arguments;
 //! - [`assurance`] — GSN-style argument graphs with confidence
-//!   propagation;
+//!   propagation and a deterministic parallel Monte-Carlo cross-check;
 //! - [`elicitation`] — the synthetic expert-panel simulator.
 //!
 //! # Examples
@@ -30,6 +30,25 @@
 //! let required = WorstCaseBound::required_confidence(1e-3, 1e-4)?;
 //! assert!((required - 0.9991).abs() < 1e-4);
 //! # Ok::<(), depcase::confidence::ConfidenceError>(())
+//! ```
+//!
+//! Cross-checking an argument graph with the deterministic parallel
+//! Monte-Carlo engine — the same seed gives bit-identical estimates at
+//! any thread count:
+//!
+//! ```
+//! use depcase::assurance::{simulate_parallel, Case};
+//!
+//! let mut case = Case::new("demo");
+//! let g = case.add_goal("G", "pfd < 1e-2")?;
+//! let e = case.add_evidence("E", "statistical testing", 0.95)?;
+//! case.support(g, e)?;
+//!
+//! let mc = simulate_parallel(&case, 50_000, 7, 4)?;
+//! let analytic = case.propagate()?.confidence(g).unwrap().independent;
+//! let (lo, hi) = mc.interval(g).unwrap();
+//! assert!(lo <= analytic && analytic <= hi);
+//! # Ok::<(), depcase::assurance::CaseError>(())
 //! ```
 
 // `!(x > 0.0)`-style checks deliberately treat NaN as invalid input.

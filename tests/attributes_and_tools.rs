@@ -13,9 +13,7 @@ fn attribute_claims_mirror_an_assurance_case() {
     let mut claims = MultiAttributeClaims::new();
     claims.set(Attribute::Safety, ConfidenceStatement::new(1e-3, 0.99).unwrap()).unwrap();
     claims.set(Attribute::Security, ConfidenceStatement::new(1e-2, 0.92).unwrap()).unwrap();
-    claims
-        .set(Attribute::Maintainability, ConfidenceStatement::new(1e-1, 0.97).unwrap())
-        .unwrap();
+    claims.set(Attribute::Maintainability, ConfidenceStatement::new(1e-1, 0.97).unwrap()).unwrap();
     let overall = claims.overall().unwrap();
 
     let mut case = Case::new("multi-attribute");

@@ -41,10 +41,8 @@ fn quantiles_to_weighted_pool_to_sil() {
             .unwrap()
         })
         .collect();
-    let off: Vec<QuantileAssessment> = seeds
-        .iter()
-        .map(|_| QuantileAssessment::new(1.0, 2.0, 3.0).unwrap())
-        .collect();
+    let off: Vec<QuantileAssessment> =
+        seeds.iter().map(|_| QuantileAssessment::new(1.0, 2.0, 3.0).unwrap()).collect();
     let weights = performance_weights(&[honest.clone(), off, honest], &seeds, 0.01).unwrap();
     let ws: Vec<f64> = weights.iter().map(|w| w.weight).collect();
     assert!(ws[1] < 1e-6, "miscalibrated expert should be unweighted: {ws:?}");
@@ -69,12 +67,8 @@ fn three_point_fit_flags_skew_and_feeds_reduction() {
 fn copula_consistent_with_case_interval() {
     // The copula curve must stay inside the propagation's dependence
     // interval for the same two legs.
-    let (case, goal) = templates::multi_leg(
-        "pfd < 1e-2",
-        &[("testing", 0.95), ("analysis", 0.90)],
-        None,
-    )
-    .unwrap();
+    let (case, goal) =
+        templates::multi_leg("pfd < 1e-2", &[("testing", 0.95), ("analysis", 0.90)], None).unwrap();
     let top = case.propagate().unwrap().confidence(goal).unwrap();
     let a = Leg::with_confidence(0.95).unwrap();
     let b = Leg::with_confidence(0.90).unwrap();

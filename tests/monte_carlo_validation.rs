@@ -53,11 +53,8 @@ fn band_probabilities_match_sampling() {
     let xs = belief.sample_n(&mut rng, N);
     for level in SilLevel::ALL {
         let band = level.band(DemandMode::LowDemand);
-        let mut frac = xs
-            .iter()
-            .filter(|&&x| x >= band.lower && x < band.upper)
-            .count() as f64
-            / N as f64;
+        let mut frac =
+            xs.iter().filter(|&&x| x >= band.lower && x < band.upper).count() as f64 / N as f64;
         if level == SilLevel::Sil4 {
             frac += xs.iter().filter(|&&x| x < band.lower).count() as f64 / N as f64;
         }
@@ -86,20 +83,11 @@ fn bayes_posterior_matches_rejection_sampling() {
         }
     }
     let mc_mean: f64 = survivors.iter().sum::<f64>() / survivors.len() as f64;
-    assert!(
-        (mc_mean - post.mean()).abs() < 0.002,
-        "mc = {mc_mean}, analytic = {}",
-        post.mean()
-    );
+    assert!((mc_mean - post.mean()).abs() < 0.002, "mc = {mc_mean}, analytic = {}", post.mean());
     // CDF agreement at a few points.
     for q in [0.01, 0.03, 0.08] {
-        let frac = survivors.iter().filter(|&&p| p <= q).count() as f64
-            / survivors.len() as f64;
-        assert!(
-            (frac - post.cdf(q)).abs() < 0.015,
-            "q = {q}: mc {frac} vs {}",
-            post.cdf(q)
-        );
+        let frac = survivors.iter().filter(|&&p| p <= q).count() as f64 / survivors.len() as f64;
+        assert!((frac - post.cdf(q)).abs() < 0.015, "q = {q}: mc {frac} vs {}", post.cdf(q));
     }
 }
 

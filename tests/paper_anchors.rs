@@ -1,0 +1,77 @@
+//! Numeric anchor points quoted in the paper, pinned as regression
+//! tests against the public facade.
+
+use depcase::assurance::{simulate_parallel, Case, Combination};
+use depcase::confidence::WorstCaseBound;
+use depcase::distributions::LogNormal;
+use depcase::sil::{DemandMode, SilAssessment, SilLevel};
+
+#[test]
+fn required_confidence_for_decade_of_margin_is_0_9991() {
+    // §3.4 Example 3: supporting pfd < 1e-3 by claiming pfd < 1e-4
+    // needs confidence 99.91%.
+    let c = WorstCaseBound::required_confidence(1e-3, 1e-4).unwrap();
+    assert!((c - 0.9991).abs() < 1e-4, "required confidence {c}");
+}
+
+#[test]
+fn sigma_anchor_points_of_the_mean_mode_identity() {
+    // §3.1: log10(mean/mode) = 0.65σ² ⇒ one decade at σ ≈ 1.24, two
+    // decades at σ ≈ 1.75 (the paper rounds to 1.2 and 1.7).
+    let one = LogNormal::sigma_for_decades(1.0).unwrap();
+    let two = LogNormal::sigma_for_decades(2.0).unwrap();
+    assert!((one - 1.2389).abs() < 1e-3, "one-decade sigma {one}");
+    assert!((two - 1.7521).abs() < 1e-3, "two-decade sigma {two}");
+    // The identity round-trips through an actual belief.
+    let belief = LogNormal::from_mode_sigma(0.003, one).unwrap();
+    assert!((belief.mean_mode_decades() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn widest_paper_judgement_is_67_percent_sil2() {
+    // §3.2 / Figure 4: the mode-0.003 mean-0.01 judgement gives "about
+    // a 67% chance of being in SIL2 or higher".
+    let belief = LogNormal::from_mode_mean(0.003, 0.01).unwrap();
+    let a = SilAssessment::new(&belief, DemandMode::LowDemand);
+    let sil2 = a.confidence_at_least(SilLevel::Sil2);
+    assert!((sil2 - 0.67).abs() < 0.01, "SIL2 confidence {sil2}");
+    // The batched entry point reports the identical number.
+    let batch = a.confidences()[usize::from(SilLevel::Sil2.index()) - 1];
+    assert_eq!(batch.to_bits(), sil2.to_bits());
+}
+
+#[test]
+fn parallel_monte_carlo_is_bit_identical_across_thread_counts() {
+    // The engine's determinism guarantee, checked end-to-end through
+    // the facade: a fixed seed fixes every estimate bit-for-bit no
+    // matter how many workers run the chunks.
+    let mut case = Case::new("anchor");
+    let g = case.add_goal("G", "claim").unwrap();
+    let s = case.add_strategy("S", "legs", Combination::AnyOf).unwrap();
+    let e1 = case.add_evidence("E1", "testing", 0.95).unwrap();
+    let e2 = case.add_evidence("E2", "analysis", 0.90).unwrap();
+    let a = case.add_assumption("A", "environment", 0.99).unwrap();
+    case.support(g, s).unwrap();
+    case.support(s, e1).unwrap();
+    case.support(s, e2).unwrap();
+    case.support(g, a).unwrap();
+
+    // Not a multiple of the chunk size, so a tail chunk exists.
+    let samples = 30_000;
+    let reference = simulate_parallel(&case, samples, 2024, 1).unwrap();
+    for threads in [2, 4, 7] {
+        let par = simulate_parallel(&case, samples, 2024, threads).unwrap();
+        for id in [g, s] {
+            assert_eq!(
+                reference.estimate(id).unwrap().to_bits(),
+                par.estimate(id).unwrap().to_bits(),
+                "estimates diverged at {threads} threads"
+            );
+        }
+    }
+    // And the estimate agrees with the analytic propagation.
+    let analytic = case.propagate().unwrap().confidence(g).unwrap().independent;
+    let est = reference.estimate(g).unwrap();
+    let hw = reference.half_width(g).unwrap();
+    assert!((est - analytic).abs() < hw * 1.5, "mc {est} vs analytic {analytic} (±{hw})");
+}
