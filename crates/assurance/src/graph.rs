@@ -1,9 +1,16 @@
 //! The argument graph: nodes, edges, structural validation.
 
 use crate::error::{CaseError, Result};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::fmt;
+
+/// Version stamped into serialized case files as the `"schema"` field.
+///
+/// Files without the field are accepted as legacy (pre-versioning)
+/// saves; files with a *newer* version than this library understands
+/// are rejected instead of being silently misread.
+pub const CASE_SCHEMA_VERSION: u64 = 1;
 
 /// Opaque handle to a node in a [`Case`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -59,13 +66,72 @@ pub struct Node {
 /// A dependability case: a directed acyclic argument graph.
 ///
 /// See the crate-level example for typical construction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// # Serialized form
+///
+/// Cases serialize as a versioned JSON object: `{"schema": 1, "title":
+/// …, "nodes": […], "children": […]}`. The name index is rebuilt on
+/// load rather than stored, and legacy files that predate the
+/// `"schema"` field (which stored the index as `"by_name"`) are still
+/// accepted. Confidence values survive a save/load round trip
+/// bit-for-bit (the `float_roundtrip` JSON guarantee).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Case {
     title: String,
     nodes: Vec<Node>,
     /// children[i] = nodes supporting node i.
     children: Vec<Vec<usize>>,
     by_name: HashMap<String, usize>,
+}
+
+impl Serialize for Case {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("schema".to_string(), Value::U64(CASE_SCHEMA_VERSION)),
+            ("title".to_string(), self.title.to_value()),
+            ("nodes".to_string(), self.nodes.to_value()),
+            ("children".to_string(), self.children.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Case {
+    fn from_value(v: &Value) -> std::result::Result<Self, serde::Error> {
+        let obj = v.as_object().ok_or_else(|| serde::Error::custom("expected object for Case"))?;
+        if let Some(schema) = v.get("schema") {
+            let version = schema
+                .as_u64()
+                .ok_or_else(|| serde::Error::custom("case `schema` must be an integer"))?;
+            if version == 0 || version > CASE_SCHEMA_VERSION {
+                return Err(serde::Error::custom(format!(
+                    "unsupported case schema version {version} (this library reads ≤ {CASE_SCHEMA_VERSION})"
+                )));
+            }
+        }
+        let title = String::from_value(serde::field(obj, "title")?)?;
+        let nodes = Vec::<Node>::from_value(serde::field(obj, "nodes")?)?;
+        let children = Vec::<Vec<usize>>::from_value(serde::field(obj, "children")?)?;
+        if children.len() != nodes.len() {
+            return Err(serde::Error::custom(format!(
+                "case has {} nodes but {} adjacency rows",
+                nodes.len(),
+                children.len()
+            )));
+        }
+        if let Some(&bad) = children.iter().flatten().find(|&&c| c >= nodes.len()) {
+            return Err(serde::Error::custom(format!(
+                "child index {bad} out of range for {} nodes",
+                nodes.len()
+            )));
+        }
+        let mut by_name = HashMap::with_capacity(nodes.len());
+        for (i, node) in nodes.iter().enumerate() {
+            if by_name.insert(node.name.clone(), i).is_some() {
+                return Err(serde::Error::custom(format!("duplicate node name: {}", node.name)));
+            }
+        }
+        Ok(Self { title, nodes, children, by_name })
+    }
 }
 
 impl Case {
@@ -333,6 +399,63 @@ impl Case {
         crate::propagation::propagate(self)
     }
 
+    /// A stable 64-bit content hash of everything evaluation depends on:
+    /// schema version, title, node payloads (confidences hashed by their
+    /// exact bit pattern) and the support edges.
+    ///
+    /// Two cases hash equal iff they evaluate identically, so the hash
+    /// is a safe key for caches of compiled [`crate::EvalPlan`]s and
+    /// propagation reports — the `depcase-service` engine keys its plan
+    /// cache on it. (FNV-1a; not cryptographic, collision chance for a
+    /// registry of thousands of cases is ~2⁻⁴⁰.)
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        struct Fnv(u64);
+        impl Fnv {
+            fn write(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 ^= u64::from(b);
+                    self.0 = self.0.wrapping_mul(PRIME);
+                }
+            }
+            fn write_u64(&mut self, v: u64) {
+                self.write(&v.to_le_bytes());
+            }
+            fn write_str(&mut self, s: &str) {
+                self.write_u64(s.len() as u64);
+                self.write(s.as_bytes());
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.write_u64(CASE_SCHEMA_VERSION);
+        h.write_str(&self.title);
+        h.write_u64(self.nodes.len() as u64);
+        for node in &self.nodes {
+            h.write_str(&node.name);
+            h.write_str(&node.statement);
+            let (tag, confidence) = match node.kind {
+                NodeKind::Goal => (0u8, None),
+                NodeKind::Strategy(Combination::AllOf) => (1, None),
+                NodeKind::Strategy(Combination::AnyOf) => (2, None),
+                NodeKind::Evidence { confidence } => (3, Some(confidence)),
+                NodeKind::Assumption { confidence } => (4, Some(confidence)),
+                NodeKind::Context => (5, None),
+            };
+            h.write(&[tag]);
+            if let Some(c) = confidence {
+                h.write_u64(c.to_bits());
+            }
+        }
+        for kids in &self.children {
+            h.write_u64(kids.len() as u64);
+            for &c in kids {
+                h.write_u64(c as u64);
+            }
+        }
+        h.0
+    }
+
     pub(crate) fn index(&self, id: NodeId) -> Result<usize> {
         if id.0 < self.nodes.len() {
             Ok(id.0)
@@ -514,5 +637,71 @@ mod tests {
         let json = serde_json::to_string(&case).unwrap();
         let back: Case = serde_json::from_str(&json).unwrap();
         assert_eq!(case, back);
+    }
+
+    #[test]
+    fn serialized_cases_are_schema_stamped() {
+        let (case, ..) = small_case();
+        let json = serde_json::to_string(&case).unwrap();
+        assert!(json.starts_with("{\"schema\":1,"), "{json}");
+        assert!(!json.contains("by_name"), "name index must be rebuilt, not stored: {json}");
+    }
+
+    #[test]
+    fn legacy_files_without_schema_field_load() {
+        // The pre-versioning on-disk shape: no "schema", stored "by_name".
+        let legacy = r#"{"title":"t","nodes":[{"name":"G1","statement":"top claim","kind":"Goal"},{"name":"E1","statement":"testing","kind":{"Evidence":{"confidence":0.9}}}],"children":[[1],[]],"by_name":{"E1":1,"G1":0}}"#;
+        let case: Case = serde_json::from_str(legacy).unwrap();
+        assert_eq!(case.title(), "t");
+        assert_eq!(case.len(), 2);
+        let g = case.node_by_name("G1").unwrap();
+        assert_eq!(case.supporters(g).unwrap().len(), 1);
+        // Re-saving upgrades the file to the stamped schema.
+        assert!(serde_json::to_string(&case).unwrap().contains("\"schema\":1"));
+    }
+
+    #[test]
+    fn newer_schema_versions_are_rejected() {
+        let future = r#"{"schema":2,"title":"t","nodes":[],"children":[]}"#;
+        assert!(serde_json::from_str::<Case>(future).is_err());
+        let zero = r#"{"schema":0,"title":"t","nodes":[],"children":[]}"#;
+        assert!(serde_json::from_str::<Case>(zero).is_err());
+    }
+
+    #[test]
+    fn malformed_case_files_are_rejected() {
+        // Adjacency row count must match the node count.
+        let short = r#"{"schema":1,"title":"t","nodes":[{"name":"G1","statement":"a","kind":"Goal"}],"children":[]}"#;
+        assert!(serde_json::from_str::<Case>(short).is_err());
+        // Child indices must be in range.
+        let dangling = r#"{"schema":1,"title":"t","nodes":[{"name":"G1","statement":"a","kind":"Goal"}],"children":[[7]]}"#;
+        assert!(serde_json::from_str::<Case>(dangling).is_err());
+        // Duplicate names would corrupt the rebuilt index.
+        let dup = r#"{"schema":1,"title":"t","nodes":[{"name":"G1","statement":"a","kind":"Goal"},{"name":"G1","statement":"b","kind":"Goal"}],"children":[[],[]]}"#;
+        assert!(serde_json::from_str::<Case>(dup).is_err());
+    }
+
+    #[test]
+    fn content_hash_tracks_evaluation_relevant_state() {
+        let (case, _, e1, _) = small_case();
+        let baseline = case.content_hash();
+        assert_eq!(baseline, case.clone().content_hash(), "hash is deterministic");
+
+        // A confidence nudge by one ULP changes the hash.
+        let mut tweaked = case.clone();
+        tweaked.set_leaf_confidence(e1, 0.9 + f64::EPSILON).unwrap();
+        assert_ne!(baseline, tweaked.content_hash());
+
+        // A structural change (extra edge) changes the hash.
+        let mut grown = case.clone();
+        let e3 = grown.add_evidence("E3", "more", 0.5).unwrap();
+        let g = grown.node_by_name("G1").unwrap();
+        grown.support(g, e3).unwrap();
+        assert_ne!(baseline, grown.content_hash());
+
+        // Serialization round-trips preserve the hash bit-for-bit.
+        let json = serde_json::to_string(&case).unwrap();
+        let back: Case = serde_json::from_str(&json).unwrap();
+        assert_eq!(baseline, back.content_hash());
     }
 }

@@ -55,8 +55,10 @@ pub mod propagation;
 pub mod templates;
 
 pub use error::CaseError;
-pub use graph::{Case, Combination, NodeId, NodeKind};
+pub use graph::{Case, Combination, NodeId, NodeKind, CASE_SCHEMA_VERSION};
 pub use importance::{birnbaum_importance, LeafImportance};
-pub use monte_carlo::{simulate, simulate_parallel, MonteCarloReport};
+#[allow(deprecated)]
+pub use monte_carlo::{simulate, simulate_parallel};
+pub use monte_carlo::{MonteCarlo, MonteCarloReport};
 pub use plan::EvalPlan;
 pub use propagation::{ConfidenceReport, NodeConfidence};

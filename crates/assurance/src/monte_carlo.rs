@@ -10,13 +10,21 @@
 //!
 //! # Parallel determinism
 //!
-//! [`simulate_parallel`] splits the sample budget into fixed-size chunks
+//! [`MonteCarlo::run`] splits the sample budget into fixed-size chunks
 //! of [`CHUNK_SAMPLES`]. Chunk `c` draws from its own RNG stream seeded
 //! by a SplitMix64-style mix of `(seed, c)`, so the outcome of every
 //! chunk — and therefore the per-target hit *counts*, which are exact
 //! integer sums — depends only on the seed and the chunk index, never on
 //! which worker thread ran the chunk or in what order. For a fixed seed
 //! the report is **bit-identical** at any thread count.
+//!
+//! # Plan reuse
+//!
+//! Compiling a case into an [`EvalPlan`] costs a full graph traversal;
+//! long-running callers (the `depcase-service` engine, sweep harnesses)
+//! evaluate the same case thousands of times. [`MonteCarlo::plan`] and
+//! [`MonteCarlo::run_plan`] accept a pre-compiled plan so the compile
+//! happens once, not once per request.
 
 use crate::error::{CaseError, Result};
 use crate::graph::{Case, NodeId};
@@ -102,6 +110,149 @@ fn report_from_hits(plan: &EvalPlan, hits: &[u64], samples: u32) -> MonteCarloRe
     MonteCarloReport { estimates, samples }
 }
 
+/// Options for a Monte-Carlo run: sample budget, RNG seed, worker
+/// threads, and an optional pre-compiled [`EvalPlan`] override.
+///
+/// Replaces the positional `simulate(case, samples, rng)` /
+/// `simulate_parallel(case, samples, seed, threads)` signatures: each
+/// knob is named, defaults are explicit (`seed = 0`, `threads = 0` =
+/// autodetect), and the cached-plan fast path is part of the same type.
+///
+/// # Examples
+///
+/// ```
+/// use depcase_assurance::{Case, EvalPlan, MonteCarlo};
+///
+/// let mut case = Case::new("demo");
+/// let g = case.add_goal("G", "claim")?;
+/// let e = case.add_evidence("E", "test", 0.9)?;
+/// case.support(g, e)?;
+///
+/// // One-shot: compile and run (bit-identical at any thread count).
+/// let mc = MonteCarlo::new(50_000).seed(7).threads(4).run(&case)?;
+///
+/// // Amortised: compile once, reuse the plan per request.
+/// let plan = EvalPlan::compile(&case)?;
+/// let again = MonteCarlo::new(50_000).seed(7).run_plan(&plan)?;
+/// assert_eq!(mc.estimate(g), again.estimate(g));
+/// # Ok::<(), depcase_assurance::CaseError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarlo<'p> {
+    samples: u32,
+    seed: u64,
+    threads: usize,
+    plan: Option<&'p EvalPlan>,
+}
+
+impl MonteCarlo<'static> {
+    /// Options for a `samples`-sample run with default seed `0` and
+    /// autodetected thread count.
+    #[must_use]
+    pub fn new(samples: u32) -> Self {
+        Self { samples, seed: 0, threads: 0, plan: None }
+    }
+}
+
+impl<'p> MonteCarlo<'p> {
+    /// Sets the master seed of the chunked RNG streams.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = autodetect). The result does
+    /// not depend on this value, only the wall-clock does.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides compilation with a pre-compiled plan: [`MonteCarlo::run`]
+    /// will use `plan` instead of recompiling the case per call.
+    #[must_use]
+    pub fn plan<'q>(self, plan: &'q EvalPlan) -> MonteCarlo<'q> {
+        MonteCarlo {
+            samples: self.samples,
+            seed: self.seed,
+            threads: self.threads,
+            plan: Some(plan),
+        }
+    }
+
+    /// The configured sample budget.
+    #[must_use]
+    pub fn samples(&self) -> u32 {
+        self.samples
+    }
+
+    /// Runs the chunked deterministic engine on `case`, compiling an
+    /// [`EvalPlan`] unless one was supplied via [`MonteCarlo::plan`].
+    ///
+    /// # Errors
+    ///
+    /// Structural errors from [`Case::validate`], or
+    /// [`CaseError::InvalidStructure`] for a zero sample budget.
+    pub fn run(&self, case: &Case) -> Result<MonteCarloReport> {
+        match self.plan {
+            Some(plan) => self.run_plan(plan),
+            None => self.run_plan(&EvalPlan::compile(case)?),
+        }
+    }
+
+    /// Runs the chunked deterministic engine on a pre-compiled plan —
+    /// the amortised entry point for plan caches.
+    ///
+    /// # Errors
+    ///
+    /// [`CaseError::InvalidStructure`] for a zero sample budget.
+    pub fn run_plan(&self, plan: &EvalPlan) -> Result<MonteCarloReport> {
+        check_samples(self.samples)?;
+        Ok(run_parallel(plan, self.samples, self.seed, self.threads))
+    }
+
+    /// Runs sequentially with a caller-owned RNG (the reference
+    /// implementation the chunked engine is validated against). The
+    /// `seed`/`threads` options are ignored; the RNG's state is the
+    /// source of randomness.
+    ///
+    /// # Errors
+    ///
+    /// Structural errors from [`Case::validate`], or
+    /// [`CaseError::InvalidStructure`] for a zero sample budget.
+    pub fn run_sequential(&self, case: &Case, rng: &mut dyn RngCore) -> Result<MonteCarloReport> {
+        match self.plan {
+            Some(plan) => self.run_sequential_plan(plan, rng),
+            None => self.run_sequential_plan(&EvalPlan::compile(case)?, rng),
+        }
+    }
+
+    /// Sequential runner on a pre-compiled plan with a caller-owned RNG.
+    ///
+    /// # Errors
+    ///
+    /// [`CaseError::InvalidStructure`] for a zero sample budget.
+    pub fn run_sequential_plan(
+        &self,
+        plan: &EvalPlan,
+        rng: &mut dyn RngCore,
+    ) -> Result<MonteCarloReport> {
+        check_samples(self.samples)?;
+        let mut hits = vec![0u64; plan.targets().len()];
+        run_samples(plan, self.samples, rng, &mut hits);
+        Ok(report_from_hits(plan, &hits, self.samples))
+    }
+}
+
+fn check_samples(samples: u32) -> Result<()> {
+    if samples == 0 {
+        return Err(CaseError::InvalidStructure("need at least one sample".into()));
+    }
+    Ok(())
+}
+
 /// Runs `samples` independent structure evaluations with a caller-owned
 /// RNG (sequential reference implementation).
 ///
@@ -109,31 +260,9 @@ fn report_from_hits(plan: &EvalPlan, hits: &[u64], samples: u32) -> MonteCarloRe
 ///
 /// Structural errors from [`Case::validate`], or
 /// [`CaseError::InvalidStructure`] for `samples == 0`.
-///
-/// # Examples
-///
-/// ```
-/// use depcase_assurance::{monte_carlo::simulate, Case};
-/// use rand::SeedableRng;
-///
-/// let mut case = Case::new("t");
-/// let g = case.add_goal("G", "claim")?;
-/// let e = case.add_evidence("E", "test", 0.9)?;
-/// case.support(g, e)?;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-/// let mc = simulate(&case, 20_000, &mut rng)?;
-/// let analytic = case.propagate()?.confidence(g).unwrap().independent;
-/// assert!((mc.estimate(g).unwrap() - analytic).abs() < mc.half_width(g).unwrap());
-/// # Ok::<(), depcase_assurance::CaseError>(())
-/// ```
+#[deprecated(since = "0.2.0", note = "use `MonteCarlo::new(samples).run_sequential(case, rng)`")]
 pub fn simulate(case: &Case, samples: u32, rng: &mut dyn RngCore) -> Result<MonteCarloReport> {
-    let plan = EvalPlan::compile(case)?;
-    if samples == 0 {
-        return Err(CaseError::InvalidStructure("need at least one sample".into()));
-    }
-    let mut hits = vec![0u64; plan.targets().len()];
-    run_samples(&plan, samples, rng, &mut hits);
-    Ok(report_from_hits(&plan, &hits, samples))
+    MonteCarlo::new(samples).run_sequential(case, rng)
 }
 
 /// Derives chunk `c`'s RNG seed from the master seed (SplitMix64-style
@@ -151,41 +280,13 @@ fn chunk_len(samples: u32, chunk: u32) -> u32 {
     (samples - start).min(CHUNK_SAMPLES)
 }
 
-/// Runs `samples` structure evaluations across `threads` worker threads,
+/// The chunked deterministic engine body shared by every parallel entry
+/// point: `samples` structure evaluations across `threads` workers,
 /// bit-identically reproducible for a fixed `seed` at **any** thread
 /// count (see the module docs for the chunked seeding scheme).
 ///
 /// `threads == 0` selects [`std::thread::available_parallelism`].
-///
-/// # Errors
-///
-/// Structural errors from [`Case::validate`], or
-/// [`CaseError::InvalidStructure`] for `samples == 0`.
-///
-/// # Examples
-///
-/// ```
-/// use depcase_assurance::{monte_carlo::simulate_parallel, Case};
-///
-/// let mut case = Case::new("t");
-/// let g = case.add_goal("G", "claim")?;
-/// let e = case.add_evidence("E", "test", 0.9)?;
-/// case.support(g, e)?;
-/// let one = simulate_parallel(&case, 50_000, 7, 1)?;
-/// let four = simulate_parallel(&case, 50_000, 7, 4)?;
-/// assert_eq!(one.estimate(g), four.estimate(g)); // bit-identical
-/// # Ok::<(), depcase_assurance::CaseError>(())
-/// ```
-pub fn simulate_parallel(
-    case: &Case,
-    samples: u32,
-    seed: u64,
-    threads: usize,
-) -> Result<MonteCarloReport> {
-    let plan = EvalPlan::compile(case)?;
-    if samples == 0 {
-        return Err(CaseError::InvalidStructure("need at least one sample".into()));
-    }
+fn run_parallel(plan: &EvalPlan, samples: u32, seed: u64, threads: usize) -> MonteCarloReport {
     let chunks = samples.div_ceil(CHUNK_SAMPLES);
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -197,7 +298,7 @@ pub fn simulate_parallel(
 
     let targets = plan.targets().len();
     let next_chunk = AtomicUsize::new(0);
-    let plan_ref = &plan;
+    let plan_ref = plan;
     let next_ref = &next_chunk;
 
     // Each worker claims chunks dynamically and keeps private per-target
@@ -229,7 +330,28 @@ pub fn simulate_parallel(
             *h += l;
         }
     }
-    Ok(report_from_hits(&plan, &hits, samples))
+    report_from_hits(plan, &hits, samples)
+}
+
+/// Runs `samples` structure evaluations across `threads` worker threads,
+/// bit-identically reproducible for a fixed `seed` at **any** thread
+/// count.
+///
+/// # Errors
+///
+/// Structural errors from [`Case::validate`], or
+/// [`CaseError::InvalidStructure`] for `samples == 0`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `MonteCarlo::new(samples).seed(seed).threads(threads).run(case)`"
+)]
+pub fn simulate_parallel(
+    case: &Case,
+    samples: u32,
+    seed: u64,
+    threads: usize,
+) -> Result<MonteCarloReport> {
+    MonteCarlo::new(samples).seed(seed).threads(threads).run(case)
 }
 
 #[cfg(test)]
@@ -251,7 +373,7 @@ mod tests {
         let e2 = case.add_evidence("E2", "b", 0.8).unwrap();
         case.support(g, e1).unwrap();
         case.support(g, e2).unwrap();
-        let mc = simulate(&case, 50_000, &mut rng(2)).unwrap();
+        let mc = MonteCarlo::new(50_000).run_sequential(&case, &mut rng(2)).unwrap();
         let analytic = case.propagate().unwrap().confidence(g).unwrap().independent;
         let est = mc.estimate(g).unwrap();
         assert!(
@@ -272,7 +394,7 @@ mod tests {
         case.support(s, e1).unwrap();
         case.support(s, e2).unwrap();
         case.support(g, a).unwrap();
-        let mc = simulate(&case, 80_000, &mut rng(3)).unwrap();
+        let mc = MonteCarlo::new(80_000).run_sequential(&case, &mut rng(3)).unwrap();
         let analytic = case.propagate().unwrap().confidence(g).unwrap().independent;
         let est = mc.estimate(g).unwrap();
         assert!(
@@ -289,7 +411,7 @@ mod tests {
         let e = case.add_evidence("E", "a", 0.6).unwrap();
         case.support(g, s).unwrap();
         case.support(s, e).unwrap();
-        let mc = simulate(&case, 30_000, &mut rng(4)).unwrap();
+        let mc = MonteCarlo::new(30_000).run_sequential(&case, &mut rng(4)).unwrap();
         assert!(mc.estimate(s).is_some());
         assert!((mc.estimate(s).unwrap() - 0.6).abs() < 0.01);
         assert_eq!(mc.samples(), 30_000);
@@ -301,16 +423,16 @@ mod tests {
         let g = case.add_goal("G", "top").unwrap();
         let e = case.add_evidence("E", "a", 0.5).unwrap();
         case.support(g, e).unwrap();
-        assert!(simulate(&case, 0, &mut rng(5)).is_err());
-        assert!(simulate_parallel(&case, 0, 5, 2).is_err());
+        assert!(MonteCarlo::new(0).run_sequential(&case, &mut rng(5)).is_err());
+        assert!(MonteCarlo::new(0).seed(5).threads(2).run(&case).is_err());
     }
 
     #[test]
     fn invalid_case_rejected() {
         let mut case = Case::new("t");
         case.add_goal("G", "undeveloped").unwrap();
-        assert!(simulate(&case, 100, &mut rng(6)).is_err());
-        assert!(simulate_parallel(&case, 100, 6, 2).is_err());
+        assert!(MonteCarlo::new(100).run_sequential(&case, &mut rng(6)).is_err());
+        assert!(MonteCarlo::new(100).seed(6).threads(2).run(&case).is_err());
     }
 
     #[test]
@@ -319,8 +441,8 @@ mod tests {
         let g = case.add_goal("G", "top").unwrap();
         let e = case.add_evidence("E", "a", 0.42).unwrap();
         case.support(g, e).unwrap();
-        let a = simulate(&case, 5000, &mut rng(7)).unwrap();
-        let b = simulate(&case, 5000, &mut rng(7)).unwrap();
+        let a = MonteCarlo::new(5000).run_sequential(&case, &mut rng(7)).unwrap();
+        let b = MonteCarlo::new(5000).run_sequential(&case, &mut rng(7)).unwrap();
         assert_eq!(a.estimate(g), b.estimate(g));
     }
 
@@ -339,9 +461,9 @@ mod tests {
         // Deliberately not a multiple of CHUNK_SAMPLES: the tail chunk
         // must land in the same stream wherever it is scheduled.
         let samples = 3 * CHUNK_SAMPLES + 1234;
-        let reference = simulate_parallel(&case, samples, 99, 1).unwrap();
+        let reference = MonteCarlo::new(samples).seed(99).threads(1).run(&case).unwrap();
         for threads in [2, 3, 4, 8] {
-            let par = simulate_parallel(&case, samples, 99, threads).unwrap();
+            let par = MonteCarlo::new(samples).seed(99).threads(threads).run(&case).unwrap();
             for &(id, _) in EvalPlan::compile(&case).unwrap().targets() {
                 assert_eq!(
                     reference.estimate(id).unwrap().to_bits(),
@@ -360,7 +482,7 @@ mod tests {
         let e2 = case.add_evidence("E2", "b", 0.8).unwrap();
         case.support(g, e1).unwrap();
         case.support(g, e2).unwrap();
-        let mc = simulate_parallel(&case, 100_000, 11, 4).unwrap();
+        let mc = MonteCarlo::new(100_000).seed(11).threads(4).run(&case).unwrap();
         let analytic = case.propagate().unwrap().confidence(g).unwrap().independent;
         let est = mc.estimate(g).unwrap();
         assert!(
@@ -376,7 +498,7 @@ mod tests {
         let g = case.add_goal("G", "top").unwrap();
         let e = case.add_evidence("E", "a", 1.0).unwrap();
         case.support(g, e).unwrap();
-        let mc = simulate(&case, 10_000, &mut rng(8)).unwrap();
+        let mc = MonteCarlo::new(10_000).run_sequential(&case, &mut rng(8)).unwrap();
         assert_eq!(mc.estimate(g), Some(1.0));
         let hw = mc.half_width(g).unwrap();
         assert!(hw > 0.0, "degenerate estimate must keep nonzero width");
@@ -389,7 +511,7 @@ mod tests {
         let g = case.add_goal("G", "top").unwrap();
         let e = case.add_evidence("E", "a", 0.0).unwrap();
         case.support(g, e).unwrap();
-        let mc = simulate(&case, 10_000, &mut rng(9)).unwrap();
+        let mc = MonteCarlo::new(10_000).run_sequential(&case, &mut rng(9)).unwrap();
         assert_eq!(mc.estimate(g), Some(0.0));
         let hw = mc.half_width(g).unwrap();
         assert!(hw > 0.0);
@@ -403,7 +525,7 @@ mod tests {
         let g = case.add_goal("G", "top").unwrap();
         let e = case.add_evidence("E", "a", 0.5).unwrap();
         case.support(g, e).unwrap();
-        let mc = simulate(&case, 50_000, &mut rng(10)).unwrap();
+        let mc = MonteCarlo::new(50_000).run_sequential(&case, &mut rng(10)).unwrap();
         let p = mc.estimate(g).unwrap();
         let wald = 1.96 * (p * (1.0 - p) / 50_000.0).sqrt();
         let wilson = mc.half_width(g).unwrap();
@@ -417,5 +539,50 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn precompiled_plan_paths_are_bit_identical_to_compile_per_call() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G", "top").unwrap();
+        let e1 = case.add_evidence("E1", "a", 0.9).unwrap();
+        let e2 = case.add_evidence("E2", "b", 0.8).unwrap();
+        case.support(g, e1).unwrap();
+        case.support(g, e2).unwrap();
+        let plan = EvalPlan::compile(&case).unwrap();
+        let opts = MonteCarlo::new(20_000).seed(13).threads(2);
+        let fresh = opts.run(&case).unwrap();
+        let reused = opts.run_plan(&plan).unwrap();
+        let via_override = opts.plan(&plan).run(&case).unwrap();
+        let via_plan_entry = plan.simulate(&opts).unwrap();
+        for r in [&reused, &via_override, &via_plan_entry] {
+            assert_eq!(
+                fresh.estimate(g).unwrap().to_bits(),
+                r.estimate(g).unwrap().to_bits(),
+                "plan reuse changed the estimate"
+            );
+        }
+        // Sequential plan reuse matches the sequential compile path too.
+        let a = MonteCarlo::new(5_000).run_sequential(&case, &mut rng(21)).unwrap();
+        let b = MonteCarlo::new(5_000).run_sequential_plan(&plan, &mut rng(21)).unwrap();
+        assert_eq!(a.estimate(g).unwrap().to_bits(), b.estimate(g).unwrap().to_bits());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_builder() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G", "top").unwrap();
+        let e = case.add_evidence("E", "a", 0.42).unwrap();
+        case.support(g, e).unwrap();
+        let shim = simulate(&case, 5_000, &mut rng(7)).unwrap();
+        let builder = MonteCarlo::new(5_000).run_sequential(&case, &mut rng(7)).unwrap();
+        assert_eq!(shim.estimate(g), builder.estimate(g));
+        let shim_par = simulate_parallel(&case, 9_000, 3, 2).unwrap();
+        let builder_par = MonteCarlo::new(9_000).seed(3).threads(2).run(&case).unwrap();
+        assert_eq!(
+            shim_par.estimate(g).unwrap().to_bits(),
+            builder_par.estimate(g).unwrap().to_bits()
+        );
     }
 }

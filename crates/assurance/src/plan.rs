@@ -210,6 +210,35 @@ impl EvalPlan {
         self.sample_leaves(rng, buf);
         self.eval_structure(buf);
     }
+
+    /// Runs a Monte-Carlo estimate on this pre-compiled plan — the
+    /// reuse entry point for plan caches: compile once with
+    /// [`EvalPlan::compile`], then serve any number of
+    /// [`crate::MonteCarlo`] requests without touching the case graph
+    /// again. Equivalent to `options.run_plan(self)`.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CaseError::InvalidStructure`] for a zero sample budget.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use depcase_assurance::{Case, EvalPlan, MonteCarlo};
+    ///
+    /// let mut case = Case::new("t");
+    /// let g = case.add_goal("G", "claim")?;
+    /// let e = case.add_evidence("E", "test", 0.9)?;
+    /// case.support(g, e)?;
+    ///
+    /// let plan = EvalPlan::compile(&case)?; // once
+    /// let mc = plan.simulate(&MonteCarlo::new(20_000).seed(1))?; // per request
+    /// assert!(mc.estimate(g).is_some());
+    /// # Ok::<(), depcase_assurance::CaseError>(())
+    /// ```
+    pub fn simulate(&self, options: &crate::MonteCarlo<'_>) -> Result<crate::MonteCarloReport> {
+        options.run_plan(self)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,232 @@
+//! Emits `BENCH_service.json`: throughput, client-side latency
+//! quantiles, and plan-cache hit rate of the resident assessment
+//! service under concurrent load.
+//!
+//! ```sh
+//! cargo run --release -p depcase-bench --bin bench_service -- \
+//!     [OUT.json] [--clients N] [--requests N] [--workers N]
+//! ```
+//!
+//! The harness starts the service in-process on an ephemeral localhost
+//! port, preloads two cases, then drives N clients each issuing a fixed
+//! mix of `eval`, `rank`, `mc`, and `bands` requests over their own TCP
+//! connection. Latency is measured at the client (full round trip,
+//! including the wire), and quantiles are exact — computed from the
+//! sorted per-request samples, not histogram buckets.
+
+use depcase::prelude::*;
+use depcase_service::protocol::Json;
+use depcase_service::{Client, Engine, Server};
+use serde::{Serialize, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+const DEFAULT_CLIENTS: usize = 4;
+const DEFAULT_REQUESTS: usize = 50;
+const DEFAULT_WORKERS: usize = 4;
+const MC_SAMPLES: u32 = 16_384;
+
+fn demo_case(title: &str, strong: f64, weak: f64) -> Case {
+    let mut case = Case::new(title);
+    let g = case.add_goal("G1", "pfd < 1e-3").unwrap();
+    let s = case.add_strategy("S1", "independent legs", Combination::AnyOf).unwrap();
+    let e1 = case.add_evidence("E1", "statistical testing", strong).unwrap();
+    let e2 = case.add_evidence("E2", "static analysis", weak).unwrap();
+    let a = case.add_assumption("A1", "environment stable", 0.99).unwrap();
+    case.support(g, s).unwrap();
+    case.support(s, e1).unwrap();
+    case.support(s, e2).unwrap();
+    case.support(g, a).unwrap();
+    case
+}
+
+fn load_line(name: &str, case: &Case) -> String {
+    let body = Value::Object(vec![
+        ("op".to_string(), Value::Str("load".to_string())),
+        ("name".to_string(), Value::Str(name.to_string())),
+        ("case".to_string(), case.to_value()),
+    ]);
+    serde_json::to_string(&Json(body)).unwrap()
+}
+
+/// The request mix one client cycles through: mostly cheap evals with
+/// periodic Monte-Carlo cross-checks, the shape of an assessment UI
+/// polling a live case.
+fn request_for(case_name: &str, idx: usize) -> (&'static str, String) {
+    match idx % 5 {
+        0 | 1 => ("eval", format!(r#"{{"op":"eval","name":"{case_name}"}}"#)),
+        2 => ("rank", format!(r#"{{"op":"rank","name":"{case_name}"}}"#)),
+        3 => (
+            "mc",
+            format!(
+                r#"{{"op":"mc","name":"{case_name}","samples":{MC_SAMPLES},"seed":{idx},"threads":1}}"#
+            ),
+        ),
+        _ => (
+            "bands",
+            format!(
+                r#"{{"op":"bands","name":"{case_name}","pfd_bound":1e-3,"mode":"low_demand"}}"#
+            ),
+        ),
+    }
+}
+
+fn quantile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn latency_value(sorted: &[u64]) -> Value {
+    let mean = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<u64>() as f64 / sorted.len() as f64
+    };
+    Value::Object(vec![
+        ("p50_us".to_string(), Value::U64(quantile_us(sorted, 0.50))),
+        ("p99_us".to_string(), Value::U64(quantile_us(sorted, 0.99))),
+        ("mean_us".to_string(), Value::F64(mean)),
+        ("max_us".to_string(), Value::U64(sorted.last().copied().unwrap_or(0))),
+    ])
+}
+
+fn main() {
+    let mut out = String::from("BENCH_service.json");
+    let mut clients = DEFAULT_CLIENTS;
+    let mut requests = DEFAULT_REQUESTS;
+    let mut workers = DEFAULT_WORKERS;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--clients" => clients = next_count(&mut args, "--clients"),
+            "--requests" => requests = next_count(&mut args, "--requests"),
+            "--workers" => workers = next_count(&mut args, "--workers"),
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
+            path => out = path.to_string(),
+        }
+    }
+
+    let engine = Arc::new(Engine::new(16));
+    let server =
+        Server::bind(Arc::clone(&engine), ("127.0.0.1", 0), workers).expect("bind localhost");
+    let addr = server.local_addr();
+
+    let mut setup = Client::connect(addr).expect("connect");
+    setup
+        .round_trip(&load_line("reactor", &demo_case("reactor protection", 0.95, 0.90)))
+        .expect("load reactor");
+    setup
+        .round_trip(&load_line("interlock", &demo_case("interlock", 0.97, 0.85)))
+        .expect("load interlock");
+
+    eprintln!(
+        "driving {clients} client(s) x {requests} request(s) against {addr} ({workers} workers)…"
+    );
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client_idx in 0..clients {
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let case_name = if client_idx % 2 == 0 { "reactor" } else { "interlock" };
+            // (op, latency µs) per request, in issue order.
+            let mut samples: Vec<(&'static str, u64)> = Vec::with_capacity(requests);
+            for idx in 0..requests {
+                let (op, line) = request_for(case_name, idx);
+                let sent = Instant::now();
+                let response = client.round_trip(&line).expect("round trip");
+                let us = u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
+                assert!(response.contains(r#""ok":true"#), "request failed: {response}");
+                samples.push((op, us));
+            }
+            samples
+        }));
+    }
+    let mut all: Vec<(&'static str, u64)> = Vec::new();
+    for handle in handles {
+        all.extend(handle.join().expect("client thread"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Final stats from the service itself: cache hit rate and the
+    // server-side view of the same traffic.
+    let stats_line = setup.round_trip(r#"{"op":"stats"}"#).expect("stats");
+    let Json(stats) = serde_json::from_str(&stats_line).expect("stats parse");
+    let cache = stats.get("result").and_then(|r| r.get("plan_cache")).cloned().unwrap();
+    server.shutdown();
+
+    let total = all.len();
+    let throughput = total as f64 / elapsed;
+    let mut sorted_all: Vec<u64> = all.iter().map(|(_, us)| *us).collect();
+    sorted_all.sort_unstable();
+
+    let mut per_op: Vec<(String, Value)> = Vec::new();
+    for op in ["eval", "rank", "mc", "bands"] {
+        let mut sorted: Vec<u64> =
+            all.iter().filter(|(o, _)| *o == op).map(|(_, us)| *us).collect();
+        if sorted.is_empty() {
+            continue;
+        }
+        sorted.sort_unstable();
+        per_op.push((
+            op.to_string(),
+            Value::Object(vec![
+                ("requests".to_string(), Value::U64(sorted.len() as u64)),
+                ("latency".to_string(), latency_value(&sorted)),
+            ]),
+        ));
+    }
+
+    let report = Value::Object(vec![
+        ("bench".to_string(), Value::Str("service".to_string())),
+        (
+            "config".to_string(),
+            Value::Object(vec![
+                ("clients".to_string(), Value::U64(clients as u64)),
+                ("requests_per_client".to_string(), Value::U64(requests as u64)),
+                ("workers".to_string(), Value::U64(workers as u64)),
+                ("mc_samples".to_string(), Value::U64(u64::from(MC_SAMPLES))),
+            ]),
+        ),
+        ("total_requests".to_string(), Value::U64(total as u64)),
+        ("elapsed_seconds".to_string(), Value::F64(elapsed)),
+        ("requests_per_second".to_string(), Value::F64(throughput)),
+        ("latency".to_string(), latency_value(&sorted_all)),
+        ("per_op".to_string(), Value::Object(per_op)),
+        ("plan_cache".to_string(), cache.clone()),
+    ]);
+
+    eprintln!(
+        "  {total} requests in {elapsed:.3}s = {throughput:.0} req/s; p50 {}µs p99 {}µs",
+        quantile_us(&sorted_all, 0.50),
+        quantile_us(&sorted_all, 0.99)
+    );
+    if let Some(rate) = cache.get("hit_rate").and_then(Value::as_f64) {
+        eprintln!("  plan-cache hit rate {rate:.3}");
+    }
+
+    let json = serde_json::to_string_pretty(&Json(report)).expect("report serializes");
+    std::fs::write(&out, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+}
+
+fn next_count(args: &mut impl Iterator<Item = String>, flag: &str) -> usize {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or_else(|| usage(&format!("{flag} needs a positive number")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: bench_service [OUT.json] [--clients N] [--requests N] [--workers N]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

@@ -7,7 +7,8 @@
 //! - **(x, y) grids** of `WorstCaseBound::bound` — the Section 3.4
 //!   worst-case failure probability over doubt × claim-bound axes;
 //! - **sample-size ladders** for the Monte-Carlo engine — throughput and
-//!   parallel speedup of [`depcase_assurance::simulate_parallel`].
+//!   parallel speedup of [`depcase_assurance::MonteCarlo`] runs over a
+//!   pre-compiled [`EvalPlan`].
 //!
 //! Each stage is timed with a monotonic wall clock; [`BenchMcReport`]
 //! serializes the lot as the `BENCH_mc.json` artefact (see
@@ -15,7 +16,7 @@
 //! [`par_map`], which preserves input order, so sweep output is
 //! independent of the thread count.
 
-use depcase_assurance::{simulate_parallel, Case, Combination, NodeId};
+use depcase_assurance::{Case, Combination, EvalPlan, MonteCarlo, NodeId};
 use depcase_core::WorstCaseBound;
 use depcase_distributions::LogNormal;
 use depcase_sil::{DemandMode, SilAssessment, SilLevel};
@@ -230,15 +231,26 @@ pub fn ladder_case() -> (Case, NodeId) {
 pub fn mc_ladder(sizes: &[u32], seed: u64, threads: usize) -> (Vec<McRung>, StageTiming) {
     let threads = resolve_threads(threads);
     let (case, goal) = ladder_case();
+    // Compile once, reuse across every rung and both thread counts —
+    // the same amortisation the assessment service's plan cache does.
+    let plan = EvalPlan::compile(&case).expect("valid case");
     let t0 = Instant::now();
     let rungs = sizes
         .iter()
         .map(|&samples| {
             let t1 = Instant::now();
-            let single = simulate_parallel(&case, samples, seed, 1).expect("valid case");
+            let single = MonteCarlo::new(samples)
+                .seed(seed)
+                .threads(1)
+                .run_plan(&plan)
+                .expect("samples > 0");
             let secs_single = t1.elapsed().as_secs_f64();
             let t2 = Instant::now();
-            let par = simulate_parallel(&case, samples, seed, threads).expect("valid case");
+            let par = MonteCarlo::new(samples)
+                .seed(seed)
+                .threads(threads)
+                .run_plan(&plan)
+                .expect("samples > 0");
             let secs_parallel = t2.elapsed().as_secs_f64();
             let estimate = single.estimate(goal).expect("goal is a target");
             assert_eq!(

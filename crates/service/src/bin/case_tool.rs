@@ -1,19 +1,80 @@
-//! `case_tool` — evaluate a serialized dependability case from the
-//! command line.
+//! `case_tool` — evaluate serialized dependability cases from the
+//! command line, or run the resident assessment service.
 //!
 //! ```text
 //! case_tool eval  case.json      # propagate and print per-node confidence
 //! case_tool dot   case.json      # annotated Graphviz DOT on stdout
 //! case_tool rank  case.json      # evidence ranked by improvement value
 //! case_tool demo                 # print a sample case.json to start from
+//! case_tool serve [--addr HOST:PORT] [--stdio] [--workers N] [--cache N]
 //! ```
+//!
+//! `serve` speaks newline-delimited JSON (see the `depcase-service`
+//! crate docs for the protocol) on a localhost TCP listener, or on
+//! stdin/stdout with `--stdio`.
 
-use depcase_assurance::{importance, templates, Case};
+use depcase::assurance::{importance, templates, Case};
+use depcase_service::{serve_stdio, Engine, Server};
 use std::process::ExitCode;
+use std::sync::Arc;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:4676";
+const DEFAULT_WORKERS: usize = 4;
+const DEFAULT_CACHE: usize = 64;
 
 fn load(path: &str) -> Result<Case, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut stdio = false;
+    let mut workers = DEFAULT_WORKERS;
+    let mut cache = DEFAULT_CACHE;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--stdio" => stdio = true,
+            "--addr" => {
+                addr = it.next().ok_or("--addr needs HOST:PORT")?.clone();
+            }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .ok_or("--workers needs a count")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?;
+            }
+            "--cache" => {
+                cache = it
+                    .next()
+                    .ok_or("--cache needs a capacity")?
+                    .parse()
+                    .map_err(|_| "--cache needs an integer".to_string())?;
+            }
+            other => return Err(format!("unknown serve flag `{other}`")),
+        }
+    }
+    let engine = Arc::new(Engine::new(cache));
+    if stdio {
+        serve_stdio(&engine);
+        return Ok(());
+    }
+    let server =
+        Server::bind(Arc::clone(&engine), addr.as_str(), workers).map_err(|e| e.to_string())?;
+    eprintln!(
+        "case_tool serve: listening on {} ({workers} workers, plan cache {cache})",
+        server.local_addr()
+    );
+    let engine_for_dump = engine;
+    server.wait();
+    eprintln!(
+        "case_tool serve: final stats {}",
+        serde_json::to_string(&depcase_service::protocol::Json(engine_for_dump.stats_value()))
+            .map_err(|e| e.to_string())?
+    );
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
@@ -68,7 +129,11 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
-        _ => Err("usage: case_tool {eval|dot|rank} <case.json> | case_tool demo".into()),
+        Some("serve") => serve(&args[1..]),
+        _ => Err(
+            "usage: case_tool {eval|dot|rank} <case.json> | case_tool demo | case_tool serve [--addr HOST:PORT|--stdio] [--workers N] [--cache N]"
+                .into(),
+        ),
     }
 }
 

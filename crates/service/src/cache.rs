@@ -1,0 +1,162 @@
+//! LRU cache of compiled evaluation artefacts, keyed by case content.
+//!
+//! Compiling a [`Case`](depcase::assurance::Case) into an
+//! [`EvalPlan`](depcase::assurance::EvalPlan) and propagating the
+//! analytic confidences both walk the whole graph; a long-running
+//! service answering repeated `eval`/`mc`/`rank`/`bands` requests
+//! against the same handful of cases should pay that walk once. The key
+//! is [`Case::content_hash`](depcase::assurance::Case::content_hash) —
+//! a hash of exactly the evaluation-relevant state — so a reloaded but
+//! unchanged case still hits, while any edit to structure or confidence
+//! misses and recompiles.
+
+use depcase::assurance::{ConfidenceReport, EvalPlan};
+use std::sync::Arc;
+
+/// Everything derivable from a case that requests reuse.
+#[derive(Debug)]
+pub struct CompiledCase {
+    /// The flat evaluation plan, shared by `mc` runs.
+    pub plan: EvalPlan,
+    /// The analytic propagation report, shared by `eval` and `bands`.
+    pub report: ConfidenceReport,
+}
+
+/// Counter snapshot for observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that found a compiled entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+}
+
+/// A least-recently-used map from content hash to [`CompiledCase`].
+///
+/// Entries are kept in recency order in a `Vec` (most recent last);
+/// capacities are small — tens of cases — so linear scans beat the
+/// constant factors of anything cleverer.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    entries: Vec<(u64, Arc<CompiledCase>)>,
+    counters: CacheCounters,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` compiled cases
+    /// (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Looks a compiled case up, refreshing its recency on hit.
+    pub fn get(&mut self, hash: u64) -> Option<Arc<CompiledCase>> {
+        match self.entries.iter().position(|(h, _)| *h == hash) {
+            Some(idx) => {
+                self.counters.hits += 1;
+                let entry = self.entries.remove(idx);
+                let compiled = Arc::clone(&entry.1);
+                self.entries.push(entry);
+                Some(compiled)
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly compiled case, evicting the least recently used
+    /// entry if the cache is full. Re-inserting an existing hash just
+    /// refreshes the entry.
+    pub fn insert(&mut self, hash: u64, compiled: Arc<CompiledCase>) {
+        if let Some(idx) = self.entries.iter().position(|(h, _)| *h == hash) {
+            self.entries.remove(idx);
+        } else if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+            self.counters.evictions += 1;
+        }
+        self.entries.push((hash, compiled));
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase::prelude::*;
+
+    fn compiled(confidence: f64) -> Arc<CompiledCase> {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G", "claim").unwrap();
+        let e = case.add_evidence("E", "evidence", confidence).unwrap();
+        case.support(g, e).unwrap();
+        let plan = EvalPlan::compile(&case).unwrap();
+        let report = case.propagate().unwrap();
+        Arc::new(CompiledCase { plan, report })
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut cache = PlanCache::new(4);
+        assert!(cache.get(1).is_none());
+        cache.insert(1, compiled(0.9));
+        assert!(cache.get(1).is_some());
+        assert_eq!(cache.counters(), CacheCounters { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn least_recently_used_entry_is_evicted_first() {
+        let mut cache = PlanCache::new(2);
+        cache.insert(1, compiled(0.9));
+        cache.insert(2, compiled(0.8));
+        assert!(cache.get(1).is_some()); // 2 is now least recent
+        cache.insert(3, compiled(0.7)); // evicts 2
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.counters().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let mut cache = PlanCache::new(2);
+        cache.insert(1, compiled(0.9));
+        cache.insert(2, compiled(0.8));
+        cache.insert(1, compiled(0.9));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.counters().evictions, 0);
+    }
+}

@@ -1,0 +1,436 @@
+//! The assessment engine: a named, versioned case registry in front of
+//! the compiled-plan cache.
+//!
+//! [`Engine::handle`] is the single entry point; it is `&self` and
+//! thread-safe, so any number of server workers can call it
+//! concurrently. Locks are held only around registry/cache bookkeeping —
+//! the expensive work (plan compilation, Monte-Carlo sampling) runs
+//! outside every lock, on the worker's own thread.
+//!
+//! Numeric discipline: every number in a response is produced by exactly
+//! the same library call a direct user would make — the engine adds
+//! caching and transport, never arithmetic — so responses are
+//! bit-identical to in-process evaluation (the integration tests assert
+//! this via `f64::to_bits`).
+
+use crate::cache::{CacheCounters, CompiledCase, PlanCache};
+use crate::protocol::{format_hash, ErrorCode, Request, WireError};
+use crate::stats::ServiceStats;
+use depcase::assurance::{importance, Case, EvalPlan, MonteCarlo, NodeKind};
+use depcase::distributions::TwoPoint;
+use depcase::sil::{SilAssessment, SilLevel};
+use serde::{Deserialize, Value};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A registered case: the graph plus its registry metadata.
+#[derive(Debug, Clone)]
+struct CaseEntry {
+    case: Arc<Case>,
+    /// Bumped every time `load` replaces the case under this name.
+    version: u64,
+    /// Content hash at load time (the plan-cache key).
+    hash: u64,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    cases: HashMap<String, CaseEntry>,
+}
+
+/// The long-running assessment engine.
+#[derive(Debug)]
+pub struct Engine {
+    registry: Mutex<Registry>,
+    cache: Mutex<PlanCache>,
+    stats: Mutex<ServiceStats>,
+}
+
+impl Engine {
+    /// Creates an engine whose plan cache holds `cache_capacity`
+    /// compiled cases.
+    #[must_use]
+    pub fn new(cache_capacity: usize) -> Self {
+        Engine {
+            registry: Mutex::new(Registry::default()),
+            cache: Mutex::new(PlanCache::new(cache_capacity)),
+            stats: Mutex::new(ServiceStats::default()),
+        }
+    }
+
+    /// Handles one parsed request, recording latency and error counters.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] carrying the stable wire code for the failure.
+    pub fn handle(&self, request: &Request) -> Result<Value, WireError> {
+        let started = Instant::now();
+        let result = self.dispatch(request);
+        let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.stats.lock().expect("stats lock").record(
+            request.op_name(),
+            elapsed_us,
+            result.is_err(),
+        );
+        result
+    }
+
+    fn dispatch(&self, request: &Request) -> Result<Value, WireError> {
+        match request {
+            Request::Load { name, case } => self.load(name, case),
+            Request::Eval { name } => self.eval(name),
+            Request::Rank { name } => self.rank(name),
+            Request::Mc { name, samples, seed, threads } => {
+                self.mc(name, *samples, *seed, *threads)
+            }
+            Request::Bands { name, pfd_bound, mode } => self.bands(name, *pfd_bound, mode.to_lib()),
+            Request::Stats | Request::Shutdown => Ok(self.stats_value()),
+        }
+    }
+
+    /// The current stats snapshot as a wire value (also the `shutdown`
+    /// response body, so a final dump always reaches the client).
+    #[must_use]
+    pub fn stats_value(&self) -> Value {
+        let (counters, entries, capacity) = {
+            let cache = self.cache.lock().expect("cache lock");
+            (cache.counters(), cache.len(), cache.capacity())
+        };
+        self.stats.lock().expect("stats lock").to_value(counters, entries, capacity)
+    }
+
+    /// Cache counters alone (for tests and the bench harness).
+    #[must_use]
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache.lock().expect("cache lock").counters()
+    }
+
+    fn load(&self, name: &str, doc: &Value) -> Result<Value, WireError> {
+        let case = Case::from_value(doc).map_err(|e| WireError::new(ErrorCode::BadCase, e))?;
+        // Reject unevaluable cases at the door rather than on first use;
+        // compiling also warms the plan cache for the expected follow-up.
+        let compiled = compile(&case)?;
+        let hash = case.content_hash();
+        let nodes = case.iter().count();
+        self.cache.lock().expect("cache lock").insert(hash, Arc::new(compiled));
+        let version = {
+            let mut registry = self.registry.lock().expect("registry lock");
+            let version = registry.cases.get(name).map_or(1, |e| e.version + 1);
+            registry
+                .cases
+                .insert(name.to_string(), CaseEntry { case: Arc::new(case), version, hash });
+            version
+        };
+        Ok(Value::Object(vec![
+            ("name".to_string(), Value::Str(name.to_string())),
+            ("version".to_string(), Value::U64(version)),
+            ("hash".to_string(), Value::Str(format_hash(hash))),
+            ("nodes".to_string(), Value::U64(nodes as u64)),
+        ]))
+    }
+
+    fn lookup(&self, name: &str) -> Result<CaseEntry, WireError> {
+        self.registry.lock().expect("registry lock").cases.get(name).cloned().ok_or_else(|| {
+            WireError::new(ErrorCode::UnknownCase, format!("no case named `{name}` is loaded"))
+        })
+    }
+
+    /// Fetches the compiled artefacts for an entry, compiling outside
+    /// the lock on a miss. Two workers racing on the same cold case may
+    /// both compile; the cache keeps whichever inserts last — identical
+    /// content, so correctness is unaffected.
+    fn compiled(&self, entry: &CaseEntry) -> Result<Arc<CompiledCase>, WireError> {
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(entry.hash) {
+            return Ok(hit);
+        }
+        let compiled = Arc::new(compile(&entry.case)?);
+        self.cache.lock().expect("cache lock").insert(entry.hash, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    fn eval(&self, name: &str) -> Result<Value, WireError> {
+        let entry = self.lookup(name)?;
+        let compiled = self.compiled(&entry)?;
+        let mut nodes = Vec::new();
+        for (id, node) in entry.case.iter() {
+            if let Some(c) = compiled.report.confidence(id) {
+                nodes.push(Value::Object(vec![
+                    ("name".to_string(), Value::Str(node.name.clone())),
+                    ("kind".to_string(), Value::Str(kind_name(&node.kind).to_string())),
+                    ("confidence".to_string(), Value::F64(c.independent)),
+                    ("worst_case".to_string(), Value::F64(c.worst_case)),
+                    ("best_case".to_string(), Value::F64(c.best_case)),
+                ]));
+            }
+        }
+        let mut fields = case_header(&entry);
+        if let Some(top) = compiled.report.top() {
+            fields.push(("root_confidence".to_string(), Value::F64(top.independent)));
+        }
+        fields.push(("nodes".to_string(), Value::Array(nodes)));
+        Ok(Value::Object(fields))
+    }
+
+    fn rank(&self, name: &str) -> Result<Value, WireError> {
+        let entry = self.lookup(name)?;
+        // Warm/consult the cache so repeated ranking of an unchanged
+        // case is counted like any other cached evaluation.
+        let _ = self.compiled(&entry)?;
+        let ranking = importance::birnbaum_importance(&entry.case)
+            .map_err(|e| WireError::from(depcase::Error::from(e)))?;
+        let rows = ranking
+            .into_iter()
+            .map(|li| {
+                Value::Object(vec![
+                    ("name".to_string(), Value::Str(li.name)),
+                    ("confidence".to_string(), Value::F64(li.confidence)),
+                    ("birnbaum".to_string(), Value::F64(li.birnbaum)),
+                    ("gain_if_certain".to_string(), Value::F64(li.gain_if_certain)),
+                ])
+            })
+            .collect();
+        let mut fields = case_header(&entry);
+        fields.push(("evidence".to_string(), Value::Array(rows)));
+        Ok(Value::Object(fields))
+    }
+
+    fn mc(&self, name: &str, samples: u32, seed: u64, threads: usize) -> Result<Value, WireError> {
+        let entry = self.lookup(name)?;
+        let compiled = self.compiled(&entry)?;
+        let report = MonteCarlo::new(samples)
+            .seed(seed)
+            .threads(threads)
+            .run_plan(&compiled.plan)
+            .map_err(|e| WireError::from(depcase::Error::from(e)))?;
+        let mut estimates = Vec::new();
+        for (id, node) in entry.case.iter() {
+            if let Some(estimate) = report.estimate(id) {
+                estimates.push(Value::Object(vec![
+                    ("name".to_string(), Value::Str(node.name.clone())),
+                    ("estimate".to_string(), Value::F64(estimate)),
+                    (
+                        "half_width".to_string(),
+                        Value::F64(report.half_width(id).unwrap_or(f64::NAN)),
+                    ),
+                ]));
+            }
+        }
+        let mut fields = case_header(&entry);
+        fields.push(("samples".to_string(), Value::U64(u64::from(report.samples()))));
+        fields.push(("seed".to_string(), Value::U64(seed)));
+        fields.push(("estimates".to_string(), Value::Array(estimates)));
+        Ok(Value::Object(fields))
+    }
+
+    fn bands(
+        &self,
+        name: &str,
+        pfd_bound: f64,
+        mode: depcase::sil::DemandMode,
+    ) -> Result<Value, WireError> {
+        let entry = self.lookup(name)?;
+        let compiled = self.compiled(&entry)?;
+        let top = compiled.report.top().ok_or_else(|| {
+            WireError::new(ErrorCode::Case, "case has no single root goal to band")
+        })?;
+        // The paper's construction: confidence c in "measure < bound"
+        // is the two-point worst-case belief — mass c at the bound,
+        // doubt 1 − c at failure — pushed through the band table.
+        let belief = TwoPoint::worst_case(pfd_bound, 1.0 - top.independent)
+            .map_err(|e| WireError::from(depcase::Error::from(e)))?;
+        let assessment = SilAssessment::new(&belief, mode);
+        let at_least = assessment.confidences();
+        let probabilities = assessment.band_probabilities();
+        let rows = SilLevel::ALL
+            .iter()
+            .map(|level| {
+                Value::Object(vec![
+                    ("level".to_string(), Value::Str(level.to_string())),
+                    ("at_least".to_string(), Value::F64(at_least[usize::from(level.index()) - 1])),
+                    ("in_band".to_string(), Value::F64(probabilities.in_band(*level))),
+                ])
+            })
+            .collect();
+        let mut fields = case_header(&entry);
+        fields.push(("root_confidence".to_string(), Value::F64(top.independent)));
+        fields.push(("pfd_bound".to_string(), Value::F64(pfd_bound)));
+        fields.push((
+            "mode".to_string(),
+            Value::Str(
+                match mode {
+                    depcase::sil::DemandMode::LowDemand => "low_demand",
+                    depcase::sil::DemandMode::HighDemand => "high_demand",
+                }
+                .to_string(),
+            ),
+        ));
+        fields.push(("bands".to_string(), Value::Array(rows)));
+        fields.push((
+            "most_probable".to_string(),
+            match probabilities.most_probable() {
+                Some(level) => Value::Str(level.to_string()),
+                None => Value::Null,
+            },
+        ));
+        Ok(Value::Object(fields))
+    }
+}
+
+fn compile(case: &Case) -> Result<CompiledCase, WireError> {
+    let plan = EvalPlan::compile(case).map_err(|e| WireError::from(depcase::Error::from(e)))?;
+    let report = case.propagate().map_err(|e| WireError::from(depcase::Error::from(e)))?;
+    Ok(CompiledCase { plan, report })
+}
+
+fn case_header(entry: &CaseEntry) -> Vec<(String, Value)> {
+    vec![
+        ("case".to_string(), Value::Str(entry.case.title().to_string())),
+        ("version".to_string(), Value::U64(entry.version)),
+        ("hash".to_string(), Value::Str(format_hash(entry.hash))),
+    ]
+}
+
+fn kind_name(kind: &NodeKind) -> &'static str {
+    match kind {
+        NodeKind::Goal => "goal",
+        NodeKind::Strategy(_) => "strategy",
+        NodeKind::Evidence { .. } => "evidence",
+        NodeKind::Assumption { .. } => "assumption",
+        NodeKind::Context => "context",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depcase::prelude::*;
+
+    fn demo_case_value() -> Value {
+        let mut case = Case::new("demo");
+        let g = case.add_goal("G", "pfd < 1e-3").unwrap();
+        let s = case.add_strategy("S", "legs", Combination::AnyOf).unwrap();
+        let e1 = case.add_evidence("E1", "testing", 0.95).unwrap();
+        let e2 = case.add_evidence("E2", "analysis", 0.90).unwrap();
+        case.support(g, s).unwrap();
+        case.support(s, e1).unwrap();
+        case.support(s, e2).unwrap();
+        serde::Serialize::to_value(&case)
+    }
+
+    fn load_demo(engine: &Engine, name: &str) {
+        engine.handle(&Request::Load { name: name.to_string(), case: demo_case_value() }).unwrap();
+    }
+
+    #[test]
+    fn load_then_eval_matches_direct_propagation() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        let result = engine.handle(&Request::Eval { name: "demo".into() }).unwrap();
+        let root = result.get("root_confidence").and_then(Value::as_f64).unwrap();
+
+        let case = Case::from_value(&demo_case_value()).unwrap();
+        let direct = case.propagate().unwrap().top().unwrap().independent;
+        assert_eq!(root.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn reload_bumps_version_and_unknown_case_errors() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        let second =
+            engine.handle(&Request::Load { name: "demo".into(), case: demo_case_value() }).unwrap();
+        assert_eq!(second.get("version").and_then(Value::as_u64), Some(2));
+
+        let err = engine.handle(&Request::Eval { name: "missing".into() }).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownCase);
+    }
+
+    #[test]
+    fn second_eval_of_unchanged_case_hits_the_plan_cache() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        engine.handle(&Request::Eval { name: "demo".into() }).unwrap();
+        let before = engine.cache_counters();
+        engine.handle(&Request::Eval { name: "demo".into() }).unwrap();
+        let after = engine.cache_counters();
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses);
+    }
+
+    #[test]
+    fn mc_through_the_engine_is_bit_identical_to_the_library() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        let result = engine
+            .handle(&Request::Mc { name: "demo".into(), samples: 20_000, seed: 7, threads: 2 })
+            .unwrap();
+
+        let case = Case::from_value(&demo_case_value()).unwrap();
+        let direct = MonteCarlo::new(20_000).seed(7).threads(2).run(&case).unwrap();
+        let g = case.node_by_name("G").unwrap();
+        let wire_estimate = result
+            .get("estimates")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .find(|v| v.get("name").and_then(Value::as_str) == Some("G"))
+            .and_then(|v| v.get("estimate"))
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert_eq!(wire_estimate.to_bits(), direct.estimate(g).unwrap().to_bits());
+    }
+
+    #[test]
+    fn bands_reports_the_papers_two_point_construction() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        let result = engine
+            .handle(&Request::Bands {
+                name: "demo".into(),
+                pfd_bound: 1e-3,
+                mode: crate::protocol::WireDemandMode::LowDemand,
+            })
+            .unwrap();
+
+        let case = Case::from_value(&demo_case_value()).unwrap();
+        let c = case.propagate().unwrap().top().unwrap().independent;
+        let belief = TwoPoint::worst_case(1e-3, 1.0 - c).unwrap();
+        let direct =
+            SilAssessment::new(&belief, DemandMode::LowDemand).confidence_at_least(SilLevel::Sil2);
+        let wire = result
+            .get("bands")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .find(|v| v.get("level").and_then(Value::as_str) == Some("SIL2"))
+            .and_then(|v| v.get("at_least"))
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert_eq!(wire.to_bits(), direct.to_bits());
+        assert!(result.get("most_probable").is_some());
+    }
+
+    #[test]
+    fn malformed_case_documents_are_rejected_as_bad_case() {
+        let engine = Engine::new(8);
+        let err = engine
+            .handle(&Request::Load { name: "x".into(), case: Value::Str("nope".into()) })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadCase);
+    }
+
+    #[test]
+    fn stats_reflect_handled_requests() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        engine.handle(&Request::Eval { name: "demo".into() }).unwrap();
+        let _ = engine.handle(&Request::Eval { name: "missing".into() });
+        let stats = engine.handle(&Request::Stats).unwrap();
+        let evals = stats.get("ops").and_then(|o| o.get("eval")).unwrap();
+        assert_eq!(evals.get("requests").and_then(Value::as_u64), Some(2));
+        assert_eq!(evals.get("errors").and_then(Value::as_u64), Some(1));
+        let cache = stats.get("plan_cache").unwrap();
+        assert!(cache.get("hits").and_then(Value::as_u64).unwrap() >= 1);
+    }
+}

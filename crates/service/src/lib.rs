@@ -1,0 +1,60 @@
+//! Long-running assessment service for `depcase` dependability cases.
+//!
+//! A risk-assessment workflow rarely evaluates a case once: the same
+//! argument graph is propagated, ranked, Monte-Carlo cross-checked, and
+//! banded over and over as evidence firms up. This crate turns the
+//! library into a resident engine so those repeat evaluations amortise
+//! the per-case compilation work:
+//!
+//! - **Registry** — cases are loaded under client-chosen names and
+//!   versioned on every reload ([`Engine`]).
+//! - **Plan cache** — compiled [`EvalPlan`](depcase::assurance::EvalPlan)s
+//!   and analytic reports are kept in an LRU keyed by
+//!   [`Case::content_hash`](depcase::assurance::Case::content_hash), so
+//!   an unchanged case never recompiles ([`PlanCache`]).
+//! - **Wire protocol** — newline-delimited JSON over a localhost TCP
+//!   listener or stdin/stdout, with stable machine-readable error codes
+//!   ([`protocol`]).
+//! - **Worker pool** — requests are claimed dynamically by a pool of
+//!   workers, the same discipline as the parallel Monte-Carlo engine's
+//!   chunk claiming ([`Server`]).
+//! - **Observability** — per-operation latency histograms and cache
+//!   hit/miss counters, dumped by the `stats` op and on shutdown
+//!   ([`ServiceStats`]).
+//!
+//! Start it from the command line with `case_tool serve`, or embed it:
+//!
+//! ```
+//! use depcase_service::{Client, Engine, Server};
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(Engine::new(16));
+//! let server = Server::bind(engine, ("127.0.0.1", 0), 2)?;
+//! let mut client = Client::connect(server.local_addr())?;
+//!
+//! let response = client.round_trip(r#"{"id":1,"op":"stats"}"#).unwrap();
+//! assert!(response.contains(r#""ok":true"#));
+//! server.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! Determinism note: the engine adds caching and transport around the
+//! library, never arithmetic. Every confidence, estimate, and band
+//! probability in a response is bit-identical to the value the same
+//! library call returns in-process — the integration tests hold the
+//! service to that with `f64::to_bits` comparisons.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cache;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use cache::{CacheCounters, CompiledCase, PlanCache};
+pub use engine::Engine;
+pub use protocol::{ErrorCode, Request, WireError};
+pub use server::{serve_stdio, Client, Server};
+pub use stats::{Histogram, ServiceStats};

@@ -1,0 +1,412 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, always in request order
+//! even when the engine completes them out of order. Every request is a
+//! JSON object with an `"op"` field and an optional client-chosen
+//! `"id"`, echoed verbatim in the response so pipelined clients can
+//! match answers to questions:
+//!
+//! ```text
+//! → {"id":1,"op":"load","name":"reactor","case":{...}}
+//! ← {"id":1,"ok":true,"result":{"name":"reactor","version":1,"hash":"9f2d…","nodes":5}}
+//! → {"id":2,"op":"eval","name":"reactor"}
+//! ← {"id":2,"ok":true,"result":{...per-node confidences...}}
+//! → {"id":3,"op":"nope"}
+//! ← {"id":3,"ok":false,"error":{"code":"unknown_op","message":"unknown op `nope`"}}
+//! ```
+//!
+//! Failures carry a stable machine-readable `code`; codes originating in
+//! the library map one-to-one from [`depcase::Error`] variants (`case`,
+//! `confidence`, `distribution`, `numerics`), while the transport adds
+//! `bad_json`, `bad_request`, `unknown_op`, `unknown_case`, and
+//! `bad_case`.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// A raw [`Value`] viewed as a (de)serializable document.
+///
+/// The vendored `serde` implements its traits on typed data, not on
+/// `Value` itself; this newtype closes the gap so the service can parse
+/// and print request/response lines it assembles by hand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Json(pub Value);
+
+impl Serialize for Json {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Json(v.clone()))
+    }
+}
+
+/// Default Monte-Carlo sample count when a `mc` request omits it.
+pub const DEFAULT_MC_SAMPLES: u32 = 65_536;
+
+/// Machine-readable failure category on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not valid JSON.
+    BadJson,
+    /// The JSON was valid but the request shape was not.
+    BadRequest,
+    /// The `op` field named no known operation.
+    UnknownOp,
+    /// The named case has never been loaded.
+    UnknownCase,
+    /// The case document in a `load` did not deserialize.
+    BadCase,
+    /// The library rejected the argument graph ([`depcase::Error::Case`]).
+    Case,
+    /// The claim calculus failed ([`depcase::Error::Confidence`]).
+    Confidence,
+    /// A belief distribution failed ([`depcase::Error::Distribution`]).
+    Distribution,
+    /// A numerical routine failed ([`depcase::Error::Numerics`]).
+    Numerics,
+}
+
+impl ErrorCode {
+    /// The stable wire spelling of this code.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad_json",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownOp => "unknown_op",
+            ErrorCode::UnknownCase => "unknown_case",
+            ErrorCode::BadCase => "bad_case",
+            ErrorCode::Case => "case",
+            ErrorCode::Confidence => "confidence",
+            ErrorCode::Distribution => "distribution",
+            ErrorCode::Numerics => "numerics",
+        }
+    }
+}
+
+/// A wire-reportable failure: code plus human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Machine-readable category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds a wire error from a code and any displayable message.
+    pub fn new(code: ErrorCode, message: impl std::fmt::Display) -> Self {
+        WireError { code, message: message.to_string() }
+    }
+}
+
+impl From<depcase::Error> for WireError {
+    fn from(e: depcase::Error) -> Self {
+        let code = match &e {
+            depcase::Error::Case(_) => ErrorCode::Case,
+            depcase::Error::Confidence(_) => ErrorCode::Confidence,
+            depcase::Error::Distribution(_) => ErrorCode::Distribution,
+            depcase::Error::Numerics(_) => ErrorCode::Numerics,
+        };
+        WireError::new(code, e)
+    }
+}
+
+/// SIL demand mode named on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireDemandMode {
+    /// `"low_demand"` — bands constrain pfd.
+    LowDemand,
+    /// `"high_demand"` — bands constrain pfh.
+    HighDemand,
+}
+
+impl WireDemandMode {
+    fn parse(s: &str) -> Result<Self, WireError> {
+        match s {
+            "low_demand" => Ok(WireDemandMode::LowDemand),
+            "high_demand" => Ok(WireDemandMode::HighDemand),
+            other => Err(WireError::new(
+                ErrorCode::BadRequest,
+                format!("mode must be \"low_demand\" or \"high_demand\", got \"{other}\""),
+            )),
+        }
+    }
+
+    /// The library's demand mode for this wire spelling.
+    #[must_use]
+    pub fn to_lib(self) -> depcase::sil::DemandMode {
+        match self {
+            WireDemandMode::LowDemand => depcase::sil::DemandMode::LowDemand,
+            WireDemandMode::HighDemand => depcase::sil::DemandMode::HighDemand,
+        }
+    }
+}
+
+/// A parsed request, ready for the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Register (or replace) a named case from an inline JSON document.
+    Load {
+        /// Registry name for the case.
+        name: String,
+        /// The case document, still raw; the engine deserializes it.
+        case: Value,
+    },
+    /// Analytic confidence propagation over a named case.
+    Eval {
+        /// Registry name of the case.
+        name: String,
+    },
+    /// Evidence ranked by Birnbaum importance and gain-if-certain.
+    Rank {
+        /// Registry name of the case.
+        name: String,
+    },
+    /// Monte-Carlo cross-check with the deterministic parallel engine.
+    Mc {
+        /// Registry name of the case.
+        name: String,
+        /// Sample count (default [`DEFAULT_MC_SAMPLES`]).
+        samples: u32,
+        /// RNG seed (default 0); fixes every estimate bit-for-bit.
+        seed: u64,
+        /// Worker threads, 0 = auto (default 0).
+        threads: usize,
+    },
+    /// SIL band membership for the root claim confidence.
+    Bands {
+        /// Registry name of the case.
+        name: String,
+        /// The claimed failure-measure bound (pfd or pfh).
+        pfd_bound: f64,
+        /// Which IEC 61508 band table applies.
+        mode: WireDemandMode,
+    },
+    /// Observability snapshot: per-op latency, cache counters.
+    Stats,
+    /// Stop the service; the response carries the final stats snapshot.
+    Shutdown,
+}
+
+/// The client-supplied `id`, echoed back verbatim (any JSON scalar).
+pub type RequestId = Option<Value>;
+
+fn str_field(obj: &[(String, Value)], name: &str) -> Result<String, WireError> {
+    match serde::field(obj, name) {
+        Ok(Value::Str(s)) => Ok(s.clone()),
+        Ok(_) => {
+            Err(WireError::new(ErrorCode::BadRequest, format!("field `{name}` must be a string")))
+        }
+        Err(e) => Err(WireError::new(ErrorCode::BadRequest, e)),
+    }
+}
+
+fn opt_u64(obj: &[(String, Value)], name: &str, default: u64) -> Result<u64, WireError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        None => Ok(default),
+        Some((_, v)) => v.as_u64().ok_or_else(|| {
+            WireError::new(
+                ErrorCode::BadRequest,
+                format!("field `{name}` must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+/// Parses one request line into its id and operation.
+///
+/// # Errors
+///
+/// [`WireError`] with code `bad_json`, `bad_request`, or `unknown_op`,
+/// paired with whatever `id` could be recovered from the line so the
+/// error response still echoes it ([`None`] when the line was not even
+/// a JSON object).
+pub fn parse_request(line: &str) -> Result<(RequestId, Request), (RequestId, WireError)> {
+    let Json(value) = serde_json::from_str::<Json>(line)
+        .map_err(|e| (None, WireError::new(ErrorCode::BadJson, e)))?;
+    let Some(obj) = value.as_object() else {
+        return Err((None, WireError::new(ErrorCode::BadRequest, "request must be a JSON object")));
+    };
+    let id = value.get("id").cloned();
+    match parse_op(&value, obj) {
+        Ok(request) => Ok((id, request)),
+        Err(err) => Err((id, err)),
+    }
+}
+
+fn parse_op(value: &Value, obj: &[(String, Value)]) -> Result<Request, WireError> {
+    let op = str_field(obj, "op")?;
+    let request = match op.as_str() {
+        "load" => {
+            let case = serde::field(obj, "case")
+                .map_err(|e| WireError::new(ErrorCode::BadRequest, e))?
+                .clone();
+            Request::Load { name: str_field(obj, "name")?, case }
+        }
+        "eval" => Request::Eval { name: str_field(obj, "name")? },
+        "rank" => Request::Rank { name: str_field(obj, "name")? },
+        "mc" => Request::Mc {
+            name: str_field(obj, "name")?,
+            samples: u32::try_from(opt_u64(obj, "samples", u64::from(DEFAULT_MC_SAMPLES))?)
+                .map_err(|_| WireError::new(ErrorCode::BadRequest, "field `samples` too large"))?,
+            seed: opt_u64(obj, "seed", 0)?,
+            threads: usize::try_from(opt_u64(obj, "threads", 0)?)
+                .map_err(|_| WireError::new(ErrorCode::BadRequest, "field `threads` too large"))?,
+        },
+        "bands" => {
+            let pfd_bound = match obj.iter().find(|(k, _)| k == "pfd_bound") {
+                Some((_, v)) => v.as_f64().ok_or_else(|| {
+                    WireError::new(ErrorCode::BadRequest, "field `pfd_bound` must be a number")
+                })?,
+                None => {
+                    return Err(WireError::new(ErrorCode::BadRequest, "missing field `pfd_bound`"))
+                }
+            };
+            let mode = match value.get("mode") {
+                None => WireDemandMode::LowDemand,
+                Some(Value::Str(s)) => WireDemandMode::parse(s)?,
+                Some(_) => {
+                    return Err(WireError::new(
+                        ErrorCode::BadRequest,
+                        "field `mode` must be a string",
+                    ))
+                }
+            };
+            Request::Bands { name: str_field(obj, "name")?, pfd_bound, mode }
+        }
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => return Err(WireError::new(ErrorCode::UnknownOp, format!("unknown op `{other}`"))),
+    };
+    Ok(request)
+}
+
+impl Request {
+    /// The operation name, as spelled on the wire (for stats bucketing).
+    #[must_use]
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Load { .. } => "load",
+            Request::Eval { .. } => "eval",
+            Request::Rank { .. } => "rank",
+            Request::Mc { .. } => "mc",
+            Request::Bands { .. } => "bands",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+fn with_id(id: &RequestId, mut fields: Vec<(String, Value)>) -> Value {
+    let mut out = Vec::with_capacity(fields.len() + 1);
+    if let Some(id) = id {
+        out.push(("id".to_string(), id.clone()));
+    }
+    out.append(&mut fields);
+    Value::Object(out)
+}
+
+/// Renders a success response line (no trailing newline).
+#[must_use]
+pub fn ok_line(id: &RequestId, result: Value) -> String {
+    let body =
+        with_id(id, vec![("ok".to_string(), Value::Bool(true)), ("result".to_string(), result)]);
+    serde_json::to_string(&Json(body)).expect("response serialization is infallible")
+}
+
+/// Renders a failure response line (no trailing newline).
+#[must_use]
+pub fn err_line(id: &RequestId, err: &WireError) -> String {
+    let body = with_id(
+        id,
+        vec![
+            ("ok".to_string(), Value::Bool(false)),
+            (
+                "error".to_string(),
+                Value::Object(vec![
+                    ("code".to_string(), Value::Str(err.code.as_str().to_string())),
+                    ("message".to_string(), Value::Str(err.message.clone())),
+                ]),
+            ),
+        ],
+    );
+    serde_json::to_string(&Json(body)).expect("response serialization is infallible")
+}
+
+/// Formats a case content hash the way every response spells it.
+#[must_use]
+pub fn format_hash(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse_with_defaults() {
+        let (id, req) = parse_request(r#"{"id":7,"op":"mc","name":"c"}"#).unwrap();
+        assert_eq!(id, Some(Value::I64(7)));
+        assert_eq!(
+            req,
+            Request::Mc { name: "c".into(), samples: DEFAULT_MC_SAMPLES, seed: 0, threads: 0 }
+        );
+
+        let (id, req) = parse_request(r#"{"op":"bands","name":"c","pfd_bound":1e-3}"#).unwrap();
+        assert_eq!(id, None);
+        assert_eq!(
+            req,
+            Request::Bands { name: "c".into(), pfd_bound: 1e-3, mode: WireDemandMode::LowDemand }
+        );
+    }
+
+    #[test]
+    fn bad_lines_carry_stable_codes() {
+        let (id, err) = parse_request("not json").unwrap_err();
+        assert_eq!((id, err.code), (None, ErrorCode::BadJson));
+        let (id, err) = parse_request("[1,2]").unwrap_err();
+        assert_eq!((id, err.code), (None, ErrorCode::BadRequest));
+        let (id, err) = parse_request(r#"{"op":"frobnicate"}"#).unwrap_err();
+        assert_eq!((id, err.code), (None, ErrorCode::UnknownOp));
+        let (id, err) = parse_request(r#"{"op":"eval"}"#).unwrap_err();
+        assert_eq!((id, err.code), (None, ErrorCode::BadRequest));
+        let (id, err) = parse_request(r#"{"op":"bands","name":"c"}"#).unwrap_err();
+        assert_eq!((id, err.code), (None, ErrorCode::BadRequest));
+    }
+
+    #[test]
+    fn errors_after_the_id_parsed_still_echo_it() {
+        // The docs promise the id comes back even on failure, so
+        // pipelined clients can match error responses to requests.
+        let (id, err) = parse_request(r#"{"id":3,"op":"nope"}"#).unwrap_err();
+        assert_eq!(id, Some(Value::I64(3)));
+        assert_eq!(err.code, ErrorCode::UnknownOp);
+        let line = err_line(&id, &err);
+        assert!(line.starts_with(r#"{"id":3,"ok":false"#), "{line}");
+    }
+
+    #[test]
+    fn library_errors_map_to_their_layer_code() {
+        let case_err: depcase::Error =
+            depcase::assurance::CaseError::DuplicateName("G".into()).into();
+        assert_eq!(WireError::from(case_err).code, ErrorCode::Case);
+        let num_err: depcase::Error = depcase::numerics::NumericsError::Domain("x".into()).into();
+        assert_eq!(WireError::from(num_err).code, ErrorCode::Numerics);
+    }
+
+    #[test]
+    fn response_lines_echo_the_id() {
+        let id = Some(Value::Str("req-1".into()));
+        let line = ok_line(&id, Value::Object(vec![("n".into(), Value::U64(1))]));
+        assert_eq!(line, r#"{"id":"req-1","ok":true,"result":{"n":1}}"#);
+        let line = err_line(&None, &WireError::new(ErrorCode::UnknownCase, "no such case"));
+        assert_eq!(
+            line,
+            r#"{"ok":false,"error":{"code":"unknown_case","message":"no such case"}}"#
+        );
+    }
+}

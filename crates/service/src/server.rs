@@ -1,0 +1,297 @@
+//! Transport and concurrency: NDJSON over TCP and stdio, in front of a
+//! dynamic worker pool.
+//!
+//! The pool reuses the claiming discipline of the parallel Monte-Carlo
+//! engine: work sits in one shared queue and idle workers claim the
+//! next item the moment they free up, so a long `mc` on one worker
+//! never blocks a stream of cheap `eval`s on the others. Response order
+//! is still per-connection FIFO — each connection's reader hands the
+//! writer a queue of reply slots in arrival order, and the writer
+//! drains them in that order no matter which finishes first.
+//!
+//! Everything here is hand-rolled on `std::net`/`std::thread`; the
+//! build environment has no crates.io access, and the protocol is
+//! simple enough that a framework would be all ceremony.
+
+use crate::engine::Engine;
+use crate::protocol::{self, ErrorCode, Request, WireError};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+
+/// One unit of work: a raw request line and where the answer goes.
+struct Job {
+    line: String,
+    reply: mpsc::Sender<String>,
+}
+
+/// Shared job queue with condvar wakeup; workers claim dynamically.
+struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        JobQueue { jobs: Mutex::new(VecDeque::new()), available: Condvar::new() }
+    }
+
+    fn push(&self, job: Job) {
+        self.jobs.lock().expect("queue lock").push_back(job);
+        self.available.notify_one();
+    }
+
+    /// Blocks for the next job; `None` once shutdown is flagged and the
+    /// queue has drained (outstanding requests are always answered).
+    fn claim(&self, shutdown: &AtomicBool) -> Option<Job> {
+        let mut jobs = self.jobs.lock().expect("queue lock");
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                return Some(job);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            jobs = self.available.wait(jobs).expect("queue lock");
+        }
+    }
+
+    fn notify_all(&self) {
+        self.available.notify_all();
+    }
+}
+
+/// A running service instance bound to a TCP listener.
+pub struct Server {
+    engine: Arc<Engine>,
+    queue: Arc<JobQueue>,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+    accept_handle: thread::JoinHandle<()>,
+    worker_handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// `workers` request workers plus an accept thread.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the address cannot be bound.
+    pub fn bind(
+        engine: Arc<Engine>,
+        addr: impl ToSocketAddrs,
+        workers: usize,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let queue = Arc::new(JobQueue::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let worker_handles = spawn_workers(&engine, &queue, &shutdown, workers);
+
+        let accept_handle = {
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let queue = Arc::clone(&queue);
+                    thread::spawn(move || serve_connection(stream, &queue));
+                }
+            })
+        };
+
+        Ok(Server { engine, queue, shutdown, addr, accept_handle, worker_handles })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine behind this server.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// True once a `shutdown` request has been handled.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, drains in-flight work, and joins all threads.
+    /// Idempotent with a wire-initiated shutdown.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.notify_all();
+        // The accept loop only observes the flag on its next wakeup;
+        // poke it with a throwaway connection.
+        drop(TcpStream::connect(self.addr));
+        let _ = self.accept_handle.join();
+        for handle in self.worker_handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until a client's `shutdown` request stops the service,
+    /// then drains and joins like [`Server::shutdown`].
+    pub fn wait(self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            thread::park_timeout(std::time::Duration::from_millis(50));
+        }
+        self.shutdown();
+    }
+}
+
+fn spawn_workers(
+    engine: &Arc<Engine>,
+    queue: &Arc<JobQueue>,
+    shutdown: &Arc<AtomicBool>,
+    workers: usize,
+) -> Vec<thread::JoinHandle<()>> {
+    (0..workers.max(1))
+        .map(|_| {
+            let engine = Arc::clone(engine);
+            let queue = Arc::clone(queue);
+            let shutdown = Arc::clone(shutdown);
+            thread::spawn(move || {
+                while let Some(job) = queue.claim(&shutdown) {
+                    let response = execute(&engine, &job.line, &shutdown, &queue);
+                    // A dead receiver means the client hung up; fine.
+                    let _ = job.reply.send(response);
+                }
+            })
+        })
+        .collect()
+}
+
+/// Parses and executes one request line, producing the response line.
+fn execute(engine: &Engine, line: &str, shutdown: &AtomicBool, queue: &JobQueue) -> String {
+    match protocol::parse_request(line) {
+        Ok((id, request)) => {
+            let result = engine.handle(&request);
+            if matches!(request, Request::Shutdown) {
+                shutdown.store(true, Ordering::SeqCst);
+                queue.notify_all();
+            }
+            match result {
+                Ok(value) => protocol::ok_line(&id, value),
+                Err(err) => protocol::err_line(&id, &err),
+            }
+        }
+        Err((id, err)) => protocol::err_line(&id, &err),
+    }
+}
+
+/// Reader half of a connection: enqueue each line, handing the writer
+/// the reply receivers in arrival order so responses stay FIFO.
+fn serve_connection(stream: TcpStream, queue: &JobQueue) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let (order_tx, order_rx) = mpsc::channel::<mpsc::Receiver<String>>();
+
+    let writer_handle = thread::spawn(move || {
+        let mut writer = BufWriter::new(write_half);
+        while let Ok(slot) = order_rx.recv() {
+            let Ok(response) = slot.recv() else { break };
+            if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
+                break;
+            }
+        }
+    });
+
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if order_tx.send(reply_rx).is_err() {
+            break;
+        }
+        queue.push(Job { line, reply: reply_tx });
+    }
+    drop(order_tx);
+    let _ = writer_handle.join();
+}
+
+/// Serves NDJSON over stdin/stdout until EOF or a `shutdown` request,
+/// then dumps a final stats snapshot to stderr.
+///
+/// Requests are executed in arrival order on the calling thread —
+/// stdio has a single client, so pooling buys nothing but reordering
+/// hazards.
+pub fn serve_stdio(engine: &Engine) {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut writer = BufWriter::new(stdout.lock());
+    let shutdown = AtomicBool::new(false);
+    // The queue only participates in the shutdown handshake here.
+    let queue = JobQueue::new();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = execute(engine, &line, &shutdown, &queue);
+        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
+            break;
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    let stats = protocol::ok_line(&None, engine.stats_value());
+    eprintln!("case_tool serve: final stats {stats}");
+}
+
+/// A blocking NDJSON client for tests, benches, and scripting.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let write_half = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer: BufWriter::new(write_half) })
+    }
+
+    /// Sends one request line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] with code `bad_json` when the transport fails or
+    /// the server closes the connection mid-exchange.
+    pub fn round_trip(&mut self, line: &str) -> Result<String, WireError> {
+        writeln!(self.writer, "{line}")
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| WireError::new(ErrorCode::BadJson, format!("send failed: {e}")))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| WireError::new(ErrorCode::BadJson, format!("receive failed: {e}")))?;
+        if n == 0 {
+            return Err(WireError::new(ErrorCode::BadJson, "server closed the connection"));
+        }
+        Ok(response.trim_end().to_string())
+    }
+}

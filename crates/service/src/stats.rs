@@ -1,0 +1,239 @@
+//! Service observability: per-operation latency histograms and counters.
+//!
+//! Latencies land in logarithmic (power-of-two) microsecond buckets, so
+//! a handful of `u64`s per operation covers nanosecond cache hits
+//! through multi-second Monte-Carlo runs, and quantiles come from a
+//! single scan. Quantile answers are the upper edge of the containing
+//! bucket — pessimistic by at most 2×, which is the right bias for
+//! latency reporting.
+
+use crate::cache::CacheCounters;
+use serde::Value;
+
+const BUCKETS: usize = 40; // 2^39 µs ≈ 6.4 days; plenty.
+
+/// Latency histogram with power-of-two microsecond buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; BUCKETS], count: 0, sum_us: 0, max_us: 0 }
+    }
+}
+
+fn bucket_of(us: u64) -> usize {
+    // Bucket b holds [2^(b-1), 2^b); bucket 0 holds 0..=1 µs.
+    (64 - us.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+fn bucket_upper(bucket: usize) -> u64 {
+    1u64 << bucket
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&mut self, us: u64) {
+        self.buckets[bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Upper bound (µs) of the bucket containing quantile `q` in `[0,1]`.
+    /// Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the target observation, 1-based, clamped into range.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(b);
+            }
+        }
+        self.max_us
+    }
+
+    /// Mean latency in µs (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Largest observation in µs.
+    #[must_use]
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+}
+
+/// Request counters and latency for one wire operation.
+#[derive(Debug, Clone, Default)]
+pub struct OpStats {
+    /// Requests handled (including failures).
+    pub requests: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Latency of the handling call.
+    pub latency: Histogram,
+}
+
+/// The operations tracked, in wire-spelling order.
+pub const TRACKED_OPS: [&str; 7] = ["load", "eval", "rank", "mc", "bands", "stats", "shutdown"];
+
+/// Aggregate service statistics, dumped by `stats` and on shutdown.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    per_op: [OpStats; 7],
+}
+
+impl ServiceStats {
+    /// Records one handled request for `op`.
+    pub fn record(&mut self, op: &str, latency_us: u64, errored: bool) {
+        if let Some(idx) = TRACKED_OPS.iter().position(|name| *name == op) {
+            let stats = &mut self.per_op[idx];
+            stats.requests += 1;
+            if errored {
+                stats.errors += 1;
+            }
+            stats.latency.record(latency_us);
+        }
+    }
+
+    /// Stats for one operation, when tracked.
+    #[must_use]
+    pub fn op(&self, op: &str) -> Option<&OpStats> {
+        TRACKED_OPS.iter().position(|name| *name == op).map(|idx| &self.per_op[idx])
+    }
+
+    /// Total requests across all operations.
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        self.per_op.iter().map(|s| s.requests).sum()
+    }
+
+    /// Renders the snapshot as the wire `result` object.
+    #[must_use]
+    pub fn to_value(
+        &self,
+        cache: CacheCounters,
+        cache_entries: usize,
+        cache_capacity: usize,
+    ) -> Value {
+        let ops: Vec<(String, Value)> = TRACKED_OPS
+            .iter()
+            .zip(&self.per_op)
+            .filter(|(_, s)| s.requests > 0)
+            .map(|(name, s)| {
+                (
+                    (*name).to_string(),
+                    Value::Object(vec![
+                        ("requests".to_string(), Value::U64(s.requests)),
+                        ("errors".to_string(), Value::U64(s.errors)),
+                        (
+                            "latency_us".to_string(),
+                            Value::Object(vec![
+                                ("p50".to_string(), Value::U64(s.latency.quantile_us(0.50))),
+                                ("p99".to_string(), Value::U64(s.latency.quantile_us(0.99))),
+                                ("mean".to_string(), Value::F64(s.latency.mean_us())),
+                                ("max".to_string(), Value::U64(s.latency.max_us())),
+                            ]),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        let total = cache.hits + cache.misses;
+        let hit_rate = if total == 0 { 0.0 } else { cache.hits as f64 / total as f64 };
+        Value::Object(vec![
+            ("requests".to_string(), Value::U64(self.total_requests())),
+            ("ops".to_string(), Value::Object(ops)),
+            (
+                "plan_cache".to_string(),
+                Value::Object(vec![
+                    ("entries".to_string(), Value::U64(cache_entries as u64)),
+                    ("capacity".to_string(), Value::U64(cache_capacity as u64)),
+                    ("hits".to_string(), Value::U64(cache.hits)),
+                    ("misses".to_string(), Value::U64(cache.misses)),
+                    ("evictions".to_string(), Value::U64(cache.evictions)),
+                    ("hit_rate".to_string(), Value::F64(hit_rate)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_microseconds() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_the_observations() {
+        let mut h = Histogram::default();
+        for us in [10, 20, 30, 40, 1000] {
+            h.record(us);
+        }
+        // p50 lands in the bucket of the 3rd observation (30 µs → (16,32]).
+        assert_eq!(h.quantile_us(0.50), 32);
+        // p99 lands in the slowest bucket (1000 µs → (512,1024]).
+        assert_eq!(h.quantile_us(0.99), 1024);
+        assert_eq!(h.max_us(), 1000);
+        assert!((h.mean_us() - 220.0).abs() < 1e-9);
+        assert_eq!(h.quantile_us(0.0), 16); // clamped to first observation
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn per_op_records_accumulate() {
+        let mut s = ServiceStats::default();
+        s.record("eval", 100, false);
+        s.record("eval", 200, true);
+        s.record("mc", 5000, false);
+        s.record("nonsense", 1, false); // ignored, not tracked
+        let eval = s.op("eval").unwrap();
+        assert_eq!((eval.requests, eval.errors), (2, 1));
+        assert_eq!(s.total_requests(), 3);
+        let v = s.to_value(CacheCounters { hits: 3, misses: 1, evictions: 0 }, 1, 64);
+        let text = serde_json::to_string(&crate::protocol::Json(v)).unwrap();
+        assert!(text.contains("\"hit_rate\":0.75"), "{text}");
+        assert!(text.contains("\"eval\""), "{text}");
+        assert!(!text.contains("\"bands\""), "untouched ops stay out: {text}");
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --example dependence_and_importance`
 
-use depcase::assurance::{importance, monte_carlo, Case, Combination};
+use depcase::assurance::{importance, Case, Combination, MonteCarlo};
 use depcase::confidence::copula;
 use depcase::confidence::growth::{simulate_power_law, PowerLawGrowth};
 use depcase::confidence::multileg::Leg;
@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Monte-Carlo cross-check of the analytic propagation.
     let mut rng = StdRng::seed_from_u64(2026);
-    let mc = monte_carlo::simulate(&case, 50_000, &mut rng)?;
+    let mc = MonteCarlo::new(50_000).run_sequential(&case, &mut rng)?;
     let analytic = case.propagate()?.top().expect("single root");
     println!(
         "\nanalytic root confidence {:.4} vs Monte-Carlo {:.4} ± {:.4}",

@@ -1,0 +1,129 @@
+//! A single error type unifying the workspace's per-crate errors.
+//!
+//! Each layer of the workspace reports failures in its own vocabulary —
+//! graph-structure problems ([`CaseError`]), claim-calculus problems
+//! ([`ConfidenceError`]), belief-distribution problems ([`DistError`]),
+//! and numerical-routine problems ([`NumericsError`]). Applications that
+//! cross those layers previously had to thread four error types (or box
+//! everything). [`Error`] wraps all of them with `From` conversions, so
+//! `?` works uniformly against [`Result`].
+
+use crate::assurance::CaseError;
+use crate::confidence::ConfidenceError;
+use crate::distributions::DistError;
+use crate::numerics::NumericsError;
+use std::fmt;
+
+/// Unified error for operations spanning the `depcase` workspace.
+///
+/// ```
+/// use depcase::prelude::*;
+///
+/// fn build_and_rank() -> Result<()> {
+///     let mut case = Case::new("demo");
+///     let g = case.add_goal("G", "pfd < 1e-3")?; // CaseError → Error
+///     let e = case.add_evidence("E", "testing", 0.95)?;
+///     case.support(g, e)?;
+///     let required = WorstCaseBound::required_confidence(1e-2, 1e-3)?; // ConfidenceError → Error
+///     assert!(required > 0.99);
+///     Ok(())
+/// }
+/// build_and_rank().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// An argument-graph operation failed (structure, names, confidences).
+    Case(CaseError),
+    /// A claim/doubt-calculus operation failed.
+    Confidence(ConfidenceError),
+    /// A belief-distribution operation failed.
+    Distribution(DistError),
+    /// A low-level numerical routine failed.
+    Numerics(NumericsError),
+}
+
+/// Workspace-wide result alias over [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Case(e) => write!(f, "case error: {e}"),
+            Error::Confidence(e) => write!(f, "confidence error: {e}"),
+            Error::Distribution(e) => write!(f, "distribution error: {e}"),
+            Error::Numerics(e) => write!(f, "numerics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Case(e) => Some(e),
+            Error::Confidence(e) => Some(e),
+            Error::Distribution(e) => Some(e),
+            Error::Numerics(e) => Some(e),
+        }
+    }
+}
+
+impl From<CaseError> for Error {
+    fn from(e: CaseError) -> Self {
+        Error::Case(e)
+    }
+}
+
+impl From<ConfidenceError> for Error {
+    fn from(e: ConfidenceError) -> Self {
+        Error::Confidence(e)
+    }
+}
+
+impl From<DistError> for Error {
+    fn from(e: DistError) -> Self {
+        Error::Distribution(e)
+    }
+}
+
+impl From<NumericsError> for Error {
+    fn from(e: NumericsError) -> Self {
+        Error::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_the_underlying_error() {
+        let case = CaseError::DuplicateName("G1".into());
+        let err: Error = case.clone().into();
+        assert_eq!(err, Error::Case(case));
+
+        let num = NumericsError::Domain("x must be finite".into());
+        let err: Error = num.clone().into();
+        assert_eq!(err, Error::Numerics(num.clone()));
+        // source() exposes the wrapped error for error-chain walkers.
+        let src = std::error::Error::source(&err).expect("has a source");
+        assert_eq!(src.to_string(), num.to_string());
+    }
+
+    #[test]
+    fn display_labels_the_originating_layer() {
+        let err = Error::Confidence(ConfidenceError::Infeasible("no margin".into()));
+        let text = err.to_string();
+        assert!(text.starts_with("confidence error:"), "{text}");
+        assert!(text.contains("no margin"), "{text}");
+    }
+
+    #[test]
+    fn question_mark_crosses_layers() {
+        fn mixed() -> Result<f64> {
+            let c = crate::confidence::WorstCaseBound::required_confidence(1e-3, 1e-4)?;
+            let sigma = crate::distributions::LogNormal::sigma_for_decades(1.0)?;
+            Ok(c + sigma)
+        }
+        assert!(mixed().unwrap() > 0.0);
+    }
+}

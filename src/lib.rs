@@ -18,18 +18,28 @@
 //!   propagation and a deterministic parallel Monte-Carlo cross-check;
 //! - [`elicitation`] — the synthetic expert-panel simulator.
 //!
+//! On top of the re-exports the facade adds three conveniences:
+//!
+//! - [`prelude`] — a single `use depcase::prelude::*;` pulling in the
+//!   types nearly every program touches;
+//! - [`Error`]/[`Result`] — one error type unifying the per-crate
+//!   errors, so `?` works across layers;
+//! - `depcase-service` (separate crate) — a long-running assessment
+//!   engine speaking newline-delimited JSON, started with
+//!   `case_tool serve`.
+//!
 //! # Examples
 //!
 //! The paper's Section 3.4 "decade of margin" reasoning end-to-end:
 //!
 //! ```
-//! use depcase::confidence::WorstCaseBound;
+//! use depcase::prelude::*;
 //!
 //! // To support a system claim of pfd < 1e-3 by claiming pfd < 1e-4 at
 //! // high confidence, the required confidence is 99.91%:
 //! let required = WorstCaseBound::required_confidence(1e-3, 1e-4)?;
 //! assert!((required - 0.9991).abs() < 1e-4);
-//! # Ok::<(), depcase::confidence::ConfidenceError>(())
+//! # Ok::<(), depcase::Error>(())
 //! ```
 //!
 //! Cross-checking an argument graph with the deterministic parallel
@@ -37,24 +47,29 @@
 //! any thread count:
 //!
 //! ```
-//! use depcase::assurance::{simulate_parallel, Case};
+//! use depcase::prelude::*;
 //!
 //! let mut case = Case::new("demo");
 //! let g = case.add_goal("G", "pfd < 1e-2")?;
 //! let e = case.add_evidence("E", "statistical testing", 0.95)?;
 //! case.support(g, e)?;
 //!
-//! let mc = simulate_parallel(&case, 50_000, 7, 4)?;
+//! let mc = MonteCarlo::new(50_000).seed(7).threads(4).run(&case)?;
 //! let analytic = case.propagate()?.confidence(g).unwrap().independent;
 //! let (lo, hi) = mc.interval(g).unwrap();
 //! assert!(lo <= analytic && analytic <= hi);
-//! # Ok::<(), depcase::assurance::CaseError>(())
+//! # Ok::<(), depcase::Error>(())
 //! ```
 
 // `!(x > 0.0)`-style checks deliberately treat NaN as invalid input.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
+
+mod error;
+pub mod prelude;
+
+pub use error::{Error, Result};
 
 pub use depcase_assurance as assurance;
 pub use depcase_core as confidence;

@@ -1,0 +1,23 @@
+//! One-line import of the types nearly every `depcase` program touches.
+//!
+//! ```
+//! use depcase::prelude::*;
+//!
+//! let mut case = Case::new("demo");
+//! let g = case.add_goal("G", "pfd < 1e-2")?;
+//! let e = case.add_evidence("E", "statistical testing", 0.95)?;
+//! case.support(g, e)?;
+//! let mc = MonteCarlo::new(10_000).seed(7).run(&case)?;
+//! assert!(mc.estimate(g).is_some());
+//! # Ok::<(), depcase::Error>(())
+//! ```
+
+pub use crate::assurance::{
+    Case, CaseError, Combination, ConfidenceReport, EvalPlan, MonteCarlo, MonteCarloReport,
+    NodeConfidence, NodeId, NodeKind,
+};
+pub use crate::confidence::{Claim, ConfidenceError, ConfidenceStatement, WorstCaseBound};
+pub use crate::distributions::{DistError, Distribution, LogNormal, TwoPoint};
+pub use crate::numerics::NumericsError;
+pub use crate::sil::{BandProbabilities, DemandMode, SilAssessment, SilLevel};
+pub use crate::{Error, Result};

@@ -1,7 +1,7 @@
 //! Numeric anchor points quoted in the paper, pinned as regression
 //! tests against the public facade.
 
-use depcase::assurance::{simulate_parallel, Case, Combination};
+use depcase::assurance::{Case, Combination, MonteCarlo};
 use depcase::confidence::WorstCaseBound;
 use depcase::distributions::LogNormal;
 use depcase::sil::{DemandMode, SilAssessment, SilLevel};
@@ -58,9 +58,10 @@ fn parallel_monte_carlo_is_bit_identical_across_thread_counts() {
 
     // Not a multiple of the chunk size, so a tail chunk exists.
     let samples = 30_000;
-    let reference = simulate_parallel(&case, samples, 2024, 1).unwrap();
+    let mc = MonteCarlo::new(samples).seed(2024);
+    let reference = mc.threads(1).run(&case).unwrap();
     for threads in [2, 4, 7] {
-        let par = simulate_parallel(&case, samples, 2024, threads).unwrap();
+        let par = mc.threads(threads).run(&case).unwrap();
         for id in [g, s] {
             assert_eq!(
                 reference.estimate(id).unwrap().to_bits(),

@@ -1,0 +1,76 @@
+//! Versioned case-schema round-trips through the public facade.
+//!
+//! The serialized form is the service's persistence and wire format, so
+//! a save/load cycle must not perturb a single bit of any confidence:
+//! the vendored `serde_json` emits shortest-round-trip float literals
+//! precisely so these assertions can be exact.
+
+use depcase::prelude::*;
+
+fn reactor_case() -> Case {
+    let mut case = Case::new("reactor protection");
+    let g = case.add_goal("G1", "pfd < 1e-3").unwrap();
+    let s = case.add_strategy("S1", "independent legs", Combination::AnyOf).unwrap();
+    // Awkward confidences that don't print exactly in short decimal.
+    let e1 = case.add_evidence("E1", "statistical testing", 0.9517823461928374).unwrap();
+    let e2 = case.add_evidence("E2", "static analysis", 1.0 / 3.0).unwrap();
+    let a = case.add_assumption("A1", "environment stable", 0.99 + 1e-12).unwrap();
+    case.support(g, s).unwrap();
+    case.support(s, e1).unwrap();
+    case.support(s, e2).unwrap();
+    case.support(g, a).unwrap();
+    case
+}
+
+#[test]
+fn save_load_preserves_every_confidence_bit() {
+    let case = reactor_case();
+    let json = serde_json::to_string(&case).unwrap();
+    assert!(json.contains("\"schema\":1"), "schema stamp missing: {json}");
+
+    let reloaded: Case = serde_json::from_str(&json).unwrap();
+    let before = case.propagate().unwrap();
+    let after = reloaded.propagate().unwrap();
+    let roots_before = before.root_confidences();
+    let roots_after = after.root_confidences();
+    assert_eq!(roots_before.len(), roots_after.len());
+    for ((id_b, b), (id_a, a)) in roots_before.iter().zip(&roots_after) {
+        assert_eq!(id_b, id_a);
+        assert_eq!(b.independent.to_bits(), a.independent.to_bits());
+        assert_eq!(b.worst_case.to_bits(), a.worst_case.to_bits());
+        assert_eq!(b.best_case.to_bits(), a.best_case.to_bits());
+    }
+    // The evaluation-relevant content hash agrees too, so the service's
+    // plan cache treats a reloaded case as the same case.
+    assert_eq!(case.content_hash(), reloaded.content_hash());
+}
+
+#[test]
+fn double_roundtrip_is_textually_stable() {
+    // serialize → parse → serialize must reach a fixed point; otherwise
+    // the content hash (and any on-disk diff) would churn per save.
+    let case = reactor_case();
+    let once = serde_json::to_string(&case).unwrap();
+    let back: Case = serde_json::from_str(&once).unwrap();
+    let twice = serde_json::to_string(&back).unwrap();
+    assert_eq!(once, twice);
+}
+
+#[test]
+fn monte_carlo_is_bit_identical_after_reload() {
+    let case = reactor_case();
+    let json = serde_json::to_string_pretty(&case).unwrap();
+    let reloaded: Case = serde_json::from_str(&json).unwrap();
+
+    let mc = MonteCarlo::new(20_000).seed(99).threads(2);
+    let a = mc.run(&case).unwrap();
+    let b = mc.run(&reloaded).unwrap();
+    for node in ["G1", "S1"] {
+        let id = case.node_by_name(node).unwrap();
+        assert_eq!(
+            a.estimate(id).unwrap().to_bits(),
+            b.estimate(id).unwrap().to_bits(),
+            "MC estimate for {node} diverged after reload"
+        );
+    }
+}
