@@ -4,7 +4,7 @@
 //!
 //! ```sh
 //! cargo run --release -p depcase-bench --bin bench_service -- \
-//!     [OUT.json] [--clients N] [--requests N] [--workers N]
+//!     [OUT.json] [--clients N] [--requests N] [--workers N] [--faults SPEC]
 //! ```
 //!
 //! The harness starts the service in-process on an ephemeral localhost
@@ -13,10 +13,18 @@
 //! connection. Latency is measured at the client (full round trip,
 //! including the wire), and quantiles are exact — computed from the
 //! sorted per-request samples, not histogram buckets.
+//!
+//! A second, faulted scenario then repeats the run against a server
+//! injecting worker panics, request delays, and connection drops at 5%
+//! each from a fixed seed, driven through retrying clients — its
+//! goodput (completed requests per second, retries included in the
+//! cost) and retry counts land in the report's `faulted` block.
 
 use depcase::prelude::*;
 use depcase_service::protocol::Json;
-use depcase_service::{Client, Engine, Server};
+use depcase_service::{
+    Client, Engine, FaultPlan, RetryPolicy, RetryingClient, Server, ServerConfig,
+};
 use serde::{Serialize, Value};
 use std::sync::Arc;
 use std::time::Instant;
@@ -25,6 +33,9 @@ const DEFAULT_CLIENTS: usize = 4;
 const DEFAULT_REQUESTS: usize = 50;
 const DEFAULT_WORKERS: usize = 4;
 const MC_SAMPLES: u32 = 16_384;
+/// Fault mix for the faulted scenario: 5% of requests panic their
+/// worker, 5% are delayed, 5% of lines drop the connection.
+const DEFAULT_FAULTS: &str = "seed=42,panic=0.05,delay=0.05,delay_ms=2,drop=0.05";
 
 fn demo_case(title: &str, strong: f64, weak: f64) -> Case {
     let mut case = Case::new(title);
@@ -93,17 +104,121 @@ fn latency_value(sorted: &[u64]) -> Value {
     ])
 }
 
+/// Runs the faulted scenario: same request mix, retrying clients, a
+/// server injecting faults per `spec`. Returns the report block.
+fn faulted_run(clients: usize, requests: usize, workers: usize, spec: &str) -> Value {
+    let plan = Arc::new(FaultPlan::parse(spec).expect("fault spec"));
+    let config =
+        ServerConfig { workers, faults: Some(Arc::clone(&plan)), ..ServerConfig::default() };
+    let engine = Arc::new(Engine::new(16));
+    let server =
+        Server::start(Arc::clone(&engine), ("127.0.0.1", 0), config).expect("bind localhost");
+    let addr = server.local_addr();
+
+    let policy = RetryPolicy { max_attempts: 20, base_ms: 2, cap_ms: 50, seed: 1 };
+    let mut setup = RetryingClient::connect(addr, policy).expect("connect");
+    setup
+        .round_trip(&load_line("reactor", &demo_case("reactor protection", 0.95, 0.90)))
+        .expect("load reactor");
+    setup
+        .round_trip(&load_line("interlock", &demo_case("interlock", 0.97, 0.85)))
+        .expect("load interlock");
+
+    eprintln!("faulted scenario: {clients} retrying client(s) x {requests} request(s), {spec}…");
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client_idx in 0..clients {
+        handles.push(std::thread::spawn(move || {
+            let policy = RetryPolicy {
+                max_attempts: 20,
+                base_ms: 2,
+                cap_ms: 50,
+                seed: 1000 + client_idx as u64,
+            };
+            let mut client = RetryingClient::connect(addr, policy).expect("connect");
+            let case_name = if client_idx % 2 == 0 { "reactor" } else { "interlock" };
+            let mut completed = 0u64;
+            let mut failed = 0u64;
+            let mut samples: Vec<u64> = Vec::with_capacity(requests);
+            for idx in 0..requests {
+                let (_, line) = request_for(case_name, idx);
+                let sent = Instant::now();
+                match client.round_trip(&line) {
+                    Ok(response) if response.contains(r#""ok":true"#) => {
+                        completed += 1;
+                        samples.push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    }
+                    _ => failed += 1,
+                }
+            }
+            (completed, failed, client.retries(), samples)
+        }));
+    }
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut retries = 0u64;
+    let mut sorted: Vec<u64> = Vec::new();
+    for handle in handles {
+        let (c, f, r, samples) = handle.join().expect("client thread");
+        completed += c;
+        failed += f;
+        retries += r;
+        sorted.extend(samples);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    sorted.sort_unstable();
+    server.shutdown();
+
+    let injected = plan.injected();
+    let robustness = engine.robustness();
+    let goodput = completed as f64 / elapsed;
+    eprintln!(
+        "  {completed} completed ({failed} failed) in {elapsed:.3}s = {goodput:.0} good req/s; \
+         {retries} retries; injected {} panics / {} delays / {} drops",
+        injected.panics, injected.delays, injected.drops
+    );
+    Value::Object(vec![
+        ("fault_spec".to_string(), Value::Str(spec.to_string())),
+        ("completed_requests".to_string(), Value::U64(completed)),
+        ("failed_requests".to_string(), Value::U64(failed)),
+        ("retries".to_string(), Value::U64(retries)),
+        ("elapsed_seconds".to_string(), Value::F64(elapsed)),
+        ("goodput_requests_per_second".to_string(), Value::F64(goodput)),
+        ("latency".to_string(), latency_value(&sorted)),
+        (
+            "injected".to_string(),
+            Value::Object(vec![
+                ("panics".to_string(), Value::U64(injected.panics)),
+                ("delays".to_string(), Value::U64(injected.delays)),
+                ("drops".to_string(), Value::U64(injected.drops)),
+            ]),
+        ),
+        (
+            "robustness".to_string(),
+            Value::Object(vec![
+                ("panics".to_string(), Value::U64(robustness.panics)),
+                ("respawns".to_string(), Value::U64(robustness.respawns)),
+                ("overloaded".to_string(), Value::U64(robustness.overloaded)),
+            ]),
+        ),
+    ])
+}
+
 fn main() {
     let mut out = String::from("BENCH_service.json");
     let mut clients = DEFAULT_CLIENTS;
     let mut requests = DEFAULT_REQUESTS;
     let mut workers = DEFAULT_WORKERS;
+    let mut faults = DEFAULT_FAULTS.to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--clients" => clients = next_count(&mut args, "--clients"),
             "--requests" => requests = next_count(&mut args, "--requests"),
             "--workers" => workers = next_count(&mut args, "--workers"),
+            "--faults" => {
+                faults = args.next().unwrap_or_else(|| usage("--faults needs a spec"));
+            }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
             path => out = path.to_string(),
@@ -180,6 +295,8 @@ fn main() {
         ));
     }
 
+    let faulted = faulted_run(clients, requests, workers, &faults);
+
     let report = Value::Object(vec![
         ("bench".to_string(), Value::Str("service".to_string())),
         (
@@ -197,6 +314,7 @@ fn main() {
         ("latency".to_string(), latency_value(&sorted_all)),
         ("per_op".to_string(), Value::Object(per_op)),
         ("plan_cache".to_string(), cache.clone()),
+        ("faulted".to_string(), faulted),
     ]);
 
     eprintln!(
@@ -227,6 +345,8 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: bench_service [OUT.json] [--clients N] [--requests N] [--workers N]");
+    eprintln!(
+        "usage: bench_service [OUT.json] [--clients N] [--requests N] [--workers N] [--faults SPEC]"
+    );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -7,19 +7,27 @@
 //! case_tool rank  case.json      # evidence ranked by improvement value
 //! case_tool demo                 # print a sample case.json to start from
 //! case_tool serve [--addr HOST:PORT] [--stdio] [--workers N] [--cache N]
+//!                 [--queue N] [--conns N] [--deadline MS] [--drain MS]
+//!                 [--faults SPEC]
 //! ```
 //!
 //! `serve` speaks newline-delimited JSON (see the `depcase-service`
 //! crate docs for the protocol) on a localhost TCP listener, or on
-//! stdin/stdout with `--stdio`.
+//! stdin/stdout with `--stdio`. `--queue` bounds the job queue
+//! (overflow answers `overloaded`), `--conns` caps concurrent
+//! connections, `--deadline` sets the default per-request budget,
+//! `--drain` bounds how long shutdown waits for queued work, and
+//! `--faults` enables deterministic fault injection from a spec like
+//! `seed=42,panic=0.05,delay=0.1,delay_ms=20,drop=0.02` (see
+//! [`depcase_service::FaultPlan`]).
 
 use depcase::assurance::{importance, templates, Case};
-use depcase_service::{serve_stdio, Engine, Server};
+use depcase_service::{serve_stdio_with, Engine, FaultPlan, Server, ServerConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:4676";
-const DEFAULT_WORKERS: usize = 4;
 const DEFAULT_CACHE: usize = 64;
 
 fn load(path: &str) -> Result<Case, String> {
@@ -30,43 +38,57 @@ fn load(path: &str) -> Result<Case, String> {
 fn serve(args: &[String]) -> Result<(), String> {
     let mut addr = DEFAULT_ADDR.to_string();
     let mut stdio = false;
-    let mut workers = DEFAULT_WORKERS;
     let mut cache = DEFAULT_CACHE;
+    let mut config = ServerConfig::default();
     let mut it = args.iter();
+    let int_flag = |name: &str, it: &mut std::slice::Iter<String>| -> Result<u64, String> {
+        it.next()
+            .ok_or(format!("{name} needs a value"))?
+            .parse()
+            .map_err(|_| format!("{name} needs an integer"))
+    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--stdio" => stdio = true,
             "--addr" => {
                 addr = it.next().ok_or("--addr needs HOST:PORT")?.clone();
             }
-            "--workers" => {
-                workers = it
-                    .next()
-                    .ok_or("--workers needs a count")?
-                    .parse()
-                    .map_err(|_| "--workers needs an integer".to_string())?;
+            "--workers" => config.workers = int_flag("--workers", &mut it)? as usize,
+            "--cache" => cache = int_flag("--cache", &mut it)? as usize,
+            "--queue" => config.queue_capacity = int_flag("--queue", &mut it)? as usize,
+            "--conns" => config.max_connections = int_flag("--conns", &mut it)? as usize,
+            "--deadline" => {
+                config.default_deadline_ms = Some(int_flag("--deadline", &mut it)?);
             }
-            "--cache" => {
-                cache = it
-                    .next()
-                    .ok_or("--cache needs a capacity")?
-                    .parse()
-                    .map_err(|_| "--cache needs an integer".to_string())?;
+            "--drain" => {
+                config.drain_deadline = Duration::from_millis(int_flag("--drain", &mut it)?);
+            }
+            "--faults" => {
+                let spec = it.next().ok_or("--faults needs a spec like seed=42,panic=0.05")?;
+                config.faults = Some(Arc::new(FaultPlan::parse(spec)?));
             }
             other => return Err(format!("unknown serve flag `{other}`")),
         }
     }
     let engine = Arc::new(Engine::new(cache));
     if stdio {
-        serve_stdio(&engine);
+        serve_stdio_with(&engine, &config);
         return Ok(());
     }
-    let server =
-        Server::bind(Arc::clone(&engine), addr.as_str(), workers).map_err(|e| e.to_string())?;
     eprintln!(
-        "case_tool serve: listening on {} ({workers} workers, plan cache {cache})",
-        server.local_addr()
+        "case_tool serve: {} workers, plan cache {cache}, queue {}, conns {}{}{}",
+        config.workers,
+        config.queue_capacity,
+        config.max_connections,
+        match config.default_deadline_ms {
+            Some(ms) => format!(", default deadline {ms} ms"),
+            None => String::new(),
+        },
+        if config.faults.is_some() { ", fault injection ON" } else { "" },
     );
+    let server =
+        Server::start(Arc::clone(&engine), addr.as_str(), config).map_err(|e| e.to_string())?;
+    eprintln!("case_tool serve: listening on {}", server.local_addr());
     let engine_for_dump = engine;
     server.wait();
     eprintln!(
@@ -131,7 +153,7 @@ fn run() -> Result<(), String> {
         }
         Some("serve") => serve(&args[1..]),
         _ => Err(
-            "usage: case_tool {eval|dot|rank} <case.json> | case_tool demo | case_tool serve [--addr HOST:PORT|--stdio] [--workers N] [--cache N]"
+            "usage: case_tool {eval|dot|rank} <case.json> | case_tool demo | case_tool serve [--addr HOST:PORT|--stdio] [--workers N] [--cache N] [--queue N] [--conns N] [--deadline MS] [--drain MS] [--faults SPEC]"
                 .into(),
         ),
     }

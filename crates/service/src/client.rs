@@ -1,0 +1,263 @@
+//! Service clients: the plain one-line-in, one-line-out [`Client`] and
+//! a [`RetryingClient`] that rides out transient faults.
+//!
+//! Transport failures surface as typed [`depcase::Error::Service`]
+//! values with stable codes — `io` for socket errors, and
+//! `connection_closed` when the server hangs up mid-exchange — so
+//! callers can branch on the failure class instead of string-matching
+//! an `io::Error`.
+//!
+//! [`RetryingClient`] implements the client half of the fault model
+//! (DESIGN §11): reconnect on transport errors, resend on the
+//! retryable wire codes (`overloaded`, `internal_error`,
+//! `deadline_exceeded`), honor the server's `retry_after_ms` hint when
+//! present, and otherwise back off with exponential, decorrelated
+//! jitter so a thundering herd of retries does not re-create the
+//! overload it is retrying around. The jitter is seeded — the same
+//! seed replays the same backoff schedule, matching the determinism
+//! discipline of the rest of the crate.
+
+use crate::protocol::{ErrorCode, Json};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::Duration;
+
+/// Blocking NDJSON client for the assessment service.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let write_half = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer: BufWriter::new(write_half) })
+    }
+
+    /// Sends one request line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// [`depcase::Error::Service`] with code `io` when the transport
+    /// fails, or `connection_closed` when the server closes the
+    /// connection before answering.
+    pub fn round_trip(&mut self, line: &str) -> depcase::Result<String> {
+        writeln!(self.writer, "{line}")
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| depcase::Error::service("io", format!("send failed: {e}")))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| depcase::Error::service("io", format!("receive failed: {e}")))?;
+        if n == 0 {
+            return Err(depcase::Error::service(
+                "connection_closed",
+                "server closed the connection before answering",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+}
+
+/// Retry tunables for [`RetryingClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per request, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Smallest backoff sleep in milliseconds.
+    pub base_ms: u64,
+    /// Largest backoff sleep in milliseconds.
+    pub cap_ms: u64,
+    /// Seed for the jitter stream; a fixed seed replays a fixed
+    /// backoff schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 8, base_ms: 5, cap_ms: 500, seed: 0x5EED }
+    }
+}
+
+/// A [`Client`] wrapper that retries transient failures.
+///
+/// Retries happen on transport errors (the connection is re-dialed)
+/// and on the retryable wire codes `overloaded`, `internal_error`, and
+/// `deadline_exceeded`. Anything else — including application errors
+/// like `unknown_case` — returns to the caller untouched on the first
+/// attempt.
+pub struct RetryingClient {
+    addr: SocketAddr,
+    client: Option<Client>,
+    policy: RetryPolicy,
+    rng: StdRng,
+    retries: u64,
+    retried_codes: Vec<String>,
+}
+
+impl RetryingClient {
+    /// Resolves `addr` and prepares a client; the first connection is
+    /// dialed lazily on the first request.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when `addr` does not resolve.
+    pub fn connect(addr: impl ToSocketAddrs, policy: RetryPolicy) -> std::io::Result<Self> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
+        Ok(RetryingClient {
+            addr,
+            client: None,
+            rng: StdRng::seed_from_u64(policy.seed),
+            policy,
+            retries: 0,
+            retried_codes: Vec::new(),
+        })
+    }
+
+    /// How many retry attempts (beyond first sends) this client has
+    /// made across all requests so far.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Every wire error code (or transport pseudo-code) that triggered
+    /// a retry, in order.
+    #[must_use]
+    pub fn retried_codes(&self) -> &[String] {
+        &self.retried_codes
+    }
+
+    /// Sends one request line, retrying transient failures, and
+    /// returns the final response line.
+    ///
+    /// # Errors
+    ///
+    /// The last transient [`depcase::Error::Service`] once the attempt
+    /// budget is exhausted.
+    pub fn round_trip(&mut self, line: &str) -> depcase::Result<String> {
+        let mut prev_sleep = self.policy.base_ms;
+        let mut last_err =
+            depcase::Error::service("retry_exhausted", "no attempt was made (max_attempts = 0)");
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                self.retries += 1;
+            }
+            match self.try_once(line) {
+                Ok(response) => match retryable(&response) {
+                    None => return Ok(response),
+                    Some((code, retry_after_ms)) => {
+                        self.retried_codes.push(code.clone());
+                        last_err = depcase::Error::service(
+                            code,
+                            "service answered a retryable error on the final attempt",
+                        );
+                        let backoff = self.next_backoff(&mut prev_sleep);
+                        thread::sleep(Duration::from_millis(retry_after_ms.unwrap_or(backoff)));
+                    }
+                },
+                Err(err) => {
+                    // Transport trouble: whatever the socket state is,
+                    // it is not worth diagnosing — drop it and re-dial
+                    // on the next attempt.
+                    self.client = None;
+                    if let depcase::Error::Service { code, .. } = &err {
+                        self.retried_codes.push(code.clone());
+                    }
+                    last_err = err;
+                    let backoff = self.next_backoff(&mut prev_sleep);
+                    thread::sleep(Duration::from_millis(backoff));
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    fn try_once(&mut self, line: &str) -> depcase::Result<String> {
+        if self.client.is_none() {
+            let client = Client::connect(self.addr)
+                .map_err(|e| depcase::Error::service("io", format!("connect failed: {e}")))?;
+            self.client = Some(client);
+        }
+        self.client.as_mut().expect("client was just connected").round_trip(line)
+    }
+
+    /// Decorrelated jitter: sleep a uniform draw from
+    /// `[base, prev * 3]`, capped. Independent clients seeded
+    /// differently spread out instead of retrying in lockstep.
+    fn next_backoff(&mut self, prev_sleep: &mut u64) -> u64 {
+        let base = self.policy.base_ms.max(1);
+        let high = (prev_sleep.saturating_mul(3)).clamp(base, self.policy.cap_ms.max(base));
+        let span = (high - base) as f64;
+        let sleep = base + (self.rng.gen::<f64>() * span).round() as u64;
+        *prev_sleep = sleep;
+        sleep
+    }
+}
+
+/// Extracts `(code, retry_after_ms)` when `response` is an error reply
+/// carrying one of the retryable wire codes; `None` means the response
+/// is final (success or a non-transient error).
+fn retryable(response: &str) -> Option<(String, Option<u64>)> {
+    let Json(value) = serde_json::from_str::<Json>(response).ok()?;
+    if value.get("ok").and_then(Value::as_bool) != Some(false) {
+        return None;
+    }
+    let error = value.get("error")?;
+    let code = error.get("code").and_then(Value::as_str)?;
+    let transient = matches!(
+        ErrorCode::parse(code),
+        Some(ErrorCode::Overloaded | ErrorCode::InternalError | ErrorCode::DeadlineExceeded)
+    );
+    if !transient {
+        return None;
+    }
+    let retry_after_ms = error.get("retry_after_ms").and_then(Value::as_u64);
+    Some((code.to_string(), retry_after_ms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_spots_transient_codes_and_the_hint() {
+        let overloaded = r#"{"id":1,"ok":false,"error":{"code":"overloaded","message":"m","retry_after_ms":40}}"#;
+        assert_eq!(retryable(overloaded), Some(("overloaded".to_string(), Some(40))));
+        let panic = r#"{"id":1,"ok":false,"error":{"code":"internal_error","message":"m"}}"#;
+        assert_eq!(retryable(panic), Some(("internal_error".to_string(), None)));
+        let fatal = r#"{"id":1,"ok":false,"error":{"code":"unknown_case","message":"m"}}"#;
+        assert_eq!(retryable(fatal), None);
+        let success = r#"{"id":1,"ok":true,"result":{}}"#;
+        assert_eq!(retryable(success), None);
+    }
+
+    #[test]
+    fn backoff_is_seeded_bounded_and_reproducible() {
+        let policy = RetryPolicy { max_attempts: 4, base_ms: 10, cap_ms: 120, seed: 99 };
+        let schedule = |policy: RetryPolicy| {
+            let mut client = RetryingClient::connect(("127.0.0.1", 1), policy).unwrap();
+            let mut prev = policy.base_ms;
+            (0..6).map(|_| client.next_backoff(&mut prev)).collect::<Vec<_>>()
+        };
+        let first = schedule(policy);
+        let second = schedule(policy);
+        assert_eq!(first, second, "same seed must replay the same backoff schedule");
+        assert!(first.iter().all(|&ms| (10..=120).contains(&ms)), "backoff must stay in bounds");
+        let other = schedule(RetryPolicy { seed: 100, ..policy });
+        assert_ne!(first, other, "different seeds should decorrelate retry timing");
+    }
+}

@@ -14,8 +14,9 @@
 //! this via `f64::to_bits`).
 
 use crate::cache::{CacheCounters, CompiledCase, PlanCache};
+use crate::lock_unpoisoned;
 use crate::protocol::{format_hash, ErrorCode, Request, WireError};
-use crate::stats::ServiceStats;
+use crate::stats::{RobustnessCounters, RobustnessEvent, ServiceStats};
 use depcase::assurance::{importance, Case, EvalPlan, MonteCarlo, NodeKind};
 use depcase::distributions::TwoPoint;
 use depcase::sil::{SilAssessment, SilLevel};
@@ -23,6 +24,20 @@ use serde::{Deserialize, Value};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Fails with `deadline_exceeded` once `deadline` has passed. Called
+/// between pipeline stages (after parse, after lookup/compile, before
+/// heavy math), so a request that runs over budget stops at the next
+/// stage boundary instead of holding a worker indefinitely.
+fn check_deadline(deadline: Option<Instant>) -> Result<(), WireError> {
+    match deadline {
+        Some(d) if Instant::now() >= d => Err(WireError::new(
+            ErrorCode::DeadlineExceeded,
+            "request deadline exceeded before the answer was ready",
+        )),
+        _ => Ok(()),
+    }
+}
 
 /// A registered case: the graph plus its registry metadata.
 #[derive(Debug, Clone)]
@@ -65,26 +80,55 @@ impl Engine {
     ///
     /// [`WireError`] carrying the stable wire code for the failure.
     pub fn handle(&self, request: &Request) -> Result<Value, WireError> {
+        self.handle_deadline(request, None)
+    }
+
+    /// Like [`Engine::handle`], but fails with `deadline_exceeded` at
+    /// the next pipeline-stage boundary once `deadline` passes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] carrying the stable wire code for the failure.
+    pub fn handle_deadline(
+        &self,
+        request: &Request,
+        deadline: Option<Instant>,
+    ) -> Result<Value, WireError> {
         let started = Instant::now();
-        let result = self.dispatch(request);
+        let result = self.dispatch(request, deadline);
         let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-        self.stats.lock().expect("stats lock").record(
-            request.op_name(),
-            elapsed_us,
-            result.is_err(),
-        );
+        let mut stats = lock_unpoisoned(&self.stats);
+        stats.record(request.op_name(), elapsed_us, result.is_err());
+        if matches!(&result, Err(e) if e.code == ErrorCode::DeadlineExceeded) {
+            stats.note(RobustnessEvent::DeadlineExceeded);
+        }
         result
     }
 
-    fn dispatch(&self, request: &Request) -> Result<Value, WireError> {
+    /// Counts one fault-tolerance event (panic, respawn, shed request…)
+    /// in the stats the `stats` op and the shutdown dump report.
+    pub fn note(&self, event: RobustnessEvent) {
+        lock_unpoisoned(&self.stats).note(event);
+    }
+
+    /// Snapshot of the fault-tolerance counters (for tests and benches).
+    #[must_use]
+    pub fn robustness(&self) -> RobustnessCounters {
+        lock_unpoisoned(&self.stats).robustness()
+    }
+
+    fn dispatch(&self, request: &Request, deadline: Option<Instant>) -> Result<Value, WireError> {
+        check_deadline(deadline)?;
         match request {
             Request::Load { name, case } => self.load(name, case),
-            Request::Eval { name } => self.eval(name),
-            Request::Rank { name } => self.rank(name),
+            Request::Eval { name } => self.eval(name, deadline),
+            Request::Rank { name } => self.rank(name, deadline),
             Request::Mc { name, samples, seed, threads } => {
-                self.mc(name, *samples, *seed, *threads)
+                self.mc(name, *samples, *seed, *threads, deadline)
             }
-            Request::Bands { name, pfd_bound, mode } => self.bands(name, *pfd_bound, mode.to_lib()),
+            Request::Bands { name, pfd_bound, mode } => {
+                self.bands(name, *pfd_bound, mode.to_lib(), deadline)
+            }
             Request::Stats | Request::Shutdown => Ok(self.stats_value()),
         }
     }
@@ -94,16 +138,16 @@ impl Engine {
     #[must_use]
     pub fn stats_value(&self) -> Value {
         let (counters, entries, capacity) = {
-            let cache = self.cache.lock().expect("cache lock");
+            let cache = lock_unpoisoned(&self.cache);
             (cache.counters(), cache.len(), cache.capacity())
         };
-        self.stats.lock().expect("stats lock").to_value(counters, entries, capacity)
+        lock_unpoisoned(&self.stats).to_value(counters, entries, capacity)
     }
 
     /// Cache counters alone (for tests and the bench harness).
     #[must_use]
     pub fn cache_counters(&self) -> CacheCounters {
-        self.cache.lock().expect("cache lock").counters()
+        lock_unpoisoned(&self.cache).counters()
     }
 
     fn load(&self, name: &str, doc: &Value) -> Result<Value, WireError> {
@@ -113,9 +157,9 @@ impl Engine {
         let compiled = compile(&case)?;
         let hash = case.content_hash();
         let nodes = case.iter().count();
-        self.cache.lock().expect("cache lock").insert(hash, Arc::new(compiled));
+        lock_unpoisoned(&self.cache).insert(hash, Arc::new(compiled));
         let version = {
-            let mut registry = self.registry.lock().expect("registry lock");
+            let mut registry = lock_unpoisoned(&self.registry);
             let version = registry.cases.get(name).map_or(1, |e| e.version + 1);
             registry
                 .cases
@@ -131,7 +175,7 @@ impl Engine {
     }
 
     fn lookup(&self, name: &str) -> Result<CaseEntry, WireError> {
-        self.registry.lock().expect("registry lock").cases.get(name).cloned().ok_or_else(|| {
+        lock_unpoisoned(&self.registry).cases.get(name).cloned().ok_or_else(|| {
             WireError::new(ErrorCode::UnknownCase, format!("no case named `{name}` is loaded"))
         })
     }
@@ -141,17 +185,18 @@ impl Engine {
     /// both compile; the cache keeps whichever inserts last — identical
     /// content, so correctness is unaffected.
     fn compiled(&self, entry: &CaseEntry) -> Result<Arc<CompiledCase>, WireError> {
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(entry.hash) {
+        if let Some(hit) = lock_unpoisoned(&self.cache).get(entry.hash) {
             return Ok(hit);
         }
         let compiled = Arc::new(compile(&entry.case)?);
-        self.cache.lock().expect("cache lock").insert(entry.hash, Arc::clone(&compiled));
+        lock_unpoisoned(&self.cache).insert(entry.hash, Arc::clone(&compiled));
         Ok(compiled)
     }
 
-    fn eval(&self, name: &str) -> Result<Value, WireError> {
+    fn eval(&self, name: &str, deadline: Option<Instant>) -> Result<Value, WireError> {
         let entry = self.lookup(name)?;
         let compiled = self.compiled(&entry)?;
+        check_deadline(deadline)?;
         let mut nodes = Vec::new();
         for (id, node) in entry.case.iter() {
             if let Some(c) = compiled.report.confidence(id) {
@@ -172,11 +217,12 @@ impl Engine {
         Ok(Value::Object(fields))
     }
 
-    fn rank(&self, name: &str) -> Result<Value, WireError> {
+    fn rank(&self, name: &str, deadline: Option<Instant>) -> Result<Value, WireError> {
         let entry = self.lookup(name)?;
         // Warm/consult the cache so repeated ranking of an unchanged
         // case is counted like any other cached evaluation.
         let _ = self.compiled(&entry)?;
+        check_deadline(deadline)?;
         let ranking = importance::birnbaum_importance(&entry.case)
             .map_err(|e| WireError::from(depcase::Error::from(e)))?;
         let rows = ranking
@@ -195,9 +241,19 @@ impl Engine {
         Ok(Value::Object(fields))
     }
 
-    fn mc(&self, name: &str, samples: u32, seed: u64, threads: usize) -> Result<Value, WireError> {
+    fn mc(
+        &self,
+        name: &str,
+        samples: u32,
+        seed: u64,
+        threads: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Value, WireError> {
         let entry = self.lookup(name)?;
         let compiled = self.compiled(&entry)?;
+        // The sampling run itself is not interruptible — the budget
+        // must still be open when it starts.
+        check_deadline(deadline)?;
         let report = MonteCarlo::new(samples)
             .seed(seed)
             .threads(threads)
@@ -228,9 +284,11 @@ impl Engine {
         name: &str,
         pfd_bound: f64,
         mode: depcase::sil::DemandMode,
+        deadline: Option<Instant>,
     ) -> Result<Value, WireError> {
         let entry = self.lookup(name)?;
         let compiled = self.compiled(&entry)?;
+        check_deadline(deadline)?;
         let top = compiled.report.top().ok_or_else(|| {
             WireError::new(ErrorCode::Case, "case has no single root goal to band")
         })?;
@@ -409,6 +467,23 @@ mod tests {
             .unwrap();
         assert_eq!(wire.to_bits(), direct.to_bits());
         assert!(result.get("most_probable").is_some());
+    }
+
+    #[test]
+    fn expired_deadlines_fail_between_stages_and_are_counted() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        let spent = Instant::now() - std::time::Duration::from_millis(1);
+        let err = engine
+            .handle_deadline(&Request::Eval { name: "demo".into() }, Some(spent))
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::DeadlineExceeded);
+        assert_eq!(engine.robustness().deadline_exceeded, 1);
+        // An open budget changes nothing about the answer.
+        let open = Instant::now() + std::time::Duration::from_secs(60);
+        let result =
+            engine.handle_deadline(&Request::Eval { name: "demo".into() }, Some(open)).unwrap();
+        assert!(result.get("root_confidence").is_some());
     }
 
     #[test]

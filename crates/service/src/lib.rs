@@ -48,13 +48,30 @@
 #![deny(unsafe_code)]
 
 pub mod cache;
+pub mod client;
 pub mod engine;
+pub mod faults;
 pub mod protocol;
 pub mod server;
 pub mod stats;
 
 pub use cache::{CacheCounters, CompiledCase, PlanCache};
+pub use client::{Client, RetryPolicy, RetryingClient};
 pub use engine::Engine;
-pub use protocol::{ErrorCode, Request, WireError};
-pub use server::{serve_stdio, Client, Server};
-pub use stats::{Histogram, ServiceStats};
+pub use faults::{FaultPlan, InjectedCounts};
+pub use protocol::{Envelope, ErrorCode, Request, WireError};
+pub use server::{serve_stdio, serve_stdio_with, Server, ServerConfig};
+pub use stats::{Histogram, RobustnessCounters, RobustnessEvent, ServiceStats};
+
+/// Locks a mutex, recovering the guard from a poisoned lock.
+///
+/// A panicking request handler is isolated with `catch_unwind`, so a
+/// worker can die while holding (or after poisoning) a shared lock.
+/// Every shared structure in this crate holds only counters, caches,
+/// and registry entries whose invariants are re-established before any
+/// lock is released, so the data behind a poisoned mutex is still
+/// consistent — recovering it is what keeps one panic from turning
+/// into a service-wide outage.
+pub(crate) fn lock_unpoisoned<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

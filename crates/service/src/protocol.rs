@@ -18,8 +18,16 @@
 //! Failures carry a stable machine-readable `code`; codes originating in
 //! the library map one-to-one from [`depcase::Error`] variants (`case`,
 //! `confidence`, `distribution`, `numerics`), while the transport adds
-//! `bad_json`, `bad_request`, `unknown_op`, `unknown_case`, and
-//! `bad_case`.
+//! `bad_json`, `bad_request`, `unknown_op`, `unknown_case`, `bad_case`,
+//! and the fault-tolerance codes `internal_error`, `deadline_exceeded`,
+//! `overloaded` (with a `retry_after_ms` hint), and `request_too_large`.
+//!
+//! The parser is strict about request framing: a line must hold exactly
+//! one JSON object — trailing garbage after the object and duplicate
+//! keys anywhere in it are rejected as `bad_request`, with whatever `id`
+//! could be recovered still echoed so pipelined clients never lose their
+//! place. Any request may carry a `"deadline_ms"` budget; the service
+//! answers `deadline_exceeded` once it is spent.
 
 use serde::{Deserialize, Serialize, Value};
 
@@ -67,9 +75,40 @@ pub enum ErrorCode {
     Distribution,
     /// A numerical routine failed ([`depcase::Error::Numerics`]).
     Numerics,
+    /// The worker handling the request panicked; the request may or may
+    /// not have taken effect. The service survives and the worker is
+    /// respawned.
+    InternalError,
+    /// The request's time budget (`deadline_ms` or the server default)
+    /// was spent before the answer was ready.
+    DeadlineExceeded,
+    /// The service shed the request under load (full queue or connection
+    /// cap); the error carries a `retry_after_ms` hint.
+    Overloaded,
+    /// The request line exceeded the configured maximum length; the
+    /// oversized line was discarded but the connection survives.
+    RequestTooLarge,
 }
 
 impl ErrorCode {
+    /// Every code the service can put on the wire, in documentation
+    /// order. Chaos tests assert observed codes stay inside this set.
+    pub const ALL: [ErrorCode; 13] = [
+        ErrorCode::BadJson,
+        ErrorCode::BadRequest,
+        ErrorCode::UnknownOp,
+        ErrorCode::UnknownCase,
+        ErrorCode::BadCase,
+        ErrorCode::Case,
+        ErrorCode::Confidence,
+        ErrorCode::Distribution,
+        ErrorCode::Numerics,
+        ErrorCode::InternalError,
+        ErrorCode::DeadlineExceeded,
+        ErrorCode::Overloaded,
+        ErrorCode::RequestTooLarge,
+    ];
+
     /// The stable wire spelling of this code.
     #[must_use]
     pub fn as_str(self) -> &'static str {
@@ -83,7 +122,17 @@ impl ErrorCode {
             ErrorCode::Confidence => "confidence",
             ErrorCode::Distribution => "distribution",
             ErrorCode::Numerics => "numerics",
+            ErrorCode::InternalError => "internal_error",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::RequestTooLarge => "request_too_large",
         }
+    }
+
+    /// The code whose wire spelling is `s`, if any.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.iter().copied().find(|code| code.as_str() == s)
     }
 }
 
@@ -94,12 +143,21 @@ pub struct WireError {
     pub code: ErrorCode,
     /// Human-readable detail.
     pub message: String,
+    /// Backoff hint for load-shedding errors, serialized when present.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl WireError {
     /// Builds a wire error from a code and any displayable message.
     pub fn new(code: ErrorCode, message: impl std::fmt::Display) -> Self {
-        WireError { code, message: message.to_string() }
+        WireError { code, message: message.to_string(), retry_after_ms: None }
+    }
+
+    /// Attaches a `retry_after_ms` backoff hint.
+    #[must_use]
+    pub fn with_retry_after(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
     }
 }
 
@@ -110,6 +168,11 @@ impl From<depcase::Error> for WireError {
             depcase::Error::Confidence(_) => ErrorCode::Confidence,
             depcase::Error::Distribution(_) => ErrorCode::Distribution,
             depcase::Error::Numerics(_) => ErrorCode::Numerics,
+            // A service error round-trips its own wire code when it has
+            // one; anything else is a transport-level bad exchange.
+            depcase::Error::Service { code, .. } => {
+                ErrorCode::parse(code).unwrap_or(ErrorCode::BadJson)
+            }
         };
         WireError::new(code, e)
     }
@@ -195,6 +258,19 @@ pub enum Request {
 /// The client-supplied `id`, echoed back verbatim (any JSON scalar).
 pub type RequestId = Option<Value>;
 
+/// A fully parsed request line: the echoed id, the per-request time
+/// budget, and the operation itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Client-chosen id, echoed in the response.
+    pub id: RequestId,
+    /// Per-request deadline in milliseconds, when the client set one;
+    /// overrides the server's configured default.
+    pub deadline_ms: Option<u64>,
+    /// The operation to execute.
+    pub request: Request,
+}
+
 fn str_field(obj: &[(String, Value)], name: &str) -> Result<String, WireError> {
     match serde::field(obj, name) {
         Ok(Value::Str(s)) => Ok(s.clone()),
@@ -217,7 +293,40 @@ fn opt_u64(obj: &[(String, Value)], name: &str, default: u64) -> Result<u64, Wir
     }
 }
 
-/// Parses one request line into its id and operation.
+/// First duplicated key anywhere in `value`, searched depth-first.
+///
+/// JSON with duplicate keys is ambiguous — parsers disagree on which
+/// copy wins — so the protocol rejects it outright rather than letting
+/// a smuggled second `op` or `id` silently shadow the first.
+fn find_duplicate_key(value: &Value) -> Option<&str> {
+    match value {
+        Value::Object(entries) => {
+            let mut seen = std::collections::HashSet::with_capacity(entries.len());
+            for (key, child) in entries {
+                if !seen.insert(key.as_str()) {
+                    return Some(key);
+                }
+                if let Some(dup) = find_duplicate_key(child) {
+                    return Some(dup);
+                }
+            }
+            None
+        }
+        Value::Array(items) => items.iter().find_map(find_duplicate_key),
+        _ => None,
+    }
+}
+
+/// Best-effort recovery of the `id` from a request line, for error
+/// paths that must echo it without a full (or successful) parse.
+#[must_use]
+pub fn recover_id(line: &str) -> RequestId {
+    serde_json::from_str_prefix::<Json>(line)
+        .ok()
+        .and_then(|(Json(value), _)| value.get("id").cloned())
+}
+
+/// Parses one request line into its envelope (id, deadline, operation).
 ///
 /// # Errors
 ///
@@ -225,17 +334,41 @@ fn opt_u64(obj: &[(String, Value)], name: &str, default: u64) -> Result<u64, Wir
 /// paired with whatever `id` could be recovered from the line so the
 /// error response still echoes it ([`None`] when the line was not even
 /// a JSON object).
-pub fn parse_request(line: &str) -> Result<(RequestId, Request), (RequestId, WireError)> {
-    let Json(value) = serde_json::from_str::<Json>(line)
+pub fn parse_request(line: &str) -> Result<Envelope, (RequestId, WireError)> {
+    let (Json(value), consumed) = serde_json::from_str_prefix::<Json>(line)
         .map_err(|e| (None, WireError::new(ErrorCode::BadJson, e)))?;
-    let Some(obj) = value.as_object() else {
-        return Err((None, WireError::new(ErrorCode::BadRequest, "request must be a JSON object")));
-    };
     let id = value.get("id").cloned();
-    match parse_op(&value, obj) {
-        Ok(request) => Ok((id, request)),
-        Err(err) => Err((id, err)),
+    if !line[consumed..].trim().is_empty() {
+        return Err((
+            id,
+            WireError::new(
+                ErrorCode::BadRequest,
+                "trailing garbage after the request object on this line",
+            ),
+        ));
     }
+    let Some(obj) = value.as_object() else {
+        return Err((id, WireError::new(ErrorCode::BadRequest, "request must be a JSON object")));
+    };
+    if let Some(key) = find_duplicate_key(&value) {
+        return Err((
+            id,
+            WireError::new(ErrorCode::BadRequest, format!("duplicate key `{key}` in request")),
+        ));
+    }
+    let parsed = parse_op(&value, obj).and_then(|request| {
+        let deadline_ms = match obj.iter().find(|(k, _)| k == "deadline_ms") {
+            None => None,
+            Some((_, v)) => Some(v.as_u64().ok_or_else(|| {
+                WireError::new(
+                    ErrorCode::BadRequest,
+                    "field `deadline_ms` must be a non-negative integer",
+                )
+            })?),
+        };
+        Ok(Envelope { id: id.clone(), deadline_ms, request })
+    });
+    parsed.map_err(|err| (id, err))
 }
 
 fn parse_op(value: &Value, obj: &[(String, Value)]) -> Result<Request, WireError> {
@@ -321,17 +454,18 @@ pub fn ok_line(id: &RequestId, result: Value) -> String {
 /// Renders a failure response line (no trailing newline).
 #[must_use]
 pub fn err_line(id: &RequestId, err: &WireError) -> String {
+    let mut error_fields = vec![
+        ("code".to_string(), Value::Str(err.code.as_str().to_string())),
+        ("message".to_string(), Value::Str(err.message.clone())),
+    ];
+    if let Some(ms) = err.retry_after_ms {
+        error_fields.push(("retry_after_ms".to_string(), Value::U64(ms)));
+    }
     let body = with_id(
         id,
         vec![
             ("ok".to_string(), Value::Bool(false)),
-            (
-                "error".to_string(),
-                Value::Object(vec![
-                    ("code".to_string(), Value::Str(err.code.as_str().to_string())),
-                    ("message".to_string(), Value::Str(err.message.clone())),
-                ]),
-            ),
+            ("error".to_string(), Value::Object(error_fields)),
         ],
     );
     serde_json::to_string(&Json(body)).expect("response serialization is infallible")
@@ -349,19 +483,69 @@ mod tests {
 
     #[test]
     fn requests_parse_with_defaults() {
-        let (id, req) = parse_request(r#"{"id":7,"op":"mc","name":"c"}"#).unwrap();
-        assert_eq!(id, Some(Value::I64(7)));
+        let env = parse_request(r#"{"id":7,"op":"mc","name":"c"}"#).unwrap();
+        assert_eq!(env.id, Some(Value::I64(7)));
+        assert_eq!(env.deadline_ms, None);
         assert_eq!(
-            req,
+            env.request,
             Request::Mc { name: "c".into(), samples: DEFAULT_MC_SAMPLES, seed: 0, threads: 0 }
         );
 
-        let (id, req) = parse_request(r#"{"op":"bands","name":"c","pfd_bound":1e-3}"#).unwrap();
-        assert_eq!(id, None);
+        let env = parse_request(r#"{"op":"bands","name":"c","pfd_bound":1e-3}"#).unwrap();
+        assert_eq!(env.id, None);
         assert_eq!(
-            req,
+            env.request,
             Request::Bands { name: "c".into(), pfd_bound: 1e-3, mode: WireDemandMode::LowDemand }
         );
+    }
+
+    #[test]
+    fn deadline_ms_is_parsed_on_any_request() {
+        let env = parse_request(r#"{"id":1,"op":"eval","name":"c","deadline_ms":250}"#).unwrap();
+        assert_eq!(env.deadline_ms, Some(250));
+        let (id, err) =
+            parse_request(r#"{"id":1,"op":"eval","name":"c","deadline_ms":"soon"}"#).unwrap_err();
+        assert_eq!((id, err.code), (Some(Value::I64(1)), ErrorCode::BadRequest));
+    }
+
+    #[test]
+    fn trailing_garbage_is_bad_request_and_echoes_the_id() {
+        // One full object then junk: the object parsed, so the id is
+        // recoverable and the error pins the stable `bad_request` code.
+        let (id, err) = parse_request(r#"{"id":9,"op":"stats"} extra"#).unwrap_err();
+        assert_eq!(id, Some(Value::I64(9)));
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("trailing garbage"), "{}", err.message);
+
+        // A second object on the same line is trailing garbage too.
+        let (id, err) = parse_request(r#"{"id":9,"op":"stats"}{"op":"shutdown"}"#).unwrap_err();
+        assert_eq!((id, err.code), (Some(Value::I64(9)), ErrorCode::BadRequest));
+
+        // Pure trailing whitespace is fine.
+        let env = parse_request("{\"id\":9,\"op\":\"stats\"}  \t").unwrap();
+        assert_eq!(env.request, Request::Stats);
+    }
+
+    #[test]
+    fn duplicate_keys_are_bad_request_and_echo_the_id() {
+        let (id, err) = parse_request(r#"{"id":4,"op":"stats","op":"shutdown"}"#).unwrap_err();
+        assert_eq!(id, Some(Value::I64(4)));
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("duplicate key `op`"), "{}", err.message);
+
+        // Nested duplicates (e.g. inside a `load` case document) are
+        // caught too — ambiguity anywhere poisons the whole request.
+        let (_, err) =
+            parse_request(r#"{"id":4,"op":"load","name":"c","case":{"a":1,"a":2}}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("duplicate key `a`"), "{}", err.message);
+    }
+
+    #[test]
+    fn recover_id_survives_malformed_tails() {
+        assert_eq!(recover_id(r#"{"id":3,"op":"stats"} junk"#), Some(Value::I64(3)));
+        assert_eq!(recover_id("not json"), None);
+        assert_eq!(recover_id(r#"{"op":"stats"}"#), None);
     }
 
     #[test]
@@ -387,6 +571,27 @@ mod tests {
         assert_eq!(err.code, ErrorCode::UnknownOp);
         let line = err_line(&id, &err);
         assert!(line.starts_with(r#"{"id":3,"ok":false"#), "{line}");
+    }
+
+    #[test]
+    fn retry_after_hint_is_serialized_when_present() {
+        let err = WireError::new(ErrorCode::Overloaded, "queue full").with_retry_after(25);
+        let line = err_line(&None, &err);
+        assert!(line.contains(r#""retry_after_ms":25"#), "{line}");
+        // And stays out when absent.
+        let err = WireError::new(ErrorCode::Overloaded, "queue full");
+        assert!(!err_line(&None, &err).contains("retry_after_ms"));
+    }
+
+    #[test]
+    fn every_wire_code_round_trips_through_its_spelling() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("nope"), None);
+        // Service-layer facade errors keep their wire code.
+        let e = depcase::Error::service("overloaded", "try later");
+        assert_eq!(WireError::from(e).code, ErrorCode::Overloaded);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Transport and concurrency: NDJSON over TCP and stdio, in front of a
-//! dynamic worker pool.
+//! supervised worker pool with panic isolation, deadlines,
+//! backpressure, and graceful drain.
 //!
 //! The pool reuses the claiming discipline of the parallel Monte-Carlo
 //! engine: work sits in one shared queue and idle workers claim the
@@ -9,54 +10,165 @@
 //! writer a queue of reply slots in arrival order, and the writer
 //! drains them in that order no matter which finishes first.
 //!
+//! The fault-tolerance layer (DESIGN §11) has four parts:
+//!
+//! - **Panic isolation.** Every request body runs under
+//!   [`std::panic::catch_unwind`]; a panic becomes a stable
+//!   `internal_error` response that still echoes the request id. The
+//!   panicked worker is treated as tainted and retired, and a
+//!   supervisor thread respawns a replacement (counted in the stats
+//!   `robustness` block). Shared locks recover from poisoning instead
+//!   of propagating it ([`crate::lock_unpoisoned`]).
+//! - **Deadlines and slow-client defense.** Requests carry an optional
+//!   `deadline_ms` budget (or inherit [`ServerConfig::default_deadline_ms`])
+//!   measured from arrival, checked between pipeline stages. Sockets
+//!   get read/write timeouts, idle connections are reaped, and request
+//!   lines are length-capped — an oversized line answers
+//!   `request_too_large` and the connection survives.
+//! - **Backpressure.** The job queue is bounded
+//!   ([`ServerConfig::queue_capacity`]); overflow answers `overloaded`
+//!   with a `retry_after_ms` hint immediately instead of queueing
+//!   without bound, and concurrent connections are capped.
+//! - **Graceful drain.** Shutdown stops accepting, lets workers drain
+//!   queued jobs up to [`ServerConfig::drain_deadline`], then aborts
+//!   the remainder; the final stats snapshot is always dumped.
+//!
+//! A seeded [`FaultPlan`] can inject worker panics, request delays, and
+//! connection drops to exercise all of the above deterministically.
+//!
 //! Everything here is hand-rolled on `std::net`/`std::thread`; the
 //! build environment has no crates.io access, and the protocol is
 //! simple enough that a framework would be all ceremony.
 
 use crate::engine::Engine;
+use crate::faults::FaultPlan;
+use crate::lock_unpoisoned;
 use crate::protocol::{self, ErrorCode, Request, WireError};
+use crate::stats::RobustnessEvent;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread;
+use std::time::{Duration, Instant};
 
-/// One unit of work: a raw request line and where the answer goes.
+/// Tunables for a [`Server`] (and, where applicable, [`serve_stdio_with`]).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Request workers in the pool (minimum 1).
+    pub workers: usize,
+    /// Bound on queued-but-unclaimed requests; overflow answers
+    /// `overloaded` instead of queueing.
+    pub queue_capacity: usize,
+    /// Bound on simultaneously served connections; excess connections
+    /// receive one `overloaded` line and are closed.
+    pub max_connections: usize,
+    /// Longest accepted request line in bytes; longer lines answer
+    /// `request_too_large` (the connection survives).
+    pub max_line_bytes: usize,
+    /// Default per-request time budget, applied when a request carries
+    /// no `deadline_ms` of its own. `None` means no default deadline.
+    pub default_deadline_ms: Option<u64>,
+    /// Socket read timeout; doubles as the idle-connection reaper.
+    pub read_timeout: Duration,
+    /// Socket write timeout: a client that stops draining responses is
+    /// disconnected rather than pinning a writer forever.
+    pub write_timeout: Duration,
+    /// How long [`Server::shutdown`] waits for queued jobs to drain
+    /// before abandoning them.
+    pub drain_deadline: Duration,
+    /// Backoff hint attached to `overloaded` responses.
+    pub retry_after_ms: u64,
+    /// Deterministic fault injection, when enabled (`--faults`).
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 1024,
+            max_connections: 128,
+            max_line_bytes: 1 << 20,
+            default_deadline_ms: None,
+            read_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(5),
+            retry_after_ms: 25,
+            faults: None,
+        }
+    }
+}
+
+/// One unit of work: a raw request line, its arrival instant (the
+/// deadline epoch), and where the answer goes.
 struct Job {
     line: String,
+    accepted: Instant,
     reply: mpsc::Sender<String>,
 }
 
-/// Shared job queue with condvar wakeup; workers claim dynamically.
+/// Bounded shared job queue with condvar wakeup; workers claim
+/// dynamically.
 struct JobQueue {
     jobs: Mutex<VecDeque<Job>>,
     available: Condvar,
+    capacity: usize,
 }
 
 impl JobQueue {
-    fn new() -> Self {
-        JobQueue { jobs: Mutex::new(VecDeque::new()), available: Condvar::new() }
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
     }
 
-    fn push(&self, job: Job) {
-        self.jobs.lock().expect("queue lock").push_back(job);
+    /// Enqueues unless the queue is at capacity; the rejected job comes
+    /// back so the caller can answer `overloaded` on its reply slot.
+    fn try_push(&self, job: Job) -> Result<(), Job> {
+        {
+            let mut jobs = lock_unpoisoned(&self.jobs);
+            if jobs.len() >= self.capacity {
+                return Err(job);
+            }
+            jobs.push_back(job);
+        }
         self.available.notify_one();
+        Ok(())
     }
 
-    /// Blocks for the next job; `None` once shutdown is flagged and the
-    /// queue has drained (outstanding requests are always answered).
-    fn claim(&self, shutdown: &AtomicBool) -> Option<Job> {
-        let mut jobs = self.jobs.lock().expect("queue lock");
+    /// Blocks for the next job. Returns `None` once `shutdown` is
+    /// flagged and the queue has drained (outstanding requests are
+    /// always answered), or immediately once `abort` is flagged (the
+    /// drain deadline expired).
+    fn claim(&self, shutdown: &AtomicBool, abort: &AtomicBool) -> Option<Job> {
+        let mut jobs = lock_unpoisoned(&self.jobs);
         loop {
+            if abort.load(Ordering::SeqCst) {
+                return None;
+            }
             if let Some(job) = jobs.pop_front() {
                 return Some(job);
             }
             if shutdown.load(Ordering::SeqCst) {
                 return None;
             }
-            jobs = self.available.wait(jobs).expect("queue lock");
+            jobs = self.available.wait(jobs).unwrap_or_else(PoisonError::into_inner);
         }
+    }
+
+    fn len(&self) -> usize {
+        lock_unpoisoned(&self.jobs).len()
+    }
+
+    /// Drops every queued job; their reply slots close, which closes
+    /// the owning connections.
+    fn clear(&self) {
+        lock_unpoisoned(&self.jobs).clear();
     }
 
     fn notify_all(&self) {
@@ -64,19 +176,55 @@ impl JobQueue {
     }
 }
 
+/// State shared by the accept loop, connection threads, workers, and
+/// the supervisor.
+struct Shared {
+    engine: Arc<Engine>,
+    queue: JobQueue,
+    shutdown: AtomicBool,
+    abort: AtomicBool,
+    connections: AtomicUsize,
+    config: ServerConfig,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.notify_all();
+    }
+}
+
+/// Decrements the live-connection count when a connection thread ends,
+/// however it ends.
+struct ConnGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// How a worker thread ended.
+enum WorkerExit {
+    /// The queue closed: shutdown (or abort) completed normally.
+    Clean,
+    /// The request handler panicked; the worker retired itself after
+    /// answering `internal_error` and must be replaced.
+    Panicked,
+}
+
 /// A running service instance bound to a TCP listener.
 pub struct Server {
-    engine: Arc<Engine>,
-    queue: Arc<JobQueue>,
-    shutdown: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     addr: SocketAddr,
     accept_handle: thread::JoinHandle<()>,
-    worker_handles: Vec<thread::JoinHandle<()>>,
+    supervisor_handle: thread::JoinHandle<()>,
 }
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// `workers` request workers plus an accept thread.
+    /// `workers` request workers plus accept and supervisor threads,
+    /// with every other knob at its [`ServerConfig`] default.
     ///
     /// # Errors
     ///
@@ -86,29 +234,57 @@ impl Server {
         addr: impl ToSocketAddrs,
         workers: usize,
     ) -> std::io::Result<Server> {
+        Server::start(engine, addr, ServerConfig { workers, ..ServerConfig::default() })
+    }
+
+    /// Binds `addr` and starts the service with explicit tunables.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the address cannot be bound.
+    pub fn start(
+        engine: Arc<Engine>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let queue = Arc::new(JobQueue::new());
-        let shutdown = Arc::new(AtomicBool::new(false));
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            engine,
+            queue: JobQueue::new(config.queue_capacity),
+            shutdown: AtomicBool::new(false),
+            abort: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            config,
+        });
 
-        let worker_handles = spawn_workers(&engine, &queue, &shutdown, workers);
+        // Workers report their exit to the supervisor, which replaces
+        // panicked ones (the respawn counter is the evidence) and joins
+        // everything on shutdown.
+        let (exit_tx, exit_rx) = mpsc::channel::<WorkerExit>();
+        let handles: Vec<_> =
+            (0..workers).map(|_| spawn_worker(Arc::clone(&shared), exit_tx.clone())).collect();
+        let supervisor_handle = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || supervise(&shared, workers, handles, &exit_rx, &exit_tx))
+        };
 
         let accept_handle = {
-            let queue = Arc::clone(&queue);
-            let shutdown = Arc::clone(&shutdown);
+            let shared = Arc::clone(&shared);
             thread::spawn(move || {
                 for stream in listener.incoming() {
-                    if shutdown.load(Ordering::SeqCst) {
+                    if shared.shutdown.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
-                    let queue = Arc::clone(&queue);
-                    thread::spawn(move || serve_connection(stream, &queue));
+                    let shared = Arc::clone(&shared);
+                    thread::spawn(move || serve_connection(&stream, &shared));
                 }
             })
         };
 
-        Ok(Server { engine, queue, shutdown, addr, accept_handle, worker_handles })
+        Ok(Server { shared, addr, accept_handle, supervisor_handle })
     }
 
     /// The bound address (resolves port 0 to the actual port).
@@ -120,85 +296,269 @@ impl Server {
     /// The engine behind this server.
     #[must_use]
     pub fn engine(&self) -> &Arc<Engine> {
-        &self.engine
+        &self.shared.engine
+    }
+
+    /// The fault-injection plan, when one is active.
+    #[must_use]
+    pub fn faults(&self) -> Option<&Arc<FaultPlan>> {
+        self.shared.config.faults.as_ref()
     }
 
     /// True once a `shutdown` request has been handled.
     #[must_use]
     pub fn is_shutting_down(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
+        self.shared.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Stops accepting, drains in-flight work, and joins all threads.
+    /// Stops accepting, drains queued jobs up to the configured drain
+    /// deadline (requests already executing always finish), abandons
+    /// whatever is still queued after that, and joins all threads.
     /// Idempotent with a wire-initiated shutdown.
     pub fn shutdown(self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        self.queue.notify_all();
+        let Server { shared, addr, accept_handle, supervisor_handle } = self;
+        shared.begin_shutdown();
         // The accept loop only observes the flag on its next wakeup;
         // poke it with a throwaway connection.
-        drop(TcpStream::connect(self.addr));
-        let _ = self.accept_handle.join();
-        for handle in self.worker_handles {
-            let _ = handle.join();
+        drop(TcpStream::connect(addr));
+        let _ = accept_handle.join();
+        let drain_until = Instant::now() + shared.config.drain_deadline;
+        while shared.queue.len() > 0 && Instant::now() < drain_until {
+            thread::sleep(Duration::from_millis(2));
         }
+        shared.abort.store(true, Ordering::SeqCst);
+        shared.queue.notify_all();
+        let _ = supervisor_handle.join();
+        // Jobs the drain deadline abandoned: dropping them closes their
+        // reply slots, which lets their connections close.
+        shared.queue.clear();
     }
 
     /// Blocks until a client's `shutdown` request stops the service,
     /// then drains and joins like [`Server::shutdown`].
     pub fn wait(self) {
-        while !self.shutdown.load(Ordering::SeqCst) {
-            thread::park_timeout(std::time::Duration::from_millis(50));
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            thread::park_timeout(Duration::from_millis(50));
         }
         self.shutdown();
     }
 }
 
-fn spawn_workers(
-    engine: &Arc<Engine>,
-    queue: &Arc<JobQueue>,
-    shutdown: &Arc<AtomicBool>,
-    workers: usize,
-) -> Vec<thread::JoinHandle<()>> {
-    (0..workers.max(1))
-        .map(|_| {
-            let engine = Arc::clone(engine);
-            let queue = Arc::clone(queue);
-            let shutdown = Arc::clone(shutdown);
-            thread::spawn(move || {
-                while let Some(job) = queue.claim(&shutdown) {
-                    let response = execute(&engine, &job.line, &shutdown, &queue);
-                    // A dead receiver means the client hung up; fine.
-                    let _ = job.reply.send(response);
-                }
-            })
-        })
-        .collect()
+fn spawn_worker(shared: Arc<Shared>, exit_tx: mpsc::Sender<WorkerExit>) -> thread::JoinHandle<()> {
+    thread::spawn(move || {
+        let exit = worker_loop(&shared);
+        let _ = exit_tx.send(exit);
+    })
 }
 
-/// Parses and executes one request line, producing the response line.
-fn execute(engine: &Engine, line: &str, shutdown: &AtomicBool, queue: &JobQueue) -> String {
-    match protocol::parse_request(line) {
-        Ok((id, request)) => {
-            let result = engine.handle(&request);
-            if matches!(request, Request::Shutdown) {
-                shutdown.store(true, Ordering::SeqCst);
-                queue.notify_all();
+fn worker_loop(shared: &Shared) -> WorkerExit {
+    while let Some(job) = shared.queue.claim(&shared.shutdown, &shared.abort) {
+        let outcome = handle_line(&shared.engine, &shared.config, &job.line, job.accepted);
+        if outcome.shutdown {
+            shared.begin_shutdown();
+        }
+        // A dead receiver means the client hung up; fine.
+        let _ = job.reply.send(outcome.response);
+        if outcome.panicked {
+            // The response went out, but this worker's stack just
+            // unwound through arbitrary engine code — retire it and let
+            // the supervisor start a clean replacement.
+            return WorkerExit::Panicked;
+        }
+    }
+    WorkerExit::Clean
+}
+
+/// Supervisor body: keeps the pool at strength by replacing panicked
+/// workers until shutdown, then joins every worker thread ever started.
+fn supervise(
+    shared: &Arc<Shared>,
+    workers: usize,
+    mut handles: Vec<thread::JoinHandle<()>>,
+    exit_rx: &mpsc::Receiver<WorkerExit>,
+    exit_tx: &mpsc::Sender<WorkerExit>,
+) {
+    let mut live = workers;
+    while live > 0 {
+        match exit_rx.recv() {
+            Ok(WorkerExit::Panicked) if !shared.shutdown.load(Ordering::SeqCst) => {
+                shared.engine.note(RobustnessEvent::Respawn);
+                handles.push(spawn_worker(Arc::clone(shared), exit_tx.clone()));
             }
-            match result {
-                Ok(value) => protocol::ok_line(&id, value),
-                Err(err) => protocol::err_line(&id, &err),
+            Ok(_) => live -= 1,
+            // Unreachable — the supervisor itself holds a sender — but
+            // breaking beats spinning if that invariant ever changes.
+            Err(_) => break,
+        }
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+}
+
+/// Outcome of one request line: the response to write, plus whether the
+/// line requested shutdown or panicked its handler.
+struct LineOutcome {
+    response: String,
+    shutdown: bool,
+    panicked: bool,
+}
+
+/// Parses and executes one request line with panic isolation, deadline
+/// accounting, and fault injection. Used by both the TCP workers and
+/// the stdio loop.
+fn handle_line(
+    engine: &Engine,
+    config: &ServerConfig,
+    line: &str,
+    accepted: Instant,
+) -> LineOutcome {
+    let envelope = match protocol::parse_request(line) {
+        Ok(envelope) => envelope,
+        Err((id, err)) => {
+            return LineOutcome {
+                response: protocol::err_line(&id, &err),
+                shutdown: false,
+                panicked: false,
             }
         }
-        Err((id, err)) => protocol::err_line(&id, &err),
+    };
+    let deadline = envelope
+        .deadline_ms
+        .or(config.default_deadline_ms)
+        .map(|ms| accepted + Duration::from_millis(ms));
+    let id = envelope.id;
+    let request = envelope.request;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(plan) = &config.faults {
+            if let Some(delay) = plan.take_delay() {
+                thread::sleep(delay);
+            }
+            assert!(!plan.take_panic(), "injected worker panic");
+        }
+        engine.handle_deadline(&request, deadline)
+    }));
+    match result {
+        Ok(outcome) => LineOutcome {
+            response: match outcome {
+                Ok(value) => protocol::ok_line(&id, value),
+                Err(err) => protocol::err_line(&id, &err),
+            },
+            shutdown: matches!(request, Request::Shutdown),
+            panicked: false,
+        },
+        Err(_panic) => {
+            engine.note(RobustnessEvent::Panic);
+            let err = WireError::new(
+                ErrorCode::InternalError,
+                "internal error: the worker handling this request panicked; \
+                 it was replaced and the service continues",
+            );
+            LineOutcome { response: protocol::err_line(&id, &err), shutdown: false, panicked: true }
+        }
+    }
+}
+
+/// One bounded line read from a buffered stream.
+enum LineRead {
+    /// A complete line (newline stripped), within the length bound.
+    Line(String),
+    /// The line exceeded `max` bytes; it was consumed and discarded.
+    TooLong,
+    /// Clean end of stream.
+    Eof,
+    /// The socket read timed out (idle or stalled mid-line).
+    TimedOut,
+    /// Any other I/O failure.
+    Failed,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes. Oversized
+/// lines are consumed to their newline and reported as [`LineRead::TooLong`],
+/// so the connection can keep going — one hostile line must not cost
+/// the client its session, and must not cost the server the memory to
+/// buffer it.
+fn read_bounded_line(reader: &mut impl BufRead, max: usize) -> LineRead {
+    let mut line: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return LineRead::TimedOut
+            }
+            Err(_) => return LineRead::Failed,
+        };
+        if chunk.is_empty() {
+            return match (overflowed, line.is_empty()) {
+                (true, _) => LineRead::TooLong,
+                (false, true) => LineRead::Eof,
+                // A final line without a trailing newline still counts.
+                (false, false) => LineRead::Line(String::from_utf8_lossy(&line).into_owned()),
+            };
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                if !overflowed {
+                    line.extend_from_slice(&chunk[..newline]);
+                }
+                reader.consume(newline + 1);
+                if overflowed || line.len() > max {
+                    return LineRead::TooLong;
+                }
+                // NDJSON is UTF-8; anything else will fail JSON parsing
+                // with a `bad_json` of its own.
+                return LineRead::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            None => {
+                let taken = chunk.len();
+                if !overflowed {
+                    line.extend_from_slice(chunk);
+                    if line.len() > max {
+                        overflowed = true;
+                        line.clear();
+                        line.shrink_to_fit();
+                    }
+                }
+                reader.consume(taken);
+            }
+        }
     }
 }
 
 /// Reader half of a connection: enqueue each line, handing the writer
-/// the reply receivers in arrival order so responses stay FIFO.
-fn serve_connection(stream: TcpStream, queue: &JobQueue) {
+/// the reply receivers in arrival order so responses stay FIFO even
+/// when workers finish out of order. Load shedding happens here —
+/// overflow and oversized lines are answered on the same FIFO slots,
+/// so pipelined clients still match every response to a request.
+fn serve_connection(stream: &TcpStream, shared: &Shared) {
+    let config = &shared.config;
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+
+    let active = shared.connections.fetch_add(1, Ordering::SeqCst) + 1;
+    let _guard = ConnGuard(&shared.connections);
+    if active > config.max_connections {
+        shared.engine.note(RobustnessEvent::Overloaded);
+        let err = WireError::new(
+            ErrorCode::Overloaded,
+            format!("connection limit ({}) reached", config.max_connections),
+        )
+        .with_retry_after(config.retry_after_ms);
+        let mut writer = BufWriter::new(stream);
+        let _ = writeln!(writer, "{}", protocol::err_line(&None, &err));
+        let _ = writer.flush();
+        return;
+    }
+
     let Ok(write_half) = stream.try_clone() else { return };
     let (order_tx, order_rx) = mpsc::channel::<mpsc::Receiver<String>>();
-
     let writer_handle = thread::spawn(move || {
         let mut writer = BufWriter::new(write_half);
         while let Ok(slot) = order_rx.recv() {
@@ -209,45 +569,111 @@ fn serve_connection(stream: TcpStream, queue: &JobQueue) {
         }
     });
 
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (reply_tx, reply_rx) = mpsc::channel();
-        if order_tx.send(reply_rx).is_err() {
+    let mut reader = BufReader::new(stream);
+    loop {
+        // During drain, stop taking new work; in-flight replies still
+        // go out through the writer before the connection closes.
+        if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        queue.push(Job { line, reply: reply_tx });
+        let (reply_tx, reply_rx) = mpsc::channel();
+        match read_bounded_line(&mut reader, config.max_line_bytes) {
+            LineRead::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if config.faults.as_ref().is_some_and(|plan| plan.take_drop()) {
+                    // Injected fault: vanish mid-conversation, exactly
+                    // like a crashed client-side proxy would.
+                    break;
+                }
+                if order_tx.send(reply_rx).is_err() {
+                    break;
+                }
+                let job = Job { line, accepted: Instant::now(), reply: reply_tx };
+                if let Err(job) = shared.queue.try_push(job) {
+                    shared.engine.note(RobustnessEvent::Overloaded);
+                    let err = WireError::new(
+                        ErrorCode::Overloaded,
+                        format!(
+                            "request queue is full ({} queued); shed instead of queueing",
+                            config.queue_capacity
+                        ),
+                    )
+                    .with_retry_after(config.retry_after_ms);
+                    let _ =
+                        job.reply.send(protocol::err_line(&protocol::recover_id(&job.line), &err));
+                }
+            }
+            LineRead::TooLong => {
+                shared.engine.note(RobustnessEvent::RequestTooLarge);
+                if order_tx.send(reply_rx).is_err() {
+                    break;
+                }
+                let err = WireError::new(
+                    ErrorCode::RequestTooLarge,
+                    format!("request line exceeds {} bytes", config.max_line_bytes),
+                );
+                let _ = reply_tx.send(protocol::err_line(&None, &err));
+            }
+            LineRead::TimedOut => {
+                shared.engine.note(RobustnessEvent::ConnectionReaped);
+                break;
+            }
+            LineRead::Eof | LineRead::Failed => break,
+        }
     }
     drop(order_tx);
     let _ = writer_handle.join();
 }
 
 /// Serves NDJSON over stdin/stdout until EOF or a `shutdown` request,
-/// then dumps a final stats snapshot to stderr.
+/// then dumps a final stats snapshot to stderr; equivalent to
+/// [`serve_stdio_with`] at the default [`ServerConfig`].
 ///
 /// Requests are executed in arrival order on the calling thread —
 /// stdio has a single client, so pooling buys nothing but reordering
 /// hazards.
 pub fn serve_stdio(engine: &Engine) {
+    serve_stdio_with(engine, &ServerConfig::default());
+}
+
+/// [`serve_stdio`] with explicit tunables: the line-length cap, default
+/// deadline, and fault injection apply; pool/queue/socket knobs do not
+/// (stdio is single-threaded with no socket). A caught panic answers
+/// `internal_error` and the loop simply continues — there is no worker
+/// to respawn.
+pub fn serve_stdio_with(engine: &Engine, config: &ServerConfig) {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
+    let mut reader = stdin.lock();
     let mut writer = BufWriter::new(stdout.lock());
-    let shutdown = AtomicBool::new(false);
-    // The queue only participates in the shutdown handshake here.
-    let queue = JobQueue::new();
-    for line in stdin.lock().lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = execute(engine, &line, &shutdown, &queue);
+    loop {
+        let response = match read_bounded_line(&mut reader, config.max_line_bytes) {
+            LineRead::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let outcome = handle_line(engine, config, &line, Instant::now());
+                let stop = outcome.shutdown;
+                if writeln!(writer, "{}", outcome.response).and_then(|()| writer.flush()).is_err()
+                    || stop
+                {
+                    break;
+                }
+                continue;
+            }
+            LineRead::TooLong => {
+                engine.note(RobustnessEvent::RequestTooLarge);
+                let err = WireError::new(
+                    ErrorCode::RequestTooLarge,
+                    format!("request line exceeds {} bytes", config.max_line_bytes),
+                );
+                protocol::err_line(&None, &err)
+            }
+            LineRead::Eof | LineRead::TimedOut | LineRead::Failed => break,
+        };
         if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
-            break;
-        }
-        if shutdown.load(Ordering::SeqCst) {
             break;
         }
     }
@@ -255,43 +681,36 @@ pub fn serve_stdio(engine: &Engine) {
     eprintln!("case_tool serve: final stats {stats}");
 }
 
-/// A blocking NDJSON client for tests, benches, and scripting.
-#[derive(Debug)]
-pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
 
-impl Client {
-    /// Connects to a running server.
-    ///
-    /// # Errors
-    ///
-    /// [`std::io::Error`] when the connection fails.
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        let write_half = stream.try_clone()?;
-        Ok(Client { reader: BufReader::new(stream), writer: BufWriter::new(write_half) })
+    #[test]
+    fn bounded_line_reader_survives_oversized_lines() {
+        let text = format!("{}\nshort\n", "x".repeat(64));
+        let mut reader = Cursor::new(text.into_bytes());
+        assert!(matches!(read_bounded_line(&mut reader, 16), LineRead::TooLong));
+        match read_bounded_line(&mut reader, 16) {
+            LineRead::Line(line) => assert_eq!(line, "short"),
+            _ => panic!("the connection must survive an oversized line"),
+        }
+        assert!(matches!(read_bounded_line(&mut reader, 16), LineRead::Eof));
     }
 
-    /// Sends one request line and reads one response line.
-    ///
-    /// # Errors
-    ///
-    /// [`WireError`] with code `bad_json` when the transport fails or
-    /// the server closes the connection mid-exchange.
-    pub fn round_trip(&mut self, line: &str) -> Result<String, WireError> {
-        writeln!(self.writer, "{line}")
-            .and_then(|()| self.writer.flush())
-            .map_err(|e| WireError::new(ErrorCode::BadJson, format!("send failed: {e}")))?;
-        let mut response = String::new();
-        let n = self
-            .reader
-            .read_line(&mut response)
-            .map_err(|e| WireError::new(ErrorCode::BadJson, format!("receive failed: {e}")))?;
-        if n == 0 {
-            return Err(WireError::new(ErrorCode::BadJson, "server closed the connection"));
+    #[test]
+    fn bounded_line_reader_accepts_final_unterminated_line() {
+        let mut reader = Cursor::new(b"{\"op\":\"stats\"}".to_vec());
+        match read_bounded_line(&mut reader, 64) {
+            LineRead::Line(line) => assert_eq!(line, "{\"op\":\"stats\"}"),
+            _ => panic!("final line without newline must still parse"),
         }
-        Ok(response.trim_end().to_string())
+    }
+
+    #[test]
+    fn oversized_line_at_eof_is_too_long_not_eof() {
+        let mut reader = Cursor::new("y".repeat(64).into_bytes());
+        assert!(matches!(read_bounded_line(&mut reader, 16), LineRead::TooLong));
+        assert!(matches!(read_bounded_line(&mut reader, 16), LineRead::Eof));
     }
 }

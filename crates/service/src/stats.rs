@@ -101,13 +101,88 @@ pub struct OpStats {
 /// The operations tracked, in wire-spelling order.
 pub const TRACKED_OPS: [&str; 7] = ["load", "eval", "rank", "mc", "bands", "stats", "shutdown"];
 
+/// A fault-tolerance event worth counting — the service's own evidence
+/// of how it degrades under panic, overload, and slow clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobustnessEvent {
+    /// A request handler panicked (caught; answered `internal_error`).
+    Panic,
+    /// A dead worker was replaced by the supervisor.
+    Respawn,
+    /// A request ran out of its time budget (`deadline_exceeded`).
+    DeadlineExceeded,
+    /// A request or connection was shed under load (`overloaded`).
+    Overloaded,
+    /// An oversized request line was discarded (`request_too_large`).
+    RequestTooLarge,
+    /// An idle or stalled connection was reaped by a socket timeout.
+    ConnectionReaped,
+}
+
+/// Counter snapshot of the fault-tolerance events.
+///
+/// Rejected requests (overloaded, too-large, pre-execution deadline
+/// misses) are counted **only** here — they never reach the engine, so
+/// the per-op latency histograms stay untouched by load shedding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobustnessCounters {
+    /// Caught request-handler panics.
+    pub panics: u64,
+    /// Workers respawned after a panic.
+    pub respawns: u64,
+    /// Requests answered `deadline_exceeded`.
+    pub deadline_exceeded: u64,
+    /// Requests or connections shed with `overloaded`.
+    pub overloaded: u64,
+    /// Lines rejected with `request_too_large`.
+    pub request_too_large: u64,
+    /// Connections closed by idle/stall timeouts.
+    pub connections_reaped: u64,
+}
+
+impl RobustnessCounters {
+    fn note(&mut self, event: RobustnessEvent) {
+        match event {
+            RobustnessEvent::Panic => self.panics += 1,
+            RobustnessEvent::Respawn => self.respawns += 1,
+            RobustnessEvent::DeadlineExceeded => self.deadline_exceeded += 1,
+            RobustnessEvent::Overloaded => self.overloaded += 1,
+            RobustnessEvent::RequestTooLarge => self.request_too_large += 1,
+            RobustnessEvent::ConnectionReaped => self.connections_reaped += 1,
+        }
+    }
+
+    fn to_value(self) -> Value {
+        Value::Object(vec![
+            ("panics".to_string(), Value::U64(self.panics)),
+            ("respawns".to_string(), Value::U64(self.respawns)),
+            ("deadline_exceeded".to_string(), Value::U64(self.deadline_exceeded)),
+            ("overloaded".to_string(), Value::U64(self.overloaded)),
+            ("request_too_large".to_string(), Value::U64(self.request_too_large)),
+            ("connections_reaped".to_string(), Value::U64(self.connections_reaped)),
+        ])
+    }
+}
+
 /// Aggregate service statistics, dumped by `stats` and on shutdown.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
     per_op: [OpStats; 7],
+    robustness: RobustnessCounters,
 }
 
 impl ServiceStats {
+    /// Counts one fault-tolerance event.
+    pub fn note(&mut self, event: RobustnessEvent) {
+        self.robustness.note(event);
+    }
+
+    /// Snapshot of the fault-tolerance counters.
+    #[must_use]
+    pub fn robustness(&self) -> RobustnessCounters {
+        self.robustness
+    }
+
     /// Records one handled request for `op`.
     pub fn record(&mut self, op: &str, latency_us: u64, errored: bool) {
         if let Some(idx) = TRACKED_OPS.iter().position(|name| *name == op) {
@@ -168,6 +243,7 @@ impl ServiceStats {
         Value::Object(vec![
             ("requests".to_string(), Value::U64(self.total_requests())),
             ("ops".to_string(), Value::Object(ops)),
+            ("robustness".to_string(), self.robustness.to_value()),
             (
                 "plan_cache".to_string(),
                 Value::Object(vec![
@@ -235,5 +311,33 @@ mod tests {
         assert!(text.contains("\"hit_rate\":0.75"), "{text}");
         assert!(text.contains("\"eval\""), "{text}");
         assert!(!text.contains("\"bands\""), "untouched ops stay out: {text}");
+    }
+
+    #[test]
+    fn robustness_events_count_without_touching_histograms() {
+        let mut s = ServiceStats::default();
+        s.record("eval", 100, false);
+        s.note(RobustnessEvent::Panic);
+        s.note(RobustnessEvent::Respawn);
+        s.note(RobustnessEvent::Overloaded);
+        s.note(RobustnessEvent::Overloaded);
+        s.note(RobustnessEvent::DeadlineExceeded);
+        s.note(RobustnessEvent::RequestTooLarge);
+        s.note(RobustnessEvent::ConnectionReaped);
+        let r = s.robustness();
+        assert_eq!(r.panics, 1);
+        assert_eq!(r.respawns, 1);
+        assert_eq!(r.overloaded, 2);
+        assert_eq!(r.deadline_exceeded, 1);
+        assert_eq!(r.request_too_large, 1);
+        assert_eq!(r.connections_reaped, 1);
+        // Shed requests never land in the latency histograms.
+        assert_eq!(s.total_requests(), 1);
+        assert_eq!(s.op("eval").unwrap().latency.count(), 1);
+        // The snapshot always carries the robustness block, zeros or not.
+        let v = s.to_value(CacheCounters::default(), 0, 4);
+        let text = serde_json::to_string(&crate::protocol::Json(v)).unwrap();
+        assert!(text.contains("\"robustness\""), "{text}");
+        assert!(text.contains("\"respawns\":1"), "{text}");
     }
 }

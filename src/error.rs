@@ -40,6 +40,17 @@ pub enum Error {
     Distribution(DistError),
     /// A low-level numerical routine failed.
     Numerics(NumericsError),
+    /// A service or transport operation failed (wire exchange, socket
+    /// I/O, a closed connection). `code` is the stable machine-readable
+    /// category the assessment service speaks on the wire — e.g. `io`,
+    /// `connection_closed`, `overloaded`, `deadline_exceeded` — kept as
+    /// a string so the facade does not depend on the service crate.
+    Service {
+        /// Stable machine-readable category.
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
 }
 
 /// Workspace-wide result alias over [`Error`].
@@ -52,6 +63,7 @@ impl fmt::Display for Error {
             Error::Confidence(e) => write!(f, "confidence error: {e}"),
             Error::Distribution(e) => write!(f, "distribution error: {e}"),
             Error::Numerics(e) => write!(f, "numerics error: {e}"),
+            Error::Service { code, message } => write!(f, "service error ({code}): {message}"),
         }
     }
 }
@@ -63,7 +75,15 @@ impl std::error::Error for Error {
             Error::Confidence(e) => Some(e),
             Error::Distribution(e) => Some(e),
             Error::Numerics(e) => Some(e),
+            Error::Service { .. } => None,
         }
+    }
+}
+
+impl Error {
+    /// Builds a [`Error::Service`] from a wire code and message.
+    pub fn service(code: impl Into<String>, message: impl std::fmt::Display) -> Self {
+        Error::Service { code: code.into(), message: message.to_string() }
     }
 }
 
@@ -115,6 +135,21 @@ mod tests {
         let text = err.to_string();
         assert!(text.starts_with("confidence error:"), "{text}");
         assert!(text.contains("no margin"), "{text}");
+    }
+
+    #[test]
+    fn service_variant_carries_code_and_message() {
+        let err = Error::service("connection_closed", "server closed the connection");
+        assert_eq!(
+            err,
+            Error::Service {
+                code: "connection_closed".into(),
+                message: "server closed the connection".into()
+            }
+        );
+        let text = err.to_string();
+        assert!(text.starts_with("service error (connection_closed):"), "{text}");
+        assert!(std::error::Error::source(&err).is_none());
     }
 
     #[test]

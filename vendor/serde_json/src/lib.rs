@@ -72,6 +72,25 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
     Ok(T::from_value(&value)?)
 }
 
+/// Parses the first JSON value in `text`, returning it together with
+/// the byte offset just past the value (leading whitespace included in
+/// the count, trailing bytes untouched).
+///
+/// [`from_str`] rejects trailing characters outright; this variant lets
+/// callers that need to *diagnose* trailing garbage — like the service
+/// wire protocol, which wants to echo the request `id` in its error —
+/// recover the parsed prefix first and decide for themselves.
+///
+/// # Errors
+///
+/// [`Error`] describing the first syntax or shape problem.
+pub fn from_str_prefix<T: Deserialize>(text: &str) -> Result<(T, usize)> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    Ok((T::from_value(&value)?, p.pos))
+}
+
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
     match v {
         Value::Null => out.push_str("null"),
@@ -424,6 +443,17 @@ mod tests {
         assert!(from_str::<Vec<f64>>("[1,").is_err());
         assert!(from_str::<f64>("1.0 x").is_err());
         assert!(from_str::<String>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn prefix_parse_reports_the_consumed_length() {
+        let (v, used) = from_str_prefix::<f64>("  1.5  trailing").unwrap();
+        assert_eq!(v, 1.5);
+        assert_eq!(used, 5);
+        assert_eq!("  1.5  trailing"[used..].trim(), "trailing");
+        let (v, used) = from_str_prefix::<Vec<usize>>("[1,2]").unwrap();
+        assert_eq!((v, used), (vec![1, 2], 5));
+        assert!(from_str_prefix::<f64>("  x").is_err());
     }
 
     #[test]
