@@ -1,11 +1,19 @@
 //! Graphviz DOT export of a case, with optional confidence annotations.
 
-use crate::graph::{Case, NodeKind};
+use crate::graph::{Case, NodeId, NodeKind};
+use crate::ir::CaseIr;
 use crate::propagation::ConfidenceReport;
 use std::fmt::Write as _;
 
 impl Case {
     /// Renders the case as a Graphviz DOT digraph.
+    ///
+    /// Nodes and edges are emitted in reverse topological order from the
+    /// IR (roots first, supporters after the claims they support), so
+    /// output depends only on case structure — stable under relabelling
+    /// and pinned by a golden test. Graphs the IR refuses to lower
+    /// (cyclic hand-edited files) fall back to insertion order, so the
+    /// export still works for debugging broken files.
     ///
     /// When a [`ConfidenceReport`] is supplied, each participating node's
     /// label carries its independent confidence and dependence interval.
@@ -26,10 +34,16 @@ impl Case {
     /// ```
     #[must_use]
     pub fn to_dot(&self, report: Option<&ConfidenceReport>) -> String {
+        let order: Vec<usize> = match CaseIr::build(self) {
+            Ok(ir) => ir.topo().iter().rev().map(|&i| i as usize).collect(),
+            Err(_) => (0..self.len()).collect(),
+        };
         let mut out = String::new();
         let _ = writeln!(out, "digraph \"{}\" {{", escape(self.title()));
         let _ = writeln!(out, "  rankdir=TB;");
-        for (id, node) in self.iter() {
+        for &i in &order {
+            let node = self.node_at(i);
+            let id = NodeId::from_index(i);
             let (shape, fill) = match node.kind {
                 NodeKind::Goal => ("box", "#dbeafe"),
                 NodeKind::Strategy(_) => ("parallelogram", "#ede9fe"),
@@ -53,11 +67,15 @@ impl Case {
                 escape(&node.name)
             );
         }
-        for (id, node) in self.iter() {
-            for child in self.supporters(id).expect("iterating own nodes") {
-                let child_name = &self.node(child).expect("own node").name;
-                let _ =
-                    writeln!(out, "  \"{}\" -> \"{}\";", escape(&node.name), escape(child_name));
+        for &i in &order {
+            let name = &self.node_at(i).name;
+            for &c in self.children_of(i) {
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -> \"{}\";",
+                    escape(name),
+                    escape(&self.node_at(c).name)
+                );
             }
         }
         out.push_str("}\n");
@@ -112,6 +130,35 @@ mod tests {
         let report = case.propagate().unwrap();
         let dot = case.to_dot(Some(&report));
         assert!(dot.contains("conf 0.9"), "{dot}");
+    }
+
+    #[test]
+    fn dot_output_is_pinned() {
+        // Golden test: node and edge order come from the IR's reverse
+        // topological order, so the full rendering is structural and
+        // byte-stable. If this changes, it is a deliberate format break.
+        let golden = r##"digraph "demo \"case\"" {
+  rankdir=TB;
+  "C1" [shape=note, style=filled, fillcolor="#f3f4f6", label="C1\nplant"];
+  "G1" [shape=box, style=filled, fillcolor="#dbeafe", label="G1\ntop"];
+  "A1" [shape=ellipse, style=filled, fillcolor="#fef9c3", label="A1\nenv stable"];
+  "S1" [shape=parallelogram, style=filled, fillcolor="#ede9fe", label="S1\nlegs"];
+  "E1" [shape=circle, style=filled, fillcolor="#dcfce7", label="E1\ntest"];
+  "G1" -> "S1";
+  "G1" -> "A1";
+  "S1" -> "E1";
+}
+"##;
+        assert_eq!(demo_case().to_dot(None), golden);
+    }
+
+    #[test]
+    fn cyclic_case_still_renders() {
+        let cyclic = r#"{"schema":1,"title":"t","nodes":[{"name":"G1","statement":"a","kind":"Goal"},{"name":"G2","statement":"b","kind":"Goal"}],"children":[[1],[0]]}"#;
+        let case: Case = serde_json::from_str(cyclic).unwrap();
+        let dot = case.to_dot(None);
+        assert!(dot.contains("\"G1\" -> \"G2\""), "{dot}");
+        assert!(dot.contains("\"G2\" -> \"G1\""), "{dot}");
     }
 
     #[test]

@@ -16,6 +16,19 @@ pub const CASE_SCHEMA_VERSION: u64 = 1;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct NodeId(usize);
 
+impl NodeId {
+    /// Wraps an arena index. The IR and the case share indexing, so
+    /// this is the bridge back from dense structures to handles.
+    pub(crate) fn from_index(i: usize) -> Self {
+        NodeId(i)
+    }
+
+    /// The arena index behind the handle.
+    pub(crate) fn to_index(self) -> usize {
+        self.0
+    }
+}
+
 /// How a node's supporting children combine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Combination {
@@ -318,6 +331,55 @@ impl Case {
         }
     }
 
+    /// Replaces the support edge `parent → from` with `parent → to`,
+    /// preserving the edge's position — and therefore the combination
+    /// order of `parent`'s supporters.
+    ///
+    /// Retargeting to the current child (`from == to`) is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`CaseError::UnknownNode`] for dangling handles;
+    /// [`CaseError::InvalidEdge`] when `from` does not currently support
+    /// `parent`, when `to` is the parent itself, a context node or
+    /// already a supporter, or when the new edge would close a cycle.
+    pub fn retarget_support(&mut self, parent: NodeId, from: NodeId, to: NodeId) -> Result<()> {
+        let p = self.index(parent)?;
+        let f = self.index(from)?;
+        let t = self.index(to)?;
+        let Some(pos) = self.children[p].iter().position(|&c| c == f) else {
+            return Err(CaseError::InvalidEdge {
+                reason: format!("{} does not support {}", self.nodes[f].name, self.nodes[p].name),
+            });
+        };
+        if f == t {
+            return Ok(());
+        }
+        if t == p {
+            return Err(CaseError::InvalidEdge { reason: "a node cannot support itself".into() });
+        }
+        if matches!(self.nodes[t].kind, NodeKind::Context) {
+            return Err(CaseError::InvalidEdge {
+                reason: "context nodes do not support claims; attach them as context".into(),
+            });
+        }
+        if self.children[p].contains(&t) {
+            return Err(CaseError::InvalidEdge {
+                reason: format!("{} already supports {}", self.nodes[t].name, self.nodes[p].name),
+            });
+        }
+        if self.reaches(t, p) {
+            return Err(CaseError::InvalidEdge {
+                reason: format!(
+                    "edge {} → {} would create a cycle",
+                    self.nodes[p].name, self.nodes[t].name
+                ),
+            });
+        }
+        self.children[p][pos] = t;
+        Ok(())
+    }
+
     /// Looks a node up by its reference label.
     #[must_use]
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
@@ -399,41 +461,37 @@ impl Case {
         crate::propagation::propagate(self)
     }
 
-    /// A stable 64-bit content hash of everything evaluation depends on:
-    /// schema version, title, node payloads (confidences hashed by their
-    /// exact bit pattern) and the support edges.
+    /// A stable 64-bit content hash of exactly what evaluation depends
+    /// on: the fold of every node's Merkle-style subtree hash
+    /// ([`crate::CaseIr::case_hash`]) — kind tags, confidence bit
+    /// patterns, combination rules and the support edges. Titles, names
+    /// and statements are *not* hashed: relabelling a case cannot change
+    /// an answer, so it does not change the hash either.
     ///
     /// Two cases hash equal iff they evaluate identically, so the hash
-    /// is a safe key for caches of compiled [`crate::EvalPlan`]s and
-    /// propagation reports — the `depcase-service` engine keys its plan
-    /// cache on it. (FNV-1a; not cryptographic, collision chance for a
-    /// registry of thousands of cases is ~2⁻⁴⁰.)
+    /// is a safe key for caches of compiled [`crate::EvalPlan`]s,
+    /// propagation reports and incremental memo tables — the
+    /// `depcase-service` engine keys its plan cache on it. (FNV-1a; not
+    /// cryptographic, collision chance for a registry of thousands of
+    /// cases is ~2⁻⁴⁰.)
+    ///
+    /// A cyclic graph (only constructible by hand-editing a save file;
+    /// it can never evaluate) falls back to a flat structural hash.
     #[must_use]
     pub fn content_hash(&self) -> u64 {
-        const PRIME: u64 = 0x0000_0100_0000_01B3;
-        struct Fnv(u64);
-        impl Fnv {
-            fn write(&mut self, bytes: &[u8]) {
-                for &b in bytes {
-                    self.0 ^= u64::from(b);
-                    self.0 = self.0.wrapping_mul(PRIME);
-                }
-            }
-            fn write_u64(&mut self, v: u64) {
-                self.write(&v.to_le_bytes());
-            }
-            fn write_str(&mut self, s: &str) {
-                self.write_u64(s.len() as u64);
-                self.write(s.as_bytes());
-            }
+        match crate::ir::CaseIr::build(self) {
+            Ok(ir) => ir.case_hash(),
+            Err(_) => self.flat_structure_hash(),
         }
-        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    }
+
+    /// Non-Merkle fallback for graphs the IR refuses to lower: the raw
+    /// node payloads and adjacency rows, hashed flat.
+    fn flat_structure_hash(&self) -> u64 {
+        let mut h = crate::ir::Fnv::new();
         h.write_u64(CASE_SCHEMA_VERSION);
-        h.write_str(&self.title);
         h.write_u64(self.nodes.len() as u64);
         for node in &self.nodes {
-            h.write_str(&node.name);
-            h.write_str(&node.statement);
             let (tag, confidence) = match node.kind {
                 NodeKind::Goal => (0u8, None),
                 NodeKind::Strategy(Combination::AllOf) => (1, None),
@@ -679,6 +737,70 @@ mod tests {
         // Duplicate names would corrupt the rebuilt index.
         let dup = r#"{"schema":1,"title":"t","nodes":[{"name":"G1","statement":"a","kind":"Goal"},{"name":"G1","statement":"b","kind":"Goal"}],"children":[[],[]]}"#;
         assert!(serde_json::from_str::<Case>(dup).is_err());
+    }
+
+    #[test]
+    fn retarget_preserves_position_and_validates() {
+        let (mut case, g, e1, e2) = small_case();
+        let e3 = case.add_evidence("E3", "audit", 0.7).unwrap();
+        let c1 = case.add_context("C1", "env").unwrap();
+        // E3 replaces E1 in E1's slot.
+        case.retarget_support(g, e1, e3).unwrap();
+        assert_eq!(case.supporters(g).unwrap(), vec![e3, e2]);
+        // `from` must currently support the parent.
+        assert!(case.retarget_support(g, e1, e2).is_err());
+        // Duplicates, self-support and context targets are rejected.
+        assert!(case.retarget_support(g, e3, e2).is_err());
+        assert!(case.retarget_support(g, e3, g).is_err());
+        assert!(case.retarget_support(g, e3, c1).is_err());
+        // Retargeting onto the current child is a no-op.
+        case.retarget_support(g, e3, e3).unwrap();
+        assert_eq!(case.supporters(g).unwrap(), vec![e3, e2]);
+    }
+
+    #[test]
+    fn retarget_rejects_cycles() {
+        let mut case = Case::new("t");
+        let g1 = case.add_goal("G1", "a").unwrap();
+        let g2 = case.add_goal("G2", "b").unwrap();
+        let e = case.add_evidence("E1", "x", 0.9).unwrap();
+        case.support(g1, g2).unwrap();
+        case.support(g2, e).unwrap();
+        // g2 → e must not become g2 → g1.
+        assert!(case.retarget_support(g2, e, g1).is_err());
+    }
+
+    #[test]
+    fn content_hash_ignores_labels_but_not_structure() {
+        let (case, ..) = small_case();
+        let mut relabelled = Case::new("different title");
+        let g = relabelled.add_goal("Root", "reworded claim").unwrap();
+        let e1 = relabelled.add_evidence("Ev1", "reworded", 0.9).unwrap();
+        let e2 = relabelled.add_evidence("Ev2", "reworded", 0.8).unwrap();
+        relabelled.support(g, e1).unwrap();
+        relabelled.support(g, e2).unwrap();
+        assert_eq!(case.content_hash(), relabelled.content_hash());
+
+        // Swapping combination order is evaluation-relevant for MC
+        // (leaf slot order fixes the RNG stream) and changes the hash.
+        let mut reordered = Case::new("t");
+        let g = reordered.add_goal("G1", "top claim").unwrap();
+        let e2 = reordered.add_evidence("E2", "analysis", 0.8).unwrap();
+        let e1 = reordered.add_evidence("E1", "testing", 0.9).unwrap();
+        reordered.support(g, e1).unwrap();
+        reordered.support(g, e2).unwrap();
+        assert_ne!(case.content_hash(), reordered.content_hash());
+    }
+
+    #[test]
+    fn cyclic_file_hash_is_stable_and_distinct() {
+        let cyclic = r#"{"schema":1,"title":"t","nodes":[{"name":"G1","statement":"a","kind":"Goal"},{"name":"G2","statement":"b","kind":"Goal"}],"children":[[1],[0]]}"#;
+        let case: Case = serde_json::from_str(cyclic).unwrap();
+        let h = case.content_hash();
+        assert_eq!(h, case.clone().content_hash());
+        let acyclic = r#"{"schema":1,"title":"t","nodes":[{"name":"G1","statement":"a","kind":"Goal"},{"name":"G2","statement":"b","kind":"Goal"}],"children":[[1],[]]}"#;
+        let other: Case = serde_json::from_str(acyclic).unwrap();
+        assert_ne!(h, other.content_hash());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::error::Result;
 use crate::graph::{Case, NodeId, NodeKind};
+use crate::incremental::Incremental;
 
 /// One leaf's importance figures.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,12 +24,6 @@ pub struct LeafImportance {
     pub birnbaum: f64,
     /// Root-confidence gain from making this leaf certain (confidence 1).
     pub gain_if_certain: f64,
-}
-
-fn clone_with_leaf(case: &Case, target: NodeId, confidence: f64) -> Result<Case> {
-    let mut copy = case.clone();
-    copy.set_leaf_confidence(target, confidence)?;
-    Ok(copy)
 }
 
 /// Computes Birnbaum importance and improvement value for every evidence
@@ -68,7 +63,13 @@ pub fn birnbaum_importance(case: &Case) -> Result<Vec<LeafImportance>> {
         )));
     }
     let root = roots[0];
-    let base = case.propagate()?.confidence(root).expect("root participates").independent;
+    // One incremental session serves every perturbation: each probe
+    // recomputes only the leaf's dirty spine, and restoring the elicited
+    // value is answered from the subtree-hash memo. The floats are
+    // bit-identical to clone-and-propagate because both paths run the
+    // same combination kernel on the same inputs.
+    let mut session = Incremental::new(case.clone())?;
+    let base = session.confidence(root).expect("root participates").independent;
 
     let mut out = Vec::new();
     for (id, node) in case.iter() {
@@ -79,16 +80,11 @@ pub fn birnbaum_importance(case: &Case) -> Result<Vec<LeafImportance>> {
         // Birnbaum importance for coherent structures: the root
         // confidence is multilinear in each leaf, so the exact partial
         // derivative is the secant slope between leaf = 0 and leaf = 1.
-        let hi = clone_with_leaf(case, id, 1.0)?
-            .propagate()?
-            .confidence(root)
-            .expect("root")
-            .independent;
-        let lo = clone_with_leaf(case, id, 0.0)?
-            .propagate()?
-            .confidence(root)
-            .expect("root")
-            .independent;
+        session.set_confidence(id, 1.0)?;
+        let hi = session.confidence(root).expect("root").independent;
+        session.set_confidence(id, 0.0)?;
+        let lo = session.confidence(root).expect("root").independent;
+        session.set_confidence(id, conf)?;
         out.push(LeafImportance {
             node: id,
             name: node.name.clone(),
@@ -197,6 +193,33 @@ mod tests {
         let case = two_leaf_case(0.95, 0.5);
         let top = improvement_value(&case).unwrap().unwrap();
         assert_eq!(top.name, "E2");
+    }
+
+    #[test]
+    fn matches_naive_clone_and_propagate_bitwise() {
+        // The incremental path must reproduce the pre-IR algorithm
+        // (clone, set leaf, full propagate) to the exact bit.
+        let mut case = Case::new("t");
+        let g = case.add_goal("G", "top").unwrap();
+        let s = case.add_strategy("S", "legs", Combination::AnyOf).unwrap();
+        let e1 = case.add_evidence("E1", "a", 0.9).unwrap();
+        let e2 = case.add_evidence("E2", "b", 0.7).unwrap();
+        let a = case.add_assumption("A", "env", 0.95).unwrap();
+        case.support(g, s).unwrap();
+        case.support(s, e1).unwrap();
+        case.support(s, e2).unwrap();
+        case.support(g, a).unwrap();
+        let base = case.propagate().unwrap().confidence(g).unwrap().independent;
+        for l in birnbaum_importance(&case).unwrap() {
+            let probe = |conf: f64| {
+                let mut copy = case.clone();
+                copy.set_leaf_confidence(l.node, conf).unwrap();
+                copy.propagate().unwrap().confidence(g).unwrap().independent
+            };
+            let (hi, lo) = (probe(1.0), probe(0.0));
+            assert_eq!(l.birnbaum.to_bits(), (hi - lo).to_bits(), "{}", l.name);
+            assert_eq!(l.gain_if_certain.to_bits(), (hi - base).to_bits(), "{}", l.name);
+        }
     }
 
     #[test]

@@ -49,6 +49,8 @@ mod dot;
 mod error;
 mod graph;
 pub mod importance;
+pub mod incremental;
+pub mod ir;
 pub mod monte_carlo;
 pub mod plan;
 pub mod propagation;
@@ -57,8 +59,8 @@ pub mod templates;
 pub use error::CaseError;
 pub use graph::{Case, Combination, NodeId, NodeKind, CASE_SCHEMA_VERSION};
 pub use importance::{birnbaum_importance, LeafImportance};
-#[allow(deprecated)]
-pub use monte_carlo::{simulate, simulate_parallel};
+pub use incremental::{EditStats, Incremental, LeafKind};
+pub use ir::{CaseIr, IrKind};
 pub use monte_carlo::{MonteCarlo, MonteCarloReport};
 pub use plan::EvalPlan;
 pub use propagation::{ConfidenceReport, NodeConfidence};

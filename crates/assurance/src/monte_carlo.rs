@@ -113,10 +113,10 @@ fn report_from_hits(plan: &EvalPlan, hits: &[u64], samples: u32) -> MonteCarloRe
 /// Options for a Monte-Carlo run: sample budget, RNG seed, worker
 /// threads, and an optional pre-compiled [`EvalPlan`] override.
 ///
-/// Replaces the positional `simulate(case, samples, rng)` /
-/// `simulate_parallel(case, samples, seed, threads)` signatures: each
-/// knob is named, defaults are explicit (`seed = 0`, `threads = 0` =
-/// autodetect), and the cached-plan fast path is part of the same type.
+/// Each knob is named, defaults are explicit (`seed = 0`, `threads = 0`
+/// = autodetect), and the cached-plan fast path is part of the same
+/// type. (This builder replaced the positional `simulate` /
+/// `simulate_parallel` free functions, which have since been removed.)
 ///
 /// # Examples
 ///
@@ -253,18 +253,6 @@ fn check_samples(samples: u32) -> Result<()> {
     Ok(())
 }
 
-/// Runs `samples` independent structure evaluations with a caller-owned
-/// RNG (sequential reference implementation).
-///
-/// # Errors
-///
-/// Structural errors from [`Case::validate`], or
-/// [`CaseError::InvalidStructure`] for `samples == 0`.
-#[deprecated(since = "0.2.0", note = "use `MonteCarlo::new(samples).run_sequential(case, rng)`")]
-pub fn simulate(case: &Case, samples: u32, rng: &mut dyn RngCore) -> Result<MonteCarloReport> {
-    MonteCarlo::new(samples).run_sequential(case, rng)
-}
-
 /// Derives chunk `c`'s RNG seed from the master seed (SplitMix64-style
 /// finalizer, so nearby chunk indices land in well-separated streams).
 fn chunk_seed(seed: u64, chunk: u64) -> u64 {
@@ -331,27 +319,6 @@ fn run_parallel(plan: &EvalPlan, samples: u32, seed: u64, threads: usize) -> Mon
         }
     }
     report_from_hits(plan, &hits, samples)
-}
-
-/// Runs `samples` structure evaluations across `threads` worker threads,
-/// bit-identically reproducible for a fixed `seed` at **any** thread
-/// count.
-///
-/// # Errors
-///
-/// Structural errors from [`Case::validate`], or
-/// [`CaseError::InvalidStructure`] for `samples == 0`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `MonteCarlo::new(samples).seed(seed).threads(threads).run(case)`"
-)]
-pub fn simulate_parallel(
-    case: &Case,
-    samples: u32,
-    seed: u64,
-    threads: usize,
-) -> Result<MonteCarloReport> {
-    MonteCarlo::new(samples).seed(seed).threads(threads).run(case)
 }
 
 #[cfg(test)]
@@ -566,23 +533,5 @@ mod tests {
         let a = MonteCarlo::new(5_000).run_sequential(&case, &mut rng(21)).unwrap();
         let b = MonteCarlo::new(5_000).run_sequential_plan(&plan, &mut rng(21)).unwrap();
         assert_eq!(a.estimate(g).unwrap().to_bits(), b.estimate(g).unwrap().to_bits());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_builder() {
-        let mut case = Case::new("t");
-        let g = case.add_goal("G", "top").unwrap();
-        let e = case.add_evidence("E", "a", 0.42).unwrap();
-        case.support(g, e).unwrap();
-        let shim = simulate(&case, 5_000, &mut rng(7)).unwrap();
-        let builder = MonteCarlo::new(5_000).run_sequential(&case, &mut rng(7)).unwrap();
-        assert_eq!(shim.estimate(g), builder.estimate(g));
-        let shim_par = simulate_parallel(&case, 9_000, 3, 2).unwrap();
-        let builder_par = MonteCarlo::new(9_000).seed(3).threads(2).run(&case).unwrap();
-        assert_eq!(
-            shim_par.estimate(g).unwrap().to_bits(),
-            builder_par.estimate(g).unwrap().to_bits()
-        );
     }
 }

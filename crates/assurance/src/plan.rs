@@ -12,9 +12,11 @@
 //! shares one compiled plan across worker threads.
 
 use crate::error::Result;
-use crate::graph::{Case, Combination, NodeId, NodeKind};
+use crate::graph::{Case, Combination, NodeId};
+use crate::ir::{CaseIr, IrKind};
 use rand::Rng;
 use rand::RngCore;
+use std::sync::Arc;
 
 /// One compiled non-leaf evaluation step.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,11 +58,23 @@ enum Step {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvalPlan {
+    /// The structural part — steps, leaf slots, targets — shared via
+    /// `Arc`: a point confidence edit clones the plan cheaply and
+    /// patches one float without re-deriving any structure.
+    shape: Arc<PlanShape>,
+    /// Confidence per Bernoulli leaf, parallel to `shape.leaf_slots`.
+    leaf_confs: Vec<f64>,
+}
+
+/// The structure-only part of a plan: everything except the leaf
+/// confidences, which are the only thing a point edit changes.
+#[derive(Debug, PartialEq)]
+struct PlanShape {
     /// Non-leaf steps in topological order: every step's inputs are
     /// either leaf slots or slots written by an earlier step.
     steps: Vec<Step>,
-    /// `(slot, confidence)` per Bernoulli leaf, in slot order.
-    leaves: Vec<(u32, f64)>,
+    /// Slot per Bernoulli leaf, in ascending slot order.
+    leaf_slots: Vec<u32>,
     /// Reported goal/strategy nodes as `(id, slot)`, in slot order.
     targets: Vec<(NodeId, u32)>,
     /// Total slot count (= node count of the compiled case).
@@ -72,100 +86,96 @@ impl EvalPlan {
     ///
     /// # Errors
     ///
-    /// Structural errors from [`Case::validate`].
+    /// Structural errors from [`Case::validate`], or
+    /// [`crate::CaseError::InvalidStructure`] when a hand-edited save
+    /// file smuggled in a support cycle.
     pub fn compile(case: &Case) -> Result<Self> {
         case.validate()?;
-        let n = case.len();
-        let mut leaves = Vec::new();
-        let mut targets = Vec::new();
-        for (id, node) in case.iter() {
-            let idx = case.index(id)?;
-            match node.kind {
-                NodeKind::Evidence { confidence } | NodeKind::Assumption { confidence } => {
-                    leaves.push((idx as u32, confidence));
-                }
-                NodeKind::Goal | NodeKind::Strategy(_) => targets.push((id, idx as u32)),
-                NodeKind::Context => {}
-            }
-        }
+        let ir = CaseIr::build(case)?;
+        Ok(Self::from_ir(&ir))
+    }
 
-        // Topological order, children before parents. The graph is
-        // acyclic by construction (`Case::support` rejects cycles), so an
-        // iterative post-order DFS with a visited set terminates.
-        let mut order: Vec<usize> = Vec::with_capacity(n);
-        let mut visited = vec![false; n];
-        for root in 0..n {
-            if visited[root] {
-                continue;
-            }
-            // (node, next child position) stack.
-            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
-            visited[root] = true;
-            while let Some(&(node, pos)) = stack.last() {
-                let children = case.children_of(node);
-                if pos < children.len() {
-                    stack.last_mut().expect("nonempty").1 += 1;
-                    let c = children[pos];
-                    if !visited[c] {
-                        visited[c] = true;
-                        stack.push((c, 0));
-                    }
-                } else {
-                    order.push(node);
-                    stack.pop();
+    /// Lowers an already-built IR into a plan. The IR's topological
+    /// order *is* the step order, and leaves appear in ascending slot
+    /// order — both identical to what the pre-IR compiler produced, so
+    /// every sampled bit is unchanged.
+    pub(crate) fn from_ir(ir: &CaseIr) -> Self {
+        let n = ir.len();
+        let mut leaf_slots = Vec::new();
+        let mut leaf_confs = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..n {
+            match ir.kind(i) {
+                IrKind::Evidence(confidence) | IrKind::Assumption(confidence) => {
+                    leaf_slots.push(i as u32);
+                    leaf_confs.push(confidence);
                 }
+                IrKind::Goal | IrKind::Strategy(_) => {
+                    targets.push((NodeId::from_index(i), i as u32));
+                }
+                IrKind::Context => {}
             }
         }
 
         let mut steps = Vec::new();
-        for idx in order {
-            match case.node_at(idx).kind {
-                NodeKind::Evidence { .. } | NodeKind::Assumption { .. } => {}
-                NodeKind::Context => steps.push(Step::Constant { slot: idx as u32 }),
-                NodeKind::Goal | NodeKind::Strategy(_) => {
-                    let rule = match case.node_at(idx).kind {
-                        NodeKind::Strategy(c) => c,
+        for &t in ir.topo() {
+            let i = t as usize;
+            match ir.kind(i) {
+                IrKind::Evidence(_) | IrKind::Assumption(_) => {}
+                IrKind::Context => steps.push(Step::Constant { slot: i as u32 }),
+                IrKind::Goal | IrKind::Strategy(_) => {
+                    let rule = match ir.kind(i) {
+                        IrKind::Strategy(c) => c,
                         _ => Combination::AllOf,
                     };
                     let mut support = Vec::new();
                     let mut assumptions = Vec::new();
-                    for &c in case.children_of(idx) {
-                        if matches!(case.node_at(c).kind, NodeKind::Assumption { .. }) {
-                            assumptions.push(c as u32);
+                    for &c in ir.children(i) {
+                        if matches!(ir.kind(c as usize), IrKind::Assumption(_)) {
+                            assumptions.push(c);
                         } else {
-                            support.push(c as u32);
+                            support.push(c);
                         }
                     }
-                    steps.push(Step::Combine { slot: idx as u32, rule, support, assumptions });
+                    steps.push(Step::Combine { slot: i as u32, rule, support, assumptions });
                 }
             }
         }
 
-        Ok(Self { steps, leaves, targets, slots: n })
+        Self { shape: Arc::new(PlanShape { steps, leaf_slots, targets, slots: n }), leaf_confs }
+    }
+
+    /// Patches the confidence of the leaf living in `slot`, if any —
+    /// the incremental engine's O(log leaves) plan update. Structure is
+    /// untouched (and stays shared).
+    pub(crate) fn set_leaf_confidence(&mut self, slot: u32, confidence: f64) {
+        if let Ok(pos) = self.shape.leaf_slots.binary_search(&slot) {
+            self.leaf_confs[pos] = confidence;
+        }
     }
 
     /// Number of slots a buffer for this plan needs (= node count).
     #[must_use]
     pub fn slot_count(&self) -> usize {
-        self.slots
+        self.shape.slots
     }
 
     /// Number of Bernoulli leaves (evidence + assumptions).
     #[must_use]
     pub fn leaf_count(&self) -> usize {
-        self.leaves.len()
+        self.shape.leaf_slots.len()
     }
 
     /// The reported goal/strategy nodes as `(id, slot)` pairs.
     #[must_use]
     pub fn targets(&self) -> &[(NodeId, u32)] {
-        &self.targets
+        &self.shape.targets
     }
 
     /// Allocates a correctly sized evaluation buffer.
     #[must_use]
     pub fn new_buffer(&self) -> Vec<bool> {
-        vec![false; self.slots]
+        vec![false; self.shape.slots]
     }
 
     /// Draws one leaf outcome per Bernoulli leaf into `buf`.
@@ -174,7 +184,7 @@ impl EvalPlan {
     /// the fixed draw count is what makes chunked parallel streams
     /// reproducible.
     pub fn sample_leaves(&self, rng: &mut dyn RngCore, buf: &mut [bool]) {
-        for &(slot, conf) in &self.leaves {
+        for (&slot, &conf) in self.shape.leaf_slots.iter().zip(&self.leaf_confs) {
             buf[slot as usize] = rng.gen::<f64>() < conf;
         }
     }
@@ -186,7 +196,7 @@ impl EvalPlan {
     ///
     /// Panics when `buf` is shorter than [`EvalPlan::slot_count`].
     pub fn eval_structure(&self, buf: &mut [bool]) {
-        for step in &self.steps {
+        for step in &self.shape.steps {
             match step {
                 Step::Constant { slot } => buf[*slot as usize] = true,
                 Step::Combine { slot, rule, support, assumptions } => {
@@ -332,6 +342,33 @@ mod tests {
                 .collect::<Vec<bool>>()
         };
         assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn leaf_patch_matches_recompile() {
+        let (mut case, g, _) = two_leg_case();
+        let mut patched = EvalPlan::compile(&case).unwrap();
+        let e2 = case.node_by_name("E2").unwrap();
+        let slot = case.index(e2).unwrap() as u32;
+        patched.set_leaf_confidence(slot, 0.25);
+        case.set_leaf_confidence(e2, 0.25).unwrap();
+        let recompiled = EvalPlan::compile(&case).unwrap();
+        // Same structure, same confidences ⇒ identical sampled bits.
+        let g_slot = recompiled.targets().iter().find(|&&(id, _)| id == g).unwrap().1;
+        let run = |plan: &EvalPlan| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut buf = plan.new_buffer();
+            (0..512)
+                .map(|_| {
+                    plan.evaluate(&mut rng, &mut buf);
+                    buf[g_slot as usize]
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(&patched), run(&recompiled));
+        // Patching a non-leaf slot is a no-op, not a panic.
+        patched.set_leaf_confidence(case.index(g).unwrap() as u32, 0.5);
+        assert_eq!(run(&patched), run(&recompiled));
     }
 
     #[test]

@@ -19,9 +19,9 @@
 //!   support result.
 
 use crate::error::Result;
-use crate::graph::{Case, Combination, NodeId, NodeKind};
+use crate::graph::{Case, Combination, NodeId};
+use crate::ir::{CaseIr, IrKind};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Confidence attributed to one node: a point estimate under independence
 /// and the dependence interval around it.
@@ -36,11 +36,11 @@ pub struct NodeConfidence {
 }
 
 impl NodeConfidence {
-    fn certain() -> Self {
+    pub(crate) fn certain() -> Self {
         Self { independent: 1.0, worst_case: 1.0, best_case: 1.0 }
     }
 
-    fn from_point(confidence: f64) -> Self {
+    pub(crate) fn from_point(confidence: f64) -> Self {
         Self { independent: confidence, worst_case: confidence, best_case: confidence }
     }
 
@@ -59,24 +59,48 @@ impl NodeConfidence {
 }
 
 /// The result of propagating a case: per-node confidence.
+///
+/// Stored densely by arena index (`None` for context nodes, which do
+/// not participate), so cloning a report is a flat memcpy — the service
+/// cache snapshots reports freely.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ConfidenceReport {
-    by_node: HashMap<NodeId, NodeConfidence>,
+    values: Vec<Option<NodeConfidence>>,
     roots: Vec<NodeId>,
 }
 
 impl ConfidenceReport {
+    pub(crate) fn from_parts(values: Vec<Option<NodeConfidence>>, roots: Vec<NodeId>) -> Self {
+        Self { values, roots }
+    }
+
     /// The confidence attributed to a node, if it participates in the
     /// argument (context nodes do not).
     #[must_use]
     pub fn confidence(&self, id: NodeId) -> Option<NodeConfidence> {
-        self.by_node.get(&id).copied()
+        *self.values.get(id.to_index())?
+    }
+
+    /// Number of arena slots the report covers (= node count of the
+    /// propagated case).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the report covers no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
     }
 
     /// The root goals of the case, paired with their confidence.
     #[must_use]
     pub fn root_confidences(&self) -> Vec<(NodeId, NodeConfidence)> {
-        self.roots.iter().map(|&r| (r, self.by_node[&r])).collect()
+        self.roots
+            .iter()
+            .map(|&r| (r, self.values[r.to_index()].expect("roots participate")))
+            .collect()
     }
 
     /// The single top-level confidence when the case has exactly one
@@ -111,98 +135,111 @@ fn combine_doubts(rule: Combination, doubts: &[f64]) -> (f64, f64, f64) {
     }
 }
 
-/// Propagates confidence through a validated case.
-///
-/// # Errors
-///
-/// Structural errors from [`Case::validate`].
-pub fn propagate(case: &Case) -> Result<ConfidenceReport> {
-    case.validate()?;
-    let mut memo: HashMap<usize, NodeConfidence> = HashMap::new();
-    let roots = case.roots();
-    let mut by_node = HashMap::new();
-    for (id, node) in case.iter() {
-        if matches!(node.kind, NodeKind::Context) {
-            continue;
+/// Combines a node's partitioned child confidences: support under
+/// `rule`, assumptions conjoined on top. This is the single evaluation
+/// kernel — full propagation, incremental recomputation and importance
+/// analysis all produce their floats here, which is what makes their
+/// answers bit-identical.
+pub(crate) fn combine_node(
+    rule: Combination,
+    support_doubts: &[NodeConfidence],
+    assumption_doubts: &[NodeConfidence],
+) -> NodeConfidence {
+    let (mut ind, mut worst, mut best) = if support_doubts.is_empty() {
+        // Only assumptions below (validate() prevents fully
+        // undeveloped nodes reaching here via roots, but a
+        // strategy may legitimately rest on assumptions alone).
+        (0.0, 0.0, 0.0)
+    } else {
+        let ind_doubts: Vec<f64> = support_doubts.iter().map(|c| 1.0 - c.independent).collect();
+        let worst_doubts: Vec<f64> = support_doubts.iter().map(|c| 1.0 - c.worst_case).collect();
+        let best_doubts: Vec<f64> = support_doubts.iter().map(|c| 1.0 - c.best_case).collect();
+        let (i, _, _) = combine_doubts(rule, &ind_doubts);
+        let (_, w, _) = combine_doubts(rule, &worst_doubts);
+        let (_, _, b) = combine_doubts(rule, &best_doubts);
+        (i, w, b)
+    };
+    // Conjoin assumptions.
+    if !assumption_doubts.is_empty() {
+        let mut ind_d: Vec<f64> = vec![ind];
+        let mut worst_d: Vec<f64> = vec![worst];
+        let mut best_d: Vec<f64> = vec![best];
+        for a in assumption_doubts {
+            ind_d.push(1.0 - a.independent);
+            worst_d.push(1.0 - a.worst_case);
+            best_d.push(1.0 - a.best_case);
         }
-        let idx = case.index(id)?;
-        let c = eval(case, idx, &mut memo);
-        by_node.insert(id, c);
+        let (i, _, _) = combine_doubts(Combination::AllOf, &ind_d);
+        let (_, w, _) = combine_doubts(Combination::AllOf, &worst_d);
+        let (_, _, b) = combine_doubts(Combination::AllOf, &best_d);
+        ind = i;
+        worst = w;
+        best = b;
     }
-    Ok(ConfidenceReport { by_node, roots })
+    NodeConfidence { independent: 1.0 - ind, worst_case: 1.0 - worst, best_case: 1.0 - best }
 }
 
-fn eval(case: &Case, idx: usize, memo: &mut HashMap<usize, NodeConfidence>) -> NodeConfidence {
-    if let Some(&c) = memo.get(&idx) {
-        return c;
-    }
-    let node = case.node_at(idx);
-    let result = match &node.kind {
-        NodeKind::Evidence { confidence } | NodeKind::Assumption { confidence } => {
-            NodeConfidence::from_point(*confidence)
-        }
-        NodeKind::Context => NodeConfidence::certain(),
-        NodeKind::Goal | NodeKind::Strategy(_) => {
-            let rule = match node.kind {
-                NodeKind::Strategy(c) => c,
+/// Evaluates one IR node from its children's already-computed values.
+///
+/// # Panics
+///
+/// Panics when a child of `i` has no value in `values` — callers must
+/// evaluate in topological order.
+pub(crate) fn eval_ir_node(
+    ir: &CaseIr,
+    i: usize,
+    values: &[Option<NodeConfidence>],
+) -> NodeConfidence {
+    match ir.kind(i) {
+        IrKind::Evidence(c) | IrKind::Assumption(c) => NodeConfidence::from_point(c),
+        IrKind::Context => NodeConfidence::certain(),
+        IrKind::Goal | IrKind::Strategy(_) => {
+            let rule = match ir.kind(i) {
+                IrKind::Strategy(c) => c,
                 _ => Combination::AllOf,
             };
             // Partition supporters: assumptions always conjoin; the rest
             // combine under the node's rule.
             let mut support_doubts = Vec::new();
             let mut assumption_doubts = Vec::new();
-            for &c in case.children_of(idx) {
-                let child = case.node_at(c);
-                let conf = eval(case, c, memo);
-                if matches!(child.kind, NodeKind::Assumption { .. }) {
+            for &c in ir.children(i) {
+                let conf = values[c as usize].expect("children evaluated before parents");
+                if matches!(ir.kind(c as usize), IrKind::Assumption(_)) {
                     assumption_doubts.push(conf);
                 } else {
                     support_doubts.push(conf);
                 }
             }
-            let (mut ind, mut worst, mut best) = if support_doubts.is_empty() {
-                // Only assumptions below (validate() prevents fully
-                // undeveloped nodes reaching here via roots, but a
-                // strategy may legitimately rest on assumptions alone).
-                (0.0, 0.0, 0.0)
-            } else {
-                let ind_doubts: Vec<f64> =
-                    support_doubts.iter().map(|c| 1.0 - c.independent).collect();
-                let worst_doubts: Vec<f64> =
-                    support_doubts.iter().map(|c| 1.0 - c.worst_case).collect();
-                let best_doubts: Vec<f64> =
-                    support_doubts.iter().map(|c| 1.0 - c.best_case).collect();
-                let (i, _, _) = combine_doubts(rule, &ind_doubts);
-                let (_, w, _) = combine_doubts(rule, &worst_doubts);
-                let (_, _, b) = combine_doubts(rule, &best_doubts);
-                (i, w, b)
-            };
-            // Conjoin assumptions.
-            if !assumption_doubts.is_empty() {
-                let mut ind_d: Vec<f64> = vec![ind];
-                let mut worst_d: Vec<f64> = vec![worst];
-                let mut best_d: Vec<f64> = vec![best];
-                for a in &assumption_doubts {
-                    ind_d.push(1.0 - a.independent);
-                    worst_d.push(1.0 - a.worst_case);
-                    best_d.push(1.0 - a.best_case);
-                }
-                let (i, _, _) = combine_doubts(Combination::AllOf, &ind_d);
-                let (_, w, _) = combine_doubts(Combination::AllOf, &worst_d);
-                let (_, _, b) = combine_doubts(Combination::AllOf, &best_d);
-                ind = i;
-                worst = w;
-                best = b;
-            }
-            NodeConfidence {
-                independent: 1.0 - ind,
-                worst_case: 1.0 - worst,
-                best_case: 1.0 - best,
-            }
+            combine_node(rule, &support_doubts, &assumption_doubts)
         }
-    };
-    memo.insert(idx, result);
-    result
+    }
+}
+
+/// Propagates confidence through a validated case.
+///
+/// # Errors
+///
+/// Structural errors from [`Case::validate`], or
+/// [`crate::CaseError::InvalidStructure`] when a hand-edited save file
+/// smuggled in a support cycle.
+pub fn propagate(case: &Case) -> Result<ConfidenceReport> {
+    case.validate()?;
+    let ir = CaseIr::build(case)?;
+    Ok(propagate_ir(&ir))
+}
+
+/// One linear pass over the IR's topological order.
+pub(crate) fn propagate_ir(ir: &CaseIr) -> ConfidenceReport {
+    let mut values: Vec<Option<NodeConfidence>> = vec![None; ir.len()];
+    for &t in ir.topo() {
+        let i = t as usize;
+        if matches!(ir.kind(i), IrKind::Context) {
+            continue;
+        }
+        values[i] = Some(eval_ir_node(ir, i, &values));
+    }
+    let roots = ir.roots().iter().map(|&r| NodeId::from_index(r as usize)).collect();
+    ConfidenceReport::from_parts(values, roots)
 }
 
 #[cfg(test)]

@@ -41,6 +41,18 @@ fn main() {
             rung.samples, rung.samples_per_sec_single, rung.samples_per_sec_parallel, rung.speedup
         );
     }
+    let inc = &report.incremental;
+    eprintln!(
+        "  incremental: {} edits on {} nodes: {:.4}s full vs {:.4}s incremental ({:.1}x), \
+         {} recomputed / {} reused",
+        inc.edits,
+        inc.nodes,
+        inc.secs_full,
+        inc.secs_incremental,
+        inc.speedup,
+        inc.nodes_recomputed,
+        inc.nodes_reused
+    );
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json).unwrap_or_else(|e| {

@@ -16,7 +16,7 @@
 //! [`par_map`], which preserves input order, so sweep output is
 //! independent of the thread count.
 
-use depcase_assurance::{Case, Combination, EvalPlan, MonteCarlo, NodeId};
+use depcase_assurance::{Case, Combination, EvalPlan, Incremental, MonteCarlo, NodeId};
 use depcase_core::WorstCaseBound;
 use depcase_distributions::LogNormal;
 use depcase_sil::{DemandMode, SilAssessment, SilLevel};
@@ -278,6 +278,132 @@ pub fn mc_ladder(sizes: &[u32], seed: u64, threads: usize) -> (Vec<McRung>, Stag
     (rungs, timing)
 }
 
+/// Result of the incremental-edit scenario: the same point-edit
+/// sequence answered by a full recompile-and-repropagate per edit
+/// versus the [`Incremental`] session's dirty-spine recomputation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct IncrementalStats {
+    /// Nodes in the synthetic case.
+    pub nodes: usize,
+    /// Point edits applied (each path sees the identical sequence).
+    pub edits: usize,
+    /// Wall-clock seconds for the full path (`content_hash` +
+    /// `EvalPlan::compile` + `propagate` after every edit — what a
+    /// cacheless service would pay).
+    pub secs_full: f64,
+    /// Wall-clock seconds for the incremental path
+    /// (`Incremental::set_confidence` per edit).
+    pub secs_incremental: f64,
+    /// `secs_full / secs_incremental`.
+    pub speedup: f64,
+    /// Nodes run through the combination kernel across all edits.
+    pub nodes_recomputed: u64,
+    /// Nodes answered from the subtree-hash memo across all edits.
+    pub nodes_reused: u64,
+}
+
+/// The ~1k-node case the incremental scenario edits: one goal over 33
+/// strategies of 30 evidence leaves each (1 + 33 + 990 = 1024 nodes),
+/// so a point edit's ancestor spine is 3 nodes out of 1024.
+///
+/// # Panics
+///
+/// Panics on construction failure (impossible: names are unique and the
+/// structure is a tree).
+#[must_use]
+pub fn incremental_case() -> (Case, NodeId, Vec<NodeId>) {
+    let mut case = Case::new("incremental reference");
+    let g = case.add_goal("G", "claim holds at depth").expect("fresh name");
+    let mut leaves = Vec::new();
+    for si in 0..33 {
+        let s = case
+            .add_strategy(format!("S{si}"), "evidence conjunction", Combination::AllOf)
+            .expect("fresh name");
+        case.support(g, s).expect("valid edge");
+        for ei in 0..30 {
+            let conf = 0.80 + 0.006 * f64::from(ei);
+            let e = case
+                .add_evidence(format!("E{si}-{ei}"), "supporting evidence", conf)
+                .expect("fresh name");
+            case.support(s, e).expect("valid edge");
+            leaves.push(e);
+        }
+    }
+    (case, g, leaves)
+}
+
+/// Applies `edits` deterministic point edits to the 1k-node reference
+/// case twice — once recompiling and repropagating from scratch after
+/// every edit, once through an [`Incremental`] session — and times both
+/// paths. The root-confidence sequences are asserted bit-identical.
+///
+/// # Panics
+///
+/// Panics if the two paths ever disagree on a root confidence, or on
+/// (impossible) evaluation failure of the valid reference case.
+#[must_use]
+pub fn incremental_scenario(edits: usize) -> (IncrementalStats, StageTiming) {
+    let t0 = Instant::now();
+    let (case, goal, leaves) = incremental_case();
+    let nodes = case.len();
+    // Deterministic edit sequence: a stride coprime to the leaf count
+    // walks every region of the case; confidences cycle through [0.5,
+    // 0.9) in irrational-looking steps so consecutive values differ.
+    let edit_at = |i: usize| -> (usize, f64) {
+        let leaf = (i * 7919) % leaves.len();
+        let conf = 0.5 + 0.4 * (((i * 29) % 97) as f64 / 97.0);
+        (leaf, conf)
+    };
+
+    // Full path: what a service without the memoised session pays per
+    // edit — rehash, recompile, repropagate the whole case.
+    let mut full_case = case.clone();
+    let mut full_roots = Vec::with_capacity(edits);
+    let t_full = Instant::now();
+    for i in 0..edits {
+        let (leaf, conf) = edit_at(i);
+        full_case.set_leaf_confidence(leaves[leaf], conf).expect("leaf edit is valid");
+        let _hash = full_case.content_hash();
+        let _plan = EvalPlan::compile(&full_case).expect("valid case");
+        let report = full_case.propagate().expect("valid case");
+        full_roots.push(report.confidence(goal).expect("goal participates").independent);
+    }
+    let secs_full = t_full.elapsed().as_secs_f64();
+
+    // Incremental path: the session is built once (the service caches
+    // it per content hash); each edit recomputes only the dirty spine.
+    let mut session = Incremental::new(case).expect("valid case");
+    let before = session.totals();
+    let mut inc_roots = Vec::with_capacity(edits);
+    let t_inc = Instant::now();
+    for i in 0..edits {
+        let (leaf, conf) = edit_at(i);
+        session.set_confidence(leaves[leaf], conf).expect("leaf edit is valid");
+        inc_roots.push(session.confidence(goal).expect("goal participates").independent);
+    }
+    let secs_incremental = t_inc.elapsed().as_secs_f64();
+
+    for (i, (f, inc)) in full_roots.iter().zip(&inc_roots).enumerate() {
+        assert_eq!(f.to_bits(), inc.to_bits(), "incremental path diverged at edit {i}");
+    }
+    let totals = session.totals();
+    let stats = IncrementalStats {
+        nodes,
+        edits,
+        secs_full,
+        secs_incremental,
+        speedup: secs_full / secs_incremental.max(1e-12),
+        nodes_recomputed: totals.nodes_recomputed - before.nodes_recomputed,
+        nodes_reused: totals.nodes_reused - before.nodes_reused,
+    };
+    let timing = StageTiming {
+        stage: "incremental_edits".into(),
+        points: edits,
+        seconds: t0.elapsed().as_secs_f64(),
+    };
+    (stats, timing)
+}
+
 /// The full `BENCH_mc.json` artefact: stage timings plus the ladder.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct BenchMcReport {
@@ -294,6 +420,8 @@ pub struct BenchMcReport {
     pub sigma: Vec<SigmaPoint>,
     /// Monte-Carlo ladder output.
     pub mc: Vec<McRung>,
+    /// Incremental point-edit scenario output.
+    pub incremental: IncrementalStats,
 }
 
 /// Default grids for [`run_bench`]: 256-point σ-sweep, 128×128
@@ -325,6 +453,8 @@ pub fn run_bench(mc_sizes: &[u32], seed: u64, threads: usize) -> BenchMcReport {
     stages.push(t_grid);
     let (mc, t_mc) = mc_ladder(mc_sizes, seed, threads);
     stages.push(t_mc);
+    let (incremental, t_inc) = incremental_scenario(100);
+    stages.push(t_inc);
     BenchMcReport {
         threads,
         host_parallelism: resolve_threads(0),
@@ -332,6 +462,7 @@ pub fn run_bench(mc_sizes: &[u32], seed: u64, threads: usize) -> BenchMcReport {
         stages,
         sigma,
         mc,
+        incremental,
     }
 }
 
@@ -394,11 +525,30 @@ mod tests {
     }
 
     #[test]
+    fn incremental_scenario_touches_only_the_spine() {
+        // The assertion inside the scenario already pins bit-identity
+        // of the two paths; here we pin the work accounting. Every
+        // point edit in the reference topology dirties exactly 3 nodes
+        // (leaf, strategy, goal), each either recomputed or reused —
+        // O(depth), not O(n). No wall-clock assertions: timing claims
+        // live in BENCH_mc.json, not in tests.
+        let (stats, timing) = incremental_scenario(20);
+        assert_eq!(stats.nodes, 1024);
+        assert_eq!(stats.edits, 20);
+        assert_eq!(timing.points, 20);
+        assert_eq!(stats.nodes_recomputed + stats.nodes_reused, 3 * 20);
+        assert!(stats.secs_full > 0.0);
+        assert!(stats.secs_incremental > 0.0);
+    }
+
+    #[test]
     fn report_serializes() {
         let report = run_bench(&[5_000], 1, 2);
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("\"chunk_samples\""));
         assert!(json.contains("sigma_sweep"));
         assert!(json.contains("mc_ladder"));
+        assert!(json.contains("incremental_edits"));
+        assert!(json.contains("\"nodes_recomputed\""));
     }
 }

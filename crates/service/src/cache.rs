@@ -9,8 +9,15 @@
 //! a hash of exactly the evaluation-relevant state — so a reloaded but
 //! unchanged case still hits, while any edit to structure or confidence
 //! misses and recompiles.
+//!
+//! Entries are plan-*plus-memo*: alongside the flat plan and report,
+//! each entry carries the live [`Incremental`] session whose
+//! subtree-hash memo makes the `edit` op O(depth). An edit clones the
+//! session, applies the mutation, and inserts the result under the new
+//! content hash — the pre-edit entry stays cached, so an undo (editing
+//! back) is a pure cache hit.
 
-use depcase::assurance::{ConfidenceReport, EvalPlan};
+use depcase::assurance::{ConfidenceReport, EvalPlan, Incremental};
 use std::sync::Arc;
 
 /// Everything derivable from a case that requests reuse.
@@ -20,6 +27,10 @@ pub struct CompiledCase {
     pub plan: EvalPlan,
     /// The analytic propagation report, shared by `eval` and `bands`.
     pub report: ConfidenceReport,
+    /// The incremental session (IR + subtree-hash memo) `edit` clones
+    /// and mutates; its plan/report agree bit-for-bit with the fields
+    /// above.
+    pub session: Incremental,
 }
 
 /// Counter snapshot for observability.
@@ -122,9 +133,10 @@ mod tests {
         let g = case.add_goal("G", "claim").unwrap();
         let e = case.add_evidence("E", "evidence", confidence).unwrap();
         case.support(g, e).unwrap();
-        let plan = EvalPlan::compile(&case).unwrap();
-        let report = case.propagate().unwrap();
-        Arc::new(CompiledCase { plan, report })
+        let session = Incremental::new(case).unwrap();
+        let plan = session.plan().clone();
+        let report = session.report();
+        Arc::new(CompiledCase { plan, report, session })
     }
 
     #[test]

@@ -15,9 +15,9 @@
 
 use crate::cache::{CacheCounters, CompiledCase, PlanCache};
 use crate::lock_unpoisoned;
-use crate::protocol::{format_hash, ErrorCode, Request, WireError};
+use crate::protocol::{format_hash, EditAction, ErrorCode, Request, WireError};
 use crate::stats::{RobustnessCounters, RobustnessEvent, ServiceStats};
-use depcase::assurance::{importance, Case, EvalPlan, MonteCarlo, NodeKind};
+use depcase::assurance::{importance, Case, Incremental, MonteCarlo, NodeId, NodeKind};
 use depcase::distributions::TwoPoint;
 use depcase::sil::{SilAssessment, SilLevel};
 use serde::{Deserialize, Value};
@@ -122,6 +122,7 @@ impl Engine {
         match request {
             Request::Load { name, case } => self.load(name, case),
             Request::Eval { name } => self.eval(name, deadline),
+            Request::Edit { name, action } => self.edit(name, action, deadline),
             Request::Rank { name } => self.rank(name, deadline),
             Request::Mc { name, samples, seed, threads } => {
                 self.mc(name, *samples, *seed, *threads, deadline)
@@ -214,6 +215,80 @@ impl Engine {
             fields.push(("root_confidence".to_string(), Value::F64(top.independent)));
         }
         fields.push(("nodes".to_string(), Value::Array(nodes)));
+        Ok(Value::Object(fields))
+    }
+
+    /// Applies one mutation to a loaded case through the cached
+    /// incremental session: only the edited node's ancestor spine runs
+    /// the combination kernel, everything else is answered from the
+    /// subtree-hash memo. The edited case replaces the registry entry
+    /// under a bumped version, and the new plan-plus-memo artefacts join
+    /// the cache under the new content hash — the pre-edit entry stays
+    /// cached, so editing back to a previous state is a pure cache hit.
+    fn edit(
+        &self,
+        name: &str,
+        action: &EditAction,
+        deadline: Option<Instant>,
+    ) -> Result<Value, WireError> {
+        let entry = self.lookup(name)?;
+        let compiled = self.compiled(&entry)?;
+        check_deadline(deadline)?;
+        let mut session = compiled.session.clone();
+        let delta = match action {
+            EditAction::SetConfidence { node, confidence } => {
+                let id = resolve(session.case(), node)?;
+                session
+                    .set_confidence(id, *confidence)
+                    .map_err(|e| WireError::from(depcase::Error::from(e)))?
+            }
+            EditAction::AddLeaf { parent, node, statement, kind, confidence } => {
+                let p = resolve(session.case(), parent)?;
+                session
+                    .add_leaf(
+                        p,
+                        node.clone(),
+                        statement.clone().unwrap_or_default(),
+                        kind.to_lib(),
+                        *confidence,
+                    )
+                    .map_err(|e| WireError::from(depcase::Error::from(e)))?
+                    .1
+            }
+            EditAction::Retarget { parent, from, to } => {
+                let p = resolve(session.case(), parent)?;
+                let f = resolve(session.case(), from)?;
+                let t = resolve(session.case(), to)?;
+                session.retarget(p, f, t).map_err(|e| WireError::from(depcase::Error::from(e)))?
+            }
+        };
+        let hash = session.case_hash();
+        let nodes = session.case().len();
+        let case = Arc::new(session.case().clone());
+        let compiled = Arc::new(CompiledCase {
+            plan: session.plan().clone(),
+            report: session.report(),
+            session,
+        });
+        lock_unpoisoned(&self.cache).insert(hash, Arc::clone(&compiled));
+        let version = {
+            let mut registry = lock_unpoisoned(&self.registry);
+            let version = registry.cases.get(name).map_or(1, |e| e.version + 1);
+            registry.cases.insert(name.to_string(), CaseEntry { case, version, hash });
+            version
+        };
+        lock_unpoisoned(&self.stats).note_edit(delta.nodes_recomputed, delta.nodes_reused);
+        let mut fields = vec![
+            ("name".to_string(), Value::Str(name.to_string())),
+            ("version".to_string(), Value::U64(version)),
+            ("hash".to_string(), Value::Str(format_hash(hash))),
+            ("nodes".to_string(), Value::U64(nodes as u64)),
+        ];
+        if let Some(top) = compiled.report.top() {
+            fields.push(("root_confidence".to_string(), Value::F64(top.independent)));
+        }
+        fields.push(("nodes_recomputed".to_string(), Value::U64(delta.nodes_recomputed)));
+        fields.push(("nodes_reused".to_string(), Value::U64(delta.nodes_reused)));
         Ok(Value::Object(fields))
     }
 
@@ -336,9 +411,20 @@ impl Engine {
 }
 
 fn compile(case: &Case) -> Result<CompiledCase, WireError> {
-    let plan = EvalPlan::compile(case).map_err(|e| WireError::from(depcase::Error::from(e)))?;
-    let report = case.propagate().map_err(|e| WireError::from(depcase::Error::from(e)))?;
-    Ok(CompiledCase { plan, report })
+    // One incremental session yields all three artefacts; its plan and
+    // report are bit-identical to `EvalPlan::compile` + `propagate`
+    // (both run the same lowering and combination kernel).
+    let session =
+        Incremental::new(case.clone()).map_err(|e| WireError::from(depcase::Error::from(e)))?;
+    Ok(CompiledCase { plan: session.plan().clone(), report: session.report(), session })
+}
+
+/// Resolves a wire node name against a case, answering the library's
+/// `case` error code for unknown names.
+fn resolve(case: &Case, name: &str) -> Result<NodeId, WireError> {
+    case.node_by_name(name).ok_or_else(|| {
+        WireError::new(ErrorCode::Case, format!("no node named `{name}` in the case"))
+    })
 }
 
 fn case_header(entry: &CaseEntry) -> Vec<(String, Value)> {
@@ -437,6 +523,141 @@ mod tests {
             .and_then(Value::as_f64)
             .unwrap();
         assert_eq!(wire_estimate.to_bits(), direct.estimate(g).unwrap().to_bits());
+    }
+
+    #[test]
+    fn edit_set_confidence_matches_a_full_reload() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        let result = engine
+            .handle(&Request::Edit {
+                name: "demo".into(),
+                action: EditAction::SetConfidence { node: "E1".into(), confidence: 0.97 },
+            })
+            .unwrap();
+        assert_eq!(result.get("version").and_then(Value::as_u64), Some(2));
+        assert!(result.get("nodes_recomputed").and_then(Value::as_u64).unwrap() >= 1);
+
+        // Bit-identical to mutating the case directly and propagating.
+        let mut case = Case::from_value(&demo_case_value()).unwrap();
+        let e1 = case.node_by_name("E1").unwrap();
+        case.set_leaf_confidence(e1, 0.97).unwrap();
+        let direct = case.propagate().unwrap().top().unwrap().independent;
+        let root = result.get("root_confidence").and_then(Value::as_f64).unwrap();
+        assert_eq!(root.to_bits(), direct.to_bits());
+
+        // Follow-up ops see the edited case.
+        let eval = engine.handle(&Request::Eval { name: "demo".into() }).unwrap();
+        let again = eval.get("root_confidence").and_then(Value::as_f64).unwrap();
+        assert_eq!(again.to_bits(), direct.to_bits());
+        assert_eq!(eval.get("version").and_then(Value::as_u64), Some(2));
+    }
+
+    #[test]
+    fn edit_back_restores_the_original_content_hash() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        let loaded = engine.handle(&Request::Eval { name: "demo".into() }).unwrap();
+        let original = loaded.get("hash").and_then(Value::as_str).unwrap().to_string();
+        let set = |c: f64| {
+            engine
+                .handle(&Request::Edit {
+                    name: "demo".into(),
+                    action: EditAction::SetConfidence { node: "E1".into(), confidence: c },
+                })
+                .unwrap()
+        };
+        let edited = set(0.97);
+        assert_ne!(edited.get("hash").and_then(Value::as_str).unwrap(), original);
+        let undone = set(0.95);
+        assert_eq!(undone.get("hash").and_then(Value::as_str).unwrap(), original);
+        assert_eq!(undone.get("version").and_then(Value::as_u64), Some(3));
+    }
+
+    #[test]
+    fn edit_add_leaf_and_retarget_reshape_the_case() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        let grown = engine
+            .handle(&Request::Edit {
+                name: "demo".into(),
+                action: EditAction::AddLeaf {
+                    parent: "G".into(),
+                    node: "E3".into(),
+                    statement: Some("field data".into()),
+                    kind: crate::protocol::WireLeafKind::Evidence,
+                    confidence: 0.85,
+                },
+            })
+            .unwrap();
+        assert_eq!(grown.get("nodes").and_then(Value::as_u64), Some(5));
+
+        let retargeted = engine
+            .handle(&Request::Edit {
+                name: "demo".into(),
+                action: EditAction::Retarget {
+                    parent: "S".into(),
+                    from: "E2".into(),
+                    to: "E3".into(),
+                },
+            })
+            .unwrap();
+        assert_eq!(retargeted.get("version").and_then(Value::as_u64), Some(3));
+
+        // The service's answer matches rebuilding the same case by hand.
+        let mut case = Case::from_value(&demo_case_value()).unwrap();
+        let g = case.node_by_name("G").unwrap();
+        let s = case.node_by_name("S").unwrap();
+        let e3 = case.add_evidence("E3", "field data", 0.85).unwrap();
+        case.support(g, e3).unwrap();
+        let e2 = case.node_by_name("E2").unwrap();
+        case.retarget_support(s, e2, e3).unwrap();
+        let direct = case.propagate().unwrap().top().unwrap().independent;
+        let root = retargeted.get("root_confidence").and_then(Value::as_f64).unwrap();
+        assert_eq!(root.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn edits_on_unknown_nodes_fail_without_side_effects() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        let err = engine
+            .handle(&Request::Edit {
+                name: "demo".into(),
+                action: EditAction::SetConfidence { node: "nope".into(), confidence: 0.5 },
+            })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::Case);
+        // Setting a non-leaf's confidence is rejected by the library.
+        let err = engine
+            .handle(&Request::Edit {
+                name: "demo".into(),
+                action: EditAction::SetConfidence { node: "G".into(), confidence: 0.5 },
+            })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::Case);
+        // The registry still holds version 1 of the unedited case.
+        let eval = engine.handle(&Request::Eval { name: "demo".into() }).unwrap();
+        assert_eq!(eval.get("version").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn edit_counters_surface_in_stats() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        engine
+            .handle(&Request::Edit {
+                name: "demo".into(),
+                action: EditAction::SetConfidence { node: "E1".into(), confidence: 0.97 },
+            })
+            .unwrap();
+        let stats = engine.handle(&Request::Stats).unwrap();
+        let edit_ops = stats.get("ops").and_then(|o| o.get("edit")).unwrap();
+        assert_eq!(edit_ops.get("requests").and_then(Value::as_u64), Some(1));
+        let inc = stats.get("incremental").unwrap();
+        assert_eq!(inc.get("edits").and_then(Value::as_u64), Some(1));
+        assert!(inc.get("nodes_recomputed").and_then(Value::as_u64).unwrap() >= 1);
+        assert!(inc.get("nodes_reused").is_some());
     }
 
     #[test]

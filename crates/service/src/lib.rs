@@ -8,10 +8,17 @@
 //!
 //! - **Registry** — cases are loaded under client-chosen names and
 //!   versioned on every reload ([`Engine`]).
-//! - **Plan cache** — compiled [`EvalPlan`](depcase::assurance::EvalPlan)s
-//!   and analytic reports are kept in an LRU keyed by
+//! - **Plan cache** — compiled [`EvalPlan`](depcase::assurance::EvalPlan)s,
+//!   analytic reports, and live
+//!   [`Incremental`](depcase::assurance::Incremental) sessions are kept
+//!   in an LRU keyed by
 //!   [`Case::content_hash`](depcase::assurance::Case::content_hash), so
 //!   an unchanged case never recompiles ([`PlanCache`]).
+//! - **Incremental edits** — the `edit` op mutates a loaded case (set a
+//!   leaf confidence, add a leaf, retarget a support edge) and bumps its
+//!   version, recomputing only the edited node's ancestor spine via the
+//!   cached session's subtree-hash memo; `stats` reports the
+//!   `nodes_recomputed` / `nodes_reused` tally ([`IncrementalCounters`]).
 //! - **Wire protocol** — newline-delimited JSON over a localhost TCP
 //!   listener or stdin/stdout, with stable machine-readable error codes
 //!   ([`protocol`]).
@@ -59,9 +66,11 @@ pub use cache::{CacheCounters, CompiledCase, PlanCache};
 pub use client::{Client, RetryPolicy, RetryingClient};
 pub use engine::Engine;
 pub use faults::{FaultPlan, InjectedCounts};
-pub use protocol::{Envelope, ErrorCode, Request, WireError};
+pub use protocol::{EditAction, Envelope, ErrorCode, Request, WireError, WireLeafKind};
 pub use server::{serve_stdio, serve_stdio_with, Server, ServerConfig};
-pub use stats::{Histogram, RobustnessCounters, RobustnessEvent, ServiceStats};
+pub use stats::{
+    Histogram, IncrementalCounters, RobustnessCounters, RobustnessEvent, ServiceStats,
+};
 
 /// Locks a mutex, recovering the guard from a poisoned lock.
 ///

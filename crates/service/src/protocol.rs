@@ -11,8 +11,10 @@
 //! ← {"id":1,"ok":true,"result":{"name":"reactor","version":1,"hash":"9f2d…","nodes":5}}
 //! → {"id":2,"op":"eval","name":"reactor"}
 //! ← {"id":2,"ok":true,"result":{...per-node confidences...}}
-//! → {"id":3,"op":"nope"}
-//! ← {"id":3,"ok":false,"error":{"code":"unknown_op","message":"unknown op `nope`"}}
+//! → {"id":3,"op":"edit","name":"reactor","action":"set_confidence","node":"E1","confidence":0.97}
+//! ← {"id":3,"ok":true,"result":{"name":"reactor","version":2,...,"nodes_recomputed":3,"nodes_reused":0}}
+//! → {"id":4,"op":"nope"}
+//! ← {"id":4,"ok":false,"error":{"code":"unknown_op","message":"unknown op `nope`"}}
 //! ```
 //!
 //! Failures carry a stable machine-readable `code`; codes originating in
@@ -178,6 +180,72 @@ impl From<depcase::Error> for WireError {
     }
 }
 
+/// Leaf kind named on the wire by `edit`'s `add_leaf` action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireLeafKind {
+    /// `"evidence"` — an evidence leaf (the default).
+    Evidence,
+    /// `"assumption"` — an assumption leaf.
+    Assumption,
+}
+
+impl WireLeafKind {
+    fn parse(s: &str) -> Result<Self, WireError> {
+        match s {
+            "evidence" => Ok(WireLeafKind::Evidence),
+            "assumption" => Ok(WireLeafKind::Assumption),
+            other => Err(WireError::new(
+                ErrorCode::BadRequest,
+                format!("kind must be \"evidence\" or \"assumption\", got \"{other}\""),
+            )),
+        }
+    }
+
+    /// The library's leaf kind for this wire spelling.
+    #[must_use]
+    pub fn to_lib(self) -> depcase::assurance::LeafKind {
+        match self {
+            WireLeafKind::Evidence => depcase::assurance::LeafKind::Evidence,
+            WireLeafKind::Assumption => depcase::assurance::LeafKind::Assumption,
+        }
+    }
+}
+
+/// One mutation applied by the `edit` op, named by its `action` field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EditAction {
+    /// `"set_confidence"` — replace a leaf's elicited confidence.
+    SetConfidence {
+        /// Name of the evidence or assumption leaf.
+        node: String,
+        /// The new confidence in `[0, 1]`.
+        confidence: f64,
+    },
+    /// `"add_leaf"` — grow a new leaf under an existing claim.
+    AddLeaf {
+        /// Name of the goal or strategy gaining the leaf.
+        parent: String,
+        /// Name for the new leaf (must be unused).
+        node: String,
+        /// Statement text; defaults to empty when omitted.
+        statement: Option<String>,
+        /// Evidence (default) or assumption.
+        kind: WireLeafKind,
+        /// Elicited confidence in `[0, 1]`.
+        confidence: f64,
+    },
+    /// `"retarget"` — replace the support edge `parent → from` with
+    /// `parent → to`, preserving the edge's position.
+    Retarget {
+        /// Name of the supported claim.
+        parent: String,
+        /// Name of the current supporter.
+        from: String,
+        /// Name of the replacement supporter.
+        to: String,
+    },
+}
+
 /// SIL demand mode named on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireDemandMode {
@@ -223,6 +291,13 @@ pub enum Request {
     Eval {
         /// Registry name of the case.
         name: String,
+    },
+    /// Incremental mutation of a loaded case, bumping its version.
+    Edit {
+        /// Registry name of the case.
+        name: String,
+        /// The mutation to apply.
+        action: EditAction,
     },
     /// Evidence ranked by Birnbaum importance and gain-if-certain.
     Rank {
@@ -278,6 +353,25 @@ fn str_field(obj: &[(String, Value)], name: &str) -> Result<String, WireError> {
             Err(WireError::new(ErrorCode::BadRequest, format!("field `{name}` must be a string")))
         }
         Err(e) => Err(WireError::new(ErrorCode::BadRequest, e)),
+    }
+}
+
+fn f64_field(obj: &[(String, Value)], name: &str) -> Result<f64, WireError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => v.as_f64().ok_or_else(|| {
+            WireError::new(ErrorCode::BadRequest, format!("field `{name}` must be a number"))
+        }),
+        None => Err(WireError::new(ErrorCode::BadRequest, format!("missing field `{name}`"))),
+    }
+}
+
+fn opt_str_field(obj: &[(String, Value)], name: &str) -> Result<Option<String>, WireError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        None => Ok(None),
+        Some((_, Value::Str(s))) => Ok(Some(s.clone())),
+        Some(_) => {
+            Err(WireError::new(ErrorCode::BadRequest, format!("field `{name}` must be a string")))
+        }
     }
 }
 
@@ -381,6 +475,39 @@ fn parse_op(value: &Value, obj: &[(String, Value)]) -> Result<Request, WireError
             Request::Load { name: str_field(obj, "name")?, case }
         }
         "eval" => Request::Eval { name: str_field(obj, "name")? },
+        "edit" => {
+            let action = match str_field(obj, "action")?.as_str() {
+                "set_confidence" => EditAction::SetConfidence {
+                    node: str_field(obj, "node")?,
+                    confidence: f64_field(obj, "confidence")?,
+                },
+                "add_leaf" => EditAction::AddLeaf {
+                    parent: str_field(obj, "parent")?,
+                    node: str_field(obj, "node")?,
+                    statement: opt_str_field(obj, "statement")?,
+                    kind: match opt_str_field(obj, "kind")? {
+                        None => WireLeafKind::Evidence,
+                        Some(s) => WireLeafKind::parse(&s)?,
+                    },
+                    confidence: f64_field(obj, "confidence")?,
+                },
+                "retarget" => EditAction::Retarget {
+                    parent: str_field(obj, "parent")?,
+                    from: str_field(obj, "from")?,
+                    to: str_field(obj, "to")?,
+                },
+                other => {
+                    return Err(WireError::new(
+                        ErrorCode::BadRequest,
+                        format!(
+                            "action must be \"set_confidence\", \"add_leaf\" or \
+                             \"retarget\", got \"{other}\""
+                        ),
+                    ))
+                }
+            };
+            Request::Edit { name: str_field(obj, "name")?, action }
+        }
         "rank" => Request::Rank { name: str_field(obj, "name")? },
         "mc" => Request::Mc {
             name: str_field(obj, "name")?,
@@ -425,6 +552,7 @@ impl Request {
         match self {
             Request::Load { .. } => "load",
             Request::Eval { .. } => "eval",
+            Request::Edit { .. } => "edit",
             Request::Rank { .. } => "rank",
             Request::Mc { .. } => "mc",
             Request::Bands { .. } => "bands",
@@ -497,6 +625,68 @@ mod tests {
             env.request,
             Request::Bands { name: "c".into(), pfd_bound: 1e-3, mode: WireDemandMode::LowDemand }
         );
+    }
+
+    #[test]
+    fn edit_requests_parse_each_action() {
+        let env = parse_request(
+            r#"{"op":"edit","name":"c","action":"set_confidence","node":"E1","confidence":0.97}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            env.request,
+            Request::Edit {
+                name: "c".into(),
+                action: EditAction::SetConfidence { node: "E1".into(), confidence: 0.97 },
+            }
+        );
+
+        let env = parse_request(
+            r#"{"op":"edit","name":"c","action":"add_leaf","parent":"G","node":"E9","kind":"assumption","confidence":0.8}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            env.request,
+            Request::Edit {
+                name: "c".into(),
+                action: EditAction::AddLeaf {
+                    parent: "G".into(),
+                    node: "E9".into(),
+                    statement: None,
+                    kind: WireLeafKind::Assumption,
+                    confidence: 0.8,
+                },
+            }
+        );
+
+        let env = parse_request(
+            r#"{"op":"edit","name":"c","action":"retarget","parent":"G","from":"E1","to":"E2"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            env.request,
+            Request::Edit {
+                name: "c".into(),
+                action: EditAction::Retarget {
+                    parent: "G".into(),
+                    from: "E1".into(),
+                    to: "E2".into(),
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_edits_are_bad_request() {
+        // Unknown action, missing confidence, bad leaf kind.
+        for line in [
+            r#"{"op":"edit","name":"c","action":"rename","node":"E1"}"#,
+            r#"{"op":"edit","name":"c","action":"set_confidence","node":"E1"}"#,
+            r#"{"op":"edit","name":"c","action":"add_leaf","parent":"G","node":"E9","kind":"goal","confidence":0.8}"#,
+        ] {
+            let (_, err) = parse_request(line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{line}");
+        }
     }
 
     #[test]

@@ -99,7 +99,8 @@ pub struct OpStats {
 }
 
 /// The operations tracked, in wire-spelling order.
-pub const TRACKED_OPS: [&str; 7] = ["load", "eval", "rank", "mc", "bands", "stats", "shutdown"];
+pub const TRACKED_OPS: [&str; 8] =
+    ["load", "eval", "edit", "rank", "mc", "bands", "stats", "shutdown"];
 
 /// A fault-tolerance event worth counting — the service's own evidence
 /// of how it degrades under panic, overload, and slow clients.
@@ -164,11 +165,24 @@ impl RobustnessCounters {
     }
 }
 
+/// Counter snapshot of the incremental-recomputation engine behind the
+/// `edit` op: how much work the subtree-hash memo actually saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalCounters {
+    /// Edits applied (successful `edit` requests).
+    pub edits: u64,
+    /// Nodes whose confidence ran through the combination kernel.
+    pub nodes_recomputed: u64,
+    /// Nodes answered from the subtree-hash memo without float work.
+    pub nodes_reused: u64,
+}
+
 /// Aggregate service statistics, dumped by `stats` and on shutdown.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
-    per_op: [OpStats; 7],
+    per_op: [OpStats; 8],
     robustness: RobustnessCounters,
+    incremental: IncrementalCounters,
 }
 
 impl ServiceStats {
@@ -181,6 +195,19 @@ impl ServiceStats {
     #[must_use]
     pub fn robustness(&self) -> RobustnessCounters {
         self.robustness
+    }
+
+    /// Counts one applied edit and the recomputation work it cost/saved.
+    pub fn note_edit(&mut self, nodes_recomputed: u64, nodes_reused: u64) {
+        self.incremental.edits += 1;
+        self.incremental.nodes_recomputed += nodes_recomputed;
+        self.incremental.nodes_reused += nodes_reused;
+    }
+
+    /// Snapshot of the incremental-recomputation counters.
+    #[must_use]
+    pub fn incremental(&self) -> IncrementalCounters {
+        self.incremental
     }
 
     /// Records one handled request for `op`.
@@ -244,6 +271,14 @@ impl ServiceStats {
             ("requests".to_string(), Value::U64(self.total_requests())),
             ("ops".to_string(), Value::Object(ops)),
             ("robustness".to_string(), self.robustness.to_value()),
+            (
+                "incremental".to_string(),
+                Value::Object(vec![
+                    ("edits".to_string(), Value::U64(self.incremental.edits)),
+                    ("nodes_recomputed".to_string(), Value::U64(self.incremental.nodes_recomputed)),
+                    ("nodes_reused".to_string(), Value::U64(self.incremental.nodes_reused)),
+                ]),
+            ),
             (
                 "plan_cache".to_string(),
                 Value::Object(vec![
@@ -311,6 +346,22 @@ mod tests {
         assert!(text.contains("\"hit_rate\":0.75"), "{text}");
         assert!(text.contains("\"eval\""), "{text}");
         assert!(!text.contains("\"bands\""), "untouched ops stay out: {text}");
+    }
+
+    #[test]
+    fn edit_counters_accumulate_and_surface_in_the_snapshot() {
+        let mut s = ServiceStats::default();
+        s.note_edit(3, 0);
+        s.note_edit(2, 5);
+        let inc = s.incremental();
+        assert_eq!(inc, IncrementalCounters { edits: 2, nodes_recomputed: 5, nodes_reused: 5 });
+        // Edits never land in the latency histograms by themselves.
+        assert_eq!(s.total_requests(), 0);
+        let v = s.to_value(CacheCounters::default(), 0, 4);
+        let text = serde_json::to_string(&crate::protocol::Json(v)).unwrap();
+        assert!(text.contains("\"incremental\""), "{text}");
+        assert!(text.contains("\"nodes_recomputed\":5"), "{text}");
+        assert!(text.contains("\"nodes_reused\":5"), "{text}");
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //! ```
 
 pub use crate::assurance::{
-    Case, CaseError, Combination, ConfidenceReport, EvalPlan, MonteCarlo, MonteCarloReport,
-    NodeConfidence, NodeId, NodeKind,
+    Case, CaseError, Combination, ConfidenceReport, EditStats, EvalPlan, Incremental, LeafKind,
+    MonteCarlo, MonteCarloReport, NodeConfidence, NodeId, NodeKind,
 };
 pub use crate::confidence::{Claim, ConfidenceError, ConfidenceStatement, WorstCaseBound};
 pub use crate::distributions::{DistError, Distribution, LogNormal, TwoPoint};

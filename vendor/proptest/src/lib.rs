@@ -96,6 +96,20 @@ macro_rules! impl_strategy_int_range {
 }
 impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+// Upstream proptest composes strategies into tuple strategies; the
+// workspace's tests draw per-edit `(selector, pick, value)` triples.
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident . $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
 /// Strategy for "any value of `T`" — see [`any`].
 #[derive(Debug, Clone, Copy)]
 pub struct Any<T>(core::marker::PhantomData<T>);
