@@ -32,7 +32,7 @@ use crate::plan::EvalPlan;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Samples per parallel chunk. Fixed (not derived from the thread
 /// count) so the chunk→stream mapping is invariant under the worker
@@ -213,6 +213,26 @@ impl<'p> MonteCarlo<'p> {
         Ok(run_parallel(plan, self.samples, self.seed, self.threads))
     }
 
+    /// Like [`MonteCarlo::run_plan`], but polls `should_stop` between
+    /// sample chunks (every [`CHUNK_SAMPLES`] structure evaluations per
+    /// worker) and abandons the run when it answers `true` — the hook
+    /// for per-request deadlines, which would otherwise overshoot by
+    /// the full sampling time. `Ok(None)` means the run was stopped;
+    /// there is no partial report, so a completed run stays
+    /// bit-identical to [`MonteCarlo::run_plan`] at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`CaseError::InvalidStructure`] for a zero sample budget.
+    pub fn run_plan_until(
+        &self,
+        plan: &EvalPlan,
+        should_stop: &(dyn Fn() -> bool + Sync),
+    ) -> Result<Option<MonteCarloReport>> {
+        check_samples(self.samples)?;
+        Ok(run_parallel_until(plan, self.samples, self.seed, self.threads, should_stop))
+    }
+
     /// Runs sequentially with a caller-owned RNG (the reference
     /// implementation the chunked engine is validated against). The
     /// `seed`/`threads` options are ignored; the RNG's state is the
@@ -275,6 +295,21 @@ fn chunk_len(samples: u32, chunk: u32) -> u32 {
 ///
 /// `threads == 0` selects [`std::thread::available_parallelism`].
 fn run_parallel(plan: &EvalPlan, samples: u32, seed: u64, threads: usize) -> MonteCarloReport {
+    run_parallel_until(plan, samples, seed, threads, &|| false)
+        .expect("a never-stopping run always completes")
+}
+
+/// [`run_parallel`] with a stop hook: every worker polls `should_stop`
+/// before claiming its next chunk and the whole run is abandoned (→
+/// `None`) as soon as any worker sees `true`, so the latency of honoring
+/// a stop is bounded by one chunk's sampling time per worker.
+fn run_parallel_until(
+    plan: &EvalPlan,
+    samples: u32,
+    seed: u64,
+    threads: usize,
+    should_stop: &(dyn Fn() -> bool + Sync),
+) -> Option<MonteCarloReport> {
     let chunks = samples.div_ceil(CHUNK_SAMPLES);
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -286,8 +321,10 @@ fn run_parallel(plan: &EvalPlan, samples: u32, seed: u64, threads: usize) -> Mon
 
     let targets = plan.targets().len();
     let next_chunk = AtomicUsize::new(0);
+    let stopped = AtomicBool::new(false);
     let plan_ref = plan;
     let next_ref = &next_chunk;
+    let stopped_ref = &stopped;
 
     // Each worker claims chunks dynamically and keeps private per-target
     // hit totals; integer addition is exact and commutative, so the
@@ -298,6 +335,10 @@ fn run_parallel(plan: &EvalPlan, samples: u32, seed: u64, threads: usize) -> Mon
                 scope.spawn(move || {
                     let mut local = vec![0u64; targets];
                     loop {
+                        if stopped_ref.load(Ordering::Relaxed) || should_stop() {
+                            stopped_ref.store(true, Ordering::Relaxed);
+                            break;
+                        }
                         let c = next_ref.fetch_add(1, Ordering::Relaxed) as u32;
                         if c >= chunks {
                             break;
@@ -312,13 +353,16 @@ fn run_parallel(plan: &EvalPlan, samples: u32, seed: u64, threads: usize) -> Mon
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     });
 
+    if stopped.load(Ordering::Relaxed) {
+        return None;
+    }
     let mut hits = vec![0u64; targets];
     for local in &totals {
         for (h, l) in hits.iter_mut().zip(local) {
             *h += l;
         }
     }
-    report_from_hits(plan, &hits, samples)
+    Some(report_from_hits(plan, &hits, samples))
 }
 
 #[cfg(test)]
@@ -533,5 +577,30 @@ mod tests {
         let a = MonteCarlo::new(5_000).run_sequential(&case, &mut rng(21)).unwrap();
         let b = MonteCarlo::new(5_000).run_sequential_plan(&plan, &mut rng(21)).unwrap();
         assert_eq!(a.estimate(g).unwrap().to_bits(), b.estimate(g).unwrap().to_bits());
+    }
+
+    #[test]
+    fn stoppable_runs_complete_bit_identically_or_stop_between_chunks() {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G", "top").unwrap();
+        let e = case.add_evidence("E", "a", 0.7).unwrap();
+        case.support(g, e).unwrap();
+        let plan = EvalPlan::compile(&case).unwrap();
+        let opts = MonteCarlo::new(4 * CHUNK_SAMPLES).seed(5).threads(2);
+
+        // A hook that never fires changes nothing about the answer.
+        let full = opts.run_plan(&plan).unwrap();
+        let until = opts.run_plan_until(&plan, &|| false).unwrap().expect("must complete");
+        assert_eq!(full.estimate(g).unwrap().to_bits(), until.estimate(g).unwrap().to_bits());
+
+        // A hook that fires immediately stops before any chunk runs.
+        assert!(opts.run_plan_until(&plan, &|| true).unwrap().is_none());
+
+        // A hook that fires mid-run stops within one chunk per worker:
+        // the counter below is only polled between chunk claims.
+        let polls = AtomicUsize::new(0);
+        let stopped =
+            opts.run_plan_until(&plan, &|| polls.fetch_add(1, Ordering::Relaxed) >= 2).unwrap();
+        assert!(stopped.is_none(), "mid-run stop must abandon the report");
     }
 }

@@ -19,11 +19,23 @@
 //! each from a fixed seed, driven through retrying clients — its
 //! goodput (completed requests per second, retries included in the
 //! cost) and retry counts land in the report's `faulted` block.
+//!
+//! A third, durability scenario measures what the write-ahead log
+//! costs and what recovery buys. The standard request mix is re-run
+//! against a durable engine at `--fsync never` and compared to the
+//! in-memory baseline (the serving overhead: reads are never logged,
+//! so this should be near zero). A pure mutation storm is then timed
+//! against an in-memory engine, a durable engine at `--fsync never`,
+//! and one at `--fsync always` (the worst-case per-mutation WAL
+//! cost), and finally the storm's data dir is re-opened cold to time
+//! the startup replay. All of it lands in the report's `durability`
+//! block.
 
 use depcase::prelude::*;
 use depcase_service::protocol::Json;
 use depcase_service::{
-    Client, Engine, FaultPlan, RetryPolicy, RetryingClient, Server, ServerConfig,
+    Client, DurabilityConfig, Engine, FaultPlan, FsyncPolicy, RetryPolicy, RetryingClient, Server,
+    ServerConfig,
 };
 use serde::{Serialize, Value};
 use std::sync::Arc;
@@ -204,6 +216,176 @@ fn faulted_run(clients: usize, requests: usize, workers: usize, spec: &str) -> V
     ])
 }
 
+/// Drives the standard request mix against `engine` and returns the
+/// observed requests per second — the same traffic shape as the main
+/// scenario, so durable and in-memory engines compare directly.
+fn mixed_throughput(engine: &Arc<Engine>, clients: usize, requests: usize, workers: usize) -> f64 {
+    let server =
+        Server::bind(Arc::clone(engine), ("127.0.0.1", 0), workers).expect("bind localhost");
+    let addr = server.local_addr();
+    let mut setup = Client::connect(addr).expect("connect");
+    setup
+        .round_trip(&load_line("reactor", &demo_case("reactor protection", 0.95, 0.90)))
+        .expect("load reactor");
+    setup
+        .round_trip(&load_line("interlock", &demo_case("interlock", 0.97, 0.85)))
+        .expect("load interlock");
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client_idx in 0..clients {
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let case_name = if client_idx % 2 == 0 { "reactor" } else { "interlock" };
+            for idx in 0..requests {
+                let (_, line) = request_for(case_name, idx);
+                let response = client.round_trip(&line).expect("round trip");
+                assert!(response.contains(r#""ok":true"#), "request failed: {response}");
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("mixed client thread");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    server.shutdown();
+    (clients * requests) as f64 / elapsed
+}
+
+/// Drives `clients` concurrent connections each issuing `requests`
+/// `set_confidence` edits against its own case on `engine`; returns
+/// completed mutations per second.
+fn mutation_storm(engine: &Arc<Engine>, clients: usize, requests: usize, workers: usize) -> f64 {
+    let server =
+        Server::bind(Arc::clone(engine), ("127.0.0.1", 0), workers).expect("bind localhost");
+    let addr = server.local_addr();
+    let mut setup = Client::connect(addr).expect("connect");
+    for client_idx in 0..clients {
+        let name = format!("storm{client_idx}");
+        setup
+            .round_trip(&load_line(&name, &demo_case("storm case", 0.95, 0.90)))
+            .expect("load storm case");
+    }
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client_idx in 0..clients {
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let name = format!("storm{client_idx}");
+            for idx in 0..requests {
+                let confidence = 0.5 + 0.4 * ((idx % 97) as f64 / 96.0);
+                let line = format!(
+                    r#"{{"op":"edit","name":"{name}","action":"set_confidence","node":"E1","confidence":{confidence}}}"#
+                );
+                let response = client.round_trip(&line).expect("edit round trip");
+                assert!(response.contains(r#""ok":true"#), "edit failed: {response}");
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("storm client thread");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    server.shutdown();
+    (clients * requests) as f64 / elapsed
+}
+
+/// The durability scenario: serving overhead of the durable engine on
+/// the standard mix, mutation throughput in-memory vs durable (both
+/// fsync policies), then a cold re-open of the storm's data dir to
+/// time startup replay. Snapshots are disabled for the storm so the
+/// replay measures pure WAL throughput.
+fn durability_run(clients: usize, requests: usize, workers: usize, baseline_rps: f64) -> Value {
+    let data_dir = std::env::temp_dir().join(format!("depcase_bench_wal_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let mutations = (clients * requests) as u64;
+
+    // Serving overhead: the read-heavy mix against a durable engine at
+    // `--fsync never`. Reads bypass the WAL entirely, so this isolates
+    // the cost of durability plumbing on the hot path.
+    eprintln!("durability scenario: {clients} client(s) x {requests} mixed request(s)…");
+    let mix_config = DurabilityConfig {
+        data_dir: data_dir.join("mix"),
+        fsync: FsyncPolicy::Never,
+        snapshot_every: 0,
+    };
+    let engine = Arc::new(Engine::open(16, &mix_config).expect("open data dir"));
+    let mixed_rps = mixed_throughput(&engine, clients, requests, workers);
+    drop(engine);
+    let mixed_overhead_percent = (baseline_rps / mixed_rps - 1.0) * 100.0;
+    eprintln!(
+        "  mixed req/s: {baseline_rps:.0} in-memory, {mixed_rps:.0} wal+never \
+         ({mixed_overhead_percent:+.1}%)"
+    );
+
+    eprintln!("durability scenario: {clients} client(s) x {requests} edit(s)…");
+    let baseline = mutation_storm(&Arc::new(Engine::new(16)), clients, requests, workers);
+
+    let config = DurabilityConfig {
+        data_dir: data_dir.clone(),
+        fsync: FsyncPolicy::Never,
+        snapshot_every: 0,
+    };
+    let engine = Arc::new(Engine::open(16, &config).expect("open data dir"));
+    let wal_never = mutation_storm(&engine, clients, requests, workers);
+    drop(engine);
+    let overhead_percent = (baseline / wal_never - 1.0) * 100.0;
+
+    // Cold restart: how long does replaying the storm's WAL take?
+    let recovery_started = Instant::now();
+    let recovered = Engine::open(16, &config).expect("recover data dir");
+    let recovery_seconds = recovery_started.elapsed().as_secs_f64();
+    let replayed = recovered.durability_counters().records_replayed;
+    drop(recovered);
+
+    let always_dir = data_dir.join("always");
+    let always_config =
+        DurabilityConfig { data_dir: always_dir, fsync: FsyncPolicy::Always, snapshot_every: 0 };
+    let engine = Arc::new(Engine::open(16, &always_config).expect("open data dir"));
+    let wal_always = mutation_storm(&engine, clients, requests, workers);
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    eprintln!(
+        "  mutations/s: {baseline:.0} in-memory, {wal_never:.0} wal+never \
+         ({overhead_percent:+.1}%), {wal_always:.0} wal+always"
+    );
+    eprintln!(
+        "  recovery: {replayed} records replayed in {recovery_seconds:.3}s \
+         ({:.1} µs/record)",
+        if replayed == 0 { 0.0 } else { recovery_seconds * 1e6 / replayed as f64 }
+    );
+    Value::Object(vec![
+        (
+            "serving".to_string(),
+            Value::Object(vec![
+                ("in_memory_requests_per_second".to_string(), Value::F64(baseline_rps)),
+                ("wal_never_requests_per_second".to_string(), Value::F64(mixed_rps)),
+                ("overhead_percent".to_string(), Value::F64(mixed_overhead_percent)),
+            ]),
+        ),
+        ("mutations".to_string(), Value::U64(mutations)),
+        ("in_memory_mutations_per_second".to_string(), Value::F64(baseline)),
+        ("wal_never_mutations_per_second".to_string(), Value::F64(wal_never)),
+        ("wal_never_overhead_percent".to_string(), Value::F64(overhead_percent)),
+        ("wal_always_mutations_per_second".to_string(), Value::F64(wal_always)),
+        (
+            "recovery".to_string(),
+            Value::Object(vec![
+                ("records_replayed".to_string(), Value::U64(replayed)),
+                ("elapsed_seconds".to_string(), Value::F64(recovery_seconds)),
+                (
+                    "microseconds_per_record".to_string(),
+                    Value::F64(if replayed == 0 {
+                        0.0
+                    } else {
+                        recovery_seconds * 1e6 / replayed as f64
+                    }),
+                ),
+            ]),
+        ),
+    ])
+}
+
 fn main() {
     let mut out = String::from("BENCH_service.json");
     let mut clients = DEFAULT_CLIENTS;
@@ -296,6 +478,7 @@ fn main() {
     }
 
     let faulted = faulted_run(clients, requests, workers, &faults);
+    let durability = durability_run(clients, requests, workers, throughput);
 
     let report = Value::Object(vec![
         ("bench".to_string(), Value::Str("service".to_string())),
@@ -315,6 +498,7 @@ fn main() {
         ("per_op".to_string(), Value::Object(per_op)),
         ("plan_cache".to_string(), cache.clone()),
         ("faulted".to_string(), faulted),
+        ("durability".to_string(), durability),
     ]);
 
     eprintln!(

@@ -8,7 +8,8 @@
 //! case_tool demo                 # print a sample case.json to start from
 //! case_tool serve [--addr HOST:PORT] [--stdio] [--workers N] [--cache N]
 //!                 [--queue N] [--conns N] [--deadline MS] [--drain MS]
-//!                 [--faults SPEC]
+//!                 [--faults SPEC] [--data-dir PATH] [--fsync always|never]
+//!                 [--snapshot-every N]
 //! ```
 //!
 //! `serve` speaks newline-delimited JSON (see the `depcase-service`
@@ -20,9 +21,20 @@
 //! `--faults` enables deterministic fault injection from a spec like
 //! `seed=42,panic=0.05,delay=0.1,delay_ms=20,drop=0.02` (see
 //! [`depcase_service::FaultPlan`]).
+//!
+//! `--data-dir` makes the registry durable: every acked `load`/`edit`
+//! is written ahead to a checksummed WAL in that directory and a
+//! restart recovers exactly the acked state, including version
+//! history. `--fsync always` additionally syncs each append (safe
+//! against power loss, slower); the default `never` leaves syncing to
+//! the OS and graceful drain (safe against process crashes).
+//! `--snapshot-every N` compacts the WAL behind a content-addressed
+//! snapshot every N mutations (default 256; 0 disables).
 
 use depcase::assurance::{importance, templates, Case};
-use depcase_service::{serve_stdio_with, Engine, FaultPlan, Server, ServerConfig};
+use depcase_service::{
+    serve_stdio_with, DurabilityConfig, Engine, FaultPlan, FsyncPolicy, Server, ServerConfig,
+};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -40,6 +52,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     let mut stdio = false;
     let mut cache = DEFAULT_CACHE;
     let mut config = ServerConfig::default();
+    let mut durability: Option<DurabilityConfig> = None;
     let mut it = args.iter();
     let int_flag = |name: &str, it: &mut std::slice::Iter<String>| -> Result<u64, String> {
         it.next()
@@ -67,16 +80,38 @@ fn serve(args: &[String]) -> Result<(), String> {
                 let spec = it.next().ok_or("--faults needs a spec like seed=42,panic=0.05")?;
                 config.faults = Some(Arc::new(FaultPlan::parse(spec)?));
             }
+            "--data-dir" => {
+                let dir = it.next().ok_or("--data-dir needs a directory path")?;
+                durability.get_or_insert_with(|| DurabilityConfig::new(dir.clone())).data_dir =
+                    dir.into();
+            }
+            "--fsync" => {
+                let policy = FsyncPolicy::parse(it.next().ok_or("--fsync needs always|never")?)?;
+                durability.get_or_insert_with(|| DurabilityConfig::new("")).fsync = policy;
+            }
+            "--snapshot-every" => {
+                let every = int_flag("--snapshot-every", &mut it)?;
+                durability.get_or_insert_with(|| DurabilityConfig::new("")).snapshot_every = every;
+            }
             other => return Err(format!("unknown serve flag `{other}`")),
         }
     }
-    let engine = Arc::new(Engine::new(cache));
+    let engine = Arc::new(match &durability {
+        Some(dc) => {
+            if dc.data_dir.as_os_str().is_empty() {
+                return Err("--fsync/--snapshot-every require --data-dir".into());
+            }
+            Engine::open(cache, dc)
+                .map_err(|e| format!("opening data dir {}: {e}", dc.data_dir.display()))?
+        }
+        None => Engine::new(cache),
+    });
     if stdio {
         serve_stdio_with(&engine, &config);
         return Ok(());
     }
     eprintln!(
-        "case_tool serve: {} workers, plan cache {cache}, queue {}, conns {}{}{}",
+        "case_tool serve: {} workers, plan cache {cache}, queue {}, conns {}{}{}{}",
         config.workers,
         config.queue_capacity,
         config.max_connections,
@@ -85,6 +120,15 @@ fn serve(args: &[String]) -> Result<(), String> {
             None => String::new(),
         },
         if config.faults.is_some() { ", fault injection ON" } else { "" },
+        match &durability {
+            Some(dc) => format!(
+                ", durable at {} (fsync {}, snapshot every {})",
+                dc.data_dir.display(),
+                dc.fsync,
+                dc.snapshot_every
+            ),
+            None => String::new(),
+        },
     );
     let server =
         Server::start(Arc::clone(&engine), addr.as_str(), config).map_err(|e| e.to_string())?;
@@ -153,7 +197,7 @@ fn run() -> Result<(), String> {
         }
         Some("serve") => serve(&args[1..]),
         _ => Err(
-            "usage: case_tool {eval|dot|rank} <case.json> | case_tool demo | case_tool serve [--addr HOST:PORT|--stdio] [--workers N] [--cache N] [--queue N] [--conns N] [--deadline MS] [--drain MS] [--faults SPEC]"
+            "usage: case_tool {eval|dot|rank} <case.json> | case_tool demo | case_tool serve [--addr HOST:PORT|--stdio] [--workers N] [--cache N] [--queue N] [--conns N] [--deadline MS] [--drain MS] [--faults SPEC] [--data-dir PATH] [--fsync always|never] [--snapshot-every N]"
                 .into(),
         ),
     }

@@ -16,8 +16,18 @@
 //! session, applies the mutation, and inserts the result under the new
 //! content hash — the pre-edit entry stays cached, so an undo (editing
 //! back) is a pure cache hit.
+//!
+//! Internals: a hash map from content hash to entry, with recency
+//! tracked by an intrusive doubly-linked list threaded *through* the
+//! map — each entry stores the hashes of its recency neighbours, so
+//! every operation (hit, insert, evict) is O(1) map work with no
+//! per-operation allocation and no linear scans. The earlier `Vec`
+//! implementation paid an O(n) scan per lookup and an O(n) shift per
+//! eviction (`Vec::remove(0)`), which turned churn-heavy workloads
+//! quadratic once capacities grew past a handful of cases.
 
 use depcase::assurance::{ConfidenceReport, EvalPlan, Incremental};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Everything derivable from a case that requests reuse.
@@ -44,15 +54,26 @@ pub struct CacheCounters {
     pub evictions: u64,
 }
 
-/// A least-recently-used map from content hash to [`CompiledCase`].
-///
-/// Entries are kept in recency order in a `Vec` (most recent last);
-/// capacities are small — tens of cases — so linear scans beat the
-/// constant factors of anything cleverer.
+/// One cached entry plus its links in the recency list. `prev` points
+/// toward the least-recently-used end, `next` toward the most recent;
+/// `None` marks the ends.
+#[derive(Debug)]
+struct Node {
+    compiled: Arc<CompiledCase>,
+    prev: Option<u64>,
+    next: Option<u64>,
+}
+
+/// A least-recently-used map from content hash to [`CompiledCase`] with
+/// O(1) lookup, insertion, and eviction.
 #[derive(Debug)]
 pub struct PlanCache {
     capacity: usize,
-    entries: Vec<(u64, Arc<CompiledCase>)>,
+    entries: HashMap<u64, Node>,
+    /// Least recently used entry (the eviction candidate).
+    lru: Option<u64>,
+    /// Most recently used entry.
+    mru: Option<u64>,
     counters: CacheCounters,
 }
 
@@ -61,41 +82,79 @@ impl PlanCache {
     /// (minimum 1).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
         PlanCache {
-            capacity: capacity.max(1),
-            entries: Vec::new(),
+            capacity,
+            entries: HashMap::with_capacity(capacity + 1),
+            lru: None,
+            mru: None,
             counters: CacheCounters::default(),
         }
     }
 
     /// Looks a compiled case up, refreshing its recency on hit.
     pub fn get(&mut self, hash: u64) -> Option<Arc<CompiledCase>> {
-        match self.entries.iter().position(|(h, _)| *h == hash) {
-            Some(idx) => {
-                self.counters.hits += 1;
-                let entry = self.entries.remove(idx);
-                let compiled = Arc::clone(&entry.1);
-                self.entries.push(entry);
-                Some(compiled)
-            }
-            None => {
-                self.counters.misses += 1;
-                None
-            }
+        if !self.entries.contains_key(&hash) {
+            self.counters.misses += 1;
+            return None;
         }
+        self.counters.hits += 1;
+        self.unlink(hash);
+        self.link_mru(hash);
+        Some(Arc::clone(&self.entries[&hash].compiled))
     }
 
     /// Inserts a freshly compiled case, evicting the least recently used
     /// entry if the cache is full. Re-inserting an existing hash just
     /// refreshes the entry.
     pub fn insert(&mut self, hash: u64, compiled: Arc<CompiledCase>) {
-        if let Some(idx) = self.entries.iter().position(|(h, _)| *h == hash) {
-            self.entries.remove(idx);
-        } else if self.entries.len() >= self.capacity {
-            self.entries.remove(0);
+        if let Some(node) = self.entries.get_mut(&hash) {
+            node.compiled = compiled;
+            self.unlink(hash);
+            self.link_mru(hash);
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            let victim = self.lru.expect("a full cache has an LRU entry");
+            self.unlink(victim);
+            self.entries.remove(&victim);
             self.counters.evictions += 1;
         }
-        self.entries.push((hash, compiled));
+        self.entries.insert(hash, Node { compiled, prev: None, next: None });
+        self.link_mru(hash);
+    }
+
+    /// Detaches `hash` from the recency list (it must be present),
+    /// leaving its own links stale for `link_mru` to overwrite.
+    fn unlink(&mut self, hash: u64) {
+        let (prev, next) = {
+            let node = &self.entries[&hash];
+            (node.prev, node.next)
+        };
+        match prev {
+            Some(p) => self.entries.get_mut(&p).expect("linked neighbour exists").next = next,
+            None => self.lru = next,
+        }
+        match next {
+            Some(n) => self.entries.get_mut(&n).expect("linked neighbour exists").prev = prev,
+            None => self.mru = prev,
+        }
+    }
+
+    /// Appends `hash` (already in the map, currently detached) at the
+    /// most-recently-used end.
+    fn link_mru(&mut self, hash: u64) {
+        let old_mru = self.mru;
+        {
+            let node = self.entries.get_mut(&hash).expect("entry was just inserted or unlinked");
+            node.prev = old_mru;
+            node.next = None;
+        }
+        match old_mru {
+            Some(m) => self.entries.get_mut(&m).expect("old MRU exists").next = Some(hash),
+            None => self.lru = Some(hash),
+        }
+        self.mru = Some(hash);
     }
 
     /// Number of live entries.
@@ -170,5 +229,55 @@ mod tests {
         cache.insert(1, compiled(0.9));
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.counters().evictions, 0);
+        // 2 is now the LRU entry despite being inserted after 1.
+        cache.insert(3, compiled(0.7));
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+    }
+
+    #[test]
+    fn churn_matches_a_reference_recency_model() {
+        // Drive the linked-list implementation against a brute-force
+        // recency Vec through a deterministic mixed workload; counters
+        // and membership must agree at every step.
+        let mut cache = PlanCache::new(4);
+        let mut model: Vec<u64> = Vec::new(); // most recent last
+        let mut model_counters = CacheCounters::default();
+        let mut state = 0x1234_5678_u64;
+        let entry = compiled(0.9);
+        for _ in 0..2000 {
+            // xorshift: cheap deterministic op/key stream.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let key = state % 11;
+            if state & 1 == 0 {
+                let got = cache.get(key);
+                if let Some(pos) = model.iter().position(|&k| k == key) {
+                    model_counters.hits += 1;
+                    let k = model.remove(pos);
+                    model.push(k);
+                    assert!(got.is_some(), "model has {key}, cache does not");
+                } else {
+                    model_counters.misses += 1;
+                    assert!(got.is_none(), "cache has {key}, model does not");
+                }
+            } else {
+                cache.insert(key, Arc::clone(&entry));
+                if let Some(pos) = model.iter().position(|&k| k == key) {
+                    model.remove(pos);
+                } else if model.len() >= 4 {
+                    model.remove(0);
+                    model_counters.evictions += 1;
+                }
+                model.push(key);
+            }
+            assert_eq!(cache.len(), model.len());
+        }
+        assert_eq!(cache.counters(), model_counters);
+        // Final membership matches exactly.
+        for key in 0..11 {
+            assert_eq!(cache.entries.contains_key(&key), model.contains(&key), "key {key}");
+        }
     }
 }

@@ -68,6 +68,43 @@ impl Client {
         }
         Ok(response.trim_end().to_string())
     }
+
+    /// [`Client::round_trip`], then parses the response: `Ok(result)`
+    /// for a success line, or the wire error mapped back to a typed
+    /// [`depcase::Error::Service`] carrying its stable code.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as in [`Client::round_trip`]; `bad_response`
+    /// when the line is not a well-formed response; otherwise the wire
+    /// error's own code and message.
+    pub fn round_trip_value(&mut self, line: &str) -> depcase::Result<Value> {
+        let response = self.round_trip(line)?;
+        let Json(value) = serde_json::from_str::<Json>(&response).map_err(|e| {
+            depcase::Error::service("bad_response", format!("unparseable response line: {e}"))
+        })?;
+        match value.get("ok").and_then(Value::as_bool) {
+            Some(true) => value.get("result").cloned().ok_or_else(|| {
+                depcase::Error::service("bad_response", "success line without a result")
+            }),
+            Some(false) => {
+                let error = value.get("error");
+                let code = error
+                    .and_then(|e| e.get("code"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("bad_response");
+                let message = error
+                    .and_then(|e| e.get("message"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("error line without a message");
+                Err(depcase::Error::service(code, message))
+            }
+            None => Err(depcase::Error::service(
+                "bad_response",
+                "response line carries no boolean `ok`",
+            )),
+        }
+    }
 }
 
 /// Retry tunables for [`RetryingClient`].

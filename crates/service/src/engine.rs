@@ -1,34 +1,55 @@
 //! The assessment engine: a named, versioned case registry in front of
-//! the compiled-plan cache.
+//! the compiled-plan cache, optionally backed by a durability layer.
 //!
 //! [`Engine::handle`] is the single entry point; it is `&self` and
 //! thread-safe, so any number of server workers can call it
 //! concurrently. Locks are held only around registry/cache bookkeeping —
 //! the expensive work (plan compilation, Monte-Carlo sampling) runs
-//! outside every lock, on the worker's own thread.
+//! outside every lock, on the worker's own thread. The one exception is
+//! the mutation commit path: a dedicated durability mutex serializes
+//! `load`/`edit` commits so the WAL's sequence order always equals the
+//! registry's commit order — readers never touch that lock.
+//!
+//! The registry keeps **every** version of every named case reachable:
+//! each mutation appends a [`VersionRecord`] to the name's history and
+//! parks the resulting case in a content-addressed object map, so
+//! `history` is a map lookup and time-travel `eval` (by `version` or
+//! `at_hash`) is O(1) to resolve plus at most one compile — repeated
+//! historical evals are pure plan-cache hits.
+//!
+//! With [`Engine::open`], every acked mutation is written ahead to a
+//! WAL before the response is released, periodic content-addressed
+//! snapshots bound replay time, and a restart replays snapshot + WAL
+//! tail back to exactly the acked state (see the [`crate::wal`] and
+//! [`crate::snapshot`] docs for the formats and crash-ordering rules).
 //!
 //! Numeric discipline: every number in a response is produced by exactly
 //! the same library call a direct user would make — the engine adds
-//! caching and transport, never arithmetic — so responses are
-//! bit-identical to in-process evaluation (the integration tests assert
-//! this via `f64::to_bits`).
+//! caching, durability, and transport, never arithmetic — so responses
+//! are bit-identical to in-process evaluation (the integration tests
+//! assert this via `f64::to_bits`).
 
 use crate::cache::{CacheCounters, CompiledCase, PlanCache};
 use crate::lock_unpoisoned;
-use crate::protocol::{format_hash, EditAction, ErrorCode, Request, WireError};
+use crate::protocol::{format_hash, EditAction, ErrorCode, EvalAt, Request, WireError};
+use crate::snapshot::{Manifest, ManifestCase, Store, VersionRecord};
 use crate::stats::{RobustnessCounters, RobustnessEvent, ServiceStats};
-use depcase::assurance::{importance, Case, Incremental, MonteCarlo, NodeId, NodeKind};
+use crate::wal::{storage_error, FsyncPolicy, Wal, WalOp, WalRecord};
+use depcase::assurance::{importance, Case, EditStats, Incremental, MonteCarlo, NodeId, NodeKind};
 use depcase::distributions::TwoPoint;
 use depcase::sil::{SilAssessment, SilLevel};
-use serde::{Deserialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Fails with `deadline_exceeded` once `deadline` has passed. Called
 /// between pipeline stages (after parse, after lookup/compile, before
 /// heavy math), so a request that runs over budget stops at the next
-/// stage boundary instead of holding a worker indefinitely.
+/// stage boundary instead of holding a worker indefinitely. `mc`
+/// additionally polls the deadline between sample chunks, so even a
+/// huge sampling request overshoots by at most one chunk.
 fn check_deadline(deadline: Option<Instant>) -> Result<(), WireError> {
     match deadline {
         Some(d) if Instant::now() >= d => Err(WireError::new(
@@ -39,19 +60,98 @@ fn check_deadline(deadline: Option<Instant>) -> Result<(), WireError> {
     }
 }
 
-/// A registered case: the graph plus its registry metadata.
+/// Milliseconds since the Unix epoch (0 if the clock is before 1970).
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+}
+
+/// A registered case at one version: the graph plus registry metadata.
 #[derive(Debug, Clone)]
 struct CaseEntry {
     case: Arc<Case>,
-    /// Bumped every time `load` replaces the case under this name.
+    /// 1-based, bumped by every `load`/`edit` under this name.
     version: u64,
-    /// Content hash at load time (the plan-cache key).
+    /// Content hash of this version (plan-cache and object-store key).
     hash: u64,
+}
+
+/// A registry name: its current version plus the full version history.
+#[derive(Debug)]
+struct NamedCase {
+    current: CaseEntry,
+    /// Every version ever recorded, oldest first (the last record
+    /// mirrors `current`).
+    history: Vec<VersionRecord>,
 }
 
 #[derive(Debug, Default)]
 struct Registry {
-    cases: HashMap<String, CaseEntry>,
+    cases: HashMap<String, NamedCase>,
+    /// Every case version ever committed, keyed by content hash —
+    /// identical content is stored once no matter how many names or
+    /// versions reference it.
+    objects: HashMap<u64, Arc<Case>>,
+}
+
+impl Registry {
+    /// Commits one mutation: parks the object, replaces the name's
+    /// current entry, and appends to its history.
+    fn commit(&mut self, name: &str, case: Arc<Case>, record: VersionRecord) {
+        self.objects.entry(record.hash).or_insert_with(|| Arc::clone(&case));
+        let entry = CaseEntry { case, version: record.version, hash: record.hash };
+        match self.cases.get_mut(name) {
+            Some(named) => {
+                named.current = entry;
+                named.history.push(record);
+            }
+            None => {
+                self.cases
+                    .insert(name.to_string(), NamedCase { current: entry, history: vec![record] });
+            }
+        }
+    }
+}
+
+/// Configuration for [`Engine::open`]'s durability layer.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding the WAL, manifest, and object store; created
+    /// if absent.
+    pub data_dir: PathBuf,
+    /// When WAL appends reach stable storage (`--fsync`).
+    pub fsync: FsyncPolicy,
+    /// Take a snapshot and truncate the WAL every this many mutations
+    /// (`--snapshot-every`); 0 disables periodic snapshots.
+    pub snapshot_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Defaults for `data_dir`: no per-append fsync, snapshot every 256
+    /// mutations.
+    #[must_use]
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            data_dir: data_dir.into(),
+            fsync: FsyncPolicy::Never,
+            snapshot_every: 256,
+        }
+    }
+}
+
+/// The open durability state, guarded by one mutex so mutations commit
+/// in WAL-sequence order.
+#[derive(Debug)]
+struct Durability {
+    store: Store,
+    wal: Wal,
+    snapshot_every: u64,
+    /// WAL records appended since the last snapshot (or startup replay
+    /// tail length), the periodic-snapshot trigger.
+    since_snapshot: u64,
+    /// Next WAL sequence number to assign.
+    next_seq: u64,
 }
 
 /// The long-running assessment engine.
@@ -60,18 +160,182 @@ pub struct Engine {
     registry: Mutex<Registry>,
     cache: Mutex<PlanCache>,
     stats: Mutex<ServiceStats>,
+    /// `Some` for durable engines. Also taken (even when `None`) to
+    /// serialize mutation commits.
+    durability: Mutex<Option<Durability>>,
+}
+
+fn invalid_data(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
 }
 
 impl Engine {
-    /// Creates an engine whose plan cache holds `cache_capacity`
-    /// compiled cases.
+    /// Creates an in-memory engine whose plan cache holds
+    /// `cache_capacity` compiled cases. Nothing survives a restart, but
+    /// version history and time-travel still work within the process.
     #[must_use]
     pub fn new(cache_capacity: usize) -> Self {
         Engine {
             registry: Mutex::new(Registry::default()),
             cache: Mutex::new(PlanCache::new(cache_capacity)),
             stats: Mutex::new(ServiceStats::default()),
+            durability: Mutex::new(None),
         }
+    }
+
+    /// Opens a durable engine: recovers the registry from the snapshot
+    /// and WAL tail under `config.data_dir` (truncating a torn final
+    /// record if the last run died mid-write), then logs every
+    /// subsequent acked mutation ahead of its response.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the data directory is unusable, or with
+    /// kind `InvalidData` when its contents are corrupt beyond the
+    /// torn-tail rule (bad manifest, missing object, replay mismatch) —
+    /// deliberately a hard error, because silently re-initializing a
+    /// store that an operator believes holds audit history would be
+    /// worse than refusing to start.
+    pub fn open(cache_capacity: usize, config: &DurabilityConfig) -> std::io::Result<Engine> {
+        let engine = Engine::new(cache_capacity);
+        let store = Store::open(&config.data_dir)?;
+        let manifest = store.load_manifest()?;
+        let mut last_seq = 0u64;
+        if let Some(manifest) = &manifest {
+            last_seq = manifest.seq;
+            engine.restore_snapshot(&store, manifest)?;
+        }
+        let (wal, replay) = Wal::open(store.wal_path(), config.fsync)?;
+        if replay.torn_tail_dropped {
+            eprintln!(
+                "depcase-service: wal: dropped a torn tail ({} bytes); \
+                 resuming from the last intact record",
+                replay.bytes_dropped
+            );
+        }
+        let mut replayed = 0u64;
+        for record in &replay.records {
+            if record.seq <= last_seq {
+                // The snapshot already covers this record: the last run
+                // died between writing the manifest and truncating the
+                // WAL. Skipping keeps replay idempotent.
+                continue;
+            }
+            engine.replay_record(record).map_err(invalid_data)?;
+            last_seq = record.seq;
+            replayed += 1;
+        }
+        {
+            let mut stats = lock_unpoisoned(&engine.stats);
+            let counters = stats.durability_mut();
+            counters.records_replayed = replayed;
+            counters.torn_tail_recoveries = u64::from(replay.torn_tail_dropped);
+        }
+        *lock_unpoisoned(&engine.durability) = Some(Durability {
+            store,
+            wal,
+            snapshot_every: config.snapshot_every,
+            since_snapshot: replayed,
+            next_seq: last_seq + 1,
+        });
+        Ok(engine)
+    }
+
+    /// True when this engine writes mutations ahead to a WAL.
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        lock_unpoisoned(&self.durability).is_some()
+    }
+
+    /// Forces everything acked so far to stable storage regardless of
+    /// fsync policy. Graceful drain calls this; a no-op for in-memory
+    /// engines.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the sync fails.
+    pub fn flush_durability(&self) -> std::io::Result<()> {
+        let mut durability = lock_unpoisoned(&self.durability);
+        if let Some(d) = durability.as_mut() {
+            d.wal.sync()?;
+            lock_unpoisoned(&self.stats).durability_mut().fsyncs += 1;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds registry state from a snapshot manifest.
+    fn restore_snapshot(&self, store: &Store, manifest: &Manifest) -> std::io::Result<()> {
+        let mut registry = lock_unpoisoned(&self.registry);
+        for snap_case in &manifest.cases {
+            for record in &snap_case.history {
+                if registry.objects.contains_key(&record.hash) {
+                    continue;
+                }
+                let doc = store.read_object(record.hash)?;
+                let case = Case::from_value(&doc).map_err(|e| {
+                    invalid_data(format!("object {}: {e}", format_hash(record.hash)))
+                })?;
+                if case.content_hash() != record.hash {
+                    return Err(invalid_data(format!(
+                        "object {} hashes to {} — store is corrupt",
+                        format_hash(record.hash),
+                        format_hash(case.content_hash())
+                    )));
+                }
+                registry.objects.insert(record.hash, Arc::new(case));
+            }
+            let last = *snap_case.history.last().expect("manifest history is never empty");
+            let case = Arc::clone(&registry.objects[&last.hash]);
+            registry.cases.insert(
+                snap_case.name.clone(),
+                NamedCase {
+                    current: CaseEntry { case, version: last.version, hash: last.hash },
+                    history: snap_case.history.clone(),
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Re-applies one WAL record to the registry. Edits replay against
+    /// the logged **base** hash — the exact stored state the action was
+    /// originally applied to — so recovery is deterministic even when
+    /// the live run interleaved concurrent edits; the logged result
+    /// hash then double-checks that replay reproduced the same case.
+    fn replay_record(&self, record: &WalRecord) -> Result<(), String> {
+        let seq = record.seq;
+        let case = match &record.op {
+            WalOp::Load { doc } => {
+                Case::from_value(doc).map_err(|e| format!("replaying load #{seq}: {e}"))?
+            }
+            WalOp::Edit { base_hash, action } => {
+                let base =
+                    lock_unpoisoned(&self.registry).objects.get(base_hash).cloned().ok_or_else(
+                        || {
+                            format!(
+                                "replaying edit #{seq}: base object {} is missing",
+                                format_hash(*base_hash)
+                            )
+                        },
+                    )?;
+                let mut session = Incremental::new((*base).clone())
+                    .map_err(|e| format!("replaying edit #{seq}: {e}"))?;
+                apply_action(&mut session, action)
+                    .map_err(|e| format!("replaying edit #{seq}: {}", e.message))?;
+                session.case().clone()
+            }
+        };
+        if case.content_hash() != record.hash {
+            return Err(format!(
+                "replaying record #{seq} produced hash {} but the log says {}",
+                format_hash(case.content_hash()),
+                format_hash(record.hash)
+            ));
+        }
+        let timestamps =
+            VersionRecord { version: record.version, hash: record.hash, ts_ms: record.ts_ms };
+        lock_unpoisoned(&self.registry).commit(&record.name, Arc::new(case), timestamps);
+        Ok(())
     }
 
     /// Handles one parsed request, recording latency and error counters.
@@ -84,7 +348,8 @@ impl Engine {
     }
 
     /// Like [`Engine::handle`], but fails with `deadline_exceeded` at
-    /// the next pipeline-stage boundary once `deadline` passes.
+    /// the next pipeline-stage boundary (or, for `mc`, the next sample
+    /// chunk) once `deadline` passes.
     ///
     /// # Errors
     ///
@@ -117,11 +382,18 @@ impl Engine {
         lock_unpoisoned(&self.stats).robustness()
     }
 
+    /// Snapshot of the durability counters (for tests and benches).
+    #[must_use]
+    pub fn durability_counters(&self) -> crate::stats::DurabilityCounters {
+        lock_unpoisoned(&self.stats).durability()
+    }
+
     fn dispatch(&self, request: &Request, deadline: Option<Instant>) -> Result<Value, WireError> {
         check_deadline(deadline)?;
         match request {
             Request::Load { name, case } => self.load(name, case),
-            Request::Eval { name } => self.eval(name, deadline),
+            Request::Eval { name, at } => self.eval(name, at.as_ref(), deadline),
+            Request::History { name } => self.history(name),
             Request::Edit { name, action } => self.edit(name, action, deadline),
             Request::Rank { name } => self.rank(name, deadline),
             Request::Mc { name, samples, seed, threads } => {
@@ -151,6 +423,91 @@ impl Engine {
         lock_unpoisoned(&self.cache).counters()
     }
 
+    /// Commits one mutation: assigns the next version, writes the WAL
+    /// record ahead of the ack (durable engines), updates the registry,
+    /// and takes a periodic snapshot when one is due.
+    ///
+    /// The durability mutex is held for the whole commit — version
+    /// assignment, append, registry update — so WAL sequence order and
+    /// registry commit order are the same order, which is what makes
+    /// replay deterministic. The registry lock itself is only taken for
+    /// the brief map updates, so readers (`eval`, `history`, …) never
+    /// wait on an fsync.
+    fn commit_mutation(
+        &self,
+        name: &str,
+        case: Arc<Case>,
+        hash: u64,
+        op: WalOp,
+    ) -> Result<u64, WireError> {
+        let mut durability = lock_unpoisoned(&self.durability);
+        let version = {
+            let registry = lock_unpoisoned(&self.registry);
+            registry.cases.get(name).map_or(1, |named| named.current.version + 1)
+        };
+        let ts_ms = now_ms();
+        if let Some(d) = durability.as_mut() {
+            let record =
+                WalRecord { seq: d.next_seq, ts_ms, name: name.to_string(), version, hash, op };
+            // Write-ahead discipline: if this append (or its fsync)
+            // fails, the mutation is answered `storage_error` and the
+            // registry is left untouched — never acked, never applied.
+            let synced = d.wal.append(&record).map_err(|e| storage_error("wal append", &e))?;
+            d.next_seq += 1;
+            d.since_snapshot += 1;
+            let mut stats = lock_unpoisoned(&self.stats);
+            let counters = stats.durability_mut();
+            counters.records_appended += 1;
+            counters.fsyncs += u64::from(synced);
+        }
+        lock_unpoisoned(&self.registry).commit(name, case, VersionRecord { version, hash, ts_ms });
+        if let Some(d) = durability.as_mut() {
+            if d.snapshot_every > 0 && d.since_snapshot >= d.snapshot_every {
+                if let Err(e) = self.write_snapshot(d) {
+                    // The mutation is already durable in the WAL; a
+                    // failed snapshot costs replay time, not data.
+                    eprintln!("depcase-service: snapshot failed (will retry later): {e}");
+                }
+            }
+        }
+        Ok(version)
+    }
+
+    /// Writes a snapshot covering everything committed so far, then
+    /// truncates the WAL behind it (see [`crate::snapshot`] for the
+    /// crash-ordering argument).
+    fn write_snapshot(&self, d: &mut Durability) -> std::io::Result<()> {
+        let (manifest, missing) = {
+            let registry = lock_unpoisoned(&self.registry);
+            let mut cases: Vec<ManifestCase> = registry
+                .cases
+                .iter()
+                .map(|(name, named)| ManifestCase {
+                    name: name.clone(),
+                    history: named.history.clone(),
+                })
+                .collect();
+            cases.sort_by(|a, b| a.name.cmp(&b.name));
+            let missing: Vec<(u64, Arc<Case>)> = registry
+                .objects
+                .iter()
+                .filter(|(hash, _)| !d.store.has_object(**hash))
+                .map(|(hash, case)| (*hash, Arc::clone(case)))
+                .collect();
+            (Manifest { seq: d.next_seq - 1, cases }, missing)
+        };
+        // Serialization and object writes run outside the registry
+        // lock; only already-committed (immutable) objects are touched.
+        for (hash, case) in missing {
+            d.store.write_object(hash, &Serialize::to_value(&*case))?;
+        }
+        d.store.write_manifest(&manifest)?;
+        d.wal.truncate()?;
+        d.since_snapshot = 0;
+        lock_unpoisoned(&self.stats).durability_mut().snapshots_written += 1;
+        Ok(())
+    }
+
     fn load(&self, name: &str, doc: &Value) -> Result<Value, WireError> {
         let case = Case::from_value(doc).map_err(|e| WireError::new(ErrorCode::BadCase, e))?;
         // Reject unevaluable cases at the door rather than on first use;
@@ -159,14 +516,8 @@ impl Engine {
         let hash = case.content_hash();
         let nodes = case.iter().count();
         lock_unpoisoned(&self.cache).insert(hash, Arc::new(compiled));
-        let version = {
-            let mut registry = lock_unpoisoned(&self.registry);
-            let version = registry.cases.get(name).map_or(1, |e| e.version + 1);
-            registry
-                .cases
-                .insert(name.to_string(), CaseEntry { case: Arc::new(case), version, hash });
-            version
-        };
+        let version =
+            self.commit_mutation(name, Arc::new(case), hash, WalOp::Load { doc: doc.clone() })?;
         Ok(Value::Object(vec![
             ("name".to_string(), Value::Str(name.to_string())),
             ("version".to_string(), Value::U64(version)),
@@ -176,9 +527,45 @@ impl Engine {
     }
 
     fn lookup(&self, name: &str) -> Result<CaseEntry, WireError> {
-        lock_unpoisoned(&self.registry).cases.get(name).cloned().ok_or_else(|| {
+        self.lookup_at(name, None)
+    }
+
+    /// Resolves a name to a case version: the current one, or — for
+    /// time-travel reads — the history entry named by `version` /
+    /// `at_hash`. Every historical hash has its object parked in the
+    /// registry, so resolution is two map lookups.
+    fn lookup_at(&self, name: &str, at: Option<&EvalAt>) -> Result<CaseEntry, WireError> {
+        let registry = lock_unpoisoned(&self.registry);
+        let named = registry.cases.get(name).ok_or_else(|| {
             WireError::new(ErrorCode::UnknownCase, format!("no case named `{name}` is loaded"))
-        })
+        })?;
+        let record = match at {
+            None => return Ok(named.current.clone()),
+            Some(EvalAt::Version(v)) => {
+                named.history.iter().find(|r| r.version == *v).ok_or_else(|| {
+                    WireError::new(
+                        ErrorCode::NoSuchVersion,
+                        format!("case `{name}` has no version {v}"),
+                    )
+                })?
+            }
+            // Most recent version carrying that content (an edited-back
+            // case owns its hash at several versions).
+            Some(EvalAt::Hash(h)) => {
+                named.history.iter().rev().find(|r| r.hash == *h).ok_or_else(|| {
+                    WireError::new(
+                        ErrorCode::NoSuchVersion,
+                        format!("case `{name}` has no version with hash {}", format_hash(*h)),
+                    )
+                })?
+            }
+        };
+        let case = registry
+            .objects
+            .get(&record.hash)
+            .cloned()
+            .expect("every history record has its object parked");
+        Ok(CaseEntry { case, version: record.version, hash: record.hash })
     }
 
     /// Fetches the compiled artefacts for an entry, compiling outside
@@ -194,8 +581,13 @@ impl Engine {
         Ok(compiled)
     }
 
-    fn eval(&self, name: &str, deadline: Option<Instant>) -> Result<Value, WireError> {
-        let entry = self.lookup(name)?;
+    fn eval(
+        &self,
+        name: &str,
+        at: Option<&EvalAt>,
+        deadline: Option<Instant>,
+    ) -> Result<Value, WireError> {
+        let entry = self.lookup_at(name, at)?;
         let compiled = self.compiled(&entry)?;
         check_deadline(deadline)?;
         let mut nodes = Vec::new();
@@ -218,13 +610,43 @@ impl Engine {
         Ok(Value::Object(fields))
     }
 
+    /// Answers the full version history of a named case: one row per
+    /// version with its content hash and commit timestamp, oldest
+    /// first — the audit trail behind time-travel `eval` and undo.
+    fn history(&self, name: &str) -> Result<Value, WireError> {
+        let registry = lock_unpoisoned(&self.registry);
+        let named = registry.cases.get(name).ok_or_else(|| {
+            WireError::new(ErrorCode::UnknownCase, format!("no case named `{name}` is loaded"))
+        })?;
+        let versions = named
+            .history
+            .iter()
+            .map(|r| {
+                Value::Object(vec![
+                    ("version".to_string(), Value::U64(r.version)),
+                    ("hash".to_string(), Value::Str(format_hash(r.hash))),
+                    ("ts_ms".to_string(), Value::U64(r.ts_ms)),
+                ])
+            })
+            .collect();
+        Ok(Value::Object(vec![
+            ("name".to_string(), Value::Str(name.to_string())),
+            ("case".to_string(), Value::Str(named.current.case.title().to_string())),
+            ("current_version".to_string(), Value::U64(named.current.version)),
+            ("current_hash".to_string(), Value::Str(format_hash(named.current.hash))),
+            ("versions".to_string(), Value::Array(versions)),
+        ]))
+    }
+
     /// Applies one mutation to a loaded case through the cached
     /// incremental session: only the edited node's ancestor spine runs
     /// the combination kernel, everything else is answered from the
     /// subtree-hash memo. The edited case replaces the registry entry
     /// under a bumped version, and the new plan-plus-memo artefacts join
     /// the cache under the new content hash — the pre-edit entry stays
-    /// cached, so editing back to a previous state is a pure cache hit.
+    /// cached *and* in the version history, so editing back to a
+    /// previous state is a pure cache hit and every prior state stays
+    /// evaluable.
     fn edit(
         &self,
         name: &str,
@@ -235,33 +657,7 @@ impl Engine {
         let compiled = self.compiled(&entry)?;
         check_deadline(deadline)?;
         let mut session = compiled.session.clone();
-        let delta = match action {
-            EditAction::SetConfidence { node, confidence } => {
-                let id = resolve(session.case(), node)?;
-                session
-                    .set_confidence(id, *confidence)
-                    .map_err(|e| WireError::from(depcase::Error::from(e)))?
-            }
-            EditAction::AddLeaf { parent, node, statement, kind, confidence } => {
-                let p = resolve(session.case(), parent)?;
-                session
-                    .add_leaf(
-                        p,
-                        node.clone(),
-                        statement.clone().unwrap_or_default(),
-                        kind.to_lib(),
-                        *confidence,
-                    )
-                    .map_err(|e| WireError::from(depcase::Error::from(e)))?
-                    .1
-            }
-            EditAction::Retarget { parent, from, to } => {
-                let p = resolve(session.case(), parent)?;
-                let f = resolve(session.case(), from)?;
-                let t = resolve(session.case(), to)?;
-                session.retarget(p, f, t).map_err(|e| WireError::from(depcase::Error::from(e)))?
-            }
-        };
+        let delta = apply_action(&mut session, action)?;
         let hash = session.case_hash();
         let nodes = session.case().len();
         let case = Arc::new(session.case().clone());
@@ -271,12 +667,12 @@ impl Engine {
             session,
         });
         lock_unpoisoned(&self.cache).insert(hash, Arc::clone(&compiled));
-        let version = {
-            let mut registry = lock_unpoisoned(&self.registry);
-            let version = registry.cases.get(name).map_or(1, |e| e.version + 1);
-            registry.cases.insert(name.to_string(), CaseEntry { case, version, hash });
-            version
-        };
+        let version = self.commit_mutation(
+            name,
+            case,
+            hash,
+            WalOp::Edit { base_hash: entry.hash, action: action.clone() },
+        )?;
         lock_unpoisoned(&self.stats).note_edit(delta.nodes_recomputed, delta.nodes_reused);
         let mut fields = vec![
             ("name".to_string(), Value::Str(name.to_string())),
@@ -326,14 +722,26 @@ impl Engine {
     ) -> Result<Value, WireError> {
         let entry = self.lookup(name)?;
         let compiled = self.compiled(&entry)?;
-        // The sampling run itself is not interruptible — the budget
-        // must still be open when it starts.
         check_deadline(deadline)?;
-        let report = MonteCarlo::new(samples)
-            .seed(seed)
-            .threads(threads)
-            .run_plan(&compiled.plan)
-            .map_err(|e| WireError::from(depcase::Error::from(e)))?;
+        let runner = MonteCarlo::new(samples).seed(seed).threads(threads);
+        // With a deadline, the run polls it between sample chunks, so
+        // `deadline_exceeded` arrives within one chunk of the budget
+        // instead of after the full sampling time. A completed run is
+        // bit-identical to the unpolled path.
+        let report = match deadline {
+            None => runner
+                .run_plan(&compiled.plan)
+                .map_err(|e| WireError::from(depcase::Error::from(e)))?,
+            Some(d) => runner
+                .run_plan_until(&compiled.plan, &move || Instant::now() >= d)
+                .map_err(|e| WireError::from(depcase::Error::from(e)))?
+                .ok_or_else(|| {
+                    WireError::new(
+                        ErrorCode::DeadlineExceeded,
+                        "request deadline exceeded mid-sampling; partial results are discarded",
+                    )
+                })?,
+        };
         let mut estimates = Vec::new();
         for (id, node) in entry.case.iter() {
             if let Some(estimate) = report.estimate(id) {
@@ -419,6 +827,39 @@ fn compile(case: &Case) -> Result<CompiledCase, WireError> {
     Ok(CompiledCase { plan: session.plan().clone(), report: session.report(), session })
 }
 
+/// Applies one wire edit action to an incremental session. Shared by
+/// the live `edit` path and WAL replay, so a logged action re-executes
+/// through exactly the code that produced the acked response.
+fn apply_action(session: &mut Incremental, action: &EditAction) -> Result<EditStats, WireError> {
+    match action {
+        EditAction::SetConfidence { node, confidence } => {
+            let id = resolve(session.case(), node)?;
+            session
+                .set_confidence(id, *confidence)
+                .map_err(|e| WireError::from(depcase::Error::from(e)))
+        }
+        EditAction::AddLeaf { parent, node, statement, kind, confidence } => {
+            let p = resolve(session.case(), parent)?;
+            session
+                .add_leaf(
+                    p,
+                    node.clone(),
+                    statement.clone().unwrap_or_default(),
+                    kind.to_lib(),
+                    *confidence,
+                )
+                .map(|(_, delta)| delta)
+                .map_err(|e| WireError::from(depcase::Error::from(e)))
+        }
+        EditAction::Retarget { parent, from, to } => {
+            let p = resolve(session.case(), parent)?;
+            let f = resolve(session.case(), from)?;
+            let t = resolve(session.case(), to)?;
+            session.retarget(p, f, t).map_err(|e| WireError::from(depcase::Error::from(e)))
+        }
+    }
+}
+
 /// Resolves a wire node name against a case, answering the library's
 /// `case` error code for unknown names.
 fn resolve(case: &Case, name: &str) -> Result<NodeId, WireError> {
@@ -466,11 +907,35 @@ mod tests {
         engine.handle(&Request::Load { name: name.to_string(), case: demo_case_value() }).unwrap();
     }
 
+    fn eval_current(engine: &Engine, name: &str) -> Value {
+        engine.handle(&Request::Eval { name: name.to_string(), at: None }).unwrap()
+    }
+
+    fn set_confidence(engine: &Engine, name: &str, node: &str, confidence: f64) -> Value {
+        engine
+            .handle(&Request::Edit {
+                name: name.to_string(),
+                action: EditAction::SetConfidence { node: node.to_string(), confidence },
+            })
+            .unwrap()
+    }
+
+    fn root_bits(value: &Value) -> u64 {
+        value.get("root_confidence").and_then(Value::as_f64).unwrap().to_bits()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("depcase_engine_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn load_then_eval_matches_direct_propagation() {
         let engine = Engine::new(8);
         load_demo(&engine, "demo");
-        let result = engine.handle(&Request::Eval { name: "demo".into() }).unwrap();
+        let result = eval_current(&engine, "demo");
         let root = result.get("root_confidence").and_then(Value::as_f64).unwrap();
 
         let case = Case::from_value(&demo_case_value()).unwrap();
@@ -486,7 +951,7 @@ mod tests {
             engine.handle(&Request::Load { name: "demo".into(), case: demo_case_value() }).unwrap();
         assert_eq!(second.get("version").and_then(Value::as_u64), Some(2));
 
-        let err = engine.handle(&Request::Eval { name: "missing".into() }).unwrap_err();
+        let err = engine.handle(&Request::Eval { name: "missing".into(), at: None }).unwrap_err();
         assert_eq!(err.code, ErrorCode::UnknownCase);
     }
 
@@ -494,9 +959,9 @@ mod tests {
     fn second_eval_of_unchanged_case_hits_the_plan_cache() {
         let engine = Engine::new(8);
         load_demo(&engine, "demo");
-        engine.handle(&Request::Eval { name: "demo".into() }).unwrap();
+        eval_current(&engine, "demo");
         let before = engine.cache_counters();
-        engine.handle(&Request::Eval { name: "demo".into() }).unwrap();
+        eval_current(&engine, "demo");
         let after = engine.cache_counters();
         assert_eq!(after.hits, before.hits + 1);
         assert_eq!(after.misses, before.misses);
@@ -526,15 +991,56 @@ mod tests {
     }
 
     #[test]
+    fn mc_with_an_open_deadline_is_bit_identical_to_no_deadline() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        let free = engine
+            .handle(&Request::Mc { name: "demo".into(), samples: 20_000, seed: 7, threads: 2 })
+            .unwrap();
+        let open = Instant::now() + std::time::Duration::from_secs(120);
+        let budgeted = engine
+            .handle_deadline(
+                &Request::Mc { name: "demo".into(), samples: 20_000, seed: 7, threads: 2 },
+                Some(open),
+            )
+            .unwrap();
+        let estimate = |v: &Value| {
+            v.get("estimates").and_then(Value::as_array).unwrap()[0]
+                .get("estimate")
+                .and_then(Value::as_f64)
+                .unwrap()
+                .to_bits()
+        };
+        assert_eq!(estimate(&free), estimate(&budgeted));
+    }
+
+    #[test]
+    fn mc_deadline_fires_between_sample_chunks() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        // An enormous budget that would take far longer than the
+        // deadline: the chunk-level poll must cut it short.
+        let spent = Instant::now() + std::time::Duration::from_millis(1);
+        let started = Instant::now();
+        let err = engine
+            .handle_deadline(
+                &Request::Mc { name: "demo".into(), samples: 500_000_000, seed: 7, threads: 2 },
+                Some(spent),
+            )
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::DeadlineExceeded);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(30),
+            "deadline must interrupt sampling long before the full run"
+        );
+        assert!(engine.robustness().deadline_exceeded >= 1);
+    }
+
+    #[test]
     fn edit_set_confidence_matches_a_full_reload() {
         let engine = Engine::new(8);
         load_demo(&engine, "demo");
-        let result = engine
-            .handle(&Request::Edit {
-                name: "demo".into(),
-                action: EditAction::SetConfidence { node: "E1".into(), confidence: 0.97 },
-            })
-            .unwrap();
+        let result = set_confidence(&engine, "demo", "E1", 0.97);
         assert_eq!(result.get("version").and_then(Value::as_u64), Some(2));
         assert!(result.get("nodes_recomputed").and_then(Value::as_u64).unwrap() >= 1);
 
@@ -547,7 +1053,7 @@ mod tests {
         assert_eq!(root.to_bits(), direct.to_bits());
 
         // Follow-up ops see the edited case.
-        let eval = engine.handle(&Request::Eval { name: "demo".into() }).unwrap();
+        let eval = eval_current(&engine, "demo");
         let again = eval.get("root_confidence").and_then(Value::as_f64).unwrap();
         assert_eq!(again.to_bits(), direct.to_bits());
         assert_eq!(eval.get("version").and_then(Value::as_u64), Some(2));
@@ -557,21 +1063,145 @@ mod tests {
     fn edit_back_restores_the_original_content_hash() {
         let engine = Engine::new(8);
         load_demo(&engine, "demo");
-        let loaded = engine.handle(&Request::Eval { name: "demo".into() }).unwrap();
+        let loaded = eval_current(&engine, "demo");
         let original = loaded.get("hash").and_then(Value::as_str).unwrap().to_string();
-        let set = |c: f64| {
-            engine
-                .handle(&Request::Edit {
-                    name: "demo".into(),
-                    action: EditAction::SetConfidence { node: "E1".into(), confidence: c },
-                })
-                .unwrap()
-        };
-        let edited = set(0.97);
+        let edited = set_confidence(&engine, "demo", "E1", 0.97);
         assert_ne!(edited.get("hash").and_then(Value::as_str).unwrap(), original);
-        let undone = set(0.95);
+        let undone = set_confidence(&engine, "demo", "E1", 0.95);
         assert_eq!(undone.get("hash").and_then(Value::as_str).unwrap(), original);
         assert_eq!(undone.get("version").and_then(Value::as_u64), Some(3));
+    }
+
+    #[test]
+    fn history_records_every_version_and_eval_time_travels() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        let v1 = eval_current(&engine, "demo");
+        set_confidence(&engine, "demo", "E1", 0.97);
+        set_confidence(&engine, "demo", "E2", 0.80);
+
+        let history = engine.handle(&Request::History { name: "demo".into() }).unwrap();
+        assert_eq!(history.get("current_version").and_then(Value::as_u64), Some(3));
+        let versions = history.get("versions").and_then(Value::as_array).unwrap();
+        assert_eq!(versions.len(), 3);
+        assert_eq!(versions[0].get("version").and_then(Value::as_u64), Some(1));
+        let v1_hash = versions[0].get("hash").and_then(Value::as_str).unwrap().to_string();
+        assert_eq!(v1.get("hash").and_then(Value::as_str), Some(v1_hash.as_str()));
+
+        // Time-travel by version: bit-identical to the original answer.
+        let back = engine
+            .handle(&Request::Eval { name: "demo".into(), at: Some(EvalAt::Version(1)) })
+            .unwrap();
+        assert_eq!(root_bits(&back), root_bits(&v1));
+        assert_eq!(back.get("version").and_then(Value::as_u64), Some(1));
+
+        // Time-travel by content hash answers the same state.
+        let by_hash = engine
+            .handle(&Request::Eval {
+                name: "demo".into(),
+                at: Some(EvalAt::Hash(crate::protocol::parse_hash(&v1_hash).unwrap())),
+            })
+            .unwrap();
+        assert_eq!(root_bits(&by_hash), root_bits(&v1));
+
+        // The current state is untouched by historical reads.
+        let current = eval_current(&engine, "demo");
+        assert_eq!(current.get("version").and_then(Value::as_u64), Some(3));
+
+        // Unknown versions and hashes answer `no_such_version`.
+        let err = engine
+            .handle(&Request::Eval { name: "demo".into(), at: Some(EvalAt::Version(9)) })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::NoSuchVersion);
+        let err = engine
+            .handle(&Request::Eval { name: "demo".into(), at: Some(EvalAt::Hash(1)) })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::NoSuchVersion);
+        let err = engine.handle(&Request::History { name: "missing".into() }).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownCase);
+    }
+
+    #[test]
+    fn durable_engine_recovers_acked_mutations_bit_identically() {
+        let dir = tmp_dir("recover");
+        let config = DurabilityConfig::new(&dir);
+        let (v1_bits, v3_bits, v3_hash) = {
+            let engine = Engine::open(8, &config).unwrap();
+            assert!(engine.is_durable());
+            load_demo(&engine, "demo");
+            let v1 = eval_current(&engine, "demo");
+            set_confidence(&engine, "demo", "E1", 0.97);
+            set_confidence(&engine, "demo", "E2", 0.80);
+            let v3 = eval_current(&engine, "demo");
+            let counters = engine.durability_counters();
+            assert_eq!(counters.records_appended, 3);
+            assert_eq!(counters.records_replayed, 0);
+            (
+                root_bits(&v1),
+                root_bits(&v3),
+                v3.get("hash").and_then(Value::as_str).unwrap().to_string(),
+            )
+            // Dropped without any drain/flush: recovery must work from
+            // the unsynced WAL alone (single-write appends land in the
+            // page cache even when the process dies).
+        };
+
+        let engine = Engine::open(8, &config).unwrap();
+        let counters = engine.durability_counters();
+        assert_eq!(counters.records_replayed, 3);
+        assert_eq!(counters.torn_tail_recoveries, 0);
+        let current = eval_current(&engine, "demo");
+        assert_eq!(current.get("version").and_then(Value::as_u64), Some(3));
+        assert_eq!(current.get("hash").and_then(Value::as_str), Some(v3_hash.as_str()));
+        assert_eq!(root_bits(&current), v3_bits);
+        // History — including timestamps — survives, and time travel
+        // still answers the original bits.
+        let history = engine.handle(&Request::History { name: "demo".into() }).unwrap();
+        assert_eq!(history.get("versions").and_then(Value::as_array).unwrap().len(), 3);
+        let back = engine
+            .handle(&Request::Eval { name: "demo".into(), at: Some(EvalAt::Version(1)) })
+            .unwrap();
+        assert_eq!(root_bits(&back), v1_bits);
+        // Mutations keep appending after recovery.
+        set_confidence(&engine, "demo", "E1", 0.99);
+        assert_eq!(eval_current(&engine, "demo").get("version").and_then(Value::as_u64), Some(4));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshots_truncate_the_wal_and_dedupe_objects() {
+        let dir = tmp_dir("snapshot");
+        let config = DurabilityConfig {
+            data_dir: dir.clone(),
+            fsync: FsyncPolicy::Never,
+            snapshot_every: 2,
+        };
+        {
+            let engine = Engine::open(8, &config).unwrap();
+            load_demo(&engine, "demo");
+            set_confidence(&engine, "demo", "E1", 0.97);
+            // 2 mutations → snapshot fired, WAL truncated.
+            assert_eq!(engine.durability_counters().snapshots_written, 1);
+            // Editing back re-reaches version 1's content hash: the
+            // object store must not grow a duplicate for it.
+            set_confidence(&engine, "demo", "E1", 0.95);
+            set_confidence(&engine, "demo", "E1", 0.97);
+            assert_eq!(engine.durability_counters().snapshots_written, 2);
+        }
+        // Only two distinct contents ever existed → two objects on disk.
+        let objects = std::fs::read_dir(dir.join("objects"))
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().path().extension().is_some_and(|ext| ext == "json"))
+            .count();
+        assert_eq!(objects, 2, "content-addressed store must deduplicate");
+
+        // Restart: everything lives in the snapshot, nothing in the WAL.
+        let engine = Engine::open(8, &config).unwrap();
+        assert_eq!(engine.durability_counters().records_replayed, 0);
+        let history = engine.handle(&Request::History { name: "demo".into() }).unwrap();
+        assert_eq!(history.get("versions").and_then(Value::as_array).unwrap().len(), 4);
+        assert_eq!(eval_current(&engine, "demo").get("version").and_then(Value::as_u64), Some(4));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -618,6 +1248,43 @@ mod tests {
     }
 
     #[test]
+    fn structural_edits_replay_bit_identically_through_the_wal() {
+        let dir = tmp_dir("structural");
+        let config = DurabilityConfig::new(&dir);
+        let expected = {
+            let engine = Engine::open(8, &config).unwrap();
+            load_demo(&engine, "demo");
+            engine
+                .handle(&Request::Edit {
+                    name: "demo".into(),
+                    action: EditAction::AddLeaf {
+                        parent: "G".into(),
+                        node: "E3".into(),
+                        statement: Some("field data".into()),
+                        kind: crate::protocol::WireLeafKind::Evidence,
+                        confidence: 0.85,
+                    },
+                })
+                .unwrap();
+            engine
+                .handle(&Request::Edit {
+                    name: "demo".into(),
+                    action: EditAction::Retarget {
+                        parent: "S".into(),
+                        from: "E2".into(),
+                        to: "E3".into(),
+                    },
+                })
+                .unwrap();
+            root_bits(&eval_current(&engine, "demo"))
+        };
+        let engine = Engine::open(8, &config).unwrap();
+        assert_eq!(engine.durability_counters().records_replayed, 3);
+        assert_eq!(root_bits(&eval_current(&engine, "demo")), expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn edits_on_unknown_nodes_fail_without_side_effects() {
         let engine = Engine::new(8);
         load_demo(&engine, "demo");
@@ -637,7 +1304,7 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.code, ErrorCode::Case);
         // The registry still holds version 1 of the unedited case.
-        let eval = engine.handle(&Request::Eval { name: "demo".into() }).unwrap();
+        let eval = eval_current(&engine, "demo");
         assert_eq!(eval.get("version").and_then(Value::as_u64), Some(1));
     }
 
@@ -645,12 +1312,7 @@ mod tests {
     fn edit_counters_surface_in_stats() {
         let engine = Engine::new(8);
         load_demo(&engine, "demo");
-        engine
-            .handle(&Request::Edit {
-                name: "demo".into(),
-                action: EditAction::SetConfidence { node: "E1".into(), confidence: 0.97 },
-            })
-            .unwrap();
+        set_confidence(&engine, "demo", "E1", 0.97);
         let stats = engine.handle(&Request::Stats).unwrap();
         let edit_ops = stats.get("ops").and_then(|o| o.get("edit")).unwrap();
         assert_eq!(edit_ops.get("requests").and_then(Value::as_u64), Some(1));
@@ -658,6 +1320,9 @@ mod tests {
         assert_eq!(inc.get("edits").and_then(Value::as_u64), Some(1));
         assert!(inc.get("nodes_recomputed").and_then(Value::as_u64).unwrap() >= 1);
         assert!(inc.get("nodes_reused").is_some());
+        // The durability block is always present (zeros when in-memory).
+        let durability = stats.get("durability").unwrap();
+        assert_eq!(durability.get("records_appended").and_then(Value::as_u64), Some(0));
     }
 
     #[test]
@@ -696,14 +1361,15 @@ mod tests {
         load_demo(&engine, "demo");
         let spent = Instant::now() - std::time::Duration::from_millis(1);
         let err = engine
-            .handle_deadline(&Request::Eval { name: "demo".into() }, Some(spent))
+            .handle_deadline(&Request::Eval { name: "demo".into(), at: None }, Some(spent))
             .unwrap_err();
         assert_eq!(err.code, ErrorCode::DeadlineExceeded);
         assert_eq!(engine.robustness().deadline_exceeded, 1);
         // An open budget changes nothing about the answer.
         let open = Instant::now() + std::time::Duration::from_secs(60);
-        let result =
-            engine.handle_deadline(&Request::Eval { name: "demo".into() }, Some(open)).unwrap();
+        let result = engine
+            .handle_deadline(&Request::Eval { name: "demo".into(), at: None }, Some(open))
+            .unwrap();
         assert!(result.get("root_confidence").is_some());
     }
 
@@ -720,8 +1386,8 @@ mod tests {
     fn stats_reflect_handled_requests() {
         let engine = Engine::new(8);
         load_demo(&engine, "demo");
-        engine.handle(&Request::Eval { name: "demo".into() }).unwrap();
-        let _ = engine.handle(&Request::Eval { name: "missing".into() });
+        eval_current(&engine, "demo");
+        let _ = engine.handle(&Request::Eval { name: "missing".into(), at: None });
         let stats = engine.handle(&Request::Stats).unwrap();
         let evals = stats.get("ops").and_then(|o| o.get("eval")).unwrap();
         assert_eq!(evals.get("requests").and_then(Value::as_u64), Some(2));

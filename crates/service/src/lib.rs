@@ -19,6 +19,12 @@
 //!   version, recomputing only the edited node's ancestor spine via the
 //!   cached session's subtree-hash memo; `stats` reports the
 //!   `nodes_recomputed` / `nodes_reused` tally ([`IncrementalCounters`]).
+//! - **Durability** — with `--data-dir`, every acked `load`/`edit` is
+//!   written ahead to a checksummed WAL before the response is
+//!   released, periodic content-addressed snapshots bound replay time,
+//!   and a restart (or `kill -9`) recovers exactly the acked state —
+//!   including the full version history behind time-travel `eval`
+//!   ([`wal`], [`snapshot`], [`Engine::open`]).
 //! - **Wire protocol** — newline-delimited JSON over a localhost TCP
 //!   listener or stdin/stdout, with stable machine-readable error codes
 //!   ([`protocol`]).
@@ -60,17 +66,21 @@ pub mod engine;
 pub mod faults;
 pub mod protocol;
 pub mod server;
+pub mod snapshot;
 pub mod stats;
+pub mod wal;
 
 pub use cache::{CacheCounters, CompiledCase, PlanCache};
 pub use client::{Client, RetryPolicy, RetryingClient};
-pub use engine::Engine;
+pub use engine::{DurabilityConfig, Engine};
 pub use faults::{FaultPlan, InjectedCounts};
-pub use protocol::{EditAction, Envelope, ErrorCode, Request, WireError, WireLeafKind};
+pub use protocol::{EditAction, Envelope, ErrorCode, EvalAt, Request, WireError, WireLeafKind};
 pub use server::{serve_stdio, serve_stdio_with, Server, ServerConfig};
 pub use stats::{
-    Histogram, IncrementalCounters, RobustnessCounters, RobustnessEvent, ServiceStats,
+    DurabilityCounters, Histogram, IncrementalCounters, RobustnessCounters, RobustnessEvent,
+    ServiceStats,
 };
+pub use wal::FsyncPolicy;
 
 /// Locks a mutex, recovering the guard from a poisoned lock.
 ///

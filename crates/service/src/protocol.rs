@@ -21,8 +21,11 @@
 //! the library map one-to-one from [`depcase::Error`] variants (`case`,
 //! `confidence`, `distribution`, `numerics`), while the transport adds
 //! `bad_json`, `bad_request`, `unknown_op`, `unknown_case`, `bad_case`,
-//! and the fault-tolerance codes `internal_error`, `deadline_exceeded`,
-//! `overloaded` (with a `retry_after_ms` hint), and `request_too_large`.
+//! the fault-tolerance codes `internal_error`, `deadline_exceeded`,
+//! `overloaded` (with a `retry_after_ms` hint), and `request_too_large`,
+//! and the durability codes `no_such_version` (a `history`/time-travel
+//! lookup named an unrecorded version) and `storage_error` (a WAL or
+//! snapshot write failed; the mutation is not durable).
 //!
 //! The parser is strict about request framing: a line must hold exactly
 //! one JSON object — trailing garbage after the object and duplicate
@@ -90,12 +93,18 @@ pub enum ErrorCode {
     /// The request line exceeded the configured maximum length; the
     /// oversized line was discarded but the connection survives.
     RequestTooLarge,
+    /// A `history` lookup or time-travel `eval` named a version (or
+    /// content hash) the registry has never recorded for that case.
+    NoSuchVersion,
+    /// The durability layer failed (WAL append, fsync, or snapshot
+    /// I/O); the mutation was **not** acknowledged as durable.
+    StorageError,
 }
 
 impl ErrorCode {
     /// Every code the service can put on the wire, in documentation
     /// order. Chaos tests assert observed codes stay inside this set.
-    pub const ALL: [ErrorCode; 13] = [
+    pub const ALL: [ErrorCode; 15] = [
         ErrorCode::BadJson,
         ErrorCode::BadRequest,
         ErrorCode::UnknownOp,
@@ -109,6 +118,8 @@ impl ErrorCode {
         ErrorCode::DeadlineExceeded,
         ErrorCode::Overloaded,
         ErrorCode::RequestTooLarge,
+        ErrorCode::NoSuchVersion,
+        ErrorCode::StorageError,
     ];
 
     /// The stable wire spelling of this code.
@@ -128,6 +139,8 @@ impl ErrorCode {
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::RequestTooLarge => "request_too_large",
+            ErrorCode::NoSuchVersion => "no_such_version",
+            ErrorCode::StorageError => "storage_error",
         }
     }
 
@@ -246,6 +259,86 @@ pub enum EditAction {
     },
 }
 
+impl EditAction {
+    /// Parses the action fields out of a JSON object carrying the same
+    /// spellings as the `edit` op (`action`, `node`, `confidence`, …).
+    /// Shared by the request parser and the WAL replay path, so a
+    /// logged edit round-trips through exactly the wire grammar.
+    ///
+    /// # Errors
+    ///
+    /// `bad_request` for unknown actions or missing/mistyped fields.
+    pub fn from_fields(obj: &[(String, Value)]) -> Result<EditAction, WireError> {
+        match str_field(obj, "action")?.as_str() {
+            "set_confidence" => Ok(EditAction::SetConfidence {
+                node: str_field(obj, "node")?,
+                confidence: f64_field(obj, "confidence")?,
+            }),
+            "add_leaf" => Ok(EditAction::AddLeaf {
+                parent: str_field(obj, "parent")?,
+                node: str_field(obj, "node")?,
+                statement: opt_str_field(obj, "statement")?,
+                kind: match opt_str_field(obj, "kind")? {
+                    None => WireLeafKind::Evidence,
+                    Some(s) => WireLeafKind::parse(&s)?,
+                },
+                confidence: f64_field(obj, "confidence")?,
+            }),
+            "retarget" => Ok(EditAction::Retarget {
+                parent: str_field(obj, "parent")?,
+                from: str_field(obj, "from")?,
+                to: str_field(obj, "to")?,
+            }),
+            other => Err(WireError::new(
+                ErrorCode::BadRequest,
+                format!(
+                    "action must be \"set_confidence\", \"add_leaf\" or \
+                     \"retarget\", got \"{other}\""
+                ),
+            )),
+        }
+    }
+
+    /// The action as a standalone JSON object in the wire spelling;
+    /// [`EditAction::from_fields`] on the result is the identity.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let s = |v: &str| Value::Str(v.to_string());
+        match self {
+            EditAction::SetConfidence { node, confidence } => Value::Object(vec![
+                ("action".to_string(), s("set_confidence")),
+                ("node".to_string(), s(node)),
+                ("confidence".to_string(), Value::F64(*confidence)),
+            ]),
+            EditAction::AddLeaf { parent, node, statement, kind, confidence } => {
+                let mut fields = vec![
+                    ("action".to_string(), s("add_leaf")),
+                    ("parent".to_string(), s(parent)),
+                    ("node".to_string(), s(node)),
+                ];
+                if let Some(statement) = statement {
+                    fields.push(("statement".to_string(), s(statement)));
+                }
+                fields.push((
+                    "kind".to_string(),
+                    s(match kind {
+                        WireLeafKind::Evidence => "evidence",
+                        WireLeafKind::Assumption => "assumption",
+                    }),
+                ));
+                fields.push(("confidence".to_string(), Value::F64(*confidence)));
+                Value::Object(fields)
+            }
+            EditAction::Retarget { parent, from, to } => Value::Object(vec![
+                ("action".to_string(), s("retarget")),
+                ("parent".to_string(), s(parent)),
+                ("from".to_string(), s(from)),
+                ("to".to_string(), s(to)),
+            ]),
+        }
+    }
+}
+
 /// SIL demand mode named on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireDemandMode {
@@ -277,6 +370,15 @@ impl WireDemandMode {
     }
 }
 
+/// Which stored state of a case a time-travel `eval` addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalAt {
+    /// `"version": N` — the registry version number.
+    Version(u64),
+    /// `"at_hash": "…"` — the 16-hex-digit content hash.
+    Hash(u64),
+}
+
 /// A parsed request, ready for the engine.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -287,10 +389,13 @@ pub enum Request {
         /// The case document, still raw; the engine deserializes it.
         case: Value,
     },
-    /// Analytic confidence propagation over a named case.
+    /// Analytic confidence propagation over a named case — the current
+    /// version, or any recorded version via `version`/`at_hash`.
     Eval {
         /// Registry name of the case.
         name: String,
+        /// Historical version to assess instead of the current one.
+        at: Option<EvalAt>,
     },
     /// Incremental mutation of a loaded case, bumping its version.
     Edit {
@@ -298,6 +403,12 @@ pub enum Request {
         name: String,
         /// The mutation to apply.
         action: EditAction,
+    },
+    /// Version history (versions, content hashes, timestamps) of a
+    /// named case, oldest first.
+    History {
+        /// Registry name of the case.
+        name: String,
     },
     /// Evidence ranked by Birnbaum importance and gain-if-certain.
     Rank {
@@ -474,40 +585,41 @@ fn parse_op(value: &Value, obj: &[(String, Value)]) -> Result<Request, WireError
                 .clone();
             Request::Load { name: str_field(obj, "name")?, case }
         }
-        "eval" => Request::Eval { name: str_field(obj, "name")? },
-        "edit" => {
-            let action = match str_field(obj, "action")?.as_str() {
-                "set_confidence" => EditAction::SetConfidence {
-                    node: str_field(obj, "node")?,
-                    confidence: f64_field(obj, "confidence")?,
-                },
-                "add_leaf" => EditAction::AddLeaf {
-                    parent: str_field(obj, "parent")?,
-                    node: str_field(obj, "node")?,
-                    statement: opt_str_field(obj, "statement")?,
-                    kind: match opt_str_field(obj, "kind")? {
-                        None => WireLeafKind::Evidence,
-                        Some(s) => WireLeafKind::parse(&s)?,
-                    },
-                    confidence: f64_field(obj, "confidence")?,
-                },
-                "retarget" => EditAction::Retarget {
-                    parent: str_field(obj, "parent")?,
-                    from: str_field(obj, "from")?,
-                    to: str_field(obj, "to")?,
-                },
-                other => {
+        "eval" => {
+            let version = obj.iter().find(|(k, _)| k == "version");
+            let at_hash = obj.iter().find(|(k, _)| k == "at_hash");
+            let at = match (version, at_hash) {
+                (Some(_), Some(_)) => {
                     return Err(WireError::new(
                         ErrorCode::BadRequest,
-                        format!(
-                            "action must be \"set_confidence\", \"add_leaf\" or \
-                             \"retarget\", got \"{other}\""
-                        ),
+                        "give `version` or `at_hash`, not both",
                     ))
                 }
+                (Some((_, v)), None) => Some(EvalAt::Version(v.as_u64().ok_or_else(|| {
+                    WireError::new(
+                        ErrorCode::BadRequest,
+                        "field `version` must be a non-negative integer",
+                    )
+                })?)),
+                (None, Some((_, v))) => {
+                    let text = v.as_str().ok_or_else(|| {
+                        WireError::new(ErrorCode::BadRequest, "field `at_hash` must be a string")
+                    })?;
+                    Some(EvalAt::Hash(parse_hash(text).ok_or_else(|| {
+                        WireError::new(
+                            ErrorCode::BadRequest,
+                            "field `at_hash` must be a 16-hex-digit content hash",
+                        )
+                    })?))
+                }
+                (None, None) => None,
             };
-            Request::Edit { name: str_field(obj, "name")?, action }
+            Request::Eval { name: str_field(obj, "name")?, at }
         }
+        "edit" => {
+            Request::Edit { name: str_field(obj, "name")?, action: EditAction::from_fields(obj)? }
+        }
+        "history" => Request::History { name: str_field(obj, "name")? },
         "rank" => Request::Rank { name: str_field(obj, "name")? },
         "mc" => Request::Mc {
             name: str_field(obj, "name")?,
@@ -553,6 +665,7 @@ impl Request {
             Request::Load { .. } => "load",
             Request::Eval { .. } => "eval",
             Request::Edit { .. } => "edit",
+            Request::History { .. } => "history",
             Request::Rank { .. } => "rank",
             Request::Mc { .. } => "mc",
             Request::Bands { .. } => "bands",
@@ -603,6 +716,16 @@ pub fn err_line(id: &RequestId, err: &WireError) -> String {
 #[must_use]
 pub fn format_hash(hash: u64) -> String {
     format!("{hash:016x}")
+}
+
+/// Parses a content hash in its wire spelling ([`format_hash`]): exactly
+/// 16 lowercase hex digits.
+#[must_use]
+pub fn parse_hash(text: &str) -> Option<u64> {
+    if text.len() != 16 || !text.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok()
 }
 
 #[cfg(test)]
@@ -674,6 +797,78 @@ mod tests {
                 },
             }
         );
+    }
+
+    #[test]
+    fn eval_parses_time_travel_addressing() {
+        let env = parse_request(r#"{"op":"eval","name":"c"}"#).unwrap();
+        assert_eq!(env.request, Request::Eval { name: "c".into(), at: None });
+
+        let env = parse_request(r#"{"op":"eval","name":"c","version":3}"#).unwrap();
+        assert_eq!(env.request, Request::Eval { name: "c".into(), at: Some(EvalAt::Version(3)) });
+
+        let env =
+            parse_request(r#"{"op":"eval","name":"c","at_hash":"00ff00ff00ff00ff"}"#).unwrap();
+        assert_eq!(
+            env.request,
+            Request::Eval { name: "c".into(), at: Some(EvalAt::Hash(0x00ff_00ff_00ff_00ff)) }
+        );
+
+        // Both addresses at once, malformed hashes, mistyped versions.
+        for line in [
+            r#"{"op":"eval","name":"c","version":1,"at_hash":"00ff00ff00ff00ff"}"#,
+            r#"{"op":"eval","name":"c","at_hash":"zz"}"#,
+            r#"{"op":"eval","name":"c","at_hash":"00FF00FF00FF00FF"}"#,
+            r#"{"op":"eval","name":"c","version":-1}"#,
+        ] {
+            let (_, err) = parse_request(line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{line}");
+        }
+    }
+
+    #[test]
+    fn history_parses_and_needs_a_name() {
+        let env = parse_request(r#"{"id":1,"op":"history","name":"c"}"#).unwrap();
+        assert_eq!(env.request, Request::History { name: "c".into() });
+        let (_, err) = parse_request(r#"{"op":"history"}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn edit_actions_round_trip_through_their_wire_value() {
+        let actions = [
+            EditAction::SetConfidence { node: "E1".into(), confidence: 0.97 },
+            EditAction::AddLeaf {
+                parent: "G".into(),
+                node: "E9".into(),
+                statement: Some("field data".into()),
+                kind: WireLeafKind::Assumption,
+                confidence: 0.8,
+            },
+            EditAction::AddLeaf {
+                parent: "G".into(),
+                node: "E9".into(),
+                statement: None,
+                kind: WireLeafKind::Evidence,
+                confidence: 0.8,
+            },
+            EditAction::Retarget { parent: "G".into(), from: "E1".into(), to: "E2".into() },
+        ];
+        for action in actions {
+            let value = action.to_value();
+            let obj = value.as_object().unwrap();
+            assert_eq!(EditAction::from_fields(obj).unwrap(), action);
+        }
+    }
+
+    #[test]
+    fn hashes_round_trip_and_reject_sloppy_spellings() {
+        for hash in [0u64, 1, 0xdead_beef_dead_beef, u64::MAX] {
+            assert_eq!(parse_hash(&format_hash(hash)), Some(hash));
+        }
+        for bad in ["", "abc", "00FF00FF00FF00FF", "0123456789abcdef0", "xyzw456789abcdef"] {
+            assert_eq!(parse_hash(bad), None, "{bad}");
+        }
     }
 
     #[test]

@@ -332,6 +332,11 @@ impl Server {
         // Jobs the drain deadline abandoned: dropping them closes their
         // reply slots, which lets their connections close.
         shared.queue.clear();
+        // Every worker is joined, so everything acked is in the WAL;
+        // force it to stable storage regardless of fsync policy.
+        if let Err(e) = shared.engine.flush_durability() {
+            eprintln!("depcase-service: final wal sync failed: {e}");
+        }
     }
 
     /// Blocks until a client's `shutdown` request stops the service,
@@ -676,6 +681,9 @@ pub fn serve_stdio_with(engine: &Engine, config: &ServerConfig) {
         if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
             break;
         }
+    }
+    if let Err(e) = engine.flush_durability() {
+        eprintln!("depcase-service: final wal sync failed: {e}");
     }
     let stats = protocol::ok_line(&None, engine.stats_value());
     eprintln!("case_tool serve: final stats {stats}");

@@ -1,0 +1,321 @@
+//! Content-addressed snapshots of the registry.
+//!
+//! A snapshot is a **manifest** (`manifest.json`) naming every
+//! registered case — its full version history, each version's content
+//! hash and timestamp — plus an **object store** (`objects/<hash>.json`)
+//! holding one serialized case document per distinct content hash.
+//! Because objects are keyed by `Case::content_hash()`, a case that did
+//! not change between snapshots is written once, ever: successive
+//! snapshots re-reference the same object file instead of copying the
+//! document again, and two names registering identical documents share
+//! one object.
+//!
+//! The write protocol keeps every intermediate state recoverable:
+//!
+//! 1. write each *missing* object to `objects/<hash>.json.tmp`, sync,
+//!    rename into place (objects are immutable once named — a rename
+//!    either lands the whole document or leaves the old state);
+//! 2. write the manifest the same tmp-then-rename way, recording the
+//!    WAL sequence number it covers;
+//! 3. only then does the caller truncate the WAL.
+//!
+//! A crash between (2) and (3) leaves WAL records the manifest already
+//! covers; replay skips records with `seq` at or below the manifest's,
+//! so double-application is impossible. A crash before (2) leaves the
+//! previous manifest intact and the WAL untouched — the new objects
+//! are garbage that the next snapshot simply reuses.
+
+use crate::protocol::{format_hash, parse_hash, Json};
+use serde::Value;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One recorded version of a named case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionRecord {
+    /// Registry version (1-based, monotonic per name).
+    pub version: u64,
+    /// Content hash of the case at that version.
+    pub hash: u64,
+    /// Wall-clock milliseconds when the version was created.
+    pub ts_ms: u64,
+}
+
+/// A named case's entry in the manifest: its whole history, oldest
+/// first; the last record is the current version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestCase {
+    /// Registry name.
+    pub name: String,
+    /// Every version ever recorded, oldest first.
+    pub history: Vec<VersionRecord>,
+}
+
+/// The snapshot manifest: which cases existed, at which versions, as of
+/// which WAL sequence number.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// Highest WAL sequence number this snapshot covers; replay skips
+    /// records at or below it.
+    pub seq: u64,
+    /// Every registered case, sorted by name for stable output.
+    pub cases: Vec<ManifestCase>,
+}
+
+impl Manifest {
+    fn to_value(&self) -> Value {
+        let cases = self
+            .cases
+            .iter()
+            .map(|c| {
+                let history = c
+                    .history
+                    .iter()
+                    .map(|v| {
+                        Value::Object(vec![
+                            ("version".to_string(), Value::U64(v.version)),
+                            ("hash".to_string(), Value::Str(format_hash(v.hash))),
+                            ("ts_ms".to_string(), Value::U64(v.ts_ms)),
+                        ])
+                    })
+                    .collect();
+                Value::Object(vec![
+                    ("name".to_string(), Value::Str(c.name.clone())),
+                    ("history".to_string(), Value::Array(history)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("seq".to_string(), Value::U64(self.seq)),
+            ("cases".to_string(), Value::Array(cases)),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Manifest, String> {
+        let seq = value
+            .get("seq")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| "manifest `seq` must be a non-negative integer".to_string())?;
+        let cases_value = value
+            .get("cases")
+            .and_then(Value::as_array)
+            .ok_or_else(|| "manifest `cases` must be an array".to_string())?;
+        let mut cases = Vec::with_capacity(cases_value.len());
+        for case in cases_value {
+            let name = case
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "case `name` must be a string".to_string())?
+                .to_string();
+            let history_value = case
+                .get("history")
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("case `{name}` history must be an array"))?;
+            let mut history = Vec::with_capacity(history_value.len());
+            for entry in history_value {
+                history.push(VersionRecord {
+                    version: entry
+                        .get("version")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("case `{name}` has a bad version"))?,
+                    hash: entry
+                        .get("hash")
+                        .and_then(Value::as_str)
+                        .and_then(parse_hash)
+                        .ok_or_else(|| format!("case `{name}` has a bad hash"))?,
+                    ts_ms: entry
+                        .get("ts_ms")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("case `{name}` has a bad timestamp"))?,
+                });
+            }
+            if history.is_empty() {
+                return Err(format!("case `{name}` has an empty history"));
+            }
+            cases.push(ManifestCase { name, history });
+        }
+        Ok(Manifest { seq, cases })
+    }
+}
+
+/// The on-disk layout rooted at `--data-dir`: WAL, manifest, objects.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    objects: PathBuf,
+}
+
+fn invalid(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+impl Store {
+    /// Opens (creating directories as needed) the store rooted at
+    /// `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the directories cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Store> {
+        let root = root.into();
+        let objects = root.join("objects");
+        std::fs::create_dir_all(&objects)?;
+        Ok(Store { root, objects })
+    }
+
+    /// Path of the write-ahead log inside this store.
+    #[must_use]
+    pub fn wal_path(&self) -> PathBuf {
+        self.root.join("wal.log")
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.root.join("manifest.json")
+    }
+
+    fn object_path(&self, hash: u64) -> PathBuf {
+        self.objects.join(format!("{}.json", format_hash(hash)))
+    }
+
+    /// Reads the manifest, or `None` when no snapshot has been taken.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] on read failure, with kind `InvalidData` when
+    /// the manifest exists but does not parse — a store that corrupt
+    /// needs operator attention, not silent re-initialization.
+    pub fn load_manifest(&self) -> std::io::Result<Option<Manifest>> {
+        let text = match std::fs::read_to_string(self.manifest_path()) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let Json(value) = serde_json::from_str::<Json>(&text)
+            .map_err(|e| invalid(format!("manifest does not parse: {e}")))?;
+        Manifest::from_value(&value).map(Some).map_err(invalid)
+    }
+
+    /// Writes the manifest atomically (tmp, sync, rename).
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] on write failure.
+    pub fn write_manifest(&self, manifest: &Manifest) -> std::io::Result<()> {
+        let text = serde_json::to_string(&Json(manifest.to_value()))
+            .expect("manifest serialization is infallible");
+        write_atomic(&self.manifest_path(), text.as_bytes())
+    }
+
+    /// True when the object for `hash` is already stored.
+    #[must_use]
+    pub fn has_object(&self, hash: u64) -> bool {
+        self.object_path(hash).exists()
+    }
+
+    /// Writes one case document under its content hash, atomically.
+    /// Returns `false` without touching disk when the object already
+    /// exists — that is the deduplication: identical content is stored
+    /// once no matter how many names or snapshots reference it.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] on write failure.
+    pub fn write_object(&self, hash: u64, doc: &Value) -> std::io::Result<bool> {
+        let path = self.object_path(hash);
+        if path.exists() {
+            return Ok(false);
+        }
+        let text = serde_json::to_string(&Json(doc.clone()))
+            .expect("document serialization is infallible");
+        write_atomic(&path, text.as_bytes())?;
+        Ok(true)
+    }
+
+    /// Reads the case document stored under `hash`.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the object is missing or unreadable,
+    /// with kind `InvalidData` when it does not parse.
+    pub fn read_object(&self, hash: u64) -> std::io::Result<Value> {
+        let text = std::fs::read_to_string(self.object_path(hash))?;
+        let Json(value) = serde_json::from_str::<Json>(&text)
+            .map_err(|e| invalid(format!("object {} does not parse: {e}", format_hash(hash))))?;
+        Ok(value)
+    }
+}
+
+/// Write-to-tmp, sync, rename-into-place. The rename is atomic on every
+/// platform the service targets, so readers see either the old file or
+/// the complete new one, never a prefix.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_data()?;
+    drop(file);
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> (PathBuf, Store) {
+        let mut root = std::env::temp_dir();
+        root.push(format!("depcase_snap_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = Store::open(&root).unwrap();
+        (root, store)
+    }
+
+    fn sample_manifest() -> Manifest {
+        Manifest {
+            seq: 17,
+            cases: vec![
+                ManifestCase {
+                    name: "pump".into(),
+                    history: vec![VersionRecord { version: 1, hash: 0xdead_beef, ts_ms: 5 }],
+                },
+                ManifestCase {
+                    name: "reactor".into(),
+                    history: vec![
+                        VersionRecord { version: 1, hash: 0xdead_beef, ts_ms: 1 },
+                        VersionRecord { version: 2, hash: 0xcafe_f00d, ts_ms: 2 },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let (root, store) = tmp_store("manifest");
+        assert!(store.load_manifest().unwrap().is_none(), "fresh store has no manifest");
+        store.write_manifest(&sample_manifest()).unwrap();
+        assert_eq!(store.load_manifest().unwrap().unwrap(), sample_manifest());
+        std::fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifests_are_an_error_not_a_reset() {
+        let (root, store) = tmp_store("corrupt");
+        std::fs::write(root.join("manifest.json"), b"{ not json").unwrap();
+        let err = store.load_manifest().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn objects_deduplicate_by_content_hash() {
+        let (root, store) = tmp_store("objects");
+        let doc = Value::Object(vec![("title".into(), Value::Str("t".into()))]);
+        assert!(!store.has_object(42));
+        assert!(store.write_object(42, &doc).unwrap(), "first write stores the object");
+        assert!(!store.write_object(42, &doc).unwrap(), "second write is a dedup no-op");
+        assert!(store.has_object(42));
+        assert_eq!(store.read_object(42).unwrap(), doc);
+        assert!(store.read_object(7).is_err(), "missing objects are an error");
+        std::fs::remove_dir_all(root).unwrap();
+    }
+}

@@ -28,8 +28,13 @@ impl Default for Histogram {
 }
 
 fn bucket_of(us: u64) -> usize {
-    // Bucket b holds [2^(b-1), 2^b); bucket 0 holds 0..=1 µs.
-    (64 - us.leading_zeros() as usize).min(BUCKETS - 1)
+    // Bucket 0 holds 0..=1 µs; bucket b ≥ 1 holds (2^(b-1), 2^b], so
+    // every bucket's contents are bounded above by `bucket_upper` and a
+    // 1 µs observation reports as 1 µs, not 2.
+    match us {
+        0 | 1 => 0,
+        _ => (64 - (us - 1).leading_zeros() as usize).min(BUCKETS - 1),
+    }
 }
 
 fn bucket_upper(bucket: usize) -> u64 {
@@ -99,8 +104,8 @@ pub struct OpStats {
 }
 
 /// The operations tracked, in wire-spelling order.
-pub const TRACKED_OPS: [&str; 8] =
-    ["load", "eval", "edit", "rank", "mc", "bands", "stats", "shutdown"];
+pub const TRACKED_OPS: [&str; 9] =
+    ["load", "eval", "history", "edit", "rank", "mc", "bands", "stats", "shutdown"];
 
 /// A fault-tolerance event worth counting — the service's own evidence
 /// of how it degrades under panic, overload, and slow clients.
@@ -177,12 +182,42 @@ pub struct IncrementalCounters {
     pub nodes_reused: u64,
 }
 
+/// Counter snapshot of the durability layer: WAL traffic, snapshot
+/// activity, and what the last startup had to recover.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityCounters {
+    /// WAL records appended (acked mutations) since startup.
+    pub records_appended: u64,
+    /// `fdatasync` calls issued by the WAL (appends under
+    /// `--fsync always`, plus drain-time flushes).
+    pub fsyncs: u64,
+    /// WAL records replayed at the last startup.
+    pub records_replayed: u64,
+    /// Snapshots written since startup.
+    pub snapshots_written: u64,
+    /// Torn WAL tails truncated at startup (0 or 1 per process life).
+    pub torn_tail_recoveries: u64,
+}
+
+impl DurabilityCounters {
+    fn to_value(self) -> Value {
+        Value::Object(vec![
+            ("records_appended".to_string(), Value::U64(self.records_appended)),
+            ("fsyncs".to_string(), Value::U64(self.fsyncs)),
+            ("records_replayed".to_string(), Value::U64(self.records_replayed)),
+            ("snapshots_written".to_string(), Value::U64(self.snapshots_written)),
+            ("torn_tail_recoveries".to_string(), Value::U64(self.torn_tail_recoveries)),
+        ])
+    }
+}
+
 /// Aggregate service statistics, dumped by `stats` and on shutdown.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
-    per_op: [OpStats; 8],
+    per_op: [OpStats; 9],
     robustness: RobustnessCounters,
     incremental: IncrementalCounters,
+    durability: DurabilityCounters,
 }
 
 impl ServiceStats {
@@ -208,6 +243,18 @@ impl ServiceStats {
     #[must_use]
     pub fn incremental(&self) -> IncrementalCounters {
         self.incremental
+    }
+
+    /// Mutable access to the durability counters (the engine's WAL and
+    /// snapshot paths bump these as they go).
+    pub fn durability_mut(&mut self) -> &mut DurabilityCounters {
+        &mut self.durability
+    }
+
+    /// Snapshot of the durability counters.
+    #[must_use]
+    pub fn durability(&self) -> DurabilityCounters {
+        self.durability
     }
 
     /// Records one handled request for `op`.
@@ -271,6 +318,7 @@ impl ServiceStats {
             ("requests".to_string(), Value::U64(self.total_requests())),
             ("ops".to_string(), Value::Object(ops)),
             ("robustness".to_string(), self.robustness.to_value()),
+            ("durability".to_string(), self.durability.to_value()),
             (
                 "incremental".to_string(),
                 Value::Object(vec![
@@ -300,13 +348,32 @@ mod tests {
 
     #[test]
     fn buckets_are_log2_microseconds() {
+        // Bucket 0 is 0..=1 µs — a 1 µs observation must not report as
+        // 2 µs (the old `leading_zeros` boundary put it in bucket 1).
         assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 1);
-        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
         assert_eq!(bucket_of(3), 2);
-        assert_eq!(bucket_of(4), 3);
-        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(5), 3);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(1u64 << 39), 39);
         assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        // Every bucket's upper edge bounds its contents: quantiles are
+        // pessimistic, never optimistic.
+        for us in [0u64, 1, 2, 3, 7, 8, 9, 1023, 1024, 1025, 1 << 39] {
+            assert!(us <= bucket_upper(bucket_of(us)), "{us} above its bucket edge");
+        }
+    }
+
+    #[test]
+    fn minimum_latency_quantiles_report_one_microsecond() {
+        let mut h = Histogram::default();
+        for _ in 0..10 {
+            h.record(1);
+        }
+        assert_eq!(h.quantile_us(0.5), 1, "1 µs observations must not report as 2 µs");
+        assert_eq!(h.quantile_us(0.99), 1);
     }
 
     #[test]
@@ -377,6 +444,18 @@ mod tests {
         s.note(RobustnessEvent::ConnectionReaped);
         let r = s.robustness();
         assert_eq!(r.panics, 1);
+        // Durability counters surface in the same snapshot.
+        s.durability_mut().records_appended = 7;
+        s.durability_mut().torn_tail_recoveries = 1;
+        let text = serde_json::to_string(&crate::protocol::Json(s.to_value(
+            CacheCounters::default(),
+            0,
+            4,
+        )))
+        .unwrap();
+        assert!(text.contains("\"durability\""), "{text}");
+        assert!(text.contains("\"records_appended\":7"), "{text}");
+        assert!(text.contains("\"torn_tail_recoveries\":1"), "{text}");
         assert_eq!(r.respawns, 1);
         assert_eq!(r.overloaded, 2);
         assert_eq!(r.deadline_exceeded, 1);

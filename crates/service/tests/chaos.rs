@@ -287,6 +287,67 @@ fn deadlines_expire_per_request_and_by_config_default() {
     server.shutdown();
 }
 
+/// Deadlines interrupt Monte-Carlo sampling between chunks: an `mc`
+/// whose sample budget would run for minutes answers
+/// `deadline_exceeded` within one chunk of its budget instead of
+/// pinning a worker for the whole run — and a same-parameter run with
+/// a roomy budget still answers bit-identically to the library.
+#[test]
+fn mc_deadline_interrupts_sampling_within_one_chunk() {
+    let engine = Arc::new(Engine::new(8));
+    let server = Server::start(
+        Arc::clone(&engine),
+        ("127.0.0.1", 0),
+        ServerConfig { workers: 2, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    parse_ok(&client.round_trip(&load_line("reactor", &reactor_case())).unwrap());
+
+    // A sample count that would take far longer than the 50 ms budget.
+    let started = Instant::now();
+    let expired = client
+        .round_trip(
+            r#"{"id":1,"op":"mc","name":"reactor","samples":500000000,"seed":3,"threads":2,"deadline_ms":50}"#,
+        )
+        .unwrap();
+    let elapsed = started.elapsed();
+    assert_eq!(error_code(&expired), "deadline_exceeded");
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "mc must stop at a chunk boundary, not run its full budget; took {elapsed:?}"
+    );
+    eventually("deadline counter", || engine.robustness().deadline_exceeded == 1);
+
+    // The worker that refused the long run is free for real work, and a
+    // deadline that does not expire never changes the bits.
+    let direct = MonteCarlo::new(2_000)
+        .seed(11)
+        .threads(2)
+        .run(&reactor_case())
+        .unwrap()
+        .estimate(reactor_case().node_by_name("G1").unwrap())
+        .unwrap();
+    let ok = parse_ok(
+        &client
+            .round_trip(
+                r#"{"id":2,"op":"mc","name":"reactor","samples":2000,"seed":11,"threads":2,"deadline_ms":60000}"#,
+            )
+            .unwrap(),
+    );
+    let estimate = ok
+        .get("estimates")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .find(|v| v.get("name").and_then(Value::as_str) == Some("G1"))
+        .and_then(|v| v.get("estimate"))
+        .and_then(Value::as_f64)
+        .unwrap();
+    assert_eq!(estimate.to_bits(), direct.to_bits());
+    server.shutdown();
+}
+
 /// Backpressure on connections: over the cap, a connection gets one
 /// `overloaded` line and is closed; once an existing connection goes
 /// away, new ones are admitted again.
