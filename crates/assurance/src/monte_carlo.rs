@@ -18,6 +18,18 @@
 //! which worker thread ran the chunk or in what order. For a fixed seed
 //! the report is **bit-identical** at any thread count.
 //!
+//! # Wide sampling
+//!
+//! Within a chunk, samples are evaluated **64 at a time**: every node
+//! holds a 64-bit lane mask instead of one `bool`, leaf draws set one
+//! bit per sample through an integer-threshold compare, the structure
+//! pass runs bitwise AND/OR over whole masks, and hits are counted with
+//! one popcount per target per group. The RNG stream is consumed in
+//! exactly the scalar order and every compare is exactly equivalent to
+//! the scalar `f64` compare, so the wide engine is bit-identical to the
+//! scalar reference ([`MonteCarlo::run_sequential`]) — the tests pin
+//! this across group-boundary sample counts.
+//!
 //! # Plan reuse
 //!
 //! Compiling a case into an [`EvalPlan`] costs a full graph traversal;
@@ -29,7 +41,7 @@
 use crate::error::{CaseError, Result};
 use crate::graph::{Case, NodeId};
 use crate::plan::EvalPlan;
-use rand::rngs::StdRng;
+use rand::rngs::{StdRng, WideStdRng};
 use rand::{RngCore, SeedableRng};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -89,7 +101,9 @@ impl MonteCarloReport {
     }
 }
 
-/// Runs `count` structure samples with `rng`, accumulating hits.
+/// Runs `count` structure samples with `rng`, accumulating hits — the
+/// scalar reference implementation the wide engine is validated
+/// against (one sample per structure pass).
 fn run_samples(plan: &EvalPlan, count: u32, rng: &mut dyn RngCore, hits: &mut [u64]) {
     let mut buf = plan.new_buffer();
     for _ in 0..count {
@@ -97,6 +111,67 @@ fn run_samples(plan: &EvalPlan, count: u32, rng: &mut dyn RngCore, hits: &mut [u
         for (h, &(_, slot)) in hits.iter_mut().zip(plan.targets()) {
             *h += u64::from(buf[slot as usize]);
         }
+    }
+}
+
+/// Runs `count` structure samples 64 at a time: each structure pass
+/// evaluates a 64-sample lane mask per node and hits are counted with
+/// one popcount per target per group. Takes a concrete [`StdRng`] so
+/// the draw loop monomorphizes (no per-draw virtual dispatch — the
+/// dominant cost of the scalar path).
+///
+/// Bit-identical to [`run_samples`] from the same RNG state: the wide
+/// sampler consumes the stream in the same order and compares each
+/// variate through an exactly-equivalent integer threshold (see
+/// [`EvalPlan::sample_leaves_wide`]), and the structure pass is the
+/// same Boolean circuit evaluated lane-wise. Tail groups mask the
+/// unused high lanes out of the popcount.
+fn run_samples_wide(plan: &EvalPlan, count: u32, rng: &mut StdRng, hits: &mut [u64]) {
+    let mut lanes = plan.new_lanes();
+    let mut done = 0u32;
+    while done < count {
+        let group = (count - done).min(64);
+        plan.sample_leaves_wide(rng, &mut lanes, group);
+        plan.eval_structure_wide(&mut lanes);
+        let valid = if group == 64 { !0u64 } else { (1u64 << group) - 1 };
+        for (h, &(_, slot)) in hits.iter_mut().zip(plan.targets()) {
+            *h += u64::from((lanes[slot as usize] & valid).count_ones());
+        }
+        done += group;
+    }
+}
+
+/// Full chunks a worker fuses per claim. Chunk streams are independent
+/// by construction, so a struct-of-arrays [`WideStdRng`] can step all
+/// of them element-wise and the draw loop vectorizes to the target's
+/// SIMD width — the single-stream wide sampler is limited by one
+/// xoshiro chain's serial latency instead. Purely a scheduling choice:
+/// each stream still sees its own draws in scalar order, so the hit
+/// counts are unchanged. Eight streams fill an AVX2 register file
+/// without spilling and split evenly across AVX-512 registers.
+const INTERLEAVE: usize = 8;
+
+// The interleaved runner steps whole 64-sample groups through a chunk.
+const _: () = assert!(CHUNK_SAMPLES.is_multiple_of(64));
+
+/// Runs [`INTERLEAVE`] *full* chunks ([`CHUNK_SAMPLES`] each) through
+/// the wide sampler simultaneously, one independent RNG stream per
+/// chunk, accumulating all hits into the shared integer totals (exact
+/// and commutative, so sharing the accumulator is safe).
+fn run_chunks_interleaved(plan: &EvalPlan, rngs: &mut WideStdRng<INTERLEAVE>, hits: &mut [u64]) {
+    let mut lanes = vec![0u64; plan.slot_count() * INTERLEAVE];
+    let mut scratch = vec![0u64; plan.leaf_count() * INTERLEAVE];
+    let mut done = 0u32;
+    while done < CHUNK_SAMPLES {
+        plan.sample_leaves_wide_x(rngs, &mut scratch, &mut lanes, 64);
+        plan.eval_structure_wide_x::<INTERLEAVE>(&mut lanes);
+        for (h, &(_, slot)) in hits.iter_mut().zip(plan.targets()) {
+            let base = slot as usize * INTERLEAVE;
+            for lane in &lanes[base..base + INTERLEAVE] {
+                *h += u64::from(lane.count_ones());
+            }
+        }
+        done += 64;
     }
 }
 
@@ -214,8 +289,8 @@ impl<'p> MonteCarlo<'p> {
     }
 
     /// Like [`MonteCarlo::run_plan`], but polls `should_stop` between
-    /// sample chunks (every [`CHUNK_SAMPLES`] structure evaluations per
-    /// worker) and abandons the run when it answers `true` — the hook
+    /// chunk claims (at most 8×[`CHUNK_SAMPLES`] structure
+    /// evaluations per worker) and abandons the run when it answers `true` — the hook
     /// for per-request deadlines, which would otherwise overshoot by
     /// the full sampling time. `Ok(None)` means the run was stopped;
     /// there is no partial report, so a completed run stays
@@ -300,9 +375,10 @@ fn run_parallel(plan: &EvalPlan, samples: u32, seed: u64, threads: usize) -> Mon
 }
 
 /// [`run_parallel`] with a stop hook: every worker polls `should_stop`
-/// before claiming its next chunk and the whole run is abandoned (→
+/// before claiming its next chunks and the whole run is abandoned (→
 /// `None`) as soon as any worker sees `true`, so the latency of honoring
-/// a stop is bounded by one chunk's sampling time per worker.
+/// a stop is bounded by one claim's sampling time (at most
+/// [`INTERLEAVE`] chunks) per worker.
 fn run_parallel_until(
     plan: &EvalPlan,
     samples: u32,
@@ -339,12 +415,31 @@ fn run_parallel_until(
                             stopped_ref.store(true, Ordering::Relaxed);
                             break;
                         }
-                        let c = next_ref.fetch_add(1, Ordering::Relaxed) as u32;
-                        if c >= chunks {
+                        let c0 = next_ref.fetch_add(INTERLEAVE, Ordering::Relaxed) as u32;
+                        if c0 >= chunks {
                             break;
                         }
-                        let mut rng = StdRng::seed_from_u64(chunk_seed(seed, u64::from(c)));
-                        run_samples(plan_ref, chunk_len(samples, c), &mut rng, &mut local);
+                        let take = (chunks - c0).min(INTERLEAVE as u32);
+                        if take == INTERLEAVE as u32
+                            && chunk_len(samples, c0 + take - 1) == CHUNK_SAMPLES
+                        {
+                            // A full claim of full chunks: fuse their
+                            // independent streams into one SIMD pass.
+                            let seeds: [u64; INTERLEAVE] =
+                                std::array::from_fn(|k| chunk_seed(seed, u64::from(c0) + k as u64));
+                            let mut rngs = WideStdRng::from_seeds(seeds);
+                            run_chunks_interleaved(plan_ref, &mut rngs, &mut local);
+                        } else {
+                            for c in c0..c0 + take {
+                                let mut rng = StdRng::seed_from_u64(chunk_seed(seed, u64::from(c)));
+                                run_samples_wide(
+                                    plan_ref,
+                                    chunk_len(samples, c),
+                                    &mut rng,
+                                    &mut local,
+                                );
+                            }
+                        }
                     }
                     local
                 })
@@ -541,6 +636,111 @@ mod tests {
         let wald = 1.96 * (p * (1.0 - p) / 50_000.0).sqrt();
         let wilson = mc.half_width(g).unwrap();
         assert!((wald - wilson).abs() / wald < 0.01, "wald {wald} vs wilson {wilson}");
+    }
+
+    /// A case exercising every structural feature the wide kernel
+    /// widens: AnyOf legs, AllOf conjunction, a shared (diamond) leaf,
+    /// an assumption, a context node, and degenerate 0.0/1.0 leaves.
+    fn gnarly_case() -> Case {
+        let mut case = Case::new("t");
+        let g = case.add_goal("G", "top").unwrap();
+        let s1 = case.add_strategy("S1", "legs", Combination::AnyOf).unwrap();
+        let s2 = case.add_strategy("S2", "conj", Combination::AllOf).unwrap();
+        let e1 = case.add_evidence("E1", "a", 0.93).unwrap();
+        let e2 = case.add_evidence("E2", "b", 0.07).unwrap();
+        let shared = case.add_evidence("E3", "shared", 0.5).unwrap();
+        let certain = case.add_evidence("E4", "certain", 1.0).unwrap();
+        let impossible = case.add_evidence("E5", "impossible", 0.0).unwrap();
+        let a = case.add_assumption("A", "env", 0.97).unwrap();
+        case.add_context("C", "environment").unwrap();
+        case.support(g, s1).unwrap();
+        case.support(g, s2).unwrap();
+        case.support(g, a).unwrap();
+        case.support(s1, e1).unwrap();
+        case.support(s1, e2).unwrap();
+        case.support(s1, shared).unwrap();
+        case.support(s1, impossible).unwrap();
+        case.support(s2, shared).unwrap();
+        case.support(s2, certain).unwrap();
+        case
+    }
+
+    #[test]
+    fn wide_hits_are_bit_identical_to_scalar_hits() {
+        let plan = EvalPlan::compile(&gnarly_case()).unwrap();
+        // Counts straddling every group boundary: sub-group, exact
+        // groups, one-over, multi-group with tail, and a full chunk.
+        for count in [1u32, 37, 63, 64, 65, 130, 1000, CHUNK_SAMPLES] {
+            for seed in [0u64, 7, 42] {
+                let mut scalar = vec![0u64; plan.targets().len()];
+                run_samples(&plan, count, &mut rng(seed), &mut scalar);
+                let mut wide = vec![0u64; plan.targets().len()];
+                run_samples_wide(&plan, count, &mut rng(seed), &mut wide);
+                assert_eq!(scalar, wide, "count {count}, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_engine_leaves_the_rng_at_the_scalar_stream_position() {
+        // Equal draw consumption is what keeps every chunk's stream
+        // aligned no matter which engine ran it.
+        let plan = EvalPlan::compile(&gnarly_case()).unwrap();
+        let mut a = rng(3);
+        let mut b = rng(3);
+        run_samples(&plan, 130, &mut a, &mut vec![0u64; plan.targets().len()]);
+        run_samples_wide(&plan, 130, &mut b, &mut vec![0u64; plan.targets().len()]);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn parallel_run_matches_a_hand_chunked_scalar_reference() {
+        // run_plan now goes through the wide engine; rebuild the same
+        // answer from the scalar sampler chunk by chunk.
+        let case = gnarly_case();
+        let plan = EvalPlan::compile(&case).unwrap();
+        let samples = 2 * CHUNK_SAMPLES + 777;
+        let seed = 99u64;
+        let mut hits = vec![0u64; plan.targets().len()];
+        for c in 0..samples.div_ceil(CHUNK_SAMPLES) {
+            let mut rng = StdRng::seed_from_u64(chunk_seed(seed, u64::from(c)));
+            run_samples(&plan, chunk_len(samples, c), &mut rng, &mut hits);
+        }
+        let reference = report_from_hits(&plan, &hits, samples);
+        let wide = MonteCarlo::new(samples).seed(seed).threads(2).run_plan(&plan).unwrap();
+        for &(id, _) in plan.targets() {
+            assert_eq!(
+                reference.estimate(id).unwrap().to_bits(),
+                wide.estimate(id).unwrap().to_bits(),
+                "wide engine diverged from the scalar reference at {id:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_chunk_claims_match_the_hand_chunked_scalar_reference() {
+        // ≥ 2×INTERLEAVE full chunks plus a short tail: exercises the
+        // interleaved fast path *and* the per-chunk fallback in one run.
+        let case = gnarly_case();
+        let plan = EvalPlan::compile(&case).unwrap();
+        let samples = 2 * (INTERLEAVE as u32) * CHUNK_SAMPLES + 13;
+        let seed = 1234u64;
+        let mut hits = vec![0u64; plan.targets().len()];
+        for c in 0..samples.div_ceil(CHUNK_SAMPLES) {
+            let mut rng = StdRng::seed_from_u64(chunk_seed(seed, u64::from(c)));
+            run_samples(&plan, chunk_len(samples, c), &mut rng, &mut hits);
+        }
+        let reference = report_from_hits(&plan, &hits, samples);
+        for threads in [1usize, 2, 3] {
+            let run = MonteCarlo::new(samples).seed(seed).threads(threads).run_plan(&plan).unwrap();
+            for &(id, _) in plan.targets() {
+                assert_eq!(
+                    reference.estimate(id).unwrap().to_bits(),
+                    run.estimate(id).unwrap().to_bits(),
+                    "interleaved engine diverged at {id:?} with {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,12 +11,35 @@
 //! The plan is immutable and `Sync`, so the parallel Monte-Carlo engine
 //! shares one compiled plan across worker threads.
 
-use crate::error::Result;
+use crate::error::{CaseError, Result};
 use crate::graph::{Case, Combination, NodeId};
-use crate::ir::{CaseIr, IrKind};
+use crate::ir::{CaseIr, Fnv, IrKind};
+use crate::propagation::{ConfidenceReport, NodeConfidence};
+use rand::rngs::WideStdRng;
 use rand::Rng;
 use rand::RngCore;
 use std::sync::Arc;
+
+/// 2⁵³ as an `f64` — the scale of the 53-bit uniform variate every
+/// Bernoulli draw consumes.
+const TWO_POW_53: f64 = 9_007_199_254_740_992.0;
+
+/// The integer Bernoulli threshold for a leaf confidence: the draw
+/// `m = next_u64() >> 11` hits exactly when `m < ceil(conf · 2⁵³)`.
+///
+/// This is *exactly* equivalent to the scalar comparison
+/// `(m as f64) · 2⁻⁵³ < conf`: both sides of the scalar compare are
+/// exact (power-of-two scaling of a 53-bit integer), so it holds iff
+/// the real number `m` is below the real number `conf · 2⁵³` — and for
+/// integer `m` that is `m < ceil(conf · 2⁵³)`. The product `conf · 2⁵³`
+/// itself is an exact `f64` (pure exponent shift, no overflow for
+/// `conf ≤ 1`, no subnormals for `conf ≥ 2⁻¹⁰²¹`), so `ceil` sees the
+/// true value. Out-of-domain confidences degrade identically to the
+/// scalar compare: `NaN` and negatives saturate to threshold 0 (never
+/// hit), values above one always hit.
+fn bernoulli_threshold(confidence: f64) -> u64 {
+    (confidence * TWO_POW_53).ceil() as u64
+}
 
 /// One compiled non-leaf evaluation step.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +87,10 @@ pub struct EvalPlan {
     shape: Arc<PlanShape>,
     /// Confidence per Bernoulli leaf, parallel to `shape.leaf_slots`.
     leaf_confs: Vec<f64>,
+    /// `ceil(conf · 2⁵³)` per leaf, parallel to `leaf_confs` — the
+    /// integer form of each Bernoulli compare the wide sampler uses
+    /// (see [`bernoulli_threshold`] for the exactness argument).
+    leaf_thresholds: Vec<u64>,
 }
 
 /// The structure-only part of a plan: everything except the leaf
@@ -77,6 +104,9 @@ struct PlanShape {
     leaf_slots: Vec<u32>,
     /// Reported goal/strategy nodes as `(id, slot)`, in slot order.
     targets: Vec<(NodeId, u32)>,
+    /// Root goals (goal slots nothing supports), in slot order — what
+    /// [`EvalPlan::propagate_batch`] reports as each case's roots.
+    roots: Vec<u32>,
     /// Total slot count (= node count of the compiled case).
     slots: usize,
 }
@@ -142,7 +172,13 @@ impl EvalPlan {
             }
         }
 
-        Self { shape: Arc::new(PlanShape { steps, leaf_slots, targets, slots: n }), leaf_confs }
+        let leaf_thresholds = leaf_confs.iter().map(|&c| bernoulli_threshold(c)).collect();
+        let roots = ir.roots().to_vec();
+        Self {
+            shape: Arc::new(PlanShape { steps, leaf_slots, targets, roots, slots: n }),
+            leaf_confs,
+            leaf_thresholds,
+        }
     }
 
     /// Patches the confidence of the leaf living in `slot`, if any —
@@ -151,6 +187,7 @@ impl EvalPlan {
     pub(crate) fn set_leaf_confidence(&mut self, slot: u32, confidence: f64) {
         if let Ok(pos) = self.shape.leaf_slots.binary_search(&slot) {
             self.leaf_confs[pos] = confidence;
+            self.leaf_thresholds[pos] = bernoulli_threshold(confidence);
         }
     }
 
@@ -219,6 +256,456 @@ impl EvalPlan {
     pub fn evaluate(&self, rng: &mut dyn RngCore, buf: &mut [bool]) {
         self.sample_leaves(rng, buf);
         self.eval_structure(buf);
+    }
+
+    /// Allocates a correctly sized lane buffer for the wide evaluators
+    /// (one 64-sample bitmask per slot).
+    #[must_use]
+    pub fn new_lanes(&self) -> Vec<u64> {
+        vec![0u64; self.shape.slots]
+    }
+
+    /// Draws `group` (≤ 64) consecutive leaf samples into per-slot lane
+    /// masks: bit `s` of `lanes[slot]` is sample `s`'s outcome for the
+    /// leaf in `slot`. Bits `group..64` of every leaf lane are zero.
+    ///
+    /// Consumes exactly `group × leaf_count` variates from `rng`, in the
+    /// same order as `group` consecutive [`EvalPlan::sample_leaves`]
+    /// calls (sample-major, leaves in slot order), so the wide and
+    /// scalar paths walk one shared RNG stream position for position.
+    /// Each draw compares the raw 53-bit variate against the leaf's
+    /// integer threshold — exactly equivalent to the scalar `f64`
+    /// compare (see [`bernoulli_threshold`]), so every sampled bit is
+    /// identical to the scalar path's.
+    ///
+    /// Generic over the RNG type so hot callers monomorphize the draw
+    /// loop (no per-draw virtual dispatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `group > 64` or `lanes` is shorter than
+    /// [`EvalPlan::slot_count`].
+    pub fn sample_leaves_wide<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        lanes: &mut [u64],
+        group: u32,
+    ) {
+        assert!(group <= 64, "a lane group holds at most 64 samples");
+        for &slot in &self.shape.leaf_slots {
+            lanes[slot as usize] = 0;
+        }
+        for s in 0..group {
+            for (&slot, &threshold) in self.shape.leaf_slots.iter().zip(&self.leaf_thresholds) {
+                let hit = u64::from((rng.next_u64() >> 11) < threshold);
+                lanes[slot as usize] |= hit << s;
+            }
+        }
+    }
+
+    /// Evaluates every non-leaf node for all 64 lanes at once from the
+    /// leaf lanes already in `lanes` — the same linear pass as
+    /// [`EvalPlan::eval_structure`] with each `bool` op widened to a
+    /// bitwise op over the lane mask, so lane `s` of every slot equals
+    /// what the scalar pass would compute for sample `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes` is shorter than [`EvalPlan::slot_count`].
+    pub fn eval_structure_wide(&self, lanes: &mut [u64]) {
+        for step in &self.shape.steps {
+            match step {
+                Step::Constant { slot } => lanes[*slot as usize] = !0,
+                Step::Combine { slot, rule, support, assumptions } => {
+                    let support_ok = if support.is_empty() {
+                        !0
+                    } else {
+                        match rule {
+                            Combination::AllOf => {
+                                support.iter().fold(!0u64, |acc, &c| acc & lanes[c as usize])
+                            }
+                            Combination::AnyOf => {
+                                support.iter().fold(0u64, |acc, &c| acc | lanes[c as usize])
+                            }
+                        }
+                    };
+                    let assumptions_ok =
+                        assumptions.iter().fold(!0u64, |acc, &c| acc & lanes[c as usize]);
+                    lanes[*slot as usize] = support_ok & assumptions_ok;
+                }
+            }
+        }
+    }
+
+    /// [`EvalPlan::sample_leaves_wide`] for `K` *independent* RNG
+    /// streams at once: lane group `k` of the interleaved buffer
+    /// (`lanes[slot * K + k]`) receives stream `k`'s samples.
+    ///
+    /// Each stream is consumed in exactly the order
+    /// [`EvalPlan::sample_leaves_wide`] would consume it alone — the
+    /// interleaving only reorders draws *across* streams, and the
+    /// struct-of-arrays [`WideStdRng`] steps all `K` xoshiro states
+    /// element-wise, so the draw loop vectorizes to the target's full
+    /// SIMD width. The chunked Monte-Carlo engine exploits this: chunk
+    /// streams are independent by construction, so a worker can fuse
+    /// several chunks into one vectorized pass without changing any
+    /// chunk's bits.
+    ///
+    /// `scratch` is caller-owned accumulator space of `K × leaf_count`
+    /// words (contents ignored on entry): the draw loop fills it
+    /// leaf-major — dense stores the optimizer can keep in vector
+    /// registers, where scattering straight to arbitrary `slot`
+    /// positions would re-insert a bounds check per lane — and the
+    /// masks move to their slots once per group.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `group > 64`, `lanes` is shorter than
+    /// `K × slot_count`, or `scratch` is not `K × leaf_count` words.
+    pub fn sample_leaves_wide_x<const K: usize>(
+        &self,
+        rngs: &mut WideStdRng<K>,
+        scratch: &mut [u64],
+        lanes: &mut [u64],
+        group: u32,
+    ) {
+        assert!(group <= 64, "a lane group holds at most 64 samples");
+        assert_eq!(scratch.len(), K * self.shape.leaf_slots.len());
+        scratch.fill(0);
+        let mut draws = [0u64; K];
+        for s in 0..group {
+            for (chunk, &threshold) in scratch.chunks_exact_mut(K).zip(&self.leaf_thresholds) {
+                let chunk: &mut [u64; K] = chunk.try_into().expect("chunks_exact yields K");
+                rngs.next_wide(&mut draws);
+                for k in 0..K {
+                    let hit = u64::from((draws[k] >> 11) < threshold);
+                    chunk[k] |= hit << s;
+                }
+            }
+        }
+        for (chunk, &slot) in scratch.chunks_exact(K).zip(&self.shape.leaf_slots) {
+            let base = slot as usize * K;
+            lanes[base..base + K].copy_from_slice(chunk);
+        }
+    }
+
+    /// [`EvalPlan::eval_structure_wide`] over a `K`-stream interleaved
+    /// lane buffer (`lanes[slot * K + k]`): one structure pass updates
+    /// all `K × 64` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes` is shorter than `K × slot_count`.
+    pub fn eval_structure_wide_x<const K: usize>(&self, lanes: &mut [u64]) {
+        for step in &self.shape.steps {
+            match step {
+                Step::Constant { slot } => {
+                    let base = *slot as usize * K;
+                    lanes[base..base + K].fill(!0);
+                }
+                Step::Combine { slot, rule, support, assumptions } => {
+                    let mut ok = if support.is_empty() {
+                        [!0u64; K]
+                    } else {
+                        match rule {
+                            Combination::AllOf => {
+                                let mut acc = [!0u64; K];
+                                for &c in support {
+                                    let cb = c as usize * K;
+                                    for k in 0..K {
+                                        acc[k] &= lanes[cb + k];
+                                    }
+                                }
+                                acc
+                            }
+                            Combination::AnyOf => {
+                                let mut acc = [0u64; K];
+                                for &c in support {
+                                    let cb = c as usize * K;
+                                    for k in 0..K {
+                                        acc[k] |= lanes[cb + k];
+                                    }
+                                }
+                                acc
+                            }
+                        }
+                    };
+                    for &c in assumptions {
+                        let cb = c as usize * K;
+                        for k in 0..K {
+                            ok[k] &= lanes[cb + k];
+                        }
+                    }
+                    let base = *slot as usize * K;
+                    lanes[base..base + K].copy_from_slice(&ok);
+                }
+            }
+        }
+    }
+
+    /// FNV-1a hash of the plan's *structure* — steps, leaf slots,
+    /// targets, roots, slot count — ignoring the leaf confidences.
+    ///
+    /// Two plans with equal shape hashes (and, definitively, equal
+    /// shapes) can be evaluated together by
+    /// [`EvalPlan::propagate_batch`]: the batch key the service uses to
+    /// group coalesced requests.
+    #[must_use]
+    pub fn shape_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        let shape = &*self.shape;
+        h.write_u64(shape.slots as u64);
+        h.write_u64(shape.steps.len() as u64);
+        for step in &shape.steps {
+            match step {
+                Step::Constant { slot } => {
+                    h.write(&[0]);
+                    h.write_u64(u64::from(*slot));
+                }
+                Step::Combine { slot, rule, support, assumptions } => {
+                    h.write(&[match rule {
+                        Combination::AllOf => 1,
+                        Combination::AnyOf => 2,
+                    }]);
+                    h.write_u64(u64::from(*slot));
+                    h.write_u64(support.len() as u64);
+                    for &c in support {
+                        h.write_u64(u64::from(c));
+                    }
+                    h.write_u64(assumptions.len() as u64);
+                    for &c in assumptions {
+                        h.write_u64(u64::from(c));
+                    }
+                }
+            }
+        }
+        h.write_u64(shape.leaf_slots.len() as u64);
+        for &s in &shape.leaf_slots {
+            h.write_u64(u64::from(s));
+        }
+        h.write_u64(shape.roots.len() as u64);
+        for &r in &shape.roots {
+            h.write_u64(u64::from(r));
+        }
+        h.0
+    }
+
+    /// True when `other` can join a batch with `self`: identical
+    /// structure (only the leaf confidences may differ).
+    #[must_use]
+    pub fn same_shape(&self, other: &EvalPlan) -> bool {
+        Arc::ptr_eq(&self.shape, &other.shape) || self.shape == other.shape
+    }
+
+    /// Analytically propagates a whole batch of same-shape plans in one
+    /// struct-of-arrays pass: per combination step the kernel runs an
+    /// inner loop over the batch lanes (contiguous in memory, so the
+    /// compiler can vectorize it) instead of re-walking the structure
+    /// per case.
+    ///
+    /// Every lane reproduces the scalar kernel's float operations in
+    /// the scalar order, so `propagate_batch(&[p])[0]` is bit-identical
+    /// to propagating `p`'s case directly — the service's batch path
+    /// pins this with `to_bits` tests.
+    ///
+    /// # Errors
+    ///
+    /// [`CaseError::InvalidStructure`] for an empty batch or when the
+    /// plans do not all share one shape.
+    pub fn propagate_batch(plans: &[&EvalPlan]) -> Result<Vec<ConfidenceReport>> {
+        let first = *plans
+            .first()
+            .ok_or_else(|| CaseError::InvalidStructure("empty evaluation batch".into()))?;
+        if !plans.iter().all(|p| first.same_shape(p)) {
+            return Err(CaseError::InvalidStructure(
+                "batched plans must share one structure".into(),
+            ));
+        }
+        let b = plans.len();
+        let shape = &*first.shape;
+        let slots = shape.slots;
+        // Lane-major SoA confidence arrays: `field[slot * b + lane]`.
+        let mut ind = vec![0.0f64; slots * b];
+        let mut worst = vec![0.0f64; slots * b];
+        let mut best = vec![0.0f64; slots * b];
+        // Leaves are point confidences in all three fields.
+        for (i, &slot) in shape.leaf_slots.iter().enumerate() {
+            let base = slot as usize * b;
+            for (l, p) in plans.iter().enumerate() {
+                let c = p.leaf_confs[i];
+                ind[base + l] = c;
+                worst[base + l] = c;
+                best[base + l] = c;
+            }
+        }
+        // `participates[slot]` ⇔ the report carries a value for it
+        // (context nodes do not, mirroring the scalar propagation).
+        let mut participates = vec![false; slots];
+        for &slot in &shape.leaf_slots {
+            participates[slot as usize] = true;
+        }
+        // Per-step scratch, one f64 per lane: an accumulator plus the
+        // three doubt fields of the node under combination.
+        let mut acc = vec![0.0f64; b];
+        let mut di = vec![0.0f64; b];
+        let mut dw = vec![0.0f64; b];
+        let mut db = vec![0.0f64; b];
+        for step in &shape.steps {
+            match step {
+                Step::Constant { slot } => {
+                    // Context: certain, but reported as absent.
+                    let base = *slot as usize * b;
+                    for l in 0..b {
+                        ind[base + l] = 1.0;
+                        worst[base + l] = 1.0;
+                        best[base + l] = 1.0;
+                    }
+                }
+                Step::Combine { slot, rule, support, assumptions } => {
+                    participates[*slot as usize] = true;
+                    if support.is_empty() {
+                        // Only assumptions below: vacuous support.
+                        di.fill(0.0);
+                        dw.fill(0.0);
+                        db.fill(0.0);
+                    } else {
+                        match rule {
+                            Combination::AllOf => {
+                                // independent: 1 − Π(1 − xᵢ), x = 1 − conf.
+                                acc.fill(1.0);
+                                for &c in support {
+                                    let cb = c as usize * b;
+                                    for l in 0..b {
+                                        let x = 1.0 - ind[cb + l];
+                                        acc[l] *= 1.0 - x;
+                                    }
+                                }
+                                for l in 0..b {
+                                    di[l] = 1.0 - acc[l];
+                                }
+                                // worst: min(1, Σxᵢ).
+                                acc.fill(0.0);
+                                for &c in support {
+                                    let cb = c as usize * b;
+                                    for l in 0..b {
+                                        acc[l] += 1.0 - worst[cb + l];
+                                    }
+                                }
+                                for l in 0..b {
+                                    dw[l] = acc[l].min(1.0);
+                                }
+                                // best: max(xᵢ) folded from 0.
+                                acc.fill(0.0);
+                                for &c in support {
+                                    let cb = c as usize * b;
+                                    for l in 0..b {
+                                        acc[l] = acc[l].max(1.0 - best[cb + l]);
+                                    }
+                                }
+                                db.copy_from_slice(&acc);
+                            }
+                            Combination::AnyOf => {
+                                // independent: Π xᵢ.
+                                acc.fill(1.0);
+                                for &c in support {
+                                    let cb = c as usize * b;
+                                    for l in 0..b {
+                                        acc[l] *= 1.0 - ind[cb + l];
+                                    }
+                                }
+                                di.copy_from_slice(&acc);
+                                // worst: min(xᵢ) folded from +∞.
+                                acc.fill(f64::INFINITY);
+                                for &c in support {
+                                    let cb = c as usize * b;
+                                    for l in 0..b {
+                                        acc[l] = acc[l].min(1.0 - worst[cb + l]);
+                                    }
+                                }
+                                dw.copy_from_slice(&acc);
+                                // best: max(0, Σxᵢ − (k − 1)).
+                                acc.fill(0.0);
+                                for &c in support {
+                                    let cb = c as usize * b;
+                                    for l in 0..b {
+                                        acc[l] += 1.0 - best[cb + l];
+                                    }
+                                }
+                                let k = support.len() as f64;
+                                for l in 0..b {
+                                    db[l] = (acc[l] - (k - 1.0)).max(0.0);
+                                }
+                            }
+                        }
+                    }
+                    if !assumptions.is_empty() {
+                        // Conjoin assumptions: AllOf over the support
+                        // doubt followed by each assumption's doubt, in
+                        // exactly the scalar kernel's order.
+                        acc.fill(1.0);
+                        for l in 0..b {
+                            acc[l] *= 1.0 - di[l];
+                        }
+                        for &a in assumptions {
+                            let ab = a as usize * b;
+                            for l in 0..b {
+                                let x = 1.0 - ind[ab + l];
+                                acc[l] *= 1.0 - x;
+                            }
+                        }
+                        for l in 0..b {
+                            di[l] = 1.0 - acc[l];
+                        }
+                        acc.fill(0.0);
+                        for l in 0..b {
+                            acc[l] += dw[l];
+                        }
+                        for &a in assumptions {
+                            let ab = a as usize * b;
+                            for l in 0..b {
+                                acc[l] += 1.0 - worst[ab + l];
+                            }
+                        }
+                        for l in 0..b {
+                            dw[l] = acc[l].min(1.0);
+                        }
+                        acc.fill(0.0);
+                        for l in 0..b {
+                            acc[l] = acc[l].max(db[l]);
+                        }
+                        for &a in assumptions {
+                            let ab = a as usize * b;
+                            for l in 0..b {
+                                acc[l] = acc[l].max(1.0 - best[ab + l]);
+                            }
+                        }
+                        db.copy_from_slice(&acc);
+                    }
+                    let base = *slot as usize * b;
+                    for l in 0..b {
+                        ind[base + l] = 1.0 - di[l];
+                        worst[base + l] = 1.0 - dw[l];
+                        best[base + l] = 1.0 - db[l];
+                    }
+                }
+            }
+        }
+        let roots: Vec<NodeId> =
+            shape.roots.iter().map(|&r| NodeId::from_index(r as usize)).collect();
+        Ok((0..b)
+            .map(|l| {
+                let values = (0..slots)
+                    .map(|slot| {
+                        participates[slot].then(|| NodeConfidence {
+                            independent: ind[slot * b + l],
+                            worst_case: worst[slot * b + l],
+                            best_case: best[slot * b + l],
+                        })
+                    })
+                    .collect();
+                ConfidenceReport::from_parts(values, roots.clone())
+            })
+            .collect())
     }
 
     /// Runs a Monte-Carlo estimate on this pre-compiled plan — the
@@ -369,6 +856,150 @@ mod tests {
         // Patching a non-leaf slot is a no-op, not a panic.
         patched.set_leaf_confidence(case.index(g).unwrap() as u32, 0.5);
         assert_eq!(run(&patched), run(&recompiled));
+    }
+
+    #[test]
+    fn integer_threshold_equals_the_scalar_float_compare() {
+        // Sweep confidences (including degenerate and near-boundary
+        // values) against draws straddling each threshold: the integer
+        // compare must agree with the f64 compare on every draw.
+        let confs = [
+            0.0,
+            f64::MIN_POSITIVE,
+            1e-18,
+            0.1,
+            0.25,
+            0.3,
+            0.5,
+            0.7,
+            0.9,
+            0.95,
+            1.0 - f64::EPSILON,
+            1.0,
+        ];
+        for &conf in &confs {
+            let threshold = bernoulli_threshold(conf);
+            for delta in -2i64..=2 {
+                let m = threshold.wrapping_add_signed(delta) & ((1u64 << 53) - 1);
+                let scalar = (m as f64) * (1.0 / TWO_POW_53) < conf;
+                let wide = m < threshold;
+                assert_eq!(scalar, wide, "conf {conf}, draw {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_structure_pass_matches_scalar_per_lane() {
+        let (case, _, _) = two_leg_case();
+        let plan = EvalPlan::compile(&case).unwrap();
+        // Exhaustive over the 8 leaf-assignment patterns, one per lane.
+        let leaf_slots: Vec<usize> = plan.shape.leaf_slots.iter().map(|&s| s as usize).collect();
+        let mut lanes = plan.new_lanes();
+        for (bit, &slot) in leaf_slots.iter().enumerate() {
+            for pattern in 0..8u64 {
+                if pattern >> bit & 1 == 1 {
+                    lanes[slot] |= 1 << pattern;
+                }
+            }
+        }
+        plan.eval_structure_wide(&mut lanes);
+        for pattern in 0..8u64 {
+            let mut buf = plan.new_buffer();
+            for (bit, &slot) in leaf_slots.iter().enumerate() {
+                buf[slot] = pattern >> bit & 1 == 1;
+            }
+            plan.eval_structure(&mut buf);
+            for slot in 0..plan.slot_count() {
+                assert_eq!(
+                    buf[slot],
+                    lanes[slot] >> pattern & 1 == 1,
+                    "slot {slot}, pattern {pattern:03b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shape_hash_ignores_confidences_but_not_structure() {
+        let (case, _, _) = two_leg_case();
+        let a = EvalPlan::compile(&case).unwrap();
+        let mut patched = a.clone();
+        patched.set_leaf_confidence(2, 0.123);
+        assert_eq!(a.shape_hash(), patched.shape_hash());
+        assert!(a.same_shape(&patched));
+
+        let mut reshaped = case.clone();
+        let g = reshaped.node_by_name("G").unwrap();
+        let e = reshaped.add_evidence("E9", "extra", 0.5).unwrap();
+        reshaped.support(g, e).unwrap();
+        let b = EvalPlan::compile(&reshaped).unwrap();
+        assert_ne!(a.shape_hash(), b.shape_hash());
+        assert!(!a.same_shape(&b));
+    }
+
+    #[test]
+    fn batch_propagation_is_bit_identical_to_scalar_per_lane() {
+        // Same structure, per-lane confidence patches — including the
+        // original as lane 0 and degenerate 0/1 confidences.
+        let (case, _, _) = two_leg_case();
+        let base = EvalPlan::compile(&case).unwrap();
+        let confs: [[f64; 3]; 5] = [
+            [0.9, 0.7, 0.95],
+            [0.5, 0.5, 0.5],
+            [0.0, 1.0, 0.97],
+            [1e-18, 0.999_999, 0.42],
+            [1.0, 1.0, 1.0],
+        ];
+        let leaf_slots: Vec<u32> = base.shape.leaf_slots.clone();
+        let plans: Vec<EvalPlan> = confs
+            .iter()
+            .map(|row| {
+                let mut p = base.clone();
+                for (&slot, &c) in leaf_slots.iter().zip(row) {
+                    p.set_leaf_confidence(slot, c);
+                }
+                p
+            })
+            .collect();
+        let refs: Vec<&EvalPlan> = plans.iter().collect();
+        let reports = EvalPlan::propagate_batch(&refs).unwrap();
+        for (row, report) in confs.iter().zip(&reports) {
+            let mut scalar_case = case.clone();
+            for (leaf, &c) in ["E1", "E2", "A"].iter().zip(row) {
+                let id = scalar_case.node_by_name(leaf).unwrap();
+                scalar_case.set_leaf_confidence(id, c).unwrap();
+            }
+            let scalar = scalar_case.propagate().unwrap();
+            assert_eq!(report.len(), scalar.len());
+            for (id, _) in scalar_case.iter() {
+                match (scalar.confidence(id), report.confidence(id)) {
+                    (None, None) => {}
+                    (Some(s), Some(w)) => {
+                        assert_eq!(s.independent.to_bits(), w.independent.to_bits());
+                        assert_eq!(s.worst_case.to_bits(), w.worst_case.to_bits());
+                        assert_eq!(s.best_case.to_bits(), w.best_case.to_bits());
+                    }
+                    other => panic!("participation mismatch at {id:?}: {other:?}"),
+                }
+            }
+            assert_eq!(
+                scalar.top().map(|c| c.independent.to_bits()),
+                report.top().map(|c| c.independent.to_bits())
+            );
+        }
+    }
+
+    #[test]
+    fn batch_rejects_empty_and_mixed_shapes() {
+        assert!(EvalPlan::propagate_batch(&[]).is_err());
+        let (case, _, _) = two_leg_case();
+        let a = EvalPlan::compile(&case).unwrap();
+        let mut reshaped = case.clone();
+        let g = reshaped.node_by_name("G").unwrap();
+        let e = reshaped.add_evidence("E9", "extra", 0.5).unwrap();
+        reshaped.support(g, e).unwrap();
+        let b = EvalPlan::compile(&reshaped).unwrap();
+        assert!(EvalPlan::propagate_batch(&[&a, &b]).is_err());
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Property: batched struct-of-arrays propagation is bit-identical to
+//! the scalar path, for random structures and random batch sizes.
+//!
+//! The service's batch dispatcher routes same-shape cold plans through
+//! [`EvalPlan::propagate_batch`]; an assessor must not be able to tell
+//! from the answers whether their request was batched. `to_bits`
+//! equality (not an epsilon) is the contract — the SoA kernel replays
+//! the scalar float operations in the scalar order, so any divergence
+//! is a kernel bug, never "rounding".
+
+use depcase_assurance::{Case, Combination, EvalPlan};
+use proptest::prelude::*;
+
+/// Builds a two-level case whose *shape* depends only on `rules` and
+/// `with_assumption`, while the leaf confidences cycle through `confs` —
+/// so cases built with the same first two arguments always batch.
+fn build_case(rules: &[bool], confs: &[f64], with_assumption: bool) -> Case {
+    let mut case = Case::new("random");
+    let g = case.add_goal("G", "top").unwrap();
+    let mut li = 0usize;
+    for (si, &any_of) in rules.iter().enumerate() {
+        let rule = if any_of { Combination::AnyOf } else { Combination::AllOf };
+        let s = case.add_strategy(format!("S{si}"), "s", rule).unwrap();
+        case.support(g, s).unwrap();
+        for k in 0..2 {
+            let conf = confs[(li + k) % confs.len()];
+            let e = case.add_evidence(format!("E{si}_{k}"), "e", conf).unwrap();
+            case.support(s, e).unwrap();
+        }
+        li += 2;
+    }
+    if with_assumption {
+        let ac = confs[li % confs.len()];
+        let a = case.add_assumption("A", "assumption", ac).unwrap();
+        case.support(g, a).unwrap();
+    }
+    case
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// For any structure and any batch size 1..=8, every lane of the
+    /// batched propagation reproduces the scalar propagation of its
+    /// case bit-for-bit, node by node, in all three doubt fields.
+    #[test]
+    fn batched_propagation_is_bit_identical_to_scalar(
+        rules in proptest::collection::vec(any::<bool>(), 1..4),
+        lanes in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 2..8),
+            1..9,
+        ),
+        with_assumption in any::<bool>(),
+    ) {
+        let cases: Vec<Case> =
+            lanes.iter().map(|confs| build_case(&rules, confs, with_assumption)).collect();
+        let plans: Vec<EvalPlan> =
+            cases.iter().map(|c| EvalPlan::compile(c).unwrap()).collect();
+        let refs: Vec<&EvalPlan> = plans.iter().collect();
+        let batched = EvalPlan::propagate_batch(&refs).unwrap();
+        prop_assert_eq!(batched.len(), cases.len());
+        for (case, batch_report) in cases.iter().zip(&batched) {
+            let scalar_report = case.propagate().unwrap();
+            for (id, node) in case.iter() {
+                match (scalar_report.confidence(id), batch_report.confidence(id)) {
+                    (None, None) => {}
+                    (Some(s), Some(b)) => {
+                        prop_assert_eq!(
+                            s.independent.to_bits(), b.independent.to_bits(),
+                            "independent diverged at {}", node.name
+                        );
+                        prop_assert_eq!(
+                            s.worst_case.to_bits(), b.worst_case.to_bits(),
+                            "worst_case diverged at {}", node.name
+                        );
+                        prop_assert_eq!(
+                            s.best_case.to_bits(), b.best_case.to_bits(),
+                            "best_case diverged at {}", node.name
+                        );
+                    }
+                    (s, b) => prop_assert!(
+                        false,
+                        "participation diverged at {}: scalar {:?} vs batched {:?}",
+                        node.name, s.is_some(), b.is_some()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// A batch of one is exactly the scalar path — the degenerate lane
+    /// count must not pick a different code path observably.
+    #[test]
+    fn singleton_batches_match_scalar_too(
+        rules in proptest::collection::vec(any::<bool>(), 1..5),
+        confs in proptest::collection::vec(0.0f64..1.0, 2..10),
+    ) {
+        let case = build_case(&rules, &confs, false);
+        let plan = EvalPlan::compile(&case).unwrap();
+        let batched = EvalPlan::propagate_batch(&[&plan]).unwrap();
+        let scalar = case.propagate().unwrap();
+        for (id, _) in case.iter() {
+            if let (Some(s), Some(b)) = (scalar.confidence(id), batched[0].confidence(id)) {
+                prop_assert_eq!(s.independent.to_bits(), b.independent.to_bits());
+                prop_assert_eq!(s.worst_case.to_bits(), b.worst_case.to_bits());
+                prop_assert_eq!(s.best_case.to_bits(), b.best_case.to_bits());
+            }
+        }
+    }
+}

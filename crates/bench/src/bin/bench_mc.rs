@@ -41,6 +41,12 @@ fn main() {
             rung.samples, rung.samples_per_sec_single, rung.samples_per_sec_parallel, rung.speedup
         );
     }
+    for rung in &report.batched_mc {
+        eprintln!(
+            "  batched {:>9} samples: {:>12.0} samples/s scalar, {:>12.0} batched ({:.2}x)",
+            rung.samples, rung.samples_per_sec_scalar, rung.samples_per_sec_batched, rung.speedup
+        );
+    }
     let inc = &report.incremental;
     eprintln!(
         "  incremental: {} edits on {} nodes: {:.4}s full vs {:.4}s incremental ({:.1}x), \

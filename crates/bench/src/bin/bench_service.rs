@@ -4,7 +4,7 @@
 //!
 //! ```sh
 //! cargo run --release -p depcase-bench --bin bench_service -- \
-//!     [OUT.json] [--clients N] [--requests N] [--workers N] [--faults SPEC]
+//!     [OUT.json] [--clients N] [--requests N] [--workers N] [--conns N] [--faults SPEC]
 //! ```
 //!
 //! The harness starts the service in-process on an ephemeral localhost
@@ -20,7 +20,15 @@
 //! goodput (completed requests per second, retries included in the
 //! cost) and retry counts land in the report's `faulted` block.
 //!
-//! A third, durability scenario measures what the write-ahead log
+//! A concurrency scenario measures what the readiness loop buys:
+//! it opens a wall of idle connections against the epoll transport,
+//! records how many OS threads the wall cost (none), spot-checks that
+//! the idle connections still answer, and compares a busy client's
+//! eval latency with and without the wall. Capacity is reported as a
+//! ratio against the thread-per-connection default cap of 128
+//! connections the earlier artefacts were recorded under.
+//!
+//! A durability scenario measures what the write-ahead log
 //! costs and what recovery buys. The standard request mix is re-run
 //! against a durable engine at `--fsync never` and compared to the
 //! in-memory baseline (the serving overhead: reads are never logged,
@@ -34,17 +42,25 @@
 use depcase::prelude::*;
 use depcase_service::protocol::Json;
 use depcase_service::{
-    Client, DurabilityConfig, Engine, FaultPlan, FsyncPolicy, RetryPolicy, RetryingClient, Server,
-    ServerConfig,
+    Client, DurabilityConfig, Engine, FaultPlan, FsyncPolicy, IoModel, RetryPolicy, RetryingClient,
+    Server, ServerConfig,
 };
 use serde::{Serialize, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const DEFAULT_CLIENTS: usize = 4;
 const DEFAULT_REQUESTS: usize = 50;
 const DEFAULT_WORKERS: usize = 4;
 const MC_SAMPLES: u32 = 16_384;
+/// Idle connections the concurrency scenario holds open.
+const DEFAULT_CONNS: usize = 1400;
+/// The thread-per-connection connection cap the pre-epoll artefacts
+/// were recorded under (`ServerConfig::default().max_connections`) —
+/// the denominator of the capacity ratio.
+const BASELINE_MAX_CONNECTIONS: usize = 128;
 /// Fault mix for the faulted scenario: 5% of requests panic their
 /// worker, 5% are delayed, 5% of lines drop the connection.
 const DEFAULT_FAULTS: &str = "seed=42,panic=0.05,delay=0.05,delay_ms=2,drop=0.05";
@@ -113,6 +129,105 @@ fn latency_value(sorted: &[u64]) -> Value {
         ("p99_us".to_string(), Value::U64(quantile_us(sorted, 0.99))),
         ("mean_us".to_string(), Value::F64(mean)),
         ("max_us".to_string(), Value::U64(sorted.last().copied().unwrap_or(0))),
+    ])
+}
+
+/// OS threads in this process, from `/proc/self/status`.
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| l.strip_prefix("Threads:")).and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Sorted eval round-trip latencies (µs) for `n` requests on `client`.
+fn eval_latencies(client: &mut Client, n: usize) -> Vec<u64> {
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let sent = Instant::now();
+        let response = client.round_trip(r#"{"op":"eval","name":"reactor"}"#).expect("eval");
+        assert!(response.contains(r#""ok":true"#), "eval failed: {response}");
+        samples.push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+    samples.sort_unstable();
+    samples
+}
+
+/// The concurrency scenario: idle-connection capacity of the epoll
+/// transport and the busy-path latency cost of holding that capacity
+/// open. Returns the report block.
+fn concurrency_run(workers: usize, conns: usize) -> Value {
+    let engine = Arc::new(Engine::new(16));
+    let config = ServerConfig {
+        workers,
+        max_connections: conns + 16,
+        io: IoModel::Epoll,
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::start(Arc::clone(&engine), ("127.0.0.1", 0), config).expect("bind localhost");
+    let addr = server.local_addr();
+
+    let mut probe = Client::connect(addr).expect("connect");
+    probe
+        .round_trip(&load_line("reactor", &demo_case("reactor protection", 0.95, 0.90)))
+        .expect("load reactor");
+    let solo = eval_latencies(&mut probe, 200);
+
+    eprintln!("concurrency scenario: opening {conns} idle connection(s)…");
+    let threads_before = thread_count();
+    let wall: Vec<TcpStream> = (0..conns)
+        .map(|i| {
+            let stream =
+                TcpStream::connect(addr).unwrap_or_else(|e| panic!("connection {i} refused: {e}"));
+            stream.set_read_timeout(Some(Duration::from_secs(30))).expect("set timeout");
+            stream
+        })
+        .collect();
+    let threads_after = thread_count();
+
+    // The wall must be live, not just accepted: trickle a request
+    // through a spread of the idle connections and count the answers.
+    let mut live = 0u64;
+    for stream in wall.iter().step_by(conns.div_ceil(16).max(1)) {
+        let mut write_half = stream.try_clone().expect("clone stream");
+        write_half.write_all(b"{\"op\":\"eval\",\"name\":\"reactor\"}\n").expect("write");
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).expect("read");
+        assert!(line.contains(r#""ok":true"#), "idle connection went dead: {line}");
+        live += 1;
+    }
+
+    let at_capacity = eval_latencies(&mut probe, 200);
+    drop(wall);
+    server.shutdown();
+
+    let capacity_ratio = conns as f64 / BASELINE_MAX_CONNECTIONS as f64;
+    eprintln!(
+        "  {conns} idle conns cost {} thread(s) ({threads_before} -> {threads_after}); \
+         {live} spot-checked live; capacity {capacity_ratio:.1}x the threaded cap of \
+         {BASELINE_MAX_CONNECTIONS}",
+        threads_after.saturating_sub(threads_before)
+    );
+    eprintln!(
+        "  eval p99: {}µs solo, {}µs at capacity",
+        quantile_us(&solo, 0.99),
+        quantile_us(&at_capacity, 0.99)
+    );
+    Value::Object(vec![
+        ("io".to_string(), Value::Str("epoll".to_string())),
+        ("idle_connections".to_string(), Value::U64(conns as u64)),
+        (
+            "threads_added_by_idle_connections".to_string(),
+            Value::U64(threads_after.saturating_sub(threads_before) as u64),
+        ),
+        ("live_spot_checks".to_string(), Value::U64(live)),
+        ("baseline_max_connections".to_string(), Value::U64(BASELINE_MAX_CONNECTIONS as u64)),
+        ("capacity_ratio".to_string(), Value::F64(capacity_ratio)),
+        ("eval_latency_solo".to_string(), latency_value(&solo)),
+        ("eval_latency_at_capacity".to_string(), latency_value(&at_capacity)),
     ])
 }
 
@@ -392,12 +507,14 @@ fn main() {
     let mut requests = DEFAULT_REQUESTS;
     let mut workers = DEFAULT_WORKERS;
     let mut faults = DEFAULT_FAULTS.to_string();
+    let mut conns = DEFAULT_CONNS;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--clients" => clients = next_count(&mut args, "--clients"),
             "--requests" => requests = next_count(&mut args, "--requests"),
             "--workers" => workers = next_count(&mut args, "--workers"),
+            "--conns" => conns = next_count(&mut args, "--conns"),
             "--faults" => {
                 faults = args.next().unwrap_or_else(|| usage("--faults needs a spec"));
             }
@@ -477,6 +594,7 @@ fn main() {
         ));
     }
 
+    let concurrency = concurrency_run(workers, conns);
     let faulted = faulted_run(clients, requests, workers, &faults);
     let durability = durability_run(clients, requests, workers, throughput);
 
@@ -497,6 +615,7 @@ fn main() {
         ("latency".to_string(), latency_value(&sorted_all)),
         ("per_op".to_string(), Value::Object(per_op)),
         ("plan_cache".to_string(), cache.clone()),
+        ("concurrency".to_string(), concurrency),
         ("faulted".to_string(), faulted),
         ("durability".to_string(), durability),
     ]);
@@ -530,7 +649,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: bench_service [OUT.json] [--clients N] [--requests N] [--workers N] [--faults SPEC]"
+        "usage: bench_service [OUT.json] [--clients N] [--requests N] [--workers N] \
+         [--conns N] [--faults SPEC]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

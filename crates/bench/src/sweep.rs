@@ -20,6 +20,8 @@ use depcase_assurance::{Case, Combination, EvalPlan, Incremental, MonteCarlo, No
 use depcase_core::WorstCaseBound;
 use depcase_distributions::LogNormal;
 use depcase_sil::{DemandMode, SilAssessment, SilLevel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::Serialize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -278,6 +280,78 @@ pub fn mc_ladder(sizes: &[u32], seed: u64, threads: usize) -> (Vec<McRung>, Stag
     (rungs, timing)
 }
 
+/// One rung of the batched-versus-scalar Monte-Carlo comparison: the
+/// same plan sampled by the one-sample-at-a-time scalar reference and
+/// by the 64-lane batched kernel the service's `mc` op runs on.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BatchedMcRung {
+    /// Structure samples drawn by each engine.
+    pub samples: u32,
+    /// Scalar-reference wall-clock seconds.
+    pub secs_scalar: f64,
+    /// Batched-kernel wall-clock seconds (one thread, so the ratio is
+    /// pure kernel width, not parallelism).
+    pub secs_batched: f64,
+    /// Scalar-reference throughput.
+    pub samples_per_sec_scalar: f64,
+    /// Batched-kernel throughput.
+    pub samples_per_sec_batched: f64,
+    /// `secs_scalar / secs_batched`.
+    pub speedup: f64,
+    /// Root-goal estimate from the scalar reference.
+    pub estimate_scalar: f64,
+    /// Root-goal estimate from the batched engine. Differs from the
+    /// scalar figure only through RNG-stream discipline (caller-owned
+    /// stream vs chunked streams); the engines themselves are pinned
+    /// bit-identical from shared state by the assurance test suite.
+    pub estimate_batched: f64,
+}
+
+/// Times the scalar sequential sampler against the batched wide engine
+/// on the ladder reference case at each sample size, both single
+/// threaded, so `speedup` isolates what the 64-lane kernel buys.
+///
+/// # Panics
+///
+/// Panics if simulation fails — impossible for the valid reference case
+/// and nonzero sizes.
+#[must_use]
+pub fn batched_mc(sizes: &[u32], seed: u64) -> (Vec<BatchedMcRung>, StageTiming) {
+    let (case, goal) = ladder_case();
+    let plan = EvalPlan::compile(&case).expect("valid case");
+    let t0 = Instant::now();
+    let rungs = sizes
+        .iter()
+        .map(|&samples| {
+            let engine = MonteCarlo::new(samples).seed(seed).threads(1);
+            let t1 = Instant::now();
+            let scalar = engine
+                .run_sequential_plan(&plan, &mut StdRng::seed_from_u64(seed))
+                .expect("samples > 0");
+            let secs_scalar = t1.elapsed().as_secs_f64();
+            let t2 = Instant::now();
+            let batched = engine.run_plan(&plan).expect("samples > 0");
+            let secs_batched = t2.elapsed().as_secs_f64();
+            BatchedMcRung {
+                samples,
+                secs_scalar,
+                secs_batched,
+                samples_per_sec_scalar: f64::from(samples) / secs_scalar.max(1e-12),
+                samples_per_sec_batched: f64::from(samples) / secs_batched.max(1e-12),
+                speedup: secs_scalar / secs_batched.max(1e-12),
+                estimate_scalar: scalar.estimate(goal).expect("goal is a target"),
+                estimate_batched: batched.estimate(goal).expect("goal is a target"),
+            }
+        })
+        .collect::<Vec<_>>();
+    let timing = StageTiming {
+        stage: "batched_mc".into(),
+        points: sizes.len(),
+        seconds: t0.elapsed().as_secs_f64(),
+    };
+    (rungs, timing)
+}
+
 /// Result of the incremental-edit scenario: the same point-edit
 /// sequence answered by a full recompile-and-repropagate per edit
 /// versus the [`Incremental`] session's dirty-spine recomputation.
@@ -420,6 +494,8 @@ pub struct BenchMcReport {
     pub sigma: Vec<SigmaPoint>,
     /// Monte-Carlo ladder output.
     pub mc: Vec<McRung>,
+    /// Batched-kernel-versus-scalar comparison output.
+    pub batched_mc: Vec<BatchedMcRung>,
     /// Incremental point-edit scenario output.
     pub incremental: IncrementalStats,
 }
@@ -453,6 +529,8 @@ pub fn run_bench(mc_sizes: &[u32], seed: u64, threads: usize) -> BenchMcReport {
     stages.push(t_grid);
     let (mc, t_mc) = mc_ladder(mc_sizes, seed, threads);
     stages.push(t_mc);
+    let (batched_mc, t_batched) = batched_mc(mc_sizes, seed);
+    stages.push(t_batched);
     let (incremental, t_inc) = incremental_scenario(100);
     stages.push(t_inc);
     BenchMcReport {
@@ -462,6 +540,7 @@ pub fn run_bench(mc_sizes: &[u32], seed: u64, threads: usize) -> BenchMcReport {
         stages,
         sigma,
         mc,
+        batched_mc,
         incremental,
     }
 }
@@ -542,12 +621,32 @@ mod tests {
     }
 
     #[test]
+    fn batched_mc_stage_times_both_engines_and_is_deterministic() {
+        let (rungs, timing) = batched_mc(&[10_000, 20_000], 5);
+        assert_eq!(timing.points, 2);
+        for r in &rungs {
+            assert!(r.samples_per_sec_scalar > 0.0);
+            assert!(r.samples_per_sec_batched > 0.0);
+            assert!((0.0..=1.0).contains(&r.estimate_scalar));
+            assert!((0.0..=1.0).contains(&r.estimate_batched));
+        }
+        // Same seeds → same estimates on a re-run (no wall-clock
+        // claims in tests; throughput figures live in BENCH_mc.json).
+        let (again, _) = batched_mc(&[10_000, 20_000], 5);
+        for (a, b) in rungs.iter().zip(&again) {
+            assert_eq!(a.estimate_scalar.to_bits(), b.estimate_scalar.to_bits());
+            assert_eq!(a.estimate_batched.to_bits(), b.estimate_batched.to_bits());
+        }
+    }
+
+    #[test]
     fn report_serializes() {
         let report = run_bench(&[5_000], 1, 2);
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("\"chunk_samples\""));
         assert!(json.contains("sigma_sweep"));
         assert!(json.contains("mc_ladder"));
+        assert!(json.contains("batched_mc"));
         assert!(json.contains("incremental_edits"));
         assert!(json.contains("\"nodes_recomputed\""));
     }

@@ -6,20 +6,24 @@
 //! case_tool dot   case.json      # annotated Graphviz DOT on stdout
 //! case_tool rank  case.json      # evidence ranked by improvement value
 //! case_tool demo                 # print a sample case.json to start from
-//! case_tool serve [--addr HOST:PORT] [--stdio] [--workers N] [--cache N]
-//!                 [--queue N] [--conns N] [--deadline MS] [--drain MS]
-//!                 [--faults SPEC] [--data-dir PATH] [--fsync always|never]
+//! case_tool serve [--addr HOST:PORT] [--stdio] [--io epoll|threads]
+//!                 [--workers N] [--cache N] [--queue N] [--conns N]
+//!                 [--deadline MS] [--drain MS] [--faults SPEC]
+//!                 [--data-dir PATH] [--fsync always|never]
 //!                 [--snapshot-every N]
 //! ```
 //!
 //! `serve` speaks newline-delimited JSON (see the `depcase-service`
 //! crate docs for the protocol) on a localhost TCP listener, or on
-//! stdin/stdout with `--stdio`. `--queue` bounds the job queue
-//! (overflow answers `overloaded`), `--conns` caps concurrent
-//! connections, `--deadline` sets the default per-request budget,
-//! `--drain` bounds how long shutdown waits for queued work, and
-//! `--faults` enables deterministic fault injection from a spec like
-//! `seed=42,panic=0.05,delay=0.1,delay_ms=20,drop=0.02` (see
+//! stdin/stdout with `--stdio`. `--io` picks the TCP transport: the
+//! default `epoll` multiplexes every connection onto one
+//! readiness-driven I/O thread (thousands of mostly-idle connections);
+//! `threads` is the classic two-threads-per-connection model. `--queue`
+//! bounds the job queue (overflow answers `overloaded`), `--conns` caps
+//! concurrent connections, `--deadline` sets the default per-request
+//! budget, `--drain` bounds how long shutdown waits for queued work,
+//! and `--faults` enables deterministic fault injection from a spec
+//! like `seed=42,panic=0.05,delay=0.1,delay_ms=20,drop=0.02` (see
 //! [`depcase_service::FaultPlan`]).
 //!
 //! `--data-dir` makes the registry durable: every acked `load`/`edit`
@@ -33,7 +37,8 @@
 
 use depcase::assurance::{importance, templates, Case};
 use depcase_service::{
-    serve_stdio_with, DurabilityConfig, Engine, FaultPlan, FsyncPolicy, Server, ServerConfig,
+    serve_stdio_with, DurabilityConfig, Engine, FaultPlan, FsyncPolicy, IoModel, Server,
+    ServerConfig,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -65,6 +70,13 @@ fn serve(args: &[String]) -> Result<(), String> {
             "--stdio" => stdio = true,
             "--addr" => {
                 addr = it.next().ok_or("--addr needs HOST:PORT")?.clone();
+            }
+            "--io" => {
+                config.io = match it.next().map(String::as_str) {
+                    Some("epoll") => IoModel::Epoll,
+                    Some("threads") => IoModel::Threads,
+                    _ => return Err("--io needs epoll|threads".into()),
+                };
             }
             "--workers" => config.workers = int_flag("--workers", &mut it)? as usize,
             "--cache" => cache = int_flag("--cache", &mut it)? as usize,
@@ -111,7 +123,11 @@ fn serve(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     eprintln!(
-        "case_tool serve: {} workers, plan cache {cache}, queue {}, conns {}{}{}{}",
+        "case_tool serve: {} io, {} workers, plan cache {cache}, queue {}, conns {}{}{}{}",
+        match config.io {
+            IoModel::Epoll => "epoll",
+            IoModel::Threads => "threads",
+        },
         config.workers,
         config.queue_capacity,
         config.max_connections,
@@ -197,7 +213,7 @@ fn run() -> Result<(), String> {
         }
         Some("serve") => serve(&args[1..]),
         _ => Err(
-            "usage: case_tool {eval|dot|rank} <case.json> | case_tool demo | case_tool serve [--addr HOST:PORT|--stdio] [--workers N] [--cache N] [--queue N] [--conns N] [--deadline MS] [--drain MS] [--faults SPEC] [--data-dir PATH] [--fsync always|never] [--snapshot-every N]"
+            "usage: case_tool {eval|dot|rank} <case.json> | case_tool demo | case_tool serve [--addr HOST:PORT|--stdio] [--io epoll|threads] [--workers N] [--cache N] [--queue N] [--conns N] [--deadline MS] [--drain MS] [--faults SPEC] [--data-dir PATH] [--fsync always|never] [--snapshot-every N]"
                 .into(),
         ),
     }

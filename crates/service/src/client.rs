@@ -17,7 +17,7 @@
 //! seed replays the same backoff schedule, matching the determinism
 //! discipline of the rest of the crate.
 
-use crate::protocol::{ErrorCode, Json};
+use crate::protocol::{ErrorCode, Json, MAX_BATCH_ITEMS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Value;
@@ -104,6 +104,131 @@ impl Client {
                 "response line carries no boolean `ok`",
             )),
         }
+    }
+
+    /// Evaluates many cases in one wire exchange: the names are packed
+    /// into `"v":2` `batch` requests ([`MAX_BATCH_ITEMS`] per line, so
+    /// any number of names works), sent with **one write syscall per
+    /// batch**, and answered positionally — `result[i]` is the eval of
+    /// `names[i]`, success or its own typed error.
+    ///
+    /// Identical names in one batch coalesce server-side into a single
+    /// evaluation, and distinct same-shape cases run the vectorized
+    /// batch kernel; either way the answers are bit-identical to
+    /// one-at-a-time `eval` calls.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as in [`Client::round_trip`]; `bad_response`
+    /// when the batch envelope itself cannot be parsed. Per-item
+    /// failures (e.g. `unknown_case`) land in their own slot instead of
+    /// failing the call.
+    pub fn eval_many(&mut self, names: &[&str]) -> depcase::Result<Vec<depcase::Result<Value>>> {
+        let mut results = Vec::with_capacity(names.len());
+        for chunk in names.chunks(MAX_BATCH_ITEMS.max(1)) {
+            let items: Vec<Value> = chunk.iter().map(|name| eval_item(name)).collect();
+            results.extend(self.batch_round_trip(&items)?);
+        }
+        Ok(results)
+    }
+
+    /// Sends one `"v":2` `batch` of raw item objects (each shaped like
+    /// a request body without an id, e.g. `{"op":"eval","name":"x"}`)
+    /// in a single write syscall, and returns the per-item outcomes in
+    /// item order.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as in [`Client::round_trip`]; the batch-level
+    /// wire error (e.g. `invalid_batch`, `overloaded`) when the server
+    /// rejects the envelope as a whole.
+    pub fn batch_round_trip(
+        &mut self,
+        items: &[Value],
+    ) -> depcase::Result<Vec<depcase::Result<Value>>> {
+        Ok(self.batch_raw(items)?.iter().map(item_outcome).collect())
+    }
+
+    /// One batch exchange returning the raw per-item objects, so
+    /// callers that need wire detail (the retrying client reads each
+    /// item's `retry_after_ms` hint) can keep it.
+    pub(crate) fn batch_raw(&mut self, items: &[Value]) -> depcase::Result<Vec<Value>> {
+        let envelope = Value::Object(vec![
+            ("v".to_string(), Value::U64(2)),
+            ("op".to_string(), Value::Str("batch".to_string())),
+            ("items".to_string(), Value::Array(items.to_vec())),
+        ]);
+        let line = serde_json::to_string(&Json(envelope))
+            .map_err(|e| depcase::Error::service("bad_request", format!("unserializable: {e}")))?;
+        let response = self.round_trip(&line)?;
+        parse_batch_response(&response, items.len())
+    }
+}
+
+/// One positional `eval` item for a batch envelope.
+fn eval_item(name: &str) -> Value {
+    Value::Object(vec![
+        ("op".to_string(), Value::Str("eval".to_string())),
+        ("name".to_string(), Value::Str(name.to_string())),
+    ])
+}
+
+/// Splits a batch response line into raw per-item objects, enforcing
+/// that the server answered every item positionally.
+fn parse_batch_response(response: &str, expected: usize) -> depcase::Result<Vec<Value>> {
+    let Json(value) = serde_json::from_str::<Json>(response).map_err(|e| {
+        depcase::Error::service("bad_response", format!("unparseable response line: {e}"))
+    })?;
+    match value.get("ok").and_then(Value::as_bool) {
+        Some(true) => {}
+        Some(false) => {
+            let error = value.get("error");
+            let code =
+                error.and_then(|e| e.get("code")).and_then(Value::as_str).unwrap_or("bad_response");
+            let message = error
+                .and_then(|e| e.get("message"))
+                .and_then(Value::as_str)
+                .unwrap_or("error line without a message");
+            return Err(depcase::Error::service(code, message));
+        }
+        None => {
+            return Err(depcase::Error::service(
+                "bad_response",
+                "response line carries no boolean `ok`",
+            ))
+        }
+    }
+    let items =
+        value.get("result").and_then(|r| r.get("items")).and_then(Value::as_array).ok_or_else(
+            || depcase::Error::service("bad_response", "batch success line without an items array"),
+        )?;
+    if items.len() != expected {
+        return Err(depcase::Error::service(
+            "bad_response",
+            format!("batch answered {} items for {expected} requests", items.len()),
+        ));
+    }
+    Ok(items.to_vec())
+}
+
+/// Maps one batch item object to the outcome its standalone request
+/// would have produced.
+fn item_outcome(item: &Value) -> depcase::Result<Value> {
+    match item.get("ok").and_then(Value::as_bool) {
+        Some(true) => item.get("result").cloned().ok_or_else(|| {
+            depcase::Error::service("bad_response", "success item without a result")
+        }),
+        Some(false) => {
+            let error = item.get("error");
+            let code =
+                error.and_then(|e| e.get("code")).and_then(Value::as_str).unwrap_or("bad_response");
+            let message = error
+                .and_then(|e| e.get("message"))
+                .and_then(Value::as_str)
+                .unwrap_or("error item without a message");
+            Err(depcase::Error::service(code, message))
+        }
+        None => Err(depcase::Error::service("bad_response", "item carries no boolean `ok`")),
     }
 }
 
@@ -223,6 +348,106 @@ impl RetryingClient {
         Err(last_err)
     }
 
+    /// [`Client::eval_many`] with the retry discipline applied **per
+    /// item**: each round resends only the items that answered a
+    /// retryable code, sleeping the largest `retry_after_ms` hint any
+    /// retried item carried (decorrelated backoff when no item offered
+    /// a hint). Settled items keep their first final answer — a
+    /// `unknown_case` in slot 2 never causes slot 3 to be re-sent.
+    ///
+    /// # Errors
+    ///
+    /// A batch-level or transport error that is not transient; or, once
+    /// the attempt budget is exhausted, the last transient error (items
+    /// already settled are lost with it — the call is all-or-nothing).
+    pub fn eval_many(&mut self, names: &[&str]) -> depcase::Result<Vec<depcase::Result<Value>>> {
+        let mut slots: Vec<Option<depcase::Result<Value>>> = names.iter().map(|_| None).collect();
+        let mut open: Vec<usize> = (0..names.len()).collect();
+        let mut prev_sleep = self.policy.base_ms;
+        let mut last_err =
+            depcase::Error::service("retry_exhausted", "no attempt was made (max_attempts = 0)");
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if open.is_empty() {
+                break;
+            }
+            if attempt > 0 {
+                self.retries += 1;
+            }
+            match self.try_eval_batch(names, &open) {
+                Ok(raw_items) => {
+                    let mut still_open = Vec::new();
+                    let mut hint: Option<u64> = None;
+                    for (&slot, item) in open.iter().zip(&raw_items) {
+                        if let Some((code, item_hint)) = retryable_item(item) {
+                            self.retried_codes.push(code.clone());
+                            hint = hint.max(item_hint);
+                            last_err = depcase::Error::service(
+                                code,
+                                "service answered a retryable error on the final attempt",
+                            );
+                            still_open.push(slot);
+                        } else {
+                            slots[slot] = Some(item_outcome(item));
+                        }
+                    }
+                    open = still_open;
+                    if open.is_empty() {
+                        break;
+                    }
+                    let backoff = self.next_backoff(&mut prev_sleep);
+                    thread::sleep(Duration::from_millis(hint.unwrap_or(backoff)));
+                }
+                Err(err) => {
+                    let code = match &err {
+                        depcase::Error::Service { code, .. } => code.clone(),
+                        _ => return Err(err),
+                    };
+                    let transport = matches!(code.as_str(), "io" | "connection_closed");
+                    let transient = transport
+                        || matches!(
+                            ErrorCode::parse(&code),
+                            Some(
+                                ErrorCode::Overloaded
+                                    | ErrorCode::InternalError
+                                    | ErrorCode::DeadlineExceeded
+                            )
+                        );
+                    if !transient {
+                        return Err(err);
+                    }
+                    if transport {
+                        self.client = None;
+                    }
+                    self.retried_codes.push(code);
+                    last_err = err;
+                    let backoff = self.next_backoff(&mut prev_sleep);
+                    thread::sleep(Duration::from_millis(backoff));
+                }
+            }
+        }
+        if !open.is_empty() {
+            return Err(last_err);
+        }
+        Ok(slots.into_iter().map(|slot| slot.expect("every settled slot is filled")).collect())
+    }
+
+    /// One chunked batch exchange covering exactly the open slots,
+    /// returning their raw item objects in `open` order.
+    fn try_eval_batch(&mut self, names: &[&str], open: &[usize]) -> depcase::Result<Vec<Value>> {
+        if self.client.is_none() {
+            let client = Client::connect(self.addr)
+                .map_err(|e| depcase::Error::service("io", format!("connect failed: {e}")))?;
+            self.client = Some(client);
+        }
+        let client = self.client.as_mut().expect("client was just connected");
+        let mut raw = Vec::with_capacity(open.len());
+        for chunk in open.chunks(MAX_BATCH_ITEMS.max(1)) {
+            let items: Vec<Value> = chunk.iter().map(|&slot| eval_item(names[slot])).collect();
+            raw.extend(client.batch_raw(&items)?);
+        }
+        Ok(raw)
+    }
+
     fn try_once(&mut self, line: &str) -> depcase::Result<String> {
         if self.client.is_none() {
             let client = Client::connect(self.addr)
@@ -266,6 +491,26 @@ fn retryable(response: &str) -> Option<(String, Option<u64>)> {
     Some((code.to_string(), retry_after_ms))
 }
 
+/// The per-item spelling of [`retryable`]: extracts
+/// `(code, retry_after_ms)` when a batch item answered a retryable
+/// error; `None` means the item is settled (success or final error).
+fn retryable_item(item: &Value) -> Option<(String, Option<u64>)> {
+    if item.get("ok").and_then(Value::as_bool) != Some(false) {
+        return None;
+    }
+    let error = item.get("error")?;
+    let code = error.get("code").and_then(Value::as_str)?;
+    let transient = matches!(
+        ErrorCode::parse(code),
+        Some(ErrorCode::Overloaded | ErrorCode::InternalError | ErrorCode::DeadlineExceeded)
+    );
+    if !transient {
+        return None;
+    }
+    let retry_after_ms = error.get("retry_after_ms").and_then(Value::as_u64);
+    Some((code.to_string(), retry_after_ms))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +525,33 @@ mod tests {
         assert_eq!(retryable(fatal), None);
         let success = r#"{"id":1,"ok":true,"result":{}}"#;
         assert_eq!(retryable(success), None);
+    }
+
+    #[test]
+    fn retryable_item_reads_batch_items_not_response_lines() {
+        let parse = |s: &str| {
+            let Json(v) = serde_json::from_str::<Json>(s).unwrap();
+            v
+        };
+        let shed = parse(
+            r#"{"ok":false,"error":{"code":"overloaded","message":"m","retry_after_ms":15}}"#,
+        );
+        assert_eq!(retryable_item(&shed), Some(("overloaded".to_string(), Some(15))));
+        let fatal = parse(r#"{"ok":false,"error":{"code":"unknown_case","message":"m"}}"#);
+        assert_eq!(retryable_item(&fatal), None);
+        let settled = parse(r#"{"ok":true,"result":{"root_confidence":0.5}}"#);
+        assert_eq!(retryable_item(&settled), None);
+    }
+
+    #[test]
+    fn batch_responses_must_answer_positionally() {
+        let two_for_three = r#"{"id":1,"v":2,"ok":true,"result":{"items":[{"ok":true,"result":1},{"ok":true,"result":2}]}}"#;
+        let err = parse_batch_response(two_for_three, 3).unwrap_err();
+        assert!(matches!(err, depcase::Error::Service { ref code, .. } if code == "bad_response"));
+        let envelope_error =
+            r#"{"id":1,"ok":false,"error":{"code":"invalid_batch","message":"m"}}"#;
+        let err = parse_batch_response(envelope_error, 1).unwrap_err();
+        assert!(matches!(err, depcase::Error::Service { ref code, .. } if code == "invalid_batch"));
     }
 
     #[test]

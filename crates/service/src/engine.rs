@@ -31,18 +31,24 @@
 
 use crate::cache::{CacheCounters, CompiledCase, PlanCache};
 use crate::lock_unpoisoned;
-use crate::protocol::{format_hash, EditAction, ErrorCode, EvalAt, Request, WireError};
+use crate::protocol::{
+    format_hash, BatchItem, EditAction, ErrorCode, EvalAt, Request, Response, WireError,
+};
 use crate::snapshot::{Manifest, ManifestCase, Store, VersionRecord};
 use crate::stats::{RobustnessCounters, RobustnessEvent, ServiceStats};
 use crate::wal::{storage_error, FsyncPolicy, Wal, WalOp, WalRecord};
-use depcase::assurance::{importance, Case, EditStats, Incremental, MonteCarlo, NodeId, NodeKind};
+use depcase::assurance::{
+    importance, Case, ConfidenceReport, EditStats, EvalPlan, Incremental, MonteCarlo, NodeId,
+    NodeKind,
+};
 use depcase::distributions::TwoPoint;
 use depcase::sil::{SilAssessment, SilLevel};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Fails with `deadline_exceeded` once `deadline` has passed. Called
 /// between pipeline stages (after parse, after lookup/compile, before
@@ -154,6 +160,82 @@ struct Durability {
     next_seq: u64,
 }
 
+/// Everything a Monte-Carlo response depends on, used to coalesce
+/// concurrent identical runs into one flight. `threads` is deliberately
+/// absent: chunked sampling is bit-identical at any thread count, so
+/// requests differing only in `threads` produce the same bytes and may
+/// share one run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct McKey {
+    name: String,
+    version: u64,
+    hash: u64,
+    samples: u32,
+    seed: u64,
+}
+
+/// The shared state of one in-flight coalesced run: followers block on
+/// the condvar until the leader publishes the outcome.
+#[derive(Debug)]
+enum FlightSlot {
+    Running,
+    Done(Result<Value, WireError>),
+}
+
+type Flight = Arc<(Mutex<FlightSlot>, Condvar)>;
+
+/// Publishes the leader's outcome even on unwind: dropping the guard
+/// removes the flight from the table and wakes every follower — with
+/// `internal_error` if the leader never stored a real result — so a
+/// panicking sampler (the server's worker isolation catches the panic
+/// itself) can never strand followers on the condvar.
+struct FlightGuard<'a> {
+    flights: &'a Mutex<HashMap<McKey, Flight>>,
+    key: &'a McKey,
+    flight: &'a Flight,
+    outcome: Option<Result<Value, WireError>>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let outcome = self.outcome.take().unwrap_or_else(|| {
+            Err(WireError::new(
+                ErrorCode::InternalError,
+                "the coalesced sampling run did not complete",
+            ))
+        });
+        lock_unpoisoned(self.flights).remove(self.key);
+        let (slot, signal) = &**self.flight;
+        *lock_unpoisoned(slot) = FlightSlot::Done(outcome);
+        signal.notify_all();
+    }
+}
+
+/// Blocks until the flight completes or `deadline` passes; `None` means
+/// the wait timed out with the leader still running.
+fn wait_for_flight(flight: &Flight, deadline: Option<Instant>) -> Option<Result<Value, WireError>> {
+    let (slot, signal) = &**flight;
+    let mut state = lock_unpoisoned(slot);
+    loop {
+        if let FlightSlot::Done(result) = &*state {
+            return Some(result.clone());
+        }
+        state = match deadline {
+            None => signal.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner),
+            Some(d) => {
+                let now = Instant::now();
+                if now >= d {
+                    return None;
+                }
+                signal
+                    .wait_timeout(state, d - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .0
+            }
+        };
+    }
+}
+
 /// The long-running assessment engine.
 #[derive(Debug)]
 pub struct Engine {
@@ -163,6 +245,12 @@ pub struct Engine {
     /// `Some` for durable engines. Also taken (even when `None`) to
     /// serialize mutation commits.
     durability: Mutex<Option<Durability>>,
+    /// In-flight Monte-Carlo runs, keyed by everything the response
+    /// depends on; a request arriving while an identical run is already
+    /// sampling joins it instead of re-sampling.
+    mc_flights: Mutex<HashMap<McKey, Flight>>,
+    /// Requests answered by joining another request's in-flight run.
+    coalesced: AtomicU64,
 }
 
 fn invalid_data(message: String) -> std::io::Error {
@@ -180,6 +268,8 @@ impl Engine {
             cache: Mutex::new(PlanCache::new(cache_capacity)),
             stats: Mutex::new(ServiceStats::default()),
             durability: Mutex::new(None),
+            mc_flights: Mutex::new(HashMap::new()),
+            coalesced: AtomicU64::new(0),
         }
     }
 
@@ -376,6 +466,15 @@ impl Engine {
         lock_unpoisoned(&self.stats).note(event);
     }
 
+    /// Counts one rejected request (`overloaded` / `request_too_large`)
+    /// along with how long the server took to answer the rejection, so
+    /// shed traffic shows up in a latency histogram instead of
+    /// disappearing from p99 exactly when the service is saturated.
+    pub fn note_rejection(&self, event: RobustnessEvent, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        lock_unpoisoned(&self.stats).note_rejection(event, us);
+    }
+
     /// Snapshot of the fault-tolerance counters (for tests and benches).
     #[must_use]
     pub fn robustness(&self) -> RobustnessCounters {
@@ -403,7 +502,15 @@ impl Engine {
                 self.bands(name, *pfd_bound, mode.to_lib(), deadline)
             }
             Request::Stats | Request::Shutdown => Ok(self.stats_value()),
+            Request::Batch { items } => self.batch(items, deadline),
         }
+    }
+
+    /// Requests answered by joining another request's identical
+    /// in-flight Monte-Carlo run (for tests and the bench harness).
+    #[must_use]
+    pub fn coalesced_joins(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
     }
 
     /// The current stats snapshot as a wire value (also the `shutdown`
@@ -590,24 +697,182 @@ impl Engine {
         let entry = self.lookup_at(name, at)?;
         let compiled = self.compiled(&entry)?;
         check_deadline(deadline)?;
-        let mut nodes = Vec::new();
-        for (id, node) in entry.case.iter() {
-            if let Some(c) = compiled.report.confidence(id) {
-                nodes.push(Value::Object(vec![
-                    ("name".to_string(), Value::Str(node.name.clone())),
-                    ("kind".to_string(), Value::Str(kind_name(&node.kind).to_string())),
-                    ("confidence".to_string(), Value::F64(c.independent)),
-                    ("worst_case".to_string(), Value::F64(c.worst_case)),
-                    ("best_case".to_string(), Value::F64(c.best_case)),
-                ]));
+        Ok(eval_value(&entry, &compiled.report))
+    }
+
+    /// Dispatches a `batch` request: every item is answered in wire
+    /// order, and the answers ride back as one `items` array.
+    ///
+    /// Formation rules (documented in DESIGN.md §14):
+    ///
+    /// - **Mutations are barriers.** `load`/`edit` items run alone, in
+    ///   wire order, so the WAL sequence matches item order and later
+    ///   items observe earlier mutations.
+    /// - **Evals between barriers coalesce.** Items resolving to the
+    ///   same case version share one answer; distinct cold cases with
+    ///   the same plan shape run the struct-of-arrays batch kernel
+    ///   ([`EvalPlan::propagate_batch`]) in one pass. Both paths are
+    ///   bit-identical to dispatching each item alone.
+    /// - **Deadlines are respected.** An item's `deadline_ms` caps its
+    ///   own work (never past the envelope deadline); items carrying
+    ///   their own deadline are dispatched individually, so a grouped
+    ///   run only ever answers items sharing one deadline.
+    ///
+    /// Sub-items are *not* recorded individually in the op stats — the
+    /// whole batch is one `batch` entry — but shed/reject accounting
+    /// still happens per connection line in the server.
+    fn batch(&self, items: &[BatchItem], deadline: Option<Instant>) -> Result<Value, WireError> {
+        let started = Instant::now();
+        let mut answers: Vec<Option<Response>> = items.iter().map(|_| None).collect();
+        let mut i = 0;
+        while i < items.len() {
+            if let Ok(request) = &items[i].request {
+                if is_mutation(request) {
+                    let d = effective_deadline(started, deadline, items[i].deadline_ms);
+                    answers[i] = Some(self.dispatch(request, d).into());
+                    i += 1;
+                    continue;
+                }
+            }
+            // A span of consecutive non-mutating items (parse failures
+            // included — they answer their stored error).
+            let end = items[i..]
+                .iter()
+                .position(|item| matches!(&item.request, Ok(r) if is_mutation(r)))
+                .map_or(items.len(), |n| i + n);
+            self.batch_span(&items[i..end], &mut answers[i..end], deadline, started);
+            i = end;
+        }
+        let rendered: Vec<Value> = answers
+            .into_iter()
+            .map(|a| a.expect("every batch item is answered").to_item_value())
+            .collect();
+        Ok(Value::Object(vec![("items".to_string(), Value::Array(rendered))]))
+    }
+
+    /// Answers one barrier-free span: evals without their own deadline
+    /// are deferred and coalesced, everything else dispatches in place.
+    fn batch_span(
+        &self,
+        items: &[BatchItem],
+        answers: &mut [Option<Response>],
+        deadline: Option<Instant>,
+        started: Instant,
+    ) {
+        let mut evals: Vec<usize> = Vec::new();
+        for (idx, item) in items.iter().enumerate() {
+            match &item.request {
+                Err(e) => answers[idx] = Some(Response::Err(e.clone())),
+                Ok(r) if item.deadline_ms.is_none() && matches!(**r, Request::Eval { .. }) => {
+                    evals.push(idx);
+                }
+                Ok(r) => {
+                    let d = effective_deadline(started, deadline, item.deadline_ms);
+                    answers[idx] = Some(self.dispatch(r, d).into());
+                }
             }
         }
-        let mut fields = case_header(&entry);
-        if let Some(top) = compiled.report.top() {
-            fields.push(("root_confidence".to_string(), Value::F64(top.independent)));
+        if !evals.is_empty() {
+            self.batch_evals(items, &evals, answers, deadline);
         }
-        fields.push(("nodes".to_string(), Value::Array(nodes)));
-        Ok(Value::Object(fields))
+    }
+
+    /// Coalesces a span's eval items. Items resolving to the same case
+    /// version share one computed answer. Cache misses compile a bare
+    /// [`EvalPlan`] each; distinct cold plans sharing one shape then
+    /// propagate together through the struct-of-arrays kernel, and a
+    /// shape on its own takes the ordinary cache-filling path.
+    fn batch_evals(
+        &self,
+        items: &[BatchItem],
+        evals: &[usize],
+        answers: &mut [Option<Response>],
+        deadline: Option<Instant>,
+    ) {
+        // Resolve every item; a failed lookup answers just that item.
+        // Wanting the same (version, hash) twice dedups to one entry.
+        let mut wanted: Vec<(CaseEntry, Vec<usize>)> = Vec::new();
+        for &idx in evals {
+            let Ok(request) = &items[idx].request else { continue };
+            let Request::Eval { name, at } = &**request else { continue };
+            match self.lookup_at(name, at.as_ref()) {
+                Err(e) => answers[idx] = Some(Response::Err(e)),
+                Ok(entry) => match wanted
+                    .iter_mut()
+                    .find(|(w, _)| w.hash == entry.hash && w.version == entry.version)
+                {
+                    Some((_, idxs)) => idxs.push(idx),
+                    None => wanted.push((entry, vec![idx])),
+                },
+            }
+        }
+        let fill = |answers: &mut [Option<Response>], idxs: &[usize], response: Response| {
+            for &i in idxs {
+                answers[i] = Some(response.clone());
+            }
+        };
+        if let Err(e) = check_deadline(deadline) {
+            for (_, idxs) in &wanted {
+                fill(answers, idxs, Response::Err(e.clone()));
+            }
+            return;
+        }
+        // Cache hits answer from the memoised report; misses queue for
+        // the wide kernel.
+        let mut cold: Vec<(CaseEntry, Vec<usize>, EvalPlan)> = Vec::new();
+        for (entry, idxs) in wanted {
+            if let Some(hit) = lock_unpoisoned(&self.cache).get(entry.hash) {
+                fill(answers, &idxs, Response::Ok(eval_value(&entry, &hit.report)));
+            } else {
+                match EvalPlan::compile(&entry.case) {
+                    Ok(plan) => cold.push((entry, idxs, plan)),
+                    Err(e) => {
+                        let err = WireError::from(depcase::Error::from(e));
+                        fill(answers, &idxs, Response::Err(err));
+                    }
+                }
+            }
+        }
+        // Group the cold plans by shape (quadratic over at most
+        // MAX_BATCH_ITEMS distinct cases).
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for p in 0..cold.len() {
+            match groups.iter_mut().find(|g| cold[g[0]].2.same_shape(&cold[p].2)) {
+                Some(g) => g.push(p),
+                None => groups.push(vec![p]),
+            }
+        }
+        for group in groups {
+            if let Err(e) = check_deadline(deadline) {
+                for &p in &group {
+                    fill(answers, &cold[p].1, Response::Err(e.clone()));
+                }
+                continue;
+            }
+            if let [only] = group[..] {
+                // A lone shape gains nothing from the batch kernel; the
+                // ordinary path also warms the plan cache for follow-ups.
+                let (entry, idxs, _) = &cold[only];
+                let response = self.compiled(entry).map(|c| eval_value(entry, &c.report)).into();
+                fill(answers, idxs, response);
+                continue;
+            }
+            let plans: Vec<&EvalPlan> = group.iter().map(|&p| &cold[p].2).collect();
+            match EvalPlan::propagate_batch(&plans) {
+                Ok(reports) => {
+                    for (&p, report) in group.iter().zip(&reports) {
+                        let (entry, idxs, _) = &cold[p];
+                        fill(answers, idxs, Response::Ok(eval_value(entry, report)));
+                    }
+                }
+                Err(e) => {
+                    let err = WireError::from(depcase::Error::from(e));
+                    for &p in &group {
+                        fill(answers, &cold[p].1, Response::Err(err.clone()));
+                    }
+                }
+            }
+        }
     }
 
     /// Answers the full version history of a named case: one row per
@@ -712,6 +977,14 @@ impl Engine {
         Ok(Value::Object(fields))
     }
 
+    /// Monte-Carlo sampling with single-flight coalescing: a request
+    /// arriving while an identical run (same case version and content
+    /// hash, same `samples` and `seed` — any `threads`, since chunked
+    /// sampling is bit-identical across thread counts) is already
+    /// in flight blocks on that run and shares its bytes instead of
+    /// re-sampling. A follower whose own deadline expires first fails
+    /// with `deadline_exceeded`; a follower whose *leader* ran out of
+    /// budget retries with its own (possibly larger) budget.
     fn mc(
         &self,
         name: &str,
@@ -722,6 +995,64 @@ impl Engine {
     ) -> Result<Value, WireError> {
         let entry = self.lookup(name)?;
         let compiled = self.compiled(&entry)?;
+        let key = McKey {
+            name: name.to_string(),
+            version: entry.version,
+            hash: entry.hash,
+            samples,
+            seed,
+        };
+        loop {
+            check_deadline(deadline)?;
+            let (flight, leader) = {
+                let mut flights = lock_unpoisoned(&self.mc_flights);
+                match flights.get(&key) {
+                    Some(f) => (Arc::clone(f), false),
+                    None => {
+                        let f: Flight = Arc::new((Mutex::new(FlightSlot::Running), Condvar::new()));
+                        flights.insert(key.clone(), Arc::clone(&f));
+                        (f, true)
+                    }
+                }
+            };
+            if leader {
+                let mut guard = FlightGuard {
+                    flights: &self.mc_flights,
+                    key: &key,
+                    flight: &flight,
+                    outcome: None,
+                };
+                let result = self.run_mc(&entry, &compiled, samples, seed, threads, deadline);
+                guard.outcome = Some(result.clone());
+                drop(guard);
+                return result;
+            }
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            match wait_for_flight(&flight, deadline) {
+                Some(Ok(value)) => return Ok(value),
+                // The leader exhausted *its* budget, not ours: loop and
+                // run (or join) a fresh flight under our own deadline.
+                Some(Err(e)) if e.code == ErrorCode::DeadlineExceeded => {}
+                Some(Err(e)) => return Err(e),
+                None => {
+                    return Err(WireError::new(
+                        ErrorCode::DeadlineExceeded,
+                        "request deadline exceeded while waiting for an identical in-flight run",
+                    ))
+                }
+            }
+        }
+    }
+
+    fn run_mc(
+        &self,
+        entry: &CaseEntry,
+        compiled: &CompiledCase,
+        samples: u32,
+        seed: u64,
+        threads: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Value, WireError> {
         check_deadline(deadline)?;
         let runner = MonteCarlo::new(samples).seed(seed).threads(threads);
         // With a deadline, the run polls it between sample chunks, so
@@ -755,7 +1086,7 @@ impl Engine {
                 ]));
             }
         }
-        let mut fields = case_header(&entry);
+        let mut fields = case_header(entry);
         fields.push(("samples".to_string(), Value::U64(u64::from(report.samples()))));
         fields.push(("seed".to_string(), Value::U64(seed)));
         fields.push(("estimates".to_string(), Value::Array(estimates)));
@@ -866,6 +1197,52 @@ fn resolve(case: &Case, name: &str) -> Result<NodeId, WireError> {
     case.node_by_name(name).ok_or_else(|| {
         WireError::new(ErrorCode::Case, format!("no node named `{name}` in the case"))
     })
+}
+
+/// True for requests that commit a new case version (the batch
+/// dispatcher treats these as barriers).
+fn is_mutation(request: &Request) -> bool {
+    matches!(request, Request::Load { .. } | Request::Edit { .. })
+}
+
+/// A batch item's own deadline: `deadline_ms` measured from the start
+/// of the batch, never past the envelope deadline.
+fn effective_deadline(
+    started: Instant,
+    envelope: Option<Instant>,
+    item_ms: Option<u64>,
+) -> Option<Instant> {
+    let own = item_ms.and_then(|ms| started.checked_add(Duration::from_millis(ms)));
+    match (envelope, own) {
+        (Some(e), Some(o)) => Some(e.min(o)),
+        (e, None) => e,
+        (None, o) => o,
+    }
+}
+
+/// The `eval` response body for one case version under one propagated
+/// report. Shared by the single-request path (memoised session report)
+/// and the batch path (struct-of-arrays kernel report) — both report
+/// sources are bit-identical, so so is the rendered value.
+fn eval_value(entry: &CaseEntry, report: &ConfidenceReport) -> Value {
+    let mut nodes = Vec::new();
+    for (id, node) in entry.case.iter() {
+        if let Some(c) = report.confidence(id) {
+            nodes.push(Value::Object(vec![
+                ("name".to_string(), Value::Str(node.name.clone())),
+                ("kind".to_string(), Value::Str(kind_name(&node.kind).to_string())),
+                ("confidence".to_string(), Value::F64(c.independent)),
+                ("worst_case".to_string(), Value::F64(c.worst_case)),
+                ("best_case".to_string(), Value::F64(c.best_case)),
+            ]));
+        }
+    }
+    let mut fields = case_header(entry);
+    if let Some(top) = report.top() {
+        fields.push(("root_confidence".to_string(), Value::F64(top.independent)));
+    }
+    fields.push(("nodes".to_string(), Value::Array(nodes)));
+    Value::Object(fields)
 }
 
 fn case_header(entry: &CaseEntry) -> Vec<(String, Value)> {
@@ -1394,5 +1771,272 @@ mod tests {
         assert_eq!(evals.get("errors").and_then(Value::as_u64), Some(1));
         let cache = stats.get("plan_cache").unwrap();
         assert!(cache.get("hits").and_then(Value::as_u64).unwrap() >= 1);
+    }
+
+    fn item(request: Request) -> BatchItem {
+        BatchItem { deadline_ms: None, request: Ok(Box::new(request)) }
+    }
+
+    fn batch_of(items: Vec<BatchItem>) -> Request {
+        Request::Batch { items }
+    }
+
+    fn items_of(value: &Value) -> &[Value] {
+        value.get("items").and_then(Value::as_array).unwrap()
+    }
+
+    fn demo_with(e1: f64, e2: f64) -> Value {
+        let mut case = Case::new("demo");
+        let g = case.add_goal("G", "pfd < 1e-3").unwrap();
+        let s = case.add_strategy("S", "legs", Combination::AnyOf).unwrap();
+        let a = case.add_evidence("E1", "testing", e1).unwrap();
+        let b = case.add_evidence("E2", "analysis", e2).unwrap();
+        case.support(g, s).unwrap();
+        case.support(s, a).unwrap();
+        case.support(s, b).unwrap();
+        serde::Serialize::to_value(&case)
+    }
+
+    #[test]
+    fn batch_answers_match_individual_dispatch_bit_for_bit() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        let eval = eval_current(&engine, "demo");
+        let mc = engine
+            .handle(&Request::Mc { name: "demo".into(), samples: 2_000, seed: 3, threads: 1 })
+            .unwrap();
+        let rank = engine.handle(&Request::Rank { name: "demo".into() }).unwrap();
+
+        let result = engine
+            .handle(&batch_of(vec![
+                item(Request::Eval { name: "demo".into(), at: None }),
+                item(Request::Mc { name: "demo".into(), samples: 2_000, seed: 3, threads: 1 }),
+                item(Request::Rank { name: "demo".into() }),
+            ]))
+            .unwrap();
+        let items = items_of(&result);
+        assert_eq!(items.len(), 3);
+        for (got, want) in items.iter().zip([&eval, &mc, &rank]) {
+            assert_eq!(got.get("ok"), Some(&Value::Bool(true)));
+            assert_eq!(got.get("result"), Some(want));
+        }
+    }
+
+    #[test]
+    fn batch_mutations_are_barriers_and_later_items_observe_them() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        let result = engine
+            .handle(&batch_of(vec![
+                item(Request::Eval { name: "demo".into(), at: None }),
+                item(Request::Edit {
+                    name: "demo".into(),
+                    action: EditAction::SetConfidence { node: "E1".into(), confidence: 0.5 },
+                }),
+                item(Request::Eval { name: "demo".into(), at: None }),
+            ]))
+            .unwrap();
+        let items = items_of(&result);
+        let version = |i: usize| {
+            items[i].get("result").and_then(|r| r.get("version")).and_then(Value::as_u64)
+        };
+        assert_eq!(version(0), Some(1));
+        assert_eq!(version(1), Some(2));
+        assert_eq!(version(2), Some(2));
+        assert_ne!(
+            root_bits(items[0].get("result").unwrap()),
+            root_bits(items[2].get("result").unwrap()),
+        );
+    }
+
+    #[test]
+    fn identical_eval_items_coalesce_to_one_cache_consultation() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        eval_current(&engine, "demo");
+        let before = engine.cache_counters();
+        let result = engine
+            .handle(&batch_of(vec![
+                item(Request::Eval { name: "demo".into(), at: None }),
+                item(Request::Eval { name: "demo".into(), at: None }),
+                item(Request::Eval { name: "demo".into(), at: None }),
+            ]))
+            .unwrap();
+        let after = engine.cache_counters();
+        assert_eq!(after.hits, before.hits + 1, "three identical items, one lookup");
+        let items = items_of(&result);
+        assert_eq!(items[0], items[1]);
+        assert_eq!(items[1], items[2]);
+    }
+
+    #[test]
+    fn cold_same_shape_evals_run_the_batch_kernel_bit_identically() {
+        // Capacity-one cache: loading `c` evicts `a` and `b`, so the
+        // batch sees two cold same-shape cases and takes the
+        // struct-of-arrays path.
+        let engine = Engine::new(1);
+        engine.handle(&Request::Load { name: "a".into(), case: demo_with(0.95, 0.90) }).unwrap();
+        engine.handle(&Request::Load { name: "b".into(), case: demo_with(0.61, 0.42) }).unwrap();
+        engine.handle(&Request::Load { name: "c".into(), case: demo_with(0.11, 0.99) }).unwrap();
+        let result = engine
+            .handle(&batch_of(vec![
+                item(Request::Eval { name: "a".into(), at: None }),
+                item(Request::Eval { name: "b".into(), at: None }),
+            ]))
+            .unwrap();
+        let items = items_of(&result);
+        // The singles below recompile through the ordinary session path;
+        // equal values prove the batch kernel is bit-identical to it.
+        assert_eq!(items[0].get("result"), Some(&eval_current(&engine, "a")));
+        assert_eq!(items[1].get("result"), Some(&eval_current(&engine, "b")));
+    }
+
+    #[test]
+    fn batch_item_deadlines_fail_alone_without_poisoning_siblings() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        let result = engine
+            .handle(&batch_of(vec![
+                BatchItem {
+                    deadline_ms: Some(0),
+                    request: Ok(Box::new(Request::Eval { name: "demo".into(), at: None })),
+                },
+                item(Request::Eval { name: "demo".into(), at: None }),
+            ]))
+            .unwrap();
+        let items = items_of(&result);
+        assert_eq!(items[0].get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(
+            items[0].get("error").and_then(|e| e.get("code")).and_then(Value::as_str),
+            Some("deadline_exceeded"),
+        );
+        assert_eq!(items[1].get("ok"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn batch_parse_failures_answer_their_item_and_spare_the_rest() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        let result = engine
+            .handle(&batch_of(vec![
+                BatchItem {
+                    deadline_ms: None,
+                    request: Err(WireError::new(ErrorCode::UnknownOp, "no such op")),
+                },
+                item(Request::Eval { name: "demo".into(), at: None }),
+            ]))
+            .unwrap();
+        let items = items_of(&result);
+        assert_eq!(
+            items[0].get("error").and_then(|e| e.get("code")).and_then(Value::as_str),
+            Some("unknown_op"),
+        );
+        assert_eq!(items[1].get("ok"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn a_follower_joins_an_in_flight_identical_mc_run() {
+        let engine = Arc::new(Engine::new(8));
+        load_demo(&engine, "demo");
+        let entry = engine.lookup("demo").unwrap();
+        let key = McKey {
+            name: "demo".into(),
+            version: entry.version,
+            hash: entry.hash,
+            samples: 5_000,
+            seed: 9,
+        };
+        // Park a running flight under the exact key the request will
+        // compute, so the request becomes a follower no matter how the
+        // threads interleave. The key is never removed, so even a late
+        // arrival reads the published sentinel rather than re-sampling.
+        let flight: Flight = Arc::new((Mutex::new(FlightSlot::Running), Condvar::new()));
+        lock_unpoisoned(&engine.mc_flights).insert(key, Arc::clone(&flight));
+        let sentinel = Value::Str("sentinel: shared, not re-sampled".into());
+        let worker = {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                engine.handle(&Request::Mc {
+                    name: "demo".into(),
+                    samples: 5_000,
+                    seed: 9,
+                    threads: 1,
+                })
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        {
+            let (slot, signal) = &*flight;
+            *lock_unpoisoned(slot) = FlightSlot::Done(Ok(sentinel.clone()));
+            signal.notify_all();
+        }
+        assert_eq!(worker.join().unwrap().unwrap(), sentinel);
+        assert_eq!(engine.coalesced_joins(), 1);
+    }
+
+    #[test]
+    fn a_followers_leader_running_out_of_budget_triggers_a_retry() {
+        let engine = Arc::new(Engine::new(8));
+        load_demo(&engine, "demo");
+        let entry = engine.lookup("demo").unwrap();
+        let key = McKey {
+            name: "demo".into(),
+            version: entry.version,
+            hash: entry.hash,
+            samples: 4_000,
+            seed: 11,
+        };
+        let flight: Flight = Arc::new((Mutex::new(FlightSlot::Running), Condvar::new()));
+        lock_unpoisoned(&engine.mc_flights).insert(key.clone(), Arc::clone(&flight));
+        let worker = {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                engine.handle(&Request::Mc {
+                    name: "demo".into(),
+                    samples: 4_000,
+                    seed: 11,
+                    threads: 1,
+                })
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        // The parked leader "fails" on its own deadline and leaves; the
+        // follower must retry under its own (absent) deadline and
+        // produce the real, deterministic answer.
+        lock_unpoisoned(&engine.mc_flights).remove(&key);
+        {
+            let (slot, signal) = &*flight;
+            *lock_unpoisoned(slot) = FlightSlot::Done(Err(WireError::new(
+                ErrorCode::DeadlineExceeded,
+                "leader ran out of budget",
+            )));
+            signal.notify_all();
+        }
+        let got = worker.join().unwrap().unwrap();
+        let fresh = engine
+            .handle(&Request::Mc { name: "demo".into(), samples: 4_000, seed: 11, threads: 1 })
+            .unwrap();
+        assert_eq!(got, fresh);
+    }
+
+    #[test]
+    fn effective_deadlines_never_outlive_the_envelope() {
+        let started = Instant::now();
+        let envelope = started + Duration::from_millis(10);
+        assert_eq!(effective_deadline(started, None, None), None);
+        assert_eq!(effective_deadline(started, Some(envelope), None), Some(envelope));
+        assert_eq!(
+            effective_deadline(started, Some(envelope), Some(1_000)),
+            Some(envelope),
+            "a generous item deadline is capped by the envelope"
+        );
+        assert_eq!(
+            effective_deadline(started, Some(envelope), Some(1)),
+            Some(started + Duration::from_millis(1)),
+        );
+        assert_eq!(
+            effective_deadline(started, None, Some(5)),
+            Some(started + Duration::from_millis(5)),
+        );
     }
 }

@@ -63,6 +63,7 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub(crate) mod epoll;
 pub mod faults;
 pub mod protocol;
 pub mod server;
@@ -75,7 +76,7 @@ pub use client::{Client, RetryPolicy, RetryingClient};
 pub use engine::{DurabilityConfig, Engine};
 pub use faults::{FaultPlan, InjectedCounts};
 pub use protocol::{EditAction, Envelope, ErrorCode, EvalAt, Request, WireError, WireLeafKind};
-pub use server::{serve_stdio, serve_stdio_with, Server, ServerConfig};
+pub use server::{serve_stdio, serve_stdio_with, IoModel, Server, ServerConfig};
 pub use stats::{
     DurabilityCounters, Histogram, IncrementalCounters, RobustnessCounters, RobustnessEvent,
     ServiceStats,

@@ -33,6 +33,25 @@
 //! could be recovered still echoed so pipelined clients never lose their
 //! place. Any request may carry a `"deadline_ms"` budget; the service
 //! answers `deadline_exceeded` once it is spent.
+//!
+//! # Protocol versions
+//!
+//! A request may stamp a protocol version with `"v": N`. Lines without
+//! the stamp (or with `"v": 1`) speak **v1** — the grammar above,
+//! answered byte-for-byte as every pre-versioning release did. `"v": 2`
+//! selects **v2**: responses echo the stamp (`{"id":…,"v":2,"ok":…}`)
+//! and the `batch` op becomes available, carrying up to
+//! [`MAX_BATCH_ITEMS`] sub-requests under one id with per-item
+//! results and errors:
+//!
+//! ```text
+//! → {"id":5,"v":2,"op":"batch","items":[{"op":"eval","name":"reactor"},{"op":"stats"}]}
+//! ← {"id":5,"v":2,"ok":true,"result":{"items":[{"ok":true,"result":{…}},{"ok":true,"result":{…}}]}}
+//! ```
+//!
+//! Any other version answers the `unsupported_version` error code, so
+//! old servers and new clients fail loudly instead of misparsing each
+//! other.
 
 use serde::{Deserialize, Serialize, Value};
 
@@ -99,12 +118,15 @@ pub enum ErrorCode {
     /// The durability layer failed (WAL append, fsync, or snapshot
     /// I/O); the mutation was **not** acknowledged as durable.
     StorageError,
+    /// The request stamped a protocol version (`"v"`) this server does
+    /// not speak; only versions 1 and 2 exist.
+    UnsupportedVersion,
 }
 
 impl ErrorCode {
     /// Every code the service can put on the wire, in documentation
     /// order. Chaos tests assert observed codes stay inside this set.
-    pub const ALL: [ErrorCode; 15] = [
+    pub const ALL: [ErrorCode; 16] = [
         ErrorCode::BadJson,
         ErrorCode::BadRequest,
         ErrorCode::UnknownOp,
@@ -120,6 +142,7 @@ impl ErrorCode {
         ErrorCode::RequestTooLarge,
         ErrorCode::NoSuchVersion,
         ErrorCode::StorageError,
+        ErrorCode::UnsupportedVersion,
     ];
 
     /// The stable wire spelling of this code.
@@ -141,6 +164,7 @@ impl ErrorCode {
             ErrorCode::RequestTooLarge => "request_too_large",
             ErrorCode::NoSuchVersion => "no_such_version",
             ErrorCode::StorageError => "storage_error",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
         }
     }
 
@@ -370,6 +394,31 @@ impl WireDemandMode {
     }
 }
 
+/// Most sub-requests one `batch` envelope may carry.
+pub const MAX_BATCH_ITEMS: usize = 64;
+
+/// The protocol generation a request line speaks, from its `"v"` stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolVersion {
+    /// No stamp or `"v": 1`: the legacy line grammar, answered
+    /// byte-for-byte as before versioning existed.
+    #[default]
+    V1,
+    /// `"v": 2`: responses echo the stamp and `batch` is available.
+    V2,
+}
+
+/// One sub-request inside a `batch` envelope. Shape problems are kept
+/// *per item* — a bad sibling answers its own error entry instead of
+/// poisoning the whole batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchItem {
+    /// Per-item deadline override, like the envelope's `deadline_ms`.
+    pub deadline_ms: Option<u64>,
+    /// The parsed sub-request, or the shape error to report in its slot.
+    pub request: Result<Box<Request>, WireError>,
+}
+
 /// Which stored state of a case a time-travel `eval` addresses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EvalAt {
@@ -439,6 +488,12 @@ pub enum Request {
     Stats,
     /// Stop the service; the response carries the final stats snapshot.
     Shutdown,
+    /// Up to [`MAX_BATCH_ITEMS`] sub-requests under one id, answered
+    /// with per-item results/errors in item order (v2 only).
+    Batch {
+        /// The sub-requests, in wire order.
+        items: Vec<BatchItem>,
+    },
 }
 
 /// The client-supplied `id`, echoed back verbatim (any JSON scalar).
@@ -450,6 +505,9 @@ pub type RequestId = Option<Value>;
 pub struct Envelope {
     /// Client-chosen id, echoed in the response.
     pub id: RequestId,
+    /// The protocol generation the line spoke; responses must answer in
+    /// the same generation.
+    pub version: ProtocolVersion,
     /// Per-request deadline in milliseconds, when the client set one;
     /// overrides the server's configured default.
     pub deadline_ms: Option<u64>,
@@ -561,7 +619,8 @@ pub fn parse_request(line: &str) -> Result<Envelope, (RequestId, WireError)> {
             WireError::new(ErrorCode::BadRequest, format!("duplicate key `{key}` in request")),
         ));
     }
-    let parsed = parse_op(&value, obj).and_then(|request| {
+    let parsed = parse_version(obj).and_then(|version| {
+        let request = parse_op(&value, obj, version)?;
         let deadline_ms = match obj.iter().find(|(k, _)| k == "deadline_ms") {
             None => None,
             Some((_, v)) => Some(v.as_u64().ok_or_else(|| {
@@ -571,14 +630,37 @@ pub fn parse_request(line: &str) -> Result<Envelope, (RequestId, WireError)> {
                 )
             })?),
         };
-        Ok(Envelope { id: id.clone(), deadline_ms, request })
+        Ok(Envelope { id: id.clone(), version, deadline_ms, request })
     });
     parsed.map_err(|err| (id, err))
 }
 
-fn parse_op(value: &Value, obj: &[(String, Value)]) -> Result<Request, WireError> {
+/// Reads the `"v"` protocol stamp: absent/1 → v1, 2 → v2, anything
+/// else → `unsupported_version`.
+fn parse_version(obj: &[(String, Value)]) -> Result<ProtocolVersion, WireError> {
+    match obj.iter().find(|(k, _)| k == "v") {
+        None => Ok(ProtocolVersion::V1),
+        Some((_, v)) => match v.as_u64() {
+            Some(1) => Ok(ProtocolVersion::V1),
+            Some(2) => Ok(ProtocolVersion::V2),
+            _ => Err(WireError::new(
+                ErrorCode::UnsupportedVersion,
+                "this server speaks protocol versions 1 and 2 only",
+            )),
+        },
+    }
+}
+
+fn parse_op(
+    value: &Value,
+    obj: &[(String, Value)],
+    version: ProtocolVersion,
+) -> Result<Request, WireError> {
     let op = str_field(obj, "op")?;
     let request = match op.as_str() {
+        // `batch` exists only in v2 — v1 keeps its exact op surface, so
+        // the spelling stays `unknown_op` there.
+        "batch" if version == ProtocolVersion::V2 => parse_batch(obj)?,
         "load" => {
             let case = serde::field(obj, "case")
                 .map_err(|e| WireError::new(ErrorCode::BadRequest, e))?
@@ -657,6 +739,60 @@ fn parse_op(value: &Value, obj: &[(String, Value)]) -> Result<Request, WireError
     Ok(request)
 }
 
+/// Parses the `items` of a v2 `batch` request. The batch shape itself
+/// (array present, non-empty, within [`MAX_BATCH_ITEMS`]) must be
+/// right; each item then parses independently, with its failures stored
+/// in its own slot.
+fn parse_batch(obj: &[(String, Value)]) -> Result<Request, WireError> {
+    let items = match serde::field(obj, "items") {
+        Ok(Value::Array(items)) => items,
+        Ok(_) => {
+            return Err(WireError::new(ErrorCode::BadRequest, "field `items` must be an array"))
+        }
+        Err(e) => return Err(WireError::new(ErrorCode::BadRequest, e)),
+    };
+    if items.is_empty() {
+        return Err(WireError::new(ErrorCode::BadRequest, "a batch needs at least one item"));
+    }
+    if items.len() > MAX_BATCH_ITEMS {
+        return Err(WireError::new(
+            ErrorCode::BadRequest,
+            format!("a batch carries at most {MAX_BATCH_ITEMS} items, got {}", items.len()),
+        ));
+    }
+    let items = items.iter().map(parse_batch_item).collect();
+    Ok(Request::Batch { items })
+}
+
+fn parse_batch_item(item: &Value) -> BatchItem {
+    let failed = |err: WireError| BatchItem { deadline_ms: None, request: Err(err) };
+    let Some(obj) = item.as_object() else {
+        return failed(WireError::new(ErrorCode::BadRequest, "batch items must be JSON objects"));
+    };
+    if obj.iter().any(|(k, _)| k == "id") {
+        // The batch id covers every item; per-item ids would make the
+        // response's positional matching ambiguous.
+        return failed(WireError::new(ErrorCode::BadRequest, "batch items must not carry ids"));
+    }
+    let deadline_ms = match obj.iter().find(|(k, _)| k == "deadline_ms") {
+        None => None,
+        Some((_, v)) => match v.as_u64() {
+            Some(ms) => Some(ms),
+            None => {
+                return failed(WireError::new(
+                    ErrorCode::BadRequest,
+                    "field `deadline_ms` must be a non-negative integer",
+                ))
+            }
+        },
+    };
+    let request = match str_field(obj, "op").as_deref() {
+        Ok("batch") => Err(WireError::new(ErrorCode::BadRequest, "batches do not nest")),
+        _ => parse_op(item, obj, ProtocolVersion::V2).map(Box::new),
+    };
+    BatchItem { deadline_ms, request }
+}
+
 impl Request {
     /// The operation name, as spelled on the wire (for stats bucketing).
     #[must_use]
@@ -671,30 +807,75 @@ impl Request {
             Request::Bands { .. } => "bands",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
+            Request::Batch { .. } => "batch",
         }
     }
 }
 
-fn with_id(id: &RequestId, mut fields: Vec<(String, Value)>) -> Value {
-    let mut out = Vec::with_capacity(fields.len() + 1);
-    if let Some(id) = id {
-        out.push(("id".to_string(), id.clone()));
+/// A typed response, ready to render in either protocol generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `"ok": true` with a result document.
+    Ok(Value),
+    /// `"ok": false` with a wire error.
+    Err(WireError),
+}
+
+impl Response {
+    /// Renders the response as one wire line (no trailing newline):
+    /// `{"id":…,"ok":…}` for v1 — byte-identical to the pre-versioning
+    /// grammar — and `{"id":…,"v":2,"ok":…}` for v2.
+    #[must_use]
+    pub fn render(&self, version: ProtocolVersion, id: &RequestId) -> String {
+        let mut fields = Vec::with_capacity(4);
+        if let Some(id) = id {
+            fields.push(("id".to_string(), id.clone()));
+        }
+        if version == ProtocolVersion::V2 {
+            fields.push(("v".to_string(), Value::U64(2)));
+        }
+        match self {
+            Response::Ok(result) => {
+                fields.push(("ok".to_string(), Value::Bool(true)));
+                fields.push(("result".to_string(), result.clone()));
+            }
+            Response::Err(err) => {
+                fields.push(("ok".to_string(), Value::Bool(false)));
+                fields.push(("error".to_string(), error_value(err)));
+            }
+        }
+        serde_json::to_string(&Json(Value::Object(fields)))
+            .expect("response serialization is infallible")
     }
-    out.append(&mut fields);
-    Value::Object(out)
+
+    /// The response as a bare `{"ok":…}` object — the per-item shape
+    /// inside a `batch` result's `items` array.
+    #[must_use]
+    pub fn to_item_value(&self) -> Value {
+        match self {
+            Response::Ok(result) => Value::Object(vec![
+                ("ok".to_string(), Value::Bool(true)),
+                ("result".to_string(), result.clone()),
+            ]),
+            Response::Err(err) => Value::Object(vec![
+                ("ok".to_string(), Value::Bool(false)),
+                ("error".to_string(), error_value(err)),
+            ]),
+        }
+    }
 }
 
-/// Renders a success response line (no trailing newline).
-#[must_use]
-pub fn ok_line(id: &RequestId, result: Value) -> String {
-    let body =
-        with_id(id, vec![("ok".to_string(), Value::Bool(true)), ("result".to_string(), result)]);
-    serde_json::to_string(&Json(body)).expect("response serialization is infallible")
+impl From<Result<Value, WireError>> for Response {
+    fn from(outcome: Result<Value, WireError>) -> Self {
+        match outcome {
+            Ok(result) => Response::Ok(result),
+            Err(err) => Response::Err(err),
+        }
+    }
 }
 
-/// Renders a failure response line (no trailing newline).
-#[must_use]
-pub fn err_line(id: &RequestId, err: &WireError) -> String {
+/// The `{"code":…,"message":…[,"retry_after_ms":…]}` error object.
+fn error_value(err: &WireError) -> Value {
     let mut error_fields = vec![
         ("code".to_string(), Value::Str(err.code.as_str().to_string())),
         ("message".to_string(), Value::Str(err.message.clone())),
@@ -702,14 +883,21 @@ pub fn err_line(id: &RequestId, err: &WireError) -> String {
     if let Some(ms) = err.retry_after_ms {
         error_fields.push(("retry_after_ms".to_string(), Value::U64(ms)));
     }
-    let body = with_id(
-        id,
-        vec![
-            ("ok".to_string(), Value::Bool(false)),
-            ("error".to_string(), Value::Object(error_fields)),
-        ],
-    );
-    serde_json::to_string(&Json(body)).expect("response serialization is infallible")
+    Value::Object(error_fields)
+}
+
+/// Renders a success response line in the v1 grammar (no trailing
+/// newline). Version-aware callers use [`Response::render`].
+#[must_use]
+pub fn ok_line(id: &RequestId, result: Value) -> String {
+    Response::Ok(result).render(ProtocolVersion::V1, id)
+}
+
+/// Renders a failure response line in the v1 grammar (no trailing
+/// newline). Version-aware callers use [`Response::render`].
+#[must_use]
+pub fn err_line(id: &RequestId, err: &WireError) -> String {
+    Response::Err(err.clone()).render(ProtocolVersion::V1, id)
 }
 
 /// Formats a case content hash the way every response spells it.
@@ -986,6 +1174,108 @@ mod tests {
         assert_eq!(WireError::from(case_err).code, ErrorCode::Case);
         let num_err: depcase::Error = depcase::numerics::NumericsError::Domain("x".into()).into();
         assert_eq!(WireError::from(num_err).code, ErrorCode::Numerics);
+    }
+
+    #[test]
+    fn version_stamp_selects_the_generation() {
+        let env = parse_request(r#"{"op":"stats"}"#).unwrap();
+        assert_eq!(env.version, ProtocolVersion::V1);
+        let env = parse_request(r#"{"v":1,"op":"stats"}"#).unwrap();
+        assert_eq!(env.version, ProtocolVersion::V1);
+        let env = parse_request(r#"{"v":2,"op":"stats"}"#).unwrap();
+        assert_eq!(env.version, ProtocolVersion::V2);
+
+        for line in [
+            r#"{"id":8,"v":3,"op":"stats"}"#,
+            r#"{"id":8,"v":0,"op":"stats"}"#,
+            r#"{"id":8,"v":"2","op":"stats"}"#,
+            r#"{"id":8,"v":-1,"op":"stats"}"#,
+        ] {
+            let (id, err) = parse_request(line).unwrap_err();
+            assert_eq!(id, Some(Value::I64(8)), "{line}");
+            assert_eq!(err.code, ErrorCode::UnsupportedVersion, "{line}");
+        }
+    }
+
+    #[test]
+    fn batch_is_v2_only_and_parses_items_independently() {
+        // In v1 the op does not exist at all.
+        let (_, err) = parse_request(r#"{"op":"batch","items":[]}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownOp);
+
+        let env = parse_request(
+            r#"{"id":1,"v":2,"op":"batch","items":[{"op":"stats"},{"op":"nope"},{"op":"eval","name":"c","deadline_ms":40}]}"#,
+        )
+        .unwrap();
+        let Request::Batch { items } = env.request else { panic!("not a batch") };
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].request.as_deref(), Ok(&Request::Stats));
+        assert_eq!(items[1].request.as_ref().unwrap_err().code, ErrorCode::UnknownOp);
+        assert_eq!(items[2].deadline_ms, Some(40));
+        assert_eq!(items[2].request.as_deref(), Ok(&Request::Eval { name: "c".into(), at: None }));
+    }
+
+    #[test]
+    fn batch_shape_errors_reject_the_whole_request() {
+        for line in [
+            r#"{"v":2,"op":"batch"}"#,
+            r#"{"v":2,"op":"batch","items":{}}"#,
+            r#"{"v":2,"op":"batch","items":[]}"#,
+        ] {
+            let (_, err) = parse_request(line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{line}");
+        }
+        let too_many = format!(
+            r#"{{"v":2,"op":"batch","items":[{}]}}"#,
+            vec![r#"{"op":"stats"}"#; MAX_BATCH_ITEMS + 1].join(",")
+        );
+        let (_, err) = parse_request(&too_many).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("at most"), "{}", err.message);
+    }
+
+    #[test]
+    fn batch_items_must_be_plain_idless_requests() {
+        let env = parse_request(
+            r#"{"v":2,"op":"batch","items":[7,{"id":1,"op":"stats"},{"op":"batch","items":[{"op":"stats"}]}]}"#,
+        )
+        .unwrap();
+        let Request::Batch { items } = env.request else { panic!("not a batch") };
+        let messages: Vec<&str> =
+            items.iter().map(|i| i.request.as_ref().unwrap_err().message.as_str()).collect();
+        assert!(messages[0].contains("JSON objects"), "{}", messages[0]);
+        assert!(messages[1].contains("must not carry ids"), "{}", messages[1]);
+        assert!(messages[2].contains("do not nest"), "{}", messages[2]);
+    }
+
+    #[test]
+    fn v2_responses_carry_the_stamp_and_v1_stays_byte_identical() {
+        let id = Some(Value::I64(7));
+        let result = Value::Object(vec![("n".into(), Value::U64(1))]);
+        assert_eq!(
+            Response::Ok(result.clone()).render(ProtocolVersion::V1, &id),
+            r#"{"id":7,"ok":true,"result":{"n":1}}"#
+        );
+        assert_eq!(
+            Response::Ok(result).render(ProtocolVersion::V2, &id),
+            r#"{"id":7,"v":2,"ok":true,"result":{"n":1}}"#
+        );
+        let err = WireError::new(ErrorCode::Overloaded, "shed").with_retry_after(25);
+        assert_eq!(
+            Response::Err(err).render(ProtocolVersion::V2, &None),
+            r#"{"v":2,"ok":false,"error":{"code":"overloaded","message":"shed","retry_after_ms":25}}"#
+        );
+    }
+
+    #[test]
+    fn batch_item_values_mirror_response_bodies() {
+        let ok = Response::Ok(Value::U64(3)).to_item_value();
+        assert_eq!(serde_json::to_string(&Json(ok)).unwrap(), r#"{"ok":true,"result":3}"#);
+        let err = Response::Err(WireError::new(ErrorCode::UnknownCase, "nope")).to_item_value();
+        assert_eq!(
+            serde_json::to_string(&Json(err)).unwrap(),
+            r#"{"ok":false,"error":{"code":"unknown_case","message":"nope"}}"#
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@
 use crate::engine::Engine;
 use crate::faults::FaultPlan;
 use crate::lock_unpoisoned;
-use crate::protocol::{self, ErrorCode, Request, WireError};
+use crate::protocol::{self, ErrorCode, Request, Response, WireError};
 use crate::stats::RobustnessEvent;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -53,6 +53,25 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Which transport multiplexes TCP connections onto the worker pool.
+///
+/// Both models share everything behind the transport — the same job
+/// queue, workers, supervisor, protocol, shedding, and drain semantics —
+/// and produce byte-identical responses; they differ only in how many
+/// OS threads a connection costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoModel {
+    /// One readiness-driven I/O thread multiplexes every connection
+    /// through `epoll` with non-blocking sockets and edge-triggered
+    /// wakeups ([`crate::epoll`]); scales to thousands of mostly-idle
+    /// connections. The default.
+    #[default]
+    Epoll,
+    /// Two OS threads (reader + writer) per connection; simple and
+    /// fine for tens of clients (`--io threads`).
+    Threads,
+}
 
 /// Tunables for a [`Server`] (and, where applicable, [`serve_stdio_with`]).
 #[derive(Debug, Clone)]
@@ -83,6 +102,9 @@ pub struct ServerConfig {
     pub retry_after_ms: u64,
     /// Deterministic fault injection, when enabled (`--faults`).
     pub faults: Option<Arc<FaultPlan>>,
+    /// TCP transport model: readiness-driven `epoll` multiplexing or
+    /// thread-per-connection (`--io epoll|threads`).
+    pub io: IoModel,
 }
 
 impl Default for ServerConfig {
@@ -98,21 +120,57 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(5),
             retry_after_ms: 25,
             faults: None,
+            io: IoModel::default(),
+        }
+    }
+}
+
+/// Where a finished response goes: back to a per-connection writer
+/// thread (thread-per-connection transport), or into a reply slot whose
+/// connection the epoll I/O thread is then woken to flush.
+pub(crate) enum Reply {
+    /// Thread-per-connection: the connection's writer thread blocks on
+    /// the receiving end, preserving FIFO order via a slot queue.
+    Channel(mpsc::Sender<String>),
+    /// Readiness loop: deposit into the connection's FIFO slot and wake
+    /// the I/O thread to flush it.
+    Slot {
+        /// The reserved position in the connection's reply FIFO.
+        slot: Arc<crate::epoll::ReplySlot>,
+        /// Which connection to mark dirty.
+        token: u64,
+        /// The I/O thread's wakeup channel.
+        notifier: Arc<crate::epoll::Notifier>,
+    },
+}
+
+impl Reply {
+    /// Delivers one response; a vanished recipient (client hung up) is
+    /// not an error.
+    pub(crate) fn send(&self, response: String) {
+        match self {
+            Reply::Channel(tx) => {
+                let _ = tx.send(response);
+            }
+            Reply::Slot { slot, token, notifier } => {
+                *lock_unpoisoned(&slot.response) = Some(response);
+                notifier.notify(*token);
+            }
         }
     }
 }
 
 /// One unit of work: a raw request line, its arrival instant (the
 /// deadline epoch), and where the answer goes.
-struct Job {
-    line: String,
-    accepted: Instant,
-    reply: mpsc::Sender<String>,
+pub(crate) struct Job {
+    pub(crate) line: String,
+    pub(crate) accepted: Instant,
+    pub(crate) reply: Reply,
 }
 
 /// Bounded shared job queue with condvar wakeup; workers claim
 /// dynamically.
-struct JobQueue {
+pub(crate) struct JobQueue {
     jobs: Mutex<VecDeque<Job>>,
     available: Condvar,
     capacity: usize,
@@ -129,7 +187,7 @@ impl JobQueue {
 
     /// Enqueues unless the queue is at capacity; the rejected job comes
     /// back so the caller can answer `overloaded` on its reply slot.
-    fn try_push(&self, job: Job) -> Result<(), Job> {
+    pub(crate) fn try_push(&self, job: Job) -> Result<(), Job> {
         {
             let mut jobs = lock_unpoisoned(&self.jobs);
             if jobs.len() >= self.capacity {
@@ -161,7 +219,7 @@ impl JobQueue {
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         lock_unpoisoned(&self.jobs).len()
     }
 
@@ -176,15 +234,15 @@ impl JobQueue {
     }
 }
 
-/// State shared by the accept loop, connection threads, workers, and
-/// the supervisor.
-struct Shared {
-    engine: Arc<Engine>,
-    queue: JobQueue,
-    shutdown: AtomicBool,
-    abort: AtomicBool,
-    connections: AtomicUsize,
-    config: ServerConfig,
+/// State shared by the transport (accept loop and connection threads,
+/// or the epoll I/O thread), the workers, and the supervisor.
+pub(crate) struct Shared {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) queue: JobQueue,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) abort: AtomicBool,
+    pub(crate) connections: AtomicUsize,
+    pub(crate) config: ServerConfig,
 }
 
 impl Shared {
@@ -270,18 +328,32 @@ impl Server {
             thread::spawn(move || supervise(&shared, workers, handles, &exit_rx, &exit_tx))
         };
 
-        let accept_handle = {
-            let shared = Arc::clone(&shared);
-            thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if shared.shutdown.load(Ordering::SeqCst) {
-                        break;
+        let accept_handle = match shared.config.io {
+            IoModel::Epoll => {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || {
+                    if let Err(e) = crate::epoll::run(&listener, &shared) {
+                        // Losing the I/O thread is losing the service;
+                        // initiate shutdown so workers stop cleanly
+                        // instead of waiting on a queue nobody fills.
+                        eprintln!("depcase-service: epoll loop failed: {e}");
+                        shared.begin_shutdown();
                     }
-                    let Ok(stream) = stream else { continue };
-                    let shared = Arc::clone(&shared);
-                    thread::spawn(move || serve_connection(&stream, &shared));
-                }
-            })
+                })
+            }
+            IoModel::Threads => {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let shared = Arc::clone(&shared);
+                        thread::spawn(move || serve_connection(&stream, &shared));
+                    }
+                })
+            }
         };
 
         Ok(Server { shared, addr, accept_handle, supervisor_handle })
@@ -362,8 +434,8 @@ fn worker_loop(shared: &Shared) -> WorkerExit {
         if outcome.shutdown {
             shared.begin_shutdown();
         }
-        // A dead receiver means the client hung up; fine.
-        let _ = job.reply.send(outcome.response);
+        // A vanished recipient means the client hung up; fine.
+        job.reply.send(outcome.response);
         if outcome.panicked {
             // The response went out, but this worker's stack just
             // unwound through arbitrary engine code — retire it and let
@@ -412,6 +484,12 @@ struct LineOutcome {
 /// Parses and executes one request line with panic isolation, deadline
 /// accounting, and fault injection. Used by both the TCP workers and
 /// the stdio loop.
+///
+/// Responses render in the request's own protocol generation: a `"v":2`
+/// request gets a stamped v2 line, everything else the exact v1 bytes.
+/// Lines the server could not parse far enough to establish a
+/// generation (bad JSON, unknown version, shed or oversized lines)
+/// answer in the version-less v1 grammar, which every client parses.
 fn handle_line(
     engine: &Engine,
     config: &ServerConfig,
@@ -433,6 +511,7 @@ fn handle_line(
         .or(config.default_deadline_ms)
         .map(|ms| accepted + Duration::from_millis(ms));
     let id = envelope.id;
+    let version = envelope.version;
     let request = envelope.request;
     let result = catch_unwind(AssertUnwindSafe(|| {
         if let Some(plan) = &config.faults {
@@ -445,10 +524,7 @@ fn handle_line(
     }));
     match result {
         Ok(outcome) => LineOutcome {
-            response: match outcome {
-                Ok(value) => protocol::ok_line(&id, value),
-                Err(err) => protocol::err_line(&id, &err),
-            },
+            response: Response::from(outcome).render(version, &id),
             shutdown: matches!(request, Request::Shutdown),
             panicked: false,
         },
@@ -459,7 +535,11 @@ fn handle_line(
                 "internal error: the worker handling this request panicked; \
                  it was replaced and the service continues",
             );
-            LineOutcome { response: protocol::err_line(&id, &err), shutdown: false, panicked: true }
+            LineOutcome {
+                response: Response::Err(err).render(version, &id),
+                shutdown: false,
+                panicked: true,
+            }
         }
     }
 }
@@ -550,7 +630,7 @@ fn serve_connection(stream: &TcpStream, shared: &Shared) {
     let active = shared.connections.fetch_add(1, Ordering::SeqCst) + 1;
     let _guard = ConnGuard(&shared.connections);
     if active > config.max_connections {
-        shared.engine.note(RobustnessEvent::Overloaded);
+        let refused = Instant::now();
         let err = WireError::new(
             ErrorCode::Overloaded,
             format!("connection limit ({}) reached", config.max_connections),
@@ -559,6 +639,7 @@ fn serve_connection(stream: &TcpStream, shared: &Shared) {
         let mut writer = BufWriter::new(stream);
         let _ = writeln!(writer, "{}", protocol::err_line(&None, &err));
         let _ = writer.flush();
+        shared.engine.note_rejection(RobustnessEvent::Overloaded, refused.elapsed());
         return;
     }
 
@@ -595,9 +676,8 @@ fn serve_connection(stream: &TcpStream, shared: &Shared) {
                 if order_tx.send(reply_rx).is_err() {
                     break;
                 }
-                let job = Job { line, accepted: Instant::now(), reply: reply_tx };
+                let job = Job { line, accepted: Instant::now(), reply: Reply::Channel(reply_tx) };
                 if let Err(job) = shared.queue.try_push(job) {
-                    shared.engine.note(RobustnessEvent::Overloaded);
                     let err = WireError::new(
                         ErrorCode::Overloaded,
                         format!(
@@ -606,12 +686,14 @@ fn serve_connection(stream: &TcpStream, shared: &Shared) {
                         ),
                     )
                     .with_retry_after(config.retry_after_ms);
-                    let _ =
-                        job.reply.send(protocol::err_line(&protocol::recover_id(&job.line), &err));
+                    job.reply.send(protocol::err_line(&protocol::recover_id(&job.line), &err));
+                    shared
+                        .engine
+                        .note_rejection(RobustnessEvent::Overloaded, job.accepted.elapsed());
                 }
             }
             LineRead::TooLong => {
-                shared.engine.note(RobustnessEvent::RequestTooLarge);
+                let rejected = Instant::now();
                 if order_tx.send(reply_rx).is_err() {
                     break;
                 }
@@ -620,6 +702,7 @@ fn serve_connection(stream: &TcpStream, shared: &Shared) {
                     format!("request line exceeds {} bytes", config.max_line_bytes),
                 );
                 let _ = reply_tx.send(protocol::err_line(&None, &err));
+                shared.engine.note_rejection(RobustnessEvent::RequestTooLarge, rejected.elapsed());
             }
             LineRead::TimedOut => {
                 shared.engine.note(RobustnessEvent::ConnectionReaped);
@@ -669,7 +752,7 @@ pub fn serve_stdio_with(engine: &Engine, config: &ServerConfig) {
                 continue;
             }
             LineRead::TooLong => {
-                engine.note(RobustnessEvent::RequestTooLarge);
+                engine.note_rejection(RobustnessEvent::RequestTooLarge, Duration::ZERO);
                 let err = WireError::new(
                     ErrorCode::RequestTooLarge,
                     format!("request line exceeds {} bytes", config.max_line_bytes),

@@ -104,8 +104,8 @@ pub struct OpStats {
 }
 
 /// The operations tracked, in wire-spelling order.
-pub const TRACKED_OPS: [&str; 9] =
-    ["load", "eval", "history", "edit", "rank", "mc", "bands", "stats", "shutdown"];
+pub const TRACKED_OPS: [&str; 10] =
+    ["load", "eval", "history", "edit", "rank", "mc", "bands", "batch", "stats", "shutdown"];
 
 /// A fault-tolerance event worth counting — the service's own evidence
 /// of how it degrades under panic, overload, and slow clients.
@@ -127,9 +127,11 @@ pub enum RobustnessEvent {
 
 /// Counter snapshot of the fault-tolerance events.
 ///
-/// Rejected requests (overloaded, too-large, pre-execution deadline
-/// misses) are counted **only** here — they never reach the engine, so
-/// the per-op latency histograms stay untouched by load shedding.
+/// Rejected requests (overloaded, too-large) never reach the engine, so
+/// the per-op latency histograms stay untouched by load shedding — they
+/// are counted here and their answer latency lands in the dedicated
+/// rejection histogram ([`ServiceStats::note_rejection`]), so a p99
+/// quoted under overload accounts for the shed traffic too.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RobustnessCounters {
     /// Caught request-handler panics.
@@ -214,8 +216,9 @@ impl DurabilityCounters {
 /// Aggregate service statistics, dumped by `stats` and on shutdown.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
-    per_op: [OpStats; 9],
+    per_op: [OpStats; 10],
     robustness: RobustnessCounters,
+    rejections: Histogram,
     incremental: IncrementalCounters,
     durability: DurabilityCounters,
 }
@@ -224,6 +227,23 @@ impl ServiceStats {
     /// Counts one fault-tolerance event.
     pub fn note(&mut self, event: RobustnessEvent) {
         self.robustness.note(event);
+    }
+
+    /// Counts one rejected request (shed with `overloaded` or discarded
+    /// as `request_too_large`) **and** records how long the server took
+    /// to answer the rejection. Shed traffic used to be invisible to
+    /// every histogram — a p99 quoted under overload silently excluded
+    /// exactly the requests overload hurt most.
+    pub fn note_rejection(&mut self, event: RobustnessEvent, latency_us: u64) {
+        self.robustness.note(event);
+        self.rejections.record(latency_us);
+    }
+
+    /// The rejection-latency histogram (answer time of shed and
+    /// too-large requests).
+    #[must_use]
+    pub fn rejections(&self) -> &Histogram {
+        &self.rejections
     }
 
     /// Snapshot of the fault-tolerance counters.
@@ -314,10 +334,24 @@ impl ServiceStats {
             .collect();
         let total = cache.hits + cache.misses;
         let hit_rate = if total == 0 { 0.0 } else { cache.hits as f64 / total as f64 };
+        let robustness = {
+            let Value::Object(mut fields) = self.robustness.to_value() else { unreachable!() };
+            fields.push((
+                "rejection_latency_us".to_string(),
+                Value::Object(vec![
+                    ("count".to_string(), Value::U64(self.rejections.count())),
+                    ("p50".to_string(), Value::U64(self.rejections.quantile_us(0.50))),
+                    ("p99".to_string(), Value::U64(self.rejections.quantile_us(0.99))),
+                    ("mean".to_string(), Value::F64(self.rejections.mean_us())),
+                    ("max".to_string(), Value::U64(self.rejections.max_us())),
+                ]),
+            ));
+            Value::Object(fields)
+        };
         Value::Object(vec![
             ("requests".to_string(), Value::U64(self.total_requests())),
             ("ops".to_string(), Value::Object(ops)),
-            ("robustness".to_string(), self.robustness.to_value()),
+            ("robustness".to_string(), robustness),
             ("durability".to_string(), self.durability.to_value()),
             (
                 "incremental".to_string(),
@@ -429,6 +463,28 @@ mod tests {
         assert!(text.contains("\"incremental\""), "{text}");
         assert!(text.contains("\"nodes_recomputed\":5"), "{text}");
         assert!(text.contains("\"nodes_reused\":5"), "{text}");
+    }
+
+    #[test]
+    fn rejections_land_in_their_own_histogram_not_the_op_histograms() {
+        let mut s = ServiceStats::default();
+        s.record("eval", 100, false);
+        s.note_rejection(RobustnessEvent::Overloaded, 10);
+        s.note_rejection(RobustnessEvent::Overloaded, 20);
+        s.note_rejection(RobustnessEvent::RequestTooLarge, 1000);
+        // The counters move with the histogram — one call, one truth.
+        assert_eq!(s.robustness().overloaded, 2);
+        assert_eq!(s.robustness().request_too_large, 1);
+        assert_eq!(s.rejections().count(), 3);
+        assert_eq!(s.rejections().max_us(), 1000);
+        // Shed traffic still never pollutes the per-op latencies.
+        assert_eq!(s.total_requests(), 1);
+        assert_eq!(s.op("eval").unwrap().latency.count(), 1);
+        let v = s.to_value(CacheCounters::default(), 0, 4);
+        let text = serde_json::to_string(&crate::protocol::Json(v)).unwrap();
+        assert!(text.contains("\"rejection_latency_us\""), "{text}");
+        assert!(text.contains("\"count\":3"), "{text}");
+        assert!(text.contains("\"max\":1000"), "{text}");
     }
 
     #[test]

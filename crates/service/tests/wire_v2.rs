@@ -1,0 +1,192 @@
+//! Golden wire transcripts for the versioned protocol: v1 lines must
+//! stay byte-identical to what the pre-v2 server produced, a `"v":2`
+//! stamp must change a response by exactly that stamp and nothing
+//! else, and the `batch` op must answer item-for-item what individual
+//! dispatch answers.
+
+use depcase::prelude::*;
+use depcase_service::protocol::Json;
+use depcase_service::{Client, Engine, RetryPolicy, RetryingClient, Server};
+use serde::{Serialize, Value};
+use std::sync::Arc;
+
+fn reactor_case() -> Case {
+    let mut case = Case::new("reactor protection");
+    let g = case.add_goal("G1", "pfd < 1e-3").unwrap();
+    let s = case.add_strategy("S1", "independent legs", Combination::AnyOf).unwrap();
+    let e1 = case.add_evidence("E1", "statistical testing", 0.95).unwrap();
+    let e2 = case.add_evidence("E2", "static analysis", 0.90).unwrap();
+    case.support(g, s).unwrap();
+    case.support(s, e1).unwrap();
+    case.support(s, e2).unwrap();
+    case
+}
+
+fn load_line(name: &str, case: &Case) -> String {
+    let body = Value::Object(vec![
+        ("op".to_string(), Value::Str("load".to_string())),
+        ("name".to_string(), Value::Str(name.to_string())),
+        ("case".to_string(), case.to_value()),
+    ]);
+    serde_json::to_string(&Json(body)).unwrap()
+}
+
+fn parse(line: &str) -> Value {
+    let Json(v) = serde_json::from_str::<Json>(line).unwrap();
+    v
+}
+
+fn result_of(line: &str) -> Value {
+    let v = parse(line);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "request failed: {line}");
+    v.get("result").cloned().unwrap()
+}
+
+/// The v2 spelling of a v1 response line: the stamp between `id` and
+/// `ok`, everything else byte-identical.
+fn stamped(v1_line: &str) -> String {
+    assert!(v1_line.contains("\"ok\":"), "not a response line: {v1_line}");
+    v1_line.replacen("\"ok\":", "\"v\":2,\"ok\":", 1)
+}
+
+#[test]
+fn a_v2_stamp_changes_a_response_by_the_stamp_and_nothing_else() {
+    let engine = Arc::new(Engine::new(8));
+    let server = Server::bind(engine, ("127.0.0.1", 0), 2).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    result_of(&client.round_trip(&load_line("reactor", &reactor_case())).unwrap());
+
+    // Read-only requests answer identical bytes however often they are
+    // repeated, so the three spellings can be compared byte-for-byte.
+    let requests = [
+        r#""id":7,"op":"eval","name":"reactor""#,
+        r#""id":8,"op":"mc","name":"reactor","samples":20000,"seed":11,"threads":2"#,
+        r#""id":9,"op":"bands","name":"reactor","pfd_bound":1e-3,"mode":"low_demand""#,
+        r#""id":10,"op":"rank","name":"reactor""#,
+        r#""id":11,"op":"eval","name":"no-such-case""#,
+    ];
+    for body in requests {
+        let v1 = client.round_trip(&format!("{{{body}}}")).unwrap();
+        let v1_explicit = client.round_trip(&format!("{{\"v\":1,{body}}}")).unwrap();
+        let v2 = client.round_trip(&format!("{{\"v\":2,{body}}}")).unwrap();
+        assert_eq!(v1_explicit, v1, "explicit v1 must equal the unstamped spelling");
+        assert_eq!(v2, stamped(&v1), "v2 must differ from v1 by the stamp alone");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn v1_clients_see_no_trace_of_the_new_generation() {
+    let engine = Arc::new(Engine::new(8));
+    let server = Server::bind(engine, ("127.0.0.1", 0), 2).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // `batch` does not exist in the v1 grammar: same `unknown_op` as
+    // any other unknown operation, and no version stamp in the answer.
+    let line = client.round_trip(r#"{"id":3,"op":"batch","items":[{"op":"stats"}]}"#).unwrap();
+    assert!(!line.contains("\"v\":"), "v1 responses must not carry a stamp: {line}");
+    let v = parse(&line);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        v.get("error").and_then(|e| e.get("code")).and_then(Value::as_str),
+        Some("unknown_op"),
+    );
+
+    // A version this server does not speak is refused with the
+    // dedicated code, still echoing the id.
+    let line = client.round_trip(r#"{"id":4,"v":3,"op":"stats"}"#).unwrap();
+    let v = parse(&line);
+    assert_eq!(v.get("id").and_then(Value::as_u64), Some(4));
+    assert_eq!(
+        v.get("error").and_then(|e| e.get("code")).and_then(Value::as_str),
+        Some("unsupported_version"),
+    );
+    server.shutdown();
+}
+
+#[test]
+fn batch_items_answer_exactly_what_individual_dispatch_answers() {
+    let engine = Arc::new(Engine::new(8));
+    let server = Server::bind(engine, ("127.0.0.1", 0), 2).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    result_of(&client.round_trip(&load_line("reactor", &reactor_case())).unwrap());
+
+    let eval = result_of(&client.round_trip(r#"{"op":"eval","name":"reactor"}"#).unwrap());
+    let mc = result_of(
+        &client
+            .round_trip(r#"{"op":"mc","name":"reactor","samples":8000,"seed":5,"threads":1}"#)
+            .unwrap(),
+    );
+
+    let line = client
+        .round_trip(concat!(
+            r#"{"id":42,"v":2,"op":"batch","items":["#,
+            r#"{"op":"eval","name":"reactor"},"#,
+            r#"{"op":"mc","name":"reactor","samples":8000,"seed":5,"threads":1},"#,
+            r#"{"op":"frobnicate"},"#,
+            r#"{"op":"eval","name":"no-such-case"}]}"#,
+        ))
+        .unwrap();
+    let v = parse(&line);
+    assert_eq!(v.get("id").and_then(Value::as_u64), Some(42));
+    assert_eq!(v.get("v").and_then(Value::as_u64), Some(2));
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    let items = v.get("result").and_then(|r| r.get("items")).and_then(Value::as_array).unwrap();
+    assert_eq!(items.len(), 4);
+
+    assert_eq!(items[0].get("ok"), Some(&Value::Bool(true)));
+    assert_eq!(items[0].get("result"), Some(&eval), "batched eval must match the plain op");
+    assert_eq!(items[1].get("result"), Some(&mc), "batched mc must match the plain op");
+    let code = |i: usize| {
+        items[i].get("error").and_then(|e| e.get("code")).and_then(Value::as_str).map(String::from)
+    };
+    assert_eq!(code(2).as_deref(), Some("unknown_op"), "a broken item answers in place");
+    assert_eq!(code(3).as_deref(), Some("unknown_case"), "a failed item spares its siblings");
+    server.shutdown();
+}
+
+#[test]
+fn eval_many_answers_positionally_and_bit_identically_to_single_evals() {
+    let engine = Arc::new(Engine::new(8));
+    let server = Server::bind(engine, ("127.0.0.1", 0), 2).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    result_of(&client.round_trip(&load_line("reactor", &reactor_case())).unwrap());
+
+    let single = result_of(&client.round_trip(r#"{"op":"eval","name":"reactor"}"#).unwrap());
+    let results = client.eval_many(&["reactor", "no-such-case", "reactor"]).unwrap();
+    assert_eq!(results.len(), 3);
+    assert_eq!(results[0].as_ref().unwrap(), &single, "slot 0 must match the plain op");
+    assert_eq!(results[2].as_ref().unwrap(), &single, "duplicates coalesce to the same answer");
+    match &results[1] {
+        Err(depcase::Error::Service { code, .. }) => assert_eq!(code, "unknown_case"),
+        other => panic!("slot 1 must fail alone, got {other:?}"),
+    }
+
+    // The retrying client settles final per-item errors on the first
+    // attempt — an unknown case is not transient and must not burn the
+    // retry budget.
+    let mut retrying =
+        RetryingClient::connect(server.local_addr(), RetryPolicy::default()).unwrap();
+    let results = retrying.eval_many(&["no-such-case", "reactor"]).unwrap();
+    assert!(results[0].is_err());
+    assert_eq!(results[1].as_ref().unwrap(), &single);
+    assert_eq!(retrying.retries(), 0, "final errors must not trigger retries");
+    server.shutdown();
+}
+
+#[test]
+fn eval_many_spans_multiple_batches_when_names_exceed_the_item_cap() {
+    let engine = Arc::new(Engine::new(8));
+    let server = Server::bind(engine, ("127.0.0.1", 0), 2).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    result_of(&client.round_trip(&load_line("reactor", &reactor_case())).unwrap());
+
+    let single = result_of(&client.round_trip(r#"{"op":"eval","name":"reactor"}"#).unwrap());
+    let names: Vec<&str> = std::iter::repeat_n("reactor", 150).collect();
+    let results = client.eval_many(&names).unwrap();
+    assert_eq!(results.len(), 150);
+    for r in &results {
+        assert_eq!(r.as_ref().unwrap(), &single, "every chunk must answer the same bytes");
+    }
+    server.shutdown();
+}
