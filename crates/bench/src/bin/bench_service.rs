@@ -4,7 +4,8 @@
 //!
 //! ```sh
 //! cargo run --release -p depcase-bench --bin bench_service -- \
-//!     [OUT.json] [--clients N] [--requests N] [--workers N] [--conns N] [--faults SPEC]
+//!     [OUT.json] [--clients N] [--requests N] [--workers N] [--conns N] \
+//!     [--faults SPEC] [--storage-faults SPEC]
 //! ```
 //!
 //! The harness starts the service in-process on an ephemeral localhost
@@ -38,12 +39,20 @@
 //! cost), and finally the storm's data dir is re-opened cold to time
 //! the startup replay. All of it lands in the report's `durability`
 //! block.
+//!
+//! A storage-faults scenario re-runs the mutation storm against a
+//! durable engine whose file operations pass through the deterministic
+//! storage fault injector (2% EIO, 2% read-side bit-rot by default):
+//! failed appends open read-only windows the retrying clients ride
+//! out, and a closing `scrub` repairs the decay. Goodput, window
+//! counts, injected-fault tallies, and the repair report land in the
+//! `storage_faults` block.
 
 use depcase::prelude::*;
-use depcase_service::protocol::Json;
+use depcase_service::protocol::{Json, Request};
 use depcase_service::{
-    Client, DurabilityConfig, Engine, FaultPlan, FsyncPolicy, IoModel, RetryPolicy, RetryingClient,
-    Server, ServerConfig,
+    Client, DurabilityConfig, Engine, FaultPlan, FaultyIo, FsyncPolicy, IoModel, RealIo,
+    RetryPolicy, RetryingClient, Server, ServerConfig, StorageIo,
 };
 use serde::{Serialize, Value};
 use std::io::{BufRead, BufReader, Write};
@@ -64,6 +73,11 @@ const BASELINE_MAX_CONNECTIONS: usize = 128;
 /// Fault mix for the faulted scenario: 5% of requests panic their
 /// worker, 5% are delayed, 5% of lines drop the connection.
 const DEFAULT_FAULTS: &str = "seed=42,panic=0.05,delay=0.05,delay_ms=2,drop=0.05";
+/// Storage fault mix for the storage scenario: 2% of writes/fsyncs fail
+/// with EIO (each failed WAL append opens a read-only window the
+/// retrying clients must ride out), and 2% of reads flip-and-persist a
+/// bit (bit-rot for the closing scrub to find and repair).
+const DEFAULT_STORAGE_FAULTS: &str = "seed=42,eio=0.02,bitrot=0.02";
 
 fn demo_case(title: &str, strong: f64, weak: f64) -> Case {
     let mut case = Case::new(title);
@@ -404,6 +418,148 @@ fn mutation_storm(engine: &Arc<Engine>, clients: usize, requests: usize, workers
     (clients * requests) as f64 / elapsed
 }
 
+/// The storage-faults scenario: a mutation storm against a durable
+/// engine whose every file operation passes through the deterministic
+/// storage fault injector — failed appends open read-only windows the
+/// retrying clients ride out, and read-side bit-rot decays the object
+/// store for the closing `scrub` to detect and repair. Reports goodput
+/// under storage failure, the window count, and the repair tally.
+fn storage_faults_run(clients: usize, requests: usize, workers: usize, spec: &str) -> Value {
+    let data_dir =
+        std::env::temp_dir().join(format!("depcase_bench_storage_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let faulty = Arc::new(FaultyIo::parse(RealIo::shared(), spec).expect("storage fault spec"));
+    let config = DurabilityConfig {
+        data_dir: data_dir.clone(),
+        // Every append syncs, so every mutation exposes both a write
+        // and an fsync to the injector — the maximal fault surface.
+        fsync: FsyncPolicy::Always,
+        // Snapshots land mid-storm, putting object writes and manifest
+        // renames inside the blast radius too.
+        snapshot_every: 64,
+    };
+    let engine = Arc::new(
+        Engine::open_with_io(16, &config, Arc::clone(&faulty) as Arc<dyn StorageIo>)
+            .expect("open faulted data dir"),
+    );
+    let server =
+        Server::bind(Arc::clone(&engine), ("127.0.0.1", 0), workers).expect("bind localhost");
+    let addr = server.local_addr();
+
+    let setup_policy = RetryPolicy { max_attempts: 50, base_ms: 2, cap_ms: 50, seed: 7 };
+    let mut setup = RetryingClient::connect(addr, setup_policy).expect("connect");
+    for client_idx in 0..clients {
+        let name = format!("storm{client_idx}");
+        setup
+            .round_trip(&load_line(&name, &demo_case("storm case", 0.95, 0.90)))
+            .expect("load storm case");
+    }
+
+    eprintln!(
+        "storage-faults scenario: {clients} retrying client(s) x {requests} edit(s), {spec}…"
+    );
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client_idx in 0..clients {
+        handles.push(std::thread::spawn(move || {
+            let policy = RetryPolicy {
+                max_attempts: 50,
+                base_ms: 2,
+                cap_ms: 50,
+                seed: 2000 + client_idx as u64,
+            };
+            let mut client = RetryingClient::connect(addr, policy).expect("connect");
+            let name = format!("storm{client_idx}");
+            let mut completed = 0u64;
+            let mut failed = 0u64;
+            for idx in 0..requests {
+                let confidence = 0.5 + 0.4 * ((idx % 97) as f64 / 96.0);
+                let line = format!(
+                    r#"{{"op":"edit","name":"{name}","action":"set_confidence","node":"E1","confidence":{confidence}}}"#
+                );
+                match client.round_trip(&line) {
+                    Ok(response) if response.contains(r#""ok":true"#) => completed += 1,
+                    _ => failed += 1,
+                }
+            }
+            let read_only_retries =
+                client.retried_codes().iter().filter(|c| c.as_str() == "read_only").count() as u64;
+            (completed, failed, client.retries(), read_only_retries)
+        }));
+    }
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut retries = 0u64;
+    let mut read_only_retries = 0u64;
+    for handle in handles {
+        let (c, f, r, ro) = handle.join().expect("storm client thread");
+        completed += c;
+        failed += f;
+        retries += r;
+        read_only_retries += ro;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let goodput = completed as f64 / elapsed;
+
+    // Close with a scrub: whatever the injected bit-rot decayed, the
+    // pipeline must find and (with the registry live) repair.
+    let scrub = engine.handle(&Request::Scrub).expect("scrub");
+    let health = engine.storage_health();
+    let injected = faulty.injected();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    eprintln!(
+        "  {completed} mutations ({failed} failed) in {elapsed:.3}s = {goodput:.0} good mut/s; \
+         {retries} retries ({read_only_retries} on read_only); \
+         {} read-only window(s); injected {} EIO / {} bit-rot",
+        health.read_only_entered, injected.eio, injected.bitrot
+    );
+    eprintln!(
+        "  scrub: {} object(s) checked, {} corrupt, {} repaired, {} quarantined",
+        scrub.get("objects_checked").and_then(Value::as_u64).unwrap_or(0),
+        scrub.get("corrupt_detected").and_then(Value::as_u64).unwrap_or(0),
+        scrub.get("repaired").and_then(Value::as_u64).unwrap_or(0),
+        scrub.get("quarantined").and_then(Value::as_u64).unwrap_or(0),
+    );
+    Value::Object(vec![
+        ("fault_spec".to_string(), Value::Str(spec.to_string())),
+        ("completed_mutations".to_string(), Value::U64(completed)),
+        ("failed_mutations".to_string(), Value::U64(failed)),
+        ("retries".to_string(), Value::U64(retries)),
+        ("read_only_retries".to_string(), Value::U64(read_only_retries)),
+        ("elapsed_seconds".to_string(), Value::F64(elapsed)),
+        ("goodput_mutations_per_second".to_string(), Value::F64(goodput)),
+        (
+            "injected".to_string(),
+            Value::Object(vec![
+                ("eio".to_string(), Value::U64(injected.eio)),
+                ("enospc".to_string(), Value::U64(injected.enospc)),
+                ("short_writes".to_string(), Value::U64(injected.short_writes)),
+                ("torn".to_string(), Value::U64(injected.torn)),
+                ("bitrot".to_string(), Value::U64(injected.bitrot)),
+            ]),
+        ),
+        (
+            "read_only_windows".to_string(),
+            Value::Object(vec![
+                ("entered".to_string(), Value::U64(health.read_only_entered)),
+                ("exited".to_string(), Value::U64(health.read_only_exited)),
+                ("append_failures".to_string(), Value::U64(health.append_failures)),
+            ]),
+        ),
+        ("scrub".to_string(), scrub),
+        (
+            "repairs".to_string(),
+            Value::Object(vec![
+                ("from_memory".to_string(), Value::U64(health.repaired_from_memory)),
+                ("from_wal".to_string(), Value::U64(health.repaired_from_wal)),
+                ("quarantined".to_string(), Value::U64(health.quarantined)),
+            ]),
+        ),
+    ])
+}
+
 /// The durability scenario: serving overhead of the durable engine on
 /// the standard mix, mutation throughput in-memory vs durable (both
 /// fsync policies), then a cold re-open of the storm's data dir to
@@ -507,6 +663,7 @@ fn main() {
     let mut requests = DEFAULT_REQUESTS;
     let mut workers = DEFAULT_WORKERS;
     let mut faults = DEFAULT_FAULTS.to_string();
+    let mut storage_faults = DEFAULT_STORAGE_FAULTS.to_string();
     let mut conns = DEFAULT_CONNS;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -517,6 +674,10 @@ fn main() {
             "--conns" => conns = next_count(&mut args, "--conns"),
             "--faults" => {
                 faults = args.next().unwrap_or_else(|| usage("--faults needs a spec"));
+            }
+            "--storage-faults" => {
+                storage_faults =
+                    args.next().unwrap_or_else(|| usage("--storage-faults needs a spec"));
             }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
@@ -597,6 +758,7 @@ fn main() {
     let concurrency = concurrency_run(workers, conns);
     let faulted = faulted_run(clients, requests, workers, &faults);
     let durability = durability_run(clients, requests, workers, throughput);
+    let storage = storage_faults_run(clients, requests, workers, &storage_faults);
 
     let report = Value::Object(vec![
         ("bench".to_string(), Value::Str("service".to_string())),
@@ -618,6 +780,7 @@ fn main() {
         ("concurrency".to_string(), concurrency),
         ("faulted".to_string(), faulted),
         ("durability".to_string(), durability),
+        ("storage_faults".to_string(), storage),
     ]);
 
     eprintln!(
@@ -650,7 +813,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: bench_service [OUT.json] [--clients N] [--requests N] [--workers N] \
-         [--conns N] [--faults SPEC]"
+         [--conns N] [--faults SPEC] [--storage-faults SPEC]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -10,7 +10,7 @@
 //!                 [--workers N] [--cache N] [--queue N] [--conns N]
 //!                 [--deadline MS] [--drain MS] [--faults SPEC]
 //!                 [--data-dir PATH] [--fsync always|never]
-//!                 [--snapshot-every N]
+//!                 [--snapshot-every N] [--storage-faults SPEC]
 //! ```
 //!
 //! `serve` speaks newline-delimited JSON (see the `depcase-service`
@@ -34,11 +34,18 @@
 //! the OS and graceful drain (safe against process crashes).
 //! `--snapshot-every N` compacts the WAL behind a content-addressed
 //! snapshot every N mutations (default 256; 0 disables).
+//!
+//! `--storage-faults` (requires `--data-dir`) routes every WAL and
+//! snapshot file operation through a deterministic seeded fault
+//! injector — EIO, ENOSPC budgets, short writes, torn tails, read-side
+//! bit-rot — from a spec like `seed=42,eio=0.02,bitrot=0.01` (see
+//! [`depcase_service::StorageFaultPlan`]): a chaos rig for exercising
+//! read-only degradation and the `scrub` repair pipeline end to end.
 
 use depcase::assurance::{importance, templates, Case};
 use depcase_service::{
-    serve_stdio_with, DurabilityConfig, Engine, FaultPlan, FsyncPolicy, IoModel, Server,
-    ServerConfig,
+    serve_stdio_with, DurabilityConfig, Engine, FaultPlan, FaultyIo, FsyncPolicy, IoModel, RealIo,
+    Server, ServerConfig, StorageIo,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -58,6 +65,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     let mut cache = DEFAULT_CACHE;
     let mut config = ServerConfig::default();
     let mut durability: Option<DurabilityConfig> = None;
+    let mut storage_faults: Option<String> = None;
     let mut it = args.iter();
     let int_flag = |name: &str, it: &mut std::slice::Iter<String>| -> Result<u64, String> {
         it.next()
@@ -105,6 +113,12 @@ fn serve(args: &[String]) -> Result<(), String> {
                 let every = int_flag("--snapshot-every", &mut it)?;
                 durability.get_or_insert_with(|| DurabilityConfig::new("")).snapshot_every = every;
             }
+            "--storage-faults" => {
+                let spec = it
+                    .next()
+                    .ok_or("--storage-faults needs a spec like seed=42,eio=0.02,bitrot=0.01")?;
+                storage_faults = Some(spec.clone());
+            }
             other => return Err(format!("unknown serve flag `{other}`")),
         }
     }
@@ -113,17 +127,26 @@ fn serve(args: &[String]) -> Result<(), String> {
             if dc.data_dir.as_os_str().is_empty() {
                 return Err("--fsync/--snapshot-every require --data-dir".into());
             }
-            Engine::open(cache, dc)
+            let io: Arc<dyn StorageIo> = match &storage_faults {
+                Some(spec) => Arc::new(FaultyIo::parse(RealIo::shared(), spec)?),
+                None => RealIo::shared(),
+            };
+            Engine::open_with_io(cache, dc, io)
                 .map_err(|e| format!("opening data dir {}: {e}", dc.data_dir.display()))?
         }
-        None => Engine::new(cache),
+        None => {
+            if storage_faults.is_some() {
+                return Err("--storage-faults requires --data-dir".into());
+            }
+            Engine::new(cache)
+        }
     });
     if stdio {
         serve_stdio_with(&engine, &config);
         return Ok(());
     }
     eprintln!(
-        "case_tool serve: {} io, {} workers, plan cache {cache}, queue {}, conns {}{}{}{}",
+        "case_tool serve: {} io, {} workers, plan cache {cache}, queue {}, conns {}{}{}{}{}",
         match config.io {
             IoModel::Epoll => "epoll",
             IoModel::Threads => "threads",
@@ -145,6 +168,7 @@ fn serve(args: &[String]) -> Result<(), String> {
             ),
             None => String::new(),
         },
+        if storage_faults.is_some() { ", storage fault injection ON" } else { "" },
     );
     let server =
         Server::start(Arc::clone(&engine), addr.as_str(), config).map_err(|e| e.to_string())?;
@@ -213,7 +237,7 @@ fn run() -> Result<(), String> {
         }
         Some("serve") => serve(&args[1..]),
         _ => Err(
-            "usage: case_tool {eval|dot|rank} <case.json> | case_tool demo | case_tool serve [--addr HOST:PORT|--stdio] [--io epoll|threads] [--workers N] [--cache N] [--queue N] [--conns N] [--deadline MS] [--drain MS] [--faults SPEC] [--data-dir PATH] [--fsync always|never] [--snapshot-every N]"
+            "usage: case_tool {eval|dot|rank} <case.json> | case_tool demo | case_tool serve [--addr HOST:PORT|--stdio] [--io epoll|threads] [--workers N] [--cache N] [--queue N] [--conns N] [--deadline MS] [--drain MS] [--faults SPEC] [--data-dir PATH] [--fsync always|never] [--snapshot-every N] [--storage-faults SPEC]"
                 .into(),
         ),
     }

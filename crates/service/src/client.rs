@@ -10,7 +10,8 @@
 //! [`RetryingClient`] implements the client half of the fault model
 //! (DESIGN §11): reconnect on transport errors, resend on the
 //! retryable wire codes (`overloaded`, `internal_error`,
-//! `deadline_exceeded`), honor the server's `retry_after_ms` hint when
+//! `deadline_exceeded`, `read_only` — the full classification lives in
+//! [`code_is_retryable`]), honor the server's `retry_after_ms` hint when
 //! present, and otherwise back off with exponential, decorrelated
 //! jitter so a thundering herd of retries does not re-create the
 //! overload it is retrying around. The jitter is seeded — the same
@@ -255,10 +256,12 @@ impl Default for RetryPolicy {
 /// A [`Client`] wrapper that retries transient failures.
 ///
 /// Retries happen on transport errors (the connection is re-dialed)
-/// and on the retryable wire codes `overloaded`, `internal_error`, and
-/// `deadline_exceeded`. Anything else — including application errors
-/// like `unknown_case` — returns to the caller untouched on the first
-/// attempt.
+/// and on the wire codes [`code_is_retryable`] marks transient —
+/// `overloaded`, `internal_error`, `deadline_exceeded`, and the
+/// storage-degradation signal `read_only`. Anything else — application
+/// errors like `unknown_case`, but also `storage_error` and
+/// `data_corrupted`, which a resend cannot fix — returns to the caller
+/// untouched on the first attempt.
 pub struct RetryingClient {
     addr: SocketAddr,
     client: Option<Client>,
@@ -402,16 +405,9 @@ impl RetryingClient {
                         depcase::Error::Service { code, .. } => code.clone(),
                         _ => return Err(err),
                     };
-                    let transport = matches!(code.as_str(), "io" | "connection_closed");
-                    let transient = transport
-                        || matches!(
-                            ErrorCode::parse(&code),
-                            Some(
-                                ErrorCode::Overloaded
-                                    | ErrorCode::InternalError
-                                    | ErrorCode::DeadlineExceeded
-                            )
-                        );
+                    let transport = transport_code(&code);
+                    let transient =
+                        transport || ErrorCode::parse(&code).is_some_and(code_is_retryable);
                     if !transient {
                         return Err(err);
                     }
@@ -470,6 +466,61 @@ impl RetryingClient {
     }
 }
 
+/// The retryability table: whether a resend can possibly change the
+/// answer for each wire code. This is the **single** classification
+/// every retry path in this module consults — [`RetryingClient::round_trip`],
+/// [`RetryingClient::eval_many`]'s per-item loop, and its batch-level
+/// error handling — so a code can never be retryable in one path and
+/// final in another. The match is exhaustive on purpose: adding an
+/// [`ErrorCode`] forces a classification decision here.
+#[must_use]
+pub const fn code_is_retryable(code: ErrorCode) -> bool {
+    match code {
+        // Transient server states: shed load, a caught panic, a spent
+        // budget, and the read-only degradation window (every mutation
+        // attempt probes the disk, so retrying after `retry_after_ms`
+        // is exactly how the client rides the window out).
+        ErrorCode::Overloaded
+        | ErrorCode::InternalError
+        | ErrorCode::DeadlineExceeded
+        | ErrorCode::ReadOnly => true,
+        // Final: the request itself is wrong, the named state does not
+        // exist, or the stored bytes are damaged — `storage_error` and
+        // `data_corrupted` need an operator (or a scrub), not a resend.
+        ErrorCode::BadJson
+        | ErrorCode::BadRequest
+        | ErrorCode::UnknownOp
+        | ErrorCode::UnknownCase
+        | ErrorCode::BadCase
+        | ErrorCode::Case
+        | ErrorCode::Confidence
+        | ErrorCode::Distribution
+        | ErrorCode::Numerics
+        | ErrorCode::RequestTooLarge
+        | ErrorCode::NoSuchVersion
+        | ErrorCode::StorageError
+        | ErrorCode::UnsupportedVersion
+        | ErrorCode::DataCorrupted => false,
+    }
+}
+
+/// The transport pseudo-codes this crate's clients emit ([`Client`]
+/// docs): both mean the socket, not the request, failed — retryable
+/// after a re-dial.
+fn transport_code(code: &str) -> bool {
+    matches!(code, "io" | "connection_closed")
+}
+
+/// Extracts `(code, retry_after_ms)` from one wire error object when
+/// its code is retryable per [`code_is_retryable`].
+fn retryable_error(error: &Value) -> Option<(String, Option<u64>)> {
+    let code = error.get("code").and_then(Value::as_str)?;
+    if !ErrorCode::parse(code).is_some_and(code_is_retryable) {
+        return None;
+    }
+    Some((code.to_string(), error.get("retry_after_ms").and_then(Value::as_u64)))
+}
+
 /// Extracts `(code, retry_after_ms)` when `response` is an error reply
 /// carrying one of the retryable wire codes; `None` means the response
 /// is final (success or a non-transient error).
@@ -478,17 +529,7 @@ fn retryable(response: &str) -> Option<(String, Option<u64>)> {
     if value.get("ok").and_then(Value::as_bool) != Some(false) {
         return None;
     }
-    let error = value.get("error")?;
-    let code = error.get("code").and_then(Value::as_str)?;
-    let transient = matches!(
-        ErrorCode::parse(code),
-        Some(ErrorCode::Overloaded | ErrorCode::InternalError | ErrorCode::DeadlineExceeded)
-    );
-    if !transient {
-        return None;
-    }
-    let retry_after_ms = error.get("retry_after_ms").and_then(Value::as_u64);
-    Some((code.to_string(), retry_after_ms))
+    retryable_error(value.get("error")?)
 }
 
 /// The per-item spelling of [`retryable`]: extracts
@@ -498,17 +539,7 @@ fn retryable_item(item: &Value) -> Option<(String, Option<u64>)> {
     if item.get("ok").and_then(Value::as_bool) != Some(false) {
         return None;
     }
-    let error = item.get("error")?;
-    let code = error.get("code").and_then(Value::as_str)?;
-    let transient = matches!(
-        ErrorCode::parse(code),
-        Some(ErrorCode::Overloaded | ErrorCode::InternalError | ErrorCode::DeadlineExceeded)
-    );
-    if !transient {
-        return None;
-    }
-    let retry_after_ms = error.get("retry_after_ms").and_then(Value::as_u64);
-    Some((code.to_string(), retry_after_ms))
+    retryable_error(item.get("error")?)
 }
 
 #[cfg(test)]
@@ -525,6 +556,42 @@ mod tests {
         assert_eq!(retryable(fatal), None);
         let success = r#"{"id":1,"ok":true,"result":{}}"#;
         assert_eq!(retryable(success), None);
+        // The storage triple: `read_only` retries on the server's hint,
+        // while damaged-data answers are final.
+        let degraded = r#"{"id":1,"ok":false,"error":{"code":"read_only","message":"m","retry_after_ms":250}}"#;
+        assert_eq!(retryable(degraded), Some(("read_only".to_string(), Some(250))));
+        let rot = r#"{"id":1,"ok":false,"error":{"code":"data_corrupted","message":"m"}}"#;
+        assert_eq!(retryable(rot), None);
+        let disk = r#"{"id":1,"ok":false,"error":{"code":"storage_error","message":"m"}}"#;
+        assert_eq!(retryable(disk), None);
+    }
+
+    #[test]
+    fn the_retryability_table_classifies_every_wire_code() {
+        // Pin the table's full output: exactly these four codes are
+        // worth a resend, every other code is final. `ErrorCode::ALL`
+        // makes this sweep — and the `const fn`'s exhaustive match —
+        // break loudly whenever a code is added without classifying it.
+        let transient = [
+            ErrorCode::Overloaded,
+            ErrorCode::InternalError,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::ReadOnly,
+        ];
+        for code in ErrorCode::ALL {
+            assert_eq!(
+                code_is_retryable(code),
+                transient.contains(&code),
+                "{} is misclassified",
+                code.as_str()
+            );
+        }
+        // Transport pseudo-codes are retryable too (with a re-dial),
+        // but only the two this crate's clients emit.
+        assert!(transport_code("io"));
+        assert!(transport_code("connection_closed"));
+        assert!(!transport_code("overloaded"));
+        assert!(!transport_code("read_only"));
     }
 
     #[test]

@@ -36,7 +36,8 @@ use crate::protocol::{
 };
 use crate::snapshot::{Manifest, ManifestCase, Store, VersionRecord};
 use crate::stats::{RobustnessCounters, RobustnessEvent, ServiceStats};
-use crate::wal::{storage_error, FsyncPolicy, Wal, WalOp, WalRecord};
+use crate::storage_io::{RealIo, StorageIo};
+use crate::wal::{FsyncPolicy, Wal, WalOp, WalRecord};
 use depcase::assurance::{
     importance, Case, ConfidenceReport, EditStats, EvalPlan, Incremental, MonteCarlo, NodeId,
     NodeKind,
@@ -44,9 +45,9 @@ use depcase::assurance::{
 use depcase::distributions::TwoPoint;
 use depcase::sil::{SilAssessment, SilLevel};
 use serde::{Deserialize, Serialize, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -65,6 +66,12 @@ fn check_deadline(deadline: Option<Instant>) -> Result<(), WireError> {
         _ => Ok(()),
     }
 }
+
+/// Backoff hint attached to `read_only` answers: long enough for an
+/// operator (or the fault window) to clear a transient disk problem,
+/// short enough that a retrying client probes the disk promptly once
+/// space returns.
+const READ_ONLY_RETRY_MS: u64 = 250;
 
 /// Milliseconds since the Unix epoch (0 if the clock is before 1970).
 fn now_ms() -> u64 {
@@ -160,6 +167,18 @@ struct Durability {
     next_seq: u64,
 }
 
+/// What the scrub/repair pipeline knows to be damaged: object hashes
+/// whose stored bytes failed verification (quarantined on disk, absent
+/// from the registry's object map), and case names whose recovered
+/// state could not be reconstructed faithfully. Reads that resolve to
+/// either answer `data_corrupted` — corrupt state is never served as
+/// if it were healthy.
+#[derive(Debug, Default)]
+struct CorruptState {
+    hashes: HashSet<u64>,
+    names: HashSet<String>,
+}
+
 /// Everything a Monte-Carlo response depends on, used to coalesce
 /// concurrent identical runs into one flight. `threads` is deliberately
 /// absent: chunked sampling is bit-identical at any thread count, so
@@ -251,10 +270,14 @@ pub struct Engine {
     mc_flights: Mutex<HashMap<McKey, Flight>>,
     /// Requests answered by joining another request's in-flight run.
     coalesced: AtomicU64,
-}
-
-fn invalid_data(message: String) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+    /// Set while the WAL cannot take appends (disk full, IO errors):
+    /// mutations answer `read_only` + `retry_after_ms` while reads keep
+    /// being served from memory. Every mutation attempt still probes
+    /// the disk, so the flag clears itself on the first append that
+    /// lands — no operator action needed once space returns.
+    read_only: AtomicBool,
+    /// Objects and names the scrub/repair pipeline has quarantined.
+    corrupt: Mutex<CorruptState>,
 }
 
 impl Engine {
@@ -270,6 +293,8 @@ impl Engine {
             durability: Mutex::new(None),
             mc_flights: Mutex::new(HashMap::new()),
             coalesced: AtomicU64::new(0),
+            read_only: AtomicBool::new(false),
+            corrupt: Mutex::new(CorruptState::default()),
         }
     }
 
@@ -281,21 +306,46 @@ impl Engine {
     /// # Errors
     ///
     /// [`std::io::Error`] when the data directory is unusable, or with
-    /// kind `InvalidData` when its contents are corrupt beyond the
-    /// torn-tail rule (bad manifest, missing object, replay mismatch) —
+    /// kind `InvalidData` when the manifest itself is corrupt —
     /// deliberately a hard error, because silently re-initializing a
     /// store that an operator believes holds audit history would be
-    /// worse than refusing to start.
+    /// worse than refusing to start. A corrupt *object* or an
+    /// unreplayable WAL record is survivable: the damaged state is
+    /// quarantined and answers `data_corrupted` while every healthy
+    /// case keeps serving (see [`Engine::open_with_io`]).
     pub fn open(cache_capacity: usize, config: &DurabilityConfig) -> std::io::Result<Engine> {
+        Engine::open_with_io(cache_capacity, config, RealIo::shared())
+    }
+
+    /// [`Engine::open`] over an explicit [`StorageIo`] — the seam the
+    /// fault-injection and crash-matrix tests use to run the real
+    /// recovery code against simulated or faulty disks.
+    ///
+    /// Recovery degrades instead of refusing: a snapshot object whose
+    /// bytes fail their content-hash check is quarantined (moved to
+    /// `quarantine/` under the data dir) and the WAL tail is given a
+    /// chance to rebuild it; a WAL record that cannot be replayed
+    /// poisons just its case name. Whatever remains damaged afterwards
+    /// answers `data_corrupted` on access rather than being served.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the data directory is unusable or the
+    /// manifest is corrupt.
+    pub fn open_with_io(
+        cache_capacity: usize,
+        config: &DurabilityConfig,
+        io: Arc<dyn StorageIo>,
+    ) -> std::io::Result<Engine> {
         let engine = Engine::new(cache_capacity);
-        let store = Store::open(&config.data_dir)?;
+        let store = Store::open_with_io(&config.data_dir, io)?;
         let manifest = store.load_manifest()?;
         let mut last_seq = 0u64;
         if let Some(manifest) = &manifest {
             last_seq = manifest.seq;
             engine.restore_snapshot(&store, manifest)?;
         }
-        let (wal, replay) = Wal::open(store.wal_path(), config.fsync)?;
+        let (wal, replay) = Wal::open_with_io(store.wal_path(), config.fsync, store.io())?;
         if replay.torn_tail_dropped {
             eprintln!(
                 "depcase-service: wal: dropped a torn tail ({} bytes); \
@@ -304,6 +354,7 @@ impl Engine {
             );
         }
         let mut replayed = 0u64;
+        let mut poisoned: HashSet<String> = HashSet::new();
         for record in &replay.records {
             if record.seq <= last_seq {
                 // The snapshot already covers this record: the last run
@@ -311,10 +362,31 @@ impl Engine {
                 // WAL. Skipping keeps replay idempotent.
                 continue;
             }
-            engine.replay_record(record).map_err(invalid_data)?;
             last_seq = record.seq;
-            replayed += 1;
+            match engine.replay_record(record) {
+                Ok(()) => {
+                    // A `load` is a full state reset: it re-establishes
+                    // the name from scratch, clearing earlier damage —
+                    // including a quarantine from the snapshot restore.
+                    if matches!(record.op, WalOp::Load { .. }) {
+                        poisoned.remove(&record.name);
+                        lock_unpoisoned(&engine.corrupt).names.remove(&record.name);
+                    }
+                    replayed += 1;
+                }
+                Err(e) => {
+                    // Skipping a record would silently serve a stale
+                    // version as current; poison the name instead so
+                    // reads answer `data_corrupted`.
+                    eprintln!(
+                        "depcase-service: wal replay: {e}; case `{}` quarantined",
+                        record.name
+                    );
+                    poisoned.insert(record.name.clone());
+                }
+            }
         }
+        engine.heal_after_replay(&store, poisoned);
         {
             let mut stats = lock_unpoisoned(&engine.stats);
             let counters = stats.durability_mut();
@@ -329,6 +401,35 @@ impl Engine {
             next_seq: last_seq + 1,
         });
         Ok(engine)
+    }
+
+    /// Post-replay fixpoint: any quarantined object the WAL replay has
+    /// re-parked in the registry is rewritten to the store from that
+    /// in-memory copy (counted `repaired_from_wal`), and a poisoned
+    /// name whose registry state is unreconstructable is dropped from
+    /// serving entirely so `data_corrupted` is the only answer it gives.
+    fn heal_after_replay(&self, store: &Store, poisoned: HashSet<String>) {
+        let mut corrupt = lock_unpoisoned(&self.corrupt);
+        let mut registry = lock_unpoisoned(&self.registry);
+        let mut stats = lock_unpoisoned(&self.stats);
+        let healed: Vec<u64> = corrupt
+            .hashes
+            .iter()
+            .copied()
+            .filter(|hash| {
+                registry.objects.get(hash).is_some_and(|case| {
+                    store.rewrite_object(*hash, &Serialize::to_value(&**case)).is_ok()
+                })
+            })
+            .collect();
+        for hash in healed {
+            corrupt.hashes.remove(&hash);
+            stats.storage_health_mut().repaired_from_wal += 1;
+        }
+        for name in poisoned {
+            registry.cases.remove(&name);
+            corrupt.names.insert(name);
+        }
     }
 
     /// True when this engine writes mutations ahead to a WAL.
@@ -353,7 +454,12 @@ impl Engine {
         Ok(())
     }
 
-    /// Rebuilds registry state from a snapshot manifest.
+    /// Rebuilds registry state from a snapshot manifest. Objects are
+    /// verified against their content address as they are read; one
+    /// whose bytes do not hash back is quarantined and skipped rather
+    /// than failing the whole restore — the WAL tail may rebuild it
+    /// ([`Engine::heal_after_replay`]), and until something does, reads
+    /// that resolve to it answer `data_corrupted`.
     fn restore_snapshot(&self, store: &Store, manifest: &Manifest) -> std::io::Result<()> {
         let mut registry = lock_unpoisoned(&self.registry);
         for snap_case in &manifest.cases {
@@ -361,30 +467,51 @@ impl Engine {
                 if registry.objects.contains_key(&record.hash) {
                     continue;
                 }
-                let doc = store.read_object(record.hash)?;
-                let case = Case::from_value(&doc).map_err(|e| {
-                    invalid_data(format!("object {}: {e}", format_hash(record.hash)))
-                })?;
-                if case.content_hash() != record.hash {
-                    return Err(invalid_data(format!(
-                        "object {} hashes to {} — store is corrupt",
-                        format_hash(record.hash),
-                        format_hash(case.content_hash())
-                    )));
+                match verify_object(store, record.hash) {
+                    Ok(case) => {
+                        registry.objects.insert(record.hash, Arc::new(case));
+                    }
+                    Err(reason) => self.quarantine(store, record.hash, &reason),
                 }
-                registry.objects.insert(record.hash, Arc::new(case));
             }
+            // The name serves only if its **newest** version survived —
+            // presenting an older version as current would silently
+            // roll acked state back. A corrupt current quarantines the
+            // whole name (`data_corrupted` on access) until WAL replay
+            // or a fresh `load` re-establishes it; corrupt *historical*
+            // versions leave the name serving and fail only time-travel
+            // reads that resolve to them.
             let last = *snap_case.history.last().expect("manifest history is never empty");
-            let case = Arc::clone(&registry.objects[&last.hash]);
-            registry.cases.insert(
-                snap_case.name.clone(),
-                NamedCase {
-                    current: CaseEntry { case, version: last.version, hash: last.hash },
-                    history: snap_case.history.clone(),
-                },
-            );
+            if registry.objects.contains_key(&last.hash) {
+                let case = Arc::clone(&registry.objects[&last.hash]);
+                registry.cases.insert(
+                    snap_case.name.clone(),
+                    NamedCase {
+                        current: CaseEntry { case, version: last.version, hash: last.hash },
+                        history: snap_case.history.clone(),
+                    },
+                );
+            } else {
+                lock_unpoisoned(&self.corrupt).names.insert(snap_case.name.clone());
+            }
         }
         Ok(())
+    }
+
+    /// Pulls one object off the store and quarantines it: the damaged
+    /// bytes move to `quarantine/` (kept for forensics, out of the
+    /// serving path) and the health counters record the detection.
+    fn quarantine(&self, store: &Store, hash: u64, reason: &str) {
+        eprintln!(
+            "depcase-service: object {} is corrupt ({reason}); quarantined",
+            format_hash(hash)
+        );
+        let moved = store.quarantine_object(hash).is_ok();
+        lock_unpoisoned(&self.corrupt).hashes.insert(hash);
+        let mut stats = lock_unpoisoned(&self.stats);
+        let health = stats.storage_health_mut();
+        health.corrupt_detected += 1;
+        health.quarantined += u64::from(moved);
     }
 
     /// Re-applies one WAL record to the registry. Edits replay against
@@ -487,6 +614,19 @@ impl Engine {
         lock_unpoisoned(&self.stats).durability()
     }
 
+    /// Snapshot of the storage-health counters (for tests and benches).
+    #[must_use]
+    pub fn storage_health(&self) -> crate::stats::StorageHealthCounters {
+        lock_unpoisoned(&self.stats).storage_health()
+    }
+
+    /// True while the engine is refusing mutations with `read_only`
+    /// (the WAL cannot take appends). Reads keep being served.
+    #[must_use]
+    pub fn read_only(&self) -> bool {
+        self.read_only.load(Ordering::Relaxed)
+    }
+
     fn dispatch(&self, request: &Request, deadline: Option<Instant>) -> Result<Value, WireError> {
         check_deadline(deadline)?;
         match request {
@@ -502,6 +642,7 @@ impl Engine {
                 self.bands(name, *pfd_bound, mode.to_lib(), deadline)
             }
             Request::Stats | Request::Shutdown => Ok(self.stats_value()),
+            Request::Scrub => self.scrub(),
             Request::Batch { items } => self.batch(items, deadline),
         }
     }
@@ -557,17 +698,49 @@ impl Engine {
             let record =
                 WalRecord { seq: d.next_seq, ts_ms, name: name.to_string(), version, hash, op };
             // Write-ahead discipline: if this append (or its fsync)
-            // fails, the mutation is answered `storage_error` and the
-            // registry is left untouched — never acked, never applied.
-            let synced = d.wal.append(&record).map_err(|e| storage_error("wal append", &e))?;
-            d.next_seq += 1;
-            d.since_snapshot += 1;
-            let mut stats = lock_unpoisoned(&self.stats);
-            let counters = stats.durability_mut();
-            counters.records_appended += 1;
-            counters.fsyncs += u64::from(synced);
+            // fails, the WAL rolls the partial bytes back, the registry
+            // is left untouched — never acked, never applied — and the
+            // engine flips read-only: this mutation and every following
+            // one answer `read_only` + `retry_after_ms` while evals
+            // keep serving from memory. Each attempt still runs the
+            // append, so the first one that lands (space freed, fault
+            // window over) clears the flag by itself.
+            match d.wal.append(&record) {
+                Ok(synced) => {
+                    d.next_seq += 1;
+                    d.since_snapshot += 1;
+                    let mut stats = lock_unpoisoned(&self.stats);
+                    if self.read_only.swap(false, Ordering::Relaxed) {
+                        let health = stats.storage_health_mut();
+                        health.read_only = false;
+                        health.read_only_exited += 1;
+                    }
+                    let counters = stats.durability_mut();
+                    counters.records_appended += 1;
+                    counters.fsyncs += u64::from(synced);
+                }
+                Err(e) => {
+                    let mut stats = lock_unpoisoned(&self.stats);
+                    let health = stats.storage_health_mut();
+                    health.append_failures += 1;
+                    health.read_only = true;
+                    if !self.read_only.swap(true, Ordering::Relaxed) {
+                        health.read_only_entered += 1;
+                    }
+                    return Err(WireError::new(
+                        ErrorCode::ReadOnly,
+                        format!(
+                            "wal append failed ({e}); serving reads only until appends succeed"
+                        ),
+                    )
+                    .with_retry_after(READ_ONLY_RETRY_MS));
+                }
+            }
         }
         lock_unpoisoned(&self.registry).commit(name, case, VersionRecord { version, hash, ts_ms });
+        // A committed `load` fully re-establishes a quarantined name
+        // from the wire: the fresh state lifts the quarantine.
+        lock_unpoisoned(&self.corrupt).names.remove(name);
         if let Some(d) = durability.as_mut() {
             if d.snapshot_every > 0 && d.since_snapshot >= d.snapshot_every {
                 if let Err(e) = self.write_snapshot(d) {
@@ -642,6 +815,7 @@ impl Engine {
     /// `at_hash`. Every historical hash has its object parked in the
     /// registry, so resolution is two map lookups.
     fn lookup_at(&self, name: &str, at: Option<&EvalAt>) -> Result<CaseEntry, WireError> {
+        self.check_not_quarantined(name)?;
         let registry = lock_unpoisoned(&self.registry);
         let named = registry.cases.get(name).ok_or_else(|| {
             WireError::new(ErrorCode::UnknownCase, format!("no case named `{name}` is loaded"))
@@ -667,12 +841,38 @@ impl Engine {
                 })?
             }
         };
-        let case = registry
-            .objects
-            .get(&record.hash)
-            .cloned()
-            .expect("every history record has its object parked");
+        // Almost always parked; the exception is a version whose stored
+        // object failed verification at recovery and was quarantined —
+        // that version answers `data_corrupted`, never stale bytes.
+        let case = registry.objects.get(&record.hash).cloned().ok_or_else(|| {
+            WireError::new(
+                ErrorCode::DataCorrupted,
+                format!(
+                    "version {} of case `{name}` (object {}) is quarantined as corrupt",
+                    record.version,
+                    format_hash(record.hash)
+                ),
+            )
+        })?;
         Ok(CaseEntry { case, version: record.version, hash: record.hash })
+    }
+
+    /// Fails with `data_corrupted` when a name's recovered state could
+    /// not be reconstructed faithfully (every stored version failed
+    /// verification, or a WAL record for it would not replay). A fresh
+    /// `load` under the name clears the quarantine — it re-establishes
+    /// the full state from the wire.
+    fn check_not_quarantined(&self, name: &str) -> Result<(), WireError> {
+        if lock_unpoisoned(&self.corrupt).names.contains(name) {
+            return Err(WireError::new(
+                ErrorCode::DataCorrupted,
+                format!(
+                    "case `{name}` is quarantined: its stored state failed verification \
+                     and could not be repaired; re-load it to restore service"
+                ),
+            ));
+        }
+        Ok(())
     }
 
     /// Fetches the compiled artefacts for an entry, compiling outside
@@ -879,6 +1079,7 @@ impl Engine {
     /// version with its content hash and commit timestamp, oldest
     /// first — the audit trail behind time-travel `eval` and undo.
     fn history(&self, name: &str) -> Result<Value, WireError> {
+        self.check_not_quarantined(name)?;
         let registry = lock_unpoisoned(&self.registry);
         let named = registry.cases.get(name).ok_or_else(|| {
             WireError::new(ErrorCode::UnknownCase, format!("no case named `{name}` is loaded"))
@@ -1147,6 +1348,85 @@ impl Engine {
         ));
         Ok(Value::Object(fields))
     }
+
+    /// The `scrub` op: re-reads every object in the store, verifies its
+    /// bytes hash back to their content address, re-serializes corrupt
+    /// ones from the intact in-memory registry copy when one is
+    /// reachable, and quarantines the rest. The durability mutex is
+    /// held for the whole pass so no snapshot write races the scan.
+    fn scrub(&self) -> Result<Value, WireError> {
+        let durability = lock_unpoisoned(&self.durability);
+        let Some(d) = durability.as_ref() else {
+            return Err(WireError::new(
+                ErrorCode::BadRequest,
+                "scrub requires a durable engine (start with --data-dir)",
+            ));
+        };
+        let hashes = d.store.object_hashes().map_err(|e| {
+            WireError::new(ErrorCode::StorageError, format!("scrub: listing objects: {e}"))
+        })?;
+        let (mut corrupt_found, mut repaired, mut quarantined_now) = (0u64, 0u64, 0u64);
+        let checked = hashes.len() as u64;
+        for hash in hashes {
+            let Err(reason) = verify_object(&d.store, hash) else { continue };
+            corrupt_found += 1;
+            // The registry's parked copy was verified when it entered
+            // (load, edit, or checked restore): re-serializing it is a
+            // faithful repair. With no reachable copy the damaged bytes
+            // leave the serving path for `quarantine/`.
+            let parked = lock_unpoisoned(&self.registry).objects.get(&hash).cloned();
+            let rewritten = parked.is_some_and(|case| {
+                d.store.rewrite_object(hash, &Serialize::to_value(&*case)).is_ok()
+            });
+            if rewritten {
+                repaired += 1;
+                lock_unpoisoned(&self.corrupt).hashes.remove(&hash);
+                eprintln!(
+                    "depcase-service: scrub: object {} was corrupt ({reason}); \
+                     repaired from memory",
+                    format_hash(hash)
+                );
+            } else {
+                quarantined_now += u64::from(d.store.quarantine_object(hash).is_ok());
+                lock_unpoisoned(&self.corrupt).hashes.insert(hash);
+                eprintln!(
+                    "depcase-service: scrub: object {} is corrupt ({reason}); \
+                     quarantined — no intact copy to repair from",
+                    format_hash(hash)
+                );
+            }
+        }
+        let read_only = {
+            let mut stats = lock_unpoisoned(&self.stats);
+            let health = stats.storage_health_mut();
+            health.scrubs += 1;
+            health.objects_checked += checked;
+            health.corrupt_detected += corrupt_found;
+            health.repaired_from_memory += repaired;
+            health.quarantined += quarantined_now;
+            health.read_only
+        };
+        Ok(Value::Object(vec![
+            ("objects_checked".to_string(), Value::U64(checked)),
+            ("corrupt_detected".to_string(), Value::U64(corrupt_found)),
+            ("repaired".to_string(), Value::U64(repaired)),
+            ("quarantined".to_string(), Value::U64(quarantined_now)),
+            ("read_only".to_string(), Value::Bool(read_only)),
+        ]))
+    }
+}
+
+/// Reads one stored object and verifies its bytes hash back to their
+/// content address, the store-side half of the scrub pipeline. The
+/// error is a human-readable reason (unreadable, unparseable, or
+/// hashing to the wrong address).
+fn verify_object(store: &Store, hash: u64) -> Result<Case, String> {
+    let doc = store.read_object(hash).map_err(|e| e.to_string())?;
+    let case = Case::from_value(&doc).map_err(|e| e.to_string())?;
+    if case.content_hash() != hash {
+        return Err(format!("hashes to {}", format_hash(case.content_hash())));
+    }
+    Ok(case)
 }
 
 fn compile(case: &Case) -> Result<CompiledCase, WireError> {

@@ -36,11 +36,13 @@ const SALT_DELAY: u64 = 0x3C6E_F372_FE94_F82A;
 const SALT_DROP: u64 = 0xDAA6_6D2B_79F9_F43F;
 
 /// One injection site: a rate, an optional cap, and atomic draw/fire
-/// counters.
+/// counters. Shared with the storage-layer fault plan
+/// ([`crate::storage_io::StorageFaultPlan`]), which reuses the same
+/// counter-seeded decision discipline for syscall-granularity faults.
 #[derive(Debug, Default)]
-struct FaultSite {
-    rate: f64,
-    cap: Option<u64>,
+pub(crate) struct FaultSite {
+    pub(crate) rate: f64,
+    pub(crate) cap: Option<u64>,
     drawn: AtomicU64,
     fired: AtomicU64,
 }
@@ -48,7 +50,7 @@ struct FaultSite {
 impl FaultSite {
     /// Claims the next draw index and decides deterministically whether
     /// this site fires, honoring the cap.
-    fn fire(&self, seed: u64, salt: u64) -> bool {
+    pub(crate) fn fire(&self, seed: u64, salt: u64) -> bool {
         if self.rate <= 0.0 {
             return false;
         }
@@ -72,7 +74,7 @@ impl FaultSite {
         }
     }
 
-    fn count(&self) -> u64 {
+    pub(crate) fn count(&self) -> u64 {
         self.fired.load(Ordering::SeqCst)
     }
 }
@@ -209,6 +211,8 @@ mod tests {
         assert!(FaultPlan::parse("panic").unwrap_err().contains("KEY=VALUE"));
         assert!(FaultPlan::parse("panic=2.0").unwrap_err().contains("[0,1]"));
         assert!(FaultPlan::parse("frob=1").unwrap_err().contains("frob"));
+        // A typo'd site name must be an error, never a silent no-op plan.
+        assert!(FaultPlan::parse("pannic=0.5").unwrap_err().contains("pannic"));
         assert!(FaultPlan::parse("delay_ms=x").unwrap_err().contains("delay_ms"));
     }
 

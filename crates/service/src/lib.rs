@@ -69,17 +69,22 @@ pub mod protocol;
 pub mod server;
 pub mod snapshot;
 pub mod stats;
+pub mod storage_io;
 pub mod wal;
 
 pub use cache::{CacheCounters, CompiledCase, PlanCache};
-pub use client::{Client, RetryPolicy, RetryingClient};
+pub use client::{code_is_retryable, Client, RetryPolicy, RetryingClient};
 pub use engine::{DurabilityConfig, Engine};
 pub use faults::{FaultPlan, InjectedCounts};
 pub use protocol::{EditAction, Envelope, ErrorCode, EvalAt, Request, WireError, WireLeafKind};
 pub use server::{serve_stdio, serve_stdio_with, IoModel, Server, ServerConfig};
 pub use stats::{
     DurabilityCounters, Histogram, IncrementalCounters, RobustnessCounters, RobustnessEvent,
-    ServiceStats,
+    ServiceStats, StorageHealthCounters,
+};
+pub use storage_io::{
+    AppendFile, CrashImage, FaultyIo, RealIo, SimIo, StorageFaultPlan, StorageInjectedCounts,
+    StorageIo, TailVariant,
 };
 pub use wal::FsyncPolicy;
 

@@ -24,8 +24,13 @@
 //! the fault-tolerance codes `internal_error`, `deadline_exceeded`,
 //! `overloaded` (with a `retry_after_ms` hint), and `request_too_large`,
 //! and the durability codes `no_such_version` (a `history`/time-travel
-//! lookup named an unrecorded version) and `storage_error` (a WAL or
-//! snapshot write failed; the mutation is not durable).
+//! lookup named an unrecorded version), `storage_error` (a WAL or
+//! snapshot write failed; the mutation is not durable), `read_only`
+//! (the engine degraded to read-only after an unrecoverable append
+//! failure — retry after the attached `retry_after_ms`), and
+//! `data_corrupted` (the requested version's stored object failed its
+//! content-hash check and could not be repaired; it is quarantined,
+//! never served silently).
 //!
 //! The parser is strict about request framing: a line must hold exactly
 //! one JSON object — trailing garbage after the object and duplicate
@@ -121,12 +126,23 @@ pub enum ErrorCode {
     /// The request stamped a protocol version (`"v"`) this server does
     /// not speak; only versions 1 and 2 exist.
     UnsupportedVersion,
+    /// The engine is in read-only degraded mode after an unrecoverable
+    /// append failure (disk full, dead disk): mutations are refused
+    /// with a `retry_after_ms` hint while evals keep being served from
+    /// memory. The engine probes the log on every refused mutation and
+    /// exits read-only mode by itself once appends land again.
+    ReadOnly,
+    /// The requested version's stored object failed its content-hash
+    /// check and could not be repaired; it is quarantined, never served
+    /// silently. Not retryable — operator attention (or a fresh `load`)
+    /// is required.
+    DataCorrupted,
 }
 
 impl ErrorCode {
     /// Every code the service can put on the wire, in documentation
     /// order. Chaos tests assert observed codes stay inside this set.
-    pub const ALL: [ErrorCode; 16] = [
+    pub const ALL: [ErrorCode; 18] = [
         ErrorCode::BadJson,
         ErrorCode::BadRequest,
         ErrorCode::UnknownOp,
@@ -143,6 +159,8 @@ impl ErrorCode {
         ErrorCode::NoSuchVersion,
         ErrorCode::StorageError,
         ErrorCode::UnsupportedVersion,
+        ErrorCode::ReadOnly,
+        ErrorCode::DataCorrupted,
     ];
 
     /// The stable wire spelling of this code.
@@ -165,6 +183,8 @@ impl ErrorCode {
             ErrorCode::NoSuchVersion => "no_such_version",
             ErrorCode::StorageError => "storage_error",
             ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::ReadOnly => "read_only",
+            ErrorCode::DataCorrupted => "data_corrupted",
         }
     }
 
@@ -486,6 +506,11 @@ pub enum Request {
     },
     /// Observability snapshot: per-op latency, cache counters.
     Stats,
+    /// Re-hash every stored snapshot object against its content
+    /// address, quarantining and repairing corrupt ones; the response
+    /// reports what was checked, repaired, and quarantined (durable
+    /// engines only).
+    Scrub,
     /// Stop the service; the response carries the final stats snapshot.
     Shutdown,
     /// Up to [`MAX_BATCH_ITEMS`] sub-requests under one id, answered
@@ -733,6 +758,7 @@ fn parse_op(
             Request::Bands { name: str_field(obj, "name")?, pfd_bound, mode }
         }
         "stats" => Request::Stats,
+        "scrub" => Request::Scrub,
         "shutdown" => Request::Shutdown,
         other => return Err(WireError::new(ErrorCode::UnknownOp, format!("unknown op `{other}`"))),
     };
@@ -806,6 +832,7 @@ impl Request {
             Request::Mc { .. } => "mc",
             Request::Bands { .. } => "bands",
             Request::Stats => "stats",
+            Request::Scrub => "scrub",
             Request::Shutdown => "shutdown",
             Request::Batch { .. } => "batch",
         }

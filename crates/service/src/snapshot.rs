@@ -26,9 +26,10 @@
 //! are garbage that the next snapshot simply reuses.
 
 use crate::protocol::{format_hash, parse_hash, Json};
+use crate::storage_io::{RealIo, StorageIo};
 use serde::Value;
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// One recorded version of a named case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,11 +139,13 @@ impl Manifest {
     }
 }
 
-/// The on-disk layout rooted at `--data-dir`: WAL, manifest, objects.
+/// The on-disk layout rooted at `--data-dir`: WAL, manifest, objects,
+/// and a `quarantine/` pen for corrupt objects awaiting repair.
 #[derive(Debug)]
 pub struct Store {
     root: PathBuf,
     objects: PathBuf,
+    io: Arc<dyn StorageIo>,
 }
 
 fn invalid(message: String) -> std::io::Error {
@@ -157,10 +160,29 @@ impl Store {
     ///
     /// [`std::io::Error`] when the directories cannot be created.
     pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Store> {
+        Store::open_with_io(root, RealIo::shared())
+    }
+
+    /// [`Store::open`] against an explicit [`StorageIo`] — the hook the
+    /// fault-injecting and crash-simulating disks plug into.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the directories cannot be created.
+    pub fn open_with_io(
+        root: impl Into<PathBuf>,
+        io: Arc<dyn StorageIo>,
+    ) -> std::io::Result<Store> {
         let root = root.into();
         let objects = root.join("objects");
-        std::fs::create_dir_all(&objects)?;
-        Ok(Store { root, objects })
+        io.create_dir_all(&objects)?;
+        Ok(Store { root, objects, io })
+    }
+
+    /// The [`StorageIo`] this store (and its WAL) runs against.
+    #[must_use]
+    pub fn io(&self) -> &Arc<dyn StorageIo> {
+        &self.io
     }
 
     /// Path of the write-ahead log inside this store.
@@ -185,11 +207,13 @@ impl Store {
     /// the manifest exists but does not parse — a store that corrupt
     /// needs operator attention, not silent re-initialization.
     pub fn load_manifest(&self) -> std::io::Result<Option<Manifest>> {
-        let text = match std::fs::read_to_string(self.manifest_path()) {
-            Ok(text) => text,
+        let bytes = match self.io.read_file(&self.manifest_path()) {
+            Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e),
         };
+        let text =
+            String::from_utf8(bytes).map_err(|e| invalid(format!("manifest is not UTF-8: {e}")))?;
         let Json(value) = serde_json::from_str::<Json>(&text)
             .map_err(|e| invalid(format!("manifest does not parse: {e}")))?;
         Manifest::from_value(&value).map(Some).map_err(invalid)
@@ -203,13 +227,13 @@ impl Store {
     pub fn write_manifest(&self, manifest: &Manifest) -> std::io::Result<()> {
         let text = serde_json::to_string(&Json(manifest.to_value()))
             .expect("manifest serialization is infallible");
-        write_atomic(&self.manifest_path(), text.as_bytes())
+        write_atomic(&self.io, &self.manifest_path(), text.as_bytes())
     }
 
     /// True when the object for `hash` is already stored.
     #[must_use]
     pub fn has_object(&self, hash: u64) -> bool {
-        self.object_path(hash).exists()
+        self.io.exists(&self.object_path(hash))
     }
 
     /// Writes one case document under its content hash, atomically.
@@ -222,13 +246,24 @@ impl Store {
     /// [`std::io::Error`] on write failure.
     pub fn write_object(&self, hash: u64, doc: &Value) -> std::io::Result<bool> {
         let path = self.object_path(hash);
-        if path.exists() {
+        if self.io.exists(&path) {
             return Ok(false);
         }
+        self.rewrite_object(hash, doc)?;
+        Ok(true)
+    }
+
+    /// Writes one case document under its content hash *unconditionally*
+    /// — the repair path, which must replace a corrupt object rather
+    /// than dedup against its existence.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] on write failure.
+    pub fn rewrite_object(&self, hash: u64, doc: &Value) -> std::io::Result<()> {
         let text = serde_json::to_string(&Json(doc.clone()))
             .expect("document serialization is infallible");
-        write_atomic(&path, text.as_bytes())?;
-        Ok(true)
+        write_atomic(&self.io, &self.object_path(hash), text.as_bytes())
     }
 
     /// Reads the case document stored under `hash`.
@@ -238,23 +273,58 @@ impl Store {
     /// [`std::io::Error`] when the object is missing or unreadable,
     /// with kind `InvalidData` when it does not parse.
     pub fn read_object(&self, hash: u64) -> std::io::Result<Value> {
-        let text = std::fs::read_to_string(self.object_path(hash))?;
+        let bytes = self.io.read_file(&self.object_path(hash))?;
+        let text = String::from_utf8(bytes)
+            .map_err(|e| invalid(format!("object {} is not UTF-8: {e}", format_hash(hash))))?;
         let Json(value) = serde_json::from_str::<Json>(&text)
             .map_err(|e| invalid(format!("object {} does not parse: {e}", format_hash(hash))))?;
         Ok(value)
+    }
+
+    /// Every content hash with an object file currently stored, parsed
+    /// from the `objects/` listing — what scrub iterates. Files that do
+    /// not look like `<16-hex>.json` (stray tmp files, editor droppings)
+    /// are ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the directory cannot be listed.
+    pub fn object_hashes(&self) -> std::io::Result<Vec<u64>> {
+        let mut hashes = Vec::new();
+        for path in self.io.list_dir(&self.objects)? {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            let Some(stem) = name.strip_suffix(".json") else { continue };
+            if let Some(hash) = parse_hash(stem) {
+                hashes.push(hash);
+            }
+        }
+        hashes.sort_unstable();
+        Ok(hashes)
+    }
+
+    /// Moves a corrupt object file into `quarantine/`, where it stops
+    /// being served but stays available for forensics. Returns the
+    /// quarantine path.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the rename fails.
+    pub fn quarantine_object(&self, hash: u64) -> std::io::Result<PathBuf> {
+        let pen = self.root.join("quarantine");
+        self.io.create_dir_all(&pen)?;
+        let target = pen.join(format!("{}.json", format_hash(hash)));
+        self.io.rename(&self.object_path(hash), &target)?;
+        Ok(target)
     }
 }
 
 /// Write-to-tmp, sync, rename-into-place. The rename is atomic on every
 /// platform the service targets, so readers see either the old file or
 /// the complete new one, never a prefix.
-fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+fn write_atomic(io: &Arc<dyn StorageIo>, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let tmp = path.with_extension("tmp");
-    let mut file = std::fs::File::create(&tmp)?;
-    file.write_all(bytes)?;
-    file.sync_data()?;
-    drop(file);
-    std::fs::rename(&tmp, path)
+    io.write_new(&tmp, bytes)?;
+    io.rename(&tmp, path)
 }
 
 #[cfg(test)]
@@ -303,6 +373,27 @@ mod tests {
         std::fs::write(root.join("manifest.json"), b"{ not json").unwrap();
         let err = store.load_manifest().unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn object_listings_quarantine_and_rewrite_support_scrub() {
+        let (root, store) = tmp_store("scrub");
+        let doc = Value::Object(vec![("title".into(), Value::Str("t".into()))]);
+        store.write_object(0xaa, &doc).unwrap();
+        store.write_object(0xbb, &doc).unwrap();
+        // A stray tmp file must not confuse the listing.
+        std::fs::write(root.join("objects").join("leftover.tmp"), b"junk").unwrap();
+        assert_eq!(store.object_hashes().unwrap(), vec![0xaa, 0xbb]);
+
+        let pen = store.quarantine_object(0xaa).unwrap();
+        assert!(pen.to_string_lossy().contains("quarantine"));
+        assert!(!store.has_object(0xaa), "a quarantined object is no longer served");
+        assert_eq!(store.object_hashes().unwrap(), vec![0xbb]);
+
+        let repaired = Value::Object(vec![("title".into(), Value::Str("fixed".into()))]);
+        store.rewrite_object(0xbb, &repaired).unwrap();
+        assert_eq!(store.read_object(0xbb).unwrap(), repaired, "rewrite must replace, not dedup");
         std::fs::remove_dir_all(root).unwrap();
     }
 

@@ -104,8 +104,9 @@ pub struct OpStats {
 }
 
 /// The operations tracked, in wire-spelling order.
-pub const TRACKED_OPS: [&str; 10] =
-    ["load", "eval", "history", "edit", "rank", "mc", "bands", "batch", "stats", "shutdown"];
+pub const TRACKED_OPS: [&str; 11] = [
+    "load", "eval", "history", "edit", "rank", "mc", "bands", "batch", "stats", "scrub", "shutdown",
+];
 
 /// A fault-tolerance event worth counting — the service's own evidence
 /// of how it degrades under panic, overload, and slow clients.
@@ -213,14 +214,61 @@ impl DurabilityCounters {
     }
 }
 
+/// Counter snapshot of the self-healing storage pipeline: scrub
+/// verdicts, repairs by source, quarantines, and the read-only
+/// degradation window ([`crate::engine`], DESIGN §15).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageHealthCounters {
+    /// `scrub` passes completed (wire op or startup verification).
+    pub scrubs: u64,
+    /// Snapshot objects whose content hash was verified.
+    pub objects_checked: u64,
+    /// Objects that failed their content-hash check (bit-rot,
+    /// truncation, tampering).
+    pub corrupt_detected: u64,
+    /// Corrupt objects re-serialized from the intact in-memory copy.
+    pub repaired_from_memory: u64,
+    /// Corrupt objects rebuilt by replaying WAL records.
+    pub repaired_from_wal: u64,
+    /// Corrupt objects moved to `quarantine/` with no intact source to
+    /// repair from; their versions answer `data_corrupted`.
+    pub quarantined: u64,
+    /// Times the engine entered read-only degraded mode.
+    pub read_only_entered: u64,
+    /// Times the engine recovered back to read-write.
+    pub read_only_exited: u64,
+    /// WAL appends that failed (each one refused a mutation).
+    pub append_failures: u64,
+    /// Whether the engine is in read-only mode right now.
+    pub read_only: bool,
+}
+
+impl StorageHealthCounters {
+    fn to_value(self) -> Value {
+        Value::Object(vec![
+            ("scrubs".to_string(), Value::U64(self.scrubs)),
+            ("objects_checked".to_string(), Value::U64(self.objects_checked)),
+            ("corrupt_detected".to_string(), Value::U64(self.corrupt_detected)),
+            ("repaired_from_memory".to_string(), Value::U64(self.repaired_from_memory)),
+            ("repaired_from_wal".to_string(), Value::U64(self.repaired_from_wal)),
+            ("quarantined".to_string(), Value::U64(self.quarantined)),
+            ("read_only_entered".to_string(), Value::U64(self.read_only_entered)),
+            ("read_only_exited".to_string(), Value::U64(self.read_only_exited)),
+            ("append_failures".to_string(), Value::U64(self.append_failures)),
+            ("read_only".to_string(), Value::Bool(self.read_only)),
+        ])
+    }
+}
+
 /// Aggregate service statistics, dumped by `stats` and on shutdown.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
-    per_op: [OpStats; 10],
+    per_op: [OpStats; 11],
     robustness: RobustnessCounters,
     rejections: Histogram,
     incremental: IncrementalCounters,
     durability: DurabilityCounters,
+    storage_health: StorageHealthCounters,
 }
 
 impl ServiceStats {
@@ -275,6 +323,18 @@ impl ServiceStats {
     #[must_use]
     pub fn durability(&self) -> DurabilityCounters {
         self.durability
+    }
+
+    /// Mutable access to the storage-health counters (scrub, repair,
+    /// and read-only transitions bump these as they go).
+    pub fn storage_health_mut(&mut self) -> &mut StorageHealthCounters {
+        &mut self.storage_health
+    }
+
+    /// Snapshot of the storage-health counters.
+    #[must_use]
+    pub fn storage_health(&self) -> StorageHealthCounters {
+        self.storage_health
     }
 
     /// Records one handled request for `op`.
@@ -353,6 +413,7 @@ impl ServiceStats {
             ("ops".to_string(), Value::Object(ops)),
             ("robustness".to_string(), robustness),
             ("durability".to_string(), self.durability.to_value()),
+            ("storage_health".to_string(), self.storage_health.to_value()),
             (
                 "incremental".to_string(),
                 Value::Object(vec![
@@ -485,6 +546,29 @@ mod tests {
         assert!(text.contains("\"rejection_latency_us\""), "{text}");
         assert!(text.contains("\"count\":3"), "{text}");
         assert!(text.contains("\"max\":1000"), "{text}");
+    }
+
+    #[test]
+    fn storage_health_counters_surface_in_the_snapshot() {
+        let mut s = ServiceStats::default();
+        s.storage_health_mut().scrubs = 2;
+        s.storage_health_mut().objects_checked = 9;
+        s.storage_health_mut().corrupt_detected = 3;
+        s.storage_health_mut().repaired_from_memory = 1;
+        s.storage_health_mut().repaired_from_wal = 1;
+        s.storage_health_mut().quarantined = 1;
+        s.storage_health_mut().read_only = true;
+        // `scrub` is a tracked op: its latency lands in the per-op table.
+        s.record("scrub", 50, false);
+        assert_eq!(s.op("scrub").unwrap().requests, 1);
+        let v = s.to_value(CacheCounters::default(), 0, 4);
+        let text = serde_json::to_string(&crate::protocol::Json(v)).unwrap();
+        assert!(text.contains("\"storage_health\""), "{text}");
+        assert!(text.contains("\"corrupt_detected\":3"), "{text}");
+        assert!(text.contains("\"repaired_from_memory\":1"), "{text}");
+        assert!(text.contains("\"quarantined\":1"), "{text}");
+        assert!(text.contains("\"read_only\":true"), "{text}");
+        assert!(text.contains("\"scrub\""), "{text}");
     }
 
     #[test]

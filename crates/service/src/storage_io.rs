@@ -1,0 +1,907 @@
+//! Syscall-granularity storage abstraction with deterministic fault
+//! injection and an in-memory crash simulator.
+//!
+//! The WAL ([`crate::wal`]) and snapshot store ([`crate::snapshot`])
+//! perform a small, closed set of file operations — read, append,
+//! fsync, atomic create, rename, list. [`StorageIo`] names that set as
+//! a trait so the durability stack can run against three disks:
+//!
+//! - [`RealIo`] — the actual filesystem, used in production;
+//! - [`FaultyIo`] — a decorator injecting EIO, ENOSPC, short writes,
+//!   fsync failures, torn (acked-but-partial) writes, and read-side
+//!   bit-rot at configured rates from a **seeded** stream, extending
+//!   the [`crate::faults`] spec grammar down to the syscall layer
+//!   (`seed=42,eio=0.02,enospc_after=1MiB,short_write=0.05,torn=0.05,bitrot=0.01`);
+//! - [`SimIo`] — an in-memory filesystem that distinguishes *durable*
+//!   bytes (fsynced) from *live* bytes (written but not yet synced) and
+//!   can journal a full crash image after every mutating operation, so
+//!   a test can simulate a power cut at **every** IO boundary of a
+//!   workload and recover from each one (the crash-consistency matrix,
+//!   DESIGN §15).
+//!
+//! Fault decisions reuse the counter-seeded discipline of
+//! [`crate::faults`]: the decision for draw *n* at a site depends only
+//! on `(seed, site, n)`, never on wall-clock time or interleaving, so
+//! chaos tests assert exact invariants instead of "probably fine".
+
+use crate::faults::FaultSite;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Per-site salts for the storage fault stream, continuing the
+/// SplitMix64-spaced sequence of [`crate::faults`] so storage decisions
+/// never alias the service-layer panic/delay/drop streams.
+const SALT_EIO: u64 = 0x78DD_E6E5_FD29_F054;
+const SALT_SHORT_WRITE: u64 = 0x1715_609F_7C74_6C69;
+const SALT_TORN: u64 = 0xB54C_DA58_FBBE_E87E;
+const SALT_BITROT: u64 = 0x5384_5412_7B09_6493;
+
+/// Every file operation the durability stack performs, as a trait so
+/// the same WAL/snapshot/engine code runs against the real filesystem,
+/// a fault-injecting decorator, or an in-memory crash simulator.
+pub trait StorageIo: Send + Sync + std::fmt::Debug {
+    /// Reads a whole file. Missing files are `NotFound`.
+    fn read_file(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Creates (or replaces) `path` with exactly `bytes`, then syncs the
+    /// data — the write half of the atomic tmp-then-rename protocol.
+    fn write_new(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Opens `path` for appending (creating it if absent).
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn AppendFile>>;
+
+    /// Atomically renames `from` to `to` (same directory tree).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Creates a directory and any missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// True when a file or directory exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Lists the files directly inside `path` (no recursion, no
+    /// directories).
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+}
+
+/// An open append-mode file handle behind [`StorageIo::open_append`].
+pub trait AppendFile: Send + std::fmt::Debug {
+    /// Appends `bytes` at the end of the file (one write syscall).
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Forces appended bytes to stable storage (`fdatasync`).
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Truncates the file to `len` bytes — used to roll a partial
+    /// (failed) append back out and to empty the WAL after a snapshot.
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// RealIo
+// ---------------------------------------------------------------------------
+
+/// The production [`StorageIo`]: a thin passthrough to `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl RealIo {
+    /// A shared handle, for threading through constructors.
+    #[must_use]
+    pub fn shared() -> Arc<dyn StorageIo> {
+        Arc::new(RealIo)
+    }
+}
+
+/// [`AppendFile`] over a real `std::fs::File` in append mode.
+#[derive(Debug)]
+struct RealAppend {
+    file: std::fs::File,
+}
+
+impl AppendFile for RealAppend {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.write_all(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)?;
+        self.file.sync_data()
+    }
+}
+
+impl StorageIo for RealIo {
+    fn read_file(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write_new(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(bytes)?;
+        file.sync_data()
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn AppendFile>> {
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Box::new(RealAppend { file }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut files = Vec::new();
+        for entry in std::fs::read_dir(path)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                files.push(entry.path());
+            }
+        }
+        files.sort();
+        Ok(files)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StorageFaultPlan + FaultyIo
+// ---------------------------------------------------------------------------
+
+/// Counts of storage faults actually injected so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageInjectedCounts {
+    /// Write or fsync calls failed with EIO (nothing written).
+    pub eio: u64,
+    /// Writes failed with ENOSPC after the byte budget ran out.
+    pub enospc: u64,
+    /// Writes that landed a partial prefix and then errored.
+    pub short_writes: u64,
+    /// Writes that landed a partial prefix but *reported success* — the
+    /// lying-disk case only checksums and scrub can catch.
+    pub torn: u64,
+    /// Reads that flipped (and persisted) one bit of the file.
+    pub bitrot: u64,
+}
+
+/// A seeded, rate-based storage fault plan, parsed from the same
+/// `key=value,...` grammar as [`crate::faults::FaultPlan`].
+///
+/// Keys: `seed`; rates in `[0,1]` for `eio` (failed writes/fsyncs),
+/// `short_write` (partial write then error), `torn` (partial write
+/// reported as success), `bitrot` (one bit flipped per faulted read,
+/// persisted back — silent media decay); optional `eio_cap` /
+/// `short_write_cap` / `torn_cap` / `bitrot_cap` bounds; and
+/// `enospc_after=SIZE` (e.g. `64KiB`, `1MiB`, plain bytes, suffixes
+/// `B`/`KiB`/`MiB`/`GiB`) — total bytes writable before every further
+/// write answers ENOSPC.
+#[derive(Debug)]
+pub struct StorageFaultPlan {
+    seed: u64,
+    eio: FaultSite,
+    short_write: FaultSite,
+    torn: FaultSite,
+    bitrot: FaultSite,
+    /// Byte budget; `u64::MAX` means unlimited.
+    limit: AtomicU64,
+    written: AtomicU64,
+    enospc_fired: AtomicU64,
+}
+
+/// Parses `64KiB`-style sizes for `enospc_after`.
+fn parse_size(value: &str) -> Result<u64, String> {
+    let (digits, unit) = match value.find(|c: char| !c.is_ascii_digit()) {
+        Some(split) => value.split_at(split),
+        None => (value, ""),
+    };
+    let n: u64 =
+        digits.parse().map_err(|_| format!("size must start with an integer, got `{value}`"))?;
+    let scale = match unit {
+        "" | "B" => 1,
+        "KiB" => 1 << 10,
+        "MiB" => 1 << 20,
+        "GiB" => 1 << 30,
+        other => return Err(format!("unknown size suffix `{other}` (use B/KiB/MiB/GiB)")),
+    };
+    n.checked_mul(scale).ok_or_else(|| format!("size `{value}` overflows"))
+}
+
+impl StorageFaultPlan {
+    /// Parses a storage fault spec string (see the type docs). Unknown
+    /// or malformed keys are an error naming the offending field — a
+    /// typo must never degrade to a silent no-op plan.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending field.
+    pub fn parse(spec: &str) -> Result<StorageFaultPlan, String> {
+        let mut plan = StorageFaultPlan {
+            seed: 0,
+            eio: FaultSite::default(),
+            short_write: FaultSite::default(),
+            torn: FaultSite::default(),
+            bitrot: FaultSite::default(),
+            limit: AtomicU64::new(u64::MAX),
+            written: AtomicU64::new(0),
+            enospc_fired: AtomicU64::new(0),
+        };
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("storage fault spec field `{part}` is not KEY=VALUE"))?;
+            let rate = |site: &str| -> Result<f64, String> {
+                let r: f64 = value.parse().map_err(|_| {
+                    format!("storage fault rate `{site}` must be a number, got `{value}`")
+                })?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("storage fault rate `{site}` must be in [0,1], got {r}"));
+                }
+                Ok(r)
+            };
+            let count = |field: &str| -> Result<u64, String> {
+                value.parse().map_err(|_| {
+                    format!(
+                        "storage fault field `{field}` must be a non-negative integer, got `{value}`"
+                    )
+                })
+            };
+            match key {
+                "seed" => plan.seed = count("seed")?,
+                "eio" => plan.eio.rate = rate("eio")?,
+                "short_write" => plan.short_write.rate = rate("short_write")?,
+                "torn" => plan.torn.rate = rate("torn")?,
+                "bitrot" => plan.bitrot.rate = rate("bitrot")?,
+                "eio_cap" => plan.eio.cap = Some(count("eio_cap")?),
+                "short_write_cap" => plan.short_write.cap = Some(count("short_write_cap")?),
+                "torn_cap" => plan.torn.cap = Some(count("torn_cap")?),
+                "bitrot_cap" => plan.bitrot.cap = Some(count("bitrot_cap")?),
+                "enospc_after" => {
+                    let size = parse_size(value)
+                        .map_err(|e| format!("storage fault field `enospc_after`: {e}"))?;
+                    plan.limit = AtomicU64::new(size);
+                }
+                other => return Err(format!("unknown storage fault spec field `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Counts of faults injected so far.
+    #[must_use]
+    pub fn injected(&self) -> StorageInjectedCounts {
+        StorageInjectedCounts {
+            eio: self.eio.count(),
+            enospc: self.enospc_fired.load(Ordering::SeqCst),
+            short_writes: self.short_write.count(),
+            torn: self.torn.count(),
+            bitrot: self.bitrot.count(),
+        }
+    }
+}
+
+/// A [`StorageIo`] decorator that injects deterministic faults on the
+/// way to an inner implementation (usually [`RealIo`]).
+///
+/// Write-path faults fire in a fixed order per write: EIO (nothing
+/// lands), then the ENOSPC byte budget (the remaining budget lands,
+/// then the error), then a short write (a prefix lands, then the
+/// error), then a torn write (a prefix lands and the call *succeeds* —
+/// the lying disk). Fsync calls can fail with EIO. Reads can flip one
+/// bit and persist the flip back through the inner IO, so a rotted
+/// object stays rotted across re-reads — exactly what scrub must
+/// detect and repair.
+#[derive(Debug)]
+pub struct FaultyIo {
+    inner: Arc<dyn StorageIo>,
+    plan: Arc<StorageFaultPlan>,
+}
+
+impl FaultyIo {
+    /// Wraps `inner` with the faults described by `plan`.
+    #[must_use]
+    pub fn new(inner: Arc<dyn StorageIo>, plan: StorageFaultPlan) -> FaultyIo {
+        FaultyIo { inner, plan: Arc::new(plan) }
+    }
+
+    /// Parses `spec` (see [`StorageFaultPlan::parse`]) and wraps
+    /// `inner`.
+    ///
+    /// # Errors
+    ///
+    /// The spec-parse error, naming the offending field.
+    pub fn parse(inner: Arc<dyn StorageIo>, spec: &str) -> Result<FaultyIo, String> {
+        Ok(FaultyIo::new(inner, StorageFaultPlan::parse(spec)?))
+    }
+
+    /// Counts of faults injected so far.
+    #[must_use]
+    pub fn injected(&self) -> StorageInjectedCounts {
+        self.plan.injected()
+    }
+
+    /// Exhausts the ENOSPC budget immediately: every further write
+    /// answers ENOSPC until [`FaultyIo::restore_space`]. Deterministic
+    /// disk-full at a point a test chooses.
+    pub fn exhaust_space(&self) {
+        self.plan.limit.store(self.plan.written.load(Ordering::SeqCst), Ordering::SeqCst);
+    }
+
+    /// Lifts the ENOSPC budget: writes succeed again, as if space was
+    /// freed. Pairs with `enospc_after=` or [`FaultyIo::exhaust_space`].
+    pub fn restore_space(&self) {
+        self.plan.limit.store(u64::MAX, Ordering::SeqCst);
+    }
+}
+
+fn eio(context: &str) -> io::Error {
+    io::Error::other(format!("injected EIO: {context}"))
+}
+
+fn enospc(context: &str) -> io::Error {
+    io::Error::other(format!("injected ENOSPC: {context} (byte budget exhausted)"))
+}
+
+impl StorageFaultPlan {
+    /// The shared write-path fault ladder. `write` lands a prefix of
+    /// `bytes`; returns `Ok(())` only when the full buffer landed (or a
+    /// torn write lied about it).
+    fn faulted_write(
+        &self,
+        context: &str,
+        bytes: &[u8],
+        mut write: impl FnMut(&[u8]) -> io::Result<()>,
+    ) -> io::Result<()> {
+        if self.eio.fire(self.seed, SALT_EIO) {
+            return Err(eio(context));
+        }
+        let len = bytes.len() as u64;
+        let limit = self.limit.load(Ordering::SeqCst);
+        let written = self.written.load(Ordering::SeqCst);
+        if written.saturating_add(len) > limit {
+            let room = usize::try_from(limit.saturating_sub(written)).unwrap_or(usize::MAX);
+            if room > 0 {
+                write(&bytes[..room])?;
+            }
+            self.written.store(limit, Ordering::SeqCst);
+            self.enospc_fired.fetch_add(1, Ordering::SeqCst);
+            return Err(enospc(context));
+        }
+        if self.short_write.fire(self.seed, SALT_SHORT_WRITE) {
+            let prefix = bytes.len() / 2;
+            if prefix > 0 {
+                write(&bytes[..prefix])?;
+                self.written.fetch_add(prefix as u64, Ordering::SeqCst);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                format!("injected short write: {context} ({prefix} of {} bytes)", bytes.len()),
+            ));
+        }
+        if self.torn.fire(self.seed, SALT_TORN) {
+            // The lying disk: a prefix lands, the call reports success.
+            let prefix = bytes.len() - bytes.len() / 4 - 1.min(bytes.len());
+            write(&bytes[..prefix])?;
+            self.written.fetch_add(prefix as u64, Ordering::SeqCst);
+            return Ok(());
+        }
+        write(bytes)?;
+        self.written.fetch_add(len, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+/// [`AppendFile`] wrapper applying the write-path fault ladder.
+#[derive(Debug)]
+struct FaultyAppend {
+    inner: Box<dyn AppendFile>,
+    plan: Arc<StorageFaultPlan>,
+}
+
+impl AppendFile for FaultyAppend {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let inner = &mut self.inner;
+        self.plan.faulted_write("append", bytes, |chunk| inner.append(chunk))
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.plan.eio.fire(self.plan.seed, SALT_EIO) {
+            return Err(eio("fsync"));
+        }
+        self.inner.sync()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        // Rollback and WAL-reset truncations stay reliable: injecting
+        // here would make every write fault unrecoverable by definition,
+        // which models a dead disk, not a flaky one.
+        self.inner.truncate(len)
+    }
+}
+
+impl StorageIo for FaultyIo {
+    fn read_file(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut bytes = self.inner.read_file(path)?;
+        if !bytes.is_empty() && self.plan.bitrot.fire(self.plan.seed, SALT_BITROT) {
+            // Flip one deterministic bit and persist it: media decay is
+            // sticky, so scrub sees the same corruption every pass.
+            let n = self.plan.bitrot.count();
+            let mut rng = StdRng::seed_from_u64(
+                self.plan.seed ^ SALT_BITROT.wrapping_add(n.wrapping_mul(2).wrapping_add(1)),
+            );
+            let idx = rng.gen_range(0..bytes.len());
+            bytes[idx] ^= 1 << rng.gen_range(0..8_u8);
+            self.inner.write_new(path, &bytes)?;
+        }
+        Ok(bytes)
+    }
+
+    fn write_new(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut staged: Vec<u8> = Vec::new();
+        self.plan.faulted_write("write", bytes, |chunk| {
+            staged.extend_from_slice(chunk);
+            Ok(())
+        })?;
+        self.inner.write_new(path, &staged)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn AppendFile>> {
+        let inner = self.inner.open_append(path)?;
+        Ok(Box::new(FaultyAppend { inner, plan: Arc::clone(&self.plan) }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list_dir(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimIo
+// ---------------------------------------------------------------------------
+
+/// One simulated file: the bytes that would survive a power cut
+/// (`durable`) and the bytes the process has written (`live`). A sync
+/// promotes live to durable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimFile {
+    /// Bytes guaranteed on stable storage.
+    pub durable: Vec<u8>,
+    /// Bytes as the process sees them (durable prefix + unsynced tail).
+    pub live: Vec<u8>,
+}
+
+/// A full filesystem image captured after one mutating IO operation —
+/// one cell of the crash-consistency matrix.
+#[derive(Debug, Clone)]
+pub struct CrashImage {
+    /// 1-based index of the mutating operation this image follows.
+    pub op_index: u64,
+    /// A short label of the operation, for diagnostics.
+    pub op: String,
+    /// Every file's durable/live state at that instant.
+    pub files: BTreeMap<PathBuf, SimFile>,
+}
+
+/// How the unsynced tail of each file resolves when a [`CrashImage`]
+/// is turned back into a bootable filesystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailVariant {
+    /// Only durable bytes survive: every unsynced write is lost.
+    Durable,
+    /// Everything written survives: the OS happened to flush it all.
+    Full,
+    /// Half of each unsynced tail survives: the classic torn page.
+    Torn,
+}
+
+#[derive(Debug, Default)]
+struct SimState {
+    files: BTreeMap<PathBuf, SimFile>,
+    dirs: Vec<PathBuf>,
+    ops: u64,
+    journal: Option<Vec<CrashImage>>,
+}
+
+impl SimState {
+    /// Records one mutating operation, journaling a crash image when
+    /// recording is on.
+    fn mutated(&mut self, op: String) {
+        self.ops += 1;
+        let op_index = self.ops;
+        if let Some(journal) = &mut self.journal {
+            let files = self.files.clone();
+            journal.push(CrashImage { op_index, op, files });
+        }
+    }
+}
+
+/// An in-memory [`StorageIo`] tracking durable vs. live bytes per file,
+/// with an optional journal of crash images after every mutating
+/// operation.
+///
+/// Two documented simplifications, both *stricter* than a metadata-
+/// journaling filesystem in the directions the tests care about:
+/// [`StorageIo::write_new`] makes the file durable immediately (it
+/// syncs before returning anyway), and renames are atomic and durable
+/// (the rename either fully happened or fully did not — the guarantee
+/// ext4/data=ordered gives the tmp-then-rename protocol).
+#[derive(Debug, Clone, Default)]
+pub struct SimIo {
+    state: Arc<Mutex<SimState>>,
+}
+
+impl SimIo {
+    /// An empty in-memory filesystem, journal off.
+    #[must_use]
+    pub fn new() -> SimIo {
+        SimIo::default()
+    }
+
+    /// An empty in-memory filesystem that journals a [`CrashImage`]
+    /// after every mutating operation.
+    #[must_use]
+    pub fn recording() -> SimIo {
+        let sim = SimIo::default();
+        crate::lock_unpoisoned(&sim.state).journal = Some(Vec::new());
+        sim
+    }
+
+    /// Boots a filesystem from a crash image: every file's unsynced
+    /// tail resolves per `variant`, modeling what a power cut at that
+    /// operation could have left on disk.
+    #[must_use]
+    pub fn from_image(image: &CrashImage, variant: TailVariant) -> SimIo {
+        let mut files = BTreeMap::new();
+        for (path, file) in &image.files {
+            let durable = file.durable.clone();
+            let content = match variant {
+                TailVariant::Durable => durable,
+                TailVariant::Full => file.live.clone(),
+                TailVariant::Torn => {
+                    let tail = file.live.len().saturating_sub(file.durable.len());
+                    let keep = file.durable.len() + tail / 2;
+                    file.live[..keep].to_vec()
+                }
+            };
+            files.insert(path.clone(), SimFile { durable: content.clone(), live: content });
+        }
+        let sim = SimIo::default();
+        crate::lock_unpoisoned(&sim.state).files = files;
+        sim
+    }
+
+    /// Mutating IO operations performed so far.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        crate::lock_unpoisoned(&self.state).ops
+    }
+
+    /// A copy of the journal recorded so far (empty when recording is
+    /// off).
+    #[must_use]
+    pub fn crash_images(&self) -> Vec<CrashImage> {
+        crate::lock_unpoisoned(&self.state).journal.clone().unwrap_or_default()
+    }
+
+    /// The current live bytes of `path`, for white-box assertions.
+    #[must_use]
+    pub fn live_bytes(&self, path: &Path) -> Option<Vec<u8>> {
+        crate::lock_unpoisoned(&self.state).files.get(path).map(|f| f.live.clone())
+    }
+
+    /// Overwrites `path`'s bytes in place without journaling — the
+    /// test-side hook for planting corruption (bit-rot, truncation)
+    /// that scrub and recovery must then survive.
+    pub fn corrupt(&self, path: &Path, bytes: Vec<u8>) {
+        let mut state = crate::lock_unpoisoned(&self.state);
+        state.files.insert(path.to_path_buf(), SimFile { durable: bytes.clone(), live: bytes });
+    }
+}
+
+fn not_found(path: &Path) -> io::Error {
+    io::Error::new(io::ErrorKind::NotFound, format!("{} not found", path.display()))
+}
+
+/// [`AppendFile`] over one [`SimIo`] path; operations mutate the shared
+/// state under its mutex.
+#[derive(Debug)]
+struct SimAppend {
+    state: Arc<Mutex<SimState>>,
+    path: PathBuf,
+}
+
+impl AppendFile for SimAppend {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut state = crate::lock_unpoisoned(&self.state);
+        let file = state.files.entry(self.path.clone()).or_default();
+        file.live.extend_from_slice(bytes);
+        state.mutated(format!("append {} bytes to {}", bytes.len(), self.path.display()));
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut state = crate::lock_unpoisoned(&self.state);
+        let file = state.files.entry(self.path.clone()).or_default();
+        file.durable = file.live.clone();
+        state.mutated(format!("fsync {}", self.path.display()));
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        let mut state = crate::lock_unpoisoned(&self.state);
+        let file = state.files.entry(self.path.clone()).or_default();
+        let len = usize::try_from(len).unwrap_or(usize::MAX).min(file.live.len());
+        file.live.truncate(len);
+        file.durable.truncate(len.min(file.durable.len()));
+        state.mutated(format!("truncate {} to {len}", self.path.display()));
+        Ok(())
+    }
+}
+
+impl StorageIo for SimIo {
+    fn read_file(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let state = crate::lock_unpoisoned(&self.state);
+        state.files.get(path).map(|f| f.live.clone()).ok_or_else(|| not_found(path))
+    }
+
+    fn write_new(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut state = crate::lock_unpoisoned(&self.state);
+        state
+            .files
+            .insert(path.to_path_buf(), SimFile { durable: bytes.to_vec(), live: bytes.to_vec() });
+        state.mutated(format!("write {} bytes to {}", bytes.len(), path.display()));
+        Ok(())
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn AppendFile>> {
+        let mut state = crate::lock_unpoisoned(&self.state);
+        state.files.entry(path.to_path_buf()).or_default();
+        Ok(Box::new(SimAppend { state: Arc::clone(&self.state), path: path.to_path_buf() }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut state = crate::lock_unpoisoned(&self.state);
+        let file = state.files.remove(from).ok_or_else(|| not_found(from))?;
+        state.files.insert(to.to_path_buf(), file);
+        state.mutated(format!("rename {} to {}", from.display(), to.display()));
+        Ok(())
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        let mut state = crate::lock_unpoisoned(&self.state);
+        if !state.dirs.contains(&path.to_path_buf()) {
+            state.dirs.push(path.to_path_buf());
+        }
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let state = crate::lock_unpoisoned(&self.state);
+        state.files.contains_key(path) || state.dirs.iter().any(|d| d == path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let state = crate::lock_unpoisoned(&self.state);
+        Ok(state.files.keys().filter(|p| p.parent() == Some(path)).cloned().collect())
+    }
+}
+
+/// Renders injected-fault counts as a compact diagnostic string, for
+/// bench reports and logs.
+#[must_use]
+pub fn injected_summary(counts: &StorageInjectedCounts) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "eio={} enospc={} short_writes={} torn={} bitrot={}",
+        counts.eio, counts.enospc, counts.short_writes, counts.torn, counts.bitrot
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("depcase_sio_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        path
+    }
+
+    #[test]
+    fn real_io_round_trips_files_appends_and_listings() {
+        let dir = tmp_dir("real");
+        let io = RealIo;
+        let file = dir.join("a.txt");
+        io.write_new(&file, b"hello").unwrap();
+        assert_eq!(io.read_file(&file).unwrap(), b"hello");
+        assert!(io.exists(&file));
+        let mut log = io.open_append(&dir.join("log")).unwrap();
+        log.append(b"one").unwrap();
+        log.append(b"two").unwrap();
+        log.sync().unwrap();
+        log.truncate(3).unwrap();
+        assert_eq!(io.read_file(&dir.join("log")).unwrap(), b"one");
+        io.rename(&file, &dir.join("b.txt")).unwrap();
+        assert!(!io.exists(&file));
+        let listed = io.list_dir(&dir).unwrap();
+        assert_eq!(listed.len(), 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn storage_fault_specs_reject_unknown_and_malformed_keys() {
+        assert!(StorageFaultPlan::parse("eio").unwrap_err().contains("KEY=VALUE"));
+        assert!(StorageFaultPlan::parse("eio=2.0").unwrap_err().contains("[0,1]"));
+        assert!(StorageFaultPlan::parse("eoi=0.1").unwrap_err().contains("eoi"));
+        assert!(StorageFaultPlan::parse("enospc_after=1TiB").unwrap_err().contains("TiB"));
+        assert!(StorageFaultPlan::parse("enospc_after=lots").unwrap_err().contains("lots"));
+        let ok = StorageFaultPlan::parse(
+            "seed=42, eio=0.02, enospc_after=1MiB, short_write=0.05, torn=0.05, bitrot=0.01, eio_cap=3",
+        )
+        .unwrap();
+        assert_eq!(ok.seed, 42);
+        assert_eq!(ok.limit.load(Ordering::SeqCst), 1 << 20);
+        assert_eq!(ok.eio.cap, Some(3));
+    }
+
+    #[test]
+    fn size_suffixes_parse() {
+        assert_eq!(parse_size("17").unwrap(), 17);
+        assert_eq!(parse_size("17B").unwrap(), 17);
+        assert_eq!(parse_size("2KiB").unwrap(), 2048);
+        assert_eq!(parse_size("1GiB").unwrap(), 1 << 30);
+        assert!(parse_size("KiB").is_err());
+    }
+
+    #[test]
+    fn eio_decisions_are_deterministic_for_a_seed() {
+        let run = |seed: &str| {
+            let io = FaultyIo::parse(Arc::new(SimIo::new()), seed).unwrap();
+            let mut log = io.open_append(Path::new("/log")).unwrap();
+            (0..128).map(|_| log.append(b"x").is_err()).collect::<Vec<_>>()
+        };
+        assert_eq!(run("seed=7,eio=0.2"), run("seed=7,eio=0.2"));
+        assert_ne!(run("seed=7,eio=0.2"), run("seed=8,eio=0.2"));
+    }
+
+    #[test]
+    fn enospc_budget_lands_the_remainder_then_fails_until_restored() {
+        let sim = Arc::new(SimIo::new());
+        let io =
+            FaultyIo::parse(Arc::clone(&sim) as Arc<dyn StorageIo>, "enospc_after=10").unwrap();
+        let mut log = io.open_append(Path::new("/log")).unwrap();
+        log.append(b"123456").unwrap();
+        let err = log.append(b"789012").unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        // The budget's remainder landed: the partial-write hazard the
+        // WAL rollback must clean up.
+        assert_eq!(sim.live_bytes(Path::new("/log")).unwrap(), b"1234567890");
+        assert!(log.append(b"x").is_err(), "budget stays exhausted");
+        assert_eq!(io.injected().enospc, 2);
+        io.restore_space();
+        log.append(b"xy").unwrap();
+        assert_eq!(sim.live_bytes(Path::new("/log")).unwrap(), b"1234567890xy");
+    }
+
+    #[test]
+    fn exhaust_space_cuts_writes_off_at_the_current_byte() {
+        let io = FaultyIo::parse(Arc::new(SimIo::new()), "seed=1").unwrap();
+        let mut log = io.open_append(Path::new("/log")).unwrap();
+        log.append(b"ok").unwrap();
+        io.exhaust_space();
+        assert!(log.append(b"no").is_err());
+        io.restore_space();
+        log.append(b"yes").unwrap();
+    }
+
+    #[test]
+    fn short_writes_land_a_prefix_then_error() {
+        let sim = Arc::new(SimIo::new());
+        let io = FaultyIo::parse(
+            Arc::clone(&sim) as Arc<dyn StorageIo>,
+            "seed=3,short_write=1.0,short_write_cap=1",
+        )
+        .unwrap();
+        let mut log = io.open_append(Path::new("/log")).unwrap();
+        let err = log.append(b"abcdefgh").unwrap_err();
+        assert!(err.to_string().contains("short write"), "{err}");
+        assert_eq!(sim.live_bytes(Path::new("/log")).unwrap(), b"abcd");
+        assert_eq!(io.injected().short_writes, 1);
+        log.append(b"rest").unwrap();
+    }
+
+    #[test]
+    fn torn_writes_lie_and_bitrot_persists() {
+        let sim = Arc::new(SimIo::new());
+        let io =
+            FaultyIo::parse(Arc::clone(&sim) as Arc<dyn StorageIo>, "seed=5,torn=1.0,torn_cap=1")
+                .unwrap();
+        io.write_new(Path::new("/obj"), b"0123456789abcdef").unwrap();
+        let stored = sim.live_bytes(Path::new("/obj")).unwrap();
+        assert!(stored.len() < 16, "a torn write must land a strict prefix");
+        assert_eq!(io.injected().torn, 1);
+
+        let rot = FaultyIo::parse(
+            Arc::clone(&sim) as Arc<dyn StorageIo>,
+            "seed=5,bitrot=1.0,bitrot_cap=1",
+        )
+        .unwrap();
+        rot.write_new(Path::new("/media"), b"pristine bytes").unwrap();
+        let rotted = rot.read_file(Path::new("/media")).unwrap();
+        assert_ne!(rotted, b"pristine bytes", "bitrot must flip a bit");
+        // The flip persisted: the inner filesystem now holds the rot.
+        assert_eq!(sim.live_bytes(Path::new("/media")).unwrap(), rotted);
+        assert_eq!(rot.read_file(Path::new("/media")).unwrap(), rotted, "rot is sticky");
+    }
+
+    #[test]
+    fn sim_io_tracks_durable_vs_live_and_journals_crash_images() {
+        let sim = SimIo::recording();
+        let mut log = sim.open_append(Path::new("/wal")).unwrap();
+        log.append(b"record-one\n").unwrap();
+        log.sync().unwrap();
+        log.append(b"record-two\n").unwrap();
+        let images = sim.crash_images();
+        assert_eq!(images.len(), 3, "append, sync, append each journal one image");
+
+        // Crash after the unsynced second append: durable loses it,
+        // full keeps it, torn keeps half of it.
+        let after = &images[2];
+        let durable = SimIo::from_image(after, TailVariant::Durable);
+        assert_eq!(durable.read_file(Path::new("/wal")).unwrap(), b"record-one\n");
+        let full = SimIo::from_image(after, TailVariant::Full);
+        assert_eq!(full.read_file(Path::new("/wal")).unwrap(), b"record-one\nrecord-two\n");
+        let torn = SimIo::from_image(after, TailVariant::Torn);
+        let torn_bytes = torn.read_file(Path::new("/wal")).unwrap();
+        assert!(torn_bytes.starts_with(b"record-one\n"));
+        assert!(torn_bytes.len() > b"record-one\n".len());
+        assert!(torn_bytes.len() < b"record-one\nrecord-two\n".len());
+    }
+
+    #[test]
+    fn sim_io_renames_and_listings_behave_like_a_filesystem() {
+        let sim = SimIo::new();
+        sim.write_new(Path::new("/store/objects/a.json"), b"{}").unwrap();
+        sim.write_new(Path::new("/store/objects/b.json"), b"{}").unwrap();
+        sim.create_dir_all(Path::new("/store/quarantine")).unwrap();
+        assert!(sim.exists(Path::new("/store/quarantine")));
+        sim.rename(Path::new("/store/objects/a.json"), Path::new("/store/quarantine/a.json"))
+            .unwrap();
+        assert!(sim.rename(Path::new("/store/objects/a.json"), Path::new("/x")).is_err());
+        let listed = sim.list_dir(Path::new("/store/objects")).unwrap();
+        assert_eq!(listed, vec![PathBuf::from("/store/objects/b.json")]);
+        assert!(sim.read_file(Path::new("/store/objects/a.json")).is_err());
+    }
+}

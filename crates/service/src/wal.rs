@@ -35,10 +35,10 @@
 //! replay reproduced the original state.
 
 use crate::protocol::{format_hash, parse_hash, EditAction, ErrorCode, Json, WireError};
+use crate::storage_io::{AppendFile, RealIo, StorageIo};
 use serde::Value;
-use std::fs::{File, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Magic + version tag opening every record line.
 const MAGIC: &str = "W1";
@@ -195,13 +195,29 @@ pub struct WalReplay {
 }
 
 /// An open, append-ready write-ahead log.
+///
+/// The log tracks its own logical length so a *partial* append — a
+/// write that failed after landing a prefix (EIO mid-write, ENOSPC,
+/// short write) — can be rolled back with a truncation. Without the
+/// rollback, garbage bytes would sit between intact records; a later
+/// successful append would land *after* them, and recovery's
+/// longest-valid-prefix scan would stop at the garbage, silently
+/// dropping acked records. When the rollback itself fails the log is
+/// marked dirty and every subsequent append retries the rollback
+/// first, refusing new records until the tail is clean again.
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    file: Box<dyn AppendFile>,
     path: PathBuf,
     policy: FsyncPolicy,
     appended: u64,
     fsyncs: u64,
+    /// Logical length of the intact log: every byte at or past this
+    /// offset is rollback debt, not data.
+    len: u64,
+    /// True when a failed append's partial bytes could not be truncated
+    /// away; cleared once a retry succeeds.
+    dirty: bool,
 }
 
 fn fnv64(bytes: &[u8]) -> u64 {
@@ -231,49 +247,94 @@ impl Wal {
         path: impl Into<PathBuf>,
         policy: FsyncPolicy,
     ) -> std::io::Result<(Wal, WalReplay)> {
+        Wal::open_with_io(path, policy, &RealIo::shared())
+    }
+
+    /// [`Wal::open`] against an explicit [`StorageIo`] — the hook the
+    /// fault-injecting and crash-simulating disks plug into.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the file cannot be read, created, or
+    /// truncated.
+    pub fn open_with_io(
+        path: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+        io: &Arc<dyn StorageIo>,
+    ) -> std::io::Result<(Wal, WalReplay)> {
         let path = path.into();
-        let bytes = match std::fs::read(&path) {
+        let bytes = match io.read_file(&path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
             Err(e) => return Err(e),
         };
         let (records, good_len) = scan(&bytes);
         let torn = good_len < bytes.len();
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut file = io.open_append(&path)?;
         if torn {
             // Drop the torn tail once, for good: the next open sees a
             // clean log ending at the last intact record.
-            file.set_len(good_len as u64)?;
-            file.sync_data()?;
+            file.truncate(good_len as u64)?;
         }
         let replay = WalReplay {
             records,
             torn_tail_dropped: torn,
             bytes_dropped: (bytes.len() - good_len) as u64,
         };
-        Ok((Wal { file, path, policy, appended: 0, fsyncs: 0 }, replay))
+        let wal =
+            Wal { file, path, policy, appended: 0, fsyncs: 0, len: good_len as u64, dirty: false };
+        Ok((wal, replay))
     }
 
     /// Appends one record (a single `write(2)`), then syncs per policy.
     /// Returns whether this append was fsynced.
     ///
+    /// A failed append rolls its partial bytes back out (see the type
+    /// docs), so the log never holds garbage between records: either
+    /// the whole record is in the log, or none of it is. A failed
+    /// *fsync* rolls the record back too — a record we cannot promise
+    /// is durable must not reach a state where its sequence number gets
+    /// reused by the next mutation.
+    ///
     /// # Errors
     ///
     /// [`std::io::Error`] when the write or sync fails; the caller must
-    /// answer `storage_error` and **not** ack the mutation.
+    /// not ack the mutation (the engine answers `read_only` with a
+    /// retry hint and flips to read-only mode until an append lands).
     pub fn append(&mut self, record: &WalRecord) -> std::io::Result<bool> {
+        if self.dirty {
+            // A previous rollback failed; clean the tail before letting
+            // anything new in, or the scan would stop at the garbage.
+            self.file.truncate(self.len)?;
+            self.dirty = false;
+        }
         let payload = serde_json::to_string(&Json(record.to_value()))
             .expect("record serialization is infallible");
         let line =
             format!("{MAGIC} {} {:016x} {payload}\n", payload.len(), fnv64(payload.as_bytes()));
-        self.file.write_all(line.as_bytes())?;
-        self.appended += 1;
+        if let Err(e) = self.file.append(line.as_bytes()) {
+            self.rollback();
+            return Err(e);
+        }
         let synced = self.policy == FsyncPolicy::Always;
         if synced {
-            self.file.sync_data()?;
+            if let Err(e) = self.file.sync() {
+                self.rollback();
+                return Err(e);
+            }
             self.fsyncs += 1;
         }
+        self.len += line.len() as u64;
+        self.appended += 1;
         Ok(synced)
+    }
+
+    /// Truncates a failed append's partial bytes back out; a failed
+    /// truncation marks the log dirty for the next append to retry.
+    fn rollback(&mut self) {
+        if self.file.truncate(self.len).is_err() {
+            self.dirty = true;
+        }
     }
 
     /// Forces everything appended so far to stable storage, regardless
@@ -283,7 +344,7 @@ impl Wal {
     ///
     /// [`std::io::Error`] when the sync fails.
     pub fn sync(&mut self) -> std::io::Result<()> {
-        self.file.sync_data()?;
+        self.file.sync()?;
         self.fsyncs += 1;
         Ok(())
     }
@@ -294,8 +355,9 @@ impl Wal {
     ///
     /// [`std::io::Error`] when the truncation fails.
     pub fn truncate(&mut self) -> std::io::Result<()> {
-        self.file.set_len(0)?;
-        self.file.sync_data()?;
+        self.file.truncate(0)?;
+        self.len = 0;
+        self.dirty = false;
         Ok(())
     }
 
@@ -530,6 +592,29 @@ mod tests {
         assert_eq!(replay.records[0].seq, 2);
         assert!(replay.torn_tail_dropped);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_appends_roll_their_partial_bytes_back_out() {
+        use crate::storage_io::{FaultyIo, SimIo};
+        let sim = SimIo::new();
+        let faulty =
+            FaultyIo::parse(Arc::new(sim.clone()), "seed=3,short_write=1.0,short_write_cap=1")
+                .unwrap();
+        let io: Arc<dyn StorageIo> = Arc::new(faulty);
+        let path = PathBuf::from("/wal.log");
+        let (mut wal, _) = Wal::open_with_io(&path, FsyncPolicy::Never, &io).unwrap();
+        let records = sample_records();
+        let err = wal.append(&records[0]).unwrap_err();
+        assert!(err.to_string().contains("short write"), "{err}");
+        // The partial prefix was rolled back: retries land cleanly and
+        // the log holds exactly the acked records, no garbage between.
+        wal.append(&records[0]).unwrap();
+        wal.append(&records[1]).unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open_with_io(&path, FsyncPolicy::Never, &io).unwrap();
+        assert_eq!(replay.records, records[..2]);
+        assert!(!replay.torn_tail_dropped, "rollback must leave nothing to truncate");
     }
 
     #[test]
