@@ -55,6 +55,7 @@ pub mod monte_carlo;
 pub mod plan;
 pub mod propagation;
 pub mod templates;
+pub mod trace;
 
 pub use error::CaseError;
 pub use graph::{Case, Combination, NodeId, NodeKind, CASE_SCHEMA_VERSION};
@@ -64,3 +65,4 @@ pub use ir::{CaseIr, IrKind};
 pub use monte_carlo::{MonteCarlo, MonteCarloReport};
 pub use plan::EvalPlan;
 pub use propagation::{ConfidenceReport, NodeConfidence};
+pub use trace::{NoTracer, Tracer};

@@ -1,0 +1,85 @@
+//! Phase hooks for external tracing of the evaluation kernels.
+//!
+//! The service layers a request-scoped span tree over the assurance
+//! kernels (plan compilation, batch propagation, the Monte-Carlo chunk
+//! loop, dirty-spine edits), but this crate must not depend on the
+//! service — so the kernels report *phases* through the [`Tracer`]
+//! trait instead. Every hook method has an empty `#[inline]` default,
+//! and [`NoTracer`] overrides nothing: with tracing disabled the traced
+//! entry points compile down to the untraced ones plus two monotonic
+//! clock reads per phase, and the hook call itself costs one branch at
+//! most (usually zero — it inlines away).
+//!
+//! Phases are reported *after the fact* from the coordinating thread —
+//! `phase("mc_sample_loop", elapsed)` fires once the parallel sampling
+//! loop has joined, never from inside a scoped worker — so a tracer
+//! backed by thread-local state sees every phase of a request on the
+//! thread that issued it.
+
+use std::time::Duration;
+
+/// Receiver for kernel phase reports.
+///
+/// Implementations must be cheap: hooks fire on the request hot path.
+/// All methods default to no-ops so tracers override only what they
+/// record.
+pub trait Tracer {
+    /// One completed kernel phase: `name` is a stable identifier
+    /// (`"plan_compile"`, `"mc_sample_loop"`, …), `elapsed` its
+    /// wall-clock duration, measured on the calling thread.
+    #[inline]
+    fn phase(&self, name: &'static str, elapsed: Duration) {
+        let _ = (name, elapsed);
+    }
+
+    /// A named quantity observed during the surrounding phase (samples
+    /// drawn, lanes propagated, spine nodes recomputed).
+    #[inline]
+    fn count(&self, name: &'static str, n: u64) {
+        let _ = (name, n);
+    }
+}
+
+/// The disabled tracer: every hook keeps its empty default, so traced
+/// entry points instantiated with `&NoTracer` optimize down to their
+/// untraced twins.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTracer;
+
+impl Tracer for NoTracer {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[derive(Default)]
+    struct Recorder {
+        phases: RefCell<Vec<(&'static str, Duration)>>,
+        counts: RefCell<Vec<(&'static str, u64)>>,
+    }
+
+    impl Tracer for Recorder {
+        fn phase(&self, name: &'static str, elapsed: Duration) {
+            self.phases.borrow_mut().push((name, elapsed));
+        }
+        fn count(&self, name: &'static str, n: u64) {
+            self.counts.borrow_mut().push((name, n));
+        }
+    }
+
+    #[test]
+    fn no_tracer_accepts_everything() {
+        NoTracer.phase("x", Duration::from_micros(1));
+        NoTracer.count("y", 7);
+    }
+
+    #[test]
+    fn custom_tracer_sees_reports() {
+        let rec = Recorder::default();
+        rec.phase("plan_compile", Duration::from_micros(3));
+        rec.count("mc_samples", 1024);
+        assert_eq!(rec.phases.borrow().as_slice(), &[("plan_compile", Duration::from_micros(3))]);
+        assert_eq!(rec.counts.borrow().as_slice(), &[("mc_samples", 1024)]);
+    }
+}

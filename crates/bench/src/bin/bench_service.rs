@@ -29,6 +29,11 @@
 //! ratio against the thread-per-connection default cap of 128
 //! connections the earlier artefacts were recorded under.
 //!
+//! An observability scenario prices the tracing subsystem: the same
+//! single-client eval loop is timed with per-request tracing on (the
+//! default) and off, and the `observability` block reports eval p99
+//! and req/s for both plus the relative p99 overhead.
+//!
 //! A durability scenario measures what the write-ahead log
 //! costs and what recovery buys. The standard request mix is re-run
 //! against a durable engine at `--fsync never` and compared to the
@@ -242,6 +247,61 @@ fn concurrency_run(workers: usize, conns: usize) -> Value {
         ("capacity_ratio".to_string(), Value::F64(capacity_ratio)),
         ("eval_latency_solo".to_string(), latency_value(&solo)),
         ("eval_latency_at_capacity".to_string(), latency_value(&at_capacity)),
+    ])
+}
+
+/// The observability scenario: what per-request tracing costs on the
+/// hot path. One client's eval loop is timed twice against otherwise
+/// identical servers — tracing on (the default) and tracing off
+/// (`--no-trace`) — and the block reports eval p99 and req/s for both
+/// plus the relative p99 overhead, the number the "within 2%"
+/// acceptance bound reads.
+fn observability_run(workers: usize) -> Value {
+    const WARMUP: usize = 100;
+    const MEASURED: usize = 2000;
+    let run = |enabled: bool| -> (Vec<u64>, f64) {
+        let engine = Arc::new(Engine::new(16));
+        engine.telemetry().set_enabled(enabled);
+        let server =
+            Server::bind(Arc::clone(&engine), ("127.0.0.1", 0), workers).expect("bind localhost");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        client
+            .round_trip(&load_line("reactor", &demo_case("reactor protection", 0.95, 0.90)))
+            .expect("load reactor");
+        let _ = eval_latencies(&mut client, WARMUP);
+        let started = Instant::now();
+        let samples = eval_latencies(&mut client, MEASURED);
+        let rps = MEASURED as f64 / started.elapsed().as_secs_f64();
+        server.shutdown();
+        (samples, rps)
+    };
+    eprintln!("observability scenario: {MEASURED} eval(s), tracing off vs on…");
+    let (off, off_rps) = run(false);
+    let (on, on_rps) = run(true);
+    let off_p99 = quantile_us(&off, 0.99);
+    let on_p99 = quantile_us(&on, 0.99);
+    let overhead_percent =
+        if off_p99 == 0 { 0.0 } else { (on_p99 as f64 / off_p99 as f64 - 1.0) * 100.0 };
+    eprintln!(
+        "  eval p99: {off_p99}µs off, {on_p99}µs on ({overhead_percent:+.1}%); \
+         req/s: {off_rps:.0} off, {on_rps:.0} on"
+    );
+    Value::Object(vec![
+        (
+            "tracing_off".to_string(),
+            Value::Object(vec![
+                ("eval_latency".to_string(), latency_value(&off)),
+                ("requests_per_second".to_string(), Value::F64(off_rps)),
+            ]),
+        ),
+        (
+            "tracing_on".to_string(),
+            Value::Object(vec![
+                ("eval_latency".to_string(), latency_value(&on)),
+                ("requests_per_second".to_string(), Value::F64(on_rps)),
+            ]),
+        ),
+        ("p99_overhead_percent".to_string(), Value::F64(overhead_percent)),
     ])
 }
 
@@ -756,6 +816,7 @@ fn main() {
     }
 
     let concurrency = concurrency_run(workers, conns);
+    let observability = observability_run(workers);
     let faulted = faulted_run(clients, requests, workers, &faults);
     let durability = durability_run(clients, requests, workers, throughput);
     let storage = storage_faults_run(clients, requests, workers, &storage_faults);
@@ -778,6 +839,7 @@ fn main() {
         ("per_op".to_string(), Value::Object(per_op)),
         ("plan_cache".to_string(), cache.clone()),
         ("concurrency".to_string(), concurrency),
+        ("observability".to_string(), observability),
         ("faulted".to_string(), faulted),
         ("durability".to_string(), durability),
         ("storage_faults".to_string(), storage),

@@ -11,6 +11,7 @@
 //!                 [--deadline MS] [--drain MS] [--faults SPEC]
 //!                 [--data-dir PATH] [--fsync always|never]
 //!                 [--snapshot-every N] [--storage-faults SPEC]
+//!                 [--trace-dir DIR] [--slow-ms MS] [--no-trace]
 //! ```
 //!
 //! `serve` speaks newline-delimited JSON (see the `depcase-service`
@@ -41,6 +42,17 @@
 //! bit-rot — from a spec like `seed=42,eio=0.02,bitrot=0.01` (see
 //! [`depcase_service::StorageFaultPlan`]): a chaos rig for exercising
 //! read-only degradation and the `scrub` repair pipeline end to end.
+//!
+//! Every request is traced end to end (queue wait, parse, engine
+//! phases, WAL append/fsync, reply flush); recent traces and the
+//! per-op latency decomposition come back over the wire via the
+//! `trace` op, and the `metrics` op exposes the unified registry
+//! (JSON or Prometheus text). `--trace-dir DIR` additionally streams
+//! every completed trace into rotating Chrome trace-event JSON files
+//! that load directly in Perfetto or `chrome://tracing`. `--slow-ms
+//! MS` logs any request slower than the threshold to stderr with its
+//! full span tree, and `--no-trace` turns per-request tracing off
+//! (the metrics registry stays live).
 
 use depcase::assurance::{importance, templates, Case};
 use depcase_service::{
@@ -66,6 +78,9 @@ fn serve(args: &[String]) -> Result<(), String> {
     let mut config = ServerConfig::default();
     let mut durability: Option<DurabilityConfig> = None;
     let mut storage_faults: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
+    let mut slow_ms: Option<u64> = None;
+    let mut no_trace = false;
     let mut it = args.iter();
     let int_flag = |name: &str, it: &mut std::slice::Iter<String>| -> Result<u64, String> {
         it.next()
@@ -119,6 +134,11 @@ fn serve(args: &[String]) -> Result<(), String> {
                     .ok_or("--storage-faults needs a spec like seed=42,eio=0.02,bitrot=0.01")?;
                 storage_faults = Some(spec.clone());
             }
+            "--trace-dir" => {
+                trace_dir = Some(it.next().ok_or("--trace-dir needs a directory path")?.clone());
+            }
+            "--slow-ms" => slow_ms = Some(int_flag("--slow-ms", &mut it)?),
+            "--no-trace" => no_trace = true,
             other => return Err(format!("unknown serve flag `{other}`")),
         }
     }
@@ -141,12 +161,27 @@ fn serve(args: &[String]) -> Result<(), String> {
             Engine::new(cache)
         }
     });
+    if no_trace {
+        if trace_dir.is_some() || slow_ms.is_some() {
+            return Err("--no-trace conflicts with --trace-dir/--slow-ms".into());
+        }
+        engine.telemetry().set_enabled(false);
+    }
+    if let Some(dir) = &trace_dir {
+        engine
+            .telemetry()
+            .set_trace_dir(dir)
+            .map_err(|e| format!("opening trace dir {dir}: {e}"))?;
+    }
+    if let Some(ms) = slow_ms {
+        engine.telemetry().set_slow_ms(ms);
+    }
     if stdio {
         serve_stdio_with(&engine, &config);
         return Ok(());
     }
     eprintln!(
-        "case_tool serve: {} io, {} workers, plan cache {cache}, queue {}, conns {}{}{}{}{}",
+        "case_tool serve: {} io, {} workers, plan cache {cache}, queue {}, conns {}{}{}{}{}{}{}{}",
         match config.io {
             IoModel::Epoll => "epoll",
             IoModel::Threads => "threads",
@@ -169,6 +204,15 @@ fn serve(args: &[String]) -> Result<(), String> {
             None => String::new(),
         },
         if storage_faults.is_some() { ", storage fault injection ON" } else { "" },
+        if no_trace { ", tracing OFF" } else { "" },
+        match &trace_dir {
+            Some(dir) => format!(", chrome traces to {dir}"),
+            None => String::new(),
+        },
+        match slow_ms {
+            Some(ms) => format!(", slow log over {ms} ms"),
+            None => String::new(),
+        },
     );
     let server =
         Server::start(Arc::clone(&engine), addr.as_str(), config).map_err(|e| e.to_string())?;
@@ -237,7 +281,7 @@ fn run() -> Result<(), String> {
         }
         Some("serve") => serve(&args[1..]),
         _ => Err(
-            "usage: case_tool {eval|dot|rank} <case.json> | case_tool demo | case_tool serve [--addr HOST:PORT|--stdio] [--io epoll|threads] [--workers N] [--cache N] [--queue N] [--conns N] [--deadline MS] [--drain MS] [--faults SPEC] [--data-dir PATH] [--fsync always|never] [--snapshot-every N] [--storage-faults SPEC]"
+            "usage: case_tool {eval|dot|rank} <case.json> | case_tool demo | case_tool serve [--addr HOST:PORT|--stdio] [--io epoll|threads] [--workers N] [--cache N] [--queue N] [--conns N] [--deadline MS] [--drain MS] [--faults SPEC] [--data-dir PATH] [--fsync always|never] [--snapshot-every N] [--storage-faults SPEC] [--trace-dir DIR] [--slow-ms MS] [--no-trace]"
                 .into(),
         ),
     }

@@ -107,6 +107,49 @@ impl Client {
         }
     }
 
+    /// Fetches the server's recent span trees plus the per-op latency
+    /// decomposition (the `trace` op). `limit` caps how many trace
+    /// trees come back, newest first.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as in [`Client::round_trip`]; the wire error
+    /// (e.g. `bad_request` for an out-of-range limit) otherwise.
+    pub fn trace(&mut self, limit: usize) -> depcase::Result<Value> {
+        let request = Value::Object(vec![
+            ("op".to_string(), Value::Str("trace".to_string())),
+            ("limit".to_string(), Value::U64(limit as u64)),
+        ]);
+        let line = serde_json::to_string(&Json(request))
+            .map_err(|e| depcase::Error::service("bad_request", format!("unserializable: {e}")))?;
+        self.round_trip_value(&line)
+    }
+
+    /// Fetches the unified metrics registry as structured JSON (the
+    /// `metrics` op without a format override).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as in [`Client::round_trip`]; the wire error
+    /// otherwise.
+    pub fn metrics(&mut self) -> depcase::Result<Value> {
+        self.round_trip_value(r#"{"op":"metrics"}"#)
+    }
+
+    /// Fetches the metrics registry rendered as Prometheus text
+    /// exposition, ready to serve to a scraper.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as in [`Client::round_trip`]; `bad_response`
+    /// when the reply does not carry the expected `text` field.
+    pub fn metrics_prometheus(&mut self) -> depcase::Result<String> {
+        let value = self.round_trip_value(r#"{"op":"metrics","format":"prometheus"}"#)?;
+        value.get("text").and_then(Value::as_str).map(str::to_string).ok_or_else(|| {
+            depcase::Error::service("bad_response", "metrics reply without a text field")
+        })
+    }
+
     /// Evaluates many cases in one wire exchange: the names are packed
     /// into `"v":2` `batch` requests ([`MAX_BATCH_ITEMS`] per line, so
     /// any number of names works), sent with **one write syscall per

@@ -37,6 +37,7 @@ use crate::protocol::{
 use crate::snapshot::{Manifest, ManifestCase, Store, VersionRecord};
 use crate::stats::{RobustnessCounters, RobustnessEvent, ServiceStats};
 use crate::storage_io::{RealIo, StorageIo};
+use crate::telemetry::{self, MetricsRegistry, Telemetry, TlsTracer};
 use crate::wal::{FsyncPolicy, Wal, WalOp, WalRecord};
 use depcase::assurance::{
     importance, Case, ConfidenceReport, EditStats, EvalPlan, Incremental, MonteCarlo, NodeId,
@@ -278,6 +279,8 @@ pub struct Engine {
     read_only: AtomicBool,
     /// Objects and names the scrub/repair pipeline has quarantined.
     corrupt: Mutex<CorruptState>,
+    /// Tracing, latency decomposition, and the metrics registry.
+    telemetry: Arc<Telemetry>,
 }
 
 impl Engine {
@@ -295,7 +298,15 @@ impl Engine {
             coalesced: AtomicU64::new(0),
             read_only: AtomicBool::new(false),
             corrupt: Mutex::new(CorruptState::default()),
+            telemetry: Arc::new(Telemetry::new()),
         }
+    }
+
+    /// The engine's observability hub: per-request tracing, latency
+    /// decomposition, the slow-request log, and the metrics registry.
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Opens a durable engine: recovers the registry from the snapshot
@@ -642,6 +653,8 @@ impl Engine {
                 self.bands(name, *pfd_bound, mode.to_lib(), deadline)
             }
             Request::Stats | Request::Shutdown => Ok(self.stats_value()),
+            Request::Trace { limit } => Ok(self.telemetry.trace_value(*limit)),
+            Request::Metrics { prometheus } => Ok(self.metrics_value(*prometheus)),
             Request::Scrub => self.scrub(),
             Request::Batch { items } => self.batch(items, deadline),
         }
@@ -662,7 +675,86 @@ impl Engine {
             let cache = lock_unpoisoned(&self.cache);
             (cache.counters(), cache.len(), cache.capacity())
         };
-        lock_unpoisoned(&self.stats).to_value(counters, entries, capacity)
+        let mut value = lock_unpoisoned(&self.stats).to_value(counters, entries, capacity);
+        if let Value::Object(fields) = &mut value {
+            fields.push(("build".to_string(), self.build_value()));
+        }
+        value
+    }
+
+    /// The `stats` response's `build` block: what is running, speaking
+    /// which schema, over which transport, for how long.
+    fn build_value(&self) -> Value {
+        Value::Object(vec![
+            ("version".to_string(), Value::Str(env!("CARGO_PKG_VERSION").to_string())),
+            (
+                "case_schema_version".to_string(),
+                Value::U64(depcase::assurance::CASE_SCHEMA_VERSION),
+            ),
+            ("uptime_seconds".to_string(), Value::U64(self.telemetry.uptime_seconds())),
+            ("transport".to_string(), Value::Str(self.telemetry.transport())),
+        ])
+    }
+
+    /// The `metrics` op: assembles the unified registry from the stats
+    /// snapshot, the cache counters, and the telemetry decomposition,
+    /// rendered as JSON or (`prometheus: true`) wrapped text exposition.
+    fn metrics_value(&self, prometheus: bool) -> Value {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge(
+            "depcase_build_info",
+            "Build metadata carried as labels; value is always 1",
+            &[
+                ("version", env!("CARGO_PKG_VERSION").to_string()),
+                ("case_schema_version", depcase::assurance::CASE_SCHEMA_VERSION.to_string()),
+                ("transport", self.telemetry.transport()),
+            ],
+            1.0,
+        );
+        {
+            let (counters, entries, capacity) = {
+                let cache = lock_unpoisoned(&self.cache);
+                (cache.counters(), cache.len(), cache.capacity())
+            };
+            reg.counter(
+                "depcase_plan_cache_hits_total",
+                "Plan-cache lookups that hit",
+                &[],
+                counters.hits,
+            );
+            reg.counter(
+                "depcase_plan_cache_misses_total",
+                "Plan-cache lookups that missed",
+                &[],
+                counters.misses,
+            );
+            reg.counter(
+                "depcase_plan_cache_evictions_total",
+                "Compiled cases displaced by capacity",
+                &[],
+                counters.evictions,
+            );
+            reg.gauge(
+                "depcase_plan_cache_entries",
+                "Compiled cases currently cached",
+                &[],
+                entries as f64,
+            );
+            reg.gauge("depcase_plan_cache_capacity", "Plan-cache capacity", &[], capacity as f64);
+        }
+        reg.counter(
+            "depcase_mc_coalesced_joins_total",
+            "Monte-Carlo requests answered by joining an identical in-flight run",
+            &[],
+            self.coalesced.load(Ordering::Relaxed),
+        );
+        lock_unpoisoned(&self.stats).collect_metrics(&mut reg);
+        self.telemetry.collect_metrics(&mut reg);
+        if prometheus {
+            Value::Object(vec![("text".to_string(), Value::Str(reg.prometheus_text()))])
+        } else {
+            reg.to_value()
+        }
     }
 
     /// Cache counters alone (for tests and the bench harness).
@@ -743,7 +835,7 @@ impl Engine {
         lock_unpoisoned(&self.corrupt).names.remove(name);
         if let Some(d) = durability.as_mut() {
             if d.snapshot_every > 0 && d.since_snapshot >= d.snapshot_every {
-                if let Err(e) = self.write_snapshot(d) {
+                if let Err(e) = telemetry::with_span("snapshot_write", || self.write_snapshot(d)) {
                     // The mutation is already durable in the WAL; a
                     // failed snapshot costs replay time, not data.
                     eprintln!("depcase-service: snapshot failed (will retry later): {e}");
@@ -943,10 +1035,12 @@ impl Engine {
             self.batch_span(&items[i..end], &mut answers[i..end], deadline, started);
             i = end;
         }
-        let rendered: Vec<Value> = answers
-            .into_iter()
-            .map(|a| a.expect("every batch item is answered").to_item_value())
-            .collect();
+        let rendered: Vec<Value> = telemetry::with_span("batch_assembly", || {
+            answers
+                .into_iter()
+                .map(|a| a.expect("every batch item is answered").to_item_value())
+                .collect()
+        });
         Ok(Value::Object(vec![("items".to_string(), Value::Array(rendered))]))
     }
 
@@ -1058,7 +1152,7 @@ impl Engine {
                 continue;
             }
             let plans: Vec<&EvalPlan> = group.iter().map(|&p| &cold[p].2).collect();
-            match EvalPlan::propagate_batch(&plans) {
+            match EvalPlan::propagate_batch_traced(&plans, &TlsTracer) {
                 Ok(reports) => {
                     for (&p, report) in group.iter().zip(&reports) {
                         let (entry, idxs, _) = &cold[p];
@@ -1262,10 +1356,10 @@ impl Engine {
         // bit-identical to the unpolled path.
         let report = match deadline {
             None => runner
-                .run_plan(&compiled.plan)
+                .run_plan_traced(&compiled.plan, &TlsTracer)
                 .map_err(|e| WireError::from(depcase::Error::from(e)))?,
             Some(d) => runner
-                .run_plan_until(&compiled.plan, &move || Instant::now() >= d)
+                .run_plan_until_traced(&compiled.plan, &move || Instant::now() >= d, &TlsTracer)
                 .map_err(|e| WireError::from(depcase::Error::from(e)))?
                 .ok_or_else(|| {
                     WireError::new(
@@ -1433,9 +1527,11 @@ fn compile(case: &Case) -> Result<CompiledCase, WireError> {
     // One incremental session yields all three artefacts; its plan and
     // report are bit-identical to `EvalPlan::compile` + `propagate`
     // (both run the same lowering and combination kernel).
-    let session =
-        Incremental::new(case.clone()).map_err(|e| WireError::from(depcase::Error::from(e)))?;
-    Ok(CompiledCase { plan: session.plan().clone(), report: session.report(), session })
+    telemetry::with_span("plan_compile", || {
+        let session = Incremental::new_traced(case.clone(), &TlsTracer)
+            .map_err(|e| WireError::from(depcase::Error::from(e)))?;
+        Ok(CompiledCase { plan: session.plan().clone(), report: session.report(), session })
+    })
 }
 
 /// Applies one wire edit action to an incremental session. Shared by
@@ -1446,18 +1542,19 @@ fn apply_action(session: &mut Incremental, action: &EditAction) -> Result<EditSt
         EditAction::SetConfidence { node, confidence } => {
             let id = resolve(session.case(), node)?;
             session
-                .set_confidence(id, *confidence)
+                .set_confidence_traced(id, *confidence, &TlsTracer)
                 .map_err(|e| WireError::from(depcase::Error::from(e)))
         }
         EditAction::AddLeaf { parent, node, statement, kind, confidence } => {
             let p = resolve(session.case(), parent)?;
             session
-                .add_leaf(
+                .add_leaf_traced(
                     p,
                     node.clone(),
                     statement.clone().unwrap_or_default(),
                     kind.to_lib(),
                     *confidence,
+                    &TlsTracer,
                 )
                 .map(|(_, delta)| delta)
                 .map_err(|e| WireError::from(depcase::Error::from(e)))
@@ -1466,7 +1563,9 @@ fn apply_action(session: &mut Incremental, action: &EditAction) -> Result<EditSt
             let p = resolve(session.case(), parent)?;
             let f = resolve(session.case(), from)?;
             let t = resolve(session.case(), to)?;
-            session.retarget(p, f, t).map_err(|e| WireError::from(depcase::Error::from(e)))
+            session
+                .retarget_traced(p, f, t, &TlsTracer)
+                .map_err(|e| WireError::from(depcase::Error::from(e)))
         }
     }
 }

@@ -150,6 +150,10 @@ impl Drop for Epoll {
 #[derive(Debug, Default)]
 pub(crate) struct ReplySlot {
     pub(crate) response: Mutex<Option<String>>,
+    /// The request's trace, still open in its `reply_flush` span; the
+    /// I/O thread finalizes it once the response bytes have actually
+    /// been written to the socket (always set before `response`).
+    pub(crate) trace: Mutex<Option<Box<crate::trace::TraceBuilder>>>,
 }
 
 /// Wakes the I/O thread when a reply slot fills: the completed
@@ -208,6 +212,11 @@ struct Conn {
     /// Replies in request-arrival order; the front flushes first, so
     /// out-of-order worker completions cannot reorder responses.
     pending: VecDeque<Arc<ReplySlot>>,
+    /// Traces of replies sitting in `write_buf`, each keyed by the
+    /// buffer offset its response ends at; finalized once `written`
+    /// passes that watermark — i.e. once the bytes are with the kernel,
+    /// so `reply_flush` covers real socket time, not just queueing.
+    trace_marks: VecDeque<(usize, Box<crate::trace::TraceBuilder>)>,
     last_activity: Instant,
     /// Peer closed its sending half; flush what we owe, then drop.
     peer_closed: bool,
@@ -223,6 +232,7 @@ impl Conn {
             write_buf: Vec::new(),
             written: 0,
             pending: VecDeque::new(),
+            trace_marks: VecDeque::new(),
             last_activity: Instant::now(),
             peer_closed: false,
         }
@@ -275,7 +285,7 @@ pub(crate) fn run(listener: &TcpListener, shared: &Arc<Shared>) -> io::Result<()
                     drain_wake(&wake_rx);
                     for token in notifier.take_dirty() {
                         let Some(conn) = conns.get_mut(&token) else { continue };
-                        if matches!(flush(conn), ConnState::Close) {
+                        if matches!(flush(conn, shared), ConnState::Close) {
                             close_conn(&ep, &mut conns, token);
                         }
                     }
@@ -293,7 +303,7 @@ pub(crate) fn run(listener: &TcpListener, shared: &Arc<Shared>) -> io::Result<()
                             state = read_ready(conn, token, shared, &notifier);
                         }
                         if matches!(state, ConnState::Keep) && mask & sys::EPOLLOUT != 0 {
-                            state = flush(conn);
+                            state = flush(conn, shared);
                         }
                     }
                     if matches!(state, ConnState::Close) {
@@ -332,7 +342,7 @@ pub(crate) fn run(listener: &TcpListener, shared: &Arc<Shared>) -> io::Result<()
             // in this iteration's batch; opportunistically flush.
             for token in notifier.take_dirty() {
                 if let Some(conn) = conns.get_mut(&token) {
-                    if matches!(flush(conn), ConnState::Close) {
+                    if matches!(flush(conn, shared), ConnState::Close) {
                         close_conn(&ep, &mut conns, token);
                     }
                 }
@@ -422,7 +432,7 @@ fn read_ready(
         return ConnState::Close;
     }
     // EOF still owes the client every response already in flight.
-    flush(conn)
+    flush(conn, shared)
 }
 
 /// Splits the read buffer into NDJSON lines and dispatches each one.
@@ -502,7 +512,7 @@ fn dispatch_line(
             ),
         )
         .with_retry_after(shared.config.retry_after_ms);
-        job.reply.send(protocol::err_line(&protocol::recover_id(&job.line), &err));
+        job.reply.send(protocol::err_line(&protocol::recover_id(&job.line), &err), None);
         shared.engine.note_rejection(RobustnessEvent::Overloaded, job.accepted.elapsed());
     }
     ConnState::Keep
@@ -525,12 +535,16 @@ fn answer_too_large(conn: &mut Conn, shared: &Arc<Shared>) {
 /// contract) into the write buffer and writes until the socket would
 /// block. Closing happens when the peer is gone and nothing is owed,
 /// when the write buffer outgrows its bound, or on a socket error.
-fn flush(conn: &mut Conn) -> ConnState {
+fn flush(conn: &mut Conn, shared: &Arc<Shared>) -> ConnState {
     while let Some(front) = conn.pending.front() {
         let Some(response) = lock_unpoisoned(&front.response).take() else { break };
+        let trace = lock_unpoisoned(&front.trace).take();
         conn.pending.pop_front();
         conn.write_buf.extend_from_slice(response.as_bytes());
         conn.write_buf.push(b'\n');
+        if let Some(tb) = trace {
+            conn.trace_marks.push_back((conn.write_buf.len(), tb));
+        }
     }
     while conn.written < conn.write_buf.len() {
         match (&mut &conn.stream).write(&conn.write_buf[conn.written..]) {
@@ -543,6 +557,13 @@ fn flush(conn: &mut Conn) -> ConnState {
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(_) => return ConnState::Close,
         }
+    }
+    // Every response whose last byte the kernel has taken closes its
+    // `reply_flush` span here — a trace's total therefore covers the
+    // request's whole life, accept to socket hand-off.
+    while conn.trace_marks.front().is_some_and(|(end, _)| *end <= conn.written) {
+        let (_, tb) = conn.trace_marks.pop_front().expect("front exists");
+        shared.engine.telemetry().finish(*tb);
     }
     if conn.written == conn.write_buf.len() {
         conn.write_buf.clear();

@@ -70,6 +70,8 @@ pub mod server;
 pub mod snapshot;
 pub mod stats;
 pub mod storage_io;
+pub mod telemetry;
+pub mod trace;
 pub mod wal;
 
 pub use cache::{CacheCounters, CompiledCase, PlanCache};
@@ -86,6 +88,8 @@ pub use storage_io::{
     AppendFile, CrashImage, FaultyIo, RealIo, SimIo, StorageFaultPlan, StorageInjectedCounts,
     StorageIo, TailVariant,
 };
+pub use telemetry::{MetricsRegistry, Telemetry, TlsTracer};
+pub use trace::{SpanRecord, Trace, TraceBuilder, TraceRing};
 pub use wal::FsyncPolicy;
 
 /// Locks a mutex, recovering the guard from a poisoned lock.

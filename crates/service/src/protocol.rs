@@ -32,6 +32,15 @@
 //! content-hash check and could not be repaired; it is quarantined,
 //! never served silently).
 //!
+//! Observability rides the same grammar: `stats` snapshots per-op
+//! latency (with interpolated p50/p90/p99/p999 summaries next to the
+//! raw log2-µs buckets) and a `build` block (version, schema, uptime,
+//! transport); `trace` returns the most recent traced requests as span
+//! trees plus the per-op latency decomposition (queue wait vs parse vs
+//! engine phases vs fsync vs reply flush); `metrics` dumps the unified
+//! metrics registry as JSON, or as Prometheus text exposition with
+//! `"format":"prometheus"`.
+//!
 //! The parser is strict about request framing: a line must hold exactly
 //! one JSON object — trailing garbage after the object and duplicate
 //! keys anywhere in it are rejected as `bad_request`, with whatever `id`
@@ -506,6 +515,18 @@ pub enum Request {
     },
     /// Observability snapshot: per-op latency, cache counters.
     Stats,
+    /// The most recent traced requests as span trees, plus the per-op
+    /// latency decomposition accumulated since startup.
+    Trace {
+        /// Most traces to return (clamped to the ring capacity).
+        limit: usize,
+    },
+    /// The unified metrics registry — every counter, gauge, and
+    /// histogram the service tracks.
+    Metrics {
+        /// `true` renders Prometheus text exposition instead of JSON.
+        prometheus: bool,
+    },
     /// Re-hash every stored snapshot object against its content
     /// address, quarantining and repairing corrupt ones; the response
     /// reports what was checked, repaired, and quarantined (durable
@@ -758,6 +779,26 @@ fn parse_op(
             Request::Bands { name: str_field(obj, "name")?, pfd_bound, mode }
         }
         "stats" => Request::Stats,
+        "trace" => Request::Trace {
+            limit: usize::try_from(opt_u64(
+                obj,
+                "limit",
+                crate::telemetry::DEFAULT_TRACE_LIMIT as u64,
+            )?)
+            .map_err(|_| WireError::new(ErrorCode::BadRequest, "field `limit` too large"))?,
+        },
+        "metrics" => Request::Metrics {
+            prometheus: match opt_str_field(obj, "format")?.as_deref() {
+                None | Some("json") => false,
+                Some("prometheus") => true,
+                Some(other) => {
+                    return Err(WireError::new(
+                        ErrorCode::BadRequest,
+                        format!("unknown metrics format `{other}` (json|prometheus)"),
+                    ))
+                }
+            },
+        },
         "scrub" => Request::Scrub,
         "shutdown" => Request::Shutdown,
         other => return Err(WireError::new(ErrorCode::UnknownOp, format!("unknown op `{other}`"))),
@@ -832,6 +873,8 @@ impl Request {
             Request::Mc { .. } => "mc",
             Request::Bands { .. } => "bands",
             Request::Stats => "stats",
+            Request::Trace { .. } => "trace",
+            Request::Metrics { .. } => "metrics",
             Request::Scrub => "scrub",
             Request::Shutdown => "shutdown",
             Request::Batch { .. } => "batch",

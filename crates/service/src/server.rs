@@ -45,6 +45,8 @@ use crate::faults::FaultPlan;
 use crate::lock_unpoisoned;
 use crate::protocol::{self, ErrorCode, Request, Response, WireError};
 use crate::stats::RobustnessEvent;
+use crate::telemetry;
+use crate::trace::TraceBuilder;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -130,8 +132,10 @@ impl Default for ServerConfig {
 /// connection the epoll I/O thread is then woken to flush.
 pub(crate) enum Reply {
     /// Thread-per-connection: the connection's writer thread blocks on
-    /// the receiving end, preserving FIFO order via a slot queue.
-    Channel(mpsc::Sender<String>),
+    /// the receiving end, preserving FIFO order via a slot queue. The
+    /// trace rides along so the writer can close its `reply_flush`
+    /// span after the bytes actually reach the socket.
+    Channel(mpsc::Sender<(String, Option<Box<TraceBuilder>>)>),
     /// Readiness loop: deposit into the connection's FIFO slot and wake
     /// the I/O thread to flush it.
     Slot {
@@ -145,14 +149,19 @@ pub(crate) enum Reply {
 }
 
 impl Reply {
-    /// Delivers one response; a vanished recipient (client hung up) is
-    /// not an error.
-    pub(crate) fn send(&self, response: String) {
+    /// Delivers one response (and the request's trace, still open in
+    /// its `reply_flush` span — the transport finalizes it once the
+    /// bytes are handed to the socket); a vanished recipient (client
+    /// hung up) is not an error.
+    pub(crate) fn send(&self, response: String, trace: Option<Box<TraceBuilder>>) {
         match self {
             Reply::Channel(tx) => {
-                let _ = tx.send(response);
+                let _ = tx.send((response, trace));
             }
             Reply::Slot { slot, token, notifier } => {
+                // Trace first: the flusher pops a slot the moment it
+                // sees the response, so the trace must already be there.
+                *lock_unpoisoned(&slot.trace) = trace;
                 *lock_unpoisoned(&slot.response) = Some(response);
                 notifier.notify(*token);
             }
@@ -307,6 +316,10 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        engine.telemetry().set_transport(match config.io {
+            IoModel::Epoll => "epoll",
+            IoModel::Threads => "threads",
+        });
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             engine,
@@ -435,7 +448,7 @@ fn worker_loop(shared: &Shared) -> WorkerExit {
             shared.begin_shutdown();
         }
         // A vanished recipient means the client hung up; fine.
-        job.reply.send(outcome.response);
+        job.reply.send(outcome.response, outcome.trace);
         if outcome.panicked {
             // The response went out, but this worker's stack just
             // unwound through arbitrary engine code — retire it and let
@@ -473,12 +486,15 @@ fn supervise(
     }
 }
 
-/// Outcome of one request line: the response to write, plus whether the
-/// line requested shutdown or panicked its handler.
+/// Outcome of one request line: the response to write, whether the
+/// line requested shutdown or panicked its handler, and the request's
+/// trace — still open in its `reply_flush` span, finalized by the
+/// transport once the response bytes reach the client.
 struct LineOutcome {
     response: String,
     shutdown: bool,
     panicked: bool,
+    trace: Option<Box<TraceBuilder>>,
 }
 
 /// Parses and executes one request line with panic isolation, deadline
@@ -496,14 +512,29 @@ fn handle_line(
     line: &str,
     accepted: Instant,
 ) -> LineOutcome {
+    // Root phases are measured back to back — each `end` instant is the
+    // next `begin` — so their sum reconciles with the end-to-end total
+    // by construction (the ±5% invariant the integration tests pin).
+    let mut tb = engine.telemetry().start_trace(accepted);
+    if let Some(tb) = tb.as_mut() {
+        tb.begin_at("queue_wait", accepted);
+        tb.end();
+        tb.begin("parse");
+    }
     let envelope = match protocol::parse_request(line) {
         Ok(envelope) => envelope,
         Err((id, err)) => {
+            if let Some(tb) = tb.as_mut() {
+                tb.end();
+                tb.set_ok(false);
+                tb.begin("reply_flush");
+            }
             return LineOutcome {
                 response: protocol::err_line(&id, &err),
                 shutdown: false,
                 panicked: false,
-            }
+                trace: tb,
+            };
         }
     };
     let deadline = envelope
@@ -513,6 +544,19 @@ fn handle_line(
     let id = envelope.id;
     let version = envelope.version;
     let request = envelope.request;
+    if let Some(tb) = tb.as_mut() {
+        tb.end();
+        tb.set_op(request.op_name());
+        tb.begin("engine");
+    }
+    // The trace rides thread-local storage while the engine runs, so
+    // the layers below (plan cache, WAL, fsync, assurance kernels)
+    // record child spans without threading a tracer through every
+    // signature. A panicking handler leaves it in TLS; `take_current`
+    // recovers it either way.
+    if let Some(tb) = tb.take() {
+        telemetry::install(tb);
+    }
     let result = catch_unwind(AssertUnwindSafe(|| {
         if let Some(plan) = &config.faults {
             if let Some(delay) = plan.take_delay() {
@@ -522,11 +566,20 @@ fn handle_line(
         }
         engine.handle_deadline(&request, deadline)
     }));
+    let mut tb = telemetry::take_current();
+    if let Some(tb) = tb.as_mut() {
+        // `end_open`, not `end`: a panic may have left engine-internal
+        // child spans open on the stack.
+        tb.end_open();
+        tb.set_ok(matches!(&result, Ok(Ok(_))));
+        tb.begin("reply_flush");
+    }
     match result {
         Ok(outcome) => LineOutcome {
             response: Response::from(outcome).render(version, &id),
             shutdown: matches!(request, Request::Shutdown),
             panicked: false,
+            trace: tb,
         },
         Err(_panic) => {
             engine.note(RobustnessEvent::Panic);
@@ -539,6 +592,7 @@ fn handle_line(
                 response: Response::Err(err).render(version, &id),
                 shutdown: false,
                 panicked: true,
+                trace: tb,
             }
         }
     }
@@ -644,13 +698,20 @@ fn serve_connection(stream: &TcpStream, shared: &Shared) {
     }
 
     let Ok(write_half) = stream.try_clone() else { return };
-    let (order_tx, order_rx) = mpsc::channel::<mpsc::Receiver<String>>();
+    type ReplyRx = mpsc::Receiver<(String, Option<Box<TraceBuilder>>)>;
+    let (order_tx, order_rx) = mpsc::channel::<ReplyRx>();
+    let writer_engine = Arc::clone(&shared.engine);
     let writer_handle = thread::spawn(move || {
         let mut writer = BufWriter::new(write_half);
         while let Ok(slot) = order_rx.recv() {
-            let Ok(response) = slot.recv() else { break };
+            let Ok((response, trace)) = slot.recv() else { break };
             if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
                 break;
+            }
+            // The bytes are with the kernel: close `reply_flush` and
+            // publish the trace.
+            if let Some(tb) = trace {
+                writer_engine.telemetry().finish(*tb);
             }
         }
     });
@@ -686,7 +747,8 @@ fn serve_connection(stream: &TcpStream, shared: &Shared) {
                         ),
                     )
                     .with_retry_after(config.retry_after_ms);
-                    job.reply.send(protocol::err_line(&protocol::recover_id(&job.line), &err));
+                    job.reply
+                        .send(protocol::err_line(&protocol::recover_id(&job.line), &err), None);
                     shared
                         .engine
                         .note_rejection(RobustnessEvent::Overloaded, job.accepted.elapsed());
@@ -701,7 +763,7 @@ fn serve_connection(stream: &TcpStream, shared: &Shared) {
                     ErrorCode::RequestTooLarge,
                     format!("request line exceeds {} bytes", config.max_line_bytes),
                 );
-                let _ = reply_tx.send(protocol::err_line(&None, &err));
+                let _ = reply_tx.send((protocol::err_line(&None, &err), None));
                 shared.engine.note_rejection(RobustnessEvent::RequestTooLarge, rejected.elapsed());
             }
             LineRead::TimedOut => {
@@ -732,6 +794,7 @@ pub fn serve_stdio(engine: &Engine) {
 /// `internal_error` and the loop simply continues — there is no worker
 /// to respawn.
 pub fn serve_stdio_with(engine: &Engine, config: &ServerConfig) {
+    engine.telemetry().set_transport("stdio");
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut reader = stdin.lock();
@@ -744,9 +807,11 @@ pub fn serve_stdio_with(engine: &Engine, config: &ServerConfig) {
                 }
                 let outcome = handle_line(engine, config, &line, Instant::now());
                 let stop = outcome.shutdown;
-                if writeln!(writer, "{}", outcome.response).and_then(|()| writer.flush()).is_err()
-                    || stop
-                {
+                let wrote = writeln!(writer, "{}", outcome.response).and_then(|()| writer.flush());
+                if let Some(tb) = outcome.trace {
+                    engine.telemetry().finish(*tb);
+                }
+                if wrote.is_err() || stop {
                     break;
                 }
                 continue;

@@ -75,6 +75,82 @@ impl Histogram {
         self.max_us
     }
 
+    /// Quantile `q` with linear interpolation inside the containing
+    /// log2 bucket — the estimate clients used to re-derive by hand
+    /// from the raw buckets, now computed (and pinned by unit tests)
+    /// server-side.
+    ///
+    /// The rank `ceil(q·count)` lands in some bucket `(lo, hi]`; the
+    /// answer places it proportionally between the edges by its
+    /// position among that bucket's observations. Unlike
+    /// [`Histogram::quantile_us`] this is an *estimate* (the true
+    /// observation may sit anywhere in the bucket), but it is unbiased
+    /// across a uniform fill instead of pessimistic by up to 2×, and it
+    /// never exceeds the recorded maximum. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile_interpolated_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = if b == 0 { 0.0 } else { bucket_upper(b - 1) as f64 };
+                let hi = bucket_upper(b) as f64;
+                // Position of the rank among this bucket's n
+                // observations, in (0, 1].
+                let frac = (rank - seen) as f64 / n as f64;
+                return (lo + (hi - lo) * frac).min(self.max_us as f64);
+            }
+            seen += n;
+        }
+        self.max_us as f64
+    }
+
+    /// The non-empty buckets as `(upper_edge_us, count)` pairs in
+    /// ascending edge order — the raw log2-µs histogram the summary
+    /// quantiles are derived from.
+    #[must_use]
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (bucket_upper(b), n))
+            .collect()
+    }
+
+    /// Sum of all observations in µs (saturating).
+    #[must_use]
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// The `p50/p90/p99/p999` interpolated summary plus the raw
+    /// buckets, as the wire object every histogram now embeds.
+    #[must_use]
+    pub fn summary_value(&self) -> Value {
+        let quantiles = Value::Object(vec![
+            ("p50".to_string(), Value::F64(self.quantile_interpolated_us(0.50))),
+            ("p90".to_string(), Value::F64(self.quantile_interpolated_us(0.90))),
+            ("p99".to_string(), Value::F64(self.quantile_interpolated_us(0.99))),
+            ("p999".to_string(), Value::F64(self.quantile_interpolated_us(0.999))),
+        ]);
+        let buckets = self
+            .buckets()
+            .into_iter()
+            .map(|(le, n)| Value::Array(vec![Value::U64(le), Value::U64(n)]))
+            .collect();
+        Value::Object(vec![
+            ("quantiles".to_string(), quantiles),
+            ("buckets".to_string(), Value::Array(buckets)),
+        ])
+    }
+
     /// Mean latency in µs (0 when empty).
     #[must_use]
     pub fn mean_us(&self) -> f64 {
@@ -104,8 +180,9 @@ pub struct OpStats {
 }
 
 /// The operations tracked, in wire-spelling order.
-pub const TRACKED_OPS: [&str; 11] = [
-    "load", "eval", "history", "edit", "rank", "mc", "bands", "batch", "stats", "scrub", "shutdown",
+pub const TRACKED_OPS: [&str; 13] = [
+    "load", "eval", "history", "edit", "rank", "mc", "bands", "batch", "stats", "scrub", "trace",
+    "metrics", "shutdown",
 ];
 
 /// A fault-tolerance event worth counting — the service's own evidence
@@ -263,7 +340,7 @@ impl StorageHealthCounters {
 /// Aggregate service statistics, dumped by `stats` and on shutdown.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
-    per_op: [OpStats; 11],
+    per_op: [OpStats; 13],
     robustness: RobustnessCounters,
     rejections: Histogram,
     incremental: IncrementalCounters,
@@ -386,6 +463,7 @@ impl ServiceStats {
                                 ("p99".to_string(), Value::U64(s.latency.quantile_us(0.99))),
                                 ("mean".to_string(), Value::F64(s.latency.mean_us())),
                                 ("max".to_string(), Value::U64(s.latency.max_us())),
+                                ("summary".to_string(), s.latency.summary_value()),
                             ]),
                         ),
                     ]),
@@ -404,6 +482,7 @@ impl ServiceStats {
                     ("p99".to_string(), Value::U64(self.rejections.quantile_us(0.99))),
                     ("mean".to_string(), Value::F64(self.rejections.mean_us())),
                     ("max".to_string(), Value::U64(self.rejections.max_us())),
+                    ("summary".to_string(), self.rejections.summary_value()),
                 ]),
             ));
             Value::Object(fields)
@@ -434,6 +513,121 @@ impl ServiceStats {
                 ]),
             ),
         ])
+    }
+
+    /// Enumerates every counter and histogram of this snapshot into the
+    /// unified metrics registry — the `stats` blocks above are views
+    /// over exactly this data, so the `metrics` op and the `stats` op
+    /// can never disagree.
+    pub fn collect_metrics(&self, reg: &mut crate::telemetry::MetricsRegistry) {
+        for (name, s) in TRACKED_OPS.iter().zip(&self.per_op) {
+            if s.requests == 0 {
+                continue;
+            }
+            let label = [("op", (*name).to_string())];
+            reg.counter("depcase_requests_total", "Requests handled per op", &label, s.requests);
+            reg.counter(
+                "depcase_request_errors_total",
+                "Requests answered with an error per op",
+                &label,
+                s.errors,
+            );
+            reg.histogram(
+                "depcase_request_latency_us",
+                "End-to-end handling latency per op (log2 µs buckets)",
+                &label,
+                &s.latency,
+            );
+        }
+        if self.rejections.count() > 0 {
+            reg.histogram(
+                "depcase_rejection_latency_us",
+                "Answer latency of shed and too-large requests",
+                &[],
+                &self.rejections,
+            );
+        }
+        let r = self.robustness;
+        for (event, n) in [
+            ("panic", r.panics),
+            ("respawn", r.respawns),
+            ("deadline_exceeded", r.deadline_exceeded),
+            ("overloaded", r.overloaded),
+            ("request_too_large", r.request_too_large),
+            ("connection_reaped", r.connections_reaped),
+        ] {
+            reg.counter(
+                "depcase_robustness_events_total",
+                "Fault-tolerance events by kind",
+                &[("event", event.to_string())],
+                n,
+            );
+        }
+        let d = self.durability;
+        reg.counter(
+            "depcase_wal_records_appended_total",
+            "WAL records appended",
+            &[],
+            d.records_appended,
+        );
+        reg.counter("depcase_wal_fsyncs_total", "WAL fsync calls issued", &[], d.fsyncs);
+        reg.counter(
+            "depcase_wal_records_replayed_total",
+            "WAL records replayed at startup",
+            &[],
+            d.records_replayed,
+        );
+        reg.counter(
+            "depcase_snapshots_written_total",
+            "Snapshots written",
+            &[],
+            d.snapshots_written,
+        );
+        reg.counter(
+            "depcase_torn_tail_recoveries_total",
+            "Torn WAL tails truncated at startup",
+            &[],
+            d.torn_tail_recoveries,
+        );
+        let h = self.storage_health;
+        for (event, n) in [
+            ("scrub", h.scrubs),
+            ("object_checked", h.objects_checked),
+            ("corrupt_detected", h.corrupt_detected),
+            ("repaired_from_memory", h.repaired_from_memory),
+            ("repaired_from_wal", h.repaired_from_wal),
+            ("quarantined", h.quarantined),
+            ("read_only_entered", h.read_only_entered),
+            ("read_only_exited", h.read_only_exited),
+            ("append_failure", h.append_failures),
+        ] {
+            reg.counter(
+                "depcase_storage_events_total",
+                "Self-healing storage events by kind",
+                &[("event", event.to_string())],
+                n,
+            );
+        }
+        reg.gauge(
+            "depcase_read_only",
+            "1 while the engine is in read-only degraded mode",
+            &[],
+            if h.read_only { 1.0 } else { 0.0 },
+        );
+        let i = self.incremental;
+        reg.counter("depcase_edits_total", "Edits applied", &[], i.edits);
+        reg.counter(
+            "depcase_nodes_recomputed_total",
+            "Spine nodes recomputed by edits",
+            &[],
+            i.nodes_recomputed,
+        );
+        reg.counter(
+            "depcase_nodes_reused_total",
+            "Spine nodes answered from the memo",
+            &[],
+            i.nodes_reused,
+        );
     }
 }
 
@@ -491,6 +685,65 @@ mod tests {
         let h = Histogram::default();
         assert_eq!(h.quantile_us(0.5), 0);
         assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.quantile_interpolated_us(0.5), 0.0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn interpolated_quantiles_pin_the_arithmetic() {
+        // Observations land in buckets (8,16], (16,32]×2, (32,64],
+        // (512,1024]; interpolation places the rank proportionally
+        // between the containing bucket's edges.
+        let mut h = Histogram::default();
+        for us in [10, 20, 30, 40, 1000] {
+            h.record(us);
+        }
+        // p50 → rank 3, second of 2 observations in (16,32]: 16 + 16·(2/2).
+        assert_eq!(h.quantile_interpolated_us(0.50), 32.0);
+        // p90/p99/p999 → rank 5 in (512,1024], clamped to the max.
+        assert_eq!(h.quantile_interpolated_us(0.90), 1000.0);
+        assert_eq!(h.quantile_interpolated_us(0.99), 1000.0);
+        assert_eq!(h.quantile_interpolated_us(0.999), 1000.0);
+        // The interpolated estimate never exceeds the bucket-edge bound.
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            assert!(h.quantile_interpolated_us(q) <= h.quantile_us(q) as f64, "q={q}");
+        }
+    }
+
+    #[test]
+    fn interpolation_splits_a_bucket_proportionally() {
+        // 100 observations of 100 µs fill bucket (64,128]: the median
+        // interpolates to the bucket midpoint, the tail to the max.
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.record(100);
+        }
+        assert_eq!(h.quantile_interpolated_us(0.50), 96.0); // 64 + 64·(50/100)
+        assert_eq!(h.quantile_interpolated_us(0.999), 100.0); // clamped to max
+        assert_eq!(h.buckets(), vec![(128, 100)]);
+    }
+
+    #[test]
+    fn summary_fields_ride_next_to_the_raw_buckets_on_the_wire() {
+        let mut s = ServiceStats::default();
+        s.record("eval", 100, false);
+        let v = s.to_value(CacheCounters::default(), 0, 4);
+        let text = serde_json::to_string(&crate::protocol::Json(v)).unwrap();
+        assert!(text.contains("\"summary\""), "{text}");
+        assert!(text.contains("\"quantiles\""), "{text}");
+        assert!(text.contains("\"p90\""), "{text}");
+        assert!(text.contains("\"p999\""), "{text}");
+        assert!(text.contains("\"buckets\":[[128,1]]"), "{text}");
+    }
+
+    #[test]
+    fn trace_and_metrics_ops_are_tracked() {
+        let mut s = ServiceStats::default();
+        s.record("trace", 5, false);
+        s.record("metrics", 7, false);
+        assert_eq!(s.op("trace").unwrap().requests, 1);
+        assert_eq!(s.op("metrics").unwrap().requests, 1);
+        assert_eq!(s.total_requests(), 2);
     }
 
     #[test]

@@ -312,16 +312,20 @@ impl Wal {
             .expect("record serialization is infallible");
         let line =
             format!("{MAGIC} {} {:016x} {payload}\n", payload.len(), fnv64(payload.as_bytes()));
+        let started = std::time::Instant::now();
         if let Err(e) = self.file.append(line.as_bytes()) {
             self.rollback();
             return Err(e);
         }
+        crate::telemetry::phase_event("wal_append", started.elapsed());
         let synced = self.policy == FsyncPolicy::Always;
         if synced {
+            let started = std::time::Instant::now();
             if let Err(e) = self.file.sync() {
                 self.rollback();
                 return Err(e);
             }
+            crate::telemetry::phase_event("fsync", started.elapsed());
             self.fsyncs += 1;
         }
         self.len += line.len() as u64;
