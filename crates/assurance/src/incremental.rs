@@ -13,7 +13,10 @@
 //! same confidence) finds every spine value already computed and counts
 //! it as reused instead of recomputed. Importance analysis leans on
 //! exactly this: each leaf is driven to 1, to 0, then restored, and the
-//! restore pass is pure reuse.
+//! restore pass is pure reuse. With [`Incremental::with_memo`] the memo
+//! is a shared [`crate::memo::MemoStore`] instead of a private table,
+//! so the reuse extends across sessions and across *cases* that share
+//! subtrees (see [`crate::memo`]).
 //!
 //! Answers are bit-identical to a from-scratch
 //! [`propagate`](crate::propagation::propagate): both paths produce
@@ -24,10 +27,12 @@
 use crate::error::{CaseError, Result};
 use crate::graph::{Case, NodeId, NodeKind};
 use crate::ir::CaseIr;
+use crate::memo::MemoStore;
 use crate::plan::EvalPlan;
 use crate::propagation::{eval_ir_node, ConfidenceReport, NodeConfidence};
 use crate::trace::Tracer;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What one edit (or one session so far) cost and saved.
@@ -80,15 +85,53 @@ pub struct Incremental {
     /// Propagated confidence keyed by subtree hash. Trusts 64-bit FNV
     /// not to collide — the same bet the service plan cache already
     /// makes on `content_hash`.
-    memo: HashMap<u64, NodeConfidence>,
+    memo: Memo,
     recomputed: u64,
     reused: u64,
 }
 
+/// Where a session's subtree-hash memo lives.
+///
+/// `Private` is the original per-session table with clear-on-overflow
+/// bounding — the default, and what library users get from
+/// [`Incremental::new`]. `Shared` plugs the session into an external
+/// [`MemoStore`] (the service's global [`crate::memo::SharedMemo`]), so
+/// identical subtrees across *different* sessions and cases share one
+/// computed value. Both backends answer bit-identical values: keys are
+/// Merkle subtree hashes and the kernel is deterministic, so a hit can
+/// never differ from a recompute.
+#[derive(Debug, Clone)]
+enum Memo {
+    Private(HashMap<u64, NodeConfidence>),
+    Shared(Arc<dyn MemoStore>),
+}
+
+impl Memo {
+    fn get(&self, key: u64) -> Option<NodeConfidence> {
+        match self {
+            Memo::Private(map) => map.get(&key).copied(),
+            Memo::Shared(store) => store.get(key),
+        }
+    }
+
+    fn insert(&mut self, key: u64, value: NodeConfidence, cap: usize) {
+        match self {
+            Memo::Private(map) => {
+                if map.len() >= cap {
+                    map.clear();
+                }
+                map.insert(key, value);
+            }
+            Memo::Shared(store) => store.insert(key, value),
+        }
+    }
+}
+
 impl Incremental {
-    /// Caps the memo at a multiple of the case size; a session that
-    /// sweeps enormous numbers of distinct states (importance over a
-    /// huge case, a long-lived service) stays bounded.
+    /// Caps the *private* memo at a multiple of the case size; a
+    /// session that sweeps enormous numbers of distinct states
+    /// (importance over a huge case) stays bounded. A shared
+    /// [`MemoStore`] enforces its own bound and ignores this.
     fn memo_cap(n: usize) -> usize {
         (16 * n).max(4096)
     }
@@ -101,18 +144,50 @@ impl Incremental {
     /// Structural errors from [`Case::validate`], or
     /// [`CaseError::InvalidStructure`] for a cyclic graph.
     pub fn new(case: Case) -> Result<Self> {
+        Self::build(case, Memo::Private(HashMap::new()))
+    }
+
+    /// Builds a session whose memo is the shared `store` instead of a
+    /// private table: every subtree value it computes is published to
+    /// the store, and every subtree the store already knows — from this
+    /// session, an earlier one, or a *different case* sharing the
+    /// subtree — is reused without float work. Answers are
+    /// bit-identical to [`Incremental::new`] by construction (equal
+    /// subtree hashes always map to equal bits).
+    ///
+    /// Cloning the session shares the same store.
+    ///
+    /// # Errors
+    ///
+    /// As [`Incremental::new`].
+    pub fn with_memo(case: Case, store: Arc<dyn MemoStore>) -> Result<Self> {
+        Self::build(case, Memo::Shared(store))
+    }
+
+    /// [`Incremental::with_memo`] with the same `full_propagate` phase
+    /// reported to `tracer` as [`Incremental::new_traced`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Incremental::new`].
+    pub fn with_memo_traced<T: Tracer + ?Sized>(
+        case: Case,
+        store: Arc<dyn MemoStore>,
+        tracer: &T,
+    ) -> Result<Self> {
+        let started = Instant::now();
+        let session = Self::with_memo(case, store)?;
+        tracer.phase("full_propagate", started.elapsed());
+        tracer.count("case_nodes", session.ir.len() as u64);
+        Ok(session)
+    }
+
+    fn build(case: Case, memo: Memo) -> Result<Self> {
         case.validate()?;
         let ir = CaseIr::build(&case)?;
         let plan = EvalPlan::from_ir(&ir);
-        let mut session = Incremental {
-            case,
-            ir,
-            values: Vec::new(),
-            plan,
-            memo: HashMap::new(),
-            recomputed: 0,
-            reused: 0,
-        };
+        let mut session =
+            Incremental { case, ir, values: Vec::new(), plan, memo, recomputed: 0, reused: 0 };
         session.values = vec![None; session.ir.len()];
         let topo: Vec<u32> = session.ir.topo().to_vec();
         for &t in &topo {
@@ -341,16 +416,13 @@ impl Incremental {
             return;
         }
         let key = self.ir.subtree_hash(i);
-        let value = if let Some(&v) = self.memo.get(&key) {
+        let value = if let Some(v) = self.memo.get(key) {
             self.reused += 1;
             v
         } else {
             let v = eval_ir_node(&self.ir, i, &self.values);
             self.recomputed += 1;
-            if self.memo.len() >= Self::memo_cap(self.ir.len()) {
-                self.memo.clear();
-            }
-            self.memo.insert(key, v);
+            self.memo.insert(key, v, Self::memo_cap(self.ir.len()));
             v
         };
         self.values[i] = Some(value);

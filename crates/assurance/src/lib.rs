@@ -51,6 +51,7 @@ mod graph;
 pub mod importance;
 pub mod incremental;
 pub mod ir;
+pub mod memo;
 pub mod monte_carlo;
 pub mod plan;
 pub mod propagation;
@@ -62,6 +63,7 @@ pub use graph::{Case, Combination, NodeId, NodeKind, CASE_SCHEMA_VERSION};
 pub use importance::{birnbaum_importance, LeafImportance};
 pub use incremental::{EditStats, Incremental, LeafKind};
 pub use ir::{CaseIr, IrKind};
+pub use memo::{MemoStore, MemoStoreStats, SharedMemo};
 pub use monte_carlo::{MonteCarlo, MonteCarloReport};
 pub use plan::EvalPlan;
 pub use propagation::{ConfidenceReport, NodeConfidence};

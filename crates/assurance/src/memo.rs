@@ -1,0 +1,446 @@
+//! A shared, content-addressed store of propagation results.
+//!
+//! [`Incremental`](crate::Incremental) sessions memoize node
+//! confidences by Merkle-style subtree hash, so a value computed once
+//! is reusable anywhere the same subtree reappears — in the same
+//! session, in a later session over the same case, or in a *different
+//! case* that happens to share the subtree (templates stamped out per
+//! tenant differ in a few leaves and share everything else). The
+//! private per-session memo can only exploit the first kind of reuse;
+//! the [`MemoStore`] trait lets many sessions plug into one shared
+//! [`SharedMemo`] and exploit all three.
+//!
+//! Sharing is safe by construction: a subtree hash covers the node's
+//! kind, its leaf confidence bits, and its children's hashes in order,
+//! and the propagation kernel is deterministic — so two subtrees with
+//! equal hashes produce bit-identical [`NodeConfidence`] values no
+//! matter which case, session, or thread computed them first. A hit is
+//! therefore indistinguishable (to the last bit) from recomputing.
+//!
+//! Eviction is segmented second-chance (the clock algorithm), not the
+//! wholesale clear the private memo uses: under pressure from a churn
+//! of one-off subtrees, hot template subtrees keep their referenced
+//! bits set and survive, so the Nth stamped variant still compiles in
+//! O(diff). The churn tests below pin the algorithm against an
+//! explicit reference model.
+
+use crate::propagation::NodeConfidence;
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A content-addressed result store an [`Incremental`](crate::Incremental)
+/// session can share with other sessions.
+///
+/// Keys are the IR's Merkle subtree hashes; values are the propagated
+/// confidences those subtrees evaluate to. Implementations use interior
+/// mutability (`&self` methods) so one store can be shared behind an
+/// `Arc` by any number of concurrent sessions.
+///
+/// Contract: `insert` may drop entries (bounded stores evict), and
+/// `get` may therefore miss on a key that was inserted earlier — but a
+/// returned value must be exactly the value inserted for that key.
+/// Because equal subtree hashes always map to bit-identical values,
+/// an implementation never needs to worry about which writer "wins".
+pub trait MemoStore: Debug + Send + Sync {
+    /// Looks up the propagated confidence of the subtree hashed `key`.
+    fn get(&self, key: u64) -> Option<NodeConfidence>;
+
+    /// Records the propagated confidence of the subtree hashed `key`.
+    fn insert(&self, key: u64, value: NodeConfidence);
+}
+
+/// Counter snapshot of a [`SharedMemo`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStoreStats {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// New entries recorded (excludes refreshes of a present key).
+    pub insertions: u64,
+    /// Entries displaced by second-chance eviction.
+    pub evictions: u64,
+    /// Entries currently stored.
+    pub entries: u64,
+    /// Maximum entries the store will hold.
+    pub capacity: u64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    key: u64,
+    value: NodeConfidence,
+    /// Set by every `get` hit, cleared when the clock hand sweeps past;
+    /// a slot is evicted only when the hand finds this clear.
+    referenced: bool,
+}
+
+#[derive(Debug, Default)]
+struct Segment {
+    slots: Vec<Slot>,
+    /// key → position in `slots`.
+    index: HashMap<u64, usize>,
+    /// The clock hand: next slot the eviction sweep examines.
+    hand: usize,
+}
+
+impl Segment {
+    fn get(&mut self, key: u64) -> Option<NodeConfidence> {
+        let &pos = self.index.get(&key)?;
+        self.slots[pos].referenced = true;
+        Some(self.slots[pos].value)
+    }
+
+    /// Inserts under second-chance: a present key is refreshed in
+    /// place; below capacity the entry appends; at capacity the hand
+    /// sweeps, giving each referenced slot one more round, and replaces
+    /// the first unreferenced slot it finds. Returns
+    /// `(newly_inserted, evicted)`.
+    fn insert(&mut self, capacity: usize, key: u64, value: NodeConfidence) -> (bool, bool) {
+        if let Some(&pos) = self.index.get(&key) {
+            let slot = &mut self.slots[pos];
+            slot.value = value;
+            slot.referenced = true;
+            return (false, false);
+        }
+        if self.slots.len() < capacity {
+            self.index.insert(key, self.slots.len());
+            self.slots.push(Slot { key, value, referenced: false });
+            return (true, false);
+        }
+        // The sweep terminates within 2·len steps: every referenced
+        // slot it passes is cleared, so the second lap finds a victim.
+        loop {
+            let len = self.slots.len();
+            let slot = &mut self.slots[self.hand];
+            if slot.referenced {
+                slot.referenced = false;
+                self.hand = (self.hand + 1) % len;
+            } else {
+                self.index.remove(&slot.key);
+                self.index.insert(key, self.hand);
+                *slot = Slot { key, value, referenced: false };
+                self.hand = (self.hand + 1) % len;
+                return (true, true);
+            }
+        }
+    }
+}
+
+/// A bounded, thread-safe [`MemoStore`]: lock-striped segments, each an
+/// independent second-chance (clock) cache.
+///
+/// The key's low bits pick the segment (subtree hashes are FNV-1a, so
+/// the low bits are well mixed); each segment holds `capacity /
+/// segments` entries behind its own mutex, so concurrent sessions
+/// contend only when their subtrees land in the same stripe.
+#[derive(Debug)]
+pub struct SharedMemo {
+    segments: Vec<Mutex<Segment>>,
+    /// Entries per segment.
+    segment_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Default number of lock stripes for [`SharedMemo::new`].
+const DEFAULT_SEGMENTS: usize = 16;
+
+impl SharedMemo {
+    /// A store holding about `capacity` entries across
+    /// [`DEFAULT_SEGMENTS`](SharedMemo::new) lock stripes. A capacity
+    /// of 0 disables the store (every `get` misses, every `insert` is
+    /// dropped).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self::with_segments(capacity, DEFAULT_SEGMENTS)
+    }
+
+    /// A store with an explicit stripe count — the churn tests use one
+    /// segment so the whole store follows a single clock.
+    ///
+    /// The per-segment capacity is `capacity / segments` rounded up, so
+    /// the total capacity may round up to a multiple of the stripe
+    /// count.
+    #[must_use]
+    pub fn with_segments(capacity: usize, segments: usize) -> Self {
+        let segments = segments.clamp(1, capacity.max(1));
+        SharedMemo {
+            segments: (0..segments).map(|_| Mutex::new(Segment::default())).collect(),
+            segment_capacity: capacity.div_ceil(segments),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn segment(&self, key: u64) -> &Mutex<Segment> {
+        &self.segments[(key % self.segments.len() as u64) as usize]
+    }
+
+    /// Entries currently stored (sums the segments).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(|s| lock(s).slots.len()).sum()
+    }
+
+    /// True when nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum entries the store will hold (per-segment capacity times
+    /// stripe count).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.segment_capacity * self.segments.len()
+    }
+
+    /// Membership probe that touches neither the referenced bits nor
+    /// the hit/miss counters — for tests and diagnostics only.
+    #[must_use]
+    pub fn peek(&self, key: u64) -> Option<NodeConfidence> {
+        let seg = lock(self.segment(key));
+        seg.index.get(&key).map(|&pos| seg.slots[pos].value)
+    }
+
+    /// Counter snapshot (entries are summed across segments).
+    #[must_use]
+    pub fn stats(&self) -> MemoStoreStats {
+        MemoStoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+            capacity: self.capacity() as u64,
+        }
+    }
+}
+
+impl MemoStore for SharedMemo {
+    fn get(&self, key: u64) -> Option<NodeConfidence> {
+        if self.segment_capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let value = lock(self.segment(key)).get(key);
+        match value {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        value
+    }
+
+    fn insert(&self, key: u64, value: NodeConfidence) {
+        if self.segment_capacity == 0 {
+            return;
+        }
+        let (inserted, evicted) = lock(self.segment(key)).insert(self.segment_capacity, key, value);
+        if inserted {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+        }
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Locks a segment, recovering from a poisoned mutex: a segment's
+/// invariants (index mirrors slots) are re-established before any
+/// method returns, so the data behind a poisoned lock is consistent.
+fn lock(segment: &Mutex<Segment>) -> std::sync::MutexGuard<'_, Segment> {
+    segment.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn conf(tag: u64) -> NodeConfidence {
+        let v = (tag % 1000) as f64 / 1000.0;
+        NodeConfidence { independent: v, worst_case: v * 0.5, best_case: v.min(1.0) }
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// An executable specification of one second-chance segment: a
+    /// plain vector of (key, referenced) pairs plus a hand, written for
+    /// obviousness rather than speed.
+    struct Reference {
+        capacity: usize,
+        slots: Vec<(u64, bool)>,
+        hand: usize,
+        evictions: u64,
+    }
+
+    impl Reference {
+        fn new(capacity: usize) -> Self {
+            Reference { capacity, slots: Vec::new(), hand: 0, evictions: 0 }
+        }
+
+        fn get(&mut self, key: u64) -> bool {
+            match self.slots.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, referenced)) => {
+                    *referenced = true;
+                    true
+                }
+                None => false,
+            }
+        }
+
+        fn insert(&mut self, key: u64) {
+            if self.get(key) {
+                return; // refresh: reference, keep in place
+            }
+            if self.slots.len() < self.capacity {
+                self.slots.push((key, false));
+                return;
+            }
+            loop {
+                if self.slots[self.hand].1 {
+                    self.slots[self.hand].1 = false;
+                    self.hand = (self.hand + 1) % self.slots.len();
+                } else {
+                    self.slots[self.hand] = (key, false);
+                    self.hand = (self.hand + 1) % self.slots.len();
+                    self.evictions += 1;
+                    return;
+                }
+            }
+        }
+
+        fn keys(&self) -> HashSet<u64> {
+            self.slots.iter().map(|(k, _)| *k).collect()
+        }
+    }
+
+    /// The store's eviction follows the reference model exactly over a
+    /// long random churn of gets and inserts: same membership after
+    /// every step, same eviction count at the end.
+    #[test]
+    fn second_chance_matches_the_reference_model_under_churn() {
+        let capacity = 32;
+        let store = SharedMemo::with_segments(capacity, 1);
+        let mut reference = Reference::new(capacity);
+        let mut rng = 0xdead_beefu64;
+        for step in 0..20_000 {
+            let key = splitmix(&mut rng) % 96; // 3× capacity: constant pressure
+            if splitmix(&mut rng).is_multiple_of(3) {
+                let got = store.get(key).is_some();
+                assert_eq!(got, reference.get(key), "get({key}) diverged at step {step}");
+            } else {
+                store.insert(key, conf(key));
+                reference.insert(key);
+            }
+            if step % 512 == 0 {
+                let store_keys: HashSet<u64> =
+                    (0..96).filter(|&k| store.peek(k).is_some()).collect();
+                assert_eq!(store_keys, reference.keys(), "membership diverged at step {step}");
+            }
+        }
+        assert_eq!(store.stats().evictions, reference.evictions);
+        assert_eq!(store.len(), capacity);
+    }
+
+    /// The regression the second-chance design exists to fix: hot keys
+    /// (template subtrees re-referenced by every stamped variant)
+    /// survive an unbounded churn of one-off keys. A clear-on-overflow
+    /// memo would drop them at every overflow.
+    #[test]
+    fn hot_keys_survive_cold_churn() {
+        let store = SharedMemo::with_segments(64, 1);
+        let hot: Vec<u64> = (1_000_000..1_000_008).collect();
+        for &k in &hot {
+            store.insert(k, conf(k));
+            assert!(store.get(k).is_some());
+        }
+        for cold in 0..10_000u64 {
+            store.insert(cold, conf(cold));
+            // Each hot key is re-referenced as a stamped variant would.
+            let k = hot[(cold % hot.len() as u64) as usize];
+            assert!(store.get(k).is_some(), "hot key {k} evicted by cold churn at {cold}");
+        }
+        for &k in &hot {
+            assert!(store.peek(k).is_some(), "hot key {k} missing after churn");
+        }
+        // The store stayed full the whole time — pressure never causes
+        // a wholesale clear.
+        assert_eq!(store.len(), 64);
+    }
+
+    #[test]
+    fn values_round_trip_and_refresh_in_place() {
+        let store = SharedMemo::new(128);
+        store.insert(7, conf(1));
+        assert_eq!(store.get(7).unwrap().independent.to_bits(), conf(1).independent.to_bits());
+        store.insert(7, conf(2));
+        assert_eq!(store.get(7).unwrap().independent.to_bits(), conf(2).independent.to_bits());
+        assert_eq!(store.len(), 1);
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.insertions, stats.evictions), (2, 1, 0));
+    }
+
+    #[test]
+    fn capacity_zero_disables_the_store() {
+        let store = SharedMemo::new(0);
+        store.insert(1, conf(1));
+        assert!(store.get(1).is_none());
+        assert!(store.is_empty());
+        assert_eq!(store.capacity(), 0);
+        assert_eq!(store.stats().misses, 1);
+    }
+
+    #[test]
+    fn segments_bound_the_total_and_stay_independent() {
+        let store = SharedMemo::with_segments(64, 8);
+        assert_eq!(store.capacity(), 64);
+        for k in 0..10_000u64 {
+            store.insert(k, conf(k));
+        }
+        // Dense keys hit every stripe (key % segments), so each of the
+        // 8 stripes filled its 8 slots: the store is exactly full.
+        assert_eq!(store.len(), 64);
+    }
+
+    /// Concurrent hammer: the store never loses its index/slots
+    /// consistency and every returned value is one that was inserted
+    /// for that key.
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let store = std::sync::Arc::new(SharedMemo::new(256));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let store = std::sync::Arc::clone(&store);
+                std::thread::spawn(move || {
+                    let mut rng = 0x1234_5678u64.wrapping_add(t);
+                    for _ in 0..20_000 {
+                        let key = splitmix(&mut rng) % 512;
+                        if splitmix(&mut rng).is_multiple_of(2) {
+                            store.insert(key, conf(key));
+                        } else if let Some(v) = store.get(key) {
+                            assert_eq!(v.independent.to_bits(), conf(key).independent.to_bits());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(store.len() <= store.capacity());
+    }
+}

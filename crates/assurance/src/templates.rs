@@ -120,6 +120,101 @@ pub fn sil_claim(sil_statement: &str, strands: &[(&str, f64)]) -> Result<(Case, 
     Ok((case, g))
 }
 
+/// Number of distinct shapes [`template`] can build — the fleet-scale
+/// story is "a handful of templates, stamped out per tenant".
+pub const TEMPLATE_COUNT: usize = 10;
+
+/// Deterministic SplitMix64 step, the stamping generator's only source
+/// of variation — `stamp(id, v)` is a pure function of `(id, v)`.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A confidence in `[0.5, 0.995]` with limited precision, so distinct
+/// draws frequently coincide and perturbed values stay plausible.
+fn drawn_confidence(state: &mut u64) -> f64 {
+    0.5 + (splitmix(state) % 100) as f64 * 0.005
+}
+
+/// One of [`TEMPLATE_COUNT`] base case shapes, each a different
+/// quantified argument pattern (depth, fan-out, and combination mix
+/// vary with `id`), with deterministic leaf confidences. Two calls with
+/// the same `id` build content-identical cases.
+///
+/// Shapes range from a flat multi-leg argument (a goal, one strategy,
+/// many evidence leaves) to a three-level SIL-style tree (sub-goals per
+/// strand, each with its own leaves plus an assumption), so a mixed
+/// fleet exercises both wide and deep propagation.
+///
+/// # Panics
+///
+/// Panics when `id >= TEMPLATE_COUNT`.
+#[must_use]
+pub fn template(id: usize) -> Case {
+    assert!(id < TEMPLATE_COUNT, "template id {id} out of range (< {TEMPLATE_COUNT})");
+    let mut rng = 0x7e3a_11c0_u64.wrapping_add(id as u64);
+    let mut case = Case::new(format!("template-{id}"));
+    let g = case.add_goal("G", format!("fleet claim {id}")).unwrap();
+    // id drives the shape: 2–4 strands, 3–6 leaves per strand, with a
+    // deep sub-goal level on odd ids.
+    let strands = 2 + id % 3;
+    let leaves_per = 3 + id % 4;
+    let deep = id % 2 == 1;
+    for s in 0..strands {
+        let rule = if (id + s).is_multiple_of(2) { Combination::AnyOf } else { Combination::AllOf };
+        let strat = case.add_strategy(format!("S{s}"), "strand", rule).unwrap();
+        case.support(g, strat).unwrap();
+        for l in 0..leaves_per {
+            let conf = drawn_confidence(&mut rng);
+            if deep {
+                let sub = case.add_goal(format!("G{s}.{l}"), "sub-claim").unwrap();
+                let e = case.add_evidence(format!("E{s}_{l}"), "evidence", conf).unwrap();
+                case.support(strat, sub).unwrap();
+                case.support(sub, e).unwrap();
+            } else {
+                let e = case.add_evidence(format!("E{s}_{l}"), "evidence", conf).unwrap();
+                case.support(strat, e).unwrap();
+            }
+        }
+    }
+    let a = case.add_assumption("A", "environment", drawn_confidence(&mut rng)).unwrap();
+    case.support(g, a).unwrap();
+    case
+}
+
+/// Stamps variant `variant` of template `id`: the base case with 1–3
+/// evidence confidences re-elicited, deterministically from
+/// `(id, variant)`. Variants of one template share every untouched
+/// subtree — hash-identical across the whole fleet — which is exactly
+/// what a shared [`crate::memo::MemoStore`] and the service's
+/// content-addressed registry deduplicate. `stamp(id, 0)` perturbs
+/// like any other variant; the pristine base is [`template`].
+///
+/// # Panics
+///
+/// Panics when `id >= TEMPLATE_COUNT`.
+#[must_use]
+pub fn stamp(id: usize, variant: u64) -> Case {
+    let mut case = template(id);
+    let leaves: Vec<NodeId> = case
+        .iter()
+        .filter(|(_, node)| matches!(node.kind, crate::graph::NodeKind::Evidence { .. }))
+        .map(|(node_id, _)| node_id)
+        .collect();
+    let mut rng = (id as u64) << 32 ^ variant.wrapping_mul(0x9e37_79b9);
+    let touched = 1 + (splitmix(&mut rng) % 3) as usize;
+    for _ in 0..touched {
+        let leaf = leaves[(splitmix(&mut rng) % leaves.len() as u64) as usize];
+        let conf = drawn_confidence(&mut rng);
+        case.set_leaf_confidence(leaf, conf).unwrap();
+    }
+    case
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +263,48 @@ mod tests {
         let (case, _) = multi_leg("c", &[("a", 0.9)], Some(("s", 0.99))).unwrap();
         let dot = case.to_dot(None);
         assert!(dot.contains("E1") && dot.contains("A1"));
+    }
+
+    #[test]
+    fn every_template_validates_and_propagates() {
+        for id in 0..TEMPLATE_COUNT {
+            let case = template(id);
+            assert!(case.validate().is_ok(), "template {id}");
+            assert!(case.propagate().is_ok(), "template {id}");
+            // Rebuilding is content-identical (pure function of id).
+            assert_eq!(case.content_hash(), template(id).content_hash(), "template {id}");
+        }
+        // The ten shapes are genuinely distinct arguments.
+        let mut hashes: Vec<u64> =
+            (0..TEMPLATE_COUNT).map(|i| template(i).content_hash()).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), TEMPLATE_COUNT);
+    }
+
+    #[test]
+    fn stamped_variants_are_deterministic_and_share_structure() {
+        for id in 0..TEMPLATE_COUNT {
+            let a = stamp(id, 42);
+            let b = stamp(id, 42);
+            assert_eq!(a.content_hash(), b.content_hash(), "stamp({id}, 42) must be pure");
+            assert!(a.validate().is_ok());
+            // A variant differs from the base only in leaf confidences:
+            // same node count, same names, different content hash for
+            // (almost) every variant draw.
+            let base = template(id);
+            assert_eq!(a.len(), base.len());
+            let differing: Vec<u64> = (0..8)
+                .map(|v| stamp(id, v).content_hash())
+                .collect::<std::collections::HashSet<_>>()
+                .into_iter()
+                .collect();
+            assert!(differing.len() >= 4, "template {id} variants barely vary: {differing:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_template_ids_panic() {
+        assert!(std::panic::catch_unwind(|| template(TEMPLATE_COUNT)).is_err());
     }
 }

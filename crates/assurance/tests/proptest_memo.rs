@@ -1,0 +1,138 @@
+//! Property tests for global cross-case memo sharing.
+//!
+//! The contract under test: an [`Incremental`] session backed by a
+//! shared [`SharedMemo`] — even one shared with *other sessions over
+//! other cases*, even one small enough to evict constantly — answers
+//! every node confidence bit-identically (`f64::to_bits`) to a session
+//! with the classic private per-session memo, over random template
+//! stamps and random edit sequences. Sharing and eviction may change
+//! how much work is done, never which bits come out.
+
+use depcase_assurance::templates::{stamp, TEMPLATE_COUNT};
+use depcase_assurance::{Incremental, MemoStore, NodeId, SharedMemo};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Every node of both sessions agrees to the last bit, and both agree
+/// with a from-scratch propagation.
+fn bit_identical(shared: &Incremental, private: &Incremental) -> bool {
+    if shared.case_hash() != private.case_hash() {
+        return false;
+    }
+    let fresh = match shared.case().propagate() {
+        Ok(report) => report,
+        Err(_) => return false,
+    };
+    for (id, _) in shared.case().iter() {
+        let (a, b, c) = (shared.confidence(id), private.confidence(id), fresh.confidence(id));
+        match (a, b, c) {
+            (Some(a), Some(b), Some(c)) => {
+                if a.independent.to_bits() != b.independent.to_bits()
+                    || a.worst_case.to_bits() != b.worst_case.to_bits()
+                    || a.best_case.to_bits() != b.best_case.to_bits()
+                    || a.independent.to_bits() != c.independent.to_bits()
+                {
+                    return false;
+                }
+            }
+            (None, None, None) => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// The evidence leaves of a case, in iteration order.
+fn leaves(session: &Incremental) -> Vec<NodeId> {
+    session
+        .case()
+        .iter()
+        .filter(|(_, n)| matches!(n.kind, depcase_assurance::NodeKind::Evidence { .. }))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Many tenants' template variants over ONE shared store, each
+    /// mirrored by a private-memo twin, under random edit sequences:
+    /// every answer stays bit-identical to the private path, and the
+    /// cross-case sharing actually fires (reuse on later variants).
+    #[test]
+    fn global_memo_sharing_is_bit_identical_to_private_memoization(
+        template_picks in proptest::collection::vec((0usize..TEMPLATE_COUNT, 0u64..64), 2..6),
+        edits in proptest::collection::vec((0usize..8, 0usize..64, 0.0f64..1.0), 0..16),
+        cap_pick in 0usize..3,
+    ) {
+        let capacity = [48usize, 256, 65_536][cap_pick];
+        let store = Arc::new(SharedMemo::new(capacity));
+        let mut pairs: Vec<(Incremental, Incremental)> = Vec::new();
+        for &(id, variant) in &template_picks {
+            let case = stamp(id, variant);
+            let shared = Incremental::with_memo(
+                case.clone(),
+                Arc::clone(&store) as Arc<dyn MemoStore>,
+            ).unwrap();
+            let private = Incremental::new(case).unwrap();
+            prop_assert!(bit_identical(&shared, &private));
+            pairs.push((shared, private));
+        }
+        for &(pair_pick, leaf_pick, conf) in &edits {
+            let pick = pair_pick % pairs.len();
+            let (shared, private) = &mut pairs[pick];
+            let ls = leaves(shared);
+            let leaf = ls[leaf_pick % ls.len()];
+            let a = shared.set_confidence(leaf, conf).unwrap();
+            let b = private.set_confidence(leaf, conf).unwrap();
+            // Both touch the same dirty spine; only the reuse/recompute
+            // split may differ between the backends.
+            prop_assert_eq!(
+                a.nodes_recomputed + a.nodes_reused,
+                b.nodes_recomputed + b.nodes_reused
+            );
+            prop_assert!(bit_identical(shared, private));
+        }
+        // With a roomy store, a second stamp of a seen template must
+        // reuse shared subtrees computed by an earlier session.
+        if capacity == 65_536 {
+            let (id, variant) = template_picks[0];
+            let twin = Incremental::with_memo(
+                stamp(id, variant.wrapping_add(1)),
+                Arc::clone(&store) as Arc<dyn MemoStore>,
+            ).unwrap();
+            prop_assert!(
+                twin.totals().nodes_reused > 0,
+                "a sibling variant shared no subtrees: {:?}",
+                twin.totals()
+            );
+        }
+    }
+
+    /// A pathologically small shared store (constant eviction on every
+    /// propagation) still never changes a bit — it only loses reuse.
+    #[test]
+    fn eviction_pressure_never_changes_bits(
+        id in 0usize..TEMPLATE_COUNT,
+        variants in proptest::collection::vec(0u64..1024, 1..5),
+        confs in proptest::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let store = Arc::new(SharedMemo::with_segments(4, 1));
+        for &variant in &variants {
+            let case = stamp(id, variant);
+            let mut shared = Incremental::with_memo(
+                case.clone(),
+                Arc::clone(&store) as Arc<dyn MemoStore>,
+            ).unwrap();
+            let mut private = Incremental::new(case).unwrap();
+            prop_assert!(bit_identical(&shared, &private));
+            let ls = leaves(&shared);
+            for (i, &conf) in confs.iter().enumerate() {
+                let leaf = ls[i % ls.len()];
+                shared.set_confidence(leaf, conf).unwrap();
+                private.set_confidence(leaf, conf).unwrap();
+                prop_assert!(bit_identical(&shared, &private));
+            }
+        }
+    }
+}

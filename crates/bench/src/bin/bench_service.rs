@@ -5,7 +5,7 @@
 //! ```sh
 //! cargo run --release -p depcase-bench --bin bench_service -- \
 //!     [OUT.json] [--clients N] [--requests N] [--workers N] [--conns N] \
-//!     [--faults SPEC] [--storage-faults SPEC]
+//!     [--tenants N] [--faults SPEC] [--storage-faults SPEC]
 //! ```
 //!
 //! The harness starts the service in-process on an ephemeral localhost
@@ -52,12 +52,21 @@
 //! out, and a closing `scrub` repairs the decay. Goodput, window
 //! counts, injected-fault tallies, and the repair report land in the
 //! `storage_faults` block.
+//!
+//! A multi-tenant scenario (`--tenants N`, default 100 000) registers a
+//! fleet of template-stamped case variants against a sharded engine
+//! with the global content-addressed memo store, then drives a
+//! zipf-distributed eval mix over the fleet. The `multi_tenant` block
+//! reports the cross-tenant subtree-dedup ratio from the compile
+//! counters, resident bytes per registered variant against the cost of
+//! one cold privately-memoized case, and the zipf eval p50/p99.
 
+use depcase::assurance::templates::{stamp, TEMPLATE_COUNT};
 use depcase::prelude::*;
 use depcase_service::protocol::{Json, Request};
 use depcase_service::{
-    Client, DurabilityConfig, Engine, FaultPlan, FaultyIo, FsyncPolicy, IoModel, RealIo,
-    RetryPolicy, RetryingClient, Server, ServerConfig, StorageIo,
+    Client, DurabilityConfig, Engine, EngineConfig, FaultPlan, FaultyIo, FsyncPolicy, IoModel,
+    RealIo, RetryPolicy, RetryingClient, Server, ServerConfig, StorageIo, DEFAULT_SHARDS,
 };
 use serde::{Serialize, Value};
 use std::io::{BufRead, BufReader, Write};
@@ -83,6 +92,10 @@ const DEFAULT_FAULTS: &str = "seed=42,panic=0.05,delay=0.05,delay_ms=2,drop=0.05
 /// retrying clients must ride out), and 2% of reads flip-and-persist a
 /// bit (bit-rot for the closing scrub to find and repair).
 const DEFAULT_STORAGE_FAULTS: &str = "seed=42,eio=0.02,bitrot=0.02";
+/// Registered template variants in the multi-tenant scenario.
+const DEFAULT_TENANTS: usize = 100_000;
+/// Zipf-mix eval requests driven over the registered fleet.
+const ZIPF_REQUESTS: usize = 20_000;
 
 fn demo_case(title: &str, strong: f64, weak: f64) -> Case {
     let mut case = Case::new(title);
@@ -717,6 +730,177 @@ fn durability_run(clients: usize, requests: usize, workers: usize, baseline_rps:
     ])
 }
 
+/// Resident-set size of this process in bytes, from `/proc/self/statm`.
+fn rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|s| s.split_whitespace().nth(1).and_then(|v| v.parse::<u64>().ok()))
+        .map_or(0, |pages| pages * 4096)
+}
+
+/// SplitMix64 step — the same generator the template stamper uses, so
+/// the zipf mix is reproducible without a rand dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The multi-tenant scenario: register `tenants` template-stamped
+/// variants against a sharded engine sharing one content-addressed
+/// memo store, then drive a zipf-distributed eval mix over the fleet.
+///
+/// Three numbers matter. The **subtree-dedup ratio** from the compile
+/// counters is the headline: nodes answered per node actually
+/// recomputed across every registration — the work the global store
+/// deduplicates across tenants. **Bytes per variant** is the marginal
+/// resident cost of one more registered tenant at fleet scale,
+/// compared against the resident cost of one cold case compiled with
+/// a private memo and a live session (what every tenant would cost
+/// without sharing). The **zipf eval latency** shows the fleet serves
+/// a realistic skewed read mix from the sharded plan caches.
+///
+/// Requests go through [`Engine::handle`] directly — this measures the
+/// sharded engine, not the wire.
+fn multi_tenant_run(tenants: usize) -> Value {
+    // Small enough that its freed allocations don't meaningfully
+    // deflate the fleet's RSS delta, big enough to average out
+    // allocator slack.
+    const COLD_SAMPLE: usize = 256;
+    eprintln!(
+        "multi-tenant scenario: {tenants} variant(s) of {TEMPLATE_COUNT} template(s), \
+         {ZIPF_REQUESTS} zipf eval(s)…"
+    );
+
+    // Cold reference: private memos, one shard, a cache big enough
+    // that every compiled session stays resident — the full per-case
+    // cost the fleet amortises away.
+    let cold = Engine::with_config(&EngineConfig {
+        cache_capacity: COLD_SAMPLE,
+        shards: 1,
+        memo_entries: 0,
+    });
+    let rss_cold_before = rss_bytes();
+    for i in 0..COLD_SAMPLE {
+        let template = i % TEMPLATE_COUNT;
+        let case = stamp(template, (i / TEMPLATE_COUNT) as u64);
+        let name = format!("cold-t{template}-v{}", i / TEMPLATE_COUNT);
+        cold.handle(&Request::Load { name, case: Serialize::to_value(&case) }).expect("cold load");
+    }
+    let cold_case_bytes = rss_bytes().saturating_sub(rss_cold_before) / COLD_SAMPLE as u64;
+    drop(cold);
+
+    let engine = Engine::with_config(&EngineConfig {
+        cache_capacity: 1024,
+        shards: DEFAULT_SHARDS,
+        memo_entries: depcase_service::DEFAULT_MEMO_ENTRIES,
+    });
+    let rss_fleet_before = rss_bytes();
+    let registration_started = Instant::now();
+    for i in 0..tenants {
+        let template = i % TEMPLATE_COUNT;
+        let variant = (i / TEMPLATE_COUNT) as u64;
+        let case = stamp(template, variant);
+        let name = format!("t{template}-v{variant}");
+        engine
+            .handle(&Request::Load { name, case: Serialize::to_value(&case) })
+            .expect("fleet load");
+    }
+    let registration_seconds = registration_started.elapsed().as_secs_f64();
+    let bytes_per_variant = rss_bytes().saturating_sub(rss_fleet_before) / tenants.max(1) as u64;
+
+    let compile = engine.compile_counters();
+    let dedup_ratio = compile.dedup_ratio();
+
+    // Zipf-ish tenant popularity: log-uniform over [0, tenants), so
+    // rank-k tenants are hit with probability ~1/k — a few hot
+    // tenants, a long cold tail.
+    let mut rng = 0xdead_beef_u64;
+    let ln_n = (tenants.max(2) as f64).ln();
+    let mut samples = Vec::with_capacity(ZIPF_REQUESTS);
+    let zipf_started = Instant::now();
+    for _ in 0..ZIPF_REQUESTS {
+        let u = (splitmix64(&mut rng) >> 11) as f64 / (1u64 << 53) as f64;
+        let i = ((u * ln_n).exp() as usize).saturating_sub(1).min(tenants - 1);
+        let name = format!("t{}-v{}", i % TEMPLATE_COUNT, i / TEMPLATE_COUNT);
+        let sent = Instant::now();
+        engine.handle(&Request::Eval { name, at: None }).expect("zipf eval");
+        samples.push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+    let zipf_seconds = zipf_started.elapsed().as_secs_f64();
+    samples.sort_unstable();
+
+    let memo = engine.memo_stats().expect("memo store enabled");
+    let memo_lookups = memo.hits + memo.misses;
+    let bytes_ratio =
+        if cold_case_bytes == 0 { 0.0 } else { bytes_per_variant as f64 / cold_case_bytes as f64 };
+    eprintln!(
+        "  registered {tenants} in {registration_seconds:.3}s \
+         ({:.0} loads/s); subtree dedup {dedup_ratio:.1}x \
+         ({} recomputed / {} reused over {} compiles)",
+        tenants as f64 / registration_seconds,
+        compile.nodes_recomputed,
+        compile.nodes_reused,
+        compile.compiles
+    );
+    eprintln!(
+        "  resident: {bytes_per_variant} B/variant vs {cold_case_bytes} B cold case \
+         ({:.2}x); memo store {} entr(ies), {:.3} hit rate",
+        bytes_ratio,
+        memo.entries,
+        if memo_lookups == 0 { 0.0 } else { memo.hits as f64 / memo_lookups as f64 }
+    );
+    eprintln!(
+        "  zipf evals: {:.0} req/s, p50 {}µs p99 {}µs",
+        ZIPF_REQUESTS as f64 / zipf_seconds,
+        quantile_us(&samples, 0.50),
+        quantile_us(&samples, 0.99)
+    );
+    Value::Object(vec![
+        ("tenants".to_string(), Value::U64(tenants as u64)),
+        ("templates".to_string(), Value::U64(TEMPLATE_COUNT as u64)),
+        ("shards".to_string(), Value::U64(engine.shard_count() as u64)),
+        ("registration_seconds".to_string(), Value::F64(registration_seconds)),
+        ("registrations_per_second".to_string(), Value::F64(tenants as f64 / registration_seconds)),
+        ("subtree_dedup_ratio".to_string(), Value::F64(dedup_ratio)),
+        (
+            "compile".to_string(),
+            Value::Object(vec![
+                ("compiles".to_string(), Value::U64(compile.compiles)),
+                ("nodes_recomputed".to_string(), Value::U64(compile.nodes_recomputed)),
+                ("nodes_reused".to_string(), Value::U64(compile.nodes_reused)),
+            ]),
+        ),
+        ("bytes_per_variant".to_string(), Value::U64(bytes_per_variant)),
+        ("cold_case_bytes".to_string(), Value::U64(cold_case_bytes)),
+        ("bytes_per_variant_over_cold_case".to_string(), Value::F64(bytes_ratio)),
+        (
+            "memo_store".to_string(),
+            Value::Object(vec![
+                ("entries".to_string(), Value::U64(memo.entries)),
+                ("capacity".to_string(), Value::U64(memo.capacity)),
+                ("hits".to_string(), Value::U64(memo.hits)),
+                ("misses".to_string(), Value::U64(memo.misses)),
+                ("insertions".to_string(), Value::U64(memo.insertions)),
+                ("evictions".to_string(), Value::U64(memo.evictions)),
+                (
+                    "hit_rate".to_string(),
+                    Value::F64(if memo_lookups == 0 {
+                        0.0
+                    } else {
+                        memo.hits as f64 / memo_lookups as f64
+                    }),
+                ),
+            ]),
+        ),
+        ("zipf_requests".to_string(), Value::U64(ZIPF_REQUESTS as u64)),
+        ("zipf_evals_per_second".to_string(), Value::F64(ZIPF_REQUESTS as f64 / zipf_seconds)),
+        ("eval_latency".to_string(), latency_value(&samples)),
+    ])
+}
+
 fn main() {
     let mut out = String::from("BENCH_service.json");
     let mut clients = DEFAULT_CLIENTS;
@@ -725,6 +909,7 @@ fn main() {
     let mut faults = DEFAULT_FAULTS.to_string();
     let mut storage_faults = DEFAULT_STORAGE_FAULTS.to_string();
     let mut conns = DEFAULT_CONNS;
+    let mut tenants = DEFAULT_TENANTS;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -732,6 +917,7 @@ fn main() {
             "--requests" => requests = next_count(&mut args, "--requests"),
             "--workers" => workers = next_count(&mut args, "--workers"),
             "--conns" => conns = next_count(&mut args, "--conns"),
+            "--tenants" => tenants = next_count(&mut args, "--tenants"),
             "--faults" => {
                 faults = args.next().unwrap_or_else(|| usage("--faults needs a spec"));
             }
@@ -815,6 +1001,7 @@ fn main() {
         ));
     }
 
+    let multi_tenant = multi_tenant_run(tenants);
     let concurrency = concurrency_run(workers, conns);
     let observability = observability_run(workers);
     let faulted = faulted_run(clients, requests, workers, &faults);
@@ -838,6 +1025,7 @@ fn main() {
         ("latency".to_string(), latency_value(&sorted_all)),
         ("per_op".to_string(), Value::Object(per_op)),
         ("plan_cache".to_string(), cache.clone()),
+        ("multi_tenant".to_string(), multi_tenant),
         ("concurrency".to_string(), concurrency),
         ("observability".to_string(), observability),
         ("faulted".to_string(), faulted),
@@ -875,7 +1063,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: bench_service [OUT.json] [--clients N] [--requests N] [--workers N] \
-         [--conns N] [--faults SPEC] [--storage-faults SPEC]"
+         [--conns N] [--tenants N] [--faults SPEC] [--storage-faults SPEC]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -6,8 +6,11 @@
 //! case_tool dot   case.json      # annotated Graphviz DOT on stdout
 //! case_tool rank  case.json      # evidence ranked by improvement value
 //! case_tool demo                 # print a sample case.json to start from
+//! case_tool stamp TEMPLATE COUNT  # NDJSON load lines for COUNT stamped
+//!                                 # variants of template TEMPLATE (0..9)
 //! case_tool serve [--addr HOST:PORT] [--stdio] [--io epoll|threads]
-//!                 [--workers N] [--cache N] [--queue N] [--conns N]
+//!                 [--workers N] [--cache N] [--shards N] [--memo-cap N]
+//!                 [--queue N] [--conns N]
 //!                 [--deadline MS] [--drain MS] [--faults SPEC]
 //!                 [--data-dir PATH] [--fsync always|never]
 //!                 [--snapshot-every N] [--storage-faults SPEC]
@@ -36,6 +39,13 @@
 //! `--snapshot-every N` compacts the WAL behind a content-addressed
 //! snapshot every N mutations (default 256; 0 disables).
 //!
+//! `--shards` stripes the registry and plan cache into independent
+//! locks (default 8) for multi-tenant workloads; `--memo-cap` sizes the
+//! global content-addressed memo store that shares subtree results
+//! across every compile (entries, default 262144; 0 disables it).
+//! `stamp` emits ready-to-pipe `load` lines for deterministic template
+//! variants — the multi-tenant smoke test's workload generator.
+//!
 //! `--storage-faults` (requires `--data-dir`) routes every WAL and
 //! snapshot file operation through a deterministic seeded fault
 //! injector — EIO, ENOSPC budgets, short writes, torn tails, read-side
@@ -56,8 +66,8 @@
 
 use depcase::assurance::{importance, templates, Case};
 use depcase_service::{
-    serve_stdio_with, DurabilityConfig, Engine, FaultPlan, FaultyIo, FsyncPolicy, IoModel, RealIo,
-    Server, ServerConfig, StorageIo,
+    serve_stdio_with, DurabilityConfig, Engine, EngineConfig, FaultPlan, FaultyIo, FsyncPolicy,
+    IoModel, RealIo, Server, ServerConfig, StorageIo,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -74,7 +84,7 @@ fn load(path: &str) -> Result<Case, String> {
 fn serve(args: &[String]) -> Result<(), String> {
     let mut addr = DEFAULT_ADDR.to_string();
     let mut stdio = false;
-    let mut cache = DEFAULT_CACHE;
+    let mut engine_config = EngineConfig::new(DEFAULT_CACHE);
     let mut config = ServerConfig::default();
     let mut durability: Option<DurabilityConfig> = None;
     let mut storage_faults: Option<String> = None;
@@ -102,7 +112,14 @@ fn serve(args: &[String]) -> Result<(), String> {
                 };
             }
             "--workers" => config.workers = int_flag("--workers", &mut it)? as usize,
-            "--cache" => cache = int_flag("--cache", &mut it)? as usize,
+            "--cache" => engine_config.cache_capacity = int_flag("--cache", &mut it)? as usize,
+            "--shards" => {
+                engine_config.shards = int_flag("--shards", &mut it)? as usize;
+                if engine_config.shards == 0 {
+                    return Err("--shards needs at least 1".into());
+                }
+            }
+            "--memo-cap" => engine_config.memo_entries = int_flag("--memo-cap", &mut it)? as usize,
             "--queue" => config.queue_capacity = int_flag("--queue", &mut it)? as usize,
             "--conns" => config.max_connections = int_flag("--conns", &mut it)? as usize,
             "--deadline" => {
@@ -151,14 +168,14 @@ fn serve(args: &[String]) -> Result<(), String> {
                 Some(spec) => Arc::new(FaultyIo::parse(RealIo::shared(), spec)?),
                 None => RealIo::shared(),
             };
-            Engine::open_with_io(cache, dc, io)
+            Engine::open_config_with_io(&engine_config, dc, io)
                 .map_err(|e| format!("opening data dir {}: {e}", dc.data_dir.display()))?
         }
         None => {
             if storage_faults.is_some() {
                 return Err("--storage-faults requires --data-dir".into());
             }
-            Engine::new(cache)
+            Engine::with_config(&engine_config)
         }
     });
     if no_trace {
@@ -181,12 +198,20 @@ fn serve(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     eprintln!(
-        "case_tool serve: {} io, {} workers, plan cache {cache}, queue {}, conns {}{}{}{}{}{}{}{}",
+        "case_tool serve: {} io, {} workers, plan cache {} over {} shards, memo store {}, \
+         queue {}, conns {}{}{}{}{}{}{}{}",
         match config.io {
             IoModel::Epoll => "epoll",
             IoModel::Threads => "threads",
         },
         config.workers,
+        engine_config.cache_capacity,
+        engine.shard_count(),
+        if engine_config.memo_entries == 0 {
+            "off".to_string()
+        } else {
+            format!("{} entries", engine_config.memo_entries)
+        },
         config.queue_capacity,
         config.max_connections,
         match config.default_deadline_ms {
@@ -279,12 +304,68 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
+        Some("stamp") => stamp(&args[1..]),
         Some("serve") => serve(&args[1..]),
         _ => Err(
-            "usage: case_tool {eval|dot|rank} <case.json> | case_tool demo | case_tool serve [--addr HOST:PORT|--stdio] [--io epoll|threads] [--workers N] [--cache N] [--queue N] [--conns N] [--deadline MS] [--drain MS] [--faults SPEC] [--data-dir PATH] [--fsync always|never] [--snapshot-every N] [--storage-faults SPEC] [--trace-dir DIR] [--slow-ms MS] [--no-trace]"
+            "usage: case_tool {eval|dot|rank} <case.json> | case_tool demo | case_tool stamp {TEMPLATE|all} COUNT [--eval] | case_tool serve [--addr HOST:PORT|--stdio] [--io epoll|threads] [--workers N] [--cache N] [--shards N] [--memo-cap N] [--queue N] [--conns N] [--deadline MS] [--drain MS] [--faults SPEC] [--data-dir PATH] [--fsync always|never] [--snapshot-every N] [--storage-faults SPEC] [--trace-dir DIR] [--slow-ms MS] [--no-trace]"
                 .into(),
         ),
     }
+}
+
+/// `stamp {TEMPLATE|all} COUNT [--eval]`: deterministic NDJSON `load`
+/// lines for COUNT stamped template variants, ready to pipe into
+/// `serve --stdio` — the multi-tenant smoke test's workload generator.
+/// `all` round-robins the variants across every template; `--eval`
+/// appends one `eval` line per registered name after the loads, so one
+/// pipe both registers the fleet and reads every answer back.
+fn stamp(args: &[String]) -> Result<(), String> {
+    let which = args.first().ok_or("usage: case_tool stamp {TEMPLATE|all} COUNT [--eval]")?;
+    let count: u64 = args
+        .get(1)
+        .ok_or("stamp needs a COUNT")?
+        .parse()
+        .map_err(|_| "COUNT needs to be an integer".to_string())?;
+    let with_eval = match args.get(2).map(String::as_str) {
+        None => false,
+        Some("--eval") => true,
+        Some(other) => return Err(format!("unknown stamp flag `{other}`")),
+    };
+    let template_count = templates::TEMPLATE_COUNT as u64;
+    let pick = |i: u64| -> Result<(u64, u64), String> {
+        match which.as_str() {
+            "all" => Ok((i % template_count, i / template_count)),
+            t => {
+                let t: u64 =
+                    t.parse().map_err(|_| format!("TEMPLATE needs 0..{template_count} or all"))?;
+                if t >= template_count {
+                    return Err(format!("TEMPLATE needs 0..{template_count} or all"));
+                }
+                Ok((t, i))
+            }
+        }
+    };
+    let out = std::io::stdout();
+    let mut out = std::io::BufWriter::new(out.lock());
+    use std::io::Write;
+    let mut id = 0u64;
+    for i in 0..count {
+        let (template, variant) = pick(i)?;
+        let case = templates::stamp(template as usize, variant);
+        id += 1;
+        let doc = serde_json::to_string(&case).map_err(|e| e.to_string())?;
+        writeln!(out, r#"{{"id":{id},"op":"load","name":"t{template}-v{variant}","case":{doc}}}"#)
+            .map_err(|e| e.to_string())?;
+    }
+    if with_eval {
+        for i in 0..count {
+            let (template, variant) = pick(i)?;
+            id += 1;
+            writeln!(out, r#"{{"id":{id},"op":"eval","name":"t{template}-v{variant}"}}"#)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    out.flush().map_err(|e| e.to_string())
 }
 
 fn truncate(s: &str, n: usize) -> String {

@@ -1,14 +1,31 @@
-//! The assessment engine: a named, versioned case registry in front of
-//! the compiled-plan cache, optionally backed by a durability layer.
+//! The assessment engine: a sharded, named, versioned case registry in
+//! front of sharded compiled-plan caches and an optional global
+//! content-addressed memo store, optionally backed by a durability
+//! layer.
 //!
 //! [`Engine::handle`] is the single entry point; it is `&self` and
 //! thread-safe, so any number of server workers can call it
-//! concurrently. Locks are held only around registry/cache bookkeeping —
-//! the expensive work (plan compilation, Monte-Carlo sampling) runs
-//! outside every lock, on the worker's own thread. The one exception is
-//! the mutation commit path: a dedicated durability mutex serializes
-//! `load`/`edit` commits so the WAL's sequence order always equals the
-//! registry's commit order — readers never touch that lock.
+//! concurrently. Registry and cache state is split across
+//! [`EngineConfig::shards`] independent shards — names route by FNV-1a
+//! hash, compiled plans by content hash — so tenants working on
+//! different names contend only when their names collide on a shard,
+//! not on one global mutex. Locks are held only around registry/cache
+//! bookkeeping — the expensive work (plan compilation, Monte-Carlo
+//! sampling) runs outside every lock, on the worker's own thread. The
+//! one exception is the mutation commit path: a dedicated durability
+//! mutex serializes `load`/`edit` commits **across all shards** so the
+//! WAL's sequence order always equals the registry's commit order —
+//! sharding changes who contends on reads, never the recovery
+//! semantics — and readers never touch that lock.
+//!
+//! Compilation shares work across tenants: when the engine's global
+//! memo store is enabled ([`EngineConfig::memo_entries`]), every
+//! compile memoises per-subtree results keyed by the IR's Merkle
+//! subtree hashes, so ten thousand stamped variants of one case
+//! template each compute only the few subtrees their stamp actually
+//! changed — bit-identically to compiling each from scratch (the memo
+//! stores exact `f64` results keyed by exact content, never
+//! approximations).
 //!
 //! The registry keeps **every** version of every named case reachable:
 //! each mutation appends a [`VersionRecord`] to the name's history and
@@ -32,16 +49,16 @@
 use crate::cache::{CacheCounters, CompiledCase, PlanCache};
 use crate::lock_unpoisoned;
 use crate::protocol::{
-    format_hash, BatchItem, EditAction, ErrorCode, EvalAt, Request, Response, WireError,
+    format_hash, BatchItem, EditAction, ErrorCode, EvalAt, Json, Request, Response, WireError,
 };
 use crate::snapshot::{Manifest, ManifestCase, Store, VersionRecord};
-use crate::stats::{RobustnessCounters, RobustnessEvent, ServiceStats};
+use crate::stats::{CompileCounters, RobustnessCounters, RobustnessEvent, ServiceStats};
 use crate::storage_io::{RealIo, StorageIo};
 use crate::telemetry::{self, MetricsRegistry, Telemetry, TlsTracer};
 use crate::wal::{FsyncPolicy, Wal, WalOp, WalRecord};
 use depcase::assurance::{
-    importance, Case, ConfidenceReport, EditStats, EvalPlan, Incremental, MonteCarlo, NodeId,
-    NodeKind,
+    importance, Case, ConfidenceReport, EditStats, EvalPlan, Incremental, MemoStore,
+    MemoStoreStats, MonteCarlo, NodeId, NodeKind, SharedMemo,
 };
 use depcase::distributions::TwoPoint;
 use depcase::sil::{SilAssessment, SilLevel};
@@ -81,10 +98,58 @@ fn now_ms() -> u64 {
         .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
 }
 
-/// A registered case at one version: the graph plus registry metadata.
+/// A registry-parked case object in its compact cold form: the
+/// canonical serialized document plus the title the response headers
+/// need. The registry keeps tens of thousands of tenants resident, but
+/// the hot path reads cases out of the plan cache (whose sessions own
+/// their graphs) — the registry copy exists for recompiles after cache
+/// eviction, time-travel reads, snapshots, and scrub repair, all of
+/// which tolerate a parse. Storing the document instead of the parsed
+/// graph cuts resident bytes per tenant several-fold, and rehydration
+/// is the exact round-trip the snapshot store already performs, so it
+/// is bit-identical by the same argument the crash matrix proves.
+#[derive(Debug, Clone)]
+struct PackedCase {
+    /// Canonical serialized case document (the snapshot object form).
+    doc: Arc<str>,
+    /// Case title, kept unpacked for response headers.
+    title: Arc<str>,
+}
+
+impl PackedCase {
+    /// Packs a live case into its canonical serialized form.
+    fn pack(case: &Case) -> PackedCase {
+        let doc = serde_json::to_string(&Json(Serialize::to_value(case)))
+            .expect("a live case always serializes");
+        PackedCase { doc: doc.into(), title: case.title().into() }
+    }
+
+    /// Parses the packed bytes back to the document value.
+    fn doc_value(&self) -> Result<Value, String> {
+        serde_json::from_str::<Json>(&self.doc)
+            .map(|Json(value)| value)
+            .map_err(|e| format!("packed case document failed to parse: {e}"))
+    }
+
+    /// Rehydrates the full case graph.
+    fn unpack(&self) -> Result<Case, String> {
+        Case::from_value(&self.doc_value()?)
+            .map_err(|e| format!("packed case document failed to rebuild: {e}"))
+    }
+
+    /// [`PackedCase::unpack`] with the failure mapped to a wire error.
+    /// The engine packed these bytes itself, so a failure here is an
+    /// internal invariant break, not bad client input.
+    fn unpack_wire(&self) -> Result<Case, WireError> {
+        self.unpack().map_err(|e| WireError::new(ErrorCode::InternalError, e))
+    }
+}
+
+/// A registered case at one version: the packed graph plus registry
+/// metadata.
 #[derive(Debug, Clone)]
 struct CaseEntry {
-    case: Arc<Case>,
+    case: PackedCase,
     /// 1-based, bumped by every `load`/`edit` under this name.
     version: u64,
     /// Content hash of this version (plan-cache and object-store key).
@@ -103,17 +168,17 @@ struct NamedCase {
 #[derive(Debug, Default)]
 struct Registry {
     cases: HashMap<String, NamedCase>,
-    /// Every case version ever committed, keyed by content hash —
-    /// identical content is stored once no matter how many names or
-    /// versions reference it.
-    objects: HashMap<u64, Arc<Case>>,
+    /// Every case version ever committed, packed, keyed by content
+    /// hash — identical content is stored once no matter how many
+    /// names or versions reference it.
+    objects: HashMap<u64, PackedCase>,
 }
 
 impl Registry {
-    /// Commits one mutation: parks the object, replaces the name's
-    /// current entry, and appends to its history.
-    fn commit(&mut self, name: &str, case: Arc<Case>, record: VersionRecord) {
-        self.objects.entry(record.hash).or_insert_with(|| Arc::clone(&case));
+    /// Commits one mutation: parks the packed object, replaces the
+    /// name's current entry, and appends to its history.
+    fn commit(&mut self, name: &str, case: PackedCase, record: VersionRecord) {
+        self.objects.entry(record.hash).or_insert_with(|| case.clone());
         let entry = CaseEntry { case, version: record.version, hash: record.hash };
         match self.cases.get_mut(name) {
             Some(named) => {
@@ -125,6 +190,52 @@ impl Registry {
                     .insert(name.to_string(), NamedCase { current: entry, history: vec![record] });
             }
         }
+    }
+}
+
+/// FNV-1a over a case name: the shard router. Deliberately *not*
+/// persisted — recovery re-routes every name by hashing it again, so
+/// the shard map is a pure function of the name and the shard count,
+/// and restarting with a different `--shards` is always safe.
+fn shard_of(name: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    usize::try_from(h % shards as u64).expect("shard index fits usize")
+}
+
+/// Default shard count for registry and plan-cache state.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Default capacity of the global content-addressed memo store
+/// (entries, not bytes; one entry is a subtree hash plus three `f64`s).
+pub const DEFAULT_MEMO_ENTRIES: usize = 1 << 18;
+
+/// Construction-time tuning for [`Engine::with_config`]: how much
+/// compiled state to keep and how widely to stripe it.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Total compiled cases kept across all plan-cache shards
+    /// (`--cache`).
+    pub cache_capacity: usize,
+    /// Registry/cache shards (`--shards`). Clamped to
+    /// `[1, cache_capacity]` so a tiny cache is never striped thinner
+    /// than one entry per shard.
+    pub shards: usize,
+    /// Capacity of the global content-addressed memo store shared by
+    /// every compile (`--memo-cap`); 0 disables it, giving each
+    /// compile a private per-session memo instead.
+    pub memo_entries: usize,
+}
+
+impl EngineConfig {
+    /// Defaults for `cache_capacity`: [`DEFAULT_SHARDS`] shards and a
+    /// [`DEFAULT_MEMO_ENTRIES`]-entry global memo store.
+    #[must_use]
+    pub fn new(cache_capacity: usize) -> Self {
+        EngineConfig { cache_capacity, shards: DEFAULT_SHARDS, memo_entries: DEFAULT_MEMO_ENTRIES }
     }
 }
 
@@ -259,8 +370,15 @@ fn wait_for_flight(flight: &Flight, deadline: Option<Instant>) -> Option<Result<
 /// The long-running assessment engine.
 #[derive(Debug)]
 pub struct Engine {
-    registry: Mutex<Registry>,
-    cache: Mutex<PlanCache>,
+    /// Registry shards, indexed by [`shard_of`] the case name. Each
+    /// shard has its own lock; no operation holds two at once.
+    registries: Vec<Mutex<Registry>>,
+    /// Plan-cache shards, indexed by content hash (decoupled from the
+    /// name shard: every cache access site already has the hash).
+    caches: Vec<Mutex<PlanCache>>,
+    /// The global content-addressed memo store shared by every compile;
+    /// `None` when disabled (`memo_entries: 0`).
+    memo: Option<Arc<SharedMemo>>,
     stats: Mutex<ServiceStats>,
     /// `Some` for durable engines. Also taken (even when `None`) to
     /// serialize mutation commits.
@@ -284,14 +402,27 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Creates an in-memory engine whose plan cache holds
-    /// `cache_capacity` compiled cases. Nothing survives a restart, but
-    /// version history and time-travel still work within the process.
+    /// Creates an in-memory engine whose plan caches hold
+    /// `cache_capacity` compiled cases in total, with the default shard
+    /// count and memo store. Nothing survives a restart, but version
+    /// history and time-travel still work within the process.
     #[must_use]
     pub fn new(cache_capacity: usize) -> Self {
+        Engine::with_config(&EngineConfig::new(cache_capacity))
+    }
+
+    /// Creates an in-memory engine with explicit sharding and memo
+    /// sizing. The shard count is clamped to `[1, cache_capacity]`
+    /// (each cache shard holds at least one entry); the total cache
+    /// capacity is split evenly across shards, rounding up.
+    #[must_use]
+    pub fn with_config(config: &EngineConfig) -> Self {
+        let shards = config.shards.clamp(1, config.cache_capacity.max(1));
+        let per_shard_cache = config.cache_capacity.div_ceil(shards);
         Engine {
-            registry: Mutex::new(Registry::default()),
-            cache: Mutex::new(PlanCache::new(cache_capacity)),
+            registries: (0..shards).map(|_| Mutex::new(Registry::default())).collect(),
+            caches: (0..shards).map(|_| Mutex::new(PlanCache::new(per_shard_cache))).collect(),
+            memo: (config.memo_entries > 0).then(|| Arc::new(SharedMemo::new(config.memo_entries))),
             stats: Mutex::new(ServiceStats::default()),
             durability: Mutex::new(None),
             mc_flights: Mutex::new(HashMap::new()),
@@ -300,6 +431,60 @@ impl Engine {
             corrupt: Mutex::new(CorruptState::default()),
             telemetry: Arc::new(Telemetry::new()),
         }
+    }
+
+    /// The registry shard owning `name`.
+    fn registry(&self, name: &str) -> &Mutex<Registry> {
+        &self.registries[shard_of(name, self.registries.len())]
+    }
+
+    /// The plan-cache shard owning content hash `hash`.
+    fn cache(&self, hash: u64) -> &Mutex<PlanCache> {
+        let n = self.caches.len() as u64;
+        &self.caches[usize::try_from(hash % n).expect("shard index fits usize")]
+    }
+
+    /// Searches every registry shard for a parked object copy
+    /// (scrub-time repair source) — shard locks are taken one at a
+    /// time, never together.
+    fn parked_object(&self, hash: u64) -> Option<PackedCase> {
+        self.registries.iter().find_map(|shard| lock_unpoisoned(shard).objects.get(&hash).cloned())
+    }
+
+    /// Aggregated cache counters plus total entries/capacity, collected
+    /// shard by shard.
+    fn cache_totals(&self) -> (CacheCounters, usize, usize) {
+        let mut totals = CacheCounters::default();
+        let (mut entries, mut capacity) = (0usize, 0usize);
+        for shard in &self.caches {
+            let cache = lock_unpoisoned(shard);
+            let c = cache.counters();
+            totals.hits += c.hits;
+            totals.misses += c.misses;
+            totals.evictions += c.evictions;
+            entries += cache.len();
+            capacity += cache.capacity();
+        }
+        (totals, entries, capacity)
+    }
+
+    /// Number of registry/cache shards this engine was built with.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.registries.len()
+    }
+
+    /// Counter snapshot of the global memo store; `None` when the
+    /// store is disabled.
+    #[must_use]
+    pub fn memo_stats(&self) -> Option<MemoStoreStats> {
+        self.memo.as_ref().map(|m| m.stats())
+    }
+
+    /// Snapshot of the compile counters (for tests and benches).
+    #[must_use]
+    pub fn compile_counters(&self) -> CompileCounters {
+        lock_unpoisoned(&self.stats).compile()
     }
 
     /// The engine's observability hub: per-request tracing, latency
@@ -328,6 +513,18 @@ impl Engine {
         Engine::open_with_io(cache_capacity, config, RealIo::shared())
     }
 
+    /// [`Engine::open`] with explicit sharding and memo sizing.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] as for [`Engine::open`].
+    pub fn open_config(
+        config: &EngineConfig,
+        durability: &DurabilityConfig,
+    ) -> std::io::Result<Engine> {
+        Engine::open_config_with_io(config, durability, RealIo::shared())
+    }
+
     /// [`Engine::open`] over an explicit [`StorageIo`] — the seam the
     /// fault-injection and crash-matrix tests use to run the real
     /// recovery code against simulated or faulty disks.
@@ -348,7 +545,21 @@ impl Engine {
         config: &DurabilityConfig,
         io: Arc<dyn StorageIo>,
     ) -> std::io::Result<Engine> {
-        let engine = Engine::new(cache_capacity);
+        Engine::open_config_with_io(&EngineConfig::new(cache_capacity), config, io)
+    }
+
+    /// [`Engine::open_with_io`] with explicit sharding and memo sizing
+    /// — the full-control constructor every other one funnels into.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] as for [`Engine::open`].
+    pub fn open_config_with_io(
+        engine_config: &EngineConfig,
+        config: &DurabilityConfig,
+        io: Arc<dyn StorageIo>,
+    ) -> std::io::Result<Engine> {
+        let engine = Engine::with_config(engine_config);
         let store = Store::open_with_io(&config.data_dir, io)?;
         let manifest = store.load_manifest()?;
         let mut last_seq = 0u64;
@@ -420,25 +631,23 @@ impl Engine {
     /// name whose registry state is unreconstructable is dropped from
     /// serving entirely so `data_corrupted` is the only answer it gives.
     fn heal_after_replay(&self, store: &Store, poisoned: HashSet<String>) {
-        let mut corrupt = lock_unpoisoned(&self.corrupt);
-        let mut registry = lock_unpoisoned(&self.registry);
-        let mut stats = lock_unpoisoned(&self.stats);
-        let healed: Vec<u64> = corrupt
-            .hashes
-            .iter()
-            .copied()
+        let quarantined: Vec<u64> = lock_unpoisoned(&self.corrupt).hashes.iter().copied().collect();
+        let healed: Vec<u64> = quarantined
+            .into_iter()
             .filter(|hash| {
-                registry.objects.get(hash).is_some_and(|case| {
-                    store.rewrite_object(*hash, &Serialize::to_value(&**case)).is_ok()
+                self.parked_object(*hash).is_some_and(|packed| {
+                    packed.doc_value().is_ok_and(|doc| store.rewrite_object(*hash, &doc).is_ok())
                 })
             })
             .collect();
+        let mut corrupt = lock_unpoisoned(&self.corrupt);
+        let mut stats = lock_unpoisoned(&self.stats);
         for hash in healed {
             corrupt.hashes.remove(&hash);
             stats.storage_health_mut().repaired_from_wal += 1;
         }
         for name in poisoned {
-            registry.cases.remove(&name);
+            lock_unpoisoned(self.registry(&name)).cases.remove(&name);
             corrupt.names.insert(name);
         }
     }
@@ -472,15 +681,18 @@ impl Engine {
     /// ([`Engine::heal_after_replay`]), and until something does, reads
     /// that resolve to it answer `data_corrupted`.
     fn restore_snapshot(&self, store: &Store, manifest: &Manifest) -> std::io::Result<()> {
-        let mut registry = lock_unpoisoned(&self.registry);
         for snap_case in &manifest.cases {
+            // Objects park in the shard that owns the case's name; the
+            // shard lock is dropped around each disk read + verify.
+            let shard = self.registry(&snap_case.name);
             for record in &snap_case.history {
-                if registry.objects.contains_key(&record.hash) {
+                if lock_unpoisoned(shard).objects.contains_key(&record.hash) {
                     continue;
                 }
                 match verify_object(store, record.hash) {
                     Ok(case) => {
-                        registry.objects.insert(record.hash, Arc::new(case));
+                        let packed = PackedCase::pack(&case);
+                        lock_unpoisoned(shard).objects.insert(record.hash, packed);
                     }
                     Err(reason) => self.quarantine(store, record.hash, &reason),
                 }
@@ -493,8 +705,8 @@ impl Engine {
             // versions leave the name serving and fail only time-travel
             // reads that resolve to them.
             let last = *snap_case.history.last().expect("manifest history is never empty");
-            if registry.objects.contains_key(&last.hash) {
-                let case = Arc::clone(&registry.objects[&last.hash]);
+            let mut registry = lock_unpoisoned(shard);
+            if let Some(case) = registry.objects.get(&last.hash).cloned() {
                 registry.cases.insert(
                     snap_case.name.clone(),
                     NamedCase {
@@ -503,6 +715,7 @@ impl Engine {
                     },
                 );
             } else {
+                drop(registry);
                 lock_unpoisoned(&self.corrupt).names.insert(snap_case.name.clone());
             }
         }
@@ -537,17 +750,22 @@ impl Engine {
                 Case::from_value(doc).map_err(|e| format!("replaying load #{seq}: {e}"))?
             }
             WalOp::Edit { base_hash, action } => {
-                let base =
-                    lock_unpoisoned(&self.registry).objects.get(base_hash).cloned().ok_or_else(
-                        || {
-                            format!(
-                                "replaying edit #{seq}: base object {} is missing",
-                                format_hash(*base_hash)
-                            )
-                        },
-                    )?;
-                let mut session = Incremental::new((*base).clone())
+                // The base committed under the same name, so it parked
+                // in this name's shard.
+                let base = lock_unpoisoned(self.registry(&record.name))
+                    .objects
+                    .get(base_hash)
+                    .cloned()
+                    .ok_or_else(|| {
+                        format!(
+                            "replaying edit #{seq}: base object {} is missing",
+                            format_hash(*base_hash)
+                        )
+                    })?
+                    .unpack()
                     .map_err(|e| format!("replaying edit #{seq}: {e}"))?;
+                let mut session =
+                    Incremental::new(base).map_err(|e| format!("replaying edit #{seq}: {e}"))?;
                 apply_action(&mut session, action)
                     .map_err(|e| format!("replaying edit #{seq}: {}", e.message))?;
                 session.case().clone()
@@ -562,7 +780,11 @@ impl Engine {
         }
         let timestamps =
             VersionRecord { version: record.version, hash: record.hash, ts_ms: record.ts_ms };
-        lock_unpoisoned(&self.registry).commit(&record.name, Arc::new(case), timestamps);
+        lock_unpoisoned(self.registry(&record.name)).commit(
+            &record.name,
+            PackedCase::pack(&case),
+            timestamps,
+        );
         Ok(())
     }
 
@@ -671,15 +893,68 @@ impl Engine {
     /// response body, so a final dump always reaches the client).
     #[must_use]
     pub fn stats_value(&self) -> Value {
-        let (counters, entries, capacity) = {
-            let cache = lock_unpoisoned(&self.cache);
-            (cache.counters(), cache.len(), cache.capacity())
-        };
+        let (counters, entries, capacity) = self.cache_totals();
         let mut value = lock_unpoisoned(&self.stats).to_value(counters, entries, capacity);
         if let Value::Object(fields) = &mut value {
+            fields.push(("shards".to_string(), self.shards_value()));
+            fields.push(("memo_store".to_string(), self.memo_value()));
             fields.push(("build".to_string(), self.build_value()));
         }
         value
+    }
+
+    /// The `stats` response's `shards` block: per-shard registry and
+    /// cache occupancy, collected one shard at a time — assembling this
+    /// snapshot never stops the other shards from serving.
+    fn shards_value(&self) -> Value {
+        let per_shard: Vec<Value> = (0..self.registries.len())
+            .map(|i| {
+                let (cases, objects) = {
+                    let registry = lock_unpoisoned(&self.registries[i]);
+                    (registry.cases.len() as u64, registry.objects.len() as u64)
+                };
+                let (counters, entries, capacity) = {
+                    let cache = lock_unpoisoned(&self.caches[i]);
+                    (cache.counters(), cache.len() as u64, cache.capacity() as u64)
+                };
+                Value::Object(vec![
+                    ("shard".to_string(), Value::U64(i as u64)),
+                    ("cases".to_string(), Value::U64(cases)),
+                    ("objects".to_string(), Value::U64(objects)),
+                    ("cache_entries".to_string(), Value::U64(entries)),
+                    ("cache_capacity".to_string(), Value::U64(capacity)),
+                    ("cache_hits".to_string(), Value::U64(counters.hits)),
+                    ("cache_misses".to_string(), Value::U64(counters.misses)),
+                    ("cache_evictions".to_string(), Value::U64(counters.evictions)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("count".to_string(), Value::U64(self.registries.len() as u64)),
+            ("per_shard".to_string(), Value::Array(per_shard)),
+        ])
+    }
+
+    /// The `stats` response's `memo_store` block: the global
+    /// content-addressed result store's counters, or `enabled: false`.
+    fn memo_value(&self) -> Value {
+        match self.memo_stats() {
+            None => Value::Object(vec![("enabled".to_string(), Value::Bool(false))]),
+            Some(s) => {
+                let lookups = s.hits + s.misses;
+                let hit_rate = if lookups == 0 { 0.0 } else { s.hits as f64 / lookups as f64 };
+                Value::Object(vec![
+                    ("enabled".to_string(), Value::Bool(true)),
+                    ("entries".to_string(), Value::U64(s.entries)),
+                    ("capacity".to_string(), Value::U64(s.capacity)),
+                    ("hits".to_string(), Value::U64(s.hits)),
+                    ("misses".to_string(), Value::U64(s.misses)),
+                    ("insertions".to_string(), Value::U64(s.insertions)),
+                    ("evictions".to_string(), Value::U64(s.evictions)),
+                    ("hit_rate".to_string(), Value::F64(hit_rate)),
+                ])
+            }
+        }
     }
 
     /// The `stats` response's `build` block: what is running, speaking
@@ -712,10 +987,7 @@ impl Engine {
             1.0,
         );
         {
-            let (counters, entries, capacity) = {
-                let cache = lock_unpoisoned(&self.cache);
-                (cache.counters(), cache.len(), cache.capacity())
-            };
+            let (counters, entries, capacity) = self.cache_totals();
             reg.counter(
                 "depcase_plan_cache_hits_total",
                 "Plan-cache lookups that hit",
@@ -748,6 +1020,45 @@ impl Engine {
             &[],
             self.coalesced.load(Ordering::Relaxed),
         );
+        reg.gauge(
+            "depcase_registry_shards",
+            "Registry/plan-cache shard count",
+            &[],
+            self.registries.len() as f64,
+        );
+        if let Some(s) = self.memo_stats() {
+            reg.counter("depcase_memo_store_hits_total", "Global memo store hits", &[], s.hits);
+            reg.counter(
+                "depcase_memo_store_misses_total",
+                "Global memo store misses",
+                &[],
+                s.misses,
+            );
+            reg.counter(
+                "depcase_memo_store_insertions_total",
+                "Global memo store insertions",
+                &[],
+                s.insertions,
+            );
+            reg.counter(
+                "depcase_memo_store_evictions_total",
+                "Global memo store second-chance evictions",
+                &[],
+                s.evictions,
+            );
+            reg.gauge(
+                "depcase_memo_store_entries",
+                "Global memo store live entries",
+                &[],
+                s.entries as f64,
+            );
+            reg.gauge(
+                "depcase_memo_store_capacity",
+                "Global memo store capacity",
+                &[],
+                s.capacity as f64,
+            );
+        }
         lock_unpoisoned(&self.stats).collect_metrics(&mut reg);
         self.telemetry.collect_metrics(&mut reg);
         if prometheus {
@@ -757,10 +1068,11 @@ impl Engine {
         }
     }
 
-    /// Cache counters alone (for tests and the bench harness).
+    /// Aggregated cache counters across every shard (for tests and the
+    /// bench harness).
     #[must_use]
     pub fn cache_counters(&self) -> CacheCounters {
-        lock_unpoisoned(&self.cache).counters()
+        self.cache_totals().0
     }
 
     /// Commits one mutation: assigns the next version, writes the WAL
@@ -769,20 +1081,21 @@ impl Engine {
     ///
     /// The durability mutex is held for the whole commit — version
     /// assignment, append, registry update — so WAL sequence order and
-    /// registry commit order are the same order, which is what makes
-    /// replay deterministic. The registry lock itself is only taken for
-    /// the brief map updates, so readers (`eval`, `history`, …) never
-    /// wait on an fsync.
+    /// registry commit order are the same order **across every shard**,
+    /// which is what makes replay deterministic: sharding stripes the
+    /// read path, never the commit order. The shard lock itself is only
+    /// taken for the brief map updates, so readers (`eval`, `history`,
+    /// …) never wait on an fsync.
     fn commit_mutation(
         &self,
         name: &str,
-        case: Arc<Case>,
+        case: PackedCase,
         hash: u64,
         op: WalOp,
     ) -> Result<u64, WireError> {
         let mut durability = lock_unpoisoned(&self.durability);
         let version = {
-            let registry = lock_unpoisoned(&self.registry);
+            let registry = lock_unpoisoned(self.registry(name));
             registry.cases.get(name).map_or(1, |named| named.current.version + 1)
         };
         let ts_ms = now_ms();
@@ -829,7 +1142,11 @@ impl Engine {
                 }
             }
         }
-        lock_unpoisoned(&self.registry).commit(name, case, VersionRecord { version, hash, ts_ms });
+        lock_unpoisoned(self.registry(name)).commit(
+            name,
+            case,
+            VersionRecord { version, hash, ts_ms },
+        );
         // A committed `load` fully re-establishes a quarantined name
         // from the wire: the fresh state lifts the quarantine.
         lock_unpoisoned(&self.corrupt).names.remove(name);
@@ -849,29 +1166,37 @@ impl Engine {
     /// truncates the WAL behind it (see [`crate::snapshot`] for the
     /// crash-ordering argument).
     fn write_snapshot(&self, d: &mut Durability) -> std::io::Result<()> {
-        let (manifest, missing) = {
-            let registry = lock_unpoisoned(&self.registry);
-            let mut cases: Vec<ManifestCase> = registry
-                .cases
-                .iter()
-                .map(|(name, named)| ManifestCase {
-                    name: name.clone(),
-                    history: named.history.clone(),
-                })
-                .collect();
-            cases.sort_by(|a, b| a.name.cmp(&b.name));
-            let missing: Vec<(u64, Arc<Case>)> = registry
-                .objects
-                .iter()
-                .filter(|(hash, _)| !d.store.has_object(**hash))
-                .map(|(hash, case)| (*hash, Arc::clone(case)))
-                .collect();
-            (Manifest { seq: d.next_seq - 1, cases }, missing)
-        };
-        // Serialization and object writes run outside the registry
-        // lock; only already-committed (immutable) objects are touched.
-        for (hash, case) in missing {
-            d.store.write_object(hash, &Serialize::to_value(&*case))?;
+        // Shard state is collected one shard at a time — the snapshot
+        // is still consistent because the caller holds the durability
+        // mutex, which every mutation commits under, so no shard can
+        // change between these reads. Objects committed under several
+        // names may park in several shards; the seen-set dedups them.
+        let mut cases: Vec<ManifestCase> = Vec::new();
+        let mut missing: Vec<(u64, PackedCase)> = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        for shard in &self.registries {
+            let registry = lock_unpoisoned(shard);
+            cases.extend(registry.cases.iter().map(|(name, named)| ManifestCase {
+                name: name.clone(),
+                history: named.history.clone(),
+            }));
+            missing.extend(
+                registry
+                    .objects
+                    .iter()
+                    .filter(|(hash, _)| seen.insert(**hash) && !d.store.has_object(**hash))
+                    .map(|(hash, packed)| (*hash, packed.clone())),
+            );
+        }
+        cases.sort_by(|a, b| a.name.cmp(&b.name));
+        let manifest = Manifest { seq: d.next_seq - 1, cases };
+        // Unpacking and object writes run outside every shard lock;
+        // only already-committed (immutable) objects are touched.
+        for (hash, packed) in missing {
+            let doc = packed
+                .doc_value()
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            d.store.write_object(hash, &doc)?;
         }
         d.store.write_manifest(&manifest)?;
         d.wal.truncate()?;
@@ -884,12 +1209,16 @@ impl Engine {
         let case = Case::from_value(doc).map_err(|e| WireError::new(ErrorCode::BadCase, e))?;
         // Reject unevaluable cases at the door rather than on first use;
         // compiling also warms the plan cache for the expected follow-up.
-        let compiled = compile(&case)?;
+        let compiled = self.compile_case(&case)?;
         let hash = case.content_hash();
         let nodes = case.iter().count();
-        lock_unpoisoned(&self.cache).insert(hash, Arc::new(compiled));
-        let version =
-            self.commit_mutation(name, Arc::new(case), hash, WalOp::Load { doc: doc.clone() })?;
+        lock_unpoisoned(self.cache(hash)).insert(hash, Arc::new(compiled));
+        let version = self.commit_mutation(
+            name,
+            PackedCase::pack(&case),
+            hash,
+            WalOp::Load { doc: doc.clone() },
+        )?;
         Ok(Value::Object(vec![
             ("name".to_string(), Value::Str(name.to_string())),
             ("version".to_string(), Value::U64(version)),
@@ -908,7 +1237,7 @@ impl Engine {
     /// registry, so resolution is two map lookups.
     fn lookup_at(&self, name: &str, at: Option<&EvalAt>) -> Result<CaseEntry, WireError> {
         self.check_not_quarantined(name)?;
-        let registry = lock_unpoisoned(&self.registry);
+        let registry = lock_unpoisoned(self.registry(name));
         let named = registry.cases.get(name).ok_or_else(|| {
             WireError::new(ErrorCode::UnknownCase, format!("no case named `{name}` is loaded"))
         })?;
@@ -972,12 +1301,33 @@ impl Engine {
     /// both compile; the cache keeps whichever inserts last — identical
     /// content, so correctness is unaffected.
     fn compiled(&self, entry: &CaseEntry) -> Result<Arc<CompiledCase>, WireError> {
-        if let Some(hit) = lock_unpoisoned(&self.cache).get(entry.hash) {
+        if let Some(hit) = lock_unpoisoned(self.cache(entry.hash)).get(entry.hash) {
             return Ok(hit);
         }
-        let compiled = Arc::new(compile(&entry.case)?);
-        lock_unpoisoned(&self.cache).insert(entry.hash, Arc::clone(&compiled));
+        let compiled = Arc::new(self.compile_case(&entry.case.unpack_wire()?)?);
+        lock_unpoisoned(self.cache(entry.hash)).insert(entry.hash, Arc::clone(&compiled));
         Ok(compiled)
+    }
+
+    /// Compiles one case into its plan/report/session artefacts,
+    /// memoising subtree results through the global store when one is
+    /// enabled — bit-identical to a private-memo compile either way —
+    /// and recording the recompute/reuse split in the compile counters.
+    fn compile_case(&self, case: &Case) -> Result<CompiledCase, WireError> {
+        telemetry::with_span("plan_compile", || {
+            let session = match &self.memo {
+                Some(store) => Incremental::with_memo_traced(
+                    case.clone(),
+                    Arc::clone(store) as Arc<dyn MemoStore>,
+                    &TlsTracer,
+                ),
+                None => Incremental::new_traced(case.clone(), &TlsTracer),
+            }
+            .map_err(|e| WireError::from(depcase::Error::from(e)))?;
+            let totals = session.totals();
+            lock_unpoisoned(&self.stats).note_compile(totals.nodes_recomputed, totals.nodes_reused);
+            Ok(CompiledCase { plan: session.plan().clone(), report: session.report(), session })
+        })
     }
 
     fn eval(
@@ -989,7 +1339,7 @@ impl Engine {
         let entry = self.lookup_at(name, at)?;
         let compiled = self.compiled(&entry)?;
         check_deadline(deadline)?;
-        Ok(eval_value(&entry, &compiled.report))
+        Ok(eval_value(&entry, compiled.session.case(), &compiled.report))
     }
 
     /// Dispatches a `batch` request: every item is answered in wire
@@ -1111,19 +1461,22 @@ impl Engine {
             }
             return;
         }
-        // Cache hits answer from the memoised report; misses queue for
-        // the wide kernel.
-        let mut cold: Vec<(CaseEntry, Vec<usize>, EvalPlan)> = Vec::new();
+        // Cache hits answer from the memoised report; misses unpack
+        // their registry copy and queue for the wide kernel.
+        let mut cold: Vec<(CaseEntry, Case, Vec<usize>, EvalPlan)> = Vec::new();
         for (entry, idxs) in wanted {
-            if let Some(hit) = lock_unpoisoned(&self.cache).get(entry.hash) {
-                fill(answers, &idxs, Response::Ok(eval_value(&entry, &hit.report)));
+            if let Some(hit) = lock_unpoisoned(self.cache(entry.hash)).get(entry.hash) {
+                let value = eval_value(&entry, hit.session.case(), &hit.report);
+                fill(answers, &idxs, Response::Ok(value));
             } else {
-                match EvalPlan::compile(&entry.case) {
-                    Ok(plan) => cold.push((entry, idxs, plan)),
-                    Err(e) => {
-                        let err = WireError::from(depcase::Error::from(e));
-                        fill(answers, &idxs, Response::Err(err));
-                    }
+                let unpacked = entry.case.unpack_wire().and_then(|case| {
+                    EvalPlan::compile(&case)
+                        .map(|plan| (case, plan))
+                        .map_err(|e| WireError::from(depcase::Error::from(e)))
+                });
+                match unpacked {
+                    Ok((case, plan)) => cold.push((entry, case, idxs, plan)),
+                    Err(err) => fill(answers, &idxs, Response::Err(err)),
                 }
             }
         }
@@ -1131,7 +1484,7 @@ impl Engine {
         // MAX_BATCH_ITEMS distinct cases).
         let mut groups: Vec<Vec<usize>> = Vec::new();
         for p in 0..cold.len() {
-            match groups.iter_mut().find(|g| cold[g[0]].2.same_shape(&cold[p].2)) {
+            match groups.iter_mut().find(|g| cold[g[0]].3.same_shape(&cold[p].3)) {
                 Some(g) => g.push(p),
                 None => groups.push(vec![p]),
             }
@@ -1139,30 +1492,33 @@ impl Engine {
         for group in groups {
             if let Err(e) = check_deadline(deadline) {
                 for &p in &group {
-                    fill(answers, &cold[p].1, Response::Err(e.clone()));
+                    fill(answers, &cold[p].2, Response::Err(e.clone()));
                 }
                 continue;
             }
             if let [only] = group[..] {
                 // A lone shape gains nothing from the batch kernel; the
                 // ordinary path also warms the plan cache for follow-ups.
-                let (entry, idxs, _) = &cold[only];
-                let response = self.compiled(entry).map(|c| eval_value(entry, &c.report)).into();
+                let (entry, _, idxs, _) = &cold[only];
+                let response = self
+                    .compiled(entry)
+                    .map(|c| eval_value(entry, c.session.case(), &c.report))
+                    .into();
                 fill(answers, idxs, response);
                 continue;
             }
-            let plans: Vec<&EvalPlan> = group.iter().map(|&p| &cold[p].2).collect();
+            let plans: Vec<&EvalPlan> = group.iter().map(|&p| &cold[p].3).collect();
             match EvalPlan::propagate_batch_traced(&plans, &TlsTracer) {
                 Ok(reports) => {
                     for (&p, report) in group.iter().zip(&reports) {
-                        let (entry, idxs, _) = &cold[p];
-                        fill(answers, idxs, Response::Ok(eval_value(entry, report)));
+                        let (entry, case, idxs, _) = &cold[p];
+                        fill(answers, idxs, Response::Ok(eval_value(entry, case, report)));
                     }
                 }
                 Err(e) => {
                     let err = WireError::from(depcase::Error::from(e));
                     for &p in &group {
-                        fill(answers, &cold[p].1, Response::Err(err.clone()));
+                        fill(answers, &cold[p].2, Response::Err(err.clone()));
                     }
                 }
             }
@@ -1174,7 +1530,7 @@ impl Engine {
     /// first — the audit trail behind time-travel `eval` and undo.
     fn history(&self, name: &str) -> Result<Value, WireError> {
         self.check_not_quarantined(name)?;
-        let registry = lock_unpoisoned(&self.registry);
+        let registry = lock_unpoisoned(self.registry(name));
         let named = registry.cases.get(name).ok_or_else(|| {
             WireError::new(ErrorCode::UnknownCase, format!("no case named `{name}` is loaded"))
         })?;
@@ -1191,7 +1547,7 @@ impl Engine {
             .collect();
         Ok(Value::Object(vec![
             ("name".to_string(), Value::Str(name.to_string())),
-            ("case".to_string(), Value::Str(named.current.case.title().to_string())),
+            ("case".to_string(), Value::Str(named.current.case.title.to_string())),
             ("current_version".to_string(), Value::U64(named.current.version)),
             ("current_hash".to_string(), Value::Str(format_hash(named.current.hash))),
             ("versions".to_string(), Value::Array(versions)),
@@ -1220,16 +1576,16 @@ impl Engine {
         let delta = apply_action(&mut session, action)?;
         let hash = session.case_hash();
         let nodes = session.case().len();
-        let case = Arc::new(session.case().clone());
+        let packed = PackedCase::pack(session.case());
         let compiled = Arc::new(CompiledCase {
             plan: session.plan().clone(),
             report: session.report(),
             session,
         });
-        lock_unpoisoned(&self.cache).insert(hash, Arc::clone(&compiled));
+        lock_unpoisoned(self.cache(hash)).insert(hash, Arc::clone(&compiled));
         let version = self.commit_mutation(
             name,
-            case,
+            packed,
             hash,
             WalOp::Edit { base_hash: entry.hash, action: action.clone() },
         )?;
@@ -1251,10 +1607,11 @@ impl Engine {
     fn rank(&self, name: &str, deadline: Option<Instant>) -> Result<Value, WireError> {
         let entry = self.lookup(name)?;
         // Warm/consult the cache so repeated ranking of an unchanged
-        // case is counted like any other cached evaluation.
-        let _ = self.compiled(&entry)?;
+        // case is counted like any other cached evaluation; the
+        // session's graph also saves unpacking the registry copy.
+        let compiled = self.compiled(&entry)?;
         check_deadline(deadline)?;
-        let ranking = importance::birnbaum_importance(&entry.case)
+        let ranking = importance::birnbaum_importance(compiled.session.case())
             .map_err(|e| WireError::from(depcase::Error::from(e)))?;
         let rows = ranking
             .into_iter()
@@ -1369,7 +1726,7 @@ impl Engine {
                 })?,
         };
         let mut estimates = Vec::new();
-        for (id, node) in entry.case.iter() {
+        for (id, node) in compiled.session.case().iter() {
             if let Some(estimate) = report.estimate(id) {
                 estimates.push(Value::Object(vec![
                     ("name".to_string(), Value::Str(node.name.clone())),
@@ -1446,31 +1803,42 @@ impl Engine {
     /// The `scrub` op: re-reads every object in the store, verifies its
     /// bytes hash back to their content address, re-serializes corrupt
     /// ones from the intact in-memory registry copy when one is
-    /// reachable, and quarantines the rest. The durability mutex is
-    /// held for the whole pass so no snapshot write races the scan.
+    /// reachable, and quarantines the rest.
+    ///
+    /// The durability mutex is re-acquired **per object**, not held for
+    /// the whole walk: a scan over a hundred thousand objects must not
+    /// stall every tenant's mutations for its full duration. Mutations
+    /// interleaving mid-scrub are benign — a commit only adds objects
+    /// (which this pass simply does not check; the next scrub will) and
+    /// content-addressed bytes never change in place, so each
+    /// per-object verdict stays valid regardless of interleaving.
     fn scrub(&self) -> Result<Value, WireError> {
-        let durability = lock_unpoisoned(&self.durability);
-        let Some(d) = durability.as_ref() else {
-            return Err(WireError::new(
-                ErrorCode::BadRequest,
-                "scrub requires a durable engine (start with --data-dir)",
-            ));
+        let hashes = {
+            let durability = lock_unpoisoned(&self.durability);
+            let Some(d) = durability.as_ref() else {
+                return Err(WireError::new(
+                    ErrorCode::BadRequest,
+                    "scrub requires a durable engine (start with --data-dir)",
+                ));
+            };
+            d.store.object_hashes().map_err(|e| {
+                WireError::new(ErrorCode::StorageError, format!("scrub: listing objects: {e}"))
+            })?
         };
-        let hashes = d.store.object_hashes().map_err(|e| {
-            WireError::new(ErrorCode::StorageError, format!("scrub: listing objects: {e}"))
-        })?;
         let (mut corrupt_found, mut repaired, mut quarantined_now) = (0u64, 0u64, 0u64);
         let checked = hashes.len() as u64;
         for hash in hashes {
+            let durability = lock_unpoisoned(&self.durability);
+            let Some(d) = durability.as_ref() else { break };
             let Err(reason) = verify_object(&d.store, hash) else { continue };
             corrupt_found += 1;
             // The registry's parked copy was verified when it entered
             // (load, edit, or checked restore): re-serializing it is a
             // faithful repair. With no reachable copy the damaged bytes
             // leave the serving path for `quarantine/`.
-            let parked = lock_unpoisoned(&self.registry).objects.get(&hash).cloned();
-            let rewritten = parked.is_some_and(|case| {
-                d.store.rewrite_object(hash, &Serialize::to_value(&*case)).is_ok()
+            let parked = self.parked_object(hash);
+            let rewritten = parked.is_some_and(|packed| {
+                packed.doc_value().is_ok_and(|doc| d.store.rewrite_object(hash, &doc).is_ok())
             });
             if rewritten {
                 repaired += 1;
@@ -1521,17 +1889,6 @@ fn verify_object(store: &Store, hash: u64) -> Result<Case, String> {
         return Err(format!("hashes to {}", format_hash(case.content_hash())));
     }
     Ok(case)
-}
-
-fn compile(case: &Case) -> Result<CompiledCase, WireError> {
-    // One incremental session yields all three artefacts; its plan and
-    // report are bit-identical to `EvalPlan::compile` + `propagate`
-    // (both run the same lowering and combination kernel).
-    telemetry::with_span("plan_compile", || {
-        let session = Incremental::new_traced(case.clone(), &TlsTracer)
-            .map_err(|e| WireError::from(depcase::Error::from(e)))?;
-        Ok(CompiledCase { plan: session.plan().clone(), report: session.report(), session })
-    })
 }
 
 /// Applies one wire edit action to an incremental session. Shared by
@@ -1603,9 +1960,9 @@ fn effective_deadline(
 /// report. Shared by the single-request path (memoised session report)
 /// and the batch path (struct-of-arrays kernel report) — both report
 /// sources are bit-identical, so so is the rendered value.
-fn eval_value(entry: &CaseEntry, report: &ConfidenceReport) -> Value {
+fn eval_value(entry: &CaseEntry, case: &Case, report: &ConfidenceReport) -> Value {
     let mut nodes = Vec::new();
-    for (id, node) in entry.case.iter() {
+    for (id, node) in case.iter() {
         if let Some(c) = report.confidence(id) {
             nodes.push(Value::Object(vec![
                 ("name".to_string(), Value::Str(node.name.clone())),
@@ -1626,7 +1983,7 @@ fn eval_value(entry: &CaseEntry, report: &ConfidenceReport) -> Value {
 
 fn case_header(entry: &CaseEntry) -> Vec<(String, Value)> {
     vec![
-        ("case".to_string(), Value::Str(entry.case.title().to_string())),
+        ("case".to_string(), Value::Str(entry.case.title.to_string())),
         ("version".to_string(), Value::U64(entry.version)),
         ("hash".to_string(), Value::Str(format_hash(entry.hash))),
     ]
@@ -2396,6 +2753,149 @@ mod tests {
             .handle(&Request::Mc { name: "demo".into(), samples: 4_000, seed: 11, threads: 1 })
             .unwrap();
         assert_eq!(got, fresh);
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        for shards in [1usize, 2, 8, 31] {
+            for name in ["demo", "tenant-0/case", "", "a", "zzzz"] {
+                let s = shard_of(name, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(name, shards), "routing must be deterministic");
+            }
+        }
+        // FNV actually spreads names: 64 names over 8 shards must not
+        // all collapse into one.
+        let hit: HashSet<usize> = (0..64).map(|i| shard_of(&format!("case-{i}"), 8)).collect();
+        assert!(hit.len() > 1);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_the_cache_capacity() {
+        assert_eq!(Engine::new(1).shard_count(), 1);
+        assert_eq!(Engine::new(8).shard_count(), DEFAULT_SHARDS);
+        let wide =
+            Engine::with_config(&EngineConfig { cache_capacity: 4, shards: 64, memo_entries: 0 });
+        assert_eq!(wide.shard_count(), 4);
+        assert!(wide.memo_stats().is_none());
+    }
+
+    #[test]
+    fn sharded_engine_answers_bit_identically_to_one_shard_without_memo() {
+        let sharded = Engine::new(8);
+        let plain =
+            Engine::with_config(&EngineConfig { cache_capacity: 8, shards: 1, memo_entries: 0 });
+        for i in 0..16 {
+            let name = format!("tenant-{i}");
+            let doc = demo_with(0.5 + f64::from(i) * 0.02, 0.9);
+            sharded.handle(&Request::Load { name: name.clone(), case: doc.clone() }).unwrap();
+            plain.handle(&Request::Load { name: name.clone(), case: doc }).unwrap();
+            let a = sharded.handle(&Request::Eval { name: name.clone(), at: None }).unwrap();
+            let b = plain.handle(&Request::Eval { name, at: None }).unwrap();
+            assert_eq!(a, b, "sharding and the global memo must not change a bit");
+        }
+        assert!(
+            sharded.memo_stats().unwrap().hits > 0,
+            "identically-shaped tenants must share subtrees through the global store"
+        );
+    }
+
+    #[test]
+    fn compile_counters_expose_the_cross_tenant_dedup_ratio() {
+        let engine = Engine::new(64);
+        // 20 stamped variants of one template: each compile should
+        // reuse most of the shared structure from the global store.
+        for i in 0..20u64 {
+            let name = format!("variant-{i}");
+            engine
+                .handle(&Request::Load {
+                    name,
+                    case: serde::Serialize::to_value(&depcase::assurance::templates::stamp(3, i)),
+                })
+                .unwrap();
+        }
+        let compile = engine.compile_counters();
+        assert_eq!(compile.compiles, 20);
+        assert!(compile.dedup_ratio() > 2.0, "20 sibling variants must dedup well: {compile:?}");
+        // Memo disabled: every compile pays full price, ratio 1.0.
+        let cold =
+            Engine::with_config(&EngineConfig { cache_capacity: 64, shards: 8, memo_entries: 0 });
+        for i in 0..20u64 {
+            let name = format!("variant-{i}");
+            cold.handle(&Request::Load {
+                name,
+                case: serde::Serialize::to_value(&depcase::assurance::templates::stamp(3, i)),
+            })
+            .unwrap();
+        }
+        // A private memo can still catch duplicate subtrees *within*
+        // one case, but never across compiles — the shared store must
+        // clearly beat it.
+        let ratio = cold.compile_counters().dedup_ratio();
+        assert!(
+            ratio < compile.dedup_ratio() && ratio < 1.5,
+            "private memos must not share across compiles: {ratio} vs {}",
+            compile.dedup_ratio()
+        );
+    }
+
+    #[test]
+    fn stats_carry_shard_and_memo_store_blocks() {
+        let engine = Engine::new(8);
+        load_demo(&engine, "demo");
+        eval_current(&engine, "demo");
+        let stats = engine.handle(&Request::Stats).unwrap();
+        let shards = stats.get("shards").unwrap();
+        assert_eq!(shards.get("count").and_then(Value::as_u64), Some(DEFAULT_SHARDS as u64));
+        let per_shard = shards.get("per_shard").and_then(Value::as_array).unwrap();
+        assert_eq!(per_shard.len(), DEFAULT_SHARDS);
+        let total_cases: u64 =
+            per_shard.iter().map(|s| s.get("cases").and_then(Value::as_u64).unwrap()).sum();
+        assert_eq!(total_cases, 1);
+        let memo = stats.get("memo_store").unwrap();
+        assert_eq!(memo.get("enabled"), Some(&Value::Bool(true)));
+        assert!(memo.get("capacity").and_then(Value::as_u64).unwrap() > 0);
+        let compile = stats.get("compile").unwrap();
+        assert_eq!(compile.get("compiles").and_then(Value::as_u64), Some(1));
+        assert!(compile.get("subtree_dedup_ratio").is_some());
+    }
+
+    #[test]
+    fn durable_sharded_engine_recovers_across_a_different_shard_count() {
+        let dir = tmp_dir("reshard");
+        let durability = DurabilityConfig::new(&dir);
+        let bits = {
+            let engine = Engine::open_config(
+                &EngineConfig { cache_capacity: 16, shards: 8, memo_entries: 1024 },
+                &durability,
+            )
+            .unwrap();
+            for i in 0..6 {
+                let name = format!("tenant-{i}");
+                engine
+                    .handle(&Request::Load { name: name.clone(), case: demo_case_value() })
+                    .unwrap();
+                set_confidence(&engine, &name, "E1", 0.5 + f64::from(i) * 0.05);
+            }
+            (0..6)
+                .map(|i| root_bits(&eval_current(&engine, &format!("tenant-{i}"))))
+                .collect::<Vec<_>>()
+        };
+        // The shard map is derived, not persisted: reopening with a
+        // different count must re-route every name correctly.
+        let engine = Engine::open_config(
+            &EngineConfig { cache_capacity: 16, shards: 3, memo_entries: 1024 },
+            &durability,
+        )
+        .unwrap();
+        assert_eq!(engine.shard_count(), 3);
+        for (i, want) in bits.iter().enumerate() {
+            let name = format!("tenant-{i}");
+            let eval = eval_current(&engine, &name);
+            assert_eq!(eval.get("version").and_then(Value::as_u64), Some(2));
+            assert_eq!(root_bits(&eval), *want);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

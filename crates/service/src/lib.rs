@@ -76,13 +76,13 @@ pub mod wal;
 
 pub use cache::{CacheCounters, CompiledCase, PlanCache};
 pub use client::{code_is_retryable, Client, RetryPolicy, RetryingClient};
-pub use engine::{DurabilityConfig, Engine};
+pub use engine::{DurabilityConfig, Engine, EngineConfig, DEFAULT_MEMO_ENTRIES, DEFAULT_SHARDS};
 pub use faults::{FaultPlan, InjectedCounts};
 pub use protocol::{EditAction, Envelope, ErrorCode, EvalAt, Request, WireError, WireLeafKind};
 pub use server::{serve_stdio, serve_stdio_with, IoModel, Server, ServerConfig};
 pub use stats::{
-    DurabilityCounters, Histogram, IncrementalCounters, RobustnessCounters, RobustnessEvent,
-    ServiceStats, StorageHealthCounters,
+    CompileCounters, DurabilityCounters, Histogram, IncrementalCounters, RobustnessCounters,
+    RobustnessEvent, ServiceStats, StorageHealthCounters,
 };
 pub use storage_io::{
     AppendFile, CrashImage, FaultyIo, RealIo, SimIo, StorageFaultPlan, StorageInjectedCounts,

@@ -262,6 +262,43 @@ pub struct IncrementalCounters {
     pub nodes_reused: u64,
 }
 
+/// Counter snapshot of plan compilation: how many full compiles ran and
+/// how much of their propagation work the (shared) subtree memo
+/// answered. `(nodes_recomputed + nodes_reused) / nodes_recomputed` is
+/// the subtree-dedup ratio the multi-tenant bench and CI smoke assert
+/// on — a fleet of template variants sharing a global memo store should
+/// push it well above 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileCounters {
+    /// Full compiles (cold `load`s and cache-miss recompiles).
+    pub compiles: u64,
+    /// Nodes whose confidence ran through the combination kernel.
+    pub nodes_recomputed: u64,
+    /// Nodes answered from the memo store without float work.
+    pub nodes_reused: u64,
+}
+
+impl CompileCounters {
+    /// `(recomputed + reused) / recomputed` — how many nodes were
+    /// evaluated per node actually computed. 1.0 with no sharing.
+    #[must_use]
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.nodes_recomputed == 0 {
+            return 1.0;
+        }
+        (self.nodes_recomputed + self.nodes_reused) as f64 / self.nodes_recomputed as f64
+    }
+
+    fn to_value(self) -> Value {
+        Value::Object(vec![
+            ("compiles".to_string(), Value::U64(self.compiles)),
+            ("nodes_recomputed".to_string(), Value::U64(self.nodes_recomputed)),
+            ("nodes_reused".to_string(), Value::U64(self.nodes_reused)),
+            ("subtree_dedup_ratio".to_string(), Value::F64(self.dedup_ratio())),
+        ])
+    }
+}
+
 /// Counter snapshot of the durability layer: WAL traffic, snapshot
 /// activity, and what the last startup had to recover.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -344,6 +381,7 @@ pub struct ServiceStats {
     robustness: RobustnessCounters,
     rejections: Histogram,
     incremental: IncrementalCounters,
+    compile: CompileCounters,
     durability: DurabilityCounters,
     storage_health: StorageHealthCounters,
 }
@@ -388,6 +426,20 @@ impl ServiceStats {
     #[must_use]
     pub fn incremental(&self) -> IncrementalCounters {
         self.incremental
+    }
+
+    /// Counts one full compile and the propagation work the memo store
+    /// saved it.
+    pub fn note_compile(&mut self, nodes_recomputed: u64, nodes_reused: u64) {
+        self.compile.compiles += 1;
+        self.compile.nodes_recomputed += nodes_recomputed;
+        self.compile.nodes_reused += nodes_reused;
+    }
+
+    /// Snapshot of the compile counters.
+    #[must_use]
+    pub fn compile(&self) -> CompileCounters {
+        self.compile
     }
 
     /// Mutable access to the durability counters (the engine's WAL and
@@ -501,6 +553,7 @@ impl ServiceStats {
                     ("nodes_reused".to_string(), Value::U64(self.incremental.nodes_reused)),
                 ]),
             ),
+            ("compile".to_string(), self.compile.to_value()),
             (
                 "plan_cache".to_string(),
                 Value::Object(vec![
@@ -627,6 +680,20 @@ impl ServiceStats {
             "Spine nodes answered from the memo",
             &[],
             i.nodes_reused,
+        );
+        let c = self.compile;
+        reg.counter("depcase_compiles_total", "Full plan compiles", &[], c.compiles);
+        reg.counter(
+            "depcase_compile_nodes_recomputed_total",
+            "Compile-time nodes run through the combination kernel",
+            &[],
+            c.nodes_recomputed,
+        );
+        reg.counter(
+            "depcase_compile_nodes_reused_total",
+            "Compile-time nodes answered from the shared memo store",
+            &[],
+            c.nodes_reused,
         );
     }
 }

@@ -1,0 +1,148 @@
+//! Multi-tenant sharding and global-memo tests.
+//!
+//! Two contracts from DESIGN §17:
+//!
+//! 1. **Shard isolation.** Tenants hammering different names
+//!    concurrently never observe each other: versions stay per-name
+//!    monotonic with no gaps, and every answer is bit-identical to a
+//!    single-tenant reference evaluation of the same edit sequence.
+//! 2. **Global memo sharing is invisible in the bits.** An engine with
+//!    the shared content-addressed memo store answers byte-identically
+//!    to one compiling every case cold with a private memo — sharing
+//!    changes how much work compiles do, never what they answer — while
+//!    the compile counters prove the sharing actually happened.
+
+use depcase::assurance::templates::{stamp, TEMPLATE_COUNT};
+use depcase::prelude::*;
+use depcase_service::{EditAction, Engine, EngineConfig, Request};
+use serde::{Serialize, Value};
+use std::sync::Arc;
+
+fn load(engine: &Engine, name: &str, case: &Case) -> Value {
+    engine
+        .handle(&Request::Load { name: name.to_string(), case: Serialize::to_value(case) })
+        .unwrap()
+}
+
+fn eval(engine: &Engine, name: &str) -> Value {
+    engine.handle(&Request::Eval { name: name.to_string(), at: None }).unwrap()
+}
+
+fn set_confidence(engine: &Engine, name: &str, node: &str, confidence: f64) -> Value {
+    engine
+        .handle(&Request::Edit {
+            name: name.to_string(),
+            action: EditAction::SetConfidence { node: node.to_string(), confidence },
+        })
+        .unwrap()
+}
+
+fn root_bits(value: &Value) -> u64 {
+    value.get("root_confidence").and_then(Value::as_f64).unwrap().to_bits()
+}
+
+fn version_of(value: &Value) -> u64 {
+    value.get("version").and_then(Value::as_u64).unwrap()
+}
+
+/// The evidence-leaf names of a case, in iteration order.
+fn leaf_names(case: &Case) -> Vec<String> {
+    case.iter()
+        .filter(|(_, n)| matches!(n.kind, NodeKind::Evidence { .. }))
+        .map(|(_, n)| n.name.clone())
+        .collect()
+}
+
+/// Eight tenants, each hammering its own case through one sharded
+/// engine with the global memo store on. Each thread tracks a private
+/// reference `Case` mutated by the same edits; every engine answer
+/// must match the reference bit for bit, and versions must advance by
+/// exactly one per own-edit — a neighbour's traffic bleeding into a
+/// tenant's version chain or answers fails immediately.
+#[test]
+fn eight_concurrent_tenants_stay_isolated_and_bit_identical() {
+    const TENANTS: usize = 8;
+    const EDITS: u64 = 40;
+    let engine = Arc::new(Engine::with_config(&EngineConfig {
+        cache_capacity: 64,
+        shards: 8,
+        memo_entries: 1 << 14,
+    }));
+    let workers: Vec<_> = (0..TENANTS)
+        .map(|tenant| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let name = format!("tenant-{tenant}");
+                let mut reference = stamp(tenant % TEMPLATE_COUNT, tenant as u64);
+                let leaves = leaf_names(&reference);
+                let loaded = load(&engine, &name, &reference);
+                assert_eq!(version_of(&loaded), 1);
+                for step in 0..EDITS {
+                    // Deterministic per-tenant edit stream; confidences
+                    // differ per tenant so cross-tenant bleed would
+                    // change bits, not just counters.
+                    let leaf = &leaves[(step as usize) % leaves.len()];
+                    let confidence =
+                        0.10 + 0.10 * tenant as f64 / TENANTS as f64 + 0.001 * step as f64;
+                    let id = reference.node_by_name(leaf).unwrap();
+                    reference.set_leaf_confidence(id, confidence).unwrap();
+                    let edited = set_confidence(&engine, &name, leaf, confidence);
+                    assert_eq!(
+                        version_of(&edited),
+                        step + 2,
+                        "tenant {tenant}: versions must advance by exactly 1 per own edit"
+                    );
+                    let expected =
+                        reference.propagate().unwrap().top().unwrap().independent.to_bits();
+                    assert_eq!(root_bits(&edited), expected, "tenant {tenant} step {step}");
+                    let evalled = eval(&engine, &name);
+                    assert_eq!(version_of(&evalled), step + 2);
+                    assert_eq!(root_bits(&evalled), expected);
+                }
+                reference
+            })
+        })
+        .collect();
+    let references: Vec<Case> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    // Quiescent cross-check: every tenant's history is exactly its own
+    // 1 load + EDITS edits, and the final state still matches.
+    for (tenant, reference) in references.iter().enumerate() {
+        let name = format!("tenant-{tenant}");
+        let history = engine.handle(&Request::History { name: name.clone() }).unwrap();
+        let versions = history.get("versions").and_then(Value::as_array).unwrap();
+        assert_eq!(versions.len() as u64, EDITS + 1, "tenant {tenant} history length");
+        let expected = reference.propagate().unwrap().top().unwrap().independent.to_bits();
+        assert_eq!(root_bits(&eval(&engine, &name)), expected);
+    }
+    // The tenants share template structure: the global store must have
+    // fielded some of the compile work.
+    assert!(engine.memo_stats().unwrap().hits > 0);
+}
+
+/// A fleet of template variants registered through a memo-sharing
+/// engine answers byte-identically (whole wire values, not just the
+/// root) to a cold engine with the store disabled — while the sharing
+/// engine's compile counters show a clear subtree-dedup win.
+#[test]
+fn memo_sharing_fleet_matches_cold_compiles_byte_for_byte() {
+    const VARIANTS: u64 = 200;
+    let shared =
+        Engine::with_config(&EngineConfig { cache_capacity: 32, shards: 8, memo_entries: 1 << 16 });
+    let cold =
+        Engine::with_config(&EngineConfig { cache_capacity: 32, shards: 1, memo_entries: 0 });
+    for i in 0..VARIANTS {
+        let template = (i % TEMPLATE_COUNT as u64) as usize;
+        let variant = i / TEMPLATE_COUNT as u64;
+        let name = format!("t{template}-v{variant}");
+        let case = stamp(template, variant);
+        load(&shared, &name, &case);
+        load(&cold, &name, &case);
+        let a = eval(&shared, &name);
+        let b = eval(&cold, &name);
+        assert_eq!(a, b, "{name}: shared-memo answers must be byte-identical to cold");
+    }
+    let ratio = shared.compile_counters().dedup_ratio();
+    assert!(ratio > 3.0, "200 variants of {TEMPLATE_COUNT} templates must dedup heavily: {ratio}");
+    let store = shared.memo_stats().unwrap();
+    assert!(store.hits > 0 && store.entries > 0);
+}

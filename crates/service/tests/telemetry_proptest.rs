@@ -190,7 +190,7 @@ fn wire_traces_reconcile_and_chrome_export_parses() {
     for _ in 0..4 {
         client.round_trip(r#"{"op":"eval","name":"reactor"}"#).unwrap();
         client
-            .round_trip(r#"{"op":"mc","name":"reactor","samples":50000,"seed":7,"threads":2}"#)
+            .round_trip(r#"{"op":"mc","name":"reactor","samples":800000,"seed":7,"threads":2}"#)
             .unwrap();
     }
 
